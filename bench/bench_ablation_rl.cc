@@ -1,0 +1,71 @@
+// Ablation bench (extension): DQN variants on the CrossRight query.
+// Compares the paper's vanilla DQN against Double DQN, prioritized
+// experience replay, and their combination — all trained under identical
+// budgets and evaluated with the standard Zeus-RL executor on the test
+// split. The paper uses vanilla DQN (§4.3); this bench measures what the
+// common DQN stabilizers add at this problem scale.
+
+#include "bench_util.h"
+#include "core/executor.h"
+
+namespace zeus {
+namespace {
+
+struct Variant {
+  const char* name;
+  bool double_dqn;
+  bool prioritized;
+};
+
+int Main() {
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::PrintHeader(
+      "Ablation: DQN variants (CrossRight, target 0.85)");
+
+  auto profile = bench::BenchProfile(video::DatasetFamily::kBdd100kLike);
+  auto dataset = video::SyntheticDataset::Generate(profile, 17);
+
+  const Variant variants[] = {
+      {"DQN (paper)", false, false},
+      {"Double DQN", true, false},
+      {"DQN + PER", false, true},
+      {"Double + PER", true, true},
+  };
+
+  std::printf("%-14s %8s %8s %8s %12s %10s %10s\n", "variant", "F1", "prec",
+              "recall", "tput(fps)", "td-loss", "train(s)");
+  for (const Variant& v : variants) {
+    auto opts = bench::BenchPlannerOptions(17);
+    // The APFG is identical across variants; a light training budget keeps
+    // the four-way replan affordable (the comparison is between agents).
+    opts.apfg.epochs = 8;
+    opts.profile.max_windows_per_config = 120;
+    opts.trainer.agent.double_dqn = v.double_dqn;
+    opts.trainer.prioritized_replay = v.prioritized;
+    core::QueryPlanner planner(&dataset, opts);
+    auto plan = planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.85);
+    if (!plan.ok()) {
+      std::printf("%-14s planning failed: %s\n", v.name,
+                  plan.status().ToString().c_str());
+      continue;
+    }
+    auto test = planner.SplitVideos(dataset.test_indices());
+    core::QueryExecutor executor(&plan.value());
+    auto row = bench::Evaluate(&executor, test, plan.value().targets);
+    std::printf("%-14s %8.3f %8.3f %8.3f %12.0f %10.4f %10.1f\n", v.name,
+                row.metrics.f1, row.metrics.precision, row.metrics.recall,
+                row.throughput_fps, plan.value().rl_stats.mean_td_loss,
+                plan.value().rl_train_seconds);
+  }
+  std::printf(
+      "\nexpectation: all variants reach a similar operating point; the\n"
+      "stabilizers mainly change TD-loss convergence, not end accuracy —\n"
+      "the aggregate reward (Alg. 2), not the Q-learning variant, carries\n"
+      "the accuracy guarantee.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace zeus
+
+int main() { return zeus::Main(); }

@@ -1,0 +1,62 @@
+// Extension bench (§6.4 discussion): inter-video batched execution.
+// The sequential Zeus-RL executor cannot batch because each decision feeds
+// the next input; across videos the traversals are independent, so
+// same-configuration invocations batch into one launch. This bench sweeps
+// the maximum batch width and reports modeled throughput; masks are
+// verified identical to the sequential executor at every width.
+
+#include "bench_util.h"
+#include "core/batched_executor.h"
+#include "core/executor.h"
+
+namespace zeus {
+namespace {
+
+int Main() {
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::PrintHeader("Extension: inter-video batched execution (CrossRight)");
+
+  auto profile = bench::BenchProfile(video::DatasetFamily::kBdd100kLike);
+  auto dataset = video::SyntheticDataset::Generate(profile, 17);
+  auto opts = bench::BenchPlannerOptions(17);
+  core::QueryPlanner planner(&dataset, opts);
+  auto plan = planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.85);
+  if (!plan.ok()) {
+    std::printf("planning failed: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  auto test = planner.SplitVideos(dataset.test_indices());
+
+  core::QueryExecutor sequential(&plan.value());
+  auto base = sequential.Localize(test);
+  auto base_metrics = core::EvaluateVideos(test, plan.value().targets,
+                                           base.masks, core::EvalOptions{});
+  std::printf("%-12s %12s %10s %8s %10s\n", "max_batch", "tput(fps)",
+              "gpu(s)", "F1", "speedup");
+  std::printf("%-12s %12.0f %10.4f %8.3f %10s\n", "sequential",
+              base.ThroughputFps(), base.gpu_seconds, base_metrics.f1, "1.00x");
+
+  for (int width : {1, 2, 4, 8, 16, 32}) {
+    core::BatchedExecutor::Options bopts;
+    bopts.max_batch = width;
+    core::BatchedExecutor batched(&plan.value(), bopts);
+    auto run = batched.Localize(test);
+    auto metrics = core::EvaluateVideos(test, plan.value().targets, run.masks,
+                                        core::EvalOptions{});
+    bool identical = run.masks == base.masks;
+    std::printf("%-12d %12.0f %10.4f %8.3f %9.2fx%s\n", width,
+                run.ThroughputFps(), run.gpu_seconds, metrics.f1,
+                base.gpu_seconds / run.gpu_seconds,
+                identical ? "" : "  (MASK MISMATCH!)");
+  }
+  std::printf(
+      "\nexpectation: throughput grows with batch width (launch overhead\n"
+      "amortizes), saturating once per-frame compute dominates; accuracy\n"
+      "is identical at every width.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace zeus
+
+int main() { return zeus::Main(); }

@@ -1,0 +1,52 @@
+// Figure 13: domain adaptation — all methods trained on the BDD-like
+// dataset and evaluated on Cityscapes-like (CrossRight + LeftTurn) and
+// KITTI-like (LeftTurn only; KITTI has no CrossRight instances) datasets,
+// which shift scene statistics and agent appearance (§6.6).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zeus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::PrintHeader("Figure 13: domain adaptation (train BDD-like)");
+
+  auto bdd = video::SyntheticDataset::Generate(
+      bench::BenchProfile(video::DatasetFamily::kBdd100kLike), 17);
+  auto cityscapes = video::SyntheticDataset::Generate(
+      bench::BenchProfile(video::DatasetFamily::kCityscapesLike), 43);
+  auto kitti = video::SyntheticDataset::Generate(
+      bench::BenchProfile(video::DatasetFamily::kKittiLike), 44);
+
+  struct Case {
+    const char* name;
+    const video::SyntheticDataset* target;
+    video::ActionClass cls;
+  };
+  const Case cases[] = {
+      {"CrossRight -> Cityscapes", &cityscapes,
+       video::ActionClass::kCrossRight},
+      {"LeftTurn -> Cityscapes", &cityscapes, video::ActionClass::kLeftTurn},
+      {"LeftTurn -> KITTI", &kitti, video::ActionClass::kLeftTurn},
+  };
+
+  core::QueryPlanner planner(&bdd, bench::BenchPlannerOptions());
+  auto train = planner.SplitVideos(bdd.train_indices());
+  for (const Case& c : cases) {
+    auto plan = planner.PlanForClasses({c.cls}, 0.85);
+    if (!plan.ok()) continue;
+    // Evaluate on the *target* dataset's videos (all of them).
+    std::vector<const video::Video*> test;
+    for (size_t i = 0; i < c.target->num_videos(); ++i) {
+      test.push_back(&c.target->video(i));
+    }
+    common::Rng rng(11);
+    auto rows = bench::RunAllMethods(plan.value(), *c.target, train, test,
+                                     &rng);
+    std::printf("\n--- %s ---\n", c.name);
+    bench::PrintRows(rows);
+  }
+  std::printf("\npaper (Fig. 13): every method drops a few accuracy points "
+              "under domain shift (~2.5%%); the relative ordering is "
+              "preserved and Zeus-RL keeps its throughput advantage.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 14: configuration distribution — the agent is constrained to three
+// configurations (fast / mid / slow) and the percentage of frames processed
+// by each level is compared against Zeus-Heuristic, plus the low/high
+// resolution split (Fig. 14b).
+
+#include "bench/bench_util.h"
+#include "rl/trainer.h"
+
+int main() {
+  using namespace zeus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::PrintHeader("Figure 14: fast/mid/slow configuration distribution");
+
+  struct QuerySpec {
+    video::DatasetFamily family;
+    video::ActionClass cls;
+    double target;
+  };
+  const QuerySpec queries[] = {
+      {video::DatasetFamily::kBdd100kLike, video::ActionClass::kCrossRight,
+       0.85},
+      {video::DatasetFamily::kThumos14Like, video::ActionClass::kPoleVault,
+       0.75},
+      {video::DatasetFamily::kActivityNetLike,
+       video::ActionClass::kIroningClothes, 0.75},
+  };
+
+  for (const QuerySpec& q : queries) {
+    auto ds =
+        video::SyntheticDataset::Generate(bench::BenchProfile(q.family), 17);
+    auto opts = bench::BenchPlannerOptions();
+    // Constrain the agent to exactly three frontier configurations.
+    opts.max_rl_configs = 3;
+    core::QueryPlanner planner(&ds, opts);
+    auto plan_r = planner.PlanForClasses({q.cls}, q.target);
+    if (!plan_r.ok()) continue;
+    const core::QueryPlan& plan = plan_r.value();
+    auto test = planner.SplitVideos(ds.test_indices());
+
+    baselines::ZeusHeuristic heuristic({}, &plan.rl_space, plan.cache.get());
+    auto heur = bench::Evaluate(&heuristic, test, plan.targets);
+    core::QueryExecutor executor(&plan);
+    auto zeus = bench::Evaluate(&executor, test, plan.targets);
+
+    auto hh = core::SummarizeConfigUsage(plan.rl_space, heur.run);
+    auto zh = core::SummarizeConfigUsage(plan.rl_space, zeus.run);
+    std::printf("\n--- %s ---\n", video::ActionClassName(q.cls));
+    std::printf("%-16s %6s %6s %6s   %8s %8s   %6s\n", "method", "fast%",
+                "mid%", "slow%", "lo-res%", "hi-res%", "F1");
+    std::printf("%-16s %6.0f %6.0f %6.0f   %8.0f %8.0f   %6.3f\n",
+                "Zeus-Heuristic", hh.fast_pct, hh.mid_pct, hh.slow_pct,
+                hh.low_res_pct, hh.high_res_pct, heur.metrics.f1);
+    std::printf("%-16s %6.0f %6.0f %6.0f   %8.0f %8.0f   %6.3f\n", "Zeus-RL",
+                zh.fast_pct, zh.mid_pct, zh.slow_pct, zh.low_res_pct,
+                zh.high_res_pct, zeus.metrics.f1);
+  }
+  std::printf("\npaper (Fig. 14): the heuristic concentrates ~85%% of frames "
+              "on a single configuration; Zeus-RL mixes all three and barely "
+              "exceeds the target accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: 3-D
+// convolution, segment decode, replay-buffer ops, DQN action selection.
+// These are the per-invocation costs that the CostModel abstracts.
+
+#include <benchmark/benchmark.h>
+
+#include "apfg/r3d.h"
+#include "common/rng.h"
+#include "rl/dqn_agent.h"
+#include "rl/replay_buffer.h"
+#include "tensor/tensor_ops.h"
+#include "video/dataset.h"
+#include "video/decoder.h"
+
+namespace {
+
+using namespace zeus;
+
+void BM_Conv3dForward(benchmark::State& state) {
+  common::Rng rng(1);
+  apfg::R3dLite model(apfg::R3dLite::Options{}, &rng);
+  const int l = static_cast<int>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  tensor::Tensor x({1, 1, l, r, r});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Logits(x, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Conv3dForward)->Args({2, 15})->Args({8, 15})->Args({8, 30})->Args({16, 20});
+
+void BM_SegmentDecode(benchmark::State& state) {
+  auto profile =
+      video::DatasetProfile::ForFamily(video::DatasetFamily::kBdd100kLike);
+  profile.num_videos = 1;
+  profile.frames_per_video = 200;
+  auto ds = video::SyntheticDataset::Generate(profile, 3);
+  video::DecodeSpec spec{static_cast<int>(state.range(0)), 8, 2};
+  int start = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        video::SegmentDecoder::Decode(ds.video(0), start, spec));
+    start = (start + 16) % 150;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentDecode)->Arg(15)->Arg(30);
+
+void BM_MatMul(benchmark::State& state) {
+  common::Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  tensor::Tensor a({n, n}), b({n, n});
+  tensor::FillGaussian(&a, &rng, 1.0f);
+  tensor::FillGaussian(&b, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ReplayBufferPushSample(benchmark::State& state) {
+  rl::ReplayBuffer buf(2048);
+  common::Rng rng(4);
+  rl::Experience proto;
+  proto.state.assign(48, 0.5f);
+  proto.next_state.assign(48, 0.25f);
+  for (auto _ : state) {
+    buf.Push(proto);
+    if (buf.CanSample(64)) {
+      benchmark::DoNotOptimize(buf.Sample(64, &rng));
+    }
+  }
+}
+BENCHMARK(BM_ReplayBufferPushSample);
+
+void BM_DqnGreedyAction(benchmark::State& state) {
+  common::Rng rng(5);
+  rl::DqnAgent::Options opts;
+  opts.state_dim = 48;
+  opts.num_actions = 10;
+  rl::DqnAgent agent(opts, &rng);
+  std::vector<float> s(48, 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.GreedyAction(s));
+  }
+}
+BENCHMARK(BM_DqnGreedyAction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Table 3: dataset characteristics of the three evaluation dataset
+// families (classes, frames, action percentage, instance length moments).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zeus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::PrintHeader("Table 3: dataset characteristics");
+  std::printf("%-18s %8s %10s %9s %9s %7s %12s\n", "Dataset", "Classes",
+              "Frames(K)", "Action%", "AvgLen", "Std", "(Min,Max)");
+  for (auto family :
+       {video::DatasetFamily::kBdd100kLike, video::DatasetFamily::kThumos14Like,
+        video::DatasetFamily::kActivityNetLike}) {
+    auto ds = video::SyntheticDataset::Generate(bench::BenchProfile(family),
+                                                17);
+    auto s = ds.ComputeStatistics();
+    std::printf("%-18s %8d %10.1f %9.2f %9.1f %7.1f   (%d, %d)\n",
+                video::DatasetFamilyName(family), s.num_classes,
+                s.total_frames / 1000.0, s.percent_action_frames,
+                s.avg_action_length, s.stddev_action_length,
+                s.min_action_length, s.max_action_length);
+  }
+  std::printf("\npaper (Table 3): BDD 7.03%% / Thumos 40.27%% / "
+              "ActivityNet 56.37%% action frames; lengths 115 / 211 / 909 "
+              "(scaled ~2-3x shorter here, see DESIGN.md).\n");
+  return 0;
+}

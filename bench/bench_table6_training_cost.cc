@@ -1,0 +1,56 @@
+// Table 6: training cost breakdown — APFG training, RL training, and
+// inference wall time for each method on the CrossRight query.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace zeus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+  bench::PrintHeader("Table 6: training and inference cost (CrossRight)");
+
+  auto ds = video::SyntheticDataset::Generate(
+      bench::BenchProfile(video::DatasetFamily::kBdd100kLike), 17);
+  core::QueryPlanner planner(&ds, bench::BenchPlannerOptions());
+  auto plan_r = planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.85);
+  if (!plan_r.ok()) return 1;
+  const core::QueryPlan& plan = plan_r.value();
+  auto train = planner.SplitVideos(ds.train_indices());
+  auto test = planner.SplitVideos(ds.test_indices());
+  common::Rng rng(13);
+
+  // Frame-PP has its own (cheaper) 2D training.
+  double frame_pp_train = 0.0;
+  baselines::FramePp::Options fp_opts;
+  fp_opts.resolution_px =
+      plan.space.config(plan.space.SlowestId()).spec.resolution_px;
+  baselines::FramePp frame_pp(fp_opts, plan.cost_model, plan.targets, &rng);
+  (void)frame_pp.Train(train, &frame_pp_train);
+
+  auto frame_row = bench::Evaluate(&frame_pp, test, plan.targets);
+  int sliding_id = baselines::PickSlidingConfig(plan.space, 0.85);
+  baselines::ZeusSliding sliding(plan.space.config(sliding_id),
+                                 plan.apfg.get(), plan.cost_model);
+  auto sliding_row = bench::Evaluate(&sliding, test, plan.targets);
+  baselines::ZeusHeuristic heuristic({}, &plan.rl_space, plan.cache.get());
+  auto heur_row = bench::Evaluate(&heuristic, test, plan.targets);
+  core::QueryExecutor executor(&plan);
+  auto zeus_row = bench::Evaluate(&executor, test, plan.targets);
+
+  std::printf("%-16s %16s %16s %14s\n", "Method", "APFG train (s)",
+              "RL train (s)", "Inference (s)");
+  std::printf("%-16s %16.2f %16s %14.3f\n", "Frame-PP", frame_pp_train, "NA",
+              frame_row.wall_seconds);
+  std::printf("%-16s %16.2f %16s %14.3f\n", "Zeus-Sliding",
+              plan.apfg_train_seconds, "NA", sliding_row.wall_seconds);
+  std::printf("%-16s %16.2f %16s %14.3f\n", "Zeus-Heuristic",
+              plan.apfg_train_seconds, "NA", heur_row.wall_seconds);
+  std::printf("%-16s %16.2f %16.2f %14.3f\n", "Zeus-RL",
+              plan.apfg_train_seconds, plan.rl_train_seconds,
+              zeus_row.wall_seconds);
+  std::printf("\nconfiguration profiling (shared by all Zeus methods): "
+              "%.2f s\n", plan.profile_seconds);
+  std::printf("\npaper (Table 6): RL training adds ~35%% to planning, repaid "
+              "by faster inference (Zeus-RL inference 38.5s vs sliding "
+              "181s on their testbed).\n");
+  return 0;
+}

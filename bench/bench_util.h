@@ -1,0 +1,147 @@
+#ifndef ZEUS_BENCH_BENCH_UTIL_H_
+#define ZEUS_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the per-table / per-figure reproduction benches.
+// Each bench binary regenerates one table or figure of the paper's §6 on the
+// synthetic substrate (see DESIGN.md for the experiment index).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/frame_pp.h"
+#include "baselines/heuristic.h"
+#include "baselines/segment_pp.h"
+#include "baselines/sliding.h"
+#include "common/logging.h"
+#include "core/executor.h"
+#include "core/query_planner.h"
+#include "video/dataset.h"
+
+namespace zeus::bench {
+
+// Bench-scale dataset profiles: trimmed so every bench binary finishes in a
+// couple of minutes on one CPU core while keeping Table 3's density/length
+// relationships intact.
+inline video::DatasetProfile BenchProfile(video::DatasetFamily family) {
+  video::DatasetProfile p = video::DatasetProfile::ForFamily(family);
+  switch (family) {
+    case video::DatasetFamily::kBdd100kLike:
+      p.num_videos = 48;
+      p.frames_per_video = 500;
+      // Bench scale uses a slightly denser action stream than the family
+      // default (7%) so the validation split carries enough positive
+      // windows for low-variance per-configuration F1 estimates.
+      p.action_fraction = 0.11;
+      break;
+    case video::DatasetFamily::kThumos14Like:
+    case video::DatasetFamily::kActivityNetLike:
+      p.num_videos = 28;
+      p.frames_per_video = 400;
+      break;
+    case video::DatasetFamily::kCityscapesLike:
+    case video::DatasetFamily::kKittiLike:
+      p.num_videos = 16;
+      p.frames_per_video = 400;
+      break;
+  }
+  return p;
+}
+
+// Planner options sized for benches.
+inline core::QueryPlanner::Options BenchPlannerOptions(uint64_t seed = 17) {
+  core::QueryPlanner::Options opts;
+  opts.seed = seed;
+  opts.apfg.epochs = 12;
+  opts.profile.max_windows_per_config = 200;
+  opts.trainer.episodes = 10;
+  return opts;
+}
+
+// One evaluated method: name, accuracy metrics and throughput.
+struct MethodRow {
+  std::string method;
+  core::PrfMetrics metrics;
+  double throughput_fps = 0.0;
+  double wall_seconds = 0.0;
+  core::RunResult run;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRows(const std::vector<MethodRow>& rows) {
+  std::printf("%-16s %8s %8s %8s %12s %10s\n", "method", "F1", "prec",
+              "recall", "tput(fps)", "wall(s)");
+  for (const MethodRow& r : rows) {
+    std::printf("%-16s %8.3f %8.3f %8.3f %12.0f %10.2f\n", r.method.c_str(),
+                r.metrics.f1, r.metrics.precision, r.metrics.recall,
+                r.throughput_fps, r.wall_seconds);
+  }
+}
+
+// Evaluates one localizer on the test split.
+inline MethodRow Evaluate(core::Localizer* localizer,
+                          const std::vector<const video::Video*>& test,
+                          const std::vector<video::ActionClass>& targets) {
+  MethodRow row;
+  row.method = localizer->name();
+  row.run = localizer->Localize(test);
+  row.metrics =
+      core::EvaluateVideos(test, targets, row.run.masks, core::EvalOptions{});
+  row.throughput_fps = row.run.ThroughputFps();
+  row.wall_seconds = row.run.wall_seconds;
+  return row;
+}
+
+// Runs all five methods of Fig. 8 for one planned query. Trains the two
+// probabilistic-predicate baselines on the train split first.
+inline std::vector<MethodRow> RunAllMethods(
+    const core::QueryPlan& plan, const video::SyntheticDataset& dataset,
+    const std::vector<const video::Video*>& train,
+    const std::vector<const video::Video*>& test, common::Rng* rng) {
+  (void)dataset;
+  std::vector<MethodRow> rows;
+
+  // Frame-PP at the most accurate resolution.
+  baselines::FramePp::Options fp_opts;
+  fp_opts.nominal_resolution =
+      plan.space.NominalResolutions().back();
+  fp_opts.resolution_px =
+      plan.space.config(plan.space.SlowestId()).spec.resolution_px;
+  baselines::FramePp frame_pp(fp_opts, plan.cost_model, plan.targets, rng);
+  if (frame_pp.Train(train).ok()) {
+    rows.push_back(Evaluate(&frame_pp, test, plan.targets));
+  }
+
+  // Segment-PP filtering at the most accurate configuration.
+  baselines::SegmentPp::Options sp_opts;
+  baselines::SegmentPp segment_pp(sp_opts, plan.cost_model,
+                                  plan.space.config(plan.space.SlowestId()),
+                                  plan.apfg.get(), plan.targets, rng);
+  if (segment_pp.Train(train).ok()) {
+    rows.push_back(Evaluate(&segment_pp, test, plan.targets));
+  }
+
+  // Zeus-Sliding: fastest configuration meeting the target on validation.
+  int sliding_id =
+      baselines::PickSlidingConfig(plan.space, plan.accuracy_target);
+  baselines::ZeusSliding sliding(plan.space.config(sliding_id),
+                                 plan.apfg.get(), plan.cost_model);
+  rows.push_back(Evaluate(&sliding, test, plan.targets));
+
+  // Zeus-Heuristic over the pruned configuration frontier.
+  baselines::ZeusHeuristic heuristic({}, &plan.rl_space, plan.cache.get());
+  rows.push_back(Evaluate(&heuristic, test, plan.targets));
+
+  // Zeus-RL.
+  core::QueryExecutor executor(&plan);
+  rows.push_back(Evaluate(&executor, test, plan.targets));
+  return rows;
+}
+
+}  // namespace zeus::bench
+
+#endif  // ZEUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+// Batch inference: serving one query over a multi-camera corpus with the
+// inter-video batched executor (the §6.4 extension).
+//
+// A traffic-analytics deployment watches many cameras; per-video RL
+// execution cannot batch (each decision feeds the next input), but across
+// cameras the traversals are independent. This example plans one
+// CrossRight query and then compares sequential vs batched execution over
+// the corpus, printing the modeled GPU time at several batch widths.
+
+#include <cstdio>
+
+#include "core/batched_executor.h"
+#include "core/executor.h"
+#include "core/query_planner.h"
+#include "video/dataset.h"
+
+int main() {
+  using zeus::video::ActionClass;
+  using zeus::video::DatasetFamily;
+  using zeus::video::DatasetProfile;
+  using zeus::video::SyntheticDataset;
+
+  DatasetProfile profile =
+      DatasetProfile::ForFamily(DatasetFamily::kBdd100kLike);
+  profile.num_videos = 28;
+  profile.frames_per_video = 400;
+  profile.action_fraction = 0.12;
+  auto dataset = SyntheticDataset::Generate(profile, 17);
+
+  zeus::core::QueryPlanner::Options opts;
+  opts.apfg.epochs = 12;
+  opts.profile.max_windows_per_config = 200;
+  opts.trainer.episodes = 10;
+  zeus::core::QueryPlanner planner(&dataset, opts);
+  auto plan = planner.PlanForClasses({ActionClass::kCrossRight}, 0.85);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // The "camera corpus": every video in the dataset.
+  std::vector<const zeus::video::Video*> corpus;
+  for (size_t i = 0; i < dataset.num_videos(); ++i) {
+    corpus.push_back(&dataset.video(i));
+  }
+  std::printf("corpus: %zu cameras x %d frames\n", corpus.size(),
+              profile.frames_per_video);
+
+  zeus::core::QueryExecutor sequential(&plan.value());
+  auto base = sequential.Localize(corpus);
+  std::printf("%-12s gpu=%.3fs tput=%.0f fps\n", "sequential",
+              base.gpu_seconds, base.ThroughputFps());
+
+  for (int width : {4, 16}) {
+    zeus::core::BatchedExecutor::Options bopts;
+    bopts.max_batch = width;
+    zeus::core::BatchedExecutor batched(&plan.value(), bopts);
+    auto run = batched.Localize(corpus);
+    bool same = run.masks == base.masks;
+    std::printf("%-12s gpu=%.3fs tput=%.0f fps  speedup=%.2fx  results %s\n",
+                ("batch=" + std::to_string(width)).c_str(), run.gpu_seconds,
+                run.ThroughputFps(), base.gpu_seconds / run.gpu_seconds,
+                same ? "identical" : "DIFFER (bug!)");
+  }
+  std::printf(
+      "\nBatching changes only the cost accounting: the RL agent's\n"
+      "decisions — and therefore the localized segments — are identical.\n");
+  return 0;
+}

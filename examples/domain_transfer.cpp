@@ -1,0 +1,64 @@
+// Domain transfer: train a LeftTurn plan on one city's footage (BDD-like)
+// and run it on footage from a different city (Cityscapes-like), the §6.6
+// deployment scenario — a fleet operator reusing one trained plan across
+// camera domains without retraining.
+
+#include <cstdio>
+
+#include "core/executor.h"
+#include "core/query_planner.h"
+#include "video/dataset.h"
+
+int main() {
+  using namespace zeus;
+
+  auto source_profile =
+      video::DatasetProfile::ForFamily(video::DatasetFamily::kBdd100kLike);
+  source_profile.num_videos = 32;
+  auto source = video::SyntheticDataset::Generate(source_profile, 31);
+
+  auto target_profile =
+      video::DatasetProfile::ForFamily(video::DatasetFamily::kCityscapesLike);
+  target_profile.num_videos = 12;
+  auto target = video::SyntheticDataset::Generate(target_profile, 32);
+
+  core::QueryPlanner::Options opts;
+  opts.apfg.epochs = 10;
+  opts.trainer.episodes = 8;
+  core::QueryPlanner planner(&source, opts);
+  std::printf("training LeftTurn@0.85 on %s...\n",
+              source.profile().name.c_str());
+  auto plan = planner.PlanForClasses({video::ActionClass::kLeftTurn}, 0.85);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+
+  core::QueryExecutor executor(&plan.value());
+
+  // In-domain reference.
+  auto in_domain = planner.SplitVideos(source.test_indices());
+  auto run_a = executor.Localize(in_domain);
+  auto m_a = core::EvaluateVideos(in_domain, plan.value().targets,
+                                  run_a.masks, {});
+
+  // Cross-domain deployment.
+  std::vector<const video::Video*> cross;
+  for (size_t i = 0; i < target.num_videos(); ++i) {
+    cross.push_back(&target.video(i));
+  }
+  auto run_b = executor.Localize(cross);
+  auto m_b = core::EvaluateVideos(cross, plan.value().targets, run_b.masks,
+                                  {});
+
+  std::printf("\n%-26s %8s %8s %12s\n", "evaluation", "F1", "recall",
+              "tput(fps)");
+  std::printf("%-26s %8.3f %8.3f %12.0f\n", "in-domain (BDD-like)", m_a.f1,
+              m_a.recall, run_a.ThroughputFps());
+  std::printf("%-26s %8.3f %8.3f %12.0f\n", "cross-domain (Cityscapes)",
+              m_b.f1, m_b.recall, run_b.ThroughputFps());
+  std::printf("\nexpect a modest accuracy drop under domain shift (the paper "
+              "measures ~2.5%%) while the throughput advantage persists.\n");
+  return 0;
+}

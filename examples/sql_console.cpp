@@ -1,0 +1,86 @@
+// SQL console: run action queries from the command line against a
+// registered dataset, including the extended grammar — IN-lists,
+// frame-range predicates, LIMIT, and EXPLAIN.
+//
+//   sql_console                          # runs a scripted demo session
+//   sql_console "EXPLAIN SELECT ..."     # runs the given queries in order
+//
+// Each query plans on first use and reuses the cached plan afterwards, so
+// an EXPLAIN followed by the same SELECT shows the plan once and then
+// executes without re-training.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/zeusdb.h"
+#include "video/dataset.h"
+
+namespace {
+
+void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
+  std::printf("\nzeus> %s\n", sql.c_str());
+  auto result = db.Execute("bdd", sql);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const auto& r = result.value();
+  if (!r.explanation.empty()) {
+    std::printf("%s\n", r.explanation.c_str());
+    return;
+  }
+  if (r.plan_seconds > 0) {
+    std::printf("(planned in %.1f s)\n", r.plan_seconds);
+  }
+  std::printf("%zu segment(s), F1=%.3f, %.0f fps\n", r.segments.size(),
+              r.metrics.f1, r.throughput_fps);
+  for (const auto& seg : r.segments) {
+    std::printf("  video %-4d [%5d, %5d)\n", seg.video_id, seg.start, seg.end);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using zeus::video::DatasetFamily;
+  using zeus::video::DatasetProfile;
+  using zeus::video::SyntheticDataset;
+
+  DatasetProfile profile =
+      DatasetProfile::ForFamily(DatasetFamily::kBdd100kLike);
+  profile.num_videos = 28;
+  profile.frames_per_video = 400;
+  profile.action_fraction = 0.12;
+  zeus::core::ZeusDb db;
+  auto st = db.RegisterDataset(
+      "bdd", SyntheticDataset::Generate(profile, /*seed=*/17));
+  if (!st.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<std::string> queries;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) queries.emplace_back(argv[i]);
+  } else {
+    queries = {
+        // Plan inspection first: shows the profiled configuration frontier
+        // and the trained agent without running the query.
+        "EXPLAIN SELECT segment_ids FROM UDF(video) "
+        "WHERE action_class = 'cross-right' AND accuracy >= 85%",
+        // Same query executed — the plan is already cached.
+        "SELECT segment_ids FROM UDF(video) "
+        "WHERE action_class = 'cross-right' AND accuracy >= 85%",
+        // Restrict to early frames and cap the result count.
+        "SELECT segment_ids FROM UDF(video) "
+        "WHERE action_class = 'cross-right' AND accuracy >= 85% "
+        "AND frame BETWEEN 0 AND 250 LIMIT 3",
+        // Multi-class query (§6.5): either crossing direction counts.
+        "SELECT segment_ids FROM UDF(video) WHERE action_class IN "
+        "('cross-right', 'cross-left') AND accuracy >= 80%",
+    };
+  }
+  for (const std::string& sql : queries) RunQuery(db, sql);
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "apfg/apfg.h"
+
+#include <algorithm>
+
+#include "apfg/segment_sampler.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace zeus::apfg {
+
+Apfg::Apfg(const ApfgTrainOptions& opts, bool model_reuse, common::Rng* rng)
+    : opts_(opts), model_reuse_(model_reuse), rng_(rng->Fork()) {
+  shared_model_ = std::make_unique<R3dLite>(opts_.model, &rng_);
+}
+
+void Apfg::SetSpecThreshold(const video::DecodeSpec& spec, float threshold) {
+  spec_thresholds_[SpecKey(spec)] = threshold;
+}
+
+float Apfg::ThresholdFor(const video::DecodeSpec& spec) const {
+  auto it = spec_thresholds_.find(SpecKey(spec));
+  return it == spec_thresholds_.end() ? decision_threshold_ : it->second;
+}
+
+R3dLite* Apfg::ModelFor(const video::DecodeSpec& spec) {
+  if (model_reuse_ || per_length_models_.empty()) return shared_model_.get();
+  auto it = per_length_models_.find(spec.segment_length);
+  if (it != per_length_models_.end()) return it->second.get();
+  return shared_model_.get();
+}
+
+common::Status Apfg::TrainOne(R3dLite* model,
+                              const std::vector<const video::Video*>& videos,
+                              const std::vector<video::ActionClass>& targets,
+                              const std::vector<video::DecodeSpec>& specs,
+                              ApfgTrainStats* stats) {
+  // One example pool per spec; a single shared model is trained on the
+  // mixture so that it serves every configuration of the space (the model
+  // reuse strategy of §5: the most accurate configuration dominates the
+  // mixture, faster ones appear enough to keep their inputs in
+  // distribution).
+  struct TaggedExample {
+    LabeledSegment ex;
+    size_t spec_idx;
+  };
+  std::vector<TaggedExample> examples;
+  for (size_t si = 0; si < specs.size(); ++si) {
+    auto pool = SampleSegments(videos, targets, specs[si], &rng_,
+                               opts_.neg_per_pos);
+    // The primary spec keeps its full pool; auxiliary specs are capped so
+    // that widening the mixture (one spec per knob value) does not blow up
+    // the epoch cost.
+    if (si != 0 && static_cast<int>(pool.size()) > opts_.max_aux_examples) {
+      pool.resize(static_cast<size_t>(opts_.max_aux_examples));
+    }
+    for (const LabeledSegment& ex : pool) examples.push_back({ex, si});
+  }
+  if (examples.empty()) {
+    return common::Status::FailedPrecondition(
+        "no training segments for APFG (videos too short?)");
+  }
+  nn::Adam optimizer(model->Parameters(), opts_.learning_rate);
+  float last_loss = 0.0f;
+  for (int epoch = 0; epoch < opts_.epochs; ++epoch) {
+    rng_.Shuffle(&examples);
+    // Batches must be shape-homogeneous: bucket the shuffled order by spec.
+    for (size_t si = 0; si < specs.size(); ++si) {
+      std::vector<const TaggedExample*> bucket;
+      for (const TaggedExample& te : examples) {
+        if (te.spec_idx == si) bucket.push_back(&te);
+      }
+      for (size_t off = 0; off < bucket.size();
+           off += static_cast<size_t>(opts_.batch_size)) {
+        size_t n = std::min(static_cast<size_t>(opts_.batch_size),
+                            bucket.size() - off);
+        std::vector<tensor::Tensor> segs;
+        std::vector<int> labels;
+        segs.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          const LabeledSegment& ex = bucket[off + i]->ex;
+          segs.push_back(video::SegmentDecoder::Decode(
+              *videos[static_cast<size_t>(ex.video_idx)], ex.start_frame,
+              specs[si]));
+          labels.push_back(ex.label);
+        }
+        tensor::Tensor batch = tensor::Stack(segs);
+        if (opts_.augment_noise > 0.0f) {
+          float* p = batch.data();
+          for (size_t i = 0; i < batch.size(); ++i) {
+            p[i] += opts_.augment_noise *
+                    static_cast<float>(rng_.NextGaussian());
+          }
+        }
+        tensor::Tensor logits = model->Logits(batch, /*train=*/true);
+        nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+        model->Backward(loss.grad);
+        optimizer.Step();
+        last_loss = loss.loss;
+      }
+    }
+  }
+  // Final training accuracy on the primary spec (capped subset).
+  size_t eval_n = 0;
+  std::vector<tensor::Tensor> segs;
+  std::vector<int> labels;
+  for (const TaggedExample& te : examples) {
+    if (te.spec_idx != 0 || eval_n >= 128) continue;
+    segs.push_back(video::SegmentDecoder::Decode(
+        *videos[static_cast<size_t>(te.ex.video_idx)], te.ex.start_frame,
+        specs[0]));
+    labels.push_back(te.ex.label);
+    ++eval_n;
+  }
+  tensor::Tensor logits = model->Logits(tensor::Stack(segs), false);
+  if (stats != nullptr) {
+    stats->final_loss = last_loss;
+    stats->train_accuracy = nn::Accuracy(logits, labels);
+    stats->num_examples = static_cast<int>(examples.size());
+  }
+  return common::Status::Ok();
+}
+
+common::Status Apfg::Train(const std::vector<const video::Video*>& videos,
+                           const std::vector<video::ActionClass>& targets,
+                           const video::DecodeSpec& best_spec,
+                           const std::vector<video::DecodeSpec>& all_specs,
+                           ApfgTrainStats* stats) {
+  if (videos.empty()) {
+    return common::Status::InvalidArgument("no training videos");
+  }
+  common::WallTimer timer;
+  // Training mixture for the shared model: the most accurate configuration
+  // first (it anchors the reported train accuracy), plus one spec per
+  // distinct resolution (at the best length/rate) and one per distinct
+  // sampling rate (at the best resolution/length). A single reused model
+  // must stay in-distribution across the whole knob grid; training only on
+  // grid corners leaves intermediate resolutions systematically
+  // mis-calibrated.
+  std::vector<video::DecodeSpec> mixture{best_spec};
+  auto differs = [&](const video::DecodeSpec& s) {
+    for (const video::DecodeSpec& m : mixture) {
+      if (m.resolution_px == s.resolution_px &&
+          m.segment_length == s.segment_length &&
+          m.sampling_rate == s.sampling_rate) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const video::DecodeSpec& s : all_specs) {
+    if (s.segment_length == best_spec.segment_length &&
+        s.sampling_rate == best_spec.sampling_rate && differs(s)) {
+      mixture.push_back(s);
+    }
+  }
+  for (const video::DecodeSpec& s : all_specs) {
+    if (s.segment_length == best_spec.segment_length &&
+        s.resolution_px == best_spec.resolution_px && differs(s)) {
+      mixture.push_back(s);
+    }
+  }
+  ZEUS_RETURN_IF_ERROR(
+      TrainOne(shared_model_.get(), videos, targets, mixture, stats));
+  if (!model_reuse_) {
+    // Ensemble mode: additionally train one model per distinct segment
+    // length among the provided specs.
+    for (const video::DecodeSpec& spec : all_specs) {
+      if (spec.segment_length == best_spec.segment_length) continue;
+      if (per_length_models_.count(spec.segment_length)) continue;
+      auto model = std::make_unique<R3dLite>(opts_.model, &rng_);
+      ApfgTrainStats ignored;
+      ZEUS_RETURN_IF_ERROR(
+          TrainOne(model.get(), videos, targets, {spec}, &ignored));
+      per_length_models_[spec.segment_length] = std::move(model);
+    }
+  }
+  if (stats != nullptr) stats->train_seconds = timer.ElapsedSeconds();
+  trained_ = true;
+  return common::Status::Ok();
+}
+
+Apfg::Output Apfg::Process(const video::Video& video, int start_frame,
+                           const video::DecodeSpec& spec) {
+  tensor::Tensor segment = video::SegmentDecoder::Decode(video, start_frame, spec);
+  std::vector<int> dims = segment.shape();
+  dims.insert(dims.begin(), 1);  // add batch dim
+  tensor::Tensor batch = segment.Reshape(dims);
+  return ProcessBatch(batch, spec)[0];
+}
+
+std::vector<Apfg::Output> Apfg::ProcessBatch(const tensor::Tensor& batch,
+                                             const video::DecodeSpec& spec) {
+  R3dLite* model = ModelFor(spec);
+  R3dLite::Output out = model->FeaturesAndLogits(batch);
+  tensor::Tensor probs = tensor::SoftmaxRows(out.logits);
+  const int n = batch.dim(0);
+  const int fd = feature_dim();
+  std::vector<Output> results(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Output& r = results[static_cast<size_t>(i)];
+    r.feature = tensor::Tensor({fd});
+    std::copy(out.features.data() + static_cast<size_t>(i) * fd,
+              out.features.data() + static_cast<size_t>(i + 1) * fd,
+              r.feature.data());
+    r.action_prob = probs[static_cast<size_t>(i) * 2 + 1];
+    r.prediction = r.action_prob > ThresholdFor(spec) ? 1 : 0;
+  }
+  return results;
+}
+
+}  // namespace zeus::apfg

@@ -1,0 +1,126 @@
+#ifndef ZEUS_APFG_APFG_H_
+#define ZEUS_APFG_APFG_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "apfg/r3d.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "video/dataset.h"
+#include "video/decoder.h"
+
+namespace zeus::apfg {
+
+// Training knobs for the APFG's supervised fine-tuning stage.
+struct ApfgTrainOptions {
+  int epochs = 16;
+  int batch_size = 16;
+  float learning_rate = 3e-3f;
+  double neg_per_pos = 1.5;
+  // Stddev of train-time Gaussian pixel noise, in standardized input units.
+  // Regularizes against the per-video background statistics that a small
+  // training corpus would otherwise let the classifier memorize.
+  float augment_noise = 0.15f;
+  // Cap on examples contributed by each non-primary decode spec in the
+  // training mixture (the primary spec is uncapped).
+  int max_aux_examples = 256;
+  R3dLite::Options model;
+};
+
+struct ApfgTrainStats {
+  float final_loss = 0.0f;
+  float train_accuracy = 0.0f;
+  int num_examples = 0;
+  double train_seconds = 0.0;
+};
+
+// Adaptive Proxy Feature Generator (§3). A collection of action recognition
+// models that generate ProxyFeatures for segments decoded under any
+// configuration. Two operating modes mirror §5 "Model reuse":
+//   - reuse (default): one R3dLite trained on the most accurate
+//     configuration processes every configuration;
+//   - ensemble: one model per segment-length bucket, each trained on
+//     segments of that shape.
+class Apfg {
+ public:
+  Apfg(const ApfgTrainOptions& opts, bool model_reuse, common::Rng* rng);
+
+  // Trains on the given videos for the target action classes. `best_spec`
+  // is the most accurate configuration's decode parameters (highest
+  // resolution, densest sampling). In ensemble mode, `all_specs` supplies
+  // one spec per model bucket.
+  common::Status Train(const std::vector<const video::Video*>& videos,
+                       const std::vector<video::ActionClass>& targets,
+                       const video::DecodeSpec& best_spec,
+                       const std::vector<video::DecodeSpec>& all_specs,
+                       ApfgTrainStats* stats);
+
+  // Output of one APFG invocation on one segment.
+  struct Output {
+    tensor::Tensor feature;  // {feature_dim}
+    int prediction = 0;      // 1 = ACTION
+    float action_prob = 0.5f;
+  };
+
+  // Decodes + processes the segment at `start_frame` of `video` under
+  // `spec`. This is the unit the cost model charges for.
+  Output Process(const video::Video& video, int start_frame,
+                 const video::DecodeSpec& spec);
+
+  // Processes an already-decoded segment batch {N,1,L,H,W}; returns one
+  // Output per row (used by tests and batch pre-extraction).
+  std::vector<Output> ProcessBatch(const tensor::Tensor& batch,
+                                   const video::DecodeSpec& spec);
+
+  int feature_dim() const { return opts_.model.feature_dim; }
+  bool model_reuse() const { return model_reuse_; }
+  bool trained() const { return trained_; }
+
+  // Marks the APFG as trained after loading checkpointed weights.
+  void MarkTrained() { trained_ = true; }
+
+  // Decision threshold on the classifier's action probability. Default 0.5;
+  // the query planner calibrates it on the validation split to maximize F1
+  // (recall-starved thresholds are the main failure mode when actions are
+  // rare).
+  float decision_threshold() const { return decision_threshold_; }
+  void set_decision_threshold(float t) { decision_threshold_ = t; }
+
+  // Per-configuration threshold override, calibrated by the configuration
+  // planner while profiling (§4.2): a single reused model is systematically
+  // over-confident on out-of-distribution fast configurations, so each
+  // decode shape gets its own operating point.
+  void SetSpecThreshold(const video::DecodeSpec& spec, float threshold);
+  float ThresholdFor(const video::DecodeSpec& spec) const;
+
+  // The model that serves `spec` (reuse mode: always the shared model).
+  R3dLite* ModelFor(const video::DecodeSpec& spec);
+
+ private:
+  common::Status TrainOne(R3dLite* model,
+                          const std::vector<const video::Video*>& videos,
+                          const std::vector<video::ActionClass>& targets,
+                          const std::vector<video::DecodeSpec>& specs,
+                          ApfgTrainStats* stats);
+
+  static uint32_t SpecKey(const video::DecodeSpec& spec) {
+    return (static_cast<uint32_t>(spec.resolution_px) << 16) |
+           (static_cast<uint32_t>(spec.segment_length) << 8) |
+           static_cast<uint32_t>(spec.sampling_rate);
+  }
+
+  ApfgTrainOptions opts_;
+  bool model_reuse_;
+  bool trained_ = false;
+  float decision_threshold_ = 0.5f;
+  std::map<uint32_t, float> spec_thresholds_;
+  common::Rng rng_;
+  std::unique_ptr<R3dLite> shared_model_;
+  std::map<int, std::unique_ptr<R3dLite>> per_length_models_;
+};
+
+}  // namespace zeus::apfg
+
+#endif  // ZEUS_APFG_APFG_H_

@@ -1,0 +1,69 @@
+#include "apfg/feature_cache.h"
+
+namespace zeus::apfg {
+
+uint64_t FeatureCache::Key(const video::Video& video, int start_frame,
+                           const video::DecodeSpec& spec) {
+  // Pack: video id (16b) | start (24b) | res (10b) | len (8b) | rate (6b).
+  uint64_t k = static_cast<uint64_t>(video.id() & 0xffff);
+  k = (k << 24) | static_cast<uint64_t>(start_frame & 0xffffff);
+  k = (k << 10) | static_cast<uint64_t>(spec.resolution_px & 0x3ff);
+  k = (k << 8) | static_cast<uint64_t>(spec.segment_length & 0xff);
+  k = (k << 6) | static_cast<uint64_t>(spec.sampling_rate & 0x3f);
+  return k;
+}
+
+const Apfg::Output& FeatureCache::Get(const video::Video& video,
+                                      int start_frame,
+                                      const video::DecodeSpec& spec) {
+  uint64_t key = Key(video, start_frame, spec);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto [ins, _] = cache_.emplace(key, apfg_->Process(video, start_frame, spec));
+  return ins->second;
+}
+
+void FeatureCache::Precompute(const video::Video& video,
+                              const video::DecodeSpec& spec, int alignment,
+                              size_t max_entries) {
+  for (int start = 0; start < video.num_frames(); start += alignment) {
+    if (cache_.size() >= max_entries) return;
+    Get(video, start, spec);
+  }
+}
+
+void FeatureCache::PrecomputeParallel(
+    const std::vector<const video::Video*>& videos,
+    const video::DecodeSpec& spec, int alignment, common::ThreadPool* pool) {
+  // Enumerate the (video, start) work items not yet cached.
+  struct Item {
+    const video::Video* video;
+    int start;
+  };
+  std::vector<Item> items;
+  for (const video::Video* v : videos) {
+    for (int start = 0; start < v->num_frames(); start += alignment) {
+      if (cache_.find(Key(*v, start, spec)) == cache_.end()) {
+        items.push_back({v, start});
+      }
+    }
+  }
+  std::vector<Apfg::Output> outputs(items.size());
+  common::ParallelFor(pool, static_cast<int>(items.size()),
+                      [&](int i) {
+                        const Item& it = items[static_cast<size_t>(i)];
+                        outputs[static_cast<size_t>(i)] =
+                            apfg_->Process(*it.video, it.start, spec);
+                      });
+  for (size_t i = 0; i < items.size(); ++i) {
+    cache_.emplace(Key(*items[i].video, items[i].start, spec),
+                   std::move(outputs[i]));
+    ++misses_;
+  }
+}
+
+}  // namespace zeus::apfg

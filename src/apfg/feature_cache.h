@@ -1,0 +1,58 @@
+#ifndef ZEUS_APFG_FEATURE_CACHE_H_
+#define ZEUS_APFG_FEATURE_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "apfg/apfg.h"
+#include "common/thread_pool.h"
+
+namespace zeus::apfg {
+
+// Memoizes APFG outputs keyed by (video id, start frame, decode spec) — the
+// "Pre-Processing" optimization of §5: during RL training the agent
+// repeatedly revisits the same (segment, configuration) pairs across
+// episodes, so features are computed once and replayed from the cache.
+class FeatureCache {
+ public:
+  explicit FeatureCache(Apfg* apfg) : apfg_(apfg) {}
+
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+
+  // Returns the (possibly cached) APFG output for this invocation.
+  const Apfg::Output& Get(const video::Video& video, int start_frame,
+                          const video::DecodeSpec& spec);
+
+  // Eagerly computes features for every position a traversal could visit:
+  // all starts that are multiples of `alignment`. Bounded by `max_entries`.
+  void Precompute(const video::Video& video, const video::DecodeSpec& spec,
+                  int alignment, size_t max_entries = 1 << 20);
+
+  // Parallel batch pre-extraction (§5: the paper batches feature
+  // extraction across GPUs to cut RL training time; here across CPU
+  // threads). APFG inference is read-only, so workers share the model;
+  // results are inserted under a single-threaded merge.
+  void PrecomputeParallel(const std::vector<const video::Video*>& videos,
+                          const video::DecodeSpec& spec, int alignment,
+                          common::ThreadPool* pool);
+
+  size_t size() const { return cache_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void Clear() { cache_.clear(); }
+
+ private:
+  static uint64_t Key(const video::Video& video, int start_frame,
+                      const video::DecodeSpec& spec);
+
+  Apfg* apfg_;
+  std::unordered_map<uint64_t, Apfg::Output> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace zeus::apfg
+
+#endif  // ZEUS_APFG_FEATURE_CACHE_H_

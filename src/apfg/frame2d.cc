@@ -1,0 +1,35 @@
+#include "apfg/frame2d.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace zeus::apfg {
+
+Frame2dNet::Frame2dNet(const Options& opts, common::Rng* rng) {
+  const int c = opts.base_channels;
+  nn::Conv2d::Options conv;
+  conv.kernel = {3, 3};
+  conv.stride = {2, 2};
+  conv.padding = {1, 1};
+  net_.Emplace<nn::Conv2d>(opts.in_channels, c, conv, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::Conv2d>(c, 2 * c, conv, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::GlobalAvgPool>();
+  net_.Emplace<nn::Linear>(2 * c, 2 * c, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::Linear>(2 * c, opts.num_classes, rng);
+}
+
+tensor::Tensor Frame2dNet::Logits(const tensor::Tensor& frame_batch,
+                                  bool train) {
+  return net_.Forward(frame_batch, train);
+}
+
+void Frame2dNet::Backward(const tensor::Tensor& grad_logits) {
+  net_.Backward(grad_logits);
+}
+
+}  // namespace zeus::apfg

@@ -1,0 +1,34 @@
+#ifndef ZEUS_APFG_FRAME2D_H_
+#define ZEUS_APFG_FRAME2D_H_
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace zeus::apfg {
+
+// Per-frame 2-D CNN classifier used by the Frame-PP baseline (the 2D
+// ResNet-18 analogue). Input {N, 1, H, W}, output binary logits. Roughly
+// 5.9x cheaper per invocation than R3dLite at the same resolution, matching
+// the paper's measured 2D/3D cost ratio (§2, §6.2).
+class Frame2dNet {
+ public:
+  struct Options {
+    int in_channels = 1;
+    int base_channels = 8;
+    int num_classes = 2;
+  };
+
+  Frame2dNet(const Options& opts, common::Rng* rng);
+
+  tensor::Tensor Logits(const tensor::Tensor& frame_batch, bool train);
+  void Backward(const tensor::Tensor& grad_logits);
+  std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
+  nn::Sequential& net() { return net_; }
+
+ private:
+  nn::Sequential net_;
+};
+
+}  // namespace zeus::apfg
+
+#endif  // ZEUS_APFG_FRAME2D_H_

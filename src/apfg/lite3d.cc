@@ -1,0 +1,30 @@
+#include "apfg/lite3d.h"
+
+#include "nn/activations.h"
+#include "nn/conv3d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace zeus::apfg {
+
+LiteSegmentNet::LiteSegmentNet(const Options& opts, common::Rng* rng) {
+  nn::Conv3d::Options conv;
+  conv.kernel = {3, 3, 3};
+  conv.stride = {2, 4, 4};
+  conv.padding = {1, 1, 1};
+  net_.Emplace<nn::Conv3d>(opts.in_channels, opts.channels, conv, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::GlobalAvgPool>();
+  net_.Emplace<nn::Linear>(opts.channels, opts.num_classes, rng);
+}
+
+tensor::Tensor LiteSegmentNet::Logits(const tensor::Tensor& segment_batch,
+                                      bool train) {
+  return net_.Forward(segment_batch, train);
+}
+
+void LiteSegmentNet::Backward(const tensor::Tensor& grad_logits) {
+  net_.Backward(grad_logits);
+}
+
+}  // namespace zeus::apfg

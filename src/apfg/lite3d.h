@@ -1,0 +1,34 @@
+#ifndef ZEUS_APFG_LITE3D_H_
+#define ZEUS_APFG_LITE3D_H_
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace zeus::apfg {
+
+// Deliberately lightweight 3-D filter used by the Segment-PP baseline: a
+// single aggressive-stride conv block. It is cheap (the point of a
+// probabilistic predicate) but has too little capacity to model complex
+// action signatures, reproducing the paper's finding that Segment-PP
+// collapses on hard classes (§6.2).
+class LiteSegmentNet {
+ public:
+  struct Options {
+    int in_channels = 1;
+    int channels = 4;
+    int num_classes = 2;
+  };
+
+  LiteSegmentNet(const Options& opts, common::Rng* rng);
+
+  tensor::Tensor Logits(const tensor::Tensor& segment_batch, bool train);
+  void Backward(const tensor::Tensor& grad_logits);
+  std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
+
+ private:
+  nn::Sequential net_;
+};
+
+}  // namespace zeus::apfg
+
+#endif  // ZEUS_APFG_LITE3D_H_

@@ -1,0 +1,60 @@
+#include "apfg/r3d.h"
+
+#include "nn/activations.h"
+#include "nn/conv3d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+
+namespace zeus::apfg {
+
+R3dLite::R3dLite(const Options& opts, common::Rng* rng) : opts_(opts) {
+  const int c = opts.base_channels;
+  // Stem: spatial downsample only, preserving temporal length (the R3D stem
+  // uses a {3x7x7} kernel with spatial stride 2).
+  nn::Conv3d::Options stem;
+  stem.kernel = {3, 3, 3};
+  stem.stride = {1, 2, 2};
+  stem.padding = {1, 1, 1};
+  net_.Emplace<nn::Conv3d>(opts.in_channels, c, stem, rng);
+  net_.Emplace<nn::ReLU>();
+  // Two spatio-temporal blocks with stride-2 in all dims.
+  nn::Conv3d::Options block;
+  block.kernel = {3, 3, 3};
+  block.stride = {2, 2, 2};
+  block.padding = {1, 1, 1};
+  net_.Emplace<nn::Conv3d>(c, 2 * c, block, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::Conv3d>(2 * c, 4 * c, block, rng);
+  net_.Emplace<nn::ReLU>();
+  // Adaptive average pool to {N, 4c}.
+  net_.Emplace<nn::GlobalAvgPool>();
+  // Feature head (the three added FC layers of §5, condensed to one hidden
+  // layer at this scale). ProxyFeature taps the output of the ReLU below.
+  net_.Emplace<nn::Linear>(4 * c, opts.feature_dim, rng);
+  net_.Emplace<nn::ReLU>();
+  feature_tap_ = net_.NumLayers();
+  // Classifier head.
+  net_.Emplace<nn::Linear>(opts.feature_dim, opts.num_classes, rng);
+}
+
+tensor::Tensor R3dLite::Logits(const tensor::Tensor& segment_batch,
+                               bool train) {
+  return net_.Forward(segment_batch, train);
+}
+
+tensor::Tensor R3dLite::Features(const tensor::Tensor& segment_batch) {
+  return net_.ForwardPrefix(segment_batch, feature_tap_, /*train=*/false);
+}
+
+R3dLite::Output R3dLite::FeaturesAndLogits(const tensor::Tensor& segment_batch) {
+  Output out;
+  out.features = net_.ForwardPrefix(segment_batch, feature_tap_, false);
+  out.logits = net_.ForwardSuffix(out.features, feature_tap_, false);
+  return out;
+}
+
+void R3dLite::Backward(const tensor::Tensor& grad_logits) {
+  net_.Backward(grad_logits);
+}
+
+}  // namespace zeus::apfg

@@ -1,0 +1,63 @@
+#ifndef ZEUS_APFG_R3D_H_
+#define ZEUS_APFG_R3D_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace zeus::apfg {
+
+// Scaled-down analogue of the R3D-18 action recognition network (Fig. 3 of
+// the paper): a stack of spatio-temporal 3-D convolutions, adaptive average
+// pooling, a fully-connected feature head (the ProxyFeature tap) and a
+// binary classification head. Accepts segments of any (L, H, W) — global
+// average pooling absorbs the spatial/temporal extent, which is what lets a
+// single trained model process every configuration (the "model reuse"
+// optimization of §5).
+class R3dLite {
+ public:
+  struct Options {
+    int in_channels = 1;
+    int base_channels = 8;   // channels of the first conv block
+    int feature_dim = 32;    // ProxyFeature width (paper: 512)
+    int num_classes = 2;     // binary: action / no-action
+  };
+
+  R3dLite(const Options& opts, common::Rng* rng);
+
+  // Full forward pass to logits {N, num_classes}.
+  tensor::Tensor Logits(const tensor::Tensor& segment_batch, bool train);
+
+  // ProxyFeature {N, feature_dim}: forward through the convolutional trunk
+  // and the feature head only.
+  tensor::Tensor Features(const tensor::Tensor& segment_batch);
+
+  // Both at once, sharing the trunk computation (inference only).
+  struct Output {
+    tensor::Tensor features;  // {N, feature_dim}
+    tensor::Tensor logits;    // {N, num_classes}
+  };
+  Output FeaturesAndLogits(const tensor::Tensor& segment_batch);
+
+  // Backward for a full Logits(.., train=true) pass.
+  void Backward(const tensor::Tensor& grad_logits);
+
+  std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
+  nn::Sequential& net() { return net_; }
+
+  const Options& options() const { return opts_; }
+  size_t ParameterCount() { return nn::ParameterCount(net_.Parameters()); }
+
+  common::Status Save(const std::string& path) { return net_.SaveWeights(path); }
+  common::Status Load(const std::string& path) { return net_.LoadWeights(path); }
+
+ private:
+  Options opts_;
+  nn::Sequential net_;
+  size_t feature_tap_ = 0;  // layer count producing the ProxyFeature
+};
+
+}  // namespace zeus::apfg
+
+#endif  // ZEUS_APFG_R3D_H_

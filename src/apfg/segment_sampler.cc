@@ -1,0 +1,92 @@
+#include "apfg/segment_sampler.h"
+
+#include <algorithm>
+
+namespace zeus::apfg {
+
+int SegmentLabel(const video::Video& video, int start_frame, int num_frames,
+                 const std::vector<video::ActionClass>& targets,
+                 double iou_threshold) {
+  int end = std::min(video.num_frames(), start_frame + num_frames);
+  int begin = std::max(0, start_frame);
+  if (end <= begin) return 0;
+  int hits = 0;
+  for (int f = begin; f < end; ++f) {
+    if (video.IsActionAny(f, targets)) ++hits;
+  }
+  return (static_cast<double>(hits) / (end - begin)) > iou_threshold ? 1 : 0;
+}
+
+std::vector<LabeledSegment> SampleSegments(
+    const std::vector<const video::Video*>& videos,
+    const std::vector<video::ActionClass>& targets,
+    const video::DecodeSpec& spec, common::Rng* rng, double neg_per_pos) {
+  std::vector<LabeledSegment> positives, hard_negatives, negatives;
+  const int covered = video::SegmentDecoder::CoveredFrames(spec);
+  const int stride = std::max(1, covered / 2);
+  for (size_t vi = 0; vi < videos.size(); ++vi) {
+    const video::Video& v = *videos[vi];
+    for (int start = 0; start + covered <= v.num_frames(); start += stride) {
+      LabeledSegment ex;
+      ex.video_idx = static_cast<int>(vi);
+      ex.start_frame = start;
+      ex.label = SegmentLabel(v, start, covered, targets);
+      if (ex.label) {
+        positives.push_back(ex);
+        continue;
+      }
+      // Hard negatives: windows overlapping an action of a *different*
+      // class. These are the decoys that cost precision at query time
+      // (e.g. CrossLeft windows for a CrossRight query), so the sampler
+      // always keeps them instead of leaving them to the random draw.
+      bool other_action = false;
+      int end = std::min(v.num_frames(), start + covered);
+      for (int f = start; f < end && !other_action; ++f) {
+        video::ActionClass cls = v.Label(f);
+        other_action = cls != video::ActionClass::kNone &&
+                       std::find(targets.begin(), targets.end(), cls) ==
+                           targets.end();
+      }
+      (other_action ? hard_negatives : negatives).push_back(ex);
+    }
+  }
+  rng->Shuffle(&negatives);
+  size_t keep = std::min(
+      negatives.size(),
+      static_cast<size_t>(neg_per_pos * static_cast<double>(positives.size())) +
+          8);
+  negatives.resize(keep);
+  positives.insert(positives.end(), hard_negatives.begin(),
+                   hard_negatives.end());
+  positives.insert(positives.end(), negatives.begin(), negatives.end());
+  rng->Shuffle(&positives);
+  return positives;
+}
+
+std::vector<LabeledSegment> SampleFrames(
+    const std::vector<const video::Video*>& videos,
+    const std::vector<video::ActionClass>& targets, int stride,
+    common::Rng* rng, double neg_per_pos) {
+  std::vector<LabeledSegment> positives, negatives;
+  for (size_t vi = 0; vi < videos.size(); ++vi) {
+    const video::Video& v = *videos[vi];
+    for (int f = 0; f < v.num_frames(); f += stride) {
+      LabeledSegment ex;
+      ex.video_idx = static_cast<int>(vi);
+      ex.start_frame = f;
+      ex.label = v.IsActionAny(f, targets) ? 1 : 0;
+      (ex.label ? positives : negatives).push_back(ex);
+    }
+  }
+  rng->Shuffle(&negatives);
+  size_t keep = std::min(
+      negatives.size(),
+      static_cast<size_t>(neg_per_pos * static_cast<double>(positives.size())) +
+          8);
+  negatives.resize(keep);
+  positives.insert(positives.end(), negatives.begin(), negatives.end());
+  rng->Shuffle(&positives);
+  return positives;
+}
+
+}  // namespace zeus::apfg

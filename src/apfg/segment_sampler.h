@@ -1,0 +1,43 @@
+#ifndef ZEUS_APFG_SEGMENT_SAMPLER_H_
+#define ZEUS_APFG_SEGMENT_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "video/dataset.h"
+#include "video/decoder.h"
+
+namespace zeus::apfg {
+
+// One supervised training example: a decoded segment (or frame) and its
+// binary action label.
+struct LabeledSegment {
+  int video_idx = 0;
+  int start_frame = 0;
+  int label = 0;  // 1 = action (IoU > 0.5 against the target classes)
+};
+
+// Ground-truth labeling rule of §2.1: a window is positive when the target
+// action covers more than `iou_threshold` of it.
+int SegmentLabel(const video::Video& video, int start_frame, int num_frames,
+                 const std::vector<video::ActionClass>& targets,
+                 double iou_threshold = 0.5);
+
+// Builds a class-balanced list of segment positions for supervised APFG
+// training: slides over each video with stride = covered/2, keeps all
+// positives, and subsamples negatives to `neg_per_pos` per positive.
+std::vector<LabeledSegment> SampleSegments(
+    const std::vector<const video::Video*>& videos,
+    const std::vector<video::ActionClass>& targets,
+    const video::DecodeSpec& spec, common::Rng* rng, double neg_per_pos = 1.5);
+
+// Builds a balanced list of single-frame examples for Frame-PP training.
+std::vector<LabeledSegment> SampleFrames(
+    const std::vector<const video::Video*>& videos,
+    const std::vector<video::ActionClass>& targets, int stride,
+    common::Rng* rng, double neg_per_pos = 1.5);
+
+}  // namespace zeus::apfg
+
+#endif  // ZEUS_APFG_SEGMENT_SAMPLER_H_

@@ -1,0 +1,106 @@
+#include "baselines/frame_pp.h"
+
+#include <algorithm>
+
+#include "apfg/segment_sampler.h"
+#include "common/timer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "video/decoder.h"
+
+namespace zeus::baselines {
+
+namespace {
+
+// Decodes a single frame into a {1, r, r} tensor (one batch sample).
+tensor::Tensor DecodeFrame(const video::Video& v, int frame, int res) {
+  video::DecodeSpec spec;
+  spec.resolution_px = res;
+  spec.segment_length = 1;
+  spec.sampling_rate = 1;
+  tensor::Tensor t = video::SegmentDecoder::Decode(v, frame, spec);
+  return t.Reshape({1, res, res});
+}
+
+}  // namespace
+
+FramePp::FramePp(const Options& opts, const core::CostModel& cost_model,
+                 std::vector<video::ActionClass> targets, common::Rng* rng)
+    : opts_(opts),
+      cost_model_(cost_model),
+      targets_(std::move(targets)),
+      rng_(rng->Fork()) {
+  net_ = std::make_unique<apfg::Frame2dNet>(opts_.model, &rng_);
+}
+
+common::Status FramePp::Train(const std::vector<const video::Video*>& videos,
+                              double* train_seconds) {
+  common::WallTimer timer;
+  auto examples = apfg::SampleFrames(videos, targets_,
+                                     opts_.train_frame_stride, &rng_,
+                                     opts_.neg_per_pos);
+  if (examples.empty()) {
+    return common::Status::FailedPrecondition("no frame examples");
+  }
+  nn::Adam optimizer(net_->Parameters(), opts_.learning_rate);
+  for (int epoch = 0; epoch < opts_.train_epochs; ++epoch) {
+    rng_.Shuffle(&examples);
+    for (size_t off = 0; off < examples.size();
+         off += static_cast<size_t>(opts_.batch_size)) {
+      size_t n = std::min(static_cast<size_t>(opts_.batch_size),
+                          examples.size() - off);
+      std::vector<tensor::Tensor> frames;
+      std::vector<int> labels;
+      for (size_t i = 0; i < n; ++i) {
+        const auto& ex = examples[off + i];
+        frames.push_back(DecodeFrame(*videos[static_cast<size_t>(ex.video_idx)],
+                                     ex.start_frame, opts_.resolution_px));
+        labels.push_back(ex.label);
+      }
+      tensor::Tensor batch = tensor::Stack(frames);
+      tensor::Tensor logits = net_->Logits(batch, /*train=*/true);
+      nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+      net_->Backward(loss.grad);
+      optimizer.Step();
+    }
+  }
+  if (train_seconds != nullptr) *train_seconds = timer.ElapsedSeconds();
+  return common::Status::Ok();
+}
+
+core::RunResult FramePp::Localize(
+    const std::vector<const video::Video*>& videos) {
+  common::WallTimer timer;
+  core::RunResult result;
+  const int res = opts_.resolution_px;
+  const double frame_cost = cost_model_.FrameCost(opts_.nominal_resolution);
+  const int batch_size = 64;
+  for (const video::Video* vp : videos) {
+    const video::Video& v = *vp;
+    core::FrameMask mask(static_cast<size_t>(v.num_frames()), 0);
+    for (int f0 = 0; f0 < v.num_frames(); f0 += batch_size) {
+      int n = std::min(batch_size, v.num_frames() - f0);
+      std::vector<tensor::Tensor> frames;
+      frames.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        frames.push_back(DecodeFrame(v, f0 + i, res));
+      }
+      tensor::Tensor logits =
+          net_->Logits(tensor::Stack(frames), /*train=*/false);
+      for (int i = 0; i < n; ++i) {
+        bool pred = logits[static_cast<size_t>(i) * 2 + 1] >
+                    logits[static_cast<size_t>(i) * 2];
+        mask[static_cast<size_t>(f0 + i)] = pred ? 1 : 0;
+      }
+      result.invocations += n;
+      result.gpu_seconds += frame_cost * n;
+    }
+    result.total_frames += v.num_frames();
+    result.masks.push_back(std::move(mask));
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace zeus::baselines

@@ -1,0 +1,54 @@
+#ifndef ZEUS_BASELINES_FRAME_PP_H_
+#define ZEUS_BASELINES_FRAME_PP_H_
+
+#include <memory>
+#include <vector>
+
+#include "apfg/frame2d.h"
+#include "common/rng.h"
+#include "core/cost_model.h"
+#include "core/localizer.h"
+#include "video/decoder.h"
+
+namespace zeus::baselines {
+
+// Frame-PP (§1, Fig. 2a): a per-frame 2-D CNN classifier, the frame-level
+// probabilistic-predicate technique of existing VDBMSs applied to action
+// queries. It classifies every frame independently at the most accurate
+// resolution — fast per invocation, but blind to temporal context, which is
+// exactly why its F1 collapses on action queries (§6.2).
+class FramePp : public core::Localizer {
+ public:
+  struct Options {
+    int nominal_resolution = 300;  // most accurate available (for the query)
+    int resolution_px = 30;
+    int train_epochs = 4;
+    int batch_size = 32;
+    float learning_rate = 3e-3f;
+    double neg_per_pos = 1.5;
+    int train_frame_stride = 3;
+    apfg::Frame2dNet::Options model;
+  };
+
+  FramePp(const Options& opts, const core::CostModel& cost_model,
+          std::vector<video::ActionClass> targets, common::Rng* rng);
+
+  // Supervised training on per-frame labels.
+  common::Status Train(const std::vector<const video::Video*>& videos,
+                       double* train_seconds = nullptr);
+
+  core::RunResult Localize(
+      const std::vector<const video::Video*>& videos) override;
+  std::string name() const override { return "Frame-PP"; }
+
+ private:
+  Options opts_;
+  core::CostModel cost_model_;
+  std::vector<video::ActionClass> targets_;
+  common::Rng rng_;
+  std::unique_ptr<apfg::Frame2dNet> net_;
+};
+
+}  // namespace zeus::baselines
+
+#endif  // ZEUS_BASELINES_FRAME_PP_H_

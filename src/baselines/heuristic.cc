@@ -1,0 +1,69 @@
+#include "baselines/heuristic.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace zeus::baselines {
+
+ZeusHeuristic::ZeusHeuristic(const Options& opts,
+                             const core::ConfigurationSpace* space,
+                             apfg::FeatureCache* cache)
+    : opts_(opts), space_(space), cache_(cache) {
+  fast_id_ = space_->FastestId();
+  slow_id_ = space_->SlowestId();
+  // Mid: the configuration with the median effective throughput.
+  std::vector<int> ids;
+  for (const core::Configuration& c : space_->configs()) ids.push_back(c.id);
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return space_->config(a).throughput_fps < space_->config(b).throughput_fps;
+  });
+  mid_id_ = ids[ids.size() / 2];
+}
+
+core::RunResult ZeusHeuristic::Localize(
+    const std::vector<const video::Video*>& videos) {
+  common::WallTimer timer;
+  core::RunResult result;
+  for (const video::Video* vp : videos) {
+    const video::Video& v = *vp;
+    core::FrameMask mask(static_cast<size_t>(v.num_frames()), 0);
+    int position = 0;
+    int current = slow_id_;  // start with the most accurate configuration
+    int consecutive_no_action = 0;
+    bool prev_prediction = false;
+    bool first = true;
+    while (position < v.num_frames()) {
+      const core::Configuration& c = space_->config(current);
+      const apfg::Apfg::Output& out = cache_->Get(v, position, c.spec);
+      int end = std::min(v.num_frames(), position + c.CoveredFrames());
+      result.gpu_seconds += c.gpu_seconds_per_invocation;
+      ++result.invocations;
+      result.frames_per_config[c.id] += end - position;
+      bool prediction = out.prediction != 0;
+      if (prediction) {
+        for (int f = position; f < end; ++f) mask[static_cast<size_t>(f)] = 1;
+        consecutive_no_action = 0;
+      } else {
+        ++consecutive_no_action;
+      }
+      // Rule set of §6.1.
+      if (prediction) {
+        current = slow_id_;  // rule (1)
+      } else if (!first && prev_prediction) {
+        current = mid_id_;  // rule (2): ACTION -> NO-ACTION flip
+      } else if (consecutive_no_action >= opts_.fast_after) {
+        current = fast_id_;  // rule (3)
+      }
+      prev_prediction = prediction;
+      first = false;
+      position = end;
+    }
+    result.total_frames += v.num_frames();
+    result.masks.push_back(std::move(mask));
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace zeus::baselines

@@ -1,0 +1,52 @@
+#ifndef ZEUS_BASELINES_HEURISTIC_H_
+#define ZEUS_BASELINES_HEURISTIC_H_
+
+#include <vector>
+
+#include "apfg/feature_cache.h"
+#include "core/configuration.h"
+#include "core/localizer.h"
+
+namespace zeus::baselines {
+
+// Zeus-Heuristic (§1, §6.1): dynamic configuration selection driven by
+// hard-coded rules instead of a learned policy:
+//   (1) use the slowest configuration while the APFG predicts ACTION;
+//   (2) drop to a mid configuration when the prediction flips from ACTION
+//       to NO-ACTION;
+//   (3) jump to the fastest configuration after `fast_after` consecutive
+//       NO-ACTION steps.
+// The rules have no handle on the accuracy target, which is the property
+// the paper's evaluation repeatedly exposes (§6.2, §6.8).
+class ZeusHeuristic : public core::Localizer {
+ public:
+  struct Options {
+    int fast_after = 10;  // consecutive NO-ACTION steps before rule (3)
+  };
+
+  // `space` must have costs attached. The heuristic internally uses the
+  // {fastest, median, slowest} levels of the given space, matching the
+  // paper's use of a configuration subset.
+  ZeusHeuristic(const Options& opts, const core::ConfigurationSpace* space,
+                apfg::FeatureCache* cache);
+
+  core::RunResult Localize(
+      const std::vector<const video::Video*>& videos) override;
+  std::string name() const override { return "Zeus-Heuristic"; }
+
+  int fast_id() const { return fast_id_; }
+  int mid_id() const { return mid_id_; }
+  int slow_id() const { return slow_id_; }
+
+ private:
+  Options opts_;
+  const core::ConfigurationSpace* space_;
+  apfg::FeatureCache* cache_;
+  int fast_id_ = 0;
+  int mid_id_ = 0;
+  int slow_id_ = 0;
+};
+
+}  // namespace zeus::baselines
+
+#endif  // ZEUS_BASELINES_HEURISTIC_H_

@@ -1,0 +1,103 @@
+#include "baselines/segment_pp.h"
+
+#include <algorithm>
+
+#include "apfg/segment_sampler.h"
+#include "common/timer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "video/decoder.h"
+
+namespace zeus::baselines {
+
+SegmentPp::SegmentPp(const Options& opts, const core::CostModel& cost_model,
+                     const core::Configuration& config, apfg::Apfg* apfg,
+                     std::vector<video::ActionClass> targets,
+                     common::Rng* rng)
+    : opts_(opts),
+      cost_model_(cost_model),
+      config_(config),
+      apfg_(apfg),
+      targets_(std::move(targets)),
+      rng_(rng->Fork()) {
+  filter_ = std::make_unique<apfg::LiteSegmentNet>(opts_.model, &rng_);
+}
+
+common::Status SegmentPp::Train(
+    const std::vector<const video::Video*>& videos, double* train_seconds) {
+  common::WallTimer timer;
+  auto examples = apfg::SampleSegments(videos, targets_, config_.spec, &rng_,
+                                       opts_.neg_per_pos);
+  if (examples.empty()) {
+    return common::Status::FailedPrecondition("no segment examples");
+  }
+  nn::Adam optimizer(filter_->Parameters(), opts_.learning_rate);
+  for (int epoch = 0; epoch < opts_.train_epochs; ++epoch) {
+    rng_.Shuffle(&examples);
+    for (size_t off = 0; off < examples.size();
+         off += static_cast<size_t>(opts_.batch_size)) {
+      size_t n = std::min(static_cast<size_t>(opts_.batch_size),
+                          examples.size() - off);
+      std::vector<tensor::Tensor> segs;
+      std::vector<int> labels;
+      for (size_t i = 0; i < n; ++i) {
+        const auto& ex = examples[off + i];
+        segs.push_back(video::SegmentDecoder::Decode(
+            *videos[static_cast<size_t>(ex.video_idx)], ex.start_frame,
+            config_.spec));
+        labels.push_back(ex.label);
+      }
+      tensor::Tensor logits =
+          filter_->Logits(tensor::Stack(segs), /*train=*/true);
+      nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+      filter_->Backward(loss.grad);
+      optimizer.Step();
+    }
+  }
+  if (train_seconds != nullptr) *train_seconds = timer.ElapsedSeconds();
+  return common::Status::Ok();
+}
+
+core::RunResult SegmentPp::Localize(
+    const std::vector<const video::Video*>& videos) {
+  common::WallTimer timer;
+  core::RunResult result;
+  const int covered = config_.CoveredFrames();
+  const double lite_cost = cost_model_.LiteSegmentCost(
+      config_.nominal_resolution, config_.nominal_segment_length);
+  const double full_cost = config_.gpu_seconds_per_invocation > 0.0
+                               ? config_.gpu_seconds_per_invocation
+                               : cost_model_.SegmentCost(
+                                     config_.nominal_resolution,
+                                     config_.nominal_segment_length);
+  for (const video::Video* vp : videos) {
+    const video::Video& v = *vp;
+    core::FrameMask mask(static_cast<size_t>(v.num_frames()), 0);
+    for (int start = 0; start < v.num_frames(); start += covered) {
+      tensor::Tensor seg = video::SegmentDecoder::Decode(v, start, config_.spec);
+      std::vector<int> dims = seg.shape();
+      dims.insert(dims.begin(), 1);
+      tensor::Tensor batch = seg.Reshape(dims);
+      tensor::Tensor logits = filter_->Logits(batch, /*train=*/false);
+      tensor::Tensor probs = tensor::SoftmaxRows(logits);
+      result.gpu_seconds += lite_cost;
+      ++result.invocations;
+      if (probs[1] < opts_.filter_threshold) continue;  // filtered out
+      // Verification by the full model.
+      apfg::Apfg::Output out = apfg_->Process(v, start, config_.spec);
+      result.gpu_seconds += full_cost;
+      ++result.invocations;
+      if (out.prediction) {
+        int end = std::min(v.num_frames(), start + covered);
+        for (int f = start; f < end; ++f) mask[static_cast<size_t>(f)] = 1;
+      }
+    }
+    result.total_frames += v.num_frames();
+    result.masks.push_back(std::move(mask));
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace zeus::baselines

@@ -1,0 +1,60 @@
+#ifndef ZEUS_BASELINES_SEGMENT_PP_H_
+#define ZEUS_BASELINES_SEGMENT_PP_H_
+
+#include <memory>
+#include <vector>
+
+#include "apfg/apfg.h"
+#include "apfg/lite3d.h"
+#include "common/rng.h"
+#include "core/configuration.h"
+#include "core/cost_model.h"
+#include "core/localizer.h"
+
+namespace zeus::baselines {
+
+// Segment-PP (§1): extends frame-level probabilistic predicates to
+// segments. A lightweight 3-D filter scans all non-overlapping segments and
+// discards those predicted negative; the surviving segments are verified by
+// the full R3D model (the trained APFG). Cheap, but the filter lacks the
+// capacity for complex action signatures (§6.2).
+class SegmentPp : public core::Localizer {
+ public:
+  struct Options {
+    int train_epochs = 4;
+    int batch_size = 16;
+    float learning_rate = 3e-3f;
+    double neg_per_pos = 1.5;
+    // Filter pass threshold on the lite model's action probability: below
+    // this the segment is dropped without verification.
+    float filter_threshold = 0.35f;
+    apfg::LiteSegmentNet::Options model;
+  };
+
+  // `apfg` is the already-trained full model used for verification;
+  // `config` is the configuration both stages run at (the planner hands the
+  // most accurate one, mirroring the paper's setup).
+  SegmentPp(const Options& opts, const core::CostModel& cost_model,
+            const core::Configuration& config, apfg::Apfg* apfg,
+            std::vector<video::ActionClass> targets, common::Rng* rng);
+
+  common::Status Train(const std::vector<const video::Video*>& videos,
+                       double* train_seconds = nullptr);
+
+  core::RunResult Localize(
+      const std::vector<const video::Video*>& videos) override;
+  std::string name() const override { return "Segment-PP"; }
+
+ private:
+  Options opts_;
+  core::CostModel cost_model_;
+  core::Configuration config_;
+  apfg::Apfg* apfg_;
+  std::vector<video::ActionClass> targets_;
+  common::Rng rng_;
+  std::unique_ptr<apfg::LiteSegmentNet> filter_;
+};
+
+}  // namespace zeus::baselines
+
+#endif  // ZEUS_BASELINES_SEGMENT_PP_H_

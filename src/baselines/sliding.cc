@@ -1,0 +1,70 @@
+#include "baselines/sliding.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+
+namespace zeus::baselines {
+
+ZeusSliding::ZeusSliding(const core::Configuration& config, apfg::Apfg* apfg,
+                         const core::CostModel& cost_model)
+    : config_(config), apfg_(apfg), cost_model_(cost_model) {
+  if (config_.gpu_seconds_per_invocation <= 0.0) {
+    config_.gpu_seconds_per_invocation = cost_model_.SegmentCost(
+        config_.nominal_resolution, config_.nominal_segment_length);
+  }
+}
+
+core::RunResult ZeusSliding::Localize(
+    const std::vector<const video::Video*>& videos) {
+  common::WallTimer timer;
+  core::RunResult result;
+  const int covered = config_.CoveredFrames();
+  for (const video::Video* vp : videos) {
+    const video::Video& v = *vp;
+    core::FrameMask mask(static_cast<size_t>(v.num_frames()), 0);
+    for (int start = 0; start < v.num_frames(); start += covered) {
+      apfg::Apfg::Output out = apfg_->Process(v, start, config_.spec);
+      result.gpu_seconds += config_.gpu_seconds_per_invocation;
+      ++result.invocations;
+      int end = std::min(v.num_frames(), start + covered);
+      result.frames_per_config[config_.id] += end - start;
+      if (out.prediction) {
+        for (int f = start; f < end; ++f) mask[static_cast<size_t>(f)] = 1;
+      }
+    }
+    result.total_frames += v.num_frames();
+    result.masks.push_back(std::move(mask));
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+int PickSlidingConfig(const core::ConfigurationSpace& space, double target) {
+  // Validation F1 is estimated from a few hundred sampled windows, so a
+  // configuration that *barely* clears the target is as likely as not to
+  // miss it at execution time. The planner therefore requires a margin of
+  // one estimator standard error (~0.05 at profiling sample sizes) — this
+  // is what makes Zeus-Sliding land at-or-above the target in the paper's
+  // experiments instead of under-shooting on fast, optimistically-profiled
+  // configurations.
+  constexpr double kEstimatorMargin = 0.05;
+  int best = -1;
+  double best_tput = -1.0;
+  int most_accurate = 0;
+  double best_f1 = -1.0;
+  for (const core::Configuration& c : space.configs()) {
+    if (c.validation_f1 > best_f1) {
+      best_f1 = c.validation_f1;
+      most_accurate = c.id;
+    }
+    if (c.validation_f1 >= target + kEstimatorMargin &&
+        c.throughput_fps > best_tput) {
+      best_tput = c.throughput_fps;
+      best = c.id;
+    }
+  }
+  return best >= 0 ? best : most_accurate;
+}
+
+}  // namespace zeus::baselines

@@ -1,0 +1,42 @@
+#ifndef ZEUS_BASELINES_SLIDING_H_
+#define ZEUS_BASELINES_SLIDING_H_
+
+#include <vector>
+
+#include "apfg/apfg.h"
+#include "core/configuration.h"
+#include "core/cost_model.h"
+#include "core/localizer.h"
+
+namespace zeus::baselines {
+
+// Zeus-Sliding (§2, Fig. 4): the R3D network applied in a sliding-window
+// fashion under a single static configuration — the state-of-the-art
+// baseline Zeus-RL is measured against. The planner selects the fastest
+// configuration whose validation accuracy still meets the query target.
+class ZeusSliding : public core::Localizer {
+ public:
+  ZeusSliding(const core::Configuration& config, apfg::Apfg* apfg,
+              const core::CostModel& cost_model);
+
+  core::RunResult Localize(
+      const std::vector<const video::Video*>& videos) override;
+  std::string name() const override { return "Zeus-Sliding"; }
+
+  const core::Configuration& config() const { return config_; }
+
+ private:
+  core::Configuration config_;
+  apfg::Apfg* apfg_;
+  core::CostModel cost_model_;
+};
+
+// Picks the fastest configuration whose validation_f1 >= target; if none
+// qualifies, returns the most accurate configuration (the paper's fallback:
+// run everything at the best the model can do). Requires validation_f1 and
+// costs to be attached.
+int PickSlidingConfig(const core::ConfigurationSpace& space, double target);
+
+}  // namespace zeus::baselines
+
+#endif  // ZEUS_BASELINES_SLIDING_H_

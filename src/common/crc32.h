@@ -1,0 +1,20 @@
+#ifndef ZEUS_COMMON_CRC32_H_
+#define ZEUS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zeus::common {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum RocksDB-style
+// storage formats attach to every block. Incremental usage:
+//
+//   uint32_t crc = Crc32(0, header, header_len);
+//   crc = Crc32(crc, payload, payload_len);
+//
+// A single-shot call with `crc = 0` matches zlib's crc32().
+uint32_t Crc32(uint32_t crc, const void* data, size_t n);
+
+}  // namespace zeus::common
+
+#endif  // ZEUS_COMMON_CRC32_H_

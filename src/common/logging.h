@@ -1,0 +1,57 @@
+#ifndef ZEUS_COMMON_LOGGING_H_
+#define ZEUS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "common/status.h"
+
+namespace zeus::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level that is actually emitted; default kInfo. Benchmarks raise
+// this to kWarning so tables stay readable.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted log line to stderr (thread-safe enough for our
+// single-threaded + pool usage: a single fprintf per line).
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+// Stream-style log statement collector, used by the ZEUS_LOG macro.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace zeus::common
+
+#define ZEUS_LOG(level)                             \
+  if (::zeus::common::LogLevel::k##level >=         \
+      ::zeus::common::GetLogLevel())                \
+  ::zeus::common::internal::LogMessage(::zeus::common::LogLevel::k##level)
+
+#define ZEUS_CHECK(cond)                                             \
+  if (!(cond))                                                       \
+  ::zeus::common::Panic(std::string("CHECK failed: ") + #cond +      \
+                        " at " + __FILE__ + ":" + std::to_string(__LINE__))
+
+#endif  // ZEUS_COMMON_LOGGING_H_

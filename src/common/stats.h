@@ -1,0 +1,38 @@
+#ifndef ZEUS_COMMON_STATS_H_
+#define ZEUS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace zeus::common {
+
+// Streaming mean/variance/min/max accumulator (Welford). Used for dataset
+// statistics (Table 3) and benchmark reporting.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  // Population variance; 0 when fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exact percentile (nearest-rank) over a copy of the data.
+double Percentile(std::vector<double> values, double pct);
+
+}  // namespace zeus::common
+
+#endif  // ZEUS_COMMON_STATS_H_

@@ -1,0 +1,119 @@
+#ifndef ZEUS_COMMON_STATUS_H_
+#define ZEUS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace zeus::common {
+
+// Error codes used across the library. Modeled after the Status idiom used
+// in Arrow / RocksDB: recoverable failures are returned, not thrown.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+// A Status is either OK or carries an error code plus a human-readable
+// message. It is cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status or a value. Accessing the value of a failed Result
+// aborts, so callers must check ok() first (enforced in tests).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` or
+  // `return Status::...;` interchangeably, mirroring arrow::Result.
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {}                // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  // Held in an optional so T need not be default-constructible.
+  std::optional<T> value_;
+};
+
+// Aborts the process with a message; used for programmer errors only.
+[[noreturn]] void Panic(const std::string& message);
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!status_.ok()) {
+    Panic("Result::value() called on error status: " + status_.ToString());
+  }
+}
+
+}  // namespace zeus::common
+
+// Propagates a non-OK Status from an expression, RocksDB-style.
+#define ZEUS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::zeus::common::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#endif  // ZEUS_COMMON_STATUS_H_

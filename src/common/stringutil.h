@@ -1,0 +1,26 @@
+#ifndef ZEUS_COMMON_STRINGUTIL_H_
+#define ZEUS_COMMON_STRINGUTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace zeus::common {
+
+// Lower-cases ASCII characters.
+std::string ToLower(const std::string& s);
+
+// Strips leading and trailing whitespace.
+std::string Trim(const std::string& s);
+
+// Splits on a delimiter character; empty tokens preserved.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+// printf-style formatting into a std::string.
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace zeus::common
+
+#endif  // ZEUS_COMMON_STRINGUTIL_H_

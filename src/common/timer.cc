@@ -1,0 +1,5 @@
+#include "common/timer.h"
+
+// WallTimer is header-only; this translation unit exists so the build file
+// stays uniform (one .cc per header) and to pin the vtable-free class here
+// if it ever grows virtuals.

@@ -1,0 +1,29 @@
+#ifndef ZEUS_COMMON_TIMER_H_
+#define ZEUS_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace zeus::common {
+
+// Monotonic wall-clock stopwatch used for the real (CPU) side of every
+// throughput number we report next to the calibrated cost-model number.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace zeus::common
+
+#endif  // ZEUS_COMMON_TIMER_H_

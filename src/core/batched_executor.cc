@@ -1,0 +1,72 @@
+#include "core/batched_executor.h"
+
+#include <map>
+#include <memory>
+
+#include "common/timer.h"
+#include "rl/env.h"
+
+namespace zeus::core {
+
+RunResult BatchedExecutor::Localize(
+    const std::vector<const video::Video*>& videos) {
+  common::WallTimer timer;
+  RunResult result;
+
+  // One single-video environment per input video, stepped in lockstep.
+  std::vector<std::unique_ptr<rl::VideoEnv>> envs;
+  envs.reserve(videos.size());
+  for (const video::Video* v : videos) {
+    envs.push_back(std::make_unique<rl::VideoEnv>(
+        std::vector<const video::Video*>{v}, &plan_->rl_space,
+        plan_->cache.get(), plan_->targets, plan_->env_opts));
+  }
+
+  // Charges a group of k same-configuration invocations as batched
+  // launches of at most max_batch each.
+  auto charge_group = [&](int config_id, int k) {
+    const Configuration& c = plan_->rl_space.config(config_id);
+    int remaining = k;
+    while (remaining > 0) {
+      int batch = std::min(remaining, opts_.max_batch);
+      result.gpu_seconds += plan_->cost_model.BatchedSegmentCost(
+          c.nominal_resolution, c.nominal_segment_length, batch);
+      remaining -= batch;
+    }
+    result.invocations += k;
+  };
+
+  // Round 0: every video's forced initial invocation uses the slowest
+  // configuration (§3), so they all batch together.
+  int slowest = plan_->rl_space.SlowestId();
+  for (auto& env : envs) env->ResetSequential();
+  charge_group(slowest, static_cast<int>(envs.size()));
+
+  // Lockstep rounds over the active environments.
+  while (true) {
+    std::map<int, std::vector<rl::VideoEnv*>> groups;
+    for (auto& env : envs) {
+      if (env->done()) continue;
+      int action = plan_->agent->GreedyAction(env->state());
+      groups[action].push_back(env.get());
+    }
+    if (groups.empty()) break;
+    for (auto& [config_id, members] : groups) {
+      charge_group(config_id, static_cast<int>(members.size()));
+      for (rl::VideoEnv* env : members) env->Step(config_id);
+    }
+  }
+
+  // Collect masks and per-config frame accounting from the environments.
+  for (auto& env : envs) {
+    result.masks.push_back(env->mask(0));
+    result.total_frames += env->total_frames();
+    for (const auto& [config_id, frames] : env->invocation_log()) {
+      result.frames_per_config[config_id] += frames;
+    }
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace zeus::core

@@ -1,0 +1,118 @@
+#include "core/config_planner.h"
+
+#include <algorithm>
+
+#include "apfg/segment_sampler.h"
+#include "common/rng.h"
+
+namespace zeus::core {
+
+namespace {
+
+// One profiled window: classifier probability plus window ground truth.
+struct WindowObs {
+  float prob;
+  int label;
+};
+
+// Importance-weighted F1 at a fixed threshold: sampled negatives stand in
+// for the full negative population, so each false positive is counted
+// `neg_weight` times. This makes the estimate match what a sliding
+// deployment (with its much larger negative share) will deliver.
+double F1At(const std::vector<WindowObs>& obs, float threshold,
+            double neg_weight) {
+  double tp = 0, fp = 0, fn = 0;
+  for (const WindowObs& o : obs) {
+    bool pred = o.prob > threshold;
+    if (pred && o.label) tp += 1.0;
+    else if (pred && !o.label) fp += neg_weight;
+    else if (!pred && o.label) fn += 1.0;
+  }
+  double p = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+  double r = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+  return p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+}
+
+// Best (threshold, F1) over the observations.
+std::pair<float, double> BestThreshold(const std::vector<WindowObs>& obs,
+                                       double neg_weight) {
+  // The scan stays near 0.5: the sampled-window estimates are noisy enough
+  // that extreme thresholds win on the calibration half by luck and then
+  // transfer badly to unseen videos.
+  float best_t = 0.5f;
+  double best_f1 = 0.0;
+  for (float t = 0.35f; t <= 0.66f; t += 0.05f) {
+    double f1 = F1At(obs, t, neg_weight);
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_t = t;
+    }
+  }
+  return {best_t, best_f1};
+}
+
+}  // namespace
+
+void ConfigPlanner::Profile(
+    ConfigurationSpace* space, apfg::Apfg* apfg,
+    const std::vector<const video::Video*>& validation_videos,
+    const std::vector<video::ActionClass>& targets) const {
+  space->AttachCosts(cost_model_);
+  common::Rng rng(opts_.seed);
+  for (Configuration& c : *space->mutable_configs()) {
+    // Positives-dense window sample: every positive window on the
+    // validation split plus `neg_per_pos` negatives per positive.
+    auto sample = apfg::SampleSegments(validation_videos, targets, c.spec,
+                                       &rng, opts_.neg_per_pos);
+    if (static_cast<int>(sample.size()) > opts_.max_windows_per_config) {
+      sample.resize(static_cast<size_t>(opts_.max_windows_per_config));
+    }
+    // Cheap label-only census of the full sliding population, to weight
+    // the sampled negatives up to their true share.
+    const int covered = c.CoveredFrames();
+    long total_windows = 0, positive_windows = 0;
+    for (const video::Video* vp : validation_videos) {
+      for (int start = 0; start + covered <= vp->num_frames();
+           start += covered) {
+        ++total_windows;
+        positive_windows +=
+            apfg::SegmentLabel(*vp, start, covered, targets,
+                               opts_.eval.iou_threshold);
+      }
+    }
+    long sampled_neg = 0;
+    for (const auto& ex : sample) sampled_neg += ex.label == 0 ? 1 : 0;
+    double neg_weight =
+        sampled_neg > 0
+            ? static_cast<double>(total_windows - positive_windows) /
+                  static_cast<double>(sampled_neg)
+            : 1.0;
+    neg_weight = std::max(1.0, neg_weight);
+    // Split into a calibration half (picks the per-config threshold) and an
+    // estimation half (reports the F1 the planner acts on). Calibrating and
+    // scoring on the same windows would overstate accuracy.
+    std::vector<WindowObs> calibration, estimation;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      const apfg::LabeledSegment& ex = sample[i];
+      const video::Video& v =
+          *validation_videos[static_cast<size_t>(ex.video_idx)];
+      apfg::Apfg::Output out = apfg->Process(v, ex.start_frame, c.spec);
+      ((i % 2 == 0) ? calibration : estimation)
+          .push_back({out.action_prob, ex.label});
+    }
+    auto [threshold, calibration_f1] = BestThreshold(calibration, neg_weight);
+    (void)calibration_f1;
+    apfg->SetSpecThreshold(c.spec, threshold);
+    c.validation_f1 = F1At(estimation, threshold, neg_weight);
+  }
+}
+
+double ConfigPlanner::MaxAccuracy(const ConfigurationSpace& space) {
+  double best = 0.0;
+  for (const Configuration& c : space.configs()) {
+    best = std::max(best, c.validation_f1);
+  }
+  return best;
+}
+
+}  // namespace zeus::core

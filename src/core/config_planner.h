@@ -1,0 +1,51 @@
+#ifndef ZEUS_CORE_CONFIG_PLANNER_H_
+#define ZEUS_CORE_CONFIG_PLANNER_H_
+
+#include <vector>
+
+#include "apfg/apfg.h"
+#include "core/configuration.h"
+#include "core/metrics.h"
+
+namespace zeus::core {
+
+// Configuration planning (§4.2): the one-time pre-processing step that
+// measures, for every candidate configuration, its throughput (from the
+// cost model) and its accuracy (sliding-window execution on a held-out
+// validation split). The resulting table is Table 2 of the paper; the
+// per-query maximum over it is the "Maximum Accuracy" column of Table 4.
+class ConfigPlanner {
+ public:
+  struct Options {
+    // Profiling draws a positives-dense window sample per configuration
+    // (all positive windows on the validation split plus `neg_per_pos`
+    // negatives each), capped at `max_windows_per_config`. A plain sliding
+    // pass would see almost no positives for large-covered configurations
+    // and make the F1 estimates useless for planning.
+    int max_windows_per_config = 300;
+    double neg_per_pos = 5.0;
+    uint64_t seed = 91;
+    EvalOptions eval;
+  };
+
+  ConfigPlanner(const Options& opts, const CostModel& cost_model)
+      : opts_(opts), cost_model_(cost_model) {}
+
+  // Attaches costs and validation F1 to every configuration in `space`.
+  // `apfg` must already be trained for `targets`.
+  void Profile(ConfigurationSpace* space, apfg::Apfg* apfg,
+               const std::vector<const video::Video*>& validation_videos,
+               const std::vector<video::ActionClass>& targets) const;
+
+  // Highest validation F1 over the (already profiled) space — Table 4's
+  // "Maximum Accuracy".
+  static double MaxAccuracy(const ConfigurationSpace& space);
+
+ private:
+  Options opts_;
+  CostModel cost_model_;
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_CONFIG_PLANNER_H_

@@ -1,0 +1,218 @@
+#include "core/configuration.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+
+namespace zeus::core {
+
+std::string Configuration::ToString() const {
+  return common::Format("(%d, %d, %d)", nominal_resolution,
+                        nominal_segment_length, sampling_rate);
+}
+
+const char* KnobName(Knob knob) {
+  switch (knob) {
+    case Knob::kResolution:
+      return "Resolution";
+    case Knob::kSegmentLength:
+      return "SegmentLength";
+    case Knob::kSamplingRate:
+      return "SamplingRate";
+  }
+  return "Unknown";
+}
+
+ConfigurationSpace ConfigurationSpace::FromKnobs(
+    const std::vector<int>& nominal_resolutions, const std::vector<int>& px,
+    const std::vector<int>& nominal_lengths,
+    const std::vector<int>& actual_lengths,
+    const std::vector<int>& sampling_rates) {
+  ZEUS_CHECK(nominal_resolutions.size() == px.size());
+  ZEUS_CHECK(nominal_lengths.size() == actual_lengths.size());
+  ConfigurationSpace space;
+  int id = 0;
+  for (size_t ri = 0; ri < nominal_resolutions.size(); ++ri) {
+    for (size_t li = 0; li < nominal_lengths.size(); ++li) {
+      for (int rate : sampling_rates) {
+        Configuration c;
+        c.id = id++;
+        c.nominal_resolution = nominal_resolutions[ri];
+        c.nominal_segment_length = nominal_lengths[li];
+        c.sampling_rate = rate;
+        c.spec.resolution_px = px[ri];
+        c.spec.segment_length = actual_lengths[li];
+        c.spec.sampling_rate = rate;
+        space.configs_.push_back(c);
+      }
+    }
+  }
+  return space;
+}
+
+ConfigurationSpace ConfigurationSpace::ForFamily(video::DatasetFamily family) {
+  switch (family) {
+    case video::DatasetFamily::kBdd100kLike:
+    case video::DatasetFamily::kCityscapesLike:
+    case video::DatasetFamily::kKittiLike:
+      // Table 4, BDD row: 4 x 4 x 4 = 64 configurations. Actual pixels are
+      // nominal/10 at this reproduction's scale.
+      return FromKnobs({150, 200, 250, 300}, {15, 20, 25, 30}, {2, 4, 6, 8},
+                       {2, 4, 6, 8}, {1, 2, 4, 8});
+    case video::DatasetFamily::kThumos14Like:
+    case video::DatasetFamily::kActivityNetLike:
+      // Table 4, Thumos/ActivityNet rows: 3 x 3 x 3 = 27 configurations.
+      // Nominal lengths {32,48,64} map to {8,12,16} decoded frames.
+      return FromKnobs({40, 80, 160}, {10, 16, 24}, {32, 48, 64}, {8, 12, 16},
+                       {2, 4, 8});
+  }
+  ZEUS_CHECK(false);
+  return ConfigurationSpace();
+}
+
+const Configuration& ConfigurationSpace::config(int id) const {
+  ZEUS_CHECK(id >= 0 && id < static_cast<int>(configs_.size()));
+  return configs_[static_cast<size_t>(id)];
+}
+
+namespace {
+std::vector<int> DistinctSorted(const std::vector<Configuration>& configs,
+                                int Configuration::*field) {
+  std::set<int> values;
+  for (const Configuration& c : configs) values.insert(c.*field);
+  return std::vector<int>(values.begin(), values.end());
+}
+}  // namespace
+
+std::vector<int> ConfigurationSpace::NominalResolutions() const {
+  return DistinctSorted(configs_, &Configuration::nominal_resolution);
+}
+std::vector<int> ConfigurationSpace::NominalLengths() const {
+  return DistinctSorted(configs_, &Configuration::nominal_segment_length);
+}
+std::vector<int> ConfigurationSpace::SamplingRates() const {
+  return DistinctSorted(configs_, &Configuration::sampling_rate);
+}
+
+ConfigurationSpace ConfigurationSpace::WithFrozenKnob(Knob knob) const {
+  // Freeze the knob to its middle value; keep all combinations of the rest.
+  std::vector<int> values;
+  switch (knob) {
+    case Knob::kResolution:
+      values = NominalResolutions();
+      break;
+    case Knob::kSegmentLength:
+      values = NominalLengths();
+      break;
+    case Knob::kSamplingRate:
+      values = SamplingRates();
+      break;
+  }
+  ZEUS_CHECK(!values.empty());
+  int fixed = values[values.size() / 2];
+  ConfigurationSpace out;
+  int id = 0;
+  for (const Configuration& c : configs_) {
+    int v = knob == Knob::kResolution        ? c.nominal_resolution
+            : knob == Knob::kSegmentLength   ? c.nominal_segment_length
+                                             : c.sampling_rate;
+    if (v != fixed) continue;
+    Configuration copy = c;
+    copy.id = id++;
+    out.configs_.push_back(copy);
+  }
+  return out;
+}
+
+ConfigurationSpace ConfigurationSpace::Subset(
+    const std::vector<int>& ids) const {
+  ConfigurationSpace out;
+  int id = 0;
+  for (int i : ids) {
+    Configuration copy = config(i);
+    copy.id = id++;
+    out.configs_.push_back(copy);
+  }
+  return out;
+}
+
+ConfigurationSpace ConfigurationSpace::PruneToFrontier(int max_configs) const {
+  std::vector<int> ids;
+  for (const Configuration& c : configs_) ids.push_back(c.id);
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return config(a).throughput_fps > config(b).throughput_fps;
+  });
+  std::vector<int> frontier;
+  double best_f1 = -1.0;
+  for (int id : ids) {
+    if (config(id).validation_f1 > best_f1) {
+      best_f1 = config(id).validation_f1;
+      frontier.push_back(id);
+    }
+  }
+  // Degenerate profile (e.g. all-zero F1 on a tiny validation split): keep
+  // at least the fastest and the slowest configuration so the agent always
+  // has a speed range to act over.
+  if (frontier.size() < 2 && configs_.size() >= 2) {
+    int slow = SlowestId();
+    if (std::find(frontier.begin(), frontier.end(), slow) == frontier.end()) {
+      frontier.push_back(slow);
+    }
+    int fast = FastestId();
+    if (std::find(frontier.begin(), frontier.end(), fast) == frontier.end()) {
+      frontier.insert(frontier.begin(), fast);
+    }
+  }
+  if (static_cast<int>(frontier.size()) > max_configs && max_configs >= 2) {
+    // Evenly subsample, always keeping the fastest and the most accurate
+    // endpoint: the agent needs the full speed range, not just the
+    // accurate end.
+    std::vector<int> kept;
+    double step = static_cast<double>(frontier.size() - 1) / (max_configs - 1);
+    for (int i = 0; i < max_configs; ++i) {
+      kept.push_back(frontier[static_cast<size_t>(i * step + 0.5)]);
+    }
+    kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+    frontier = kept;
+  }
+  return Subset(frontier);
+}
+
+int ConfigurationSpace::SlowestId() const {
+  ZEUS_CHECK(!configs_.empty());
+  return static_cast<int>(
+      std::max_element(configs_.begin(), configs_.end(),
+                       [](const Configuration& a, const Configuration& b) {
+                         return a.gpu_seconds_per_invocation <
+                                b.gpu_seconds_per_invocation;
+                       }) -
+      configs_.begin());
+}
+
+int ConfigurationSpace::FastestId() const {
+  ZEUS_CHECK(!configs_.empty());
+  // Fastest by effective throughput: frames covered per gpu second.
+  return static_cast<int>(
+      std::max_element(configs_.begin(), configs_.end(),
+                       [](const Configuration& a, const Configuration& b) {
+                         return a.throughput_fps < b.throughput_fps;
+                       }) -
+      configs_.begin());
+}
+
+void ConfigurationSpace::AttachCosts(const CostModel& cost_model) {
+  double total_tput = 0.0;
+  for (Configuration& c : configs_) {
+    c.gpu_seconds_per_invocation =
+        cost_model.SegmentCost(c.nominal_resolution, c.nominal_segment_length);
+    c.throughput_fps = c.CoveredFrames() / c.gpu_seconds_per_invocation;
+    total_tput += c.throughput_fps;
+  }
+  for (Configuration& c : configs_) {
+    c.alpha = c.throughput_fps / total_tput;
+  }
+}
+
+}  // namespace zeus::core

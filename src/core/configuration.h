@@ -1,0 +1,104 @@
+#ifndef ZEUS_CORE_CONFIGURATION_H_
+#define ZEUS_CORE_CONFIGURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "video/dataset.h"
+#include "video/decoder.h"
+
+namespace zeus::core {
+
+// The three input knobs of §1/§3. `nominal_*` carry the paper's knob values
+// (Table 4) so printed tables read like the paper's; `spec` carries the
+// physical decode parameters used at this reproduction's scale (DESIGN.md
+// §4 documents the mapping).
+struct Configuration {
+  int id = -1;
+  int nominal_resolution = 300;
+  int nominal_segment_length = 8;
+  int sampling_rate = 1;
+  video::DecodeSpec spec;
+
+  // Cost metrics attached by the planner (§4.2).
+  double gpu_seconds_per_invocation = 0.0;  // from CostModel
+  double alpha = 0.0;  // normalized fastness, sums to 1 over the space
+  double validation_f1 = 0.0;  // filled by ConfigPlanner::Profile
+  double throughput_fps = 0.0;  // frames covered per gpu second
+
+  // Source frames consumed by one invocation.
+  int CoveredFrames() const {
+    return spec.segment_length * spec.sampling_rate;
+  }
+
+  std::string ToString() const;  // "(300, 8, 1)"
+};
+
+// Knob identifiers for the ablation study (Fig. 10).
+enum class Knob { kResolution, kSegmentLength, kSamplingRate };
+
+const char* KnobName(Knob knob);
+
+// The grid of candidate configurations for one dataset family (Table 4),
+// with helpers to freeze knobs (Fig. 10), take subsets (Fig. 14) and locate
+// extreme configurations.
+class ConfigurationSpace {
+ public:
+  // Builds the full knob grid for a dataset family: BDD-like uses
+  // resolutions {150,200,250,300} x lengths {2,4,6,8} x rates {1,2,4,8}
+  // (64 configs); Thumos/ActivityNet-like use {40,80,160} x {32,48,64} x
+  // {2,4,8} (27 configs).
+  static ConfigurationSpace ForFamily(video::DatasetFamily family);
+
+  // Builds from explicit knob lists. `px_for_nominal` maps each nominal
+  // resolution to rendered pixels.
+  static ConfigurationSpace FromKnobs(
+      const std::vector<int>& nominal_resolutions,
+      const std::vector<int>& px,
+      const std::vector<int>& nominal_lengths,
+      const std::vector<int>& actual_lengths,
+      const std::vector<int>& sampling_rates);
+
+  const std::vector<Configuration>& configs() const { return configs_; }
+  size_t size() const { return configs_.size(); }
+  const Configuration& config(int id) const;
+
+  // Distinct knob values present in the space.
+  std::vector<int> NominalResolutions() const;
+  std::vector<int> NominalLengths() const;
+  std::vector<int> SamplingRates() const;
+
+  // Returns a space with one knob frozen to its middle value (ablation).
+  ConfigurationSpace WithFrozenKnob(Knob knob) const;
+
+  // Returns a space containing only the given config ids (re-numbered).
+  ConfigurationSpace Subset(const std::vector<int>& ids) const;
+
+  // Returns the accuracy-throughput Pareto frontier (requires costs and
+  // validation F1 to be attached): scanning configurations from fastest to
+  // slowest, keeps those that strictly improve the best accuracy seen so
+  // far. Capped at `max_configs` (frontier points with the highest F1 win).
+  // This is the planner's configuration pruning: dominated configurations
+  // (slower and less accurate than another) are never worth picking.
+  ConfigurationSpace PruneToFrontier(int max_configs) const;
+
+  // Slowest == most accurate (max cost); fastest == min cost. Requires
+  // AttachCosts() to have been called.
+  int SlowestId() const;
+  int FastestId() const;
+
+  // Fills gpu cost, throughput and alpha for every config. alpha_c is the
+  // fastness (throughput share) normalized to sum to 1 (§4.4).
+  void AttachCosts(const CostModel& cost_model);
+
+  // Mutable access for the planner to attach validation accuracies.
+  std::vector<Configuration>* mutable_configs() { return &configs_; }
+
+ private:
+  std::vector<Configuration> configs_;
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_CONFIGURATION_H_

@@ -1,0 +1,3 @@
+#include "core/cost_model.h"
+
+// CostModel is header-only; translation unit kept for build uniformity.

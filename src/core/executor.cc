@@ -1,0 +1,93 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+#include "common/timer.h"
+#include "rl/env.h"
+
+namespace zeus::core {
+
+RunResult QueryExecutor::Localize(
+    const std::vector<const video::Video*>& videos) {
+  common::WallTimer timer;
+  RunResult result;
+  rl::VideoEnv env(videos, &plan_->rl_space, plan_->cache.get(), plan_->targets,
+                   plan_->env_opts);
+  env.ResetSequential();
+  while (!env.done()) {
+    int action = plan_->agent->GreedyAction(env.state());
+    env.Step(action);
+  }
+  result.masks = env.masks();
+  result.total_frames = env.total_frames();
+  for (const auto& [config_id, frames] : env.invocation_log()) {
+    const Configuration& c = plan_->rl_space.config(config_id);
+    result.gpu_seconds += c.gpu_seconds_per_invocation;
+    ++result.invocations;
+    result.frames_per_config[config_id] += frames;
+  }
+  result.wall_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+ConfigHistogram SummarizeConfigUsage(const ConfigurationSpace& space,
+                                     const RunResult& result) {
+  ConfigHistogram h;
+  // Cost terciles over the configuration space (by effective throughput).
+  std::vector<int> ids;
+  for (const Configuration& c : space.configs()) ids.push_back(c.id);
+  std::sort(ids.begin(), ids.end(), [&](int a, int b) {
+    return space.config(a).throughput_fps > space.config(b).throughput_fps;
+  });
+  const size_t third = std::max<size_t>(1, ids.size() / 3);
+  auto tercile = [&](int id) {
+    size_t rank = static_cast<size_t>(
+        std::find(ids.begin(), ids.end(), id) - ids.begin());
+    if (rank < third) return 0;           // fast
+    if (rank < 2 * third) return 1;       // mid
+    return 2;                             // slow
+  };
+  auto resolutions = space.NominalResolutions();
+  const int median_res = resolutions[resolutions.size() / 2];
+
+  double total = 0.0;
+  double bucket[3] = {0, 0, 0};
+  double low = 0.0, high = 0.0;
+  for (const auto& [id, frames] : result.frames_per_config) {
+    total += frames;
+    bucket[tercile(id)] += frames;
+    if (space.config(id).nominal_resolution < median_res) {
+      low += frames;
+    } else {
+      high += frames;
+    }
+  }
+  if (total > 0) {
+    h.fast_pct = 100.0 * bucket[0] / total;
+    h.mid_pct = 100.0 * bucket[1] / total;
+    h.slow_pct = 100.0 * bucket[2] / total;
+    h.low_res_pct = 100.0 * low / total;
+    h.high_res_pct = 100.0 * high / total;
+  }
+  return h;
+}
+
+std::vector<std::pair<int, double>> ResolutionUsage(
+    const ConfigurationSpace& space, const RunResult& result) {
+  std::vector<std::pair<int, double>> out;
+  double total = 0.0;
+  for (const auto& [id, frames] : result.frames_per_config) {
+    (void)id;
+    total += frames;
+  }
+  for (int res : space.NominalResolutions()) {
+    double frames = 0.0;
+    for (const auto& [id, f] : result.frames_per_config) {
+      if (space.config(id).nominal_resolution == res) frames += f;
+    }
+    out.emplace_back(res, total > 0 ? 100.0 * frames / total : 0.0);
+  }
+  return out;
+}
+
+}  // namespace zeus::core

@@ -1,0 +1,49 @@
+#ifndef ZEUS_CORE_EXECUTOR_H_
+#define ZEUS_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "core/localizer.h"
+#include "core/query_planner.h"
+
+namespace zeus::core {
+
+// The Zeus-RL query executor (Fig. 5): traverses each video, letting the
+// trained DQN agent pick the next configuration greedily from the
+// ProxyFeature state, and charges every APFG invocation to the cost model.
+class QueryExecutor : public Localizer {
+ public:
+  explicit QueryExecutor(const QueryPlan* plan) : plan_(plan) {}
+
+  RunResult Localize(const std::vector<const video::Video*>& videos) override;
+  std::string name() const override { return "Zeus-RL"; }
+
+  const QueryPlan& plan() const { return *plan_; }
+
+ private:
+  const QueryPlan* plan_;
+};
+
+// Histogram utilities over RunResult::frames_per_config, used by the
+// configuration-distribution analyses (Fig. 12b / Fig. 14).
+struct ConfigHistogram {
+  // Percentage of frames processed by the fast / mid / slow cost terciles.
+  double fast_pct = 0.0;
+  double mid_pct = 0.0;
+  double slow_pct = 0.0;
+  // Percentage of frames processed at low vs. high resolution (split at the
+  // median nominal resolution).
+  double low_res_pct = 0.0;
+  double high_res_pct = 0.0;
+};
+
+ConfigHistogram SummarizeConfigUsage(const ConfigurationSpace& space,
+                                     const RunResult& result);
+
+// Percentage of frames per nominal resolution value.
+std::vector<std::pair<int, double>> ResolutionUsage(
+    const ConfigurationSpace& space, const RunResult& result);
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_EXECUTOR_H_

@@ -1,0 +1,7 @@
+#include "core/localizer.h"
+
+namespace zeus::core {
+
+Localizer::~Localizer() = default;
+
+}  // namespace zeus::core

@@ -1,0 +1,47 @@
+#ifndef ZEUS_CORE_LOCALIZER_H_
+#define ZEUS_CORE_LOCALIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "video/video.h"
+
+namespace zeus::core {
+
+// Everything one localization run produces: per-video prediction masks plus
+// the accounting needed for the paper's throughput numbers.
+struct RunResult {
+  std::vector<FrameMask> masks;      // parallel to the input video list
+  double gpu_seconds = 0.0;          // charged to the CostModel
+  double wall_seconds = 0.0;         // actual CPU time of this run
+  long total_frames = 0;             // source frames in the input videos
+  long invocations = 0;              // model invocations issued
+  // Frames processed per configuration id (Zeus methods only) — feeds the
+  // configuration-distribution analysis (Fig. 14) and resolution split
+  // (Fig. 12b).
+  std::map<int, long> frames_per_config;
+
+  // Paper-style throughput: video frames per modeled GPU second.
+  double ThroughputFps() const {
+    return gpu_seconds > 0.0 ? static_cast<double>(total_frames) / gpu_seconds
+                             : 0.0;
+  }
+};
+
+// Common interface implemented by Zeus-RL and all baselines. A localizer is
+// already trained/configured when Localize is called.
+class Localizer {
+ public:
+  virtual ~Localizer();
+
+  // Produces a prediction mask for every input video.
+  virtual RunResult Localize(const std::vector<const video::Video*>& videos) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_LOCALIZER_H_

@@ -1,0 +1,127 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace zeus::core {
+
+void PrfMetrics::Finalize() {
+  precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  f1 = (precision + recall) > 0.0
+           ? 2.0 * precision * recall / (precision + recall)
+           : 0.0;
+}
+
+namespace {
+
+// Counts tp/fp/fn/tn over evaluation segments for one video into `m`.
+void AccumulateVideo(const video::Video& video,
+                     const std::vector<video::ActionClass>& targets,
+                     const FrameMask& mask, const EvalOptions& opts,
+                     PrfMetrics* m) {
+  ZEUS_CHECK(static_cast<int>(mask.size()) == video.num_frames());
+  const int n = video.num_frames();
+  const int seg = opts.eval_segment_frames;
+  for (int start = 0; start < n; start += seg) {
+    int end = std::min(n, start + seg);
+    int gt_hits = 0, pred_hits = 0;
+    for (int f = start; f < end; ++f) {
+      if (video.IsActionAny(f, targets)) ++gt_hits;
+      if (mask[static_cast<size_t>(f)]) ++pred_hits;
+    }
+    double span = end - start;
+    bool gt_pos = gt_hits / span > opts.iou_threshold;
+    bool pred_pos = pred_hits / span > opts.iou_threshold;
+    if (gt_pos && pred_pos) ++m->tp;
+    else if (!gt_pos && pred_pos) ++m->fp;
+    else if (gt_pos && !pred_pos) ++m->fn;
+    else ++m->tn;
+  }
+}
+
+}  // namespace
+
+PrfMetrics EvaluateVideo(const video::Video& video,
+                         const std::vector<video::ActionClass>& targets,
+                         const FrameMask& mask, const EvalOptions& opts) {
+  PrfMetrics m;
+  AccumulateVideo(video, targets, mask, opts, &m);
+  m.Finalize();
+  return m;
+}
+
+PrfMetrics EvaluateVideos(const std::vector<const video::Video*>& videos,
+                          const std::vector<video::ActionClass>& targets,
+                          const std::vector<FrameMask>& masks,
+                          const EvalOptions& opts) {
+  ZEUS_CHECK(videos.size() == masks.size());
+  PrfMetrics m;
+  for (size_t i = 0; i < videos.size(); ++i) {
+    AccumulateVideo(*videos[i], targets, masks[i], opts, &m);
+  }
+  m.Finalize();
+  return m;
+}
+
+double WindowAccuracy(const video::Video& video,
+                      const std::vector<video::ActionClass>& targets,
+                      const FrameMask& mask, int begin, int end) {
+  begin = std::max(0, begin);
+  end = std::min(video.num_frames(), end);
+  long tp = 0, fp = 0, fn = 0;
+  for (int f = begin; f < end; ++f) {
+    bool gt = video.IsActionAny(f, targets);
+    bool pred = mask[static_cast<size_t>(f)] != 0;
+    if (gt && pred) ++tp;
+    else if (!gt && pred) ++fp;
+    else if (gt && !pred) ++fn;
+  }
+  if (tp + fp + fn == 0) return 1.0;  // empty window, nothing missed
+  double precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  double recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+std::vector<video::ActionInstance> MaskToInstances(const FrameMask& mask) {
+  std::vector<video::ActionInstance> out;
+  const int n = static_cast<int>(mask.size());
+  int i = 0;
+  while (i < n) {
+    if (!mask[static_cast<size_t>(i)]) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < n && mask[static_cast<size_t>(j)]) ++j;
+    out.push_back({i, j, video::ActionClass::kNone});
+    i = j;
+  }
+  return out;
+}
+
+double MeanInstanceIou(const video::Video& video,
+                       const std::vector<video::ActionClass>& targets,
+                       const FrameMask& mask) {
+  auto preds = MaskToInstances(mask);
+  double total = 0.0;
+  int count = 0;
+  for (const video::ActionInstance& gt : video::ExtractInstances(video)) {
+    if (std::find(targets.begin(), targets.end(), gt.cls) == targets.end())
+      continue;
+    double best = 0.0;
+    for (const video::ActionInstance& p : preds) {
+      int inter = std::min(gt.end, p.end) - std::max(gt.start, p.start);
+      if (inter <= 0) continue;
+      int uni = std::max(gt.end, p.end) - std::min(gt.start, p.start);
+      best = std::max(best, static_cast<double>(inter) / uni);
+    }
+    total += best;
+    ++count;
+  }
+  return count ? total / count : 0.0;
+}
+
+}  // namespace zeus::core

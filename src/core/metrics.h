@@ -1,0 +1,64 @@
+#ifndef ZEUS_CORE_METRICS_H_
+#define ZEUS_CORE_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "video/video.h"
+
+namespace zeus::core {
+
+// A per-frame binary prediction mask for one video (1 = predicted action).
+using FrameMask = std::vector<uint8_t>;
+
+// Evaluation protocol of §2.1: the video is tiled into fixed-length
+// evaluation segments; a segment is a ground-truth positive when the action
+// covers more than `iou_threshold` of it (IoU of the frame-label run against
+// the segment window), and likewise for predictions.
+struct EvalOptions {
+  int eval_segment_frames = 16;
+  double iou_threshold = 0.5;
+};
+
+struct PrfMetrics {
+  long tp = 0, fp = 0, fn = 0, tn = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+
+  void Finalize();
+};
+
+// Segment-level precision/recall/F1 of a predicted mask against the oracle
+// labels of one video.
+PrfMetrics EvaluateVideo(const video::Video& video,
+                         const std::vector<video::ActionClass>& targets,
+                         const FrameMask& mask, const EvalOptions& opts);
+
+// Pooled metrics over a set of videos (counts are summed before computing
+// precision/recall, the standard micro-average).
+PrfMetrics EvaluateVideos(const std::vector<const video::Video*>& videos,
+                          const std::vector<video::ActionClass>& targets,
+                          const std::vector<FrameMask>& masks,
+                          const EvalOptions& opts);
+
+// Frame-level F1 of a mask restricted to [begin, end) — the window accuracy
+// alpha' used by the aggregate reward (Alg. 2). Convention: a window with
+// no ground-truth positives and no predicted positives scores 1.0.
+double WindowAccuracy(const video::Video& video,
+                      const std::vector<video::ActionClass>& targets,
+                      const FrameMask& mask, int begin, int end);
+
+// Converts a predicted mask into merged [start, end) intervals — the
+// `segment_ids` a query returns.
+std::vector<video::ActionInstance> MaskToInstances(const FrameMask& mask);
+
+// Mean temporal IoU between each ground-truth instance and its
+// best-overlapping predicted instance (localization quality diagnostic).
+double MeanInstanceIou(const video::Video& video,
+                       const std::vector<video::ActionClass>& targets,
+                       const FrameMask& mask);
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_METRICS_H_

@@ -1,0 +1,154 @@
+#include "core/plan_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/stringutil.h"
+#include "rl/env.h"
+
+namespace zeus::core {
+
+namespace {
+constexpr char kMetaVersion[] = "zeus-plan-v1";
+}  // namespace
+
+common::Status PlanIo::Save(const std::string& prefix, const QueryPlan& plan) {
+  if (!plan.apfg || !plan.apfg->trained()) {
+    return common::Status::FailedPrecondition("plan has no trained APFG");
+  }
+  if (!plan.agent) {
+    return common::Status::FailedPrecondition("plan has no trained agent");
+  }
+  ZEUS_RETURN_IF_ERROR(
+      plan.apfg->ModelFor(plan.space.config(0).spec)->Save(prefix + ".apfg"));
+  ZEUS_RETURN_IF_ERROR(plan.agent->Save(prefix + ".dqn"));
+
+  std::ofstream meta(prefix + ".meta");
+  if (!meta.is_open()) {
+    return common::Status::IoError("cannot open " + prefix + ".meta");
+  }
+  meta << kMetaVersion << "\n";
+  meta << "accuracy_target " << plan.accuracy_target << "\n";
+  meta << "targets";
+  for (video::ActionClass cls : plan.targets) {
+    meta << " " << static_cast<int>(cls);
+  }
+  meta << "\n";
+  // Per-configuration profiled metrics + calibrated thresholds, keyed by
+  // the full-grid config id.
+  meta << "configs " << plan.space.size() << "\n";
+  for (const Configuration& c : plan.space.configs()) {
+    meta << c.id << " " << c.validation_f1 << " "
+         << plan.apfg->ThresholdFor(c.spec) << "\n";
+  }
+  meta << "rl_space";
+  for (const Configuration& c : plan.rl_space.configs()) {
+    // Find the matching full-grid id by knob values.
+    for (const Configuration& full : plan.space.configs()) {
+      if (full.nominal_resolution == c.nominal_resolution &&
+          full.nominal_segment_length == c.nominal_segment_length &&
+          full.sampling_rate == c.sampling_rate) {
+        meta << " " << full.id;
+        break;
+      }
+    }
+  }
+  meta << "\n";
+  meta << "env " << plan.env_opts.feature_dim << " "
+       << plan.env_opts.append_action_prob << " "
+       << plan.env_opts.append_config_onehot << " "
+       << plan.env_opts.append_position << "\n";
+  if (!meta.good()) return common::Status::IoError("meta write failed");
+  return common::Status::Ok();
+}
+
+common::Result<QueryPlan> PlanIo::Load(
+    const std::string& prefix, video::DatasetFamily family,
+    const QueryPlanner::Options& planner_options) {
+  std::ifstream meta(prefix + ".meta");
+  if (!meta.is_open()) {
+    return common::Status::IoError("cannot open " + prefix + ".meta");
+  }
+  std::string version;
+  if (!std::getline(meta, version) || version != kMetaVersion) {
+    return common::Status::InvalidArgument("bad plan manifest version");
+  }
+  QueryPlan plan;
+  plan.env_opts = planner_options.env;
+  plan.space = ConfigurationSpace::ForFamily(family);
+  plan.space.AttachCosts(plan.cost_model);
+
+  common::Rng rng(planner_options.seed);
+  plan.apfg = std::make_shared<apfg::Apfg>(planner_options.apfg,
+                                           planner_options.model_reuse, &rng);
+
+  std::string line;
+  std::vector<int> rl_ids;
+  while (std::getline(meta, line)) {
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "accuracy_target") {
+      is >> plan.accuracy_target;
+    } else if (key == "targets") {
+      int v = 0;
+      while (is >> v) {
+        plan.targets.push_back(static_cast<video::ActionClass>(v));
+      }
+    } else if (key == "configs") {
+      size_t n = 0;
+      is >> n;
+      if (n != plan.space.size()) {
+        return common::Status::InvalidArgument(
+            "plan was saved for a different configuration grid");
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (!std::getline(meta, line)) {
+          return common::Status::IoError("truncated config table");
+        }
+        std::istringstream row(line);
+        int id = 0;
+        double f1 = 0.0;
+        float threshold = 0.5f;
+        row >> id >> f1 >> threshold;
+        if (id < 0 || id >= static_cast<int>(plan.space.size())) {
+          return common::Status::InvalidArgument("bad config id in manifest");
+        }
+        (*plan.space.mutable_configs())[static_cast<size_t>(id)]
+            .validation_f1 = f1;
+        plan.apfg->SetSpecThreshold(plan.space.config(id).spec, threshold);
+      }
+    } else if (key == "rl_space") {
+      int id = 0;
+      while (is >> id) rl_ids.push_back(id);
+    } else if (key == "env") {
+      is >> plan.env_opts.feature_dim >> plan.env_opts.append_action_prob >>
+          plan.env_opts.append_config_onehot >> plan.env_opts.append_position;
+    }
+  }
+  if (plan.targets.empty() || rl_ids.empty()) {
+    return common::Status::InvalidArgument("incomplete plan manifest");
+  }
+  plan.rl_space = plan.space.Subset(rl_ids);
+
+  // Weights.
+  ZEUS_RETURN_IF_ERROR(
+      plan.apfg->ModelFor(plan.space.config(0).spec)->Load(prefix + ".apfg"));
+  plan.apfg->MarkTrained();
+
+  rl::DqnAgent::Options agent_opts = planner_options.trainer.agent;
+  agent_opts.num_actions = static_cast<int>(plan.rl_space.size());
+  int state_dim = plan.env_opts.feature_dim;
+  if (plan.env_opts.append_action_prob) state_dim += 1;
+  if (plan.env_opts.append_config_onehot) state_dim += agent_opts.num_actions;
+  if (plan.env_opts.append_position) state_dim += 1;
+  agent_opts.state_dim = state_dim;
+  plan.agent = std::make_shared<rl::DqnAgent>(agent_opts, &rng);
+  ZEUS_RETURN_IF_ERROR(plan.agent->Load(prefix + ".dqn"));
+  plan.agent->set_epsilon(0.0f);
+
+  plan.cache = std::make_shared<apfg::FeatureCache>(plan.apfg.get());
+  return plan;
+}
+
+}  // namespace zeus::core

@@ -1,0 +1,34 @@
+#ifndef ZEUS_CORE_PLAN_IO_H_
+#define ZEUS_CORE_PLAN_IO_H_
+
+#include <string>
+
+#include "core/query_planner.h"
+
+namespace zeus::core {
+
+// Query-plan checkpointing: persists everything a trained plan needs to be
+// re-executed later (or on another machine) without replanning — APFG
+// weights, per-configuration decision thresholds, profiled configuration
+// metrics, the pruned RL action space, and the DQN weights.
+//
+// Layout (three files under one prefix):
+//   <prefix>.meta  — text manifest (targets, accuracy, config metrics)
+//   <prefix>.apfg  — APFG network weights (tensor container)
+//   <prefix>.dqn   — Q-network weights (tensor container)
+class PlanIo {
+ public:
+  // Writes the plan. The plan must have a trained APFG and agent.
+  static common::Status Save(const std::string& prefix, const QueryPlan& plan);
+
+  // Reconstructs a plan saved with Save(). `family` must match the dataset
+  // family the plan was trained for (it determines the knob grid), and
+  // `planner_options` must use the same APFG/agent architecture options.
+  static common::Result<QueryPlan> Load(
+      const std::string& prefix, video::DatasetFamily family,
+      const QueryPlanner::Options& planner_options);
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_PLAN_IO_H_

@@ -1,0 +1,316 @@
+#include "core/query.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/stringutil.h"
+
+namespace zeus::core {
+
+std::string ActionQuery::ToString() const {
+  std::string classes;
+  for (size_t i = 0; i < action_classes.size(); ++i) {
+    if (i) classes += ", ";
+    classes += "'";
+    classes += video::ActionClassName(action_classes[i]);
+    classes += "'";
+  }
+  std::string out = explain_only ? "EXPLAIN " : "";
+  out += "SELECT segment_ids FROM UDF(" + source + ") WHERE ";
+  if (action_classes.size() == 1) {
+    out += "action_class = " + classes;
+  } else {
+    out += "action_class IN (" + classes + ")";
+  }
+  out += common::Format(" AND accuracy >= %.0f%%", accuracy_target * 100.0);
+  if (frame_begin > 0 || frame_end >= 0) {
+    out += common::Format(" AND frame BETWEEN %d AND %d", frame_begin,
+                          frame_end < 0 ? 1 << 30 : frame_end);
+  }
+  if (limit >= 0) out += common::Format(" LIMIT %d", limit);
+  return out;
+}
+
+namespace {
+
+enum class TokenKind { kIdent, kString, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  common::Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    size_t i = 0;
+    const std::string& s = input_;
+    while (i < s.size()) {
+      char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < s.size() && (std::isalnum(static_cast<unsigned char>(s[j])) ||
+                                s[j] == '_')) {
+          ++j;
+        }
+        out.push_back({TokenKind::kIdent, common::ToLower(s.substr(i, j - i)), 0});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        size_t j = i;
+        while (j < s.size() && (std::isdigit(static_cast<unsigned char>(s[j])) ||
+                                s[j] == '.')) {
+          ++j;
+        }
+        Token t;
+        t.kind = TokenKind::kNumber;
+        t.text = s.substr(i, j - i);
+        t.number = std::stod(t.text);
+        out.push_back(t);
+        i = j;
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        size_t j = i + 1;
+        while (j < s.size() && s[j] != c) ++j;
+        if (j >= s.size()) {
+          return common::Status::InvalidArgument("unterminated string literal");
+        }
+        out.push_back({TokenKind::kString, s.substr(i + 1, j - i - 1), 0});
+        i = j + 1;
+        continue;
+      }
+      // Multi-char operators.
+      if (c == '>' && i + 1 < s.size() && s[i + 1] == '=') {
+        out.push_back({TokenKind::kSymbol, ">=", 0});
+        i += 2;
+        continue;
+      }
+      if (std::string("=()%,;*").find(c) != std::string::npos) {
+        out.push_back({TokenKind::kSymbol, std::string(1, c), 0});
+        ++i;
+        continue;
+      }
+      return common::Status::InvalidArgument(
+          common::Format("unexpected character '%c' in query", c));
+    }
+    out.push_back({TokenKind::kEnd, "", 0});
+    return out;
+  }
+
+ private:
+  const std::string& input_;
+};
+
+// Local helper: propagate a Status out of a Result-returning method.
+#define ZEUS_RETURN_IF_ERROR_RESULT(expr)      \
+  do {                                         \
+    ::zeus::common::Status _st = (expr);       \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  common::Result<ActionQuery> Parse() {
+    ActionQuery q;
+    q.explain_only = AcceptIdent("explain");
+    ZEUS_RETURN_IF_ERROR_RESULT(ExpectIdent("select"));
+    // Projection: one identifier or '*'.
+    if (!AcceptSymbol("*")) {
+      if (Cur().kind != TokenKind::kIdent) {
+        return common::Status::InvalidArgument("expected projection column");
+      }
+      Advance();
+    }
+    ZEUS_RETURN_IF_ERROR_RESULT(ExpectIdent("from"));
+    ZEUS_RETURN_IF_ERROR_RESULT(ParseSource(&q));
+    ZEUS_RETURN_IF_ERROR_RESULT(ExpectIdent("where"));
+    ZEUS_RETURN_IF_ERROR_RESULT(ParsePredicate(&q));
+    while (AcceptIdent("and")) {
+      ZEUS_RETURN_IF_ERROR_RESULT(ParsePredicate(&q));
+    }
+    if (AcceptIdent("limit")) {
+      if (Cur().kind != TokenKind::kNumber) {
+        return common::Status::InvalidArgument("LIMIT needs a number");
+      }
+      q.limit = static_cast<int>(Cur().number);
+      if (q.limit < 0 ||
+          static_cast<double>(q.limit) != Cur().number) {
+        return common::Status::InvalidArgument(
+            "LIMIT must be a non-negative integer");
+      }
+      Advance();
+    }
+    AcceptSymbol(";");
+    if (Cur().kind != TokenKind::kEnd) {
+      return common::Status::InvalidArgument("trailing tokens in query");
+    }
+    if (q.action_classes.empty()) {
+      return common::Status::InvalidArgument(
+          "query must constrain action_class");
+    }
+    if (q.frame_end >= 0 && q.frame_end <= q.frame_begin) {
+      return common::Status::InvalidArgument("empty frame range");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool AcceptIdent(const std::string& kw) {
+    if (Cur().kind == TokenKind::kIdent && Cur().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const std::string& sym) {
+    if (Cur().kind == TokenKind::kSymbol && Cur().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  common::Status ExpectIdent(const std::string& kw) {
+    if (!AcceptIdent(kw)) {
+      return common::Status::InvalidArgument("expected keyword '" + kw + "'");
+    }
+    return common::Status::Ok();
+  }
+  common::Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) {
+      return common::Status::InvalidArgument("expected '" + sym + "'");
+    }
+    return common::Status::Ok();
+  }
+
+  common::Status ParseSource(ActionQuery* q) {
+    if (Cur().kind != TokenKind::kIdent) {
+      return common::Status::InvalidArgument("expected source after FROM");
+    }
+    std::string first = Cur().text;
+    Advance();
+    if (AcceptSymbol("(")) {
+      // UDF(video) form.
+      if (Cur().kind != TokenKind::kIdent) {
+        return common::Status::InvalidArgument("expected UDF argument");
+      }
+      q->source = Cur().text;
+      Advance();
+      return ExpectSymbol(")");
+    }
+    q->source = first;
+    return common::Status::Ok();
+  }
+
+  // Parses one class string literal into `q`, rejecting unknown names and
+  // duplicates.
+  common::Status ParseClassLiteral(ActionQuery* q) {
+    if (Cur().kind != TokenKind::kString) {
+      return common::Status::InvalidArgument(
+          "action_class must compare against a string literal");
+    }
+    video::ActionClass cls = video::ParseActionClass(Cur().text);
+    if (cls == video::ActionClass::kNone) {
+      return common::Status::InvalidArgument("unknown action class '" +
+                                             Cur().text + "'");
+    }
+    for (video::ActionClass existing : q->action_classes) {
+      if (existing == cls) {
+        return common::Status::InvalidArgument(
+            "duplicate action class in predicate");
+      }
+    }
+    q->action_classes.push_back(cls);
+    Advance();
+    return common::Status::Ok();
+  }
+
+  common::Status ParsePredicate(ActionQuery* q) {
+    if (Cur().kind != TokenKind::kIdent) {
+      return common::Status::InvalidArgument("expected predicate column");
+    }
+    std::string column = Cur().text;
+    Advance();
+    if (column == "action_class") {
+      if (!q->action_classes.empty()) {
+        return common::Status::InvalidArgument(
+            "action_class constrained twice");
+      }
+      if (AcceptIdent("in")) {
+        ZEUS_RETURN_IF_ERROR_RESULT(ExpectSymbol("("));
+        ZEUS_RETURN_IF_ERROR_RESULT(ParseClassLiteral(q));
+        while (AcceptSymbol(",")) {
+          ZEUS_RETURN_IF_ERROR_RESULT(ParseClassLiteral(q));
+        }
+        return ExpectSymbol(")");
+      }
+      ZEUS_RETURN_IF_ERROR_RESULT(ExpectSymbol("="));
+      return ParseClassLiteral(q);
+    }
+    if (column == "accuracy") {
+      ZEUS_RETURN_IF_ERROR_RESULT(ExpectSymbol(">="));
+      if (Cur().kind != TokenKind::kNumber) {
+        return common::Status::InvalidArgument("accuracy needs a number");
+      }
+      double v = Cur().number;
+      Advance();
+      if (AcceptSymbol("%") || v > 1.0) v /= 100.0;
+      if (v <= 0.0 || v > 1.0) {
+        return common::Status::InvalidArgument("accuracy out of range");
+      }
+      q->accuracy_target = v;
+      return common::Status::Ok();
+    }
+    if (column == "frame") {
+      ZEUS_RETURN_IF_ERROR_RESULT(ExpectIdent("between"));
+      if (Cur().kind != TokenKind::kNumber) {
+        return common::Status::InvalidArgument("BETWEEN needs a number");
+      }
+      q->frame_begin = static_cast<int>(Cur().number);
+      Advance();
+      ZEUS_RETURN_IF_ERROR_RESULT(ExpectIdent("and"));
+      if (Cur().kind != TokenKind::kNumber) {
+        return common::Status::InvalidArgument("BETWEEN needs two numbers");
+      }
+      q->frame_end = static_cast<int>(Cur().number);
+      Advance();
+      if (q->frame_begin < 0) {
+        return common::Status::InvalidArgument("frame range must be >= 0");
+      }
+      return common::Status::Ok();
+    }
+    return common::Status::InvalidArgument("unknown predicate column '" +
+                                           column + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+
+#undef ZEUS_RETURN_IF_ERROR_RESULT
+};
+
+}  // namespace
+
+common::Result<ActionQuery> QueryParser::Parse(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace zeus::core

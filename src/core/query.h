@@ -1,0 +1,68 @@
+#ifndef ZEUS_CORE_QUERY_H_
+#define ZEUS_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "video/video.h"
+
+namespace zeus::core {
+
+// A parsed action query (§1):
+//   SELECT segment_ids FROM UDF(video)
+//   WHERE action_class = 'left-turn' AND accuracy >= 80%
+//
+// Extensions beyond the paper's single-class form:
+//   - multi-class predicates (the §6.5 multi-class training setup):
+//       WHERE action_class IN ('cross-right', 'cross-left')
+//   - frame-range restriction:
+//       AND frame BETWEEN 100 AND 2000
+//   - result cap: LIMIT 10
+//   - plan inspection: EXPLAIN SELECT ...
+struct ActionQuery {
+  // Target classes; a single-class query has exactly one entry.
+  std::vector<video::ActionClass> action_classes;
+  double accuracy_target = 0.8;  // in [0, 1]
+  std::string source = "video";  // the FROM operand
+
+  // Optional frame-range restriction: only segments intersecting
+  // [frame_begin, frame_end) are returned. frame_end == -1 means unbounded.
+  int frame_begin = 0;
+  int frame_end = -1;
+
+  // Maximum number of result segments; -1 means unlimited.
+  int limit = -1;
+
+  // EXPLAIN: plan (training if needed) and describe, but do not execute.
+  bool explain_only = false;
+
+  // Primary class (first target); kNone when the query is empty.
+  video::ActionClass primary_class() const {
+    return action_classes.empty() ? video::ActionClass::kNone
+                                  : action_classes.front();
+  }
+
+  std::string ToString() const;
+};
+
+// SQL-flavoured parser for action queries. Accepts the grammar:
+//   query      := ['EXPLAIN'] 'SELECT' projection 'FROM' source
+//                 'WHERE' predicates ['LIMIT' number] [';']
+//   projection := ident | '*'
+//   source     := ident | ident '(' ident ')'
+//   predicates := predicate ('AND' predicate)*
+//   predicate  := 'action_class' '=' string
+//               | 'action_class' 'IN' '(' string (',' string)* ')'
+//               | 'accuracy' '>=' number ['%']
+//               | 'frame' 'BETWEEN' number 'AND' number
+// Keywords are case-insensitive; `accuracy` given as a percentage (>= 1.0)
+// is normalized to [0, 1].
+class QueryParser {
+ public:
+  static common::Result<ActionQuery> Parse(const std::string& sql);
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_QUERY_H_

@@ -1,0 +1,146 @@
+#include "core/query_planner.h"
+
+#include "apfg/segment_sampler.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace zeus::core {
+
+namespace {
+
+// Calibrates the APFG decision threshold on validation data: slides the
+// best configuration over a few validation videos, collects window
+// probabilities and ground-truth labels, and picks the threshold that
+// maximizes window-level F1.
+void CalibrateThreshold(apfg::Apfg* apfg, const Configuration& best,
+                        const std::vector<const video::Video*>& val_videos,
+                        const std::vector<video::ActionClass>& targets) {
+  struct Obs {
+    float prob;
+    int label;
+  };
+  std::vector<Obs> obs;
+  const int covered = best.CoveredFrames();
+  size_t max_videos = std::min<size_t>(val_videos.size(), 4);
+  for (size_t vi = 0; vi < max_videos; ++vi) {
+    const video::Video& v = *val_videos[vi];
+    for (int start = 0; start + covered <= v.num_frames(); start += covered) {
+      apfg::Apfg::Output out = apfg->Process(v, start, best.spec);
+      int label = apfg::SegmentLabel(v, start, covered, targets);
+      obs.push_back({out.action_prob, label});
+    }
+  }
+  if (obs.empty()) return;
+  float best_threshold = 0.5f;
+  double best_f1 = -1.0;
+  for (float t = 0.15f; t <= 0.86f; t += 0.05f) {
+    long tp = 0, fp = 0, fn = 0;
+    for (const Obs& o : obs) {
+      bool pred = o.prob > t;
+      if (pred && o.label) ++tp;
+      else if (pred && !o.label) ++fp;
+      else if (!pred && o.label) ++fn;
+    }
+    double p = tp + fp ? static_cast<double>(tp) / (tp + fp) : 0.0;
+    double r = tp + fn ? static_cast<double>(tp) / (tp + fn) : 0.0;
+    double f1 = p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      best_threshold = t;
+    }
+  }
+  apfg->set_decision_threshold(best_threshold);
+  ZEUS_LOG(Debug) << "calibrated threshold=" << best_threshold
+                  << " window_f1=" << best_f1;
+}
+
+}  // namespace
+
+std::vector<const video::Video*> QueryPlanner::SplitVideos(
+    const std::vector<int>& indices) const {
+  std::vector<const video::Video*> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    out.push_back(&dataset_->video(static_cast<size_t>(i)));
+  }
+  return out;
+}
+
+common::Result<QueryPlan> QueryPlanner::Plan(const ActionQuery& query) {
+  return PlanForClasses(query.action_classes, query.accuracy_target);
+}
+
+common::Result<QueryPlan> QueryPlanner::PlanForClasses(
+    const std::vector<video::ActionClass>& targets, double accuracy_target) {
+  if (targets.empty()) {
+    return common::Status::InvalidArgument("no target classes");
+  }
+  common::Rng rng(opts_.seed);
+  QueryPlan plan;
+  plan.targets = targets;
+  plan.accuracy_target = accuracy_target;
+  plan.env_opts = opts_.env;
+
+  // Configuration space for this dataset family (Table 4).
+  if (!opts_.space_override.empty()) {
+    plan.space = ConfigurationSpace();
+    *plan.space.mutable_configs() = opts_.space_override;
+  } else {
+    plan.space = ConfigurationSpace::ForFamily(dataset_->profile().family);
+  }
+  plan.space.AttachCosts(plan.cost_model);
+
+  auto train_videos = SplitVideos(dataset_->train_indices());
+  auto val_videos = SplitVideos(dataset_->val_indices());
+  if (train_videos.empty() || val_videos.empty()) {
+    return common::Status::FailedPrecondition("dataset splits are empty");
+  }
+
+  // 1. APFG fine-tuning at the most accurate configuration (§5).
+  plan.apfg = std::make_shared<apfg::Apfg>(opts_.apfg, opts_.model_reuse, &rng);
+  const Configuration& best = plan.space.config(plan.space.SlowestId());
+  std::vector<video::DecodeSpec> all_specs;
+  for (const Configuration& c : plan.space.configs()) {
+    all_specs.push_back(c.spec);
+  }
+  common::WallTimer apfg_timer;
+  common::Status st = plan.apfg->Train(train_videos, targets, best.spec,
+                                       all_specs, &plan.apfg_stats);
+  if (!st.ok()) return st;
+  plan.apfg_train_seconds = apfg_timer.ElapsedSeconds();
+  plan.env_opts.feature_dim = plan.apfg->feature_dim();
+  CalibrateThreshold(plan.apfg.get(), best, val_videos, targets);
+
+  // 2. Configuration profiling on the validation split (§4.2).
+  common::WallTimer profile_timer;
+  ConfigPlanner profiler(opts_.profile, plan.cost_model);
+  profiler.Profile(&plan.space, plan.apfg.get(), val_videos, targets);
+  plan.profile_seconds = profile_timer.ElapsedSeconds();
+
+  // 3. Prune to the accuracy-throughput Pareto frontier: dominated
+  // configurations (slower and less accurate than some other) are never
+  // worth an agent action.
+  plan.rl_space = plan.space.PruneToFrontier(opts_.max_rl_configs);
+
+  // 4. DQN training with accuracy-aware aggregate rewards (§4.3-4.6).
+  plan.cache = std::make_shared<apfg::FeatureCache>(plan.apfg.get());
+  if (opts_.train_rl) {
+    rl::VideoEnv env(train_videos, &plan.rl_space, plan.cache.get(), targets,
+                     plan.env_opts);
+    rl::DqnTrainer::Options trainer_opts = opts_.trainer;
+    trainer_opts.accuracy_target = accuracy_target;
+    common::WallTimer rl_timer;
+    rl::DqnTrainer trainer(&env, trainer_opts, &rng);
+    plan.rl_stats = trainer.Train();
+    plan.rl_train_seconds = rl_timer.ElapsedSeconds();
+    plan.agent = trainer.ReleaseAgent();
+  }
+
+  ZEUS_LOG(Info) << "plan ready: target=" << accuracy_target
+                 << " apfg_acc=" << plan.apfg_stats.train_accuracy
+                 << " rl_steps=" << plan.rl_stats.steps
+                 << " train_f1=" << plan.rl_stats.last_episode_accuracy;
+  return plan;
+}
+
+}  // namespace zeus::core

@@ -1,0 +1,90 @@
+#ifndef ZEUS_CORE_QUERY_PLANNER_H_
+#define ZEUS_CORE_QUERY_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "apfg/apfg.h"
+#include "apfg/feature_cache.h"
+#include "core/config_planner.h"
+#include "core/configuration.h"
+#include "core/query.h"
+#include "rl/dqn_agent.h"
+#include "rl/env.h"
+#include "rl/trainer.h"
+#include "video/dataset.h"
+
+namespace zeus::core {
+
+// Everything the query planner produces for one (query, dataset, accuracy
+// target): a trained APFG, the profiled configuration space, and the
+// trained DQN agent, plus the timing breakdown reported in Table 6.
+struct QueryPlan {
+  std::vector<video::ActionClass> targets;
+  double accuracy_target = 0.85;
+  ConfigurationSpace space;     // full grid, costs + validation F1 attached
+  ConfigurationSpace rl_space;  // pruned Pareto frontier the agent acts over
+  CostModel cost_model;
+  std::shared_ptr<apfg::Apfg> apfg;
+  std::shared_ptr<apfg::FeatureCache> cache;
+  std::shared_ptr<rl::DqnAgent> agent;
+  rl::VideoEnv::Options env_opts;
+
+  // Timing breakdown (Table 6).
+  double apfg_train_seconds = 0.0;
+  double profile_seconds = 0.0;
+  double rl_train_seconds = 0.0;
+  rl::DqnTrainer::Result rl_stats;
+  apfg::ApfgTrainStats apfg_stats;
+};
+
+// Trains and assembles a QueryPlan (§4). The planner owns the schedule:
+//   1. fine-tune the APFG on the train split at the most accurate
+//      configuration (model reuse, §5);
+//   2. profile every configuration on the validation split (§4.2);
+//   3. train the DQN agent with accuracy-aware aggregate rewards (§4.5-4.6).
+class QueryPlanner {
+ public:
+  struct Options {
+    uint64_t seed = 17;
+    bool model_reuse = true;
+    apfg::ApfgTrainOptions apfg;
+    ConfigPlanner::Options profile;
+    rl::DqnTrainer::Options trainer;
+    rl::VideoEnv::Options env;
+    // Maximum size of the pruned action space handed to the agent (the
+    // accuracy-throughput Pareto frontier of the profiled grid).
+    int max_rl_configs = 10;
+    // Skip DQN training (plan.agent stays null). Used when only the APFG
+    // and the profiled configuration space are needed (e.g. Table 4).
+    bool train_rl = true;
+    // Optional override of the configuration space (ablations / subsets);
+    // empty => ConfigurationSpace::ForFamily(dataset family).
+    std::vector<Configuration> space_override;
+  };
+
+  QueryPlanner(const video::SyntheticDataset* dataset, const Options& opts)
+      : dataset_(dataset), opts_(opts) {}
+
+  // Plans a single-class query parsed from SQL.
+  common::Result<QueryPlan> Plan(const ActionQuery& query);
+
+  // Plans for an explicit set of target classes (multi-class training,
+  // §6.5) at the given accuracy target.
+  common::Result<QueryPlan> PlanForClasses(
+      const std::vector<video::ActionClass>& targets, double accuracy_target);
+
+  const Options& options() const { return opts_; }
+
+  // Videos of the dataset's split, as pointers (helper shared with benches).
+  std::vector<const video::Video*> SplitVideos(
+      const std::vector<int>& indices) const;
+
+ private:
+  const video::SyntheticDataset* dataset_;
+  Options opts_;
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_QUERY_PLANNER_H_

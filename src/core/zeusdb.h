@@ -1,0 +1,87 @@
+#ifndef ZEUS_CORE_ZEUSDB_H_
+#define ZEUS_CORE_ZEUSDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/query.h"
+#include "core/query_planner.h"
+#include "video/dataset.h"
+
+namespace zeus::core {
+
+// Top-level VDBMS facade — the public API a downstream user programs
+// against. Register datasets, then execute SQL-ish action queries:
+//
+//   zeus::core::ZeusDb db;
+//   db.RegisterDataset("bdd", std::move(dataset));
+//   auto result = db.Execute("bdd",
+//       "SELECT segment_ids FROM UDF(video) "
+//       "WHERE action_class = 'cross-right' AND accuracy >= 85%");
+//
+// Execute() plans the query (training the APFG and the RL agent) if no plan
+// for (dataset, class, target) is cached, runs the Zeus-RL executor on the
+// dataset's test split, and returns the localized segments plus metrics.
+class ZeusDb {
+ public:
+  struct QueryResult {
+    ActionQuery query;
+    // Localized segments per test video: (video id, [start, end)).
+    struct Segment {
+      int video_id = 0;
+      int start = 0;
+      int end = 0;
+    };
+    std::vector<Segment> segments;
+    PrfMetrics metrics;
+    double throughput_fps = 0.0;
+    double gpu_seconds = 0.0;
+    double wall_seconds = 0.0;
+    double plan_seconds = 0.0;  // 0 when the plan was cached
+
+    // For EXPLAIN queries: a human-readable plan description. Empty for
+    // normal execution.
+    std::string explanation;
+  };
+
+  explicit ZeusDb(QueryPlanner::Options planner_options = {});
+
+  // Takes ownership of the dataset under `name`.
+  common::Status RegisterDataset(const std::string& name,
+                                 video::SyntheticDataset dataset);
+
+  bool HasDataset(const std::string& name) const {
+    return datasets_.count(name) > 0;
+  }
+  const video::SyntheticDataset* dataset(const std::string& name) const;
+
+  // Parses and runs a query against a registered dataset's test split.
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const std::string& sql);
+
+  // Runs an already-parsed query.
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const ActionQuery& query);
+
+  // Access to the cached plan for a query (nullptr if not planned yet).
+  const QueryPlan* CachedPlan(const std::string& dataset_name,
+                              const ActionQuery& query) const;
+
+  // Human-readable description of a plan (the EXPLAIN output).
+  static std::string ExplainPlan(const QueryPlan& plan);
+
+ private:
+  std::string PlanKey(const std::string& dataset_name,
+                      const ActionQuery& query) const;
+
+  QueryPlanner::Options planner_options_;
+  std::map<std::string, std::unique_ptr<video::SyntheticDataset>> datasets_;
+  std::map<std::string, std::unique_ptr<QueryPlan>> plans_;
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_ZEUSDB_H_

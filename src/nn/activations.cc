@@ -1,0 +1,87 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace zeus::nn {
+
+tensor::Tensor ReLU::Forward(const tensor::Tensor& input, bool train) {
+  tensor::Tensor out = input;
+  if (train) mask_.assign(input.size(), 0);
+  float* y = out.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (y[i] > 0.0f) {
+      if (train) mask_[i] = 1;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor ReLU::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(mask_.size() == grad_output.size());
+  tensor::Tensor grad_input = grad_output;
+  float* dx = grad_input.data();
+  for (size_t i = 0; i < grad_input.size(); ++i) {
+    if (!mask_[i]) dx[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+tensor::Tensor Tanh::Forward(const tensor::Tensor& input, bool train) {
+  tensor::Tensor out = input;
+  float* y = out.data();
+  for (size_t i = 0; i < out.size(); ++i) y[i] = std::tanh(y[i]);
+  if (train) cached_output_ = out;
+  return out;
+}
+
+tensor::Tensor Tanh::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(tensor::SameShape(cached_output_, grad_output));
+  tensor::Tensor grad_input = grad_output;
+  float* dx = grad_input.data();
+  const float* y = cached_output_.data();
+  for (size_t i = 0; i < grad_input.size(); ++i) dx[i] *= 1.0f - y[i] * y[i];
+  return grad_input;
+}
+
+tensor::Tensor Dropout::Forward(const tensor::Tensor& input, bool train) {
+  was_training_ = train;
+  if (!train || p_ <= 0.0f) return input;
+  tensor::Tensor out = input;
+  mask_.assign(input.size(), 0.0f);
+  const float scale = 1.0f / (1.0f - p_);
+  float* y = out.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (rng_->NextBernoulli(p_)) {
+      y[i] = 0.0f;
+    } else {
+      mask_[i] = scale;
+      y[i] *= scale;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Dropout::Backward(const tensor::Tensor& grad_output) {
+  if (!was_training_ || p_ <= 0.0f) return grad_output;
+  ZEUS_CHECK(mask_.size() == grad_output.size());
+  tensor::Tensor grad_input = grad_output;
+  float* dx = grad_input.data();
+  for (size_t i = 0; i < grad_input.size(); ++i) dx[i] *= mask_[i];
+  return grad_input;
+}
+
+tensor::Tensor Flatten::Forward(const tensor::Tensor& input, bool train) {
+  if (train) cached_shape_ = input.shape();
+  int n = input.dim(0);
+  int rest = static_cast<int>(input.size()) / n;
+  return input.Reshape({n, rest});
+}
+
+tensor::Tensor Flatten::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(!cached_shape_.empty());
+  return grad_output.Reshape(cached_shape_);
+}
+
+}  // namespace zeus::nn

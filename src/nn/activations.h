@@ -1,0 +1,63 @@
+#ifndef ZEUS_NN_ACTIVATIONS_H_
+#define ZEUS_NN_ACTIVATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// Elementwise rectified linear unit.
+class ReLU : public Layer {
+ public:
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  std::vector<uint8_t> mask_;
+};
+
+// Elementwise tanh (used in small MLP heads).
+class Tanh : public Layer {
+ public:
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  tensor::Tensor cached_output_;
+};
+
+// Inverted dropout; active only in training mode.
+class Dropout : public Layer {
+ public:
+  Dropout(float p, common::Rng* rng) : p_(p), rng_(rng) {}
+
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  common::Rng* rng_;
+  std::vector<float> mask_;
+  bool was_training_ = false;
+};
+
+// Collapses all trailing dims: {N, ...} -> {N, prod(...)}.
+class Flatten : public Layer {
+ public:
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_ACTIVATIONS_H_

@@ -1,0 +1,137 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace zeus::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, const Options& opts,
+               common::Rng* rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      opts_(opts),
+      weight_({out_channels, in_channels, opts.kernel[0], opts.kernel[1]}),
+      bias_({out_channels}) {
+  int fan_in = in_channels * opts.kernel[0] * opts.kernel[1];
+  float bound = 1.0f / std::sqrt(static_cast<float>(fan_in));
+  tensor::FillUniform(&weight_.value, rng, bound);
+  tensor::FillUniform(&bias_.value, rng, bound);
+}
+
+tensor::Tensor Conv2d::Forward(const tensor::Tensor& input, bool train) {
+  ZEUS_CHECK(input.ndim() == 4 && input.dim(1) == in_channels_);
+  if (train) cached_input_ = input;
+  const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
+            wi = input.dim(3);
+  const auto [kh, kw] = opts_.kernel;
+  const auto [sh, sw] = opts_.stride;
+  const auto [ph, pw] = opts_.padding;
+  const int ho = OutDim(hi, kh, sh, ph);
+  const int wo = OutDim(wi, kw, sw, pw);
+  ZEUS_CHECK(ho > 0 && wo > 0);
+  tensor::Tensor out({n, out_channels_, ho, wo});
+
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  float* y = out.data();
+  const size_t x_cstride = static_cast<size_t>(hi) * wi;
+  const size_t x_nstride = x_cstride * ci;
+  const size_t y_cstride = static_cast<size_t>(ho) * wo;
+  const size_t y_nstride = y_cstride * out_channels_;
+  const size_t w_cstride = static_cast<size_t>(kh) * kw;
+  const size_t w_ostride = w_cstride * ci;
+
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* yplane = y + b * y_nstride + oc * y_cstride;
+      const float bias_v = bias_.value[oc];
+      for (int oh = 0; oh < ho; ++oh) {
+        const int h0 = oh * sh - ph;
+        for (int ow = 0; ow < wo; ++ow) {
+          const int w0 = ow * sw - pw;
+          double acc = bias_v;
+          for (int ic = 0; ic < ci; ++ic) {
+            const float* xc = x + b * x_nstride + ic * x_cstride;
+            const float* wc = w + oc * w_ostride + ic * w_cstride;
+            for (int dh = 0; dh < kh; ++dh) {
+              const int hh = h0 + dh;
+              if (hh < 0 || hh >= hi) continue;
+              const float* xrow = xc + static_cast<size_t>(hh) * wi;
+              const float* wrow = wc + static_cast<size_t>(dh) * kw;
+              for (int dw = 0; dw < kw; ++dw) {
+                const int ww = w0 + dw;
+                if (ww < 0 || ww >= wi) continue;
+                acc += static_cast<double>(xrow[ww]) * wrow[dw];
+              }
+            }
+          }
+          yplane[static_cast<size_t>(oh) * wo + ow] = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(!cached_input_.empty());
+  const tensor::Tensor& input = cached_input_;
+  const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
+            wi = input.dim(3);
+  const auto [kh, kw] = opts_.kernel;
+  const auto [sh, sw] = opts_.stride;
+  const auto [ph, pw] = opts_.padding;
+  const int ho = grad_output.dim(2), wo = grad_output.dim(3);
+
+  tensor::Tensor grad_input(input.shape());
+  const float* x = input.data();
+  const float* w = weight_.value.data();
+  const float* dy = grad_output.data();
+  float* dx = grad_input.data();
+  float* dw_ = weight_.grad.data();
+  float* db = bias_.grad.data();
+
+  const size_t x_cstride = static_cast<size_t>(hi) * wi;
+  const size_t x_nstride = x_cstride * ci;
+  const size_t y_cstride = static_cast<size_t>(ho) * wo;
+  const size_t y_nstride = y_cstride * out_channels_;
+  const size_t w_cstride = static_cast<size_t>(kh) * kw;
+  const size_t w_ostride = w_cstride * ci;
+
+  for (int b = 0; b < n; ++b) {
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* dyplane = dy + b * y_nstride + oc * y_cstride;
+      for (int oh = 0; oh < ho; ++oh) {
+        const int h0 = oh * sh - ph;
+        for (int ow = 0; ow < wo; ++ow) {
+          const float g = dyplane[static_cast<size_t>(oh) * wo + ow];
+          if (g == 0.0f) continue;
+          const int w0 = ow * sw - pw;
+          db[oc] += g;
+          for (int ic = 0; ic < ci; ++ic) {
+            const float* xc = x + b * x_nstride + ic * x_cstride;
+            float* dxc = dx + b * x_nstride + ic * x_cstride;
+            const float* wc = w + oc * w_ostride + ic * w_cstride;
+            float* dwc = dw_ + oc * w_ostride + ic * w_cstride;
+            for (int dh = 0; dh < kh; ++dh) {
+              const int hh = h0 + dh;
+              if (hh < 0 || hh >= hi) continue;
+              const size_t xoff = static_cast<size_t>(hh) * wi;
+              const size_t woff = static_cast<size_t>(dh) * kw;
+              for (int dwk = 0; dwk < kw; ++dwk) {
+                const int ww = w0 + dwk;
+                if (ww < 0 || ww >= wi) continue;
+                dwc[woff + dwk] += g * xc[xoff + ww];
+                dxc[xoff + ww] += g * wc[woff + dwk];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace zeus::nn

@@ -1,0 +1,46 @@
+#ifndef ZEUS_NN_CONV2D_H_
+#define ZEUS_NN_CONV2D_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// 2-D convolution over {N, C, H, W} inputs. Used by the Frame-PP baseline's
+// per-frame classifier (2D ResNet analogue in the paper).
+class Conv2d : public Layer {
+ public:
+  struct Options {
+    std::array<int, 2> kernel = {3, 3};
+    std::array<int, 2> stride = {1, 1};
+    std::array<int, 2> padding = {1, 1};
+  };
+
+  Conv2d(int in_channels, int out_channels, const Options& opts,
+         common::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Conv2d"; }
+
+  static int OutDim(int in, int kernel, int stride, int padding) {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  Options opts_;
+  Parameter weight_;  // {out, in, kh, kw}
+  Parameter bias_;    // {out}
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_CONV2D_H_

@@ -1,0 +1,53 @@
+#ifndef ZEUS_NN_CONV3D_H_
+#define ZEUS_NN_CONV3D_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// 3-D convolution over {N, C, L, H, W} inputs — the spatio-temporal building
+// block of R3D (Fig. 3 of the paper). Direct (non-im2col) implementation:
+// problem sizes in this reproduction are small enough that the simple loop
+// nest is both fast and cache-friendly.
+class Conv3d : public Layer {
+ public:
+  struct Options {
+    std::array<int, 3> kernel = {3, 3, 3};   // {kt, kh, kw}
+    std::array<int, 3> stride = {1, 1, 1};   // {st, sh, sw}
+    std::array<int, 3> padding = {1, 1, 1};  // {pt, ph, pw}
+  };
+
+  Conv3d(int in_channels, int out_channels, const Options& opts,
+         common::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Conv3d"; }
+
+  // Output spatial size for one dimension.
+  static int OutDim(int in, int kernel, int stride, int padding) {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  Options opts_;
+  Parameter weight_;  // {out, in, kt, kh, kw}
+  Parameter bias_;    // {out}
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_CONV3D_H_

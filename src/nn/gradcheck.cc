@@ -1,0 +1,74 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zeus::nn {
+
+namespace {
+
+float RelError(float analytic, float numeric) {
+  float denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4f});
+  return std::abs(analytic - numeric) / denom;
+}
+
+}  // namespace
+
+GradCheckResult CheckInputGradient(
+    Layer* layer, const tensor::Tensor& input,
+    const std::function<float(const tensor::Tensor&)>& loss_of_output,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& grad_of_output,
+    int max_coords, float epsilon) {
+  // Analytic gradient.
+  ZeroGrads(layer->Parameters());
+  tensor::Tensor out = layer->Forward(input, /*train=*/true);
+  tensor::Tensor analytic = layer->Backward(grad_of_output(out));
+
+  GradCheckResult result;
+  size_t stride = std::max<size_t>(1, input.size() / static_cast<size_t>(max_coords));
+  for (size_t i = 0; i < input.size(); i += stride) {
+    tensor::Tensor plus = input;
+    tensor::Tensor minus = input;
+    plus[i] += epsilon;
+    minus[i] -= epsilon;
+    float lp = loss_of_output(layer->Forward(plus, false));
+    float lm = loss_of_output(layer->Forward(minus, false));
+    float numeric = (lp - lm) / (2.0f * epsilon);
+    result.max_rel_error =
+        std::max(result.max_rel_error, RelError(analytic[i], numeric));
+    ++result.checked;
+  }
+  return result;
+}
+
+GradCheckResult CheckParameterGradient(
+    Layer* layer, const tensor::Tensor& input,
+    const std::function<float(const tensor::Tensor&)>& loss_of_output,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& grad_of_output,
+    int max_coords, float epsilon) {
+  auto params = layer->Parameters();
+  ZeroGrads(params);
+  tensor::Tensor out = layer->Forward(input, /*train=*/true);
+  layer->Backward(grad_of_output(out));
+
+  GradCheckResult result;
+  for (Parameter* p : params) {
+    size_t stride =
+        std::max<size_t>(1, p->value.size() / static_cast<size_t>(max_coords));
+    for (size_t i = 0; i < p->value.size(); i += stride) {
+      float saved = p->value[i];
+      p->value[i] = saved + epsilon;
+      float lp = loss_of_output(layer->Forward(input, false));
+      p->value[i] = saved - epsilon;
+      float lm = loss_of_output(layer->Forward(input, false));
+      p->value[i] = saved;
+      float numeric = (lp - lm) / (2.0f * epsilon);
+      result.max_rel_error =
+          std::max(result.max_rel_error, RelError(p->grad[i], numeric));
+      ++result.checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace zeus::nn

@@ -1,0 +1,34 @@
+#ifndef ZEUS_NN_GRADCHECK_H_
+#define ZEUS_NN_GRADCHECK_H_
+
+#include <functional>
+
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// Finite-difference gradient checking, used only by tests. `loss_fn` must be
+// a pure function of the layer's current parameters and the given input.
+struct GradCheckResult {
+  float max_rel_error = 0.0f;  // max over checked coordinates
+  int checked = 0;
+};
+
+// Checks d(loss)/d(input) of a layer against central differences.
+// Samples up to `max_coords` input coordinates.
+GradCheckResult CheckInputGradient(
+    Layer* layer, const tensor::Tensor& input,
+    const std::function<float(const tensor::Tensor&)>& loss_of_output,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& grad_of_output,
+    int max_coords = 24, float epsilon = 1e-3f);
+
+// Checks d(loss)/d(theta) for every parameter of the layer.
+GradCheckResult CheckParameterGradient(
+    Layer* layer, const tensor::Tensor& input,
+    const std::function<float(const tensor::Tensor&)>& loss_of_output,
+    const std::function<tensor::Tensor(const tensor::Tensor&)>& grad_of_output,
+    int max_coords = 24, float epsilon = 1e-3f);
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_GRADCHECK_H_

@@ -1,0 +1,17 @@
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+Layer::~Layer() = default;
+
+void ZeroGrads(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) p->ZeroGrad();
+}
+
+size_t ParameterCount(const std::vector<Parameter*>& params) {
+  size_t n = 0;
+  for (const Parameter* p : params) n += p->value.size();
+  return n;
+}
+
+}  // namespace zeus::nn

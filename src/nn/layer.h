@@ -1,0 +1,55 @@
+#ifndef ZEUS_NN_LAYER_H_
+#define ZEUS_NN_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace zeus::nn {
+
+// A trainable weight plus its accumulated gradient. Layers own their
+// parameters; optimizers mutate them through pointers returned by
+// Layer::Parameters().
+struct Parameter {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  explicit Parameter(std::vector<int> shape)
+      : value(shape), grad(std::move(shape)) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+// Base class for all differentiable layers. The contract is the classic
+// define-by-run pair:
+//   y = Forward(x, train)   caches whatever Backward needs
+//   dx = Backward(dy)       accumulates into parameter .grad fields
+// Layers are stateful across a Forward/Backward pair and must not be shared
+// between concurrent evaluations.
+class Layer {
+ public:
+  virtual ~Layer();
+
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  virtual tensor::Tensor Forward(const tensor::Tensor& input, bool train) = 0;
+  virtual tensor::Tensor Backward(const tensor::Tensor& grad_output) = 0;
+
+  // Trainable parameters (empty for stateless layers).
+  virtual std::vector<Parameter*> Parameters() { return {}; }
+
+  virtual std::string Name() const = 0;
+};
+
+// Zeroes the gradients of every parameter in the list.
+void ZeroGrads(const std::vector<Parameter*>& params);
+
+// Total number of scalar weights.
+size_t ParameterCount(const std::vector<Parameter*>& params);
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_LAYER_H_

@@ -1,0 +1,47 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace zeus::nn {
+
+Linear::Linear(int in_features, int out_features, common::Rng* rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}) {
+  // Kaiming-uniform fan-in init, as in torch.nn.Linear.
+  float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  tensor::FillUniform(&weight_.value, rng, bound);
+  tensor::FillUniform(&bias_.value, rng, bound);
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& input, bool train) {
+  ZEUS_CHECK(input.ndim() == 2 && input.dim(1) == in_features_);
+  if (train) cached_input_ = input;
+  // y = x @ W^T + b
+  tensor::Tensor y = tensor::MatMulTransposedB(input, weight_.value);
+  int n = y.dim(0);
+  for (int i = 0; i < n; ++i) {
+    float* row = y.data() + static_cast<size_t>(i) * out_features_;
+    for (int j = 0; j < out_features_; ++j) row[j] += bias_.value[j];
+  }
+  return y;
+}
+
+tensor::Tensor Linear::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_);
+  ZEUS_CHECK(!cached_input_.empty());
+  // dW += dy^T @ x ; db += sum over rows of dy ; dx = dy @ W
+  tensor::Tensor dw = tensor::MatMulTransposedA(grad_output, cached_input_);
+  weight_.grad.Add(dw);
+  int n = grad_output.dim(0);
+  for (int i = 0; i < n; ++i) {
+    const float* row = grad_output.data() + static_cast<size_t>(i) * out_features_;
+    for (int j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
+  }
+  return tensor::MatMul(grad_output, weight_.value);
+}
+
+}  // namespace zeus::nn

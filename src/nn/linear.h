@@ -1,0 +1,38 @@
+#ifndef ZEUS_NN_LINEAR_H_
+#define ZEUS_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// Fully-connected layer: y = x W^T + b, x: {N, in}, W: {out, in}, b: {out}.
+class Linear : public Layer {
+ public:
+  Linear(int in_features, int out_features, common::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override { return {&weight_, &bias_}; }
+  std::string Name() const override { return "Linear"; }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  Parameter weight_;
+  Parameter bias_;
+  tensor::Tensor cached_input_;
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_LINEAR_H_

@@ -1,0 +1,95 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace zeus::nn {
+
+LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
+                               const std::vector<int>& labels,
+                               const std::vector<float>* sample_weights) {
+  ZEUS_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  ZEUS_CHECK(static_cast<int>(labels.size()) == n);
+  tensor::Tensor probs = tensor::SoftmaxRows(logits);
+  LossResult res;
+  res.grad = tensor::Tensor(logits.shape());
+  double total = 0.0;
+  double weight_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int y = labels[i];
+    ZEUS_CHECK(y >= 0 && y < c);
+    const float w = sample_weights ? (*sample_weights)[i] : 1.0f;
+    const float* prow = probs.data() + static_cast<size_t>(i) * c;
+    float* grow = res.grad.data() + static_cast<size_t>(i) * c;
+    total -= w * std::log(std::max(prow[y], 1e-12f));
+    for (int j = 0; j < c; ++j) {
+      grow[j] = w * (prow[j] - (j == y ? 1.0f : 0.0f));
+    }
+    weight_sum += w;
+  }
+  const float inv = weight_sum > 0.0 ? static_cast<float>(1.0 / weight_sum) : 0.0f;
+  res.loss = static_cast<float>(total) * inv;
+  res.grad.Scale(inv);
+  return res;
+}
+
+LossResult Huber(const tensor::Tensor& pred, const tensor::Tensor& target,
+                 float delta) {
+  ZEUS_CHECK(tensor::SameShape(pred, target));
+  const size_t n = pred.size();
+  ZEUS_CHECK(n > 0);
+  LossResult res;
+  res.grad = tensor::Tensor(pred.shape());
+  double total = 0.0;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float e = pred[i] - target[i];
+    float ae = std::abs(e);
+    if (ae <= delta) {
+      total += 0.5 * e * e;
+      res.grad[i] = e * inv;
+    } else {
+      total += delta * (ae - 0.5 * delta);
+      res.grad[i] = (e > 0 ? delta : -delta) * inv;
+    }
+  }
+  res.loss = static_cast<float>(total) * inv;
+  return res;
+}
+
+LossResult Mse(const tensor::Tensor& pred, const tensor::Tensor& target) {
+  ZEUS_CHECK(tensor::SameShape(pred, target));
+  const size_t n = pred.size();
+  ZEUS_CHECK(n > 0);
+  LossResult res;
+  res.grad = tensor::Tensor(pred.shape());
+  double total = 0.0;
+  const float inv = 1.0f / static_cast<float>(n);
+  for (size_t i = 0; i < n; ++i) {
+    float e = pred[i] - target[i];
+    total += e * e;
+    res.grad[i] = 2.0f * e * inv;
+  }
+  res.loss = static_cast<float>(total) * inv;
+  return res;
+}
+
+float Accuracy(const tensor::Tensor& logits, const std::vector<int>& labels) {
+  ZEUS_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  ZEUS_CHECK(static_cast<int>(labels.size()) == n);
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<size_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j)
+      if (row[j] > row[best]) best = j;
+    if (best == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+}  // namespace zeus::nn

@@ -1,0 +1,37 @@
+#ifndef ZEUS_NN_LOSS_H_
+#define ZEUS_NN_LOSS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace zeus::nn {
+
+// Scalar loss value plus the gradient w.r.t. the network output that
+// produced it. Mean-reduced over the batch.
+struct LossResult {
+  float loss = 0.0f;
+  tensor::Tensor grad;
+};
+
+// Softmax cross-entropy over logits {N, C} with integer class labels.
+// Optionally weights each sample (used for class-imbalance correction when
+// actions are rare, e.g. BDD-like data at 7% action frames).
+LossResult SoftmaxCrossEntropy(const tensor::Tensor& logits,
+                               const std::vector<int>& labels,
+                               const std::vector<float>* sample_weights = nullptr);
+
+// Huber (smooth-L1) loss between predictions and targets, elementwise over
+// 1-D tensors; delta = 1. Used for the DQN TD error (Alg. 1, line 13).
+LossResult Huber(const tensor::Tensor& pred, const tensor::Tensor& target,
+                 float delta = 1.0f);
+
+// Mean squared error over same-shape tensors.
+LossResult Mse(const tensor::Tensor& pred, const tensor::Tensor& target);
+
+// Classification accuracy of logits {N, C} against labels.
+float Accuracy(const tensor::Tensor& logits, const std::vector<int>& labels);
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_LOSS_H_

@@ -1,0 +1,29 @@
+#include "nn/lr_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zeus::nn {
+
+float StepLr::LrAt(int step) const {
+  int decays = period_ > 0 ? step / period_ : 0;
+  return base_lr() * std::pow(gamma_, static_cast<float>(decays));
+}
+
+float CosineLr::LrAt(int step) const {
+  if (total_steps_ <= 0 || step >= total_steps_) return min_lr_;
+  double phase = M_PI * static_cast<double>(step) / total_steps_;
+  return static_cast<float>(min_lr_ + (base_lr() - min_lr_) *
+                                          0.5 * (1.0 + std::cos(phase)));
+}
+
+float WarmupLr::LrAt(int step) const {
+  if (step < warmup_steps_) {
+    return base_lr() * static_cast<float>(step) /
+           static_cast<float>(std::max(1, warmup_steps_));
+  }
+  if (inner_ != nullptr) return inner_->LrAt(step - warmup_steps_);
+  return base_lr();
+}
+
+}  // namespace zeus::nn

@@ -1,0 +1,88 @@
+#ifndef ZEUS_NN_LR_SCHEDULE_H_
+#define ZEUS_NN_LR_SCHEDULE_H_
+
+#include "nn/optimizer.h"
+
+namespace zeus::nn {
+
+// Learning-rate schedules over an Optimizer. Call Step() once per epoch
+// (or per whatever unit the schedule was sized for); the schedule rewrites
+// the optimizer's learning rate in place.
+//
+//   Adam opt(model.Parameters(), 3e-3f);
+//   CosineLr schedule(&opt, /*total_steps=*/epochs);
+//   for (int e = 0; e < epochs; ++e) { TrainEpoch(); schedule.Step(); }
+class LrSchedule {
+ public:
+  explicit LrSchedule(Optimizer* optimizer)
+      : optimizer_(optimizer), base_lr_(optimizer->learning_rate()) {}
+  virtual ~LrSchedule() = default;
+
+  LrSchedule(const LrSchedule&) = delete;
+  LrSchedule& operator=(const LrSchedule&) = delete;
+
+  // Advances the schedule by one unit and updates the optimizer.
+  void Step() {
+    ++steps_;
+    optimizer_->set_learning_rate(LrAt(steps_));
+  }
+
+  int steps() const { return steps_; }
+  float base_lr() const { return base_lr_; }
+
+  // Learning rate the schedule prescribes after `step` steps.
+  virtual float LrAt(int step) const = 0;
+
+ protected:
+  Optimizer* optimizer_;
+  float base_lr_;
+
+ private:
+  int steps_ = 0;
+};
+
+// Multiplies the learning rate by `gamma` every `period` steps.
+class StepLr : public LrSchedule {
+ public:
+  StepLr(Optimizer* optimizer, int period, float gamma = 0.1f)
+      : LrSchedule(optimizer), period_(period), gamma_(gamma) {}
+
+  float LrAt(int step) const override;
+
+ private:
+  int period_;
+  float gamma_;
+};
+
+// Cosine annealing from the base rate to `min_lr` over `total_steps`, flat
+// at `min_lr` afterwards.
+class CosineLr : public LrSchedule {
+ public:
+  CosineLr(Optimizer* optimizer, int total_steps, float min_lr = 0.0f)
+      : LrSchedule(optimizer), total_steps_(total_steps), min_lr_(min_lr) {}
+
+  float LrAt(int step) const override;
+
+ private:
+  int total_steps_;
+  float min_lr_;
+};
+
+// Linear warmup to the base rate over `warmup_steps`, then delegates the
+// post-warmup shape to an inner schedule (or stays flat when `inner` is
+// null). The inner schedule's step clock starts after warmup ends.
+class WarmupLr : public LrSchedule {
+ public:
+  WarmupLr(Optimizer* optimizer, int warmup_steps, LrSchedule* inner = nullptr)
+      : LrSchedule(optimizer), warmup_steps_(warmup_steps), inner_(inner) {}
+
+  float LrAt(int step) const override;
+
+ private:
+  int warmup_steps_;
+  LrSchedule* inner_;
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_LR_SCHEDULE_H_

@@ -1,0 +1,86 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace zeus::nn {
+
+Optimizer::~Optimizer() = default;
+
+Sgd::Sgd(std::vector<Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::Step() {
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    tensor::Tensor& vel = velocity_[k];
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* v = vel.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float grad = g[i] + weight_decay_ * w[i];
+      v[i] = momentum_ * v[i] + grad;
+      w[i] -= lr_ * v[i];
+    }
+    p->ZeroGrad();
+  }
+}
+
+Adam::Adam(std::vector<Parameter*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Parameter* p = params_[k];
+    float* w = p->value.data();
+    float* g = p->grad.data();
+    float* m = m_[k].data();
+    float* v = v_[k].data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+void ClipGradNorm(const std::vector<Parameter*>& params, float max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params) {
+    const float* g = p->grad.data();
+    for (size_t i = 0; i < p->grad.size(); ++i)
+      total += static_cast<double>(g[i]) * g[i];
+  }
+  double norm = std::sqrt(total);
+  if (norm <= max_norm || norm == 0.0) return;
+  float scale = static_cast<float>(max_norm / norm);
+  for (Parameter* p : params) p->grad.Scale(scale);
+}
+
+}  // namespace zeus::nn

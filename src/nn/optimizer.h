@@ -1,0 +1,66 @@
+#ifndef ZEUS_NN_OPTIMIZER_H_
+#define ZEUS_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// Base optimizer interface: Step() applies accumulated gradients to the
+// registered parameters and zeroes them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer();
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() { ZeroGrads(params_); }
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  std::vector<Parameter*> params_;
+  float lr_ = 1e-3f;
+};
+
+// SGD with classical momentum and optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<tensor::Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba, 2015) — the paper cites it for network training.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+  std::vector<tensor::Tensor> m_;
+  std::vector<tensor::Tensor> v_;
+};
+
+// Clips the global L2 norm of all gradients to at most `max_norm`.
+void ClipGradNorm(const std::vector<Parameter*>& params, float max_norm);
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_OPTIMIZER_H_

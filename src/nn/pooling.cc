@@ -1,0 +1,99 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace zeus::nn {
+
+tensor::Tensor GlobalAvgPool::Forward(const tensor::Tensor& input, bool train) {
+  ZEUS_CHECK(input.ndim() >= 3);
+  if (train) cached_shape_ = input.shape();
+  const int n = input.dim(0), c = input.dim(1);
+  size_t spatial = 1;
+  for (int i = 2; i < input.ndim(); ++i) spatial *= static_cast<size_t>(input.dim(i));
+  tensor::Tensor out({n, c});
+  const float* x = input.data();
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane = x + (static_cast<size_t>(b) * c + ch) * spatial;
+      double s = 0.0;
+      for (size_t i = 0; i < spatial; ++i) s += plane[i];
+      out[static_cast<size_t>(b) * c + ch] =
+          static_cast<float>(s / static_cast<double>(spatial));
+    }
+  }
+  return out;
+}
+
+tensor::Tensor GlobalAvgPool::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(!cached_shape_.empty());
+  const int n = cached_shape_[0], c = cached_shape_[1];
+  size_t spatial = 1;
+  for (size_t i = 2; i < cached_shape_.size(); ++i)
+    spatial *= static_cast<size_t>(cached_shape_[i]);
+  tensor::Tensor grad_input(cached_shape_);
+  float* dx = grad_input.data();
+  const float inv = 1.0f / static_cast<float>(spatial);
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      float g = grad_output[static_cast<size_t>(b) * c + ch] * inv;
+      float* plane = dx + (static_cast<size_t>(b) * c + ch) * spatial;
+      for (size_t i = 0; i < spatial; ++i) plane[i] = g;
+    }
+  }
+  return grad_input;
+}
+
+tensor::Tensor MaxPool2d::Forward(const tensor::Tensor& input, bool train) {
+  ZEUS_CHECK(input.ndim() == 4);
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int ho = h / kernel_;
+  const int wo = w / kernel_;
+  ZEUS_CHECK(ho > 0 && wo > 0);
+  if (train) cached_shape_ = input.shape();
+  tensor::Tensor out({n, c, ho, wo});
+  argmax_.assign(out.size(), 0);
+  const float* x = input.data();
+  float* y = out.data();
+  size_t oi = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* plane =
+          x + (static_cast<size_t>(b) * c + ch) * static_cast<size_t>(h) * w;
+      const size_t plane_off =
+          (static_cast<size_t>(b) * c + ch) * static_cast<size_t>(h) * w;
+      for (int oh = 0; oh < ho; ++oh) {
+        for (int ow = 0; ow < wo; ++ow) {
+          float best = -std::numeric_limits<float>::infinity();
+          int best_idx = 0;
+          for (int dh = 0; dh < kernel_; ++dh) {
+            for (int dw = 0; dw < kernel_; ++dw) {
+              int hh = oh * kernel_ + dh;
+              int ww = ow * kernel_ + dw;
+              int idx = hh * w + ww;
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[oi] = static_cast<int>(plane_off) + best_idx;
+          ++oi;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor MaxPool2d::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(!cached_shape_.empty());
+  tensor::Tensor grad_input(cached_shape_);
+  float* dx = grad_input.data();
+  for (size_t i = 0; i < grad_output.size(); ++i) {
+    dx[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+}  // namespace zeus::nn

@@ -1,0 +1,41 @@
+#ifndef ZEUS_NN_POOLING_H_
+#define ZEUS_NN_POOLING_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// Global average pooling over all trailing spatial/temporal dims:
+//   {N, C, ...} -> {N, C}
+// This is the "adaptive average pooling to 1x1x1" step of R3D (Fig. 3b).
+class GlobalAvgPool : public Layer {
+ public:
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<int> cached_shape_;
+};
+
+// 2x2(x2) max pooling with stride = kernel, for 2-D ({N,C,H,W}) inputs.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(int kernel = 2) : kernel_(kernel) {}
+
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::string Name() const override { return "MaxPool2d"; }
+
+ private:
+  int kernel_;
+  std::vector<int> cached_shape_;
+  std::vector<int> argmax_;  // flat input index of each output element
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_POOLING_H_

@@ -1,0 +1,88 @@
+#include "nn/sequential.h"
+
+#include "tensor/serialize.h"
+
+namespace zeus::nn {
+
+tensor::Tensor Sequential::Forward(const tensor::Tensor& input, bool train) {
+  tensor::Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, train);
+  return x;
+}
+
+tensor::Tensor Sequential::Backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Parameter*> Sequential::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& layer : layers_) {
+    auto ps = layer->Parameters();
+    out.insert(out.end(), ps.begin(), ps.end());
+  }
+  return out;
+}
+
+tensor::Tensor Sequential::ForwardPrefix(const tensor::Tensor& input, size_t k,
+                                         bool train) {
+  ZEUS_CHECK(k <= layers_.size());
+  tensor::Tensor x = input;
+  for (size_t i = 0; i < k; ++i) x = layers_[i]->Forward(x, train);
+  return x;
+}
+
+tensor::Tensor Sequential::ForwardSuffix(const tensor::Tensor& input, size_t k,
+                                         bool train) {
+  ZEUS_CHECK(k <= layers_.size());
+  tensor::Tensor x = input;
+  for (size_t i = k; i < layers_.size(); ++i) x = layers_[i]->Forward(x, train);
+  return x;
+}
+
+common::Status Sequential::SaveWeights(const std::string& path) {
+  std::vector<tensor::Tensor> weights;
+  for (Parameter* p : Parameters()) weights.push_back(p->value);
+  return tensor::SaveTensors(path, weights);
+}
+
+common::Status Sequential::LoadWeights(const std::string& path) {
+  auto loaded = tensor::LoadTensors(path);
+  if (!loaded.ok()) return loaded.status();
+  auto params = Parameters();
+  const auto& weights = loaded.value();
+  if (weights.size() != params.size()) {
+    return common::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(weights.size()) +
+        " tensors, network expects " + std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (weights[i].shape() != params[i]->value.shape()) {
+      return common::Status::InvalidArgument("checkpoint tensor " +
+                                             std::to_string(i) +
+                                             " has mismatched shape");
+    }
+    params[i]->value = weights[i];
+  }
+  return common::Status::Ok();
+}
+
+common::Status Sequential::CopyWeightsFrom(Sequential& other) {
+  auto dst = Parameters();
+  auto src = other.Parameters();
+  if (dst.size() != src.size()) {
+    return common::Status::InvalidArgument("parameter count mismatch");
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i]->value.shape() != src[i]->value.shape()) {
+      return common::Status::InvalidArgument("parameter shape mismatch");
+    }
+    dst[i]->value = src[i]->value;
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace zeus::nn

@@ -1,0 +1,63 @@
+#ifndef ZEUS_NN_SEQUENTIAL_H_
+#define ZEUS_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/layer.h"
+
+namespace zeus::nn {
+
+// A straight-line stack of layers. Owns its layers. Also the unit of weight
+// (de)serialization: SaveWeights/LoadWeights walk Parameters() in order.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  // Appends a layer; returns a raw observer pointer for callers that need to
+  // poke at a specific layer (e.g. to read a feature tap).
+  template <typename L, typename... Args>
+  L* Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void Append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;
+  tensor::Tensor Backward(const tensor::Tensor& grad_output) override;
+  std::vector<Parameter*> Parameters() override;
+  std::string Name() const override { return "Sequential"; }
+
+  // Runs forward only through layers [0, k), e.g. to extract an intermediate
+  // feature representation (the APFG's ProxyFeature tap).
+  tensor::Tensor ForwardPrefix(const tensor::Tensor& input, size_t k,
+                               bool train);
+  // Runs forward through layers [k, end).
+  tensor::Tensor ForwardSuffix(const tensor::Tensor& input, size_t k,
+                               bool train);
+
+  size_t NumLayers() const { return layers_.size(); }
+  Layer* layer(size_t i) { return layers_[i].get(); }
+
+  // Checkpointing. LoadWeights requires identical architecture.
+  common::Status SaveWeights(const std::string& path);
+  common::Status LoadWeights(const std::string& path);
+
+  // Copies all parameter values from another identically-shaped network
+  // (used for DQN target-network sync).
+  common::Status CopyWeightsFrom(Sequential& other);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_SEQUENTIAL_H_

@@ -1,0 +1,24 @@
+#include "rl/qnetwork.h"
+
+#include "nn/activations.h"
+#include "nn/linear.h"
+
+namespace zeus::rl {
+
+QNetwork::QNetwork(int state_dim, int num_actions, int hidden_dim,
+                   common::Rng* rng)
+    : state_dim_(state_dim), num_actions_(num_actions) {
+  net_.Emplace<nn::Linear>(state_dim, hidden_dim, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::Linear>(hidden_dim, hidden_dim, rng);
+  net_.Emplace<nn::ReLU>();
+  net_.Emplace<nn::Linear>(hidden_dim, num_actions, rng);
+}
+
+tensor::Tensor QNetwork::Forward(const tensor::Tensor& states, bool train) {
+  return net_.Forward(states, train);
+}
+
+void QNetwork::Backward(const tensor::Tensor& grad_q) { net_.Backward(grad_q); }
+
+}  // namespace zeus::rl

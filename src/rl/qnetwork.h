@@ -1,0 +1,38 @@
+#ifndef ZEUS_RL_QNETWORK_H_
+#define ZEUS_RL_QNETWORK_H_
+
+#include "common/rng.h"
+#include "nn/sequential.h"
+
+namespace zeus::rl {
+
+// The DQN function approximator: a 3-layer MLP mapping a state vector to one
+// Q-value per configuration (§5: "Zeus's DQN model is a Multi-layer
+// Perceptron with 3 fully-connected layers").
+class QNetwork {
+ public:
+  QNetwork(int state_dim, int num_actions, int hidden_dim, common::Rng* rng);
+
+  // {N, state_dim} -> {N, num_actions}.
+  tensor::Tensor Forward(const tensor::Tensor& states, bool train);
+  void Backward(const tensor::Tensor& grad_q);
+
+  std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
+  common::Status CopyWeightsFrom(QNetwork& other) {
+    return net_.CopyWeightsFrom(other.net_);
+  }
+  common::Status Save(const std::string& path) { return net_.SaveWeights(path); }
+  common::Status Load(const std::string& path) { return net_.LoadWeights(path); }
+
+  int state_dim() const { return state_dim_; }
+  int num_actions() const { return num_actions_; }
+
+ private:
+  int state_dim_;
+  int num_actions_;
+  nn::Sequential net_;
+};
+
+}  // namespace zeus::rl
+
+#endif  // ZEUS_RL_QNETWORK_H_

@@ -1,0 +1,130 @@
+#include "rl/replay_buffer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace zeus::rl {
+
+void ReplayBuffer::Push(Experience e) {
+  size_t idx;
+  if (ring_.size() < capacity_) {
+    idx = ring_.size();
+    ring_.push_back(std::move(e));
+  } else {
+    idx = next_;
+    ring_[next_] = std::move(e);
+  }
+  next_ = (next_ + 1) % capacity_;
+  OnInsert(idx);
+}
+
+void ReplayBuffer::Stage(Experience e) { staged_.push_back(std::move(e)); }
+
+void ReplayBuffer::CommitStaged(float reward_delta) {
+  for (Experience& e : staged_) {
+    e.reward += reward_delta;
+    Push(std::move(e));
+  }
+  staged_.clear();
+}
+
+std::vector<const Experience*> ReplayBuffer::Sample(size_t n,
+                                                    common::Rng* rng) const {
+  ZEUS_CHECK(!ring_.empty());
+  std::vector<const Experience*> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(&ring_[rng->NextU64() % ring_.size()]);
+  }
+  return out;
+}
+
+ReplayBuffer::SampleResult ReplayBuffer::SampleBatch(size_t n,
+                                                     common::Rng* rng) const {
+  ZEUS_CHECK(size() > 0);
+  SampleResult out;
+  out.items.reserve(n);
+  out.indices.reserve(n);
+  out.weights.assign(n, 1.0f);
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = rng->NextU64() % size();
+    out.indices.push_back(idx);
+    out.items.push_back(&at(idx));
+  }
+  return out;
+}
+
+void ReplayBuffer::UpdatePriorities(const std::vector<size_t>& indices,
+                                    const std::vector<float>& td_errors) {
+  (void)indices;
+  (void)td_errors;
+}
+
+PrioritizedReplayBuffer::PrioritizedReplayBuffer(size_t capacity)
+    : PrioritizedReplayBuffer(capacity, Options()) {}
+
+void PrioritizedReplayBuffer::OnInsert(size_t idx) {
+  if (idx >= priorities_.size()) {
+    priorities_.resize(idx + 1, max_priority_);
+  }
+  priorities_[idx] = max_priority_;
+}
+
+ReplayBuffer::SampleResult PrioritizedReplayBuffer::SampleBatch(
+    size_t n, common::Rng* rng) const {
+  ZEUS_CHECK(size() > 0);
+  // Proportional sampling over p_i^alpha via a prefix-sum walk. Buffer
+  // sizes here are a few thousand entries, so the O(size + n log size)
+  // cost is negligible next to a Q-network forward pass.
+  std::vector<double> cumulative(size());
+  double total = 0.0;
+  for (size_t i = 0; i < size(); ++i) {
+    total += std::pow(priorities_[i] + opts_.epsilon, opts_.alpha);
+    cumulative[i] = total;
+  }
+  SampleResult out;
+  out.items.reserve(n);
+  out.indices.reserve(n);
+  out.weights.reserve(n);
+  double max_weight = 0.0;
+  std::vector<double> probs(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng->NextDouble() * total;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+        cumulative.begin());
+    idx = std::min(idx, size() - 1);
+    out.indices.push_back(idx);
+    out.items.push_back(&at(idx));
+    double p = (idx == 0 ? cumulative[0] : cumulative[idx] -
+                                               cumulative[idx - 1]) /
+               total;
+    probs[i] = p;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double w = std::pow(static_cast<double>(size()) * probs[i], -opts_.beta);
+    out.weights.push_back(static_cast<float>(w));
+    max_weight = std::max(max_weight, w);
+  }
+  // Normalize by the max weight so weights stay in (0, 1] and only scale
+  // gradients down (standard PER stabilization).
+  if (max_weight > 0.0) {
+    for (float& w : out.weights) w = static_cast<float>(w / max_weight);
+  }
+  return out;
+}
+
+void PrioritizedReplayBuffer::UpdatePriorities(
+    const std::vector<size_t>& indices, const std::vector<float>& td_errors) {
+  ZEUS_CHECK(indices.size() == td_errors.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    ZEUS_CHECK(indices[i] < priorities_.size());
+    float p = std::abs(td_errors[i]);
+    priorities_[indices[i]] = p;
+    max_priority_ = std::max(max_priority_, p);
+  }
+}
+
+}  // namespace zeus::rl

@@ -1,0 +1,122 @@
+#ifndef ZEUS_RL_REPLAY_BUFFER_H_
+#define ZEUS_RL_REPLAY_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace zeus::rl {
+
+// One (state, action, reward, next_state, done) transition. States are the
+// APFG ProxyFeatures (plus optional conditioning extras), so the buffer
+// stays small even with thousands of experiences — the reason the paper
+// feeds features rather than raw 4-D tensors to the agent (§4.3).
+struct Experience {
+  std::vector<float> state;
+  int action = 0;
+  float reward = 0.0f;
+  std::vector<float> next_state;
+  bool done = false;
+};
+
+// Cyclic experience replay buffer (§4.3) with the delayed-reward commit
+// protocol of §4.6: incomplete experiences accumulate in a staging area
+// while an aggregation window is open; CommitStaged() patches in the
+// window's rewards and moves them into the ring.
+class ReplayBuffer {
+ public:
+  // A sampled minibatch: experiences, their ring indices (for priority
+  // updates) and per-sample importance weights (all 1 for uniform replay).
+  struct SampleResult {
+    std::vector<const Experience*> items;
+    std::vector<size_t> indices;
+    std::vector<float> weights;
+  };
+
+  explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {}
+  virtual ~ReplayBuffer() = default;
+
+  // Immediate push (local-reward mode).
+  void Push(Experience e);
+
+  // Delayed protocol: stage an experience without its reward.
+  void Stage(Experience e);
+  size_t StagedCount() const { return staged_.size(); }
+
+  // Adds `reward_delta` to every staged experience's reward (local part may
+  // already be set) and moves them into the ring buffer.
+  void CommitStaged(float reward_delta);
+
+  // Drops staged experiences (e.g. at episode end with no window close).
+  void DiscardStaged() { staged_.clear(); }
+
+  // Uniform sample with replacement of `n` experiences.
+  std::vector<const Experience*> Sample(size_t n, common::Rng* rng) const;
+
+  // Sample with indices and importance weights. The base class samples
+  // uniformly with unit weights.
+  virtual SampleResult SampleBatch(size_t n, common::Rng* rng) const;
+
+  // Hook for prioritized variants: update priorities of `indices` with
+  // their freshly-computed TD errors. No-op for uniform replay.
+  virtual void UpdatePriorities(const std::vector<size_t>& indices,
+                                const std::vector<float>& td_errors);
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool CanSample(size_t n) const { return size() >= n && size() > 0; }
+
+  const Experience& at(size_t i) const { return ring_[i]; }
+
+ protected:
+  // Called after `e` has been placed at ring index `idx` (insert or
+  // overwrite), so subclasses can maintain per-slot metadata.
+  virtual void OnInsert(size_t idx) { (void)idx; }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;  // ring write cursor
+  std::vector<Experience> ring_;
+  std::vector<Experience> staged_;
+};
+
+// Proportional prioritized experience replay (Schaul et al. 2016): each
+// transition is sampled with probability proportional to
+// (|td_error| + eps)^alpha, and gradients are scaled by normalized
+// importance weights (N * p_i)^-beta to stay unbiased. New transitions get
+// the current maximum priority so every experience is replayed at least
+// once. An ablation extension beyond the paper's uniform replay (§4.3).
+class PrioritizedReplayBuffer : public ReplayBuffer {
+ public:
+  struct Options {
+    float alpha = 0.6f;  // prioritization strength (0 = uniform)
+    float beta = 0.4f;   // importance-weight correction strength
+    float epsilon = 1e-3f;
+  };
+
+  // Defined out of line: a default argument of type Options cannot be used
+  // while the enclosing class is still incomplete.
+  explicit PrioritizedReplayBuffer(size_t capacity);
+  PrioritizedReplayBuffer(size_t capacity, Options opts)
+      : ReplayBuffer(capacity), opts_(opts) {}
+
+  SampleResult SampleBatch(size_t n, common::Rng* rng) const override;
+
+  void UpdatePriorities(const std::vector<size_t>& indices,
+                        const std::vector<float>& td_errors) override;
+
+  float priority(size_t i) const { return priorities_[i]; }
+
+ protected:
+  void OnInsert(size_t idx) override;
+
+ private:
+  Options opts_;
+  float max_priority_ = 1.0f;
+  std::vector<float> priorities_;
+};
+
+}  // namespace zeus::rl
+
+#endif  // ZEUS_RL_REPLAY_BUFFER_H_

@@ -1,0 +1,34 @@
+#include "rl/reward.h"
+
+namespace zeus::rl {
+
+double RewardFunction::LocalReward(const core::Configuration& c,
+                                   bool window_has_action) const {
+  if (opts_.mode == RewardOptions::Mode::kAggregateOnly) return 0.0;
+  const double fastness = c.alpha * num_configs_;  // mean == 1.0
+  double r;
+  if (window_has_action) {
+    // Slow (accurate) configurations earn beta - fastness > 0; fast ones
+    // are penalized (Fig. 7a).
+    r = opts_.beta - fastness;
+  } else {
+    // Empty window: reward proportional to fastness (Fig. 7b/7c). Slow
+    // configurations are not penalized — false-negative avoidance is
+    // prioritized over speed (§4.4).
+    r = fastness;
+  }
+  return opts_.local_weight * r;
+}
+
+double RewardFunction::AggregateReward(double achieved, double target) {
+  if (achieved >= target) {
+    // Maximal when the achieved accuracy barely clears the target: the
+    // surplus (1 - achieved) shrinks as accuracy overshoots, so the agent
+    // is pushed to spend excess accuracy on faster configurations.
+    return target < 1.0 ? (1.0 - achieved) / (1.0 - target) : 1.0;
+  }
+  // Below target: penalty proportional to the deficit.
+  return achieved - target;
+}
+
+}  // namespace zeus::rl

@@ -1,0 +1,49 @@
+#ifndef ZEUS_RL_REWARD_H_
+#define ZEUS_RL_REWARD_H_
+
+#include "core/configuration.h"
+
+namespace zeus::rl {
+
+// Reward shaping options. Zeus-RL uses kCombined: the local term (Eq. 2)
+// gives the agent a dense signal to speed through non-action regions, while
+// the aggregate accuracy-aware term (Alg. 2) is what lets the planner trade
+// excess accuracy for throughput against the user's target.
+struct RewardOptions {
+  enum class Mode { kLocalOnly, kAggregateOnly, kCombined };
+  Mode mode = Mode::kCombined;
+
+  // Fastness cutoff beta of Eq. 2, expressed in *scaled* fastness units
+  // (alpha_c * num_configs, so the mean configuration has fastness 1.0).
+  double beta = 1.2;
+  double local_weight = 0.25;
+  double aggregate_weight = 2.0;
+};
+
+// Implements the two reward functions of §4.4 and §4.6.
+class RewardFunction {
+ public:
+  RewardFunction(const RewardOptions& opts, int num_configs)
+      : opts_(opts), num_configs_(num_configs) {}
+
+  // Local reward (Eq. 2) for taking configuration `c` over a window that
+  // does (or does not) contain ground-truth action frames. alpha values are
+  // normalized to sum to 1 over the space; we rescale by num_configs so the
+  // returned values are O(1).
+  double LocalReward(const core::Configuration& c,
+                     bool window_has_action) const;
+
+  // Aggregate accuracy-aware reward (Alg. 2, lines 7-10): `achieved` is the
+  // window accuracy alpha', `target` the query's accuracy target alpha.
+  static double AggregateReward(double achieved, double target);
+
+  const RewardOptions& options() const { return opts_; }
+
+ private:
+  RewardOptions opts_;
+  int num_configs_;
+};
+
+}  // namespace zeus::rl
+
+#endif  // ZEUS_RL_REWARD_H_

@@ -1,0 +1,115 @@
+#include "rl/trainer.h"
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+
+namespace zeus::rl {
+
+DqnTrainer::DqnTrainer(VideoEnv* env, const Options& opts, common::Rng* rng)
+    : env_(env), opts_(opts), rng_(rng->Fork()) {
+  DqnAgent::Options agent_opts = opts_.agent;
+  agent_opts.state_dim = env_->state_dim();
+  agent_opts.num_actions = env_->num_actions();
+  agent_ = std::make_shared<DqnAgent>(agent_opts, &rng_);
+  if (opts_.prioritized_replay) {
+    buffer_ = std::make_unique<PrioritizedReplayBuffer>(opts_.buffer_capacity,
+                                                        opts_.per);
+  } else {
+    buffer_ = std::make_unique<ReplayBuffer>(opts_.buffer_capacity);
+  }
+  reward_ = std::make_unique<RewardFunction>(opts_.reward, env_->num_actions());
+}
+
+void DqnTrainer::CloseWindow(int vi, int end) {
+  if (buffer_->StagedCount() == 0) {
+    win_start_ = end;
+    return;
+  }
+  double aggregate = 0.0;
+  if (reward_->options().mode != RewardOptions::Mode::kLocalOnly) {
+    double achieved = core::WindowAccuracy(env_->video(vi), env_->targets(),
+                                           env_->mask(vi), win_start_, end);
+    aggregate = reward_->options().aggregate_weight *
+                RewardFunction::AggregateReward(achieved,
+                                                opts_.accuracy_target);
+  }
+  buffer_->CommitStaged(static_cast<float>(aggregate));
+  win_start_ = end;
+}
+
+DqnTrainer::Result DqnTrainer::Train() {
+  Result result;
+  common::WallTimer timer;
+  double loss_sum = 0.0;
+  long loss_count = 0;
+
+  for (int episode = 0; episode < opts_.episodes; ++episode) {
+    env_->Reset(&rng_);
+    win_start_ = 0;
+    bool done = false;
+    long steps_since_update = 0;
+    while (!done) {
+      std::vector<float> state = env_->state();
+      int action = agent_->SelectAction(state);
+      VideoEnv::StepResult step = env_->Step(action);
+      done = step.done;
+      ++result.steps;
+
+      Experience e;
+      e.state = std::move(state);
+      e.action = action;
+      e.reward = static_cast<float>(reward_->LocalReward(
+          env_->space().config(action), step.window_has_action));
+      e.next_state = env_->state();
+      e.done = step.done || step.crossed_video;
+      buffer_->Stage(std::move(e));
+
+      // Aggregation windows never span a video boundary.
+      if (step.crossed_video) {
+        CloseWindow(step.video_index, step.window_end);
+        win_start_ = 0;
+      } else if (step.window_end - win_start_ >= opts_.window_frames) {
+        CloseWindow(step.video_index, step.window_end);
+      }
+
+      if (++steps_since_update >= opts_.update_every &&
+          buffer_->size() >= opts_.min_buffer) {
+        steps_since_update = 0;
+        float loss = agent_->TrainStep(*buffer_);
+        if (loss >= 0.0f) {
+          loss_sum += loss;
+          ++loss_count;
+        }
+      }
+    }
+    agent_->EndEpisode();
+
+    // Episode-level achieved accuracy over all videos (diagnostic).
+    if (episode == opts_.episodes - 1) {
+      core::PrfMetrics m;
+      std::vector<const video::Video*> vids;
+      std::vector<core::FrameMask> masks;
+      for (size_t i = 0; i < env_->num_videos(); ++i) {
+        vids.push_back(&env_->video(static_cast<int>(i)));
+        masks.push_back(env_->mask(static_cast<int>(i)));
+      }
+      m = core::EvaluateVideos(vids, env_->targets(), masks,
+                               core::EvalOptions{});
+      result.last_episode_accuracy = m.f1;
+    }
+    ZEUS_LOG(Debug) << "episode " << episode
+                    << " eps=" << agent_->epsilon()
+                    << " buffer=" << buffer_->size();
+  }
+
+  result.episodes = opts_.episodes;
+  result.updates = agent_->updates();
+  result.mean_td_loss =
+      loss_count ? static_cast<float>(loss_sum / loss_count) : 0.0f;
+  result.final_epsilon = agent_->epsilon();
+  result.train_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace zeus::rl

@@ -1,0 +1,75 @@
+#ifndef ZEUS_RL_TRAINER_H_
+#define ZEUS_RL_TRAINER_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "rl/dqn_agent.h"
+#include "rl/env.h"
+#include "rl/reward.h"
+
+namespace zeus::rl {
+
+// Implements the training loop of Algorithm 1 with the accuracy-aware
+// aggregate reward of Algorithm 2: experiences collected inside an
+// aggregation window are staged (without their final reward) in the replay
+// buffer; when the window closes, the window's achieved accuracy determines
+// the shared aggregate reward that is patched into all staged experiences
+// (the "delayed replay buffer update strategy" of §4.6).
+class DqnTrainer {
+ public:
+  struct Options {
+    int episodes = 14;
+    int window_frames = 128;     // aggregation window W (source frames)
+    double accuracy_target = 0.85;
+    int update_every = 4;        // env steps between DQN updates
+    size_t min_buffer = 256;     // replay warm-up before updates start
+    size_t buffer_capacity = 2048;
+    // Use prioritized experience replay instead of the paper's uniform
+    // buffer (ablation, see bench_ablation_rl).
+    bool prioritized_replay = false;
+    PrioritizedReplayBuffer::Options per;
+    RewardOptions reward;
+    DqnAgent::Options agent;     // state_dim/num_actions overwritten from env
+  };
+
+  struct Result {
+    int episodes = 0;
+    long steps = 0;
+    int updates = 0;
+    float mean_td_loss = 0.0f;
+    float final_epsilon = 0.0f;
+    double train_seconds = 0.0;
+    double last_episode_accuracy = 0.0;  // achieved train accuracy (F1)
+  };
+
+  DqnTrainer(VideoEnv* env, const Options& opts, common::Rng* rng);
+
+  // Runs the full training schedule and returns aggregate statistics.
+  Result Train();
+
+  DqnAgent* agent() { return agent_.get(); }
+
+  // Transfers ownership of the trained agent to the caller (the trainer
+  // must not be used afterwards).
+  std::shared_ptr<DqnAgent> ReleaseAgent() { return std::move(agent_); }
+
+  const Options& options() const { return opts_; }
+
+ private:
+  // Closes the aggregation window ending at `end` in video `vi`, computing
+  // the aggregate reward over [win_start_, end).
+  void CloseWindow(int vi, int end);
+
+  VideoEnv* env_;
+  Options opts_;
+  common::Rng rng_;
+  std::shared_ptr<DqnAgent> agent_;
+  std::unique_ptr<ReplayBuffer> buffer_;
+  std::unique_ptr<RewardFunction> reward_;
+  int win_start_ = 0;  // start frame of the open window (within video)
+};
+
+}  // namespace zeus::rl
+
+#endif  // ZEUS_RL_TRAINER_H_

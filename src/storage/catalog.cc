@@ -1,0 +1,156 @@
+#include "storage/catalog.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/stringutil.h"
+
+namespace zeus::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCatalogName[] = "CATALOG";
+
+// Catalog values (names, dirs, class lists) may not contain spaces or
+// newlines because the format is line/space delimited.
+bool IsCleanToken(const std::string& s) {
+  return !s.empty() && s.find_first_of(" \t\n\r") == std::string::npos;
+}
+
+}  // namespace
+
+common::Result<Catalog> Catalog::Open(const std::string& root) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return common::Status::IoError("cannot create catalog root: " +
+                                   ec.message());
+  }
+  Catalog catalog;
+  catalog.root_ = root;
+  const fs::path path = fs::path(root) / kCatalogName;
+  if (!fs::exists(path)) return catalog;
+
+  std::ifstream is(path);
+  if (!is) return common::Status::IoError("cannot open catalog file");
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    line = common::Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    auto tokens = common::Split(line, ' ');
+    if (tokens[0] == "dataset" && tokens.size() == 3) {
+      catalog.datasets_.emplace_back(tokens[1], tokens[2]);
+    } else if (tokens[0] == "plan" && tokens.size() == 5) {
+      PlanEntry entry;
+      entry.dataset = tokens[1];
+      entry.classes = tokens[2];
+      try {
+        entry.accuracy_target = std::stod(tokens[3]);
+      } catch (...) {
+        return common::Status::IoError(
+            common::Format("catalog line %d: bad accuracy", lineno));
+      }
+      entry.prefix = tokens[4];
+      catalog.plans_.push_back(std::move(entry));
+    } else {
+      return common::Status::IoError(
+          common::Format("catalog line %d: unrecognized record", lineno));
+    }
+  }
+  return catalog;
+}
+
+common::Status Catalog::Persist() const {
+  const fs::path path = fs::path(root_) / kCatalogName;
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) return common::Status::IoError("cannot write catalog");
+    os << "# zeus catalog\n";
+    for (const auto& [name, dir] : datasets_) {
+      os << "dataset " << name << ' ' << dir << "\n";
+    }
+    for (const PlanEntry& p : plans_) {
+      os << "plan " << p.dataset << ' ' << p.classes << ' '
+         << p.accuracy_target << ' ' << p.prefix << "\n";
+    }
+    os.close();
+    if (!os.good()) return common::Status::IoError("catalog write failed");
+  }
+  // Atomic replace so readers never observe a half-written catalog.
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return common::Status::IoError("catalog rename: " + ec.message());
+  return common::Status::Ok();
+}
+
+std::string Catalog::Resolve(const std::string& dir) const {
+  fs::path p(dir);
+  if (p.is_absolute()) return dir;
+  return (fs::path(root_) / p).string();
+}
+
+common::Status Catalog::AddDataset(const std::string& name,
+                                   const std::string& dir) {
+  if (!IsCleanToken(name) || !IsCleanToken(dir)) {
+    return common::Status::InvalidArgument(
+        "dataset name/dir must be non-empty and whitespace-free");
+  }
+  for (const auto& [existing, _] : datasets_) {
+    if (existing == name) {
+      return common::Status::AlreadyExists("dataset: " + name);
+    }
+  }
+  datasets_.emplace_back(name, dir);
+  return Persist();
+}
+
+common::Result<std::string> Catalog::DatasetDir(const std::string& name) const {
+  for (const auto& [existing, dir] : datasets_) {
+    if (existing == name) return Resolve(dir);
+  }
+  return common::Status::NotFound("dataset: " + name);
+}
+
+std::vector<std::string> Catalog::DatasetNames() const {
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, _] : datasets_) names.push_back(name);
+  return names;
+}
+
+common::Status Catalog::AddPlan(const PlanEntry& entry) {
+  if (!IsCleanToken(entry.dataset) || !IsCleanToken(entry.classes) ||
+      !IsCleanToken(entry.prefix)) {
+    return common::Status::InvalidArgument(
+        "plan entry fields must be non-empty and whitespace-free");
+  }
+  for (PlanEntry& existing : plans_) {
+    if (existing.dataset == entry.dataset &&
+        existing.classes == entry.classes &&
+        std::abs(existing.accuracy_target - entry.accuracy_target) < 1e-9) {
+      existing = entry;
+      return Persist();
+    }
+  }
+  plans_.push_back(entry);
+  return Persist();
+}
+
+std::optional<PlanEntry> Catalog::FindPlan(const std::string& dataset,
+                                           const std::string& classes,
+                                           double accuracy_target) const {
+  for (const PlanEntry& p : plans_) {
+    if (p.dataset == dataset && p.classes == classes &&
+        std::abs(p.accuracy_target - accuracy_target) < 1e-9) {
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace zeus::storage

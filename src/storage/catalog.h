@@ -1,0 +1,70 @@
+#ifndef ZEUS_STORAGE_CATALOG_H_
+#define ZEUS_STORAGE_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zeus::storage {
+
+// A trained-plan registration: which dataset it was planned against, the
+// action classes (canonical comma-joined names, e.g. "CrossRight" or
+// "CrossRight,CrossLeft"), the accuracy target, and the PlanIo prefix the
+// checkpoint files live under.
+struct PlanEntry {
+  std::string dataset;
+  std::string classes;
+  double accuracy_target = 0.0;
+  std::string prefix;
+};
+
+// The persistent catalog of a Zeus deployment: which datasets exist (name →
+// directory of a SaveDataset() corpus) and which query plans have been
+// trained (PlanIo checkpoints). One text file `CATALOG` under the root
+// directory; every mutation rewrites it durably before returning OK, so a
+// crashed process never loses an acknowledged registration.
+//
+// The catalog stores locations, not data — datasets and plan weights stay
+// in their own files and are loaded lazily by the caller.
+class Catalog {
+ public:
+  // Opens (creating if needed) the catalog rooted at `root`.
+  static common::Result<Catalog> Open(const std::string& root);
+
+  // Registers a dataset corpus directory under `name`. The directory is
+  // interpreted relative to the catalog root when not absolute.
+  common::Status AddDataset(const std::string& name, const std::string& dir);
+
+  // Directory for dataset `name`, or NotFound.
+  common::Result<std::string> DatasetDir(const std::string& name) const;
+
+  std::vector<std::string> DatasetNames() const;
+
+  // Registers a plan checkpoint. Replaces any previous entry with the same
+  // (dataset, classes, accuracy_target) key.
+  common::Status AddPlan(const PlanEntry& entry);
+
+  // Exact-key plan lookup.
+  std::optional<PlanEntry> FindPlan(const std::string& dataset,
+                                    const std::string& classes,
+                                    double accuracy_target) const;
+
+  const std::vector<PlanEntry>& plans() const { return plans_; }
+  const std::string& root() const { return root_; }
+
+ private:
+  Catalog() = default;
+
+  common::Status Persist() const;
+  std::string Resolve(const std::string& dir) const;
+
+  std::string root_;
+  std::vector<std::pair<std::string, std::string>> datasets_;  // name → dir
+  std::vector<PlanEntry> plans_;
+};
+
+}  // namespace zeus::storage
+
+#endif  // ZEUS_STORAGE_CATALOG_H_

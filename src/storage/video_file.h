@@ -1,0 +1,60 @@
+#ifndef ZEUS_STORAGE_VIDEO_FILE_H_
+#define ZEUS_STORAGE_VIDEO_FILE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "video/video.h"
+
+namespace zeus::storage {
+
+// Pixel encodings supported by the on-disk video format.
+//
+//   kFloat32 — lossless, 4 bytes/pixel.
+//   kUint8   — lossy min/max-quantized, 1 byte/pixel. Synthetic frames live
+//              in [0, 1] with ~8 bits of useful dynamic range, so this is
+//              the default for corpus storage (4x smaller, decode error
+//              bounded by (max-min)/255/2 per pixel).
+enum class PixelEncoding : uint8_t {
+  kFloat32 = 0,
+  kUint8 = 1,
+};
+
+// Single-video container format ("ZVF1"):
+//
+//   u32 magic 'Z','V','F','1' | u32 version | i32 id
+//   i32 frames | i32 height | i32 width | u8 encoding
+//   u32 label_runs | label_runs x { i32 length, i32 class }   (RLE labels)
+//   pixels: f32[n]                    (kFloat32)
+//         | f32 min, f32 max, u8[n]   (kUint8)
+//   u32 crc32 over every byte after the magic word
+//
+// All integers are host-endian (the library targets a single machine; the
+// magic word doubles as an endianness check). Readers validate the magic,
+// version, shape sanity, and the trailing checksum, so truncated or
+// bit-flipped files fail with IoError instead of returning garbage.
+class VideoFile {
+ public:
+  static constexpr uint32_t kMagic = 0x3156465Au;  // "ZVF1" little-endian
+  static constexpr uint32_t kVersion = 1;
+
+  // Serializes `video` to `path`. Overwrites any existing file.
+  static common::Status Save(const std::string& path,
+                             const video::Video& video,
+                             PixelEncoding encoding = PixelEncoding::kUint8);
+
+  // Reads a video previously written by Save(). Fails with IoError on any
+  // corruption (bad magic/version, impossible shape, checksum mismatch,
+  // truncation).
+  static common::Result<video::Video> Load(const std::string& path);
+
+  // Stream variants used by VideoStore and tests.
+  static common::Status Write(std::ostream& os, const video::Video& video,
+                              PixelEncoding encoding);
+  static common::Result<video::Video> Read(std::istream& is);
+};
+
+}  // namespace zeus::storage
+
+#endif  // ZEUS_STORAGE_VIDEO_FILE_H_

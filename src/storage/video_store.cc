@@ -1,0 +1,292 @@
+#include "storage/video_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/stringutil.h"
+
+namespace zeus::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kDatasetName[] = "DATASET";
+
+// Key/value text manifest codec shared by MANIFEST and DATASET files.
+// Lines are `key value...`; unknown keys are ignored so the format can grow.
+common::Result<std::map<std::string, std::vector<std::string>>> ReadKvFile(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return common::Status::IoError("cannot open: " + path);
+  std::map<std::string, std::vector<std::string>> kv;
+  std::string line;
+  while (std::getline(is, line)) {
+    line = common::Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    auto tokens = common::Split(line, ' ');
+    std::vector<std::string> values(tokens.begin() + 1, tokens.end());
+    kv[tokens[0]] = std::move(values);
+  }
+  return kv;
+}
+
+std::string JoinInts(const std::vector<int>& v) {
+  std::ostringstream os;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ' ';
+    os << v[i];
+  }
+  return os.str();
+}
+
+common::Result<std::vector<int>> ParseInts(
+    const std::vector<std::string>& tokens) {
+  std::vector<int> out;
+  out.reserve(tokens.size());
+  for (const std::string& t : tokens) {
+    if (t.empty()) continue;
+    try {
+      out.push_back(std::stoi(t));
+    } catch (...) {
+      return common::Status::IoError("bad integer in manifest: " + t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Result<VideoStore> VideoStore::Open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return common::Status::IoError("cannot create store dir: " + dir + ": " +
+                                   ec.message());
+  }
+  VideoStore store;
+  store.dir_ = dir;
+  const fs::path manifest = fs::path(dir) / kManifestName;
+  if (fs::exists(manifest)) {
+    auto kv = ReadKvFile(manifest.string());
+    if (!kv.ok()) return kv.status();
+    auto it = kv.value().find("ids");
+    if (it != kv.value().end()) {
+      auto ids = ParseInts(it->second);
+      if (!ids.ok()) return ids.status();
+      store.ids_ = std::move(ids).value();
+    }
+  }
+  return store;
+}
+
+std::string VideoStore::PathFor(int id) const {
+  return (fs::path(dir_) / common::Format("v%d.zvf", id)).string();
+}
+
+bool VideoStore::Contains(int id) const {
+  return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
+}
+
+common::Status VideoStore::WriteManifest() const {
+  const fs::path path = fs::path(dir_) / kManifestName;
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return common::Status::IoError("cannot write manifest");
+  os << "# zeus video store manifest\n";
+  os << "ids " << JoinInts(ids_) << "\n";
+  os.close();
+  if (!os.good()) return common::Status::IoError("manifest write failed");
+  return common::Status::Ok();
+}
+
+common::Status VideoStore::Put(const video::Video& video,
+                               PixelEncoding encoding) {
+  if (Contains(video.id())) {
+    return common::Status::AlreadyExists(
+        common::Format("video id %d already stored", video.id()));
+  }
+  ZEUS_RETURN_IF_ERROR(VideoFile::Save(PathFor(video.id()), video, encoding));
+  ids_.push_back(video.id());
+  return WriteManifest();
+}
+
+common::Result<video::Video> VideoStore::Get(int id) const {
+  if (!Contains(id)) {
+    return common::Status::NotFound(common::Format("video id %d", id));
+  }
+  return VideoFile::Load(PathFor(id));
+}
+
+common::Status VideoStore::Remove(int id) {
+  auto it = std::find(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end()) {
+    return common::Status::NotFound(common::Format("video id %d", id));
+  }
+  std::error_code ec;
+  fs::remove(PathFor(id), ec);
+  if (ec) return common::Status::IoError("remove failed: " + ec.message());
+  ids_.erase(it);
+  return WriteManifest();
+}
+
+common::Status SaveDataset(const std::string& dir,
+                           const video::SyntheticDataset& dataset,
+                           PixelEncoding encoding) {
+  auto store = VideoStore::Open(dir);
+  if (!store.ok()) return store.status();
+  for (const video::Video& v : dataset.videos()) {
+    ZEUS_RETURN_IF_ERROR(store.value().Put(v, encoding));
+  }
+
+  const video::DatasetProfile& p = dataset.profile();
+  std::ofstream os(fs::path(dir) / kDatasetName, std::ios::trunc);
+  if (!os) return common::Status::IoError("cannot write dataset manifest");
+  os << "# zeus dataset manifest\n";
+  os << "family " << static_cast<int>(p.family) << "\n";
+  // The name may contain spaces; it is always the line's remainder.
+  os << "name " << p.name << "\n";
+  os << "num_videos " << p.num_videos << "\n";
+  os << "frames_per_video " << p.frames_per_video << "\n";
+  os << "native_resolution " << p.native_resolution << "\n";
+  {
+    std::vector<int> classes;
+    classes.reserve(p.classes.size());
+    for (auto c : p.classes) classes.push_back(static_cast<int>(c));
+    os << "classes " << JoinInts(classes) << "\n";
+  }
+  os << "action_fraction " << p.action_fraction << "\n";
+  os << "mean_action_length " << p.mean_action_length << "\n";
+  os << "stddev_action_length " << p.stddev_action_length << "\n";
+  os << "min_action_length " << p.min_action_length << "\n";
+  os << "max_action_length " << p.max_action_length << "\n";
+  os << "distractor_rate " << p.distractor_rate << "\n";
+  os << "style " << p.style.base_brightness << ' ' << p.style.texture_amplitude
+     << ' ' << p.style.noise_sigma << ' ' << p.style.drift_speed << ' '
+     << p.style.blob_amplitude << ' ' << p.style.blob_sigma << ' '
+     << p.style.speed_scale << "\n";
+  // Splits are stored as positions into the stored id order, which matches
+  // dataset.videos() order by construction.
+  os << "train " << JoinInts(dataset.train_indices()) << "\n";
+  os << "val " << JoinInts(dataset.val_indices()) << "\n";
+  os << "test " << JoinInts(dataset.test_indices()) << "\n";
+  os.close();
+  if (!os.good()) return common::Status::IoError("dataset manifest write");
+  return common::Status::Ok();
+}
+
+common::Result<video::SyntheticDataset> LoadDataset(const std::string& dir) {
+  auto store = VideoStore::Open(dir);
+  if (!store.ok()) return store.status();
+  auto kv_or = ReadKvFile((fs::path(dir) / kDatasetName).string());
+  if (!kv_or.ok()) return kv_or.status();
+  const auto& kv = kv_or.value();
+
+  auto get = [&kv](const std::string& key)
+      -> common::Result<std::vector<std::string>> {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      return common::Status::IoError("dataset manifest missing key: " + key);
+    }
+    return it->second;
+  };
+  auto get_scalar = [&get](const std::string& key) -> common::Result<double> {
+    auto v = get(key);
+    if (!v.ok()) return v.status();
+    if (v.value().empty()) return common::Status::IoError("empty key: " + key);
+    try {
+      return std::stod(v.value()[0]);
+    } catch (...) {
+      return common::Status::IoError("bad number for key: " + key);
+    }
+  };
+
+  video::DatasetProfile p;
+#define ZEUS_LOAD_SCALAR(field, key, type)                 \
+  do {                                                     \
+    auto v = get_scalar(key);                              \
+    if (!v.ok()) return v.status();                        \
+    p.field = static_cast<type>(v.value());                \
+  } while (0)
+  ZEUS_LOAD_SCALAR(family, "family", video::DatasetFamily);
+  ZEUS_LOAD_SCALAR(num_videos, "num_videos", int);
+  ZEUS_LOAD_SCALAR(frames_per_video, "frames_per_video", int);
+  ZEUS_LOAD_SCALAR(native_resolution, "native_resolution", int);
+  ZEUS_LOAD_SCALAR(action_fraction, "action_fraction", double);
+  ZEUS_LOAD_SCALAR(mean_action_length, "mean_action_length", double);
+  ZEUS_LOAD_SCALAR(stddev_action_length, "stddev_action_length", double);
+  ZEUS_LOAD_SCALAR(min_action_length, "min_action_length", int);
+  ZEUS_LOAD_SCALAR(max_action_length, "max_action_length", int);
+  ZEUS_LOAD_SCALAR(distractor_rate, "distractor_rate", double);
+#undef ZEUS_LOAD_SCALAR
+
+  {
+    auto name = get("name");
+    if (!name.ok()) return name.status();
+    std::string joined;
+    for (const auto& tok : name.value()) {
+      if (!joined.empty()) joined += ' ';
+      joined += tok;
+    }
+    p.name = joined;
+  }
+  {
+    auto classes = get("classes");
+    if (!classes.ok()) return classes.status();
+    auto ints = ParseInts(classes.value());
+    if (!ints.ok()) return ints.status();
+    for (int c : ints.value()) {
+      p.classes.push_back(static_cast<video::ActionClass>(c));
+    }
+  }
+  {
+    auto style = get("style");
+    if (!style.ok()) return style.status();
+    if (style.value().size() != 7) {
+      return common::Status::IoError("style line must have 7 numbers");
+    }
+    const auto& s = style.value();
+    try {
+      p.style.base_brightness = std::stod(s[0]);
+      p.style.texture_amplitude = std::stod(s[1]);
+      p.style.noise_sigma = std::stod(s[2]);
+      p.style.drift_speed = std::stod(s[3]);
+      p.style.blob_amplitude = std::stod(s[4]);
+      p.style.blob_sigma = std::stod(s[5]);
+      p.style.speed_scale = std::stod(s[6]);
+    } catch (...) {
+      return common::Status::IoError("bad number in style line");
+    }
+  }
+
+  std::vector<video::Video> videos;
+  videos.reserve(store.value().size());
+  for (int id : store.value().ids()) {
+    auto v = store.value().Get(id);
+    if (!v.ok()) return v.status();
+    videos.push_back(std::move(v).value());
+  }
+
+  std::vector<std::vector<int>> splits(3);
+  const char* split_keys[3] = {"train", "val", "test"};
+  for (int i = 0; i < 3; ++i) {
+    auto tokens = get(split_keys[i]);
+    if (!tokens.ok()) return tokens.status();
+    auto ints = ParseInts(tokens.value());
+    if (!ints.ok()) return ints.status();
+    splits[static_cast<size_t>(i)] = std::move(ints).value();
+    for (int idx : splits[static_cast<size_t>(i)]) {
+      if (idx < 0 || idx >= static_cast<int>(videos.size())) {
+        return common::Status::IoError("split index out of range");
+      }
+    }
+  }
+
+  return video::SyntheticDataset::FromParts(
+      std::move(p), std::move(videos), std::move(splits[0]),
+      std::move(splits[1]), std::move(splits[2]));
+}
+
+}  // namespace zeus::storage

@@ -1,0 +1,72 @@
+#ifndef ZEUS_STORAGE_VIDEO_STORE_H_
+#define ZEUS_STORAGE_VIDEO_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/video_file.h"
+#include "video/dataset.h"
+#include "video/video.h"
+
+namespace zeus::storage {
+
+// A directory-backed corpus of annotated videos — the persistent half of a
+// VDBMS ingest path. Each video lives in its own ZVF1 file named by id
+// (`v<id>.zvf`); a text MANIFEST lists the ids in insertion order so a
+// reopened store preserves ordering even if directory listing order
+// differs.
+//
+//   auto store = VideoStore::Open(dir).value();
+//   store.Put(video);
+//   auto v = store.Get(video.id());
+//
+// The store is an on-disk structure, not a cache: Get() always decodes from
+// the file, and Put() is durable once it returns OK.
+class VideoStore {
+ public:
+  // Opens (creating if needed) a store rooted at `dir`. Reads the manifest
+  // if one exists.
+  static common::Result<VideoStore> Open(const std::string& dir);
+
+  // Writes `video` under its id. Fails with AlreadyExists if the id is
+  // already present (ids are the primary key).
+  common::Status Put(const video::Video& video,
+                     PixelEncoding encoding = PixelEncoding::kUint8);
+
+  // Loads the video with `id`, or NotFound.
+  common::Result<video::Video> Get(int id) const;
+
+  // Removes the video with `id` from the manifest and the filesystem.
+  common::Status Remove(int id);
+
+  bool Contains(int id) const;
+  const std::vector<int>& ids() const { return ids_; }
+  size_t size() const { return ids_.size(); }
+  const std::string& dir() const { return dir_; }
+
+  // Path of the file that stores (or would store) video `id`.
+  std::string PathFor(int id) const;
+
+ private:
+  VideoStore() = default;
+
+  common::Status WriteManifest() const;
+
+  std::string dir_;
+  std::vector<int> ids_;
+};
+
+// Dataset persistence built on VideoStore: the full SyntheticDataset
+// (profile, every video, split indices) round-trips through one directory.
+// The profile and splits are stored in a text `DATASET` manifest next to
+// the video files.
+common::Status SaveDataset(const std::string& dir,
+                           const video::SyntheticDataset& dataset,
+                           PixelEncoding encoding = PixelEncoding::kUint8);
+
+common::Result<video::SyntheticDataset> LoadDataset(const std::string& dir);
+
+}  // namespace zeus::storage
+
+#endif  // ZEUS_STORAGE_VIDEO_STORE_H_

@@ -1,0 +1,80 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace zeus::tensor {
+
+namespace {
+constexpr char kMagic[4] = {'Z', 'T', 'E', 'N'};
+}  // namespace
+
+common::Status WriteTensor(std::ostream& os, const Tensor& t) {
+  os.write(kMagic, 4);
+  uint32_t ndim = static_cast<uint32_t>(t.ndim());
+  os.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+  for (int i = 0; i < t.ndim(); ++i) {
+    int32_t d = t.dim(i);
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!os.good()) return common::Status::IoError("tensor write failed");
+  return common::Status::Ok();
+}
+
+common::Result<Tensor> ReadTensor(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is.good() || std::memcmp(magic, kMagic, 4) != 0) {
+    return common::Status::IoError("bad tensor magic");
+  }
+  uint32_t ndim = 0;
+  is.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+  if (!is.good() || ndim > 8) return common::Status::IoError("bad tensor ndim");
+  std::vector<int> shape(ndim);
+  for (uint32_t i = 0; i < ndim; ++i) {
+    int32_t d = 0;
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    if (!is.good() || d < 0) return common::Status::IoError("bad tensor dim");
+    shape[i] = d;
+  }
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!is.good()) return common::Status::IoError("tensor data truncated");
+  return t;
+}
+
+common::Status SaveTensors(const std::string& path,
+                           const std::vector<Tensor>& tensors) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.is_open()) return common::Status::IoError("cannot open " + path);
+  uint32_t count = static_cast<uint32_t>(tensors.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : tensors) {
+    ZEUS_RETURN_IF_ERROR(WriteTensor(os, t));
+  }
+  return common::Status::Ok();
+}
+
+common::Result<std::vector<Tensor>> LoadTensors(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return common::Status::IoError("cannot open " + path);
+  uint32_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is.good()) return common::Status::IoError("truncated tensor file");
+  std::vector<Tensor> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    auto r = ReadTensor(is);
+    if (!r.ok()) return r.status();
+    out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+}  // namespace zeus::tensor

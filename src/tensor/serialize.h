@@ -1,0 +1,27 @@
+#ifndef ZEUS_TENSOR_SERIALIZE_H_
+#define ZEUS_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace zeus::tensor {
+
+// Binary tensor (de)serialization. Format per tensor:
+//   magic "ZTEN" | u32 ndim | i32 dims[ndim] | f32 data[volume]
+// A file holds a u32 tensor count followed by that many tensors. Used for
+// model checkpointing (APFG weights, DQN weights).
+
+common::Status WriteTensor(std::ostream& os, const Tensor& t);
+common::Result<Tensor> ReadTensor(std::istream& is);
+
+common::Status SaveTensors(const std::string& path,
+                           const std::vector<Tensor>& tensors);
+common::Result<std::vector<Tensor>> LoadTensors(const std::string& path);
+
+}  // namespace zeus::tensor
+
+#endif  // ZEUS_TENSOR_SERIALIZE_H_

@@ -1,0 +1,169 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zeus::tensor {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  int m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
+  ZEUS_CHECK(k == k2);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* orow = po + static_cast<size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + static_cast<size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  ZEUS_CHECK(b.dim(1) == k);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + static_cast<size_t>(i) * k;
+    float* orow = po + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + static_cast<size_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
+      orow[j] = static_cast<float>(s);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  ZEUS_CHECK(b.dim(0) == k);
+  Tensor out({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + static_cast<size_t>(kk) * m;
+    const float* brow = pb + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = po + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(SameShape(a, b));
+  Tensor out = a;
+  out.Add(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(SameShape(a, b));
+  Tensor out = a;
+  out.AddScaled(b, -1.0f);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(SameShape(a, b));
+  Tensor out = a;
+  float* po = out.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) po[i] *= pb[i];
+  return out;
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  ZEUS_CHECK(a.ndim() == 2);
+  int m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j)
+      out[static_cast<size_t>(j) * m + i] = a[static_cast<size_t>(i) * n + j];
+  return out;
+}
+
+void FillUniform(Tensor* t, common::Rng* rng, float bound) {
+  for (size_t i = 0; i < t->size(); ++i)
+    (*t)[i] = static_cast<float>(rng->NextUniform(-bound, bound));
+}
+
+void FillGaussian(Tensor* t, common::Rng* rng, float stddev) {
+  for (size_t i = 0; i < t->size(); ++i)
+    (*t)[i] = static_cast<float>(rng->NextGaussian(0.0, stddev));
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  ZEUS_CHECK(logits.ndim() == 2);
+  int n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<size_t>(i) * c;
+    float* orow = out.data() + static_cast<size_t>(i) * c;
+    float mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double denom = 0.0;
+    for (int j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    for (int j = 0; j < c; ++j) orow[j] = static_cast<float>(orow[j] / denom);
+  }
+  return out;
+}
+
+Tensor Concat1d(const std::vector<Tensor>& parts) {
+  size_t total = 0;
+  for (const Tensor& p : parts) total += p.size();
+  Tensor out({static_cast<int>(total)});
+  size_t off = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out.data() + off);
+    off += p.size();
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  ZEUS_CHECK(!parts.empty());
+  std::vector<int> shape = parts[0].shape();
+  for (const Tensor& p : parts) ZEUS_CHECK(p.shape() == shape);
+  std::vector<int> out_shape;
+  out_shape.push_back(static_cast<int>(parts.size()));
+  out_shape.insert(out_shape.end(), shape.begin(), shape.end());
+  Tensor out(out_shape);
+  size_t stride = parts[0].size();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    std::copy(parts[i].data(), parts[i].data() + stride,
+              out.data() + i * stride);
+  }
+  return out;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  ZEUS_CHECK(SameShape(a, b));
+  float mx = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i)
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  return mx;
+}
+
+}  // namespace zeus::tensor

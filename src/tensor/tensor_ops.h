@@ -1,0 +1,47 @@
+#ifndef ZEUS_TENSOR_TENSOR_OPS_H_
+#define ZEUS_TENSOR_TENSOR_OPS_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace zeus::tensor {
+
+// out = a @ b for 2-D tensors {m,k} x {k,n} -> {m,n}.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// out = a @ b^T for 2-D tensors {m,k} x {n,k} -> {m,n}. Avoids an explicit
+// transpose in the Linear backward pass.
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+// out = a^T @ b for 2-D tensors {k,m} x {k,n} -> {m,n}.
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+// Elementwise c = a + b / a - b / a * b (same shapes).
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+// Transpose of a 2-D tensor.
+Tensor Transpose2d(const Tensor& a);
+
+// Fills with U(-bound, bound); used for Kaiming-uniform init.
+void FillUniform(Tensor* t, common::Rng* rng, float bound);
+
+// Fills with N(0, stddev).
+void FillGaussian(Tensor* t, common::Rng* rng, float stddev);
+
+// Row-wise softmax of a 2-D tensor {n, c}.
+Tensor SoftmaxRows(const Tensor& logits);
+
+// Concatenates 1-D tensors.
+Tensor Concat1d(const std::vector<Tensor>& parts);
+
+// Stacks equal-shaped tensors along a new leading axis: k x {s...} -> {k, s...}.
+Tensor Stack(const std::vector<Tensor>& parts);
+
+// Maximum absolute elementwise difference (for tests).
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+
+}  // namespace zeus::tensor
+
+#endif  // ZEUS_TENSOR_TENSOR_OPS_H_

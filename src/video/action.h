@@ -1,0 +1,87 @@
+#ifndef ZEUS_VIDEO_ACTION_H_
+#define ZEUS_VIDEO_ACTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "video/video.h"
+
+namespace zeus::video {
+
+// Normalized 2-D point in [0,1]^2 (x to the right, y downwards).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Motion signatures. Action classes map to characteristic trajectories;
+// distractor kinds produce motion that is frame-wise indistinguishable from
+// actions (same blob appearance) but has the wrong temporal signature, so
+// per-frame classifiers (Frame-PP) cannot separate them — matching the
+// paper's central observation (Fig. 1).
+enum class TrajectoryKind : int {
+  // Action signatures.
+  kCrossRight = 0,     // left -> right straight crossing
+  kCrossLeft,          // right -> left straight crossing
+  kLeftTurnSweep,      // curved sweep (driver POV left turn)
+  kPoleVaultArc,       // run-up + parabolic arc over a bar
+  kTwoStageLift,       // clean-and-jerk: two vertical pulls with a pause
+  kIroningOscillate,   // small horizontal oscillation at a fixed station
+  kServeTossHit,       // vertical toss, pause, fast diagonal hit
+
+  // Distractor signatures (label stays kNone).
+  kLoiter,             // blob wanders near a fixed point (random walk)
+  kHalfCrossReturn,    // walks to the middle, turns back
+  kVerticalCross,      // crosses top -> bottom
+  kStaticBlob,         // parked object
+  kRightTurnSweep,     // mirrored turn (confusable with kLeftTurnSweep)
+};
+
+// Trajectory of the blob for `kind` at relative progress t in [0,1].
+// `jitter` is a per-instance random phase/offset vector so no two instances
+// are pixel-identical.
+Point TrajectoryPoint(TrajectoryKind kind, double t, const double jitter[4]);
+
+// Nominal duration of one traversal of the trajectory, in frames. Events
+// longer than this repeat the motion (a long CrossRight instance is several
+// pedestrians crossing back-to-back; a long PoleVault is repeated vaults),
+// keeping per-frame motion speed independent of the annotated instance
+// length — without this, long actions would move sub-pixel per frame and
+// carry no learnable temporal signal.
+int TrajectoryCycleFrames(TrajectoryKind kind);
+
+// The distractor kinds a dataset draws from (all of them).
+const std::vector<TrajectoryKind>& AllDistractorKinds();
+
+// Maps an action class to its motion signature.
+TrajectoryKind TrajectoryForClass(ActionClass cls);
+
+// Spatial appearance of a moving blob. Real action agents (pedestrians,
+// athletes) carry fine internal structure; "ghost" distractors (shadows,
+// light sweeps) are smooth. The structure survives only at high decode
+// resolutions — this is what makes the Resolution knob trade accuracy for
+// cost, mirroring the behaviour of real CNNs on real video.
+enum class BlobShape : int {
+  kTextured = 0,  // Gaussian core + high-frequency side lobes
+  kSmooth = 1,    // plain Gaussian
+};
+
+// A renderable moving-blob event: either an action instance (cls != kNone)
+// or a distractor (cls == kNone).
+struct BlobEvent {
+  int start_frame = 0;
+  int end_frame = 0;  // exclusive
+  ActionClass cls = ActionClass::kNone;
+  TrajectoryKind traj = TrajectoryKind::kLoiter;
+  BlobShape shape = BlobShape::kTextured;
+  double amplitude = 0.65;   // peak brightness added by the blob
+  double sigma = 0.05;       // blob radius as a fraction of frame size
+  double jitter[4] = {0, 0, 0, 0};
+};
+
+// Samples jitter for an event.
+void SampleJitter(common::Rng* rng, double jitter[4]);
+
+}  // namespace zeus::video
+
+#endif  // ZEUS_VIDEO_ACTION_H_

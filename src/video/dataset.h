@@ -1,0 +1,104 @@
+#ifndef ZEUS_VIDEO_DATASET_H_
+#define ZEUS_VIDEO_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "video/renderer.h"
+#include "video/video.h"
+
+namespace zeus::video {
+
+// The dataset families evaluated in the paper (§6.1 / Table 3), plus the
+// two domain-adaptation targets (§6.6).
+enum class DatasetFamily {
+  kBdd100kLike,
+  kThumos14Like,
+  kActivityNetLike,
+  kCityscapesLike,  // BDD classes, shifted scene statistics
+  kKittiLike,       // BDD classes, strongly shifted scene statistics
+};
+
+const char* DatasetFamilyName(DatasetFamily family);
+
+// Generation parameters for one synthetic dataset. Defaults are the
+// ~20x-scaled-down equivalents of Table 3 (see DESIGN.md §4).
+struct DatasetProfile {
+  DatasetFamily family = DatasetFamily::kBdd100kLike;
+  std::string name = "BDD100K-like";
+  int num_videos = 48;
+  int frames_per_video = 400;
+  int native_resolution = 30;  // rendered pixels (square frames)
+  // Classes annotated in this dataset; every video may contain instances of
+  // any of them plus distractors.
+  std::vector<ActionClass> classes;
+  // Target fraction of frames covered by actions (Table 3 "Percent Actions").
+  double action_fraction = 0.07;
+  // Action instance length distribution (frames).
+  double mean_action_length = 60.0;
+  double stddev_action_length = 28.0;
+  int min_action_length = 12;
+  int max_action_length = 150;
+  // Distractor (non-action motion) density: expected events per 100 frames.
+  double distractor_rate = 0.8;
+  SceneStyle style;
+
+  // Canonical profile for a family, sized for single-core experiments.
+  static DatasetProfile ForFamily(DatasetFamily family);
+};
+
+// Aggregate statistics, mirroring Table 3 columns.
+struct DatasetStatistics {
+  int num_classes = 0;
+  long total_frames = 0;
+  double percent_action_frames = 0.0;
+  double avg_action_length = 0.0;
+  double stddev_action_length = 0.0;
+  int min_action_length = 0;
+  int max_action_length = 0;
+  int num_instances = 0;
+};
+
+// An in-memory synthetic dataset: a bag of annotated videos plus split
+// indices. Generation is deterministic given (profile, seed).
+class SyntheticDataset {
+ public:
+  static SyntheticDataset Generate(const DatasetProfile& profile,
+                                   uint64_t seed);
+
+  // Reassembles a dataset from persisted parts (storage round-trip). Split
+  // indices must each be a subset of [0, videos.size()).
+  static SyntheticDataset FromParts(DatasetProfile profile,
+                                    std::vector<Video> videos,
+                                    std::vector<int> train,
+                                    std::vector<int> val,
+                                    std::vector<int> test);
+
+  const DatasetProfile& profile() const { return profile_; }
+  const std::vector<Video>& videos() const { return videos_; }
+  size_t num_videos() const { return videos_.size(); }
+  const Video& video(size_t i) const { return videos_[i]; }
+
+  // Deterministic 60 / 20 / 20 train / validation / test split.
+  const std::vector<int>& train_indices() const { return train_; }
+  const std::vector<int>& val_indices() const { return val_; }
+  const std::vector<int>& test_indices() const { return test_; }
+
+  DatasetStatistics ComputeStatistics() const;
+
+  // Returns a copy of this dataset where frames labeled with any class in
+  // `classes` are relabeled to `merged` — the multi-class training setup of
+  // §6.5 (either class counts as a positive).
+  SyntheticDataset MergeClasses(const std::vector<ActionClass>& classes,
+                                ActionClass merged) const;
+
+ private:
+  DatasetProfile profile_;
+  std::vector<Video> videos_;
+  std::vector<int> train_, val_, test_;
+};
+
+}  // namespace zeus::video
+
+#endif  // ZEUS_VIDEO_DATASET_H_

@@ -1,0 +1,65 @@
+#include "video/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zeus::video {
+
+void SegmentDecoder::ResizeFrame(const float* src, int src_h, int src_w,
+                                 int out_res, float* dst) {
+  // Box-filter area resize: each destination pixel averages the source
+  // rectangle it maps onto. Exact for integer ratios; good enough otherwise.
+  const double sy = static_cast<double>(src_h) / out_res;
+  const double sx = static_cast<double>(src_w) / out_res;
+  for (int oy = 0; oy < out_res; ++oy) {
+    int y0 = static_cast<int>(oy * sy);
+    int y1 = std::max(y0 + 1, static_cast<int>((oy + 1) * sy));
+    y1 = std::min(y1, src_h);
+    for (int ox = 0; ox < out_res; ++ox) {
+      int x0 = static_cast<int>(ox * sx);
+      int x1 = std::max(x0 + 1, static_cast<int>((ox + 1) * sx));
+      x1 = std::min(x1, src_w);
+      double acc = 0.0;
+      for (int y = y0; y < y1; ++y) {
+        const float* row = src + static_cast<size_t>(y) * src_w;
+        for (int x = x0; x < x1; ++x) acc += row[x];
+      }
+      dst[static_cast<size_t>(oy) * out_res + ox] =
+          static_cast<float>(acc / ((y1 - y0) * (x1 - x0)));
+    }
+  }
+}
+
+tensor::Tensor SegmentDecoder::Decode(const Video& video, int start_frame,
+                                      const DecodeSpec& spec) {
+  ZEUS_CHECK(spec.resolution_px > 0 && spec.segment_length > 0 &&
+             spec.sampling_rate > 0);
+  const int r = spec.resolution_px;
+  tensor::Tensor out({1, spec.segment_length, r, r});
+  float* dst = out.data();
+  const int last = video.num_frames() - 1;
+  for (int i = 0; i < spec.segment_length; ++i) {
+    int f = std::min(last, std::max(0, start_frame + i * spec.sampling_rate));
+    ResizeFrame(video.FrameData(f), video.height(), video.width(), r,
+                dst + static_cast<size_t>(i) * r * r);
+  }
+  // Per-segment standardization: zero mean, unit-ish variance. Removes the
+  // per-video brightness and contrast variation that a fixed affine
+  // normalization leaks into the features — without it the classifier keys
+  // on background statistics and fails to generalize to unseen videos.
+  double sum = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    sum += dst[i];
+    sum_sq += static_cast<double>(dst[i]) * dst[i];
+  }
+  const double n = static_cast<double>(out.size());
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  const float scale = static_cast<float>(1.0 / (std::sqrt(var) + 1e-3));
+  for (size_t i = 0; i < out.size(); ++i) {
+    dst[i] = (dst[i] - static_cast<float>(mean)) * scale;
+  }
+  return out;
+}
+
+}  // namespace zeus::video

@@ -1,0 +1,45 @@
+#ifndef ZEUS_VIDEO_DECODER_H_
+#define ZEUS_VIDEO_DECODER_H_
+
+#include "tensor/tensor.h"
+#include "video/video.h"
+
+namespace zeus::video {
+
+// Physical decode parameters for one segment fetch: how many frames to take,
+// every how many source frames, and at what square pixel resolution.
+// (The query-level Configuration in zeus::core carries the paper's nominal
+// knob values and maps onto this.)
+struct DecodeSpec {
+  int resolution_px = 30;  // output H == W
+  int segment_length = 8;  // frames in the decoded tensor (L)
+  int sampling_rate = 1;   // take one frame every `sampling_rate` frames
+};
+
+// Decodes video segments into {1, L, r, r} tensors: frame subsampling at the
+// requested sampling rate plus box-filter (area) spatial resize, followed by
+// per-segment standardization (zero mean, unit variance across the decoded
+// tensor). This is the stand-in for the paper's nvdec/OpenCV decode +
+// resize + normalize stage; the per-segment statistics make the features
+// invariant to per-video brightness and contrast.
+class SegmentDecoder {
+ public:
+  // Decodes the segment starting at `start_frame`. Frames past the end of
+  // the video clamp to the last frame (the executor stops at the video end
+  // anyway; clamping keeps shapes static for the network).
+  static tensor::Tensor Decode(const Video& video, int start_frame,
+                               const DecodeSpec& spec);
+
+  // Number of source frames covered by one decode: L * sampling_rate.
+  static int CoveredFrames(const DecodeSpec& spec) {
+    return spec.segment_length * spec.sampling_rate;
+  }
+
+  // Area-resize one frame (native h x w) into out_res x out_res floats.
+  static void ResizeFrame(const float* src, int src_h, int src_w, int out_res,
+                          float* dst);
+};
+
+}  // namespace zeus::video
+
+#endif  // ZEUS_VIDEO_DECODER_H_

@@ -1,0 +1,79 @@
+#include "video/video.h"
+
+#include <algorithm>
+
+#include "common/stringutil.h"
+
+namespace zeus::video {
+
+const char* ActionClassName(ActionClass cls) {
+  switch (cls) {
+    case ActionClass::kNone:
+      return "None";
+    case ActionClass::kCrossRight:
+      return "CrossRight";
+    case ActionClass::kCrossLeft:
+      return "CrossLeft";
+    case ActionClass::kLeftTurn:
+      return "LeftTurn";
+    case ActionClass::kPoleVault:
+      return "PoleVault";
+    case ActionClass::kCleanAndJerk:
+      return "CleanAndJerk";
+    case ActionClass::kIroningClothes:
+      return "IroningClothes";
+    case ActionClass::kTennisServe:
+      return "TennisServe";
+  }
+  return "Unknown";
+}
+
+ActionClass ParseActionClass(const std::string& name) {
+  std::string key = common::ToLower(name);
+  std::string squashed;
+  for (char c : key) {
+    if (c == '-' || c == '_' || c == ' ') continue;
+    squashed.push_back(c);
+  }
+  if (squashed == "crossright") return ActionClass::kCrossRight;
+  if (squashed == "crossleft") return ActionClass::kCrossLeft;
+  if (squashed == "leftturn") return ActionClass::kLeftTurn;
+  if (squashed == "polevault") return ActionClass::kPoleVault;
+  if (squashed == "cleanandjerk") return ActionClass::kCleanAndJerk;
+  if (squashed == "ironingclothes" || squashed == "ironing")
+    return ActionClass::kIroningClothes;
+  if (squashed == "tennisserve") return ActionClass::kTennisServe;
+  return ActionClass::kNone;
+}
+
+bool Video::IsActionAny(int f, const std::vector<ActionClass>& classes) const {
+  ActionClass l = Label(f);
+  return std::find(classes.begin(), classes.end(), l) != classes.end();
+}
+
+int Video::CountActionFrames(ActionClass cls) const {
+  int n = 0;
+  for (ActionClass l : labels_)
+    if (l == cls) ++n;
+  return n;
+}
+
+std::vector<ActionInstance> ExtractInstances(const Video& video) {
+  std::vector<ActionInstance> out;
+  int n = video.num_frames();
+  int i = 0;
+  while (i < n) {
+    ActionClass cls = video.Label(i);
+    if (cls == ActionClass::kNone) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < n && video.Label(j) == cls) ++j;
+    out.push_back({i, j, cls});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace zeus::video

@@ -1,0 +1,110 @@
+#ifndef ZEUS_VIDEO_VIDEO_H_
+#define ZEUS_VIDEO_VIDEO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace zeus::video {
+
+// Action classes supported by the synthetic datasets. Numbering is stable
+// because frame annotations store the enum value.
+enum class ActionClass : int {
+  kNone = 0,
+  // BDD100K-like driving classes (§6.1 of the paper).
+  kCrossRight = 1,      // pedestrian crosses left -> right
+  kCrossLeft = 2,       // pedestrian crosses right -> left
+  kLeftTurn = 3,        // driver takes a left turn
+  // Thumos14-like sports classes.
+  kPoleVault = 4,
+  kCleanAndJerk = 5,
+  // ActivityNet-like household/sports classes.
+  kIroningClothes = 6,
+  kTennisServe = 7,
+};
+
+// Human-readable name ("CrossRight") used in reports and query strings.
+const char* ActionClassName(ActionClass cls);
+
+// Parses "cross-right" / "CrossRight" / "left_turn" etc. Returns kNone on
+// unknown names.
+ActionClass ParseActionClass(const std::string& name);
+
+// A single-channel (luminance) video with per-frame ground-truth labels.
+// Frames are stored contiguously; pixel (f, y, x) lives at
+// data[(f * height + y) * width + x], values roughly in [0, 1].
+class Video {
+ public:
+  Video(int num_frames, int height, int width)
+      : num_frames_(num_frames),
+        height_(height),
+        width_(width),
+        data_(static_cast<size_t>(num_frames) * height * width, 0.0f),
+        labels_(static_cast<size_t>(num_frames), ActionClass::kNone) {}
+
+  int num_frames() const { return num_frames_; }
+  int height() const { return height_; }
+  int width() const { return width_; }
+
+  float* FrameData(int f) {
+    ZEUS_CHECK(f >= 0 && f < num_frames_);
+    return data_.data() + static_cast<size_t>(f) * height_ * width_;
+  }
+  const float* FrameData(int f) const {
+    ZEUS_CHECK(f >= 0 && f < num_frames_);
+    return data_.data() + static_cast<size_t>(f) * height_ * width_;
+  }
+
+  // Oracle label function L(n) from §2.1.
+  ActionClass Label(int f) const {
+    ZEUS_CHECK(f >= 0 && f < num_frames_);
+    return labels_[static_cast<size_t>(f)];
+  }
+  void SetLabel(int f, ActionClass cls) {
+    ZEUS_CHECK(f >= 0 && f < num_frames_);
+    labels_[static_cast<size_t>(f)] = cls;
+  }
+
+  // Binary label function f_X(n) from Eq. (1).
+  bool IsAction(int f, ActionClass cls) const { return Label(f) == cls; }
+
+  // Binary label against any of a set of classes (multi-class training,
+  // §6.5: frames matching either class are positives).
+  bool IsActionAny(int f, const std::vector<ActionClass>& classes) const;
+
+  // Number of frames labeled with `cls`.
+  int CountActionFrames(ActionClass cls) const;
+
+  const std::vector<ActionClass>& labels() const { return labels_; }
+
+  // Optional identifier for debugging / cache keys.
+  void set_id(int id) { id_ = id; }
+  int id() const { return id_; }
+
+ private:
+  int num_frames_;
+  int height_;
+  int width_;
+  std::vector<float> data_;
+  std::vector<ActionClass> labels_;
+  int id_ = -1;
+};
+
+// A contiguous [start, end) frame interval of one action instance.
+struct ActionInstance {
+  int start = 0;
+  int end = 0;  // exclusive
+  ActionClass cls = ActionClass::kNone;
+
+  int length() const { return end - start; }
+};
+
+// Extracts the ground-truth action instances (maximal runs of equal
+// non-kNone labels) from a video.
+std::vector<ActionInstance> ExtractInstances(const Video& video);
+
+}  // namespace zeus::video
+
+#endif  // ZEUS_VIDEO_VIDEO_H_

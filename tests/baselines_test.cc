@@ -1,0 +1,142 @@
+// Unit tests for the four baselines — interface contracts, cost accounting,
+// config selection rules, heuristic state machine.
+
+#include <gtest/gtest.h>
+
+#include "apfg/feature_cache.h"
+#include "baselines/frame_pp.h"
+#include "baselines/heuristic.h"
+#include "baselines/segment_pp.h"
+#include "baselines/sliding.h"
+#include "common/rng.h"
+#include "video/dataset.h"
+
+namespace zeus::baselines {
+namespace {
+
+struct BaselineFixture : public ::testing::Test {
+  void SetUp() override {
+    auto profile =
+        video::DatasetProfile::ForFamily(video::DatasetFamily::kBdd100kLike);
+    profile.num_videos = 3;
+    profile.frames_per_video = 120;
+    dataset = std::make_unique<video::SyntheticDataset>(
+        video::SyntheticDataset::Generate(profile, 33));
+    for (size_t i = 0; i < dataset->num_videos(); ++i) {
+      videos.push_back(&dataset->video(i));
+    }
+    space = core::ConfigurationSpace::ForFamily(profile.family);
+    space.AttachCosts(cost_model);
+    rng = std::make_unique<common::Rng>(44);
+    apfg = std::make_unique<apfg::Apfg>(apfg::ApfgTrainOptions{}, true,
+                                        rng.get());
+    cache = std::make_unique<apfg::FeatureCache>(apfg.get());
+    targets = {video::ActionClass::kCrossRight};
+  }
+
+  std::unique_ptr<video::SyntheticDataset> dataset;
+  std::vector<const video::Video*> videos;
+  core::ConfigurationSpace space;
+  core::CostModel cost_model;
+  std::unique_ptr<common::Rng> rng;
+  std::unique_ptr<apfg::Apfg> apfg;
+  std::unique_ptr<apfg::FeatureCache> cache;
+  std::vector<video::ActionClass> targets;
+};
+
+TEST_F(BaselineFixture, SlidingProducesMaskPerVideoAndCharges) {
+  ZeusSliding sliding(space.config(space.FastestId()), apfg.get(), cost_model);
+  auto run = sliding.Localize(videos);
+  ASSERT_EQ(run.masks.size(), videos.size());
+  for (size_t i = 0; i < videos.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(run.masks[i].size()),
+              videos[i]->num_frames());
+  }
+  EXPECT_GT(run.invocations, 0);
+  EXPECT_GT(run.gpu_seconds, 0.0);
+  EXPECT_EQ(run.total_frames, 3 * 120);
+  // Non-overlapping coverage: invocations * covered >= total frames.
+  int covered = space.config(space.FastestId()).CoveredFrames();
+  EXPECT_GE(run.invocations * covered, run.total_frames);
+}
+
+TEST_F(BaselineFixture, SlidingCostMatchesInvocations) {
+  const auto& config = space.config(space.SlowestId());
+  ZeusSliding sliding(config, apfg.get(), cost_model);
+  auto run = sliding.Localize(videos);
+  EXPECT_NEAR(run.gpu_seconds,
+              run.invocations * config.gpu_seconds_per_invocation, 1e-9);
+}
+
+TEST_F(BaselineFixture, PickSlidingConfigPrefersFastestMeetingTarget) {
+  auto* configs = space.mutable_configs();
+  for (auto& c : *configs) c.validation_f1 = 0.5;
+  (*configs)[3].validation_f1 = 0.9;
+  (*configs)[10].validation_f1 = 0.92;
+  int picked = PickSlidingConfig(space, 0.85);
+  // Both 3 and 10 qualify; the faster one wins.
+  int expected = space.config(3).throughput_fps > space.config(10).throughput_fps
+                     ? 3
+                     : 10;
+  EXPECT_EQ(picked, expected);
+}
+
+TEST_F(BaselineFixture, PickSlidingConfigFallsBackToMostAccurate) {
+  auto* configs = space.mutable_configs();
+  for (auto& c : *configs) c.validation_f1 = 0.4;
+  (*configs)[7].validation_f1 = 0.6;
+  EXPECT_EQ(PickSlidingConfig(space, 0.9), 7);
+}
+
+TEST_F(BaselineFixture, HeuristicUsesThreeLevels) {
+  ZeusHeuristic heuristic({}, &space, cache.get());
+  EXPECT_NE(heuristic.fast_id(), heuristic.slow_id());
+  EXPECT_EQ(heuristic.fast_id(), space.FastestId());
+  EXPECT_EQ(heuristic.slow_id(), space.SlowestId());
+  auto run = heuristic.Localize(videos);
+  EXPECT_EQ(run.masks.size(), videos.size());
+  // Only the three levels appear in the usage histogram.
+  for (const auto& [id, frames] : run.frames_per_config) {
+    (void)frames;
+    EXPECT_TRUE(id == heuristic.fast_id() || id == heuristic.mid_id() ||
+                id == heuristic.slow_id());
+  }
+}
+
+TEST_F(BaselineFixture, FramePpChargesPerFrame) {
+  FramePp::Options opts;
+  opts.resolution_px = 30;
+  opts.train_epochs = 1;
+  FramePp frame_pp(opts, cost_model, targets, rng.get());
+  ASSERT_TRUE(frame_pp.Train(videos).ok());
+  auto run = frame_pp.Localize(videos);
+  EXPECT_EQ(run.invocations, run.total_frames);  // one invocation per frame
+  EXPECT_EQ(run.masks.size(), videos.size());
+}
+
+TEST_F(BaselineFixture, SegmentPpFiltersBeforeVerifying) {
+  SegmentPp::Options opts;
+  opts.train_epochs = 1;
+  const auto& config = space.config(space.SlowestId());
+  SegmentPp segment_pp(opts, cost_model, config, apfg.get(), targets,
+                       rng.get());
+  ASSERT_TRUE(segment_pp.Train(videos).ok());
+  auto run = segment_pp.Localize(videos);
+  // Filter runs on every non-overlapping window; verification only on
+  // survivors, so invocations <= 2x windows.
+  long windows = 0;
+  int covered = config.CoveredFrames();
+  for (auto* v : videos) windows += (v->num_frames() + covered - 1) / covered;
+  EXPECT_GE(run.invocations, windows);
+  EXPECT_LE(run.invocations, 2 * windows);
+}
+
+TEST_F(BaselineFixture, LocalizerNamesAreStable) {
+  ZeusSliding sliding(space.config(0), apfg.get(), cost_model);
+  ZeusHeuristic heuristic({}, &space, cache.get());
+  EXPECT_EQ(sliding.name(), "Zeus-Sliding");
+  EXPECT_EQ(heuristic.name(), "Zeus-Heuristic");
+}
+
+}  // namespace
+}  // namespace zeus::baselines

@@ -1,0 +1,224 @@
+// Unit tests for zeus::core — configuration grids (Table 4), cost model
+// calibration, knob freezing, Pareto pruning, metrics (IoU rule of §2.1),
+// window accuracy, instance conversion.
+
+#include <gtest/gtest.h>
+
+#include "core/configuration.h"
+#include "core/cost_model.h"
+#include "core/executor.h"
+#include "core/metrics.h"
+
+namespace zeus::core {
+namespace {
+
+TEST(ConfigurationSpaceTest, BddGridIs64) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  EXPECT_EQ(space.size(), 64u);  // 4 x 4 x 4 (Table 4)
+  EXPECT_EQ(space.NominalResolutions(),
+            (std::vector<int>{150, 200, 250, 300}));
+  EXPECT_EQ(space.NominalLengths(), (std::vector<int>{2, 4, 6, 8}));
+  EXPECT_EQ(space.SamplingRates(), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(ConfigurationSpaceTest, ThumosGridIs27) {
+  auto space =
+      ConfigurationSpace::ForFamily(video::DatasetFamily::kThumos14Like);
+  EXPECT_EQ(space.size(), 27u);  // 3 x 3 x 3 (Table 4)
+}
+
+TEST(ConfigurationSpaceTest, CostsMonotoneInResolutionAndLength) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  space.AttachCosts(CostModel{});
+  // Same (length, rate): higher resolution must cost more.
+  const Configuration* lo = nullptr;
+  const Configuration* hi = nullptr;
+  for (const Configuration& c : space.configs()) {
+    if (c.nominal_segment_length == 8 && c.sampling_rate == 1) {
+      if (c.nominal_resolution == 150) lo = &c;
+      if (c.nominal_resolution == 300) hi = &c;
+    }
+  }
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  EXPECT_LT(lo->gpu_seconds_per_invocation, hi->gpu_seconds_per_invocation);
+}
+
+TEST(ConfigurationSpaceTest, AlphasSumToOne) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  space.AttachCosts(CostModel{});
+  double sum = 0;
+  for (const Configuration& c : space.configs()) sum += c.alpha;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ConfigurationSpaceTest, FreezeKnobFixesMiddleValue) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  auto frozen = space.WithFrozenKnob(Knob::kResolution);
+  EXPECT_EQ(frozen.size(), 16u);  // 4 lengths x 4 rates
+  for (const Configuration& c : frozen.configs()) {
+    EXPECT_EQ(c.nominal_resolution, 250);  // middle of {150,200,250,300}
+  }
+  auto frozen_rate = space.WithFrozenKnob(Knob::kSamplingRate);
+  for (const Configuration& c : frozen_rate.configs()) {
+    EXPECT_EQ(c.sampling_rate, 4);
+  }
+}
+
+TEST(ConfigurationSpaceTest, SubsetRenumbers) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  auto sub = space.Subset({5, 17, 40});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.config(0).id, 0);
+  EXPECT_EQ(sub.config(1).nominal_resolution,
+            space.config(17).nominal_resolution);
+}
+
+TEST(ConfigurationSpaceTest, PruneToFrontierKeepsMonotoneAccuracy) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  space.AttachCosts(CostModel{});
+  // Synthetic accuracies: correlated with cost plus deterministic wiggle.
+  int i = 0;
+  for (Configuration& c : *space.mutable_configs()) {
+    c.validation_f1 = 0.3 + 0.6 * (c.gpu_seconds_per_invocation / 0.12) +
+                      0.05 * ((i++ % 3) - 1);
+  }
+  auto frontier = space.PruneToFrontier(6);
+  EXPECT_LE(frontier.size(), 6u);
+  EXPECT_GE(frontier.size(), 2u);
+  // Along the frontier (ordered fastest -> slowest), accuracy increases.
+  for (size_t k = 1; k < frontier.size(); ++k) {
+    EXPECT_GT(frontier.config(static_cast<int>(k)).validation_f1,
+              frontier.config(static_cast<int>(k - 1)).validation_f1);
+    EXPECT_LE(frontier.config(static_cast<int>(k)).throughput_fps,
+              frontier.config(static_cast<int>(k - 1)).throughput_fps);
+  }
+}
+
+TEST(CostModelTest, CalibratedToPaperNumbers) {
+  CostModel m;
+  // R3D at 480^2: 1/27 s per frame (§2).
+  double per_frame = m.SegmentCost(480, 1) - m.invocation_overhead_s;
+  EXPECT_NEAR(per_frame, 1.0 / 27.0, 1e-9);
+  // 2D net ~5.9x faster per frame at the same resolution (§6.2).
+  double frame2d = m.FrameCost(480) - m.invocation_overhead_s / 4.0;
+  EXPECT_NEAR(per_frame / frame2d, 5.9, 1e-6);
+  // Cost scales quadratically with resolution.
+  EXPECT_NEAR(m.SegmentCost(240, 4) - m.invocation_overhead_s,
+              (m.SegmentCost(480, 4) - m.invocation_overhead_s) / 4.0, 1e-9);
+}
+
+TEST(CostModelTest, LiteFilterCheaperThanFull) {
+  CostModel m;
+  EXPECT_LT(m.LiteSegmentCost(300, 8), m.SegmentCost(300, 8));
+}
+
+video::Video LabeledVideo(int frames, int from, int to) {
+  video::Video v(frames, 2, 2);
+  for (int f = from; f < to; ++f) v.SetLabel(f, video::ActionClass::kCrossRight);
+  return v;
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  auto v = LabeledVideo(64, 16, 48);
+  FrameMask mask(64, 0);
+  for (int f = 16; f < 48; ++f) mask[static_cast<size_t>(f)] = 1;
+  auto m = EvaluateVideo(v, {video::ActionClass::kCrossRight}, mask,
+                         EvalOptions{});
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_EQ(m.tp, 2);  // eval segments [16,32) and [32,48)
+  EXPECT_EQ(m.tn, 2);
+}
+
+TEST(MetricsTest, AllNegativePredictionHasZeroRecall) {
+  auto v = LabeledVideo(64, 16, 48);
+  FrameMask mask(64, 0);
+  auto m = EvaluateVideo(v, {video::ActionClass::kCrossRight}, mask,
+                         EvalOptions{});
+  EXPECT_EQ(m.recall, 0.0);
+  EXPECT_EQ(m.f1, 0.0);
+}
+
+TEST(MetricsTest, IouThresholdGovernsSegmentLabels) {
+  // Action covers exactly half of one eval segment: not > 0.5 -> negative.
+  auto v = LabeledVideo(32, 0, 8);
+  FrameMask mask(32, 0);
+  EvalOptions opts;
+  opts.eval_segment_frames = 16;
+  auto m = EvaluateVideo(v, {video::ActionClass::kCrossRight}, mask, opts);
+  EXPECT_EQ(m.fn, 0);  // 8/16 == 0.5 is not a GT positive
+}
+
+TEST(MetricsTest, FalsePositivesCounted) {
+  auto v = LabeledVideo(32, 0, 0);
+  FrameMask mask(32, 1);
+  auto m = EvaluateVideo(v, {video::ActionClass::kCrossRight}, mask,
+                         EvalOptions{});
+  EXPECT_EQ(m.fp, 2);
+  EXPECT_EQ(m.precision, 0.0);
+}
+
+TEST(MetricsTest, PooledOverVideos) {
+  auto v1 = LabeledVideo(32, 0, 16);
+  auto v2 = LabeledVideo(32, 16, 32);
+  FrameMask m1(32, 0), m2(32, 0);
+  for (int f = 0; f < 16; ++f) m1[static_cast<size_t>(f)] = 1;
+  auto m = EvaluateVideos({&v1, &v2}, {video::ActionClass::kCrossRight},
+                          {m1, m2}, EvalOptions{});
+  EXPECT_EQ(m.tp, 1);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(MetricsTest, WindowAccuracyConventions) {
+  auto v = LabeledVideo(100, 40, 60);
+  FrameMask mask(100, 0);
+  std::vector<video::ActionClass> t{video::ActionClass::kCrossRight};
+  // Empty window, nothing predicted: perfect.
+  EXPECT_DOUBLE_EQ(WindowAccuracy(v, t, mask, 0, 30), 1.0);
+  // Action missed entirely: 0.
+  EXPECT_DOUBLE_EQ(WindowAccuracy(v, t, mask, 30, 70), 0.0);
+  // Perfect hit: 1.
+  for (int f = 40; f < 60; ++f) mask[static_cast<size_t>(f)] = 1;
+  EXPECT_DOUBLE_EQ(WindowAccuracy(v, t, mask, 30, 70), 1.0);
+}
+
+TEST(MetricsTest, MaskToInstancesMergesRuns) {
+  FrameMask mask{0, 1, 1, 0, 1, 0};
+  auto inst = MaskToInstances(mask);
+  ASSERT_EQ(inst.size(), 2u);
+  EXPECT_EQ(inst[0].start, 1);
+  EXPECT_EQ(inst[0].end, 3);
+  EXPECT_EQ(inst[1].start, 4);
+}
+
+TEST(MetricsTest, MeanInstanceIou) {
+  auto v = LabeledVideo(100, 20, 40);
+  FrameMask mask(100, 0);
+  for (int f = 25; f < 40; ++f) mask[static_cast<size_t>(f)] = 1;
+  double iou = MeanInstanceIou(v, {video::ActionClass::kCrossRight}, mask);
+  EXPECT_NEAR(iou, 15.0 / 20.0, 1e-9);
+}
+
+TEST(RunResultTest, ThroughputDividesFramesByGpuSeconds) {
+  RunResult r;
+  r.total_frames = 1000;
+  r.gpu_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(r.ThroughputFps(), 500.0);
+}
+
+TEST(ConfigHistogramTest, TercilesAndResolutionSplit) {
+  auto space = ConfigurationSpace::ForFamily(video::DatasetFamily::kBdd100kLike);
+  space.AttachCosts(CostModel{});
+  RunResult r;
+  r.frames_per_config[space.FastestId()] = 600;
+  r.frames_per_config[space.SlowestId()] = 400;
+  auto h = SummarizeConfigUsage(space, r);
+  EXPECT_NEAR(h.fast_pct, 60.0, 1e-9);
+  EXPECT_NEAR(h.slow_pct, 40.0, 1e-9);
+  EXPECT_NEAR(h.fast_pct + h.mid_pct + h.slow_pct, 100.0, 1e-9);
+  EXPECT_NEAR(h.low_res_pct + h.high_res_pct, 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace zeus::core

@@ -1,0 +1,120 @@
+// Integration tests: the full planning + execution pipeline on a small
+// BDD-like dataset, the ZeusDb SQL facade, and cross-module invariants.
+// Sizes are trimmed so the whole file runs in well under a minute.
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/query_planner.h"
+#include "core/zeusdb.h"
+#include "video/dataset.h"
+
+namespace zeus {
+namespace {
+
+video::DatasetProfile SmallProfile() {
+  auto profile =
+      video::DatasetProfile::ForFamily(video::DatasetFamily::kBdd100kLike);
+  profile.num_videos = 12;
+  profile.frames_per_video = 200;
+  return profile;
+}
+
+core::QueryPlanner::Options FastPlannerOptions() {
+  core::QueryPlanner::Options opts;
+  opts.apfg.epochs = 4;
+  opts.profile.max_windows_per_config = 60;
+  opts.trainer.episodes = 3;
+  opts.trainer.min_buffer = 32;
+  opts.trainer.agent.batch_size = 32;
+  opts.max_rl_configs = 4;
+  return opts;
+}
+
+TEST(PlannerIntegrationTest, PlanTrainsEverything) {
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 55);
+  core::QueryPlanner planner(&ds, FastPlannerOptions());
+  auto plan =
+      planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.8);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const core::QueryPlan& p = plan.value();
+  EXPECT_TRUE(p.apfg->trained());
+  EXPECT_GT(p.apfg_stats.train_accuracy, 0.5f);
+  EXPECT_EQ(p.space.size(), 64u);
+  EXPECT_GE(p.rl_space.size(), 2u);
+  EXPECT_LE(p.rl_space.size(), 4u);
+  EXPECT_GT(p.rl_stats.steps, 0);
+  EXPECT_GT(p.rl_stats.updates, 0);
+  EXPECT_NE(p.agent, nullptr);
+  // Every configuration got a cost and alpha.
+  for (const auto& c : p.space.configs()) {
+    EXPECT_GT(c.gpu_seconds_per_invocation, 0.0);
+    EXPECT_GT(c.alpha, 0.0);
+  }
+}
+
+TEST(PlannerIntegrationTest, ExecutorCoversEveryFrameOnce) {
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 56);
+  core::QueryPlanner planner(&ds, FastPlannerOptions());
+  auto plan = planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.8);
+  ASSERT_TRUE(plan.ok());
+  auto test = planner.SplitVideos(ds.test_indices());
+  core::QueryExecutor executor(&plan.value());
+  auto run = executor.Localize(test);
+  ASSERT_EQ(run.masks.size(), test.size());
+  long covered = 0;
+  for (const auto& [id, frames] : run.frames_per_config) {
+    (void)id;
+    covered += frames;
+  }
+  EXPECT_EQ(covered, run.total_frames);
+  EXPECT_GT(run.invocations, 0);
+  EXPECT_GT(run.ThroughputFps(), 0.0);
+}
+
+TEST(PlannerIntegrationTest, RejectsEmptyTargets) {
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 57);
+  core::QueryPlanner planner(&ds, FastPlannerOptions());
+  auto plan = planner.PlanForClasses({}, 0.8);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(ZeusDbIntegrationTest, SqlQueryEndToEnd) {
+  zeus::core::ZeusDb db(FastPlannerOptions());
+  ASSERT_TRUE(db.RegisterDataset(
+                    "bdd", video::SyntheticDataset::Generate(SmallProfile(), 58))
+                  .ok());
+  auto result = db.Execute(
+      "bdd",
+      "SELECT segment_ids FROM UDF(video) "
+      "WHERE action_class = 'cross-right' AND accuracy >= 80%");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().plan_seconds, 0.0);
+  EXPECT_GT(result.value().throughput_fps, 0.0);
+  // Re-running the same query reuses the cached plan.
+  auto again = db.Execute(
+      "bdd",
+      "SELECT segment_ids FROM UDF(video) "
+      "WHERE action_class = 'cross-right' AND accuracy >= 80%");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().plan_seconds, 0.0);
+  // Identical plans yield identical metrics (deterministic execution).
+  EXPECT_EQ(again.value().metrics.tp, result.value().metrics.tp);
+}
+
+TEST(ZeusDbIntegrationTest, ErrorsSurfaceCleanly) {
+  zeus::core::ZeusDb db(FastPlannerOptions());
+  EXPECT_FALSE(db.Execute("nope", "SELECT s FROM v WHERE action_class='x'")
+                   .ok());
+  ASSERT_TRUE(db.RegisterDataset(
+                    "bdd", video::SyntheticDataset::Generate(SmallProfile(), 59))
+                  .ok());
+  EXPECT_FALSE(db.Execute("bdd", "not sql at all").ok());
+  EXPECT_FALSE(
+      db.RegisterDataset("bdd",
+                         video::SyntheticDataset::Generate(SmallProfile(), 60))
+          .ok());
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,0 +1,411 @@
+// Unit tests for zeus::nn — gradient checks of every layer against central
+// differences, loss values/gradients, optimizer behaviour, serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/conv3d.h"
+#include "nn/gradcheck.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/tensor_ops.h"
+
+namespace zeus::nn {
+namespace {
+
+// Loss = sum of outputs; its gradient w.r.t. the output is all-ones. Every
+// gradient check below uses this pair.
+float SumLoss(const tensor::Tensor& y) { return y.Sum(); }
+tensor::Tensor OnesLike(const tensor::Tensor& y) {
+  return tensor::Tensor(y.shape(), 1.0f);
+}
+
+TEST(LinearTest, ForwardHandComputed) {
+  common::Rng rng(1);
+  Linear layer(2, 1, &rng);
+  layer.weight().value = tensor::Tensor::FromData({1, 2}, {2.0f, 3.0f});
+  layer.bias().value = tensor::Tensor::FromVector({1.0f});
+  tensor::Tensor x = tensor::Tensor::FromData({1, 2}, {4.0f, 5.0f});
+  tensor::Tensor y = layer.Forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2 * 4 + 3 * 5 + 1);
+}
+
+TEST(LinearTest, GradientsMatchFiniteDifferences) {
+  common::Rng rng(2);
+  Linear layer(5, 3, &rng);
+  tensor::Tensor x({2, 5});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  auto in = CheckInputGradient(&layer, x, SumLoss, OnesLike);
+  EXPECT_LT(in.max_rel_error, 2e-2f);
+  auto par = CheckParameterGradient(&layer, x, SumLoss, OnesLike);
+  EXPECT_LT(par.max_rel_error, 2e-2f);
+}
+
+TEST(Conv2dTest, OutputShape) {
+  common::Rng rng(3);
+  Conv2d::Options opts;
+  opts.stride = {2, 2};
+  Conv2d layer(1, 4, opts, &rng);
+  tensor::Tensor x({2, 1, 8, 8});
+  tensor::Tensor y = layer.Forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 4, 4, 4}));
+}
+
+TEST(Conv2dTest, GradientsMatchFiniteDifferences) {
+  common::Rng rng(4);
+  Conv2d::Options opts;
+  opts.stride = {2, 2};
+  Conv2d layer(2, 3, opts, &rng);
+  tensor::Tensor x({1, 2, 6, 6});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  EXPECT_LT(CheckInputGradient(&layer, x, SumLoss, OnesLike).max_rel_error,
+            2e-2f);
+  EXPECT_LT(CheckParameterGradient(&layer, x, SumLoss, OnesLike).max_rel_error,
+            2e-2f);
+}
+
+TEST(Conv3dTest, OutputShape) {
+  common::Rng rng(5);
+  Conv3d::Options opts;
+  opts.stride = {1, 2, 2};
+  Conv3d layer(1, 8, opts, &rng);
+  tensor::Tensor x({1, 1, 4, 8, 8});
+  tensor::Tensor y = layer.Forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 8, 4, 4, 4}));
+}
+
+TEST(Conv3dTest, GradientsMatchFiniteDifferences) {
+  common::Rng rng(6);
+  Conv3d::Options opts;
+  opts.stride = {2, 2, 2};
+  Conv3d layer(1, 2, opts, &rng);
+  tensor::Tensor x({1, 1, 4, 6, 6});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  // float32 central differences over the large conv sums are noisy; the
+  // bound is loose but still catches sign/indexing errors by two orders of
+  // magnitude.
+  EXPECT_LT(CheckInputGradient(&layer, x, SumLoss, OnesLike, 24, 3e-3f)
+                .max_rel_error,
+            8e-2f);
+  EXPECT_LT(CheckParameterGradient(&layer, x, SumLoss, OnesLike, 24, 3e-3f)
+                .max_rel_error,
+            8e-2f);
+}
+
+TEST(Conv3dTest, HandlesMinimalTemporalExtent) {
+  common::Rng rng(7);
+  Conv3d::Options opts;
+  opts.stride = {2, 2, 2};
+  Conv3d layer(1, 2, opts, &rng);
+  tensor::Tensor x({1, 1, 1, 4, 4});  // single-frame "segment"
+  tensor::Tensor y = layer.Forward(x, false);
+  EXPECT_EQ(y.dim(2), 1);
+}
+
+TEST(ReLUTest, ForwardAndGradMask) {
+  ReLU relu;
+  tensor::Tensor x = tensor::Tensor::FromVector({-1, 2, -3, 4});
+  tensor::Tensor y = relu.Forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[1], 2);
+  tensor::Tensor g = relu.Backward(tensor::Tensor({4}, 1.0f));
+  EXPECT_FLOAT_EQ(g[0], 0);
+  EXPECT_FLOAT_EQ(g[1], 1);
+  EXPECT_FLOAT_EQ(g[3], 1);
+}
+
+TEST(TanhTest, GradientMatchesDerivative) {
+  Tanh tanh_layer;
+  tensor::Tensor x = tensor::Tensor::FromVector({0.5f});
+  tensor::Tensor y = tanh_layer.Forward(x, true);
+  tensor::Tensor g = tanh_layer.Backward(tensor::Tensor({1}, 1.0f));
+  EXPECT_NEAR(g[0], 1.0f - y[0] * y[0], 1e-6);
+}
+
+TEST(GlobalAvgPoolTest, ForwardBackward) {
+  GlobalAvgPool pool;
+  tensor::Tensor x = tensor::Tensor::FromData({1, 2, 2, 2},
+                                              {1, 2, 3, 4, 5, 6, 7, 8});
+  tensor::Tensor y = pool.Forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+  EXPECT_FLOAT_EQ(y[1], 6.5f);
+  tensor::Tensor g = pool.Backward(tensor::Tensor::FromData({1, 2}, {4, 8}));
+  EXPECT_FLOAT_EQ(g[0], 1.0f);   // 4 / 4 spatial cells
+  EXPECT_FLOAT_EQ(g[7], 2.0f);
+}
+
+TEST(MaxPool2dTest, ForwardRoutesGradToArgmax) {
+  MaxPool2d pool(2);
+  tensor::Tensor x = tensor::Tensor::FromData({1, 1, 2, 2}, {1, 5, 2, 3});
+  tensor::Tensor y = pool.Forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  tensor::Tensor g = pool.Backward(tensor::Tensor({1, 1, 1, 1}, 2.0f));
+  EXPECT_FLOAT_EQ(g[1], 2.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(DropoutTest, IdentityInEval) {
+  common::Rng rng(8);
+  Dropout drop(0.5f, &rng);
+  tensor::Tensor x = tensor::Tensor::FromVector({1, 2, 3});
+  tensor::Tensor y = drop.Forward(x, /*train=*/false);
+  EXPECT_EQ(tensor::MaxAbsDiff(x, y), 0.0f);
+}
+
+TEST(DropoutTest, PreservesExpectationInTrain) {
+  common::Rng rng(9);
+  Dropout drop(0.3f, &rng);
+  tensor::Tensor x({10000}, 1.0f);
+  tensor::Tensor y = drop.Forward(x, true);
+  EXPECT_NEAR(y.Mean(), 1.0f, 0.05f);
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten flatten;
+  tensor::Tensor x({2, 3, 4});
+  tensor::Tensor y = flatten.Forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<int>{2, 12}));
+  tensor::Tensor g = flatten.Backward(y);
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(LossTest, CrossEntropyPerfectPrediction) {
+  tensor::Tensor logits = tensor::Tensor::FromData({1, 2}, {-20.0f, 20.0f});
+  auto res = SoftmaxCrossEntropy(logits, {1});
+  EXPECT_NEAR(res.loss, 0.0f, 1e-4);
+}
+
+TEST(LossTest, CrossEntropyUniformIsLog2) {
+  tensor::Tensor logits = tensor::Tensor::FromData({1, 2}, {0.0f, 0.0f});
+  auto res = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_NEAR(res.loss, std::log(2.0f), 1e-5);
+  // Gradient pushes the correct logit up, the other down, sums to zero.
+  EXPECT_NEAR(res.grad[0] + res.grad[1], 0.0f, 1e-6);
+  EXPECT_LT(res.grad[0], 0.0f);
+}
+
+TEST(LossTest, HuberQuadraticInside) {
+  tensor::Tensor p = tensor::Tensor::FromVector({0.5f});
+  tensor::Tensor t = tensor::Tensor::FromVector({0.0f});
+  auto res = Huber(p, t);
+  EXPECT_NEAR(res.loss, 0.5f * 0.25f, 1e-6);
+  EXPECT_NEAR(res.grad[0], 0.5f, 1e-6);
+}
+
+TEST(LossTest, HuberLinearOutside) {
+  tensor::Tensor p = tensor::Tensor::FromVector({3.0f});
+  tensor::Tensor t = tensor::Tensor::FromVector({0.0f});
+  auto res = Huber(p, t, 1.0f);
+  EXPECT_NEAR(res.loss, 1.0f * (3.0f - 0.5f), 1e-5);
+  EXPECT_NEAR(res.grad[0], 1.0f, 1e-6);  // clipped slope
+}
+
+TEST(LossTest, AccuracyCountsArgmaxMatches) {
+  tensor::Tensor logits =
+      tensor::Tensor::FromData({2, 2}, {1, 0, 0, 1});
+  EXPECT_FLOAT_EQ(Accuracy(logits, {0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(Accuracy(logits, {1, 1}), 0.5f);
+}
+
+TEST(OptimizerTest, SgdStepsDownhill) {
+  common::Rng rng(10);
+  Linear layer(1, 1, &rng);
+  Sgd sgd(layer.Parameters(), 0.1f, /*momentum=*/0.0f);
+  // Minimize (w*1 + b)^2 toward 0 output.
+  for (int i = 0; i < 50; ++i) {
+    tensor::Tensor x({1, 1}, 1.0f);
+    tensor::Tensor y = layer.Forward(x, true);
+    layer.Backward(tensor::Tensor({1, 1}, 2.0f * y[0]));
+    sgd.Step();
+  }
+  tensor::Tensor y = layer.Forward(tensor::Tensor({1, 1}, 1.0f), false);
+  EXPECT_NEAR(y[0], 0.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  common::Rng rng(11);
+  Linear layer(1, 1, &rng);
+  Adam adam(layer.Parameters(), 0.05f);
+  for (int i = 0; i < 200; ++i) {
+    tensor::Tensor x({1, 1}, 1.0f);
+    tensor::Tensor y = layer.Forward(x, true);
+    layer.Backward(tensor::Tensor({1, 1}, 2.0f * (y[0] - 3.0f)));
+    adam.Step();
+  }
+  tensor::Tensor y = layer.Forward(tensor::Tensor({1, 1}, 1.0f), false);
+  EXPECT_NEAR(y[0], 3.0f, 0.05f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  common::Rng rng(12);
+  Linear layer(2, 2, &rng);
+  auto params = layer.Parameters();
+  for (auto* p : params) p->grad.Fill(10.0f);
+  ClipGradNorm(params, 1.0f);
+  double total = 0;
+  for (auto* p : params)
+    for (size_t i = 0; i < p->grad.size(); ++i)
+      total += p->grad[i] * p->grad[i];
+  EXPECT_NEAR(std::sqrt(total), 1.0, 1e-4);
+}
+
+TEST(SequentialTest, ComposesAndCollectsParams) {
+  common::Rng rng(13);
+  Sequential net;
+  net.Emplace<Linear>(4, 8, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Linear>(8, 2, &rng);
+  EXPECT_EQ(net.Parameters().size(), 4u);
+  tensor::Tensor x({3, 4});
+  EXPECT_EQ(net.Forward(x, false).shape(), (std::vector<int>{3, 2}));
+}
+
+TEST(SequentialTest, SaveLoadRoundTrip) {
+  common::Rng rng(14);
+  Sequential a, b;
+  a.Emplace<Linear>(3, 2, &rng);
+  b.Emplace<Linear>(3, 2, &rng);
+  std::string path = testing::TempDir() + "/zeus_net.bin";
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  ASSERT_TRUE(b.LoadWeights(path).ok());
+  tensor::Tensor x({1, 3}, 1.0f);
+  EXPECT_EQ(tensor::MaxAbsDiff(a.Forward(x, false), b.Forward(x, false)),
+            0.0f);
+}
+
+TEST(SequentialTest, LoadRejectsWrongArchitecture) {
+  common::Rng rng(15);
+  Sequential a, b;
+  a.Emplace<Linear>(3, 2, &rng);
+  b.Emplace<Linear>(4, 2, &rng);
+  std::string path = testing::TempDir() + "/zeus_net2.bin";
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  EXPECT_FALSE(b.LoadWeights(path).ok());
+}
+
+TEST(SequentialTest, PrefixSuffixComposeToFull) {
+  common::Rng rng(16);
+  Sequential net;
+  net.Emplace<Linear>(4, 8, &rng);
+  net.Emplace<ReLU>();
+  net.Emplace<Linear>(8, 2, &rng);
+  tensor::Tensor x({2, 4});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  tensor::Tensor full = net.Forward(x, false);
+  tensor::Tensor mid = net.ForwardPrefix(x, 2, false);
+  tensor::Tensor composed = net.ForwardSuffix(mid, 2, false);
+  EXPECT_LT(tensor::MaxAbsDiff(full, composed), 1e-6f);
+}
+
+// Parameterized gradient sweep over conv3d geometries.
+struct ConvCase {
+  int ci, co, l, h, w;
+  std::array<int, 3> stride;
+};
+
+class Conv3dSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Conv3dSweep, GradCheck) {
+  const ConvCase& c = GetParam();
+  common::Rng rng(17);
+  Conv3d::Options opts;
+  opts.stride = c.stride;
+  Conv3d layer(c.ci, c.co, opts, &rng);
+  tensor::Tensor x({1, c.ci, c.l, c.h, c.w});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  EXPECT_LT(CheckInputGradient(&layer, x, SumLoss, OnesLike, 12, 3e-3f)
+                .max_rel_error,
+            8e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Conv3dSweep,
+    ::testing::Values(ConvCase{1, 2, 2, 4, 4, {1, 2, 2}},
+                      ConvCase{2, 1, 4, 4, 4, {2, 2, 2}},
+                      ConvCase{1, 3, 3, 5, 5, {1, 1, 1}},
+                      ConvCase{3, 2, 2, 6, 4, {2, 2, 2}}));
+
+}  // namespace
+}  // namespace zeus::nn
+
+// --- Learning-rate schedules ------------------------------------------
+
+#include "nn/lr_schedule.h"
+
+namespace zeus::nn {
+namespace {
+
+// A 1-parameter optimizer stub so schedules have something to drive.
+struct LrProbe {
+  Parameter param{std::vector<int>{1}};
+  Sgd opt{{&param}, 0.1f, 0.0f};
+};
+
+TEST(LrScheduleTest, StepLrDecaysEveryPeriod) {
+  LrProbe probe;
+  StepLr schedule(&probe.opt, /*period=*/3, /*gamma=*/0.5f);
+  std::vector<float> lrs;
+  for (int i = 0; i < 7; ++i) {
+    schedule.Step();
+    lrs.push_back(probe.opt.learning_rate());
+  }
+  EXPECT_FLOAT_EQ(lrs[0], 0.1f);    // steps 1..2: no decay yet
+  EXPECT_FLOAT_EQ(lrs[1], 0.1f);
+  EXPECT_FLOAT_EQ(lrs[2], 0.05f);   // step 3: one decay
+  EXPECT_FLOAT_EQ(lrs[5], 0.025f);  // step 6: two decays
+  EXPECT_FLOAT_EQ(lrs[6], 0.025f);
+}
+
+TEST(LrScheduleTest, CosineAnnealsMonotonicallyToFloor) {
+  LrProbe probe;
+  CosineLr schedule(&probe.opt, /*total_steps=*/10, /*min_lr=*/0.01f);
+  float prev = probe.opt.learning_rate();
+  for (int i = 0; i < 10; ++i) {
+    schedule.Step();
+    EXPECT_LE(probe.opt.learning_rate(), prev + 1e-7f);
+    prev = probe.opt.learning_rate();
+  }
+  EXPECT_FLOAT_EQ(probe.opt.learning_rate(), 0.01f);
+  schedule.Step();  // past the horizon: stays at the floor
+  EXPECT_FLOAT_EQ(probe.opt.learning_rate(), 0.01f);
+}
+
+TEST(LrScheduleTest, CosineHalfwayPointIsMidRate) {
+  LrProbe probe;
+  CosineLr schedule(&probe.opt, /*total_steps=*/8, /*min_lr=*/0.0f);
+  EXPECT_NEAR(schedule.LrAt(4), 0.05f, 1e-6f);
+}
+
+TEST(LrScheduleTest, WarmupRampsLinearlyThenDelegates) {
+  LrProbe probe;
+  StepLr inner(&probe.opt, /*period=*/2, /*gamma=*/0.5f);
+  WarmupLr schedule(&probe.opt, /*warmup_steps=*/4, &inner);
+  EXPECT_NEAR(schedule.LrAt(1), 0.025f, 1e-6f);
+  EXPECT_NEAR(schedule.LrAt(2), 0.05f, 1e-6f);
+  EXPECT_NEAR(schedule.LrAt(3), 0.075f, 1e-6f);
+  // Post-warmup: inner schedule's clock starts at zero.
+  EXPECT_NEAR(schedule.LrAt(4), 0.1f, 1e-6f);   // inner step 0
+  EXPECT_NEAR(schedule.LrAt(6), 0.05f, 1e-6f);  // inner step 2: one decay
+}
+
+TEST(LrScheduleTest, ScheduleDrivesOptimizerUpdates) {
+  // The learning rate written by the schedule is the one SGD applies.
+  LrProbe probe;
+  probe.param.value[0] = 1.0f;
+  CosineLr schedule(&probe.opt, 2, 0.0f);
+  schedule.Step();  // lr = 0.05
+  probe.param.grad[0] = 1.0f;
+  probe.opt.Step();
+  EXPECT_NEAR(probe.param.value[0], 1.0f - 0.05f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace zeus::nn

@@ -1,0 +1,145 @@
+// Tests for plan checkpointing (PlanIo) and the parallel feature
+// pre-extraction path.
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "apfg/feature_cache.h"
+#include "common/thread_pool.h"
+#include "core/executor.h"
+#include "core/plan_io.h"
+#include "core/query_planner.h"
+#include "tensor/tensor_ops.h"
+#include "video/dataset.h"
+
+namespace zeus {
+namespace {
+
+video::DatasetProfile SmallProfile() {
+  auto profile =
+      video::DatasetProfile::ForFamily(video::DatasetFamily::kBdd100kLike);
+  profile.num_videos = 12;
+  profile.frames_per_video = 200;
+  return profile;
+}
+
+core::QueryPlanner::Options FastPlannerOptions() {
+  core::QueryPlanner::Options opts;
+  opts.apfg.epochs = 4;
+  opts.profile.max_windows_per_config = 60;
+  opts.trainer.episodes = 3;
+  opts.trainer.min_buffer = 32;
+  opts.trainer.agent.batch_size = 32;
+  opts.max_rl_configs = 4;
+  return opts;
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  common::ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  common::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(50);
+  common::ParallelFor(&pool, 50, [&](int i) { hits[static_cast<size_t>(i)]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineWithoutPool) {
+  int sum = 0;
+  common::ParallelFor(nullptr, 10, [&](int i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(FeatureCachePrecomputeTest, ParallelMatchesSerial) {
+  common::Rng rng(3);
+  apfg::Apfg apfg(apfg::ApfgTrainOptions{}, true, &rng);
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 71);
+  std::vector<const video::Video*> vids;
+  for (size_t i = 0; i < 3; ++i) vids.push_back(&ds.video(i));
+  video::DecodeSpec spec{15, 4, 2};
+
+  apfg::FeatureCache serial(&apfg), parallel(&apfg);
+  for (const video::Video* v : vids) serial.Precompute(*v, spec, 16);
+  common::ThreadPool pool(2);
+  parallel.PrecomputeParallel(vids, spec, 16, &pool);
+  EXPECT_EQ(serial.size(), parallel.size());
+  // Spot-check one entry for identical outputs.
+  const auto& a = serial.Get(*vids[0], 16, spec);
+  const auto& b = parallel.Get(*vids[0], 16, spec);
+  EXPECT_LT(tensor::MaxAbsDiff(a.feature, b.feature), 1e-6f);
+}
+
+TEST(PlanIoTest, SaveLoadRoundTripExecutesIdentically) {
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 72);
+  auto opts = FastPlannerOptions();
+  core::QueryPlanner planner(&ds, opts);
+  auto plan = planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.8);
+  ASSERT_TRUE(plan.ok());
+
+  std::string prefix = testing::TempDir() + "/zeus_plan";
+  ASSERT_TRUE(core::PlanIo::Save(prefix, plan.value()).ok());
+
+  auto loaded = core::PlanIo::Load(prefix, video::DatasetFamily::kBdd100kLike,
+                                   opts);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().targets, plan.value().targets);
+  EXPECT_DOUBLE_EQ(loaded.value().accuracy_target,
+                   plan.value().accuracy_target);
+  EXPECT_EQ(loaded.value().rl_space.size(), plan.value().rl_space.size());
+
+  // The reloaded plan must reproduce the original executor's output
+  // bit-for-bit (same weights, same thresholds, greedy policy).
+  auto test = planner.SplitVideos(ds.test_indices());
+  core::QueryExecutor original(&plan.value());
+  core::QueryExecutor restored(&loaded.value());
+  auto run_a = original.Localize(test);
+  auto run_b = restored.Localize(test);
+  ASSERT_EQ(run_a.masks.size(), run_b.masks.size());
+  for (size_t i = 0; i < run_a.masks.size(); ++i) {
+    EXPECT_EQ(run_a.masks[i], run_b.masks[i]) << "video " << i;
+  }
+  EXPECT_EQ(run_a.invocations, run_b.invocations);
+}
+
+TEST(PlanIoTest, LoadRejectsMissingFiles) {
+  auto r = core::PlanIo::Load(testing::TempDir() + "/no_such_plan",
+                              video::DatasetFamily::kBdd100kLike,
+                              FastPlannerOptions());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PlanIoTest, CorruptCheckpointIsRejected) {
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 74);
+  auto opts = FastPlannerOptions();
+  core::QueryPlanner planner(&ds, opts);
+  auto plan = planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.8);
+  ASSERT_TRUE(plan.ok());
+  std::string prefix = testing::TempDir() + "/zeus_plan_corrupt";
+  ASSERT_TRUE(core::PlanIo::Save(prefix, plan.value()).ok());
+
+  // Truncate the DQN weight file: load must fail, not return garbage.
+  {
+    std::ofstream trunc(prefix + ".dqn",
+                        std::ios::binary | std::ios::trunc);
+    trunc << "zz";
+  }
+  auto loaded = core::PlanIo::Load(prefix, video::DatasetFamily::kBdd100kLike,
+                                   opts);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(PlanIoTest, SaveRejectsUntrainedPlan) {
+  core::QueryPlan plan;
+  EXPECT_FALSE(core::PlanIo::Save(testing::TempDir() + "/p", plan).ok());
+}
+
+}  // namespace
+}  // namespace zeus

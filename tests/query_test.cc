@@ -1,0 +1,174 @@
+// Unit tests for the SQL-ish action query parser (§1's query surface).
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+
+namespace zeus::core {
+namespace {
+
+TEST(QueryParserTest, PaperQueryParses) {
+  auto r = QueryParser::Parse(
+      "SELECT segment_ids FROM UDF(video) "
+      "WHERE action_class = 'left-turn' AND accuracy >= 80%");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().primary_class(), video::ActionClass::kLeftTurn);
+  EXPECT_DOUBLE_EQ(r.value().accuracy_target, 0.8);
+  EXPECT_EQ(r.value().source, "video");
+}
+
+TEST(QueryParserTest, CaseInsensitiveKeywords) {
+  auto r = QueryParser::Parse(
+      "select segment_ids from udf(video) where action_class = 'CrossRight'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().primary_class(), video::ActionClass::kCrossRight);
+}
+
+TEST(QueryParserTest, FractionalAccuracy) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM v WHERE action_class='pole-vault' AND accuracy >= 0.75");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().accuracy_target, 0.75);
+  EXPECT_EQ(r.value().primary_class(), video::ActionClass::kPoleVault);
+}
+
+TEST(QueryParserTest, PercentOverHundredNormalized) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM v WHERE action_class='tennis-serve' AND accuracy >= 85");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().accuracy_target, 0.85);
+}
+
+TEST(QueryParserTest, DefaultAccuracyWhenOmitted) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM v WHERE action_class = 'ironing-clothes'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value().accuracy_target, 0.8);
+}
+
+TEST(QueryParserTest, StarProjectionAndSemicolon) {
+  auto r = QueryParser::Parse(
+      "SELECT * FROM UDF(cam0) WHERE action_class = 'clean-and-jerk';");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().source, "cam0");
+}
+
+TEST(QueryParserTest, RejectsUnknownClass) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM v WHERE action_class = 'moonwalk'");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QueryParserTest, RejectsMissingActionClass) {
+  auto r = QueryParser::Parse("SELECT s FROM v WHERE accuracy >= 80%");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(QueryParserTest, RejectsMalformedSyntax) {
+  EXPECT_FALSE(QueryParser::Parse("SELECT FROM WHERE").ok());
+  EXPECT_FALSE(QueryParser::Parse("").ok());
+  EXPECT_FALSE(
+      QueryParser::Parse("SELECT s FROM v WHERE action_class = left").ok());
+  EXPECT_FALSE(QueryParser::Parse(
+                   "SELECT s FROM v WHERE action_class = 'left-turn' garbage")
+                   .ok());
+}
+
+TEST(QueryParserTest, RejectsAccuracyOutOfRange) {
+  EXPECT_FALSE(QueryParser::Parse("SELECT s FROM v WHERE action_class = "
+                                  "'left-turn' AND accuracy >= 150%")
+                   .ok());
+}
+
+TEST(QueryParserTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(
+      QueryParser::Parse("SELECT s FROM v WHERE action_class = 'left").ok());
+}
+
+TEST(QueryParserTest, ToStringRoundTripsThroughParser) {
+  ActionQuery q;
+  q.action_classes = {video::ActionClass::kTennisServe};
+  q.accuracy_target = 0.75;
+  auto r = QueryParser::Parse(q.ToString());
+  ASSERT_TRUE(r.ok()) << q.ToString();
+  EXPECT_EQ(r.value().primary_class(), q.primary_class());
+  EXPECT_DOUBLE_EQ(r.value().accuracy_target, q.accuracy_target);
+}
+
+TEST(QueryParserTest, InListParsesMultipleClasses) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM UDF(video) WHERE action_class IN "
+      "('cross-right', 'cross-left') AND accuracy >= 80%");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().action_classes.size(), 2u);
+  EXPECT_EQ(r.value().action_classes[0], video::ActionClass::kCrossRight);
+  EXPECT_EQ(r.value().action_classes[1], video::ActionClass::kCrossLeft);
+}
+
+TEST(QueryParserTest, InListRejectsDuplicates) {
+  EXPECT_FALSE(QueryParser::Parse(
+                   "SELECT s FROM v WHERE action_class IN "
+                   "('cross-right', 'cross-right')")
+                   .ok());
+}
+
+TEST(QueryParserTest, RejectsActionClassConstrainedTwice) {
+  EXPECT_FALSE(QueryParser::Parse(
+                   "SELECT s FROM v WHERE action_class = 'cross-right' AND "
+                   "action_class = 'cross-left'")
+                   .ok());
+}
+
+TEST(QueryParserTest, FrameBetweenRange) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM v WHERE action_class = 'left-turn' AND "
+      "frame BETWEEN 100 AND 2000");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().frame_begin, 100);
+  EXPECT_EQ(r.value().frame_end, 2000);
+}
+
+TEST(QueryParserTest, RejectsEmptyFrameRange) {
+  EXPECT_FALSE(QueryParser::Parse("SELECT s FROM v WHERE action_class = "
+                                  "'left-turn' AND frame BETWEEN 50 AND 50")
+                   .ok());
+}
+
+TEST(QueryParserTest, LimitClause) {
+  auto r = QueryParser::Parse(
+      "SELECT s FROM v WHERE action_class = 'left-turn' LIMIT 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().limit, 5);
+  EXPECT_FALSE(r.value().explain_only);
+}
+
+TEST(QueryParserTest, RejectsFractionalLimit) {
+  EXPECT_FALSE(
+      QueryParser::Parse(
+          "SELECT s FROM v WHERE action_class = 'left-turn' LIMIT 2.5")
+          .ok());
+}
+
+TEST(QueryParserTest, ExplainPrefix) {
+  auto r = QueryParser::Parse(
+      "EXPLAIN SELECT s FROM UDF(video) WHERE action_class = 'cross-right' "
+      "AND accuracy >= 85%");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().explain_only);
+  EXPECT_EQ(r.value().primary_class(), video::ActionClass::kCrossRight);
+}
+
+TEST(QueryParserTest, MultiClassToStringRoundTrips) {
+  ActionQuery q;
+  q.action_classes = {video::ActionClass::kCrossRight,
+                      video::ActionClass::kLeftTurn};
+  q.accuracy_target = 0.85;
+  q.limit = 3;
+  auto r = QueryParser::Parse(q.ToString());
+  ASSERT_TRUE(r.ok()) << q.ToString();
+  EXPECT_EQ(r.value().action_classes, q.action_classes);
+  EXPECT_EQ(r.value().limit, 3);
+}
+
+}  // namespace
+}  // namespace zeus::core

@@ -1,0 +1,168 @@
+// Unit tests for zeus::tensor — shape math, elementwise ops, matmul against
+// hand-computed values, reductions, serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace zeus::tensor {
+namespace {
+
+TEST(TensorTest, ZeroInitializedWithShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(1), 3);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, MultiDimIndexing) {
+  Tensor t({2, 3});
+  t.At({1, 2}) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  EXPECT_EQ(t.At({1, 2}), 5.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.At({2, 1}), 6.0f);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromVector({1, -2, 3, 4});
+  EXPECT_FLOAT_EQ(t.Sum(), 6.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 1.5f);
+  EXPECT_FLOAT_EQ(t.Min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.Max(), 4.0f);
+  EXPECT_EQ(t.Argmax(), 3);
+  EXPECT_NEAR(t.Norm(), std::sqrt(1 + 4 + 9 + 16.0f), 1e-5);
+}
+
+TEST(TensorTest, AddScaled) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({10, 20});
+  a.AddScaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[1], 12.0f);
+}
+
+TEST(TensorOpsTest, MatMulHandComputed) {
+  // [1 2; 3 4] @ [5 6; 7 8] = [19 22; 43 50]
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(TensorOpsTest, MatMulTransposedVariantsAgree) {
+  common::Rng rng(11);
+  Tensor a({3, 4}), b({4, 5});
+  FillGaussian(&a, &rng, 1.0f);
+  FillGaussian(&b, &rng, 1.0f);
+  Tensor ref = MatMul(a, b);
+  // a @ b == a @ (b^T)^T
+  Tensor bt = Transpose2d(b);
+  EXPECT_LT(MaxAbsDiff(ref, MatMulTransposedB(a, bt)), 1e-4f);
+  // a @ b == (a^T)^T @ b
+  Tensor at = Transpose2d(a);
+  EXPECT_LT(MaxAbsDiff(ref, MatMulTransposedA(at, b)), 1e-4f);
+}
+
+TEST(TensorOpsTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_FLOAT_EQ(Add(a, b)[1], 7);
+  EXPECT_FLOAT_EQ(Sub(a, b)[2], -3);
+  EXPECT_FLOAT_EQ(Mul(a, b)[0], 4);
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Tensor logits = Tensor::FromData({2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor p = SoftmaxRows(logits);
+  for (int i = 0; i < 2; ++i) {
+    float sum = p[3 * i] + p[3 * i + 1] + p[3 * i + 2];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+    EXPECT_GT(p[3 * i + 2], p[3 * i]);  // monotone in logits
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxNumericallyStableForLargeLogits) {
+  Tensor logits = Tensor::FromData({1, 2}, {1000.0f, 1001.0f});
+  Tensor p = SoftmaxRows(logits);
+  EXPECT_NEAR(p[0] + p[1], 1.0f, 1e-5);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(TensorOpsTest, StackShapes) {
+  Tensor a({2, 3}, 1.0f), b({2, 3}, 2.0f);
+  Tensor s = Stack({a, b});
+  EXPECT_EQ(s.shape(), (std::vector<int>{2, 2, 3}));
+  EXPECT_FLOAT_EQ(s[0], 1.0f);
+  EXPECT_FLOAT_EQ(s[6], 2.0f);
+}
+
+TEST(TensorOpsTest, Concat1d) {
+  Tensor c = Concat1d({Tensor::FromVector({1, 2}), Tensor::FromVector({3})});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FLOAT_EQ(c[2], 3);
+}
+
+TEST(SerializeTest, StreamRoundTrip) {
+  common::Rng rng(9);
+  Tensor t({2, 3, 4});
+  FillGaussian(&t, &rng, 1.0f);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  auto r = ReadTensor(ss);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().shape(), t.shape());
+  EXPECT_EQ(MaxAbsDiff(r.value(), t), 0.0f);
+}
+
+TEST(SerializeTest, FileRoundTripMultipleTensors) {
+  common::Rng rng(10);
+  std::vector<Tensor> ts{Tensor({3}), Tensor({2, 2})};
+  for (auto& t : ts) FillGaussian(&t, &rng, 1.0f);
+  std::string path = testing::TempDir() + "/zeus_tensors.bin";
+  ASSERT_TRUE(SaveTensors(path, ts).ok());
+  auto loaded = LoadTensors(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(MaxAbsDiff(loaded.value()[1], ts[1]), 0.0f);
+}
+
+TEST(SerializeTest, CorruptMagicRejected) {
+  std::stringstream ss;
+  ss << "JUNKJUNKJUNK";
+  auto r = ReadTensor(ss);
+  EXPECT_FALSE(r.ok());
+}
+
+// Property sweep: reshape volume invariance across shapes.
+class ShapeSweep : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(ShapeSweep, VolumeMatchesSize) {
+  Tensor t(GetParam());
+  EXPECT_EQ(t.size(), ShapeVolume(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Values(std::vector<int>{1},
+                                           std::vector<int>{4, 5},
+                                           std::vector<int>{2, 3, 4},
+                                           std::vector<int>{1, 2, 3, 4},
+                                           std::vector<int>{2, 1, 8, 5, 3}));
+
+}  // namespace
+}  // namespace zeus::tensor

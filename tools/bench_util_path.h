@@ -1,0 +1,8 @@
+#ifndef ZEUS_TOOLS_BENCH_UTIL_PATH_H_
+#define ZEUS_TOOLS_BENCH_UTIL_PATH_H_
+
+// Tools share the bench-scale profiles and planner options so diagnostics
+// measure exactly what the bench binaries will run.
+#include "bench_util.h"  // from bench/
+
+#endif  // ZEUS_TOOLS_BENCH_UTIL_PATH_H_

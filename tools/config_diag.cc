@@ -1,0 +1,153 @@
+// Developer diagnostic: trains the APFG for one query and dumps the full
+// profiled configuration table (throughput vs. validation F1), plus the
+// test-split F1 of sliding execution at the slowest / mid / fastest
+// configurations. Use it to calibrate dataset difficulty so that the paper's
+// inverse throughput-accuracy relation (Table 2) holds before running the
+// full benches.
+//
+//   config_diag [family] [class] [seed] [epochs]
+//     family: bdd | thumos | activitynet   (default bdd)
+//     class:  action class name            (default CrossRight)
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "baselines/sliding.h"
+#include "bench_util_path.h"  // resolved include of bench/bench_util.h
+#include "core/executor.h"
+#include "core/query_planner.h"
+
+namespace zeus {
+namespace {
+
+int Main(int argc, char** argv) {
+  common::SetLogLevel(common::LogLevel::kInfo);
+  std::string family_arg = argc > 1 ? argv[1] : "bdd";
+  std::string class_arg = argc > 2 ? argv[2] : "CrossRight";
+  uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 17;
+  int epochs = argc > 4 ? std::stoi(argv[4]) : -1;
+
+  video::DatasetFamily family = video::DatasetFamily::kBdd100kLike;
+  if (family_arg == "thumos") family = video::DatasetFamily::kThumos14Like;
+  if (family_arg == "activitynet") {
+    family = video::DatasetFamily::kActivityNetLike;
+  }
+  video::ActionClass cls = video::ParseActionClass(class_arg);
+  ZEUS_CHECK(cls != video::ActionClass::kNone);
+
+  auto profile = bench::BenchProfile(family);
+  auto dataset = video::SyntheticDataset::Generate(profile, seed);
+  auto stats = dataset.ComputeStatistics();
+  std::printf("dataset: %s videos=%zu frames=%ld action%%=%.1f inst=%d\n",
+              profile.name.c_str(), dataset.num_videos(), stats.total_frames,
+              stats.percent_action_frames, stats.num_instances);
+
+  auto opts = bench::BenchPlannerOptions(seed);
+  if (epochs > 0) opts.apfg.epochs = epochs;
+  opts.train_rl = false;
+  core::QueryPlanner planner(&dataset, opts);
+  auto plan_or = planner.PlanForClasses({cls}, 0.85);
+  ZEUS_CHECK(plan_or.ok());
+  auto& plan = plan_or.value();
+  std::printf("APFG: train_acc=%.3f examples=%d train_s=%.1f\n",
+              plan.apfg_stats.train_accuracy, plan.apfg_stats.num_examples,
+              plan.apfg_stats.train_seconds);
+
+  // Full profiled table sorted fastest -> slowest.
+  std::vector<core::Configuration> configs = plan.space.configs();
+  std::sort(configs.begin(), configs.end(),
+            [](const auto& a, const auto& b) {
+              return a.throughput_fps > b.throughput_fps;
+            });
+  std::printf("\n%-14s %6s %6s %12s %8s\n", "config(r,l,s)", "px", "cov",
+              "tput(fps)", "valF1");
+  for (const auto& c : configs) {
+    std::printf("(%3d,%2d,%2d)    %6d %6d %12.0f %8.3f\n",
+                c.nominal_resolution, c.nominal_segment_length,
+                c.sampling_rate, c.spec.resolution_px, c.CoveredFrames(),
+                c.throughput_fps, c.validation_f1);
+  }
+
+  // Pareto frontier handed to the agent.
+  std::printf("\nfrontier:\n");
+  for (const auto& c : plan.rl_space.configs()) {
+    std::printf("(%3d,%2d,%2d)  tput=%7.0f  valF1=%.3f\n",
+                c.nominal_resolution, c.nominal_segment_length,
+                c.sampling_rate, c.throughput_fps, c.validation_f1);
+  }
+
+  // Sliding F1 at slowest / best-frontier / fastest configs, on both the
+  // validation split (to expose profiling-estimator bias) and the test
+  // split (to expose split variance).
+  auto val = planner.SplitVideos(dataset.val_indices());
+  auto test = planner.SplitVideos(dataset.test_indices());
+  int best_frontier = plan.rl_space.SlowestId();
+  for (int id : {plan.space.SlowestId(),
+                 plan.rl_space.config(best_frontier).id,
+                 plan.space.FastestId()}) {
+    const auto& c = plan.space.config(id);
+    const float calibrated = plan.apfg->ThresholdFor(c.spec);
+    for (float threshold : {calibrated, 0.5f}) {
+      plan.apfg->SetSpecThreshold(c.spec, threshold);
+      baselines::ZeusSliding sliding(plan.space.config(id), plan.apfg.get(),
+                                     plan.cost_model);
+      for (const auto& [split_name, split] :
+           {std::pair{"val ", &val}, std::pair{"test", &test}}) {
+        auto run = sliding.Localize(*split);
+        auto m = core::EvaluateVideos(*split, plan.targets, run.masks,
+                                      core::EvalOptions{});
+        std::printf(
+            "%s sliding (%3d,%2d,%2d) thr=%.2f: F1=%.3f P=%.3f R=%.3f  [",
+            split_name, c.nominal_resolution, c.nominal_segment_length,
+            c.sampling_rate, threshold, m.f1, m.precision, m.recall);
+        for (size_t i = 0; i < split->size(); ++i) {
+          auto mv = core::EvaluateVideo(*(*split)[i], plan.targets,
+                                        run.masks[i], core::EvalOptions{});
+          std::printf(" %d/%d/%d", static_cast<int>(mv.tp),
+                      static_cast<int>(mv.fp), static_cast<int>(mv.fn));
+        }
+        std::printf(" ] (tp/fp/fn per video)\n");
+      }
+    }
+    plan.apfg->SetSpecThreshold(c.spec, calibrated);
+  }
+
+  // Autopsy of false-positive eval segments at the slowest configuration:
+  // what ground-truth labels live inside each FP range?
+  {
+    baselines::ZeusSliding sliding(plan.space.config(plan.space.SlowestId()),
+                                   plan.apfg.get(), plan.cost_model);
+    auto run = sliding.Localize(test);
+    const int seg = core::EvalOptions{}.eval_segment_frames;
+    std::printf("\nFP autopsy (test, slowest config):\n");
+    for (size_t vi = 0; vi < test.size(); ++vi) {
+      const video::Video& v = *test[vi];
+      for (int start = 0; start + 1 <= v.num_frames(); start += seg) {
+        int end = std::min(v.num_frames(), start + seg);
+        int gt = 0, pred = 0;
+        std::map<video::ActionClass, int> inside;
+        for (int f = start; f < end; ++f) {
+          if (v.IsActionAny(f, plan.targets)) ++gt;
+          if (run.masks[vi][static_cast<size_t>(f)]) ++pred;
+          inside[v.Label(f)]++;
+        }
+        double span = end - start;
+        if (pred / span > 0.5 && gt / span <= 0.5) {
+          std::printf("  video %zu [%d,%d): labels{", vi, start, end);
+          for (const auto& [cls, count] : inside) {
+            std::printf(" %s:%d", video::ActionClassName(cls), count);
+          }
+          std::printf(" }\n");
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace zeus
+
+int main(int argc, char** argv) { return zeus::Main(argc, argv); }
