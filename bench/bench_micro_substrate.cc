@@ -1,13 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the substrate hot paths: 3-D
 // convolution, segment decode, replay-buffer ops, DQN action selection.
 // These are the per-invocation costs that the CostModel abstracts.
+//
+// The extractor and matmul benches are parameterized by compute path so one
+// run reports naive (the seed's scalar loop nest) vs. GEMM vs. parallel
+// GEMM throughput side by side. Arg convention: the trailing two args are
+// (path, threads) with path 0 = ComputePath::kReference and 1 = kGemm;
+// threads > 1 attaches a ThreadPool to the context.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "apfg/frame2d.h"
+#include "apfg/lite3d.h"
 #include "apfg/r3d.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "nn/conv3d.h"
 #include "rl/dqn_agent.h"
 #include "rl/replay_buffer.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 #include "video/dataset.h"
 #include "video/decoder.h"
@@ -16,6 +29,90 @@ namespace {
 
 using namespace zeus;
 
+// Builds the compute context selected by the benchmark's (path, threads)
+// args; owns the pool backing it.
+struct BenchCtx {
+  BenchCtx(int64_t path, int64_t threads) {
+    if (threads > 1) pool = std::make_unique<common::ThreadPool>(
+        static_cast<int>(threads));
+    ctx.pool = pool.get();
+    ctx.path = path == 0 ? tensor::ComputePath::kReference
+                         : tensor::ComputePath::kGemm;
+  }
+  std::unique_ptr<common::ThreadPool> pool;
+  tensor::ComputeContext ctx;
+};
+
+// Appends the naive/GEMM/parallel-GEMM grid to an extractor benchmark.
+void PathArgs(benchmark::internal::Benchmark* b) {
+  b->Args({0, 1})->Args({1, 1})->Args({1, 2})->Args({1, 4});
+}
+
+// R3D-shaped forward: the full R3dLite conv trunk + heads on one segment
+// decoded at the paper's most accurate configuration scale.
+void BM_R3dForward(benchmark::State& state) {
+  common::Rng rng(1);
+  apfg::R3dLite model(apfg::R3dLite::Options{}, &rng);
+  BenchCtx bc(state.range(0), state.range(1));
+  model.SetComputeContext(&bc.ctx);
+  tensor::Tensor x({1, 1, 16, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Logits(x, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_R3dForward)->Apply(PathArgs);
+
+// R3D-shaped single Conv3d forward (the stem block), isolating the lowered
+// kernel from pooling/linear overhead.
+void BM_Conv3dForwardR3dStem(benchmark::State& state) {
+  common::Rng rng(1);
+  nn::Conv3d::Options opts;
+  opts.stride = {1, 2, 2};
+  nn::Conv3d conv(1, 8, opts, &rng);
+  BenchCtx bc(state.range(0), state.range(1));
+  conv.SetComputeContext(&bc.ctx);
+  tensor::Tensor x({1, 1, 16, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Conv3dForwardR3dStem)->Apply(PathArgs);
+
+// Lite3D-shaped forward: the Segment-PP probabilistic predicate.
+void BM_Lite3dForward(benchmark::State& state) {
+  common::Rng rng(1);
+  apfg::LiteSegmentNet model(apfg::LiteSegmentNet::Options{}, &rng);
+  BenchCtx bc(state.range(0), state.range(1));
+  model.SetComputeContext(&bc.ctx);
+  tensor::Tensor x({1, 1, 8, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Logits(x, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Lite3dForward)->Apply(PathArgs);
+
+// Frame2D-shaped forward: one Frame-PP batch of 8 frames.
+void BM_Frame2dForward(benchmark::State& state) {
+  common::Rng rng(1);
+  apfg::Frame2dNet model(apfg::Frame2dNet::Options{}, &rng);
+  BenchCtx bc(state.range(0), state.range(1));
+  model.SetComputeContext(&bc.ctx);
+  tensor::Tensor x({8, 1, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Logits(x, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Frame2dForward)->Apply(PathArgs);
+
+// Legacy whole-model sweep over the paper's segment shapes (GEMM path).
 void BM_Conv3dForward(benchmark::State& state) {
   common::Rng rng(1);
   apfg::R3dLite model(apfg::R3dLite::Options{}, &rng);
@@ -50,15 +147,20 @@ BENCHMARK(BM_SegmentDecode)->Arg(15)->Arg(30);
 void BM_MatMul(benchmark::State& state) {
   common::Rng rng(2);
   const int n = static_cast<int>(state.range(0));
+  BenchCtx bc(state.range(1), state.range(2));
   tensor::Tensor a({n, n}), b({n, n});
   tensor::FillGaussian(&a, &rng, 1.0f);
   tensor::FillGaussian(&b, &rng, 1.0f);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+    benchmark::DoNotOptimize(tensor::MatMul(a, b, &bc.ctx));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)
+    ->Args({32, 0, 1})->Args({32, 1, 1})
+    ->Args({64, 0, 1})->Args({64, 1, 1})
+    ->Args({128, 0, 1})->Args({128, 1, 1})->Args({128, 1, 4})
+    ->Args({256, 0, 1})->Args({256, 1, 1})->Args({256, 1, 4});
 
 void BM_ReplayBufferPushSample(benchmark::State& state) {
   rl::ReplayBuffer buf(2048);

@@ -25,6 +25,12 @@ float Apfg::ThresholdFor(const video::DecodeSpec& spec) const {
   return it == spec_thresholds_.end() ? decision_threshold_ : it->second;
 }
 
+void Apfg::SetComputeContext(const tensor::ComputeContext* ctx) {
+  compute_ctx_ = ctx;
+  shared_model_->SetComputeContext(ctx);
+  for (auto& [len, model] : per_length_models_) model->SetComputeContext(ctx);
+}
+
 R3dLite* Apfg::ModelFor(const video::DecodeSpec& spec) {
   if (model_reuse_ || per_length_models_.empty()) return shared_model_.get();
   auto it = per_length_models_.find(spec.segment_length);
@@ -171,6 +177,7 @@ common::Status Apfg::Train(const std::vector<const video::Video*>& videos,
       if (spec.segment_length == best_spec.segment_length) continue;
       if (per_length_models_.count(spec.segment_length)) continue;
       auto model = std::make_unique<R3dLite>(opts_.model, &rng_);
+      model->SetComputeContext(compute_ctx_);
       ApfgTrainStats ignored;
       ZEUS_RETURN_IF_ERROR(
           TrainOne(model.get(), videos, targets, {spec}, &ignored));

@@ -98,6 +98,11 @@ class Apfg {
   // The model that serves `spec` (reuse mode: always the shared model).
   R3dLite* ModelFor(const video::DecodeSpec& spec);
 
+  // Routes every model (shared + per-length ensemble members) through `ctx`;
+  // nullptr follows the process-wide tensor::GlobalComputeContext(). Models
+  // trained after this call inherit the same context.
+  void SetComputeContext(const tensor::ComputeContext* ctx);
+
  private:
   common::Status TrainOne(R3dLite* model,
                           const std::vector<const video::Video*>& videos,
@@ -112,6 +117,7 @@ class Apfg {
   }
 
   ApfgTrainOptions opts_;
+  const tensor::ComputeContext* compute_ctx_ = nullptr;
   bool model_reuse_;
   bool trained_ = false;
   float decision_threshold_ = 0.5f;

@@ -17,13 +17,25 @@ const Apfg::Output& FeatureCache::Get(const video::Video& video,
                                       int start_frame,
                                       const video::DecodeSpec& spec) {
   uint64_t key = Key(video, start_frame, spec);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Miss: run the (read-only, deterministic) APFG inference outside the
+  // lock so concurrent callers don't serialize on each other's compute.
+  Apfg::Output out = apfg_->Process(video, start_frame, spec);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    ++hits_;
+    ++hits_;  // lost a concurrent race; the first insert wins
     return it->second;
   }
   ++misses_;
-  auto [ins, _] = cache_.emplace(key, apfg_->Process(video, start_frame, spec));
+  auto [ins, _] = cache_.emplace(key, std::move(out));
   return ins->second;
 }
 
@@ -45,10 +57,13 @@ void FeatureCache::PrecomputeParallel(
     int start;
   };
   std::vector<Item> items;
-  for (const video::Video* v : videos) {
-    for (int start = 0; start < v->num_frames(); start += alignment) {
-      if (cache_.find(Key(*v, start, spec)) == cache_.end()) {
-        items.push_back({v, start});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const video::Video* v : videos) {
+      for (int start = 0; start < v->num_frames(); start += alignment) {
+        if (cache_.find(Key(*v, start, spec)) == cache_.end()) {
+          items.push_back({v, start});
+        }
       }
     }
   }
@@ -59,6 +74,7 @@ void FeatureCache::PrecomputeParallel(
                         outputs[static_cast<size_t>(i)] =
                             apfg_->Process(*it.video, it.start, spec);
                       });
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < items.size(); ++i) {
     cache_.emplace(Key(*items[i].video, items[i].start, spec),
                    std::move(outputs[i]));

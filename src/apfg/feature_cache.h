@@ -2,6 +2,7 @@
 #define ZEUS_APFG_FEATURE_CACHE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,6 +23,13 @@ class FeatureCache {
   FeatureCache& operator=(const FeatureCache&) = delete;
 
   // Returns the (possibly cached) APFG output for this invocation.
+  //
+  // Thread-safe: the map is mutex-guarded (references stay valid —
+  // unordered_map never invalidates them on insert) while the miss-path
+  // APFG inference runs outside the lock; concurrent misses on one key
+  // compute redundantly and the first insert wins. APFG inference is
+  // deterministic, so results are identical to serial access — this is what
+  // lets BatchedExecutor step its environments in parallel.
   const Apfg::Output& Get(const video::Video& video, int start_frame,
                           const video::DecodeSpec& spec);
 
@@ -38,16 +46,32 @@ class FeatureCache {
                           const video::DecodeSpec& spec, int alignment,
                           common::ThreadPool* pool);
 
-  size_t size() const { return cache_.size(); }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  void Clear() { cache_.clear(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  // NOT part of the concurrent contract: clearing destroys entries other
+  // threads may still hold Get() references to. Callers must quiesce all
+  // readers first.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
   static uint64_t Key(const video::Video& video, int start_frame,
                       const video::DecodeSpec& spec);
 
   Apfg* apfg_;
+  mutable std::mutex mu_;
   std::unordered_map<uint64_t, Apfg::Output> cache_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

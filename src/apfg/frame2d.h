@@ -24,6 +24,9 @@ class Frame2dNet {
   void Backward(const tensor::Tensor& grad_logits);
   std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
   nn::Sequential& net() { return net_; }
+  void SetComputeContext(const tensor::ComputeContext* ctx) {
+    net_.SetComputeContext(ctx);
+  }
 
  private:
   nn::Sequential net_;

@@ -24,6 +24,9 @@ class LiteSegmentNet {
   tensor::Tensor Logits(const tensor::Tensor& segment_batch, bool train);
   void Backward(const tensor::Tensor& grad_logits);
   std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
+  void SetComputeContext(const tensor::ComputeContext* ctx) {
+    net_.SetComputeContext(ctx);
+  }
 
  private:
   nn::Sequential net_;

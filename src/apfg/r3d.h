@@ -46,6 +46,12 @@ class R3dLite {
   std::vector<nn::Parameter*> Parameters() { return net_.Parameters(); }
   nn::Sequential& net() { return net_; }
 
+  // Routes every conv/linear kernel in the trunk through `ctx` (thread
+  // pool, GEMM/reference path); nullptr follows the process-wide context.
+  void SetComputeContext(const tensor::ComputeContext* ctx) {
+    net_.SetComputeContext(ctx);
+  }
+
   const Options& options() const { return opts_; }
   size_t ParameterCount() { return nn::ParameterCount(net_.Parameters()); }
 

@@ -2,6 +2,12 @@
 
 namespace zeus::common {
 
+namespace {
+thread_local bool tls_in_worker = false;
+}  // namespace
+
+bool ThreadPool::InWorkerThread() { return tls_in_worker; }
+
 ThreadPool::ThreadPool(int num_threads) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
@@ -35,6 +41,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -55,7 +62,10 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ParallelFor(ThreadPool* pool, int n, const std::function<void(int)>& fn) {
-  if (pool == nullptr || pool->num_threads() <= 1) {
+  // Run inline when there is no pool to use — or when we *are* the pool:
+  // nested fan-out from a worker would block in Wait() forever.
+  if (pool == nullptr || pool->num_threads() <= 1 ||
+      ThreadPool::InWorkerThread()) {
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }

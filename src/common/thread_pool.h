@@ -30,6 +30,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
+  // True when the calling thread is a worker of *any* ThreadPool in the
+  // process. ParallelFor uses this to run nested parallel sections inline:
+  // a worker that submitted tasks and then blocked in Wait() could never
+  // drain its own `active_` count, so nested fan-out would deadlock.
+  static bool InWorkerThread();
+
  private:
   void WorkerLoop();
 

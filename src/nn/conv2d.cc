@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/im2col.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace zeus::nn {
@@ -22,6 +24,98 @@ Conv2d::Conv2d(int in_channels, int out_channels, const Options& opts,
 tensor::Tensor Conv2d::Forward(const tensor::Tensor& input, bool train) {
   ZEUS_CHECK(input.ndim() == 4 && input.dim(1) == in_channels_);
   if (train) cached_input_ = input;
+  return compute_context().path == tensor::ComputePath::kReference
+             ? ForwardReference(input)
+             : ForwardGemm(input);
+}
+
+tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(!cached_input_.empty());
+  return compute_context().path == tensor::ComputePath::kReference
+             ? BackwardReference(grad_output)
+             : BackwardGemm(grad_output);
+}
+
+tensor::Tensor Conv2d::ForwardGemm(const tensor::Tensor& input) {
+  const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
+            wi = input.dim(3);
+  const auto [kh, kw] = opts_.kernel;
+  const auto [sh, sw] = opts_.stride;
+  const auto [ph, pw] = opts_.padding;
+  const int ho = OutDim(hi, kh, sh, ph);
+  const int wo = OutDim(wi, kw, sw, pw);
+  ZEUS_CHECK(ho > 0 && wo > 0);
+  tensor::Tensor out({n, out_channels_, ho, wo});
+
+  const tensor::ComputeContext& ctx = compute_context();
+  const int kdim = ci * kh * kw;       // GEMM depth
+  const int spatial = ho * wo;         // GEMM columns
+  const size_t x_nstride = static_cast<size_t>(ci) * hi * wi;
+  const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
+  tensor::Tensor col({kdim, spatial});
+
+  // Per image: Y {Co, ho*wo} = W {Co, Ci*kh*kw} @ col, then add bias.
+  for (int b = 0; b < n; ++b) {
+    Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
+           ho, wo, col.data());
+    float* y = out.data() + b * y_nstride;
+    tensor::Sgemm(false, false, out_channels_, spatial, kdim, 1.0f,
+                  weight_.value.data(), kdim, col.data(), spatial, 0.0f, y,
+                  spatial, &ctx);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* row = y + static_cast<size_t>(oc) * spatial;
+      const float bv = bias_.value[oc];
+      for (int s = 0; s < spatial; ++s) row[s] += bv;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Conv2d::BackwardGemm(const tensor::Tensor& grad_output) {
+  const tensor::Tensor& input = cached_input_;
+  const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
+            wi = input.dim(3);
+  const auto [kh, kw] = opts_.kernel;
+  const auto [sh, sw] = opts_.stride;
+  const auto [ph, pw] = opts_.padding;
+  const int ho = grad_output.dim(2), wo = grad_output.dim(3);
+
+  const tensor::ComputeContext& ctx = compute_context();
+  const int kdim = ci * kh * kw;
+  const int spatial = ho * wo;
+  const size_t x_nstride = static_cast<size_t>(ci) * hi * wi;
+  const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
+  tensor::Tensor grad_input(input.shape());
+  tensor::Tensor col({kdim, spatial});
+  tensor::Tensor dcol({kdim, spatial});
+  float* db = bias_.grad.data();
+
+  for (int b = 0; b < n; ++b) {
+    const float* dy = grad_output.data() + b * y_nstride;
+    // db += row sums of dY.
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* row = dy + static_cast<size_t>(oc) * spatial;
+      float s = 0.0f;
+      for (int i = 0; i < spatial; ++i) s += row[i];
+      db[oc] += s;
+    }
+    // dW {Co, K} += dY {Co, S} @ col^T; col recomputed from the cached input.
+    Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
+           ho, wo, col.data());
+    tensor::Sgemm(false, true, out_channels_, kdim, spatial, 1.0f, dy,
+                  spatial, col.data(), spatial, 1.0f, weight_.grad.data(),
+                  kdim, &ctx);
+    // dcol {K, S} = W^T @ dY, scattered back to image layout.
+    tensor::Sgemm(true, false, kdim, spatial, out_channels_, 1.0f,
+                  weight_.value.data(), kdim, dy, spatial, 0.0f, dcol.data(),
+                  spatial, &ctx);
+    Col2ImAdd(dcol.data(), ci, hi, wi, kh, kw, sh, sw, ph, pw, ho, wo,
+              grad_input.data() + b * x_nstride);
+  }
+  return grad_input;
+}
+
+tensor::Tensor Conv2d::ForwardReference(const tensor::Tensor& input) {
   const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
             wi = input.dim(3);
   const auto [kh, kw] = opts_.kernel;
@@ -74,8 +168,7 @@ tensor::Tensor Conv2d::Forward(const tensor::Tensor& input, bool train) {
   return out;
 }
 
-tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
-  ZEUS_CHECK(!cached_input_.empty());
+tensor::Tensor Conv2d::BackwardReference(const tensor::Tensor& grad_output) {
   const tensor::Tensor& input = cached_input_;
   const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
             wi = input.dim(3);

@@ -33,6 +33,14 @@ class Conv2d : public Layer {
   }
 
  private:
+  // im2col + GEMM lowering (ComputePath::kGemm, the default).
+  tensor::Tensor ForwardGemm(const tensor::Tensor& input);
+  tensor::Tensor BackwardGemm(const tensor::Tensor& grad_output);
+  // The seed's direct loop nest (ComputePath::kReference), kept as the
+  // parity oracle for tests. Note: accumulates in double.
+  tensor::Tensor ForwardReference(const tensor::Tensor& input);
+  tensor::Tensor BackwardReference(const tensor::Tensor& grad_output);
+
   int in_channels_;
   int out_channels_;
   Options opts_;

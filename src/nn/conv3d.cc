@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "nn/im2col.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace zeus::nn {
@@ -23,6 +25,97 @@ Conv3d::Conv3d(int in_channels, int out_channels, const Options& opts,
 tensor::Tensor Conv3d::Forward(const tensor::Tensor& input, bool train) {
   ZEUS_CHECK(input.ndim() == 5 && input.dim(1) == in_channels_);
   if (train) cached_input_ = input;
+  return compute_context().path == tensor::ComputePath::kReference
+             ? ForwardReference(input)
+             : ForwardGemm(input);
+}
+
+tensor::Tensor Conv3d::Backward(const tensor::Tensor& grad_output) {
+  ZEUS_CHECK(!cached_input_.empty());
+  return compute_context().path == tensor::ComputePath::kReference
+             ? BackwardReference(grad_output)
+             : BackwardGemm(grad_output);
+}
+
+tensor::Tensor Conv3d::ForwardGemm(const tensor::Tensor& input) {
+  const int n = input.dim(0), ci = in_channels_, li = input.dim(2),
+            hi = input.dim(3), wi = input.dim(4);
+  const auto [kt, kh, kw] = opts_.kernel;
+  const auto [st, sh, sw] = opts_.stride;
+  const auto [pt, ph, pw] = opts_.padding;
+  const int lo = OutDim(li, kt, st, pt);
+  const int ho = OutDim(hi, kh, sh, ph);
+  const int wo = OutDim(wi, kw, sw, pw);
+  ZEUS_CHECK(lo > 0 && ho > 0 && wo > 0);
+  tensor::Tensor out({n, out_channels_, lo, ho, wo});
+
+  const tensor::ComputeContext& ctx = compute_context();
+  const int kdim = ci * kt * kh * kw;
+  const int spatial = lo * ho * wo;
+  const size_t x_nstride = static_cast<size_t>(ci) * li * hi * wi;
+  const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
+  tensor::Tensor col({kdim, spatial});
+
+  // Per segment: Y {Co, lo*ho*wo} = W {Co, Ci*kt*kh*kw} @ col, plus bias.
+  for (int b = 0; b < n; ++b) {
+    Vol2Col(input.data() + b * x_nstride, ci, li, hi, wi, kt, kh, kw, st, sh,
+            sw, pt, ph, pw, lo, ho, wo, col.data());
+    float* y = out.data() + b * y_nstride;
+    tensor::Sgemm(false, false, out_channels_, spatial, kdim, 1.0f,
+                  weight_.value.data(), kdim, col.data(), spatial, 0.0f, y,
+                  spatial, &ctx);
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      float* row = y + static_cast<size_t>(oc) * spatial;
+      const float bv = bias_.value[oc];
+      for (int s = 0; s < spatial; ++s) row[s] += bv;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor Conv3d::BackwardGemm(const tensor::Tensor& grad_output) {
+  const tensor::Tensor& input = cached_input_;
+  const int n = input.dim(0), ci = in_channels_, li = input.dim(2),
+            hi = input.dim(3), wi = input.dim(4);
+  const auto [kt, kh, kw] = opts_.kernel;
+  const auto [st, sh, sw] = opts_.stride;
+  const auto [pt, ph, pw] = opts_.padding;
+  const int lo = grad_output.dim(2), ho = grad_output.dim(3),
+            wo = grad_output.dim(4);
+
+  const tensor::ComputeContext& ctx = compute_context();
+  const int kdim = ci * kt * kh * kw;
+  const int spatial = lo * ho * wo;
+  const size_t x_nstride = static_cast<size_t>(ci) * li * hi * wi;
+  const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
+  tensor::Tensor grad_input(input.shape());
+  tensor::Tensor col({kdim, spatial});
+  tensor::Tensor dcol({kdim, spatial});
+  float* db = bias_.grad.data();
+
+  for (int b = 0; b < n; ++b) {
+    const float* dy = grad_output.data() + b * y_nstride;
+    for (int oc = 0; oc < out_channels_; ++oc) {
+      const float* row = dy + static_cast<size_t>(oc) * spatial;
+      float s = 0.0f;
+      for (int i = 0; i < spatial; ++i) s += row[i];
+      db[oc] += s;
+    }
+    Vol2Col(input.data() + b * x_nstride, ci, li, hi, wi, kt, kh, kw, st, sh,
+            sw, pt, ph, pw, lo, ho, wo, col.data());
+    tensor::Sgemm(false, true, out_channels_, kdim, spatial, 1.0f, dy,
+                  spatial, col.data(), spatial, 1.0f, weight_.grad.data(),
+                  kdim, &ctx);
+    tensor::Sgemm(true, false, kdim, spatial, out_channels_, 1.0f,
+                  weight_.value.data(), kdim, dy, spatial, 0.0f, dcol.data(),
+                  spatial, &ctx);
+    Col2VolAdd(dcol.data(), ci, li, hi, wi, kt, kh, kw, st, sh, sw, pt, ph,
+               pw, lo, ho, wo, grad_input.data() + b * x_nstride);
+  }
+  return grad_input;
+}
+
+tensor::Tensor Conv3d::ForwardReference(const tensor::Tensor& input) {
   const int n = input.dim(0), ci = in_channels_, li = input.dim(2),
             hi = input.dim(3), wi = input.dim(4);
   const auto [kt, kh, kw] = opts_.kernel;
@@ -86,8 +179,7 @@ tensor::Tensor Conv3d::Forward(const tensor::Tensor& input, bool train) {
   return out;
 }
 
-tensor::Tensor Conv3d::Backward(const tensor::Tensor& grad_output) {
-  ZEUS_CHECK(!cached_input_.empty());
+tensor::Tensor Conv3d::BackwardReference(const tensor::Tensor& grad_output) {
   const tensor::Tensor& input = cached_input_;
   const int n = input.dim(0), ci = in_channels_, li = input.dim(2),
             hi = input.dim(3), wi = input.dim(4);

@@ -11,9 +11,9 @@
 namespace zeus::nn {
 
 // 3-D convolution over {N, C, L, H, W} inputs — the spatio-temporal building
-// block of R3D (Fig. 3 of the paper). Direct (non-im2col) implementation:
-// problem sizes in this reproduction are small enough that the simple loop
-// nest is both fast and cache-friendly.
+// block of R3D (Fig. 3 of the paper). By default lowered onto the blocked
+// SGEMM kernel via vol2col packing (tensor/gemm.h, nn/im2col.h); the seed's
+// direct loop nest survives as ComputePath::kReference for parity testing.
 class Conv3d : public Layer {
  public:
   struct Options {
@@ -40,6 +40,14 @@ class Conv3d : public Layer {
   const Options& options() const { return opts_; }
 
  private:
+  // vol2col + GEMM lowering (ComputePath::kGemm, the default).
+  tensor::Tensor ForwardGemm(const tensor::Tensor& input);
+  tensor::Tensor BackwardGemm(const tensor::Tensor& grad_output);
+  // The seed's direct loop nest (ComputePath::kReference), kept as the
+  // parity oracle for tests. Note: accumulates in double.
+  tensor::Tensor ForwardReference(const tensor::Tensor& input);
+  tensor::Tensor BackwardReference(const tensor::Tensor& grad_output);
+
   int in_channels_;
   int out_channels_;
   Options opts_;

@@ -1,0 +1,142 @@
+#include "nn/im2col.h"
+
+#include <cstring>
+
+namespace zeus::nn {
+
+void Im2Col(const float* x, int c, int h, int w, int kh, int kw, int sh,
+            int sw, int ph, int pw, int ho, int wo, float* col) {
+  float* dst = col;
+  for (int ic = 0; ic < c; ++ic) {
+    const float* plane = x + static_cast<size_t>(ic) * h * w;
+    for (int dh = 0; dh < kh; ++dh) {
+      for (int dw = 0; dw < kw; ++dw) {
+        for (int oh = 0; oh < ho; ++oh) {
+          const int hh = oh * sh - ph + dh;
+          if (hh < 0 || hh >= h) {
+            std::memset(dst, 0, sizeof(float) * wo);
+            dst += wo;
+            continue;
+          }
+          const float* row = plane + static_cast<size_t>(hh) * w;
+          const int w0 = -pw + dw;
+          if (sw == 1 && w0 >= 0 && w0 + wo <= w) {
+            std::memcpy(dst, row + w0, sizeof(float) * wo);
+            dst += wo;
+            continue;
+          }
+          for (int ow = 0; ow < wo; ++ow) {
+            const int ww = w0 + ow * sw;
+            *dst++ = (ww < 0 || ww >= w) ? 0.0f : row[ww];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2ImAdd(const float* col, int c, int h, int w, int kh, int kw, int sh,
+               int sw, int ph, int pw, int ho, int wo, float* dx) {
+  const float* src = col;
+  for (int ic = 0; ic < c; ++ic) {
+    float* plane = dx + static_cast<size_t>(ic) * h * w;
+    for (int dh = 0; dh < kh; ++dh) {
+      for (int dw = 0; dw < kw; ++dw) {
+        for (int oh = 0; oh < ho; ++oh) {
+          const int hh = oh * sh - ph + dh;
+          if (hh < 0 || hh >= h) {
+            src += wo;
+            continue;
+          }
+          float* row = plane + static_cast<size_t>(hh) * w;
+          for (int ow = 0; ow < wo; ++ow) {
+            const int ww = ow * sw - pw + dw;
+            if (ww >= 0 && ww < w) row[ww] += src[ow];
+          }
+          src += wo;
+        }
+      }
+    }
+  }
+}
+
+void Vol2Col(const float* x, int c, int l, int h, int w, int kt, int kh,
+             int kw, int st, int sh, int sw, int pt, int ph, int pw, int lo,
+             int ho, int wo, float* col) {
+  float* dst = col;
+  for (int ic = 0; ic < c; ++ic) {
+    const float* vol = x + static_cast<size_t>(ic) * l * h * w;
+    for (int dt = 0; dt < kt; ++dt) {
+      for (int dh = 0; dh < kh; ++dh) {
+        for (int dw = 0; dw < kw; ++dw) {
+          for (int ot = 0; ot < lo; ++ot) {
+            const int tt = ot * st - pt + dt;
+            if (tt < 0 || tt >= l) {
+              std::memset(dst, 0, sizeof(float) * ho * wo);
+              dst += static_cast<size_t>(ho) * wo;
+              continue;
+            }
+            const float* frame = vol + static_cast<size_t>(tt) * h * w;
+            for (int oh = 0; oh < ho; ++oh) {
+              const int hh = oh * sh - ph + dh;
+              if (hh < 0 || hh >= h) {
+                std::memset(dst, 0, sizeof(float) * wo);
+                dst += wo;
+                continue;
+              }
+              const float* row = frame + static_cast<size_t>(hh) * w;
+              const int w0 = -pw + dw;
+              if (sw == 1 && w0 >= 0 && w0 + wo <= w) {
+                std::memcpy(dst, row + w0, sizeof(float) * wo);
+                dst += wo;
+                continue;
+              }
+              for (int ow = 0; ow < wo; ++ow) {
+                const int ww = w0 + ow * sw;
+                *dst++ = (ww < 0 || ww >= w) ? 0.0f : row[ww];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2VolAdd(const float* col, int c, int l, int h, int w, int kt, int kh,
+                int kw, int st, int sh, int sw, int pt, int ph, int pw,
+                int lo, int ho, int wo, float* dx) {
+  const float* src = col;
+  for (int ic = 0; ic < c; ++ic) {
+    float* vol = dx + static_cast<size_t>(ic) * l * h * w;
+    for (int dt = 0; dt < kt; ++dt) {
+      for (int dh = 0; dh < kh; ++dh) {
+        for (int dw = 0; dw < kw; ++dw) {
+          for (int ot = 0; ot < lo; ++ot) {
+            const int tt = ot * st - pt + dt;
+            if (tt < 0 || tt >= l) {
+              src += static_cast<size_t>(ho) * wo;
+              continue;
+            }
+            float* frame = vol + static_cast<size_t>(tt) * h * w;
+            for (int oh = 0; oh < ho; ++oh) {
+              const int hh = oh * sh - ph + dh;
+              if (hh < 0 || hh >= h) {
+                src += wo;
+                continue;
+              }
+              float* row = frame + static_cast<size_t>(hh) * w;
+              for (int ow = 0; ow < wo; ++ow) {
+                const int ww = ow * sw - pw + dw;
+                if (ww >= 0 && ww < w) row[ww] += src[ow];
+              }
+              src += wo;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zeus::nn

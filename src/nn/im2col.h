@@ -1,0 +1,35 @@
+#ifndef ZEUS_NN_IM2COL_H_
+#define ZEUS_NN_IM2COL_H_
+
+// Patch-packing routines that lower convolution onto GEMM (tensor/gemm.h).
+//
+// A {C, H, W} image becomes a {C*kh*kw, ho*wo} column matrix: row index
+// (c*kh + dh)*kw + dw, column index oh*wo + ow — exactly the flat layout of
+// a {Co, C, kh, kw} weight tensor viewed as {Co, C*kh*kw}, so
+//   Y {Co, ho*wo} = W_mat @ col.
+// Vol2Col is the {C, L, H, W} analogue with rows (((c*kt + dt)*kh + dh)*kw
+// + dw) and columns (ot*ho + oh)*wo + ow. Out-of-bounds taps (padding) pack
+// as zeros. Col2ImAdd / Col2VolAdd scatter-add a column-matrix gradient
+// back into image layout for the backward pass.
+//
+// All routines take raw row-major buffers; callers own shape validation.
+
+namespace zeus::nn {
+
+void Im2Col(const float* x, int c, int h, int w, int kh, int kw, int sh,
+            int sw, int ph, int pw, int ho, int wo, float* col);
+
+void Col2ImAdd(const float* col, int c, int h, int w, int kh, int kw, int sh,
+               int sw, int ph, int pw, int ho, int wo, float* dx);
+
+void Vol2Col(const float* x, int c, int l, int h, int w, int kt, int kh,
+             int kw, int st, int sh, int sw, int pt, int ph, int pw, int lo,
+             int ho, int wo, float* col);
+
+void Col2VolAdd(const float* col, int c, int l, int h, int w, int kt, int kh,
+                int kw, int st, int sh, int sw, int pt, int ph, int pw,
+                int lo, int ho, int wo, float* dx);
+
+}  // namespace zeus::nn
+
+#endif  // ZEUS_NN_IM2COL_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace zeus::nn {
@@ -42,6 +43,26 @@ class Layer {
   virtual std::vector<Parameter*> Parameters() { return {}; }
 
   virtual std::string Name() const = 0;
+
+  // Points this layer's kernels at a compute context (thread pool, blocking,
+  // naive/GEMM path selection). nullptr — the default — means "follow the
+  // process-wide tensor::GlobalComputeContext()". Containers (Sequential)
+  // propagate to their children. The context must outlive the layer's use.
+  virtual void SetComputeContext(const tensor::ComputeContext* ctx) {
+    compute_ctx_ = ctx;
+  }
+  const tensor::ComputeContext* compute_context_ptr() const {
+    return compute_ctx_;
+  }
+
+ protected:
+  // Effective context for kernel calls inside Forward/Backward.
+  const tensor::ComputeContext& compute_context() const {
+    return tensor::EffectiveContext(compute_ctx_);
+  }
+
+ private:
+  const tensor::ComputeContext* compute_ctx_ = nullptr;
 };
 
 // Zeroes the gradients of every parameter in the list.

@@ -20,8 +20,9 @@ Linear::Linear(int in_features, int out_features, common::Rng* rng)
 tensor::Tensor Linear::Forward(const tensor::Tensor& input, bool train) {
   ZEUS_CHECK(input.ndim() == 2 && input.dim(1) == in_features_);
   if (train) cached_input_ = input;
-  // y = x @ W^T + b
-  tensor::Tensor y = tensor::MatMulTransposedB(input, weight_.value);
+  // y = x @ W^T + b, on this layer's compute context (GEMM or reference).
+  tensor::Tensor y =
+      tensor::MatMulTransposedB(input, weight_.value, &compute_context());
   int n = y.dim(0);
   for (int i = 0; i < n; ++i) {
     float* row = y.data() + static_cast<size_t>(i) * out_features_;
@@ -34,14 +35,15 @@ tensor::Tensor Linear::Backward(const tensor::Tensor& grad_output) {
   ZEUS_CHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_);
   ZEUS_CHECK(!cached_input_.empty());
   // dW += dy^T @ x ; db += sum over rows of dy ; dx = dy @ W
-  tensor::Tensor dw = tensor::MatMulTransposedA(grad_output, cached_input_);
+  tensor::Tensor dw = tensor::MatMulTransposedA(grad_output, cached_input_,
+                                                &compute_context());
   weight_.grad.Add(dw);
   int n = grad_output.dim(0);
   for (int i = 0; i < n; ++i) {
     const float* row = grad_output.data() + static_cast<size_t>(i) * out_features_;
     for (int j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
   }
-  return tensor::MatMul(grad_output, weight_.value);
+  return tensor::MatMul(grad_output, weight_.value, &compute_context());
 }
 
 }  // namespace zeus::nn

@@ -22,12 +22,19 @@ class Sequential : public Layer {
   L* Emplace(Args&&... args) {
     auto layer = std::make_unique<L>(std::forward<Args>(args)...);
     L* raw = layer.get();
-    layers_.push_back(std::move(layer));
+    Append(std::move(layer));
     return raw;
   }
 
   void Append(std::unique_ptr<Layer> layer) {
+    layer->SetComputeContext(compute_context_ptr());
     layers_.push_back(std::move(layer));
+  }
+
+  // Propagates to every contained layer (including ones appended later).
+  void SetComputeContext(const tensor::ComputeContext* ctx) override {
+    Layer::SetComputeContext(ctx);
+    for (auto& layer : layers_) layer->SetComputeContext(ctx);
   }
 
   tensor::Tensor Forward(const tensor::Tensor& input, bool train) override;

@@ -1,0 +1,80 @@
+#ifndef ZEUS_TENSOR_GEMM_H_
+#define ZEUS_TENSOR_GEMM_H_
+
+// High-performance single-precision GEMM substrate. Every matmul and (via
+// im2col/vol2col lowering) every convolution in the NN stack bottoms out in
+// Sgemm() below, so this one kernel sets the throughput ceiling for the APFG
+// extractors and the DQN Q-network.
+//
+// Design: classic three-level cache blocking (Goto/BLIS style). The k
+// dimension is split into kc-deep panels; within a panel, A is packed into
+// column-major micro-panels of kMr rows and B into row-major micro-panels of
+// kNr columns, and a register-tiled kMr x kNr micro-kernel accumulates into
+// local registers before a single write-back per tile. Optional parallelism
+// partitions the *larger* of the two C dimensions into contiguous chunks run
+// on a common::ThreadPool.
+//
+// Determinism: each C element is accumulated in a fixed order — kc-panel by
+// kc-panel, and within a panel in ascending k — that does not depend on the
+// chunking, so results are bit-identical for any thread count (including
+// serial execution). Tests assert this exactly.
+//
+// Numerics: accumulation is in float (see tensor_ops.h for the documented
+// tolerance vs. the naive reference loops).
+
+namespace zeus::common {
+class ThreadPool;
+}  // namespace zeus::common
+
+namespace zeus::tensor {
+
+// Which implementation the lowered ops use. kReference is the seed's naive
+// scalar loop nest, kept for parity testing; kGemm is the blocked kernel
+// (parallel when the context carries a pool).
+enum class ComputePath {
+  kReference,
+  kGemm,
+};
+
+// Cache-blocking knobs. Defaults target a ~32KB L1 / ~512KB L2 budget:
+// packed A panel = mc*kc floats (64KB), packed B panel = kc*nc floats
+// (512KB). The register tile is fixed at compile time (kMr x kNr in
+// gemm.cc) — changing it requires recompiling the micro-kernel.
+struct GemmBlocking {
+  int mc = 64;
+  int kc = 256;
+  int nc = 512;
+};
+
+// Process-wide compute configuration, threaded through nn::Layer, the APFG
+// extractors and core::BatchedExecutor. Callers configure the global
+// instance once (thread count, path) and every model picks it up; individual
+// layers/models can be pointed at a non-global context for A/B testing.
+struct ComputeContext {
+  // Pool used for intra-op (GEMM row/col partition) and inter-op
+  // (BatchedExecutor lockstep stepping) parallelism. nullptr => serial.
+  common::ThreadPool* pool = nullptr;
+  ComputePath path = ComputePath::kGemm;
+  GemmBlocking blocking;
+};
+
+// The mutable process-wide default context. Not synchronized: configure it
+// before launching compute, not concurrently with it.
+ComputeContext& GlobalComputeContext();
+
+// ctx if non-null, else the global context.
+const ComputeContext& EffectiveContext(const ComputeContext* ctx);
+
+// C = alpha * op(A) @ op(B) + beta * C, all row-major.
+//   op(A) is m x k: A is m x k (lda >= k) when !trans_a, else k x m (lda >= m).
+//   op(B) is k x n: B is k x n (ldb >= n) when !trans_b, else n x k (ldb >= k).
+//   C is m x n (ldc >= n); with beta == 0, C may be uninitialized.
+// Runs on ctx->pool when set (or the global context's pool when ctx is
+// null); pass a context with pool == nullptr to force serial execution.
+void Sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+           const float* a, int lda, const float* b, int ldb, float beta,
+           float* c, int ldc, const ComputeContext* ctx = nullptr);
+
+}  // namespace zeus::tensor
+
+#endif  // ZEUS_TENSOR_GEMM_H_

@@ -5,67 +5,69 @@
 
 namespace zeus::tensor {
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
-  int m = a.dim(0), k = a.dim(1), k2 = b.dim(0), n = b.dim(1);
-  ZEUS_CHECK(k == k2);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
+namespace {
+
+// Naive kReference product: plain float-accumulating dot products, one
+// fixed k-ascending order for all three transpose variants. (The seed mixed
+// policies — double accumulation in the B-transposed variant, skip-zero
+// fast paths elsewhere — which made the variants disagree with each other;
+// see the tolerance note in the header.)
+void ReferenceGemm(bool trans_a, bool trans_b, int m, int n, int k,
+                   const float* a, const float* b, float* c) {
   for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* orow = po + static_cast<size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + static_cast<size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        const float av = trans_a ? a[static_cast<size_t>(kk) * m + i]
+                                 : a[static_cast<size_t>(i) * k + kk];
+        const float bv = trans_b ? b[static_cast<size_t>(j) * k + kk]
+                                 : b[static_cast<size_t>(kk) * n + j];
+        s += av * bv;
+      }
+      crow[j] = s;
     }
+  }
+}
+
+Tensor MatMulDispatch(bool trans_a, bool trans_b, int m, int n, int k,
+                      const Tensor& a, const Tensor& b,
+                      const ComputeContext* ctx) {
+  Tensor out({m, n});
+  const ComputeContext& cc = EffectiveContext(ctx);
+  if (cc.path == ComputePath::kReference) {
+    ReferenceGemm(trans_a, trans_b, m, n, k, a.data(), b.data(), out.data());
+  } else {
+    Sgemm(trans_a, trans_b, m, n, k, 1.0f, a.data(),
+          trans_a ? m : k, b.data(), trans_b ? k : n, 0.0f, out.data(), n,
+          &cc);
   }
   return out;
 }
 
-Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, const ComputeContext* ctx) {
+  ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  ZEUS_CHECK(b.dim(0) == k);
+  return MatMulDispatch(false, false, m, n, k, a, b, ctx);
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b,
+                         const ComputeContext* ctx) {
   ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
   int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   ZEUS_CHECK(b.dim(1) == k);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + static_cast<size_t>(i) * k;
-    float* orow = po + static_cast<size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + static_cast<size_t>(j) * k;
-      double s = 0.0;
-      for (int kk = 0; kk < k; ++kk) s += static_cast<double>(arow[kk]) * brow[kk];
-      orow[j] = static_cast<float>(s);
-    }
-  }
-  return out;
+  return MatMulDispatch(false, true, m, n, k, a, b, ctx);
 }
 
-Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b,
+                         const ComputeContext* ctx) {
   ZEUS_CHECK(a.ndim() == 2 && b.ndim() == 2);
   int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   ZEUS_CHECK(b.dim(0) == k);
-  Tensor out({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + static_cast<size_t>(kk) * m;
-    const float* brow = pb + static_cast<size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = po + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-  return out;
+  return MatMulDispatch(true, false, m, n, k, a, b, ctx);
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {

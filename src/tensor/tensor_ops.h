@@ -2,19 +2,34 @@
 #define ZEUS_TENSOR_TENSOR_OPS_H_
 
 #include "common/rng.h"
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace zeus::tensor {
 
+// Matrix products. All three variants dispatch on the compute context
+// (ctx, or GlobalComputeContext() when null): ComputePath::kGemm runs the
+// blocked parallel kernel in tensor/gemm.h, kReference a naive triple loop.
+//
+// Accumulation policy (unified across variants and paths): partial sums are
+// kept in float. The two paths sum in different orders (the GEMM path by
+// kc-deep panels), so they agree only to rounding: for k <= 512 and
+// unit-scale operands the observed max-abs-diff is < 1e-5; tests budget
+// 1e-4. Each path on its own is deterministic — the GEMM path bit-exactly
+// so across thread counts.
+
 // out = a @ b for 2-D tensors {m,k} x {k,n} -> {m,n}.
-Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMul(const Tensor& a, const Tensor& b,
+              const ComputeContext* ctx = nullptr);
 
 // out = a @ b^T for 2-D tensors {m,k} x {n,k} -> {m,n}. Avoids an explicit
 // transpose in the Linear backward pass.
-Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b,
+                         const ComputeContext* ctx = nullptr);
 
 // out = a^T @ b for 2-D tensors {k,m} x {k,n} -> {m,n}.
-Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b,
+                         const ComputeContext* ctx = nullptr);
 
 // Elementwise c = a + b / a - b / a * b (same shapes).
 Tensor Add(const Tensor& a, const Tensor& b);
