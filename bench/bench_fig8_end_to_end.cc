@@ -2,37 +2,55 @@
 // evaluation queries (Q1 CrossRight, Q2 LeftTurn, Q3 PoleVault,
 // Q4 CleanAndJerk, Q5 IroningClothes, Q6 TennisServe). Accuracy targets:
 // 0.85 for BDD-like queries, 0.75 for the others (§6.2).
+//
+// Modes:
+//   bench_fig8_end_to_end               # classic per-method table
+//   bench_fig8_end_to_end --clients N   # concurrent-clients mode: N copies
+//                                       # of each query submitted to one
+//                                       # QueryEngine at once; reports
+//                                       # planner runs (want: one per
+//                                       # distinct query) and wall time.
+
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "engine/query_engine.h"
 
-int main() {
+namespace {
+
+struct QuerySpec {
+  zeus::video::DatasetFamily family;
+  zeus::video::ActionClass cls;
+  double target;
+};
+
+const QuerySpec kQueries[] = {
+    {zeus::video::DatasetFamily::kBdd100kLike,
+     zeus::video::ActionClass::kCrossRight, 0.85},
+    {zeus::video::DatasetFamily::kBdd100kLike,
+     zeus::video::ActionClass::kLeftTurn, 0.85},
+    {zeus::video::DatasetFamily::kThumos14Like,
+     zeus::video::ActionClass::kPoleVault, 0.75},
+    {zeus::video::DatasetFamily::kThumos14Like,
+     zeus::video::ActionClass::kCleanAndJerk, 0.75},
+    {zeus::video::DatasetFamily::kActivityNetLike,
+     zeus::video::ActionClass::kIroningClothes, 0.75},
+    {zeus::video::DatasetFamily::kActivityNetLike,
+     zeus::video::ActionClass::kTennisServe, 0.75},
+};
+
+int RunClassic() {
   using namespace zeus;
-  common::SetLogLevel(common::LogLevel::kWarning);
   bench::PrintHeader("Figure 8: end-to-end comparison, 6 queries x 5 methods");
-
-  struct QuerySpec {
-    video::DatasetFamily family;
-    video::ActionClass cls;
-    double target;
-  };
-  const QuerySpec queries[] = {
-      {video::DatasetFamily::kBdd100kLike, video::ActionClass::kCrossRight,
-       0.85},
-      {video::DatasetFamily::kBdd100kLike, video::ActionClass::kLeftTurn,
-       0.85},
-      {video::DatasetFamily::kThumos14Like, video::ActionClass::kPoleVault,
-       0.75},
-      {video::DatasetFamily::kThumos14Like, video::ActionClass::kCleanAndJerk,
-       0.75},
-      {video::DatasetFamily::kActivityNetLike,
-       video::ActionClass::kIroningClothes, 0.75},
-      {video::DatasetFamily::kActivityNetLike,
-       video::ActionClass::kTennisServe, 0.75},
-  };
 
   double zeus_tput_sum = 0.0, sliding_tput_sum = 0.0;
   int counted = 0;
-  for (const QuerySpec& q : queries) {
+  for (const QuerySpec& q : kQueries) {
     auto ds =
         video::SyntheticDataset::Generate(bench::BenchProfile(q.family), 17);
     core::QueryPlanner planner(&ds, bench::BenchPlannerOptions());
@@ -45,8 +63,7 @@ int main() {
     auto train = planner.SplitVideos(ds.train_indices());
     auto test = planner.SplitVideos(ds.test_indices());
     common::Rng rng(7);
-    auto rows =
-        bench::RunAllMethods(plan.value(), ds, train, test, &rng);
+    auto rows = bench::RunAllMethods(plan.value(), ds, train, test, &rng);
     std::printf("\n--- %s (%s, target %.2f) ---\n",
                 video::ActionClassName(q.cls),
                 video::DatasetFamilyName(q.family), q.target);
@@ -65,4 +82,95 @@ int main() {
   std::printf("expected shape: Zeus-RL fastest at comparable F1; "
               "Frame-PP and Segment-PP at prohibitively low F1.\n");
   return 0;
+}
+
+int RunConcurrentClients(int clients) {
+  using namespace zeus;
+  bench::PrintHeader(common::Format(
+      "Figure 8 extension: %d concurrent clients per query, one engine",
+      clients));
+
+  engine::QueryEngine::Options eopts;
+  eopts.num_workers = 4;
+  eopts.max_pending = 6 * clients + 8;
+  eopts.planner = bench::BenchPlannerOptions();
+  engine::QueryEngine engine(eopts);
+  for (auto family : {video::DatasetFamily::kBdd100kLike,
+                      video::DatasetFamily::kThumos14Like,
+                      video::DatasetFamily::kActivityNetLike}) {
+    auto st = engine.RegisterDataset(
+        video::DatasetFamilyName(family),
+        video::SyntheticDataset::Generate(bench::BenchProfile(family), 17));
+    if (!st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Every client of every query submitted up front: identical-query clients
+  // must coalesce onto one planner run (single flight), distinct queries
+  // plan concurrently on the worker pool.
+  common::WallTimer wall;
+  struct Client {
+    const QuerySpec* spec;
+    engine::QueryTicket ticket;
+  };
+  std::vector<Client> inflight;
+  for (const QuerySpec& q : kQueries) {
+    core::ActionQuery query;
+    query.action_classes = {q.cls};
+    query.accuracy_target = q.target;
+    for (int c = 0; c < clients; ++c) {
+      auto t = engine.Submit(video::DatasetFamilyName(q.family), query);
+      if (!t.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     t.status().ToString().c_str());
+        return 1;
+      }
+      inflight.push_back({&q, t.value()});
+    }
+  }
+  std::printf("submitted %zu tickets (%zu distinct queries)\n",
+              inflight.size(), std::size(kQueries));
+
+  std::printf("%-16s %8s %12s %10s %10s\n", "query", "F1", "tput(fps)",
+              "plan(s)", "executor");
+  size_t done = 0, failed = 0;
+  for (Client& c : inflight) {
+    const auto& r = c.ticket.Wait();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   video::ActionClassName(c.spec->cls),
+                   r.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    ++done;
+    // One row per query (its first client); the other clients only count.
+    if (r.value().plan_seconds > 0.0 || clients == 1) {
+      std::printf("%-16s %8.3f %12.0f %10.1f %10s\n",
+                  video::ActionClassName(c.spec->cls), r.value().metrics.f1,
+                  r.value().throughput_fps, r.value().plan_seconds,
+                  r.value().executor.c_str());
+    }
+  }
+  std::printf(
+      "\n%zu/%zu clients served in %.1f s wall; planner runs: %ld "
+      "(want %zu: single-flight coalesces identical concurrent queries)\n",
+      done, inflight.size(), wall.ElapsedSeconds(),
+      engine.plan_cache().planner_runs(), std::size(kQueries));
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zeus::common::SetLogLevel(zeus::common::LogLevel::kWarning);
+  int clients = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      clients = std::atoi(argv[i + 1]);
+    }
+  }
+  return clients > 0 ? RunConcurrentClients(clients) : RunClassic();
 }

@@ -1,24 +1,36 @@
-// Plan persistence: the train-once / deploy-many workflow.
+// Plan persistence: the train-once / deploy-many workflow, now through the
+// engine's persistent PlanCache.
 //
 // A Zeus deployment trains a plan (APFG fine-tune + configuration
 // profiling + DQN) once per (dataset, query, accuracy target) and then
-// serves queries from the checkpoint. This example walks the full storage
-// path:
+// serves queries from the checkpoint. This example walks the full path:
 //   1. generate a dataset and persist it to a VideoStore corpus directory,
-//   2. plan a query and checkpoint the plan with PlanIo,
-//   3. register both in the Catalog,
-//   4. simulate a fresh process: reload dataset + plan from the catalog
-//      and execute without any re-training.
+//   2. run the query on an engine whose PlanCache persists to a plan
+//      directory — the cache trains the plan and checkpoints it via PlanIo,
+//   3. simulate a fresh process: a new engine pointed at the same plan
+//      directory reloads the dataset and the plan, and serves the query
+//      with plan_seconds == 0 (no re-training) and identical results.
 
 #include <cstdio>
 #include <filesystem>
 
-#include "core/executor.h"
-#include "core/plan_io.h"
-#include "core/query_planner.h"
+#include "engine/query_engine.h"
 #include "storage/catalog.h"
 #include "storage/video_store.h"
 #include "video/dataset.h"
+
+namespace {
+
+zeus::engine::QueryEngine::Options EngineOptions(const std::string& plan_dir) {
+  zeus::engine::QueryEngine::Options opts;
+  opts.planner.apfg.epochs = 12;
+  opts.planner.profile.max_windows_per_config = 200;
+  opts.planner.trainer.episodes = 10;
+  opts.cache.persist_dir = plan_dir;
+  return opts;
+}
+
+}  // namespace
 
 int main() {
   namespace fs = std::filesystem;
@@ -29,6 +41,7 @@ int main() {
 
   const std::string root = fs::temp_directory_path() / "zeus_deployment";
   fs::remove_all(root);
+  fs::create_directories(root + "/plans");
 
   // --- Train-time process -------------------------------------------------
   DatasetProfile profile =
@@ -51,42 +64,24 @@ int main() {
   (void)catalog.value().AddDataset("bdd", "bdd_corpus");
   std::printf("persisted %zu videos to bdd_corpus/\n", dataset.num_videos());
 
-  zeus::core::QueryPlanner::Options opts;
-  opts.apfg.epochs = 12;
-  opts.profile.max_windows_per_config = 200;
-  opts.trainer.episodes = 10;
-  zeus::core::QueryPlanner planner(&dataset, opts);
-  auto plan = planner.PlanForClasses({ActionClass::kCrossRight}, 0.85);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "planning failed: %s\n",
-                 plan.status().ToString().c_str());
+  zeus::core::ActionQuery query;
+  query.action_classes = {ActionClass::kCrossRight};
+  query.accuracy_target = 0.85;
+
+  zeus::engine::QueryEngine trainer(EngineOptions(root + "/plans"));
+  if (!trainer.RegisterDataset("bdd", std::move(dataset)).ok()) return 1;
+  auto first = trainer.Execute("bdd", query);
+  if (!first.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 first.status().ToString().c_str());
     return 1;
   }
-  std::printf("plan trained (APFG %.1fs, profile %.1fs, RL %.1fs)\n",
-              plan.value().apfg_train_seconds, plan.value().profile_seconds,
-              plan.value().rl_train_seconds);
-
-  // Execute once pre-checkpoint so the restart can prove bit-identity.
-  std::vector<const zeus::video::Video*> pre_test;
-  for (int i : dataset.test_indices()) {
-    pre_test.push_back(&dataset.video(static_cast<size_t>(i)));
-  }
-  zeus::core::QueryExecutor pre_exec(&plan.value());
-  auto pre_run = pre_exec.Localize(pre_test);
-  auto pre_metrics = zeus::core::EvaluateVideos(
-      pre_test, plan.value().targets, pre_run.masks, zeus::core::EvalOptions{});
-  std::printf("pre-checkpoint execution: F1=%.3f, %ld invocations\n",
-              pre_metrics.f1, pre_run.invocations);
-
-  st = zeus::core::PlanIo::Save(root + "/plan_crossright_85",
-                                plan.value());
-  if (!st.ok()) {
-    std::fprintf(stderr, "plan save failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  (void)catalog.value().AddPlan(
-      {"bdd", "CrossRight", 0.85, "plan_crossright_85"});
-  std::printf("checkpointed plan and registered it in the catalog\n");
+  std::printf(
+      "plan trained in %.1f s and checkpointed by the cache; executed via "
+      "%s: F1=%.3f, %zu segment(s)\n",
+      first.value().plan_seconds, first.value().executor.c_str(),
+      first.value().metrics.f1, first.value().segments.size());
+  (void)catalog.value().AddPlan({"bdd", "CrossRight", 0.85, "plans"});
 
   // --- Serving-time process (fresh state, no training) --------------------
   std::printf("\n--- simulated restart: serving from the catalog ---\n");
@@ -100,27 +95,33 @@ int main() {
   }
   auto reloaded = zeus::storage::LoadDataset(dir.value());
   if (!reloaded.ok()) return 1;
-  auto plan2 = zeus::core::PlanIo::Load(root + "/" + entry->prefix,
-                                        DatasetFamily::kBdd100kLike, opts);
-  if (!plan2.ok()) {
-    std::fprintf(stderr, "plan load failed: %s\n",
-                 plan2.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("dataset (%zu videos) and plan reloaded, executing...\n",
+  std::printf("dataset (%zu videos) reloaded, starting a fresh engine...\n",
               reloaded.value().num_videos());
 
-  std::vector<const zeus::video::Video*> test;
-  for (int i : reloaded.value().test_indices()) {
-    test.push_back(&reloaded.value().video(static_cast<size_t>(i)));
+  zeus::engine::QueryEngine server(
+      EngineOptions(root + "/" + entry->prefix));
+  if (!server.RegisterDataset("bdd", std::move(reloaded).value()).ok()) {
+    return 1;
   }
-  zeus::core::QueryExecutor executor(&plan2.value());
-  auto run = executor.Localize(test);
-  auto metrics = zeus::core::EvaluateVideos(
-      test, plan2.value().targets, run.masks, zeus::core::EvalOptions{});
-  std::printf("post-restart execution:   F1=%.3f, %ld invocations\n",
-              metrics.f1, run.invocations);
-  bool identical = run.masks == pre_run.masks;
+  auto second = server.Execute("bdd", query);
+  if (!second.ok()) {
+    std::fprintf(stderr, "post-restart query failed: %s\n",
+                 second.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "post-restart execution: F1=%.3f, %zu segment(s), plan_seconds=%.1f "
+      "(planner runs: %ld, disk loads: %ld)\n",
+      second.value().metrics.f1, second.value().segments.size(),
+      second.value().plan_seconds, server.plan_cache().planner_runs(),
+      server.plan_cache().disk_loads());
+
+  bool identical =
+      second.value().plan_seconds == 0.0 &&
+      server.plan_cache().planner_runs() == 0 &&
+      zeus::engine::SameSegments(second.value(), first.value()) &&
+      second.value().metrics.tp == first.value().metrics.tp &&
+      second.value().metrics.fp == first.value().metrics.fp;
   std::printf("checkpoint round-trip is %s — no re-training needed.\n",
               identical ? "bit-identical" : "NOT identical (bug!)");
   return identical ? 0 : 1;

@@ -5,12 +5,18 @@
 //   sql_console                          # runs a scripted demo session
 //   sql_console "EXPLAIN SELECT ..."     # runs the given queries in order
 //
-// Each query plans on first use and reuses the cached plan afterwards, so
-// an EXPLAIN followed by the same SELECT shows the plan once and then
-// executes without re-training.
+// Queries go through the concurrent engine's Submit()/ticket API: the
+// console polls the ticket's phase (queued / planning / executing) while it
+// waits, which makes the minutes-long first plan visible instead of a
+// silent hang. Each query plans on first use and reuses the cached plan
+// afterwards, so an EXPLAIN followed by the same SELECT shows the plan once
+// — including the executor the factory chose — and then executes without
+// re-training.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/zeusdb.h"
@@ -20,7 +26,22 @@ namespace {
 
 void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
   std::printf("\nzeus> %s\n", sql.c_str());
-  auto result = db.Execute("bdd", sql);
+  auto ticket = db.Submit("bdd", sql);
+  if (!ticket.ok()) {
+    std::printf("error: %s\n", ticket.status().ToString().c_str());
+    return;
+  }
+  // Poll the ticket, narrating phase changes while the engine works.
+  zeus::engine::QueryState last = zeus::engine::QueryState::kQueued;
+  while (!ticket.value().done()) {
+    zeus::engine::QueryState state = ticket.value().state();
+    if (state != last) {
+      std::printf("  [%s]\n", zeus::engine::QueryStateName(state));
+      last = state;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const auto& result = ticket.value().Wait();
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -33,8 +54,9 @@ void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
   if (r.plan_seconds > 0) {
     std::printf("(planned in %.1f s)\n", r.plan_seconds);
   }
-  std::printf("%zu segment(s), F1=%.3f, %.0f fps\n", r.segments.size(),
-              r.metrics.f1, r.throughput_fps);
+  std::printf("%zu segment(s), F1=%.3f, %.0f fps  [executor: %s]\n",
+              r.segments.size(), r.metrics.f1, r.throughput_fps,
+              r.executor.c_str());
   for (const auto& seg : r.segments) {
     std::printf("  video %-4d [%5d, %5d)\n", seg.video_id, seg.start, seg.end);
   }
@@ -65,8 +87,9 @@ int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) queries.emplace_back(argv[i]);
   } else {
     queries = {
-        // Plan inspection first: shows the profiled configuration frontier
-        // and the trained agent without running the query.
+        // Plan inspection first: shows the profiled configuration frontier,
+        // the trained agent, and the executor the factory picked — without
+        // running the query.
         "EXPLAIN SELECT segment_ids FROM UDF(video) "
         "WHERE action_class = 'cross-right' AND accuracy >= 85%",
         // Same query executed — the plan is already cached.

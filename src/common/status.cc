@@ -25,6 +25,10 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

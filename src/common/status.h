@@ -18,6 +18,8 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  kResourceExhausted,
+  kCancelled,
 };
 
 // A Status is either OK or carries an error code plus a human-readable
@@ -49,6 +51,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,13 +3,24 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/crc32.h"
 #include "common/stringutil.h"
 #include "rl/env.h"
 
 namespace zeus::core {
 
 namespace {
-constexpr char kMetaVersion[] = "zeus-plan-v1";
+
+// Manifest magic plus format version. v2 added the explicit format_version
+// field and the crc32 trailer; v1 manifests (no trailer) are rejected with
+// a clear error so a stale checkpoint can never be half-loaded.
+constexpr char kMetaMagic[] = "zeus-plan";
+constexpr int kMetaFormatVersion = 2;
+
+common::Status Corrupt(const std::string& what) {
+  return common::Status::InvalidArgument("corrupt plan manifest: " + what);
+}
+
 }  // namespace
 
 common::Status PlanIo::Save(const std::string& prefix, const QueryPlan& plan) {
@@ -23,41 +34,51 @@ common::Status PlanIo::Save(const std::string& prefix, const QueryPlan& plan) {
       plan.apfg->ModelFor(plan.space.config(0).spec)->Save(prefix + ".apfg"));
   ZEUS_RETURN_IF_ERROR(plan.agent->Save(prefix + ".dqn"));
 
-  std::ofstream meta(prefix + ".meta");
-  if (!meta.is_open()) {
-    return common::Status::IoError("cannot open " + prefix + ".meta");
-  }
-  meta << kMetaVersion << "\n";
-  meta << "accuracy_target " << plan.accuracy_target << "\n";
-  meta << "targets";
+  // Body assembled in memory first so the crc32 trailer can cover it
+  // byte-for-byte.
+  std::ostringstream body;
+  body << "format_version " << kMetaFormatVersion << "\n";
+  body << "accuracy_target " << plan.accuracy_target << "\n";
+  body << "targets";
   for (video::ActionClass cls : plan.targets) {
-    meta << " " << static_cast<int>(cls);
+    body << " " << static_cast<int>(cls);
   }
-  meta << "\n";
+  body << "\n";
   // Per-configuration profiled metrics + calibrated thresholds, keyed by
   // the full-grid config id.
-  meta << "configs " << plan.space.size() << "\n";
+  body << "configs " << plan.space.size() << "\n";
   for (const Configuration& c : plan.space.configs()) {
-    meta << c.id << " " << c.validation_f1 << " "
+    body << c.id << " " << c.validation_f1 << " "
          << plan.apfg->ThresholdFor(c.spec) << "\n";
   }
-  meta << "rl_space";
+  body << "rl_space";
   for (const Configuration& c : plan.rl_space.configs()) {
     // Find the matching full-grid id by knob values.
     for (const Configuration& full : plan.space.configs()) {
       if (full.nominal_resolution == c.nominal_resolution &&
           full.nominal_segment_length == c.nominal_segment_length &&
           full.sampling_rate == c.sampling_rate) {
-        meta << " " << full.id;
+        body << " " << full.id;
         break;
       }
     }
   }
-  meta << "\n";
-  meta << "env " << plan.env_opts.feature_dim << " "
+  body << "\n";
+  body << "env " << plan.env_opts.feature_dim << " "
        << plan.env_opts.append_action_prob << " "
        << plan.env_opts.append_config_onehot << " "
        << plan.env_opts.append_position << "\n";
+
+  const std::string payload = body.str();
+  const uint32_t crc =
+      common::Crc32(0, payload.data(), payload.size());
+
+  std::ofstream meta(prefix + ".meta");
+  if (!meta.is_open()) {
+    return common::Status::IoError("cannot open " + prefix + ".meta");
+  }
+  meta << kMetaMagic << "\n" << payload;
+  meta << common::Format("crc32 %08x\n", crc);
   if (!meta.good()) return common::Status::IoError("meta write failed");
   return common::Status::Ok();
 }
@@ -69,10 +90,39 @@ common::Result<QueryPlan> PlanIo::Load(
   if (!meta.is_open()) {
     return common::Status::IoError("cannot open " + prefix + ".meta");
   }
-  std::string version;
-  if (!std::getline(meta, version) || version != kMetaVersion) {
-    return common::Status::InvalidArgument("bad plan manifest version");
+  std::string magic;
+  if (!std::getline(meta, magic) ||
+      (magic != kMetaMagic && magic != "zeus-plan-v1")) {
+    return Corrupt("bad magic line");
   }
+  if (magic == "zeus-plan-v1") {
+    return common::Status::InvalidArgument(
+        "unsupported plan format v1 (no integrity trailer); re-save the plan");
+  }
+
+  // Slurp the body and verify the crc32 trailer before parsing anything: a
+  // truncated or bit-flipped manifest must fail loudly here, not surface as
+  // a half-initialized plan.
+  std::string payload;
+  std::string line;
+  bool crc_seen = false;
+  uint32_t stored_crc = 0;
+  while (std::getline(meta, line)) {
+    if (common::StartsWith(line, "crc32 ")) {
+      std::istringstream is(line.substr(6));
+      is >> std::hex >> stored_crc;
+      if (is.fail()) return Corrupt("unparsable crc32 trailer");
+      crc_seen = true;
+      break;
+    }
+    payload += line;
+    payload += '\n';
+  }
+  if (!crc_seen) return Corrupt("missing crc32 trailer (truncated file?)");
+  if (common::Crc32(0, payload.data(), payload.size()) != stored_crc) {
+    return Corrupt("crc32 mismatch");
+  }
+
   QueryPlan plan;
   plan.env_opts = planner_options.env;
   plan.space = ConfigurationSpace::ForFamily(family);
@@ -82,37 +132,50 @@ common::Result<QueryPlan> PlanIo::Load(
   plan.apfg = std::make_shared<apfg::Apfg>(planner_options.apfg,
                                            planner_options.model_reuse, &rng);
 
-  std::string line;
+  std::istringstream body(payload);
   std::vector<int> rl_ids;
-  while (std::getline(meta, line)) {
+  int format_version = -1;
+  while (std::getline(body, line)) {
     std::istringstream is(line);
     std::string key;
     is >> key;
-    if (key == "accuracy_target") {
-      is >> plan.accuracy_target;
+    if (key == "format_version") {
+      if (!(is >> format_version) || format_version != kMetaFormatVersion) {
+        return common::Status::InvalidArgument(common::Format(
+            "unsupported plan format version %d (want %d)", format_version,
+            kMetaFormatVersion));
+      }
+    } else if (key == "accuracy_target") {
+      if (!(is >> plan.accuracy_target)) return Corrupt("accuracy_target");
     } else if (key == "targets") {
       int v = 0;
       while (is >> v) {
+        if (v < 0 || v > video::kMaxActionClassId) {
+          return Corrupt("action class id out of range");
+        }
         plan.targets.push_back(static_cast<video::ActionClass>(v));
       }
+      if (!is.eof()) return Corrupt("targets");
     } else if (key == "configs") {
       size_t n = 0;
-      is >> n;
+      if (!(is >> n)) return Corrupt("configs count");
       if (n != plan.space.size()) {
         return common::Status::InvalidArgument(
             "plan was saved for a different configuration grid");
       }
       for (size_t i = 0; i < n; ++i) {
-        if (!std::getline(meta, line)) {
-          return common::Status::IoError("truncated config table");
+        if (!std::getline(body, line)) {
+          return Corrupt("truncated config table");
         }
         std::istringstream row(line);
         int id = 0;
         double f1 = 0.0;
         float threshold = 0.5f;
-        row >> id >> f1 >> threshold;
+        if (!(row >> id >> f1 >> threshold)) {
+          return Corrupt("unparsable config table row");
+        }
         if (id < 0 || id >= static_cast<int>(plan.space.size())) {
-          return common::Status::InvalidArgument("bad config id in manifest");
+          return Corrupt("config id out of range");
         }
         (*plan.space.mutable_configs())[static_cast<size_t>(id)]
             .validation_f1 = f1;
@@ -120,14 +183,25 @@ common::Result<QueryPlan> PlanIo::Load(
       }
     } else if (key == "rl_space") {
       int id = 0;
-      while (is >> id) rl_ids.push_back(id);
+      while (is >> id) {
+        if (id < 0 || id >= static_cast<int>(plan.space.size())) {
+          return Corrupt("rl_space id out of range");
+        }
+        rl_ids.push_back(id);
+      }
+      if (!is.eof()) return Corrupt("rl_space");
     } else if (key == "env") {
-      is >> plan.env_opts.feature_dim >> plan.env_opts.append_action_prob >>
-          plan.env_opts.append_config_onehot >> plan.env_opts.append_position;
+      if (!(is >> plan.env_opts.feature_dim >>
+            plan.env_opts.append_action_prob >>
+            plan.env_opts.append_config_onehot >>
+            plan.env_opts.append_position)) {
+        return Corrupt("env options");
+      }
     }
   }
+  if (format_version < 0) return Corrupt("missing format_version");
   if (plan.targets.empty() || rl_ids.empty()) {
-    return common::Status::InvalidArgument("incomplete plan manifest");
+    return Corrupt("incomplete manifest (targets or rl_space missing)");
   }
   plan.rl_space = plan.space.Subset(rl_ids);
 

@@ -16,6 +16,13 @@ namespace zeus::core {
 //   <prefix>.meta  — text manifest (targets, accuracy, config metrics)
 //   <prefix>.apfg  — APFG network weights (tensor container)
 //   <prefix>.dqn   — Q-network weights (tensor container)
+//
+// Manifest format v2: a magic line ("zeus-plan"), a format_version field,
+// the keyed body, and a crc32 trailer over the body bytes. Load verifies
+// the version and checksum before parsing and rejects truncated tables,
+// unparsable rows and out-of-range config/class ids — PlanCache leans on
+// these checks to fall back to replanning instead of serving a corrupt
+// checkpoint.
 class PlanIo {
  public:
   // Writes the plan. The plan must have a trained APFG and agent.

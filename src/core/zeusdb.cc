@@ -1,130 +1,56 @@
 #include "core/zeusdb.h"
 
-#include "common/stringutil.h"
-#include "common/timer.h"
-
 namespace zeus::core {
 
+namespace {
+
+engine::QueryEngine::Options FromPlannerOptions(
+    QueryPlanner::Options planner_options) {
+  engine::QueryEngine::Options opts;
+  opts.planner = std::move(planner_options);
+  return opts;
+}
+
+}  // namespace
+
 ZeusDb::ZeusDb(QueryPlanner::Options planner_options)
-    : planner_options_(std::move(planner_options)) {}
+    : engine_(FromPlannerOptions(std::move(planner_options))) {}
+
+ZeusDb::ZeusDb(engine::QueryEngine::Options options)
+    : engine_(std::move(options)) {}
 
 common::Status ZeusDb::RegisterDataset(const std::string& name,
                                        video::SyntheticDataset dataset) {
-  if (datasets_.count(name)) {
-    return common::Status::AlreadyExists("dataset '" + name +
-                                         "' already registered");
-  }
-  datasets_[name] =
-      std::make_unique<video::SyntheticDataset>(std::move(dataset));
-  return common::Status::Ok();
-}
-
-const video::SyntheticDataset* ZeusDb::dataset(const std::string& name) const {
-  auto it = datasets_.find(name);
-  return it == datasets_.end() ? nullptr : it->second.get();
-}
-
-std::string ZeusDb::PlanKey(const std::string& dataset_name,
-                            const ActionQuery& query) const {
-  std::string classes;
-  for (video::ActionClass cls : query.action_classes) {
-    classes += video::ActionClassName(cls);
-    classes += ',';
-  }
-  return common::Format("%s|%s|%.3f", dataset_name.c_str(), classes.c_str(),
-                        query.accuracy_target);
-}
-
-const QueryPlan* ZeusDb::CachedPlan(const std::string& dataset_name,
-                                    const ActionQuery& query) const {
-  auto it = plans_.find(PlanKey(dataset_name, query));
-  return it == plans_.end() ? nullptr : it->second.get();
+  return engine_.RegisterDataset(name, std::move(dataset));
 }
 
 common::Result<ZeusDb::QueryResult> ZeusDb::Execute(
     const std::string& dataset_name, const std::string& sql) {
-  auto parsed = QueryParser::Parse(sql);
-  if (!parsed.ok()) return parsed.status();
-  return Execute(dataset_name, parsed.value());
+  return engine_.Execute(dataset_name, sql);
 }
 
 common::Result<ZeusDb::QueryResult> ZeusDb::Execute(
     const std::string& dataset_name, const ActionQuery& query) {
-  const video::SyntheticDataset* ds = dataset(dataset_name);
-  if (ds == nullptr) {
-    return common::Status::NotFound("dataset '" + dataset_name +
-                                    "' is not registered");
-  }
-  QueryResult out;
-  out.query = query;
+  return engine_.Execute(dataset_name, query);
+}
 
-  // Plan (train) on first use; reuse cached plans afterwards.
-  const std::string key = PlanKey(dataset_name, query);
-  auto it = plans_.find(key);
-  if (it == plans_.end()) {
-    common::WallTimer plan_timer;
-    QueryPlanner planner(ds, planner_options_);
-    auto plan = planner.Plan(query);
-    if (!plan.ok()) return plan.status();
-    it = plans_
-             .emplace(key,
-                      std::make_unique<QueryPlan>(std::move(plan).value()))
-             .first;
-    out.plan_seconds = plan_timer.ElapsedSeconds();
-  }
-  QueryPlan* plan = it->second.get();
+common::Result<engine::QueryTicket> ZeusDb::Submit(
+    const std::string& dataset_name, const std::string& sql) {
+  return engine_.Submit(dataset_name, sql);
+}
 
-  if (query.explain_only) {
-    out.explanation = ExplainPlan(*plan);
-    return out;
-  }
+common::Result<engine::QueryTicket> ZeusDb::Submit(
+    const std::string& dataset_name, const ActionQuery& query) {
+  return engine_.Submit(dataset_name, query);
+}
 
-  // Execute on the test split.
-  std::vector<const video::Video*> test_videos;
-  for (int i : ds->test_indices()) {
-    test_videos.push_back(&ds->video(static_cast<size_t>(i)));
-  }
-  QueryExecutor executor(plan);
-  RunResult run = executor.Localize(test_videos);
-
-  out.metrics = EvaluateVideos(test_videos, plan->targets, run.masks,
-                               EvalOptions{});
-  out.throughput_fps = run.ThroughputFps();
-  out.gpu_seconds = run.gpu_seconds;
-  out.wall_seconds = run.wall_seconds;
-  const int range_end = query.frame_end < 0 ? 1 << 30 : query.frame_end;
-  for (size_t vi = 0; vi < test_videos.size(); ++vi) {
-    for (const video::ActionInstance& inst : MaskToInstances(run.masks[vi])) {
-      // Frame-range predicate: keep segments intersecting the range.
-      if (inst.end <= query.frame_begin || inst.start >= range_end) continue;
-      if (query.limit >= 0 &&
-          static_cast<int>(out.segments.size()) >= query.limit) {
-        return out;
-      }
-      out.segments.push_back(
-          {test_videos[vi]->id(), inst.start, inst.end});
-    }
-  }
-  return out;
+std::shared_ptr<QueryPlan> ZeusDb::CachedPlan(const std::string& dataset_name,
+                                              const ActionQuery& query) const {
+  return engine_.CachedPlan(dataset_name, query);
 }
 
 std::string ZeusDb::ExplainPlan(const QueryPlan& plan) {
-  std::string out = common::Format(
-      "QueryPlan {\n  targets: %zu class(es), accuracy target %.2f\n"
-      "  APFG: trained (train_acc %.3f, %d examples, %.1fs)\n"
-      "  configuration grid: %zu candidates, RL frontier: %zu\n",
-      plan.targets.size(), plan.accuracy_target,
-      plan.apfg_stats.train_accuracy, plan.apfg_stats.num_examples,
-      plan.apfg_train_seconds, plan.space.size(), plan.rl_space.size());
-  for (const Configuration& c : plan.rl_space.configs()) {
-    out += common::Format(
-        "    config %s  throughput %.0f fps  validation F1 %.3f\n",
-        c.ToString().c_str(), c.throughput_fps, c.validation_f1);
-  }
-  out += common::Format(
-      "  DQN agent: %s (%.1fs training)\n}",
-      plan.agent != nullptr ? "trained" : "absent", plan.rl_train_seconds);
-  return out;
+  return engine::QueryEngine::ExplainPlan(plan);
 }
 
 }  // namespace zeus::core

@@ -1,14 +1,12 @@
 #ifndef ZEUS_CORE_ZEUSDB_H_
 #define ZEUS_CORE_ZEUSDB_H_
 
-#include <map>
 #include <memory>
 #include <string>
-#include <vector>
 
-#include "core/executor.h"
 #include "core/query.h"
 #include "core/query_planner.h"
+#include "engine/query_engine.h"
 #include "video/dataset.h"
 
 namespace zeus::core {
@@ -22,43 +20,41 @@ namespace zeus::core {
 //       "SELECT segment_ids FROM UDF(video) "
 //       "WHERE action_class = 'cross-right' AND accuracy >= 85%");
 //
-// Execute() plans the query (training the APFG and the RL agent) if no plan
-// for (dataset, class, target) is cached, runs the Zeus-RL executor on the
-// dataset's test split, and returns the localized segments plus metrics.
+// ZeusDb is a thin shell over engine::QueryEngine: plans are cached in a
+// thread-safe single-flight PlanCache (optionally persisted to disk), the
+// executor is chosen by the ExecutorFactory (inter-video batched by
+// default for multi-video test splits), and queries can be submitted
+// asynchronously:
+//
+//   auto ticket = db.Submit("bdd", sql);       // non-blocking
+//   ...                                        // poll state()/progress()
+//   const auto& result = ticket.value().Wait();
+//
+// Execute() keeps the classic blocking semantics: plan (training the APFG
+// and the RL agent) on first use, execute on the dataset's test split,
+// return localized segments plus metrics.
 class ZeusDb {
  public:
-  struct QueryResult {
-    ActionQuery query;
-    // Localized segments per test video: (video id, [start, end)).
-    struct Segment {
-      int video_id = 0;
-      int start = 0;
-      int end = 0;
-    };
-    std::vector<Segment> segments;
-    PrfMetrics metrics;
-    double throughput_fps = 0.0;
-    double gpu_seconds = 0.0;
-    double wall_seconds = 0.0;
-    double plan_seconds = 0.0;  // 0 when the plan was cached
-
-    // For EXPLAIN queries: a human-readable plan description. Empty for
-    // normal execution.
-    std::string explanation;
-  };
+  using QueryResult = engine::QueryResult;
 
   explicit ZeusDb(QueryPlanner::Options planner_options = {});
+  // Full control over the engine (workers, cache bound, persistence dir,
+  // default executor selection).
+  explicit ZeusDb(engine::QueryEngine::Options options);
 
   // Takes ownership of the dataset under `name`.
   common::Status RegisterDataset(const std::string& name,
                                  video::SyntheticDataset dataset);
 
   bool HasDataset(const std::string& name) const {
-    return datasets_.count(name) > 0;
+    return engine_.HasDataset(name);
   }
-  const video::SyntheticDataset* dataset(const std::string& name) const;
+  const video::SyntheticDataset* dataset(const std::string& name) const {
+    return engine_.dataset(name);
+  }
 
-  // Parses and runs a query against a registered dataset's test split.
+  // Parses and runs a query against a registered dataset's test split,
+  // blocking until the result is ready.
   common::Result<QueryResult> Execute(const std::string& dataset_name,
                                       const std::string& sql);
 
@@ -66,20 +62,28 @@ class ZeusDb {
   common::Result<QueryResult> Execute(const std::string& dataset_name,
                                       const ActionQuery& query);
 
-  // Access to the cached plan for a query (nullptr if not planned yet).
-  const QueryPlan* CachedPlan(const std::string& dataset_name,
-                              const ActionQuery& query) const;
+  // Asynchronous submission — returns a ticket immediately; planning and
+  // execution happen on the engine's worker pool.
+  common::Result<engine::QueryTicket> Submit(const std::string& dataset_name,
+                                             const std::string& sql);
+  common::Result<engine::QueryTicket> Submit(const std::string& dataset_name,
+                                             const ActionQuery& query);
 
-  // Human-readable description of a plan (the EXPLAIN output).
+  // Access to the cached plan for a query (nullptr if not planned yet).
+  // Shared ownership: the plan stays valid even if later evicted.
+  std::shared_ptr<QueryPlan> CachedPlan(const std::string& dataset_name,
+                                        const ActionQuery& query) const;
+
+  // Human-readable description of a plan (the EXPLAIN output body).
   static std::string ExplainPlan(const QueryPlan& plan);
 
- private:
-  std::string PlanKey(const std::string& dataset_name,
-                      const ActionQuery& query) const;
+  // The underlying engine, for advanced control (per-query executor
+  // overrides, cache introspection).
+  engine::QueryEngine& engine() { return engine_; }
+  const engine::QueryEngine& engine() const { return engine_; }
 
-  QueryPlanner::Options planner_options_;
-  std::map<std::string, std::unique_ptr<video::SyntheticDataset>> datasets_;
-  std::map<std::string, std::unique_ptr<QueryPlan>> plans_;
+ private:
+  engine::QueryEngine engine_;
 };
 
 }  // namespace zeus::core

@@ -1,0 +1,76 @@
+#ifndef ZEUS_ENGINE_EXECUTOR_FACTORY_H_
+#define ZEUS_ENGINE_EXECUTOR_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "core/localizer.h"
+#include "core/query_planner.h"
+#include "video/dataset.h"
+
+namespace zeus::engine {
+
+// Which localizer a query runs on. kAuto (the default) picks the
+// inter-video batched Zeus-RL executor (§6.4) whenever the query spans more
+// than one video and the sequential executor otherwise. The four baselines
+// plug into the same execution path so apples-to-apples comparisons run
+// through exactly the machinery real queries use.
+enum class ExecutorKind {
+  kAuto,
+  kSequential,  // QueryExecutor (Zeus-RL, one video at a time)
+  kBatched,     // BatchedExecutor (Zeus-RL, inter-video batching)
+  kSliding,     // Zeus-Sliding baseline
+  kHeuristic,   // Zeus-Heuristic baseline
+  kFramePp,     // Frame-PP baseline (trains a 2D classifier first)
+  kSegmentPp,   // Segment-PP baseline (trains a lite filter first)
+};
+
+const char* ExecutorKindName(ExecutorKind kind);
+
+// Parses "auto", "sequential", "batched", "sliding", "heuristic",
+// "frame_pp", "segment_pp" (case-insensitive). Returns kAuto on unknown
+// input with *ok (when given) set to false.
+ExecutorKind ParseExecutorKind(const std::string& name, bool* ok = nullptr);
+
+// Per-query execution knobs, resolved by ExecutorFactory.
+struct ExecutionOptions {
+  ExecutorKind executor = ExecutorKind::kAuto;
+  // BatchedExecutor: maximum invocations fused into one modeled launch.
+  int max_batch = 16;
+  // BatchedExecutor lockstep stepping pool; nullptr falls back to
+  // tensor::GlobalComputeContext().pool (a hardware-concurrency pool by
+  // default).
+  common::ThreadPool* step_pool = nullptr;
+  // Seed for the PP baselines' training RNG (their training is part of the
+  // method under comparison, so it is owned by the factory-made localizer).
+  uint64_t baseline_seed = 7;
+};
+
+// Builds ready-to-run localizers from a trained plan. Stateless; every
+// Make() call returns a fresh localizer, so concurrent queries never share
+// executor state (they share only the plan, whose inference path is
+// thread-safe).
+class ExecutorFactory {
+ public:
+  // Resolves kAuto against the query's video count.
+  static ExecutorKind Resolve(const ExecutionOptions& opts,
+                              size_t num_videos);
+
+  // Builds the localizer for `plan`. The PP baselines additionally train
+  // their predicate models on the dataset's train split (that cost is part
+  // of the baseline method). The returned localizer borrows `plan` and
+  // `dataset`, which must outlive it.
+  static common::Result<std::unique_ptr<core::Localizer>> Make(
+      const ExecutionOptions& opts, const core::QueryPlan* plan,
+      const video::SyntheticDataset* dataset, size_t num_videos);
+
+  // One-line description of what Resolve/Make would run — surfaced by
+  // EXPLAIN so users can see the chosen executor without executing.
+  static std::string Describe(const ExecutionOptions& opts,
+                              size_t num_videos);
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_EXECUTOR_FACTORY_H_

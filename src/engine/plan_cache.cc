@@ -1,0 +1,161 @@
+#include "engine/plan_cache.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "core/plan_io.h"
+
+namespace zeus::engine {
+
+PlanCache::PlanCache(const Options& opts,
+                     core::QueryPlanner::Options planner_options)
+    : opts_(opts), planner_options_(std::move(planner_options)) {
+  if (opts_.capacity < 1) opts_.capacity = 1;
+  if (!opts_.persist_dir.empty()) {
+    // Create the checkpoint directory up front; otherwise a missing path
+    // would silently degrade persistence into replan-on-every-restart
+    // (Save failures only warn).
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.persist_dir, ec);
+    if (ec) {
+      ZEUS_LOG(Warning) << "cannot create plan dir '" << opts_.persist_dir
+                        << "': " << ec.message();
+    }
+  }
+}
+
+std::string PlanCache::FilePrefix(const std::string& key) const {
+  std::string safe;
+  safe.reserve(key.size());
+  for (char c : key) {
+    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  // The crc suffix keeps distinct keys distinct after sanitization.
+  return opts_.persist_dir + "/" +
+         common::Format("%s-%08x", safe.c_str(),
+                        common::Crc32(0, key.data(), key.size()));
+}
+
+std::shared_ptr<core::QueryPlan> PlanCache::Peek(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second->state != EntryState::kReady) {
+    return nullptr;
+  }
+  return it->second->plan;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& key : lru_) entries_.erase(key);
+  lru_.clear();
+}
+
+void PlanCache::TouchLocked(const std::string& key) {
+  lru_.remove(key);
+  lru_.push_front(key);
+  while (lru_.size() > opts_.capacity) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ZEUS_LOG(Debug) << "plan cache evicted '" << victim << "'";
+  }
+}
+
+common::Result<PlanCache::Lookup> PlanCache::GetOrPlan(
+    const std::string& key, const video::SyntheticDataset* dataset,
+    const std::vector<video::ActionClass>& targets, double accuracy_target) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      entry = it->second;
+      if (entry->state == EntryState::kPlanning) {
+        // Single flight: join the in-flight run. The entry is held by
+        // shared_ptr, so the owner's publication is observable even after
+        // a kFailed publication erases the map entry.
+        cv_.wait(lock, [&] { return entry->state != EntryState::kPlanning; });
+      }
+      if (entry->state == EntryState::kReady) {
+        TouchLocked(key);
+        return Lookup{entry->plan, 0.0};
+      }
+      // The flight we joined failed. Its owner already erased the map
+      // entry, so the next GetOrPlan (not us) retries planning; we report
+      // the shared failure.
+      return entry->status;
+    }
+    // Miss: we become the flight owner.
+    entry = std::make_shared<Entry>();
+    entries_[key] = entry;
+  }
+
+  // We own the (single) flight for this key. Everything below runs
+  // unlocked; waiters block on cv_ until the publication at the bottom.
+  std::shared_ptr<core::QueryPlan> plan;
+  double plan_seconds = 0.0;
+  common::Status error = common::Status::Ok();
+
+  if (!opts_.persist_dir.empty()) {
+    auto loaded = core::PlanIo::Load(FilePrefix(key),
+                                     dataset->profile().family,
+                                     planner_options_);
+    if (loaded.ok()) {
+      plan = std::make_shared<core::QueryPlan>(std::move(loaded).value());
+      disk_loads_.fetch_add(1);
+      ZEUS_LOG(Info) << "plan '" << key << "' loaded from disk";
+    }
+  }
+
+  if (plan == nullptr) {
+    common::WallTimer timer;
+    planner_runs_.fetch_add(1);
+    core::QueryPlanner planner(dataset, planner_options_);
+    auto planned = planner.PlanForClasses(targets, accuracy_target);
+    if (planned.ok()) {
+      plan = std::make_shared<core::QueryPlan>(std::move(planned).value());
+      plan_seconds = timer.ElapsedSeconds();
+      if (!opts_.persist_dir.empty()) {
+        common::Status saved = core::PlanIo::Save(FilePrefix(key), *plan);
+        if (!saved.ok()) {
+          ZEUS_LOG(Warning) << "plan persistence failed for '" << key
+                            << "': " << saved.ToString();
+        }
+      }
+    } else {
+      error = planned.status();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (plan != nullptr) {
+      entry->state = EntryState::kReady;
+      entry->plan = plan;
+      TouchLocked(key);
+    } else {
+      entry->state = EntryState::kFailed;
+      entry->status = error;
+      // Forget the failure so the next request can retry planning.
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == entry) entries_.erase(it);
+    }
+  }
+  cv_.notify_all();
+
+  if (plan == nullptr) return error;
+  return Lookup{std::move(plan), plan_seconds};
+}
+
+}  // namespace zeus::engine

@@ -1,0 +1,103 @@
+#ifndef ZEUS_ENGINE_PLAN_CACHE_H_
+#define ZEUS_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query_planner.h"
+#include "video/dataset.h"
+
+namespace zeus::engine {
+
+// Thread-safe cache of trained query plans, the most expensive artifact in
+// the system (a miss costs minutes of APFG + DQN training).
+//
+//  - Single-flight planning: concurrent misses on the same key block on the
+//    one planner run instead of training the same plan N times. A failed
+//    run propagates its status to every waiter and is then forgotten so a
+//    later request can retry.
+//  - LRU bounding: at most `capacity` ready plans are held in memory;
+//    in-flight runs are never evicted.
+//  - Disk persistence (optional): with `persist_dir` set, every freshly
+//    trained plan is checkpointed via core::PlanIo and misses try the disk
+//    before the planner — plans survive process restarts and LRU eviction.
+//    Corrupt checkpoints are detected by PlanIo's integrity checks and fall
+//    through to replanning.
+class PlanCache {
+ public:
+  struct Options {
+    size_t capacity = 8;      // in-memory LRU bound (clamped to >= 1)
+    std::string persist_dir;  // "" => memory-only
+  };
+
+  struct Lookup {
+    std::shared_ptr<core::QueryPlan> plan;
+    // Wall seconds spent in the planner for THIS lookup: > 0 only when the
+    // caller's miss triggered training. Memory hits, disk hits and
+    // single-flight waiters all report 0 (they did not train anything).
+    double plan_seconds = 0.0;
+  };
+
+  PlanCache(const Options& opts, core::QueryPlanner::Options planner_options);
+
+  // Returns the plan for `key`, in order of preference: memory hit, join of
+  // an in-flight run, disk load, planner run. Blocks while another thread
+  // plans the same key.
+  common::Result<Lookup> GetOrPlan(
+      const std::string& key, const video::SyntheticDataset* dataset,
+      const std::vector<video::ActionClass>& targets, double accuracy_target);
+
+  // Non-blocking lookup of a ready plan; nullptr when absent or in flight.
+  // The pointer stays valid as long as the caller holds it (shared
+  // ownership), independent of later evictions.
+  std::shared_ptr<core::QueryPlan> Peek(const std::string& key) const;
+
+  // Drops every ready plan from memory (persisted checkpoints stay on
+  // disk). In-flight runs are unaffected.
+  void Clear();
+
+  // Counters for tests and EXPLAIN diagnostics.
+  long planner_runs() const { return planner_runs_.load(); }
+  long disk_loads() const { return disk_loads_.load(); }
+  size_t size() const;
+
+  const core::QueryPlanner::Options& planner_options() const {
+    return planner_options_;
+  }
+  const Options& options() const { return opts_; }
+
+  // Filesystem prefix a key persists under (sanitized key + crc32 suffix).
+  std::string FilePrefix(const std::string& key) const;
+
+ private:
+  enum class EntryState { kPlanning, kReady, kFailed };
+  struct Entry {
+    EntryState state = EntryState::kPlanning;
+    std::shared_ptr<core::QueryPlan> plan;
+    common::Status status;
+  };
+
+  // Moves `key` to the front of the LRU list and evicts ready entries
+  // beyond capacity. Caller holds mu_.
+  void TouchLocked(const std::string& key);
+
+  Options opts_;
+  core::QueryPlanner::Options planner_options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // signaled when any in-flight run publishes
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  std::list<std::string> lru_;  // most recently used first; ready keys only
+  std::atomic<long> planner_runs_{0};
+  std::atomic<long> disk_loads_{0};
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_PLAN_CACHE_H_

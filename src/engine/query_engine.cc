@@ -1,0 +1,352 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "core/executor.h"
+
+namespace zeus::engine {
+
+const char* QueryStateName(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "queued";
+    case QueryState::kPlanning:
+      return "planning";
+    case QueryState::kExecuting:
+      return "executing";
+    case QueryState::kDone:
+      return "done";
+    case QueryState::kFailed:
+      return "failed";
+    case QueryState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+// ---- QueryTicket -----------------------------------------------------------
+
+struct QueryTicket::Shared {
+  // Inputs, fixed at submission.
+  std::string dataset_name;
+  core::ActionQuery query;
+  ExecutionOptions exec;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  QueryState state = QueryState::kQueued;
+  double progress = 0.0;
+  std::optional<common::Result<QueryResult>> result;
+  std::atomic<bool> cancel{false};
+};
+
+QueryState QueryTicket::state() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state;
+}
+
+double QueryTicket::progress() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->progress;
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->result.has_value();
+}
+
+void QueryTicket::Cancel() { shared_->cancel.store(true); }
+
+const common::Result<QueryResult>& QueryTicket::Wait() const {
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [this] { return shared_->result.has_value(); });
+  return *shared_->result;
+}
+
+// ---- QueryEngine -----------------------------------------------------------
+
+QueryEngine::QueryEngine() : QueryEngine(Options()) {}
+
+QueryEngine::QueryEngine(Options options)
+    : opts_(std::move(options)), cache_(opts_.cache, opts_.planner) {
+  if (opts_.num_workers < 1) opts_.num_workers = 1;
+  if (opts_.max_pending < 1) opts_.max_pending = 1;
+}
+
+void QueryEngine::EnsureWorkersLocked() {
+  if (!workers_.empty()) return;
+  workers_.reserve(static_cast<size_t>(opts_.num_workers));
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryEngine::~QueryEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Resolve whatever never reached a worker so Wait() cannot hang.
+  for (auto& t : pending_) {
+    Finish(t.get(), QueryState::kCancelled,
+           common::Status::Cancelled("engine shut down"));
+  }
+  pending_.clear();
+}
+
+common::Status QueryEngine::RegisterDataset(const std::string& name,
+                                            video::SyntheticDataset dataset) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  if (datasets_.count(name)) {
+    return common::Status::AlreadyExists("dataset '" + name +
+                                         "' already registered");
+  }
+  datasets_[name] =
+      std::make_unique<video::SyntheticDataset>(std::move(dataset));
+  return common::Status::Ok();
+}
+
+bool QueryEngine::HasDataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  return datasets_.count(name) > 0;
+}
+
+const video::SyntheticDataset* QueryEngine::dataset(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+std::string QueryEngine::PlanKey(const std::string& dataset_name,
+                                 const core::ActionQuery& query) {
+  std::string classes;
+  for (video::ActionClass cls : query.action_classes) {
+    classes += video::ActionClassName(cls);
+    classes += ',';
+  }
+  return common::Format("%s|%s|%.3f", dataset_name.c_str(), classes.c_str(),
+                        query.accuracy_target);
+}
+
+std::shared_ptr<core::QueryPlan> QueryEngine::CachedPlan(
+    const std::string& dataset_name, const core::ActionQuery& query) const {
+  return cache_.Peek(PlanKey(dataset_name, query));
+}
+
+size_t QueryEngine::pending() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return pending_.size();
+}
+
+common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
+                                                const std::string& sql) {
+  auto parsed = core::QueryParser::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  return Submit(dataset_name, parsed.value());
+}
+
+common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
+                                                const core::ActionQuery& query) {
+  return Submit(dataset_name, query, opts_.exec);
+}
+
+common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
+                                                const core::ActionQuery& query,
+                                                const ExecutionOptions& exec) {
+  if (!HasDataset(dataset_name)) {
+    return common::Status::NotFound("dataset '" + dataset_name +
+                                    "' is not registered");
+  }
+  auto shared = std::make_shared<QueryTicket::Shared>();
+  shared->dataset_name = dataset_name;
+  shared->query = query;
+  shared->exec = exec;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      return common::Status::FailedPrecondition("engine is shutting down");
+    }
+    if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
+      // Cancelled tickets must not pin queue slots: resolve and drop them
+      // now instead of waiting for a worker to dequeue each one.
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if ((*it)->cancel.load()) {
+          Finish(it->get(), QueryState::kCancelled,
+                 common::Status::Cancelled("query cancelled"));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
+      return common::Status::ResourceExhausted(common::Format(
+          "admission queue full (%d pending)", opts_.max_pending));
+    }
+    pending_.push_back(shared);
+    EnsureWorkersLocked();
+  }
+  queue_cv_.notify_one();
+  return QueryTicket(std::move(shared));
+}
+
+common::Result<QueryResult> QueryEngine::Execute(const std::string& dataset_name,
+                                                 const std::string& sql) {
+  auto parsed = core::QueryParser::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(dataset_name, parsed.value());
+}
+
+common::Result<QueryResult> QueryEngine::Execute(const std::string& dataset_name,
+                                                 const core::ActionQuery& query) {
+  return Execute(dataset_name, query, opts_.exec);
+}
+
+common::Result<QueryResult> QueryEngine::Execute(const std::string& dataset_name,
+                                                 const core::ActionQuery& query,
+                                                 const ExecutionOptions& exec) {
+  // Thin blocking wrapper: the same pipeline, run inline on the caller's
+  // thread (no admission queue, no worker hop). It still goes through the
+  // shared PlanCache, so concurrent blocking callers plan once.
+  auto shared = std::make_shared<QueryTicket::Shared>();
+  shared->dataset_name = dataset_name;
+  shared->query = query;
+  shared->exec = exec;
+  RunTicket(shared);
+  return *shared->result;
+}
+
+void QueryEngine::Finish(QueryTicket::Shared* t, QueryState state,
+                         common::Result<QueryResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(t->mu);
+    t->state = state;
+    t->progress = 1.0;
+    t->result.emplace(std::move(result));
+  }
+  t->cv.notify_all();
+}
+
+void QueryEngine::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<QueryTicket::Shared> t;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      t = pending_.front();
+      pending_.pop_front();
+    }
+    RunTicket(t);
+  }
+}
+
+void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
+  auto set_phase = [&](QueryState state, double progress) {
+    std::lock_guard<std::mutex> lock(t->mu);
+    t->state = state;
+    t->progress = progress;
+  };
+  auto cancelled = [&] {
+    if (!t->cancel.load()) return false;
+    Finish(t.get(), QueryState::kCancelled,
+           common::Status::Cancelled("query cancelled"));
+    return true;
+  };
+
+  if (cancelled()) return;
+  const video::SyntheticDataset* ds = dataset(t->dataset_name);
+  if (ds == nullptr) {
+    Finish(t.get(), QueryState::kFailed,
+           common::Status::NotFound("dataset '" + t->dataset_name +
+                                    "' is not registered"));
+    return;
+  }
+  const core::ActionQuery& query = t->query;
+  const size_t num_test = ds->test_indices().size();
+
+  set_phase(QueryState::kPlanning, 0.1);
+  auto lookup = cache_.GetOrPlan(PlanKey(t->dataset_name, query), ds,
+                                 query.action_classes, query.accuracy_target);
+  if (!lookup.ok()) {
+    Finish(t.get(), QueryState::kFailed, lookup.status());
+    return;
+  }
+  std::shared_ptr<core::QueryPlan> plan = lookup.value().plan;
+
+  QueryResult out;
+  out.query = query;
+  out.plan_seconds = lookup.value().plan_seconds;
+
+  if (query.explain_only) {
+    out.explanation =
+        ExplainPlan(*plan) + "\nexecutor: " +
+        ExecutorFactory::Describe(t->exec, num_test);
+    Finish(t.get(), QueryState::kDone, std::move(out));
+    return;
+  }
+  if (cancelled()) return;
+
+  set_phase(QueryState::kExecuting, 0.5);
+  std::vector<const video::Video*> test_videos;
+  for (int i : ds->test_indices()) {
+    test_videos.push_back(&ds->video(static_cast<size_t>(i)));
+  }
+  auto localizer =
+      ExecutorFactory::Make(t->exec, plan.get(), ds, test_videos.size());
+  if (!localizer.ok()) {
+    Finish(t.get(), QueryState::kFailed, localizer.status());
+    return;
+  }
+  out.executor = localizer.value()->name();
+  core::RunResult run = localizer.value()->Localize(test_videos);
+
+  out.metrics = core::EvaluateVideos(test_videos, plan->targets, run.masks,
+                                     core::EvalOptions{});
+  out.throughput_fps = run.ThroughputFps();
+  out.gpu_seconds = run.gpu_seconds;
+  out.wall_seconds = run.wall_seconds;
+  const int range_end = query.frame_end < 0 ? 1 << 30 : query.frame_end;
+  for (size_t vi = 0; vi < test_videos.size(); ++vi) {
+    for (const video::ActionInstance& inst :
+         core::MaskToInstances(run.masks[vi])) {
+      // Frame-range predicate: keep segments intersecting the range.
+      if (inst.end <= query.frame_begin || inst.start >= range_end) continue;
+      if (query.limit >= 0 &&
+          static_cast<int>(out.segments.size()) >= query.limit) {
+        Finish(t.get(), QueryState::kDone, std::move(out));
+        return;
+      }
+      out.segments.push_back({test_videos[vi]->id(), inst.start, inst.end});
+    }
+  }
+  Finish(t.get(), QueryState::kDone, std::move(out));
+}
+
+std::string QueryEngine::ExplainPlan(const core::QueryPlan& plan) {
+  std::string out = common::Format(
+      "QueryPlan {\n  targets: %zu class(es), accuracy target %.2f\n"
+      "  APFG: trained (train_acc %.3f, %d examples, %.1fs)\n"
+      "  configuration grid: %zu candidates, RL frontier: %zu\n",
+      plan.targets.size(), plan.accuracy_target,
+      plan.apfg_stats.train_accuracy, plan.apfg_stats.num_examples,
+      plan.apfg_train_seconds, plan.space.size(), plan.rl_space.size());
+  for (const core::Configuration& c : plan.rl_space.configs()) {
+    out += common::Format(
+        "    config %s  throughput %.0f fps  validation F1 %.3f\n",
+        c.ToString().c_str(), c.throughput_fps, c.validation_f1);
+  }
+  out += common::Format(
+      "  DQN agent: %s (%.1fs training)\n}",
+      plan.agent != nullptr ? "trained" : "absent", plan.rl_train_seconds);
+  return out;
+}
+
+}  // namespace zeus::engine

@@ -1,0 +1,218 @@
+#ifndef ZEUS_ENGINE_QUERY_ENGINE_H_
+#define ZEUS_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/query.h"
+#include "engine/executor_factory.h"
+#include "engine/plan_cache.h"
+#include "video/dataset.h"
+
+namespace zeus::engine {
+
+// Everything one executed query produces. (ZeusDb re-exports this type; it
+// lives here so the engine layer has no dependency on the facade.)
+struct QueryResult {
+  core::ActionQuery query;
+  // Localized segments per test video: (video id, [start, end)).
+  struct Segment {
+    int video_id = 0;
+    int start = 0;
+    int end = 0;
+  };
+  std::vector<Segment> segments;
+  core::PrfMetrics metrics;
+  double throughput_fps = 0.0;
+  double gpu_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double plan_seconds = 0.0;  // 0 when the plan was cached (memory or disk)
+
+  // Name of the localizer that ran (e.g. "Zeus-RL-Batched"). Empty for
+  // EXPLAIN queries.
+  std::string executor;
+
+  // For EXPLAIN queries: a human-readable plan description including the
+  // executor the factory would choose. Empty for normal execution.
+  std::string explanation;
+};
+
+inline bool operator==(const QueryResult::Segment& a,
+                       const QueryResult::Segment& b) {
+  return a.video_id == b.video_id && a.start == b.start && a.end == b.end;
+}
+inline bool operator!=(const QueryResult::Segment& a,
+                       const QueryResult::Segment& b) {
+  return !(a == b);
+}
+
+// Exact localization identity: same segments, same boundaries, same order.
+// The invariant every executor/concurrency combination must preserve.
+inline bool SameSegments(const QueryResult& a, const QueryResult& b) {
+  return a.segments == b.segments;
+}
+
+// Lifecycle of a submitted query. Progress is coarse-grained: planning
+// dominates a cold query by orders of magnitude, so the useful signal is
+// which phase the query is in, not a percentage.
+enum class QueryState {
+  kQueued,     // admitted, waiting for a worker
+  kPlanning,   // looking up / training the plan
+  kExecuting,  // localizer running on the test split
+  kDone,
+  kFailed,
+  kCancelled,
+};
+
+const char* QueryStateName(QueryState state);
+
+// Handle to an asynchronously submitted query. Cheap to copy (shared
+// state); safe to poll from any thread.
+class QueryTicket {
+ public:
+  QueryState state() const;
+  // Monotone in [0, 1]; 1.0 exactly when the ticket is terminal.
+  double progress() const;
+  // True once the ticket reached kDone / kFailed / kCancelled.
+  bool done() const;
+
+  // Requests cooperative cancellation. A queued query is dropped before it
+  // starts; a running query is cut at the next phase boundary (a cancel
+  // mid-execution lets the current localizer pass finish). Cancelled
+  // tickets resolve to StatusCode::kCancelled.
+  void Cancel();
+
+  // Blocks until the ticket is terminal and returns the outcome. The
+  // reference stays valid for the lifetime of any copy of the ticket.
+  const common::Result<QueryResult>& Wait() const;
+
+ private:
+  friend class QueryEngine;
+  struct Shared;
+  explicit QueryTicket(std::shared_ptr<Shared> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<Shared> shared_;
+};
+
+// The concurrent query engine behind ZeusDb: a registry of datasets, a
+// single-flight PlanCache, an ExecutorFactory, and a worker pool with a
+// bounded admission queue.
+//
+//   QueryEngine engine(options);
+//   engine.RegisterDataset("bdd", std::move(dataset));
+//   auto ticket = engine.Submit("bdd", "SELECT ... WHERE ...");
+//   ... // poll ticket.value().state() / progress(), or Cancel()
+//   const auto& result = ticket.value().Wait();
+//
+// Execute() is the blocking convenience wrapper: it runs the same pipeline
+// inline on the caller's thread (it still shares the plan cache and its
+// single-flight discipline, so N blocking callers of one query train its
+// plan once).
+class QueryEngine {
+ public:
+  struct Options {
+    // Worker threads draining the admission queue. Each runs one query at
+    // a time end to end; intra-query parallelism comes from the compute
+    // pool (tensor::GlobalComputeContext()), which workers share.
+    int num_workers = 2;
+    // Bounded admission queue: Submit() fails with kResourceExhausted when
+    // this many tickets are already waiting (running queries don't count).
+    int max_pending = 32;
+    PlanCache::Options cache;
+    core::QueryPlanner::Options planner;
+    // Engine-wide default execution options; Submit/Execute overloads can
+    // override per query.
+    ExecutionOptions exec;
+  };
+
+  QueryEngine();  // default Options
+  explicit QueryEngine(Options options);
+  ~QueryEngine();
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  // Takes ownership of the dataset under `name`.
+  common::Status RegisterDataset(const std::string& name,
+                                 video::SyntheticDataset dataset);
+  bool HasDataset(const std::string& name) const;
+  const video::SyntheticDataset* dataset(const std::string& name) const;
+
+  // Asynchronous submission. Parse and registry errors surface here
+  // synchronously; planning/execution errors surface through the ticket.
+  common::Result<QueryTicket> Submit(const std::string& dataset_name,
+                                     const std::string& sql);
+  common::Result<QueryTicket> Submit(const std::string& dataset_name,
+                                     const core::ActionQuery& query);
+  common::Result<QueryTicket> Submit(const std::string& dataset_name,
+                                     const core::ActionQuery& query,
+                                     const ExecutionOptions& exec);
+
+  // Blocking wrappers (the classic ZeusDb::Execute semantics).
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const std::string& sql);
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const core::ActionQuery& query);
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const core::ActionQuery& query,
+                                      const ExecutionOptions& exec);
+
+  // Cache key for (dataset, targets, accuracy target).
+  static std::string PlanKey(const std::string& dataset_name,
+                             const core::ActionQuery& query);
+
+  // Ready plan for a query, nullptr when absent. Shared ownership: the plan
+  // stays valid even if the cache evicts it later.
+  std::shared_ptr<core::QueryPlan> CachedPlan(
+      const std::string& dataset_name, const core::ActionQuery& query) const;
+
+  // Human-readable plan description (the EXPLAIN body, minus the executor
+  // line Submit/Execute append from the factory).
+  static std::string ExplainPlan(const core::QueryPlan& plan);
+
+  PlanCache& plan_cache() { return cache_; }
+  const Options& options() const { return opts_; }
+
+  // Tickets admitted but not yet claimed by a worker (tests / monitoring).
+  size_t pending() const;
+
+ private:
+  void WorkerLoop();
+  // Spawns the worker pool on first use (blocking-only callers never pay
+  // for idle threads). Caller holds queue_mu_.
+  void EnsureWorkersLocked();
+  // Terminal-state publication helper.
+  static void Finish(QueryTicket::Shared* t, QueryState state,
+                     common::Result<QueryResult> result);
+  // The full pipeline for one ticket: plan lookup, executor construction,
+  // localization, metrics. Runs on a worker (Submit) or the caller thread
+  // (Execute).
+  void RunTicket(const std::shared_ptr<QueryTicket::Shared>& t);
+
+  Options opts_;
+
+  mutable std::mutex datasets_mu_;
+  std::map<std::string, std::unique_ptr<video::SyntheticDataset>> datasets_;
+
+  PlanCache cache_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<QueryTicket::Shared>> pending_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_QUERY_ENGINE_H_

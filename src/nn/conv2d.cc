@@ -24,9 +24,12 @@ Conv2d::Conv2d(int in_channels, int out_channels, const Options& opts,
 tensor::Tensor Conv2d::Forward(const tensor::Tensor& input, bool train) {
   ZEUS_CHECK(input.ndim() == 4 && input.dim(1) == in_channels_);
   if (train) cached_input_ = input;
-  return compute_context().path == tensor::ComputePath::kReference
-             ? ForwardReference(input)
-             : ForwardGemm(input);
+  if (compute_context().path == tensor::ComputePath::kReference) {
+    // Any previously cached panels no longer match cached_input_.
+    if (train) cached_cols_ = tensor::Tensor();
+    return ForwardReference(input);
+  }
+  return ForwardGemm(input, train);
 }
 
 tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
@@ -36,7 +39,7 @@ tensor::Tensor Conv2d::Backward(const tensor::Tensor& grad_output) {
              : BackwardGemm(grad_output);
 }
 
-tensor::Tensor Conv2d::ForwardGemm(const tensor::Tensor& input) {
+tensor::Tensor Conv2d::ForwardGemm(const tensor::Tensor& input, bool train) {
   const int n = input.dim(0), ci = in_channels_, hi = input.dim(2),
             wi = input.dim(3);
   const auto [kh, kw] = opts_.kernel;
@@ -52,15 +55,27 @@ tensor::Tensor Conv2d::ForwardGemm(const tensor::Tensor& input) {
   const int spatial = ho * wo;         // GEMM columns
   const size_t x_nstride = static_cast<size_t>(ci) * hi * wi;
   const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
-  tensor::Tensor col({kdim, spatial});
+  const size_t col_stride = static_cast<size_t>(kdim) * spatial;
+  // Training-mode lowering writes straight into the persistent panel buffer
+  // so Backward can skip the repack; eval uses a per-call scratch panel and
+  // leaves members untouched (eval forwards stay thread-safe).
+  const bool keep = train && opts_.cache_lowering;
+  tensor::Tensor scratch;
+  if (keep) {
+    cached_cols_ = tensor::Tensor({n, kdim, spatial});
+  } else {
+    if (train) cached_cols_ = tensor::Tensor();
+    scratch = tensor::Tensor({kdim, spatial});
+  }
 
   // Per image: Y {Co, ho*wo} = W {Co, Ci*kh*kw} @ col, then add bias.
   for (int b = 0; b < n; ++b) {
+    float* colp = keep ? cached_cols_.data() + b * col_stride : scratch.data();
     Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
-           ho, wo, col.data());
+           ho, wo, colp);
     float* y = out.data() + b * y_nstride;
     tensor::Sgemm(false, false, out_channels_, spatial, kdim, 1.0f,
-                  weight_.value.data(), kdim, col.data(), spatial, 0.0f, y,
+                  weight_.value.data(), kdim, colp, spatial, 0.0f, y,
                   spatial, &ctx);
     for (int oc = 0; oc < out_channels_; ++oc) {
       float* row = y + static_cast<size_t>(oc) * spatial;
@@ -85,8 +100,16 @@ tensor::Tensor Conv2d::BackwardGemm(const tensor::Tensor& grad_output) {
   const int spatial = ho * wo;
   const size_t x_nstride = static_cast<size_t>(ci) * hi * wi;
   const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
+  const size_t col_stride = static_cast<size_t>(kdim) * spatial;
+  // Reuse the forward pass's im2col panels when they are present (they are
+  // refreshed or cleared by every training-mode forward, so a non-empty
+  // buffer always matches cached_input_); otherwise re-lower per image.
+  const bool have_cols = !cached_cols_.empty() && cached_cols_.dim(0) == n &&
+                         cached_cols_.dim(1) == kdim &&
+                         cached_cols_.dim(2) == spatial;
   tensor::Tensor grad_input(input.shape());
-  tensor::Tensor col({kdim, spatial});
+  tensor::Tensor col;
+  if (!have_cols) col = tensor::Tensor({kdim, spatial});
   tensor::Tensor dcol({kdim, spatial});
   float* db = bias_.grad.data();
 
@@ -99,11 +122,17 @@ tensor::Tensor Conv2d::BackwardGemm(const tensor::Tensor& grad_output) {
       for (int i = 0; i < spatial; ++i) s += row[i];
       db[oc] += s;
     }
-    // dW {Co, K} += dY {Co, S} @ col^T; col recomputed from the cached input.
-    Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
-           ho, wo, col.data());
+    // dW {Co, K} += dY {Co, S} @ col^T.
+    const float* colp;
+    if (have_cols) {
+      colp = cached_cols_.data() + b * col_stride;
+    } else {
+      Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
+             ho, wo, col.data());
+      colp = col.data();
+    }
     tensor::Sgemm(false, true, out_channels_, kdim, spatial, 1.0f, dy,
-                  spatial, col.data(), spatial, 1.0f, weight_.grad.data(),
+                  spatial, colp, spatial, 1.0f, weight_.grad.data(),
                   kdim, &ctx);
     // dcol {K, S} = W^T @ dY, scattered back to image layout.
     tensor::Sgemm(true, false, kdim, spatial, out_channels_, 1.0f,

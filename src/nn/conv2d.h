@@ -18,6 +18,12 @@ class Conv2d : public Layer {
     std::array<int, 2> kernel = {3, 3};
     std::array<int, 2> stride = {1, 1};
     std::array<int, 2> padding = {1, 1};
+    // Keep the im2col panels from the training-mode forward pass and reuse
+    // them in Backward instead of re-lowering the cached input (one repack
+    // saved per training step). Costs one {N, Ci*kh*kw, ho*wo} buffer while
+    // gradients are pending; gradients are bit-identical either way (the
+    // panels are a pure function of the cached input).
+    bool cache_lowering = true;
   };
 
   Conv2d(int in_channels, int out_channels, const Options& opts,
@@ -34,7 +40,7 @@ class Conv2d : public Layer {
 
  private:
   // im2col + GEMM lowering (ComputePath::kGemm, the default).
-  tensor::Tensor ForwardGemm(const tensor::Tensor& input);
+  tensor::Tensor ForwardGemm(const tensor::Tensor& input, bool train);
   tensor::Tensor BackwardGemm(const tensor::Tensor& grad_output);
   // The seed's direct loop nest (ComputePath::kReference), kept as the
   // parity oracle for tests. Note: accumulates in double.
@@ -47,6 +53,10 @@ class Conv2d : public Layer {
   Parameter weight_;  // {out, in, kh, kw}
   Parameter bias_;    // {out}
   tensor::Tensor cached_input_;
+  // im2col panels of cached_input_ ({n, kdim, spatial}); empty when the
+  // last training-mode forward did not lower (reference path or
+  // cache_lowering off).
+  tensor::Tensor cached_cols_;
 };
 
 }  // namespace zeus::nn

@@ -20,6 +20,11 @@ class Conv3d : public Layer {
     std::array<int, 3> kernel = {3, 3, 3};   // {kt, kh, kw}
     std::array<int, 3> stride = {1, 1, 1};   // {st, sh, sw}
     std::array<int, 3> padding = {1, 1, 1};  // {pt, ph, pw}
+    // Keep the vol2col panels from the training-mode forward pass and reuse
+    // them in Backward instead of re-lowering the cached input (one repack
+    // saved per training step). Costs one {N, Ci*kt*kh*kw, lo*ho*wo} buffer
+    // while gradients are pending; gradients are bit-identical either way.
+    bool cache_lowering = true;
   };
 
   Conv3d(int in_channels, int out_channels, const Options& opts,
@@ -41,7 +46,7 @@ class Conv3d : public Layer {
 
  private:
   // vol2col + GEMM lowering (ComputePath::kGemm, the default).
-  tensor::Tensor ForwardGemm(const tensor::Tensor& input);
+  tensor::Tensor ForwardGemm(const tensor::Tensor& input, bool train);
   tensor::Tensor BackwardGemm(const tensor::Tensor& grad_output);
   // The seed's direct loop nest (ComputePath::kReference), kept as the
   // parity oracle for tests. Note: accumulates in double.
@@ -54,6 +59,10 @@ class Conv3d : public Layer {
   Parameter weight_;  // {out, in, kt, kh, kw}
   Parameter bias_;    // {out}
   tensor::Tensor cached_input_;
+  // vol2col panels of cached_input_ ({n, kdim, spatial}); empty when the
+  // last training-mode forward did not lower (reference path or
+  // cache_lowering off).
+  tensor::Tensor cached_cols_;
 };
 
 }  // namespace zeus::nn

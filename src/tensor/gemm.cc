@@ -1,7 +1,9 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
@@ -211,8 +213,26 @@ void SgemmRange(bool trans_a, bool trans_b, int i_begin, int i_end,
 
 }  // namespace
 
+common::ThreadPool* DefaultComputePool() {
+  static common::ThreadPool* pool = []() -> common::ThreadPool* {
+    int threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("ZEUS_NUM_THREADS")) {
+      threads = std::atoi(env);
+    }
+    if (threads <= 1) return nullptr;
+    // Leaked intentionally: workers must outlive every static object that
+    // might run compute during its destructor; the OS reclaims the threads.
+    return new common::ThreadPool(threads);
+  }();
+  return pool;
+}
+
 ComputeContext& GlobalComputeContext() {
-  static ComputeContext ctx;
+  static ComputeContext ctx = [] {
+    ComputeContext c;
+    c.pool = DefaultComputePool();
+    return c;
+  }();
   return ctx;
 }
 

@@ -58,8 +58,21 @@ struct ComputeContext {
   GemmBlocking blocking;
 };
 
+// Lazily-created process-wide default pool, sized to hardware concurrency.
+// Honors ZEUS_NUM_THREADS: unset or > 1 => that many workers, "0"/"1" =>
+// nullptr (serial). Created on first call and intentionally never
+// destroyed (workers must outlive static objects that may run compute in
+// their destructors; the OS reclaims the threads at exit).
+common::ThreadPool* DefaultComputePool();
+
 // The mutable process-wide default context. Not synchronized: configure it
-// before launching compute, not concurrently with it.
+// before launching compute, not concurrently with it. On first access the
+// context's pool defaults to DefaultComputePool(), so every caller that
+// does not override it (benches, trainer hot loops, BatchedExecutor
+// lockstep stepping) is thread-parallel out of the box; set
+// `GlobalComputeContext().pool = nullptr` to force serial execution for
+// parity tests. The GEMM path is bit-identical across thread counts, so
+// flipping the default changes wall time only, never results.
 ComputeContext& GlobalComputeContext();
 
 // ctx if non-null, else the global context.

@@ -25,6 +25,10 @@ enum class ActionClass : int {
   kTennisServe = 7,
 };
 
+// Highest ActionClass value — keep in sync when extending the enum.
+// Deserializers (e.g. PlanIo) range-check stored class ids against this.
+inline constexpr int kMaxActionClassId = static_cast<int>(ActionClass::kTennisServe);
+
 // Human-readable name ("CrossRight") used in reports and query strings.
 const char* ActionClassName(ActionClass cls);
 

@@ -208,6 +208,67 @@ TEST(ConvParityTest, LinearGemmMatchesReference) {
   }
 }
 
+// The cached im2col/vol2col panels reused by Backward must change nothing:
+// the panels are a pure function of the cached input, so gradients with the
+// lowering cache on and off are bit-identical (not merely close).
+template <typename Conv, typename MakeInput>
+void ExpectLoweringCacheBitIdentical(typename Conv::Options opts,
+                                     const MakeInput& make_input) {
+  // Two layers with identical weights (same RNG seed), differing only in
+  // whether Backward repacks or reuses the forward pass's panels.
+  common::Rng rng_a(41), rng_b(41);
+  typename Conv::Options cached_opts = opts;
+  cached_opts.cache_lowering = true;
+  typename Conv::Options repack_opts = opts;
+  repack_opts.cache_lowering = false;
+  Conv cached(3, 6, cached_opts, &rng_a);
+  Conv repack(3, 6, repack_opts, &rng_b);
+
+  common::Rng data_rng(43);
+  tensor::Tensor x = make_input(&data_rng);
+  tensor::ComputeContext gemm;  // serial kGemm
+
+  for (Conv* layer : {&cached, &repack}) {
+    layer->SetComputeContext(&gemm);
+    nn::ZeroGrads(layer->Parameters());
+  }
+  tensor::Tensor y_cached = cached.Forward(x, /*train=*/true);
+  tensor::Tensor y_repack = repack.Forward(x, /*train=*/true);
+  EXPECT_EQ(tensor::MaxAbsDiff(y_cached, y_repack), 0.0f) << "forward";
+
+  tensor::Tensor ones(y_cached.shape(), 1.0f);
+  tensor::Tensor dx_cached = cached.Backward(ones);
+  tensor::Tensor dx_repack = repack.Backward(ones);
+  EXPECT_EQ(tensor::MaxAbsDiff(dx_cached, dx_repack), 0.0f) << "grad input";
+  auto pa = cached.Parameters();
+  auto pb = repack.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(tensor::MaxAbsDiff(pa[i]->grad, pb[i]->grad), 0.0f)
+        << "param grad " << i;
+  }
+}
+
+TEST(ConvLoweringCacheTest, Conv2dGradientsBitIdentical) {
+  nn::Conv2d::Options opts;
+  opts.kernel = {3, 3};
+  opts.stride = {2, 1};
+  opts.padding = {1, 0};
+  ExpectLoweringCacheBitIdentical<nn::Conv2d>(opts, [](common::Rng* rng) {
+    return RandomTensor({2, 3, 13, 11}, rng);
+  });
+}
+
+TEST(ConvLoweringCacheTest, Conv3dGradientsBitIdentical) {
+  nn::Conv3d::Options opts;
+  opts.kernel = {3, 3, 3};
+  opts.stride = {1, 2, 2};
+  opts.padding = {1, 1, 1};
+  ExpectLoweringCacheBitIdentical<nn::Conv3d>(opts, [](common::Rng* rng) {
+    return RandomTensor({2, 3, 6, 12, 10}, rng);
+  });
+}
+
 // Conv forward through the GEMM path must also be bit-identical across
 // thread counts (the property the parallel BatchedExecutor relies on).
 TEST(ConvParityTest, Conv3dForwardBitIdenticalAcrossThreadCounts) {

@@ -2,10 +2,13 @@
 // pre-extraction path.
 
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "apfg/feature_cache.h"
+#include "common/crc32.h"
+#include "common/stringutil.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/plan_io.h"
@@ -139,6 +142,197 @@ TEST(PlanIoTest, CorruptCheckpointIsRejected) {
 TEST(PlanIoTest, SaveRejectsUntrainedPlan) {
   core::QueryPlan plan;
   EXPECT_FALSE(core::PlanIo::Save(testing::TempDir() + "/p", plan).ok());
+}
+
+// ---- Manifest hardening ----------------------------------------------------
+//
+// PlanCache trusts PlanIo to reject any damaged checkpoint instead of
+// serving a half-initialized plan, so every corruption class must fail
+// loudly: truncation, bit flips (crc), unparsable rows, out-of-range ids,
+// and unsupported format versions.
+
+// Reads a saved manifest and returns its payload (the lines between the
+// magic line and the crc trailer, newline-terminated).
+std::string ReadPayload(const std::string& meta_path) {
+  std::ifstream f(meta_path);
+  std::string line, payload;
+  EXPECT_TRUE(std::getline(f, line));  // magic
+  while (std::getline(f, line)) {
+    if (common::StartsWith(line, "crc32 ")) break;
+    payload += line;
+    payload += '\n';
+  }
+  return payload;
+}
+
+// Writes a manifest with a *valid* trailer over `payload`, so parsing-level
+// defenses are exercised rather than the checksum.
+void WriteManifest(const std::string& meta_path, const std::string& payload) {
+  std::ofstream f(meta_path, std::ios::trunc);
+  f << "zeus-plan\n" << payload;
+  f << common::Format(
+      "crc32 %08x\n", common::Crc32(0, payload.data(), payload.size()));
+}
+
+class PlanIoManifestTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new video::SyntheticDataset(
+        video::SyntheticDataset::Generate(SmallProfile(), 75));
+    opts_ = new core::QueryPlanner::Options(FastPlannerOptions());
+    core::QueryPlanner planner(dataset_, *opts_);
+    auto plan =
+        planner.PlanForClasses({video::ActionClass::kCrossRight}, 0.8);
+    ASSERT_TRUE(plan.ok());
+    prefix_ = new std::string(testing::TempDir() + "/zeus_manifest_plan");
+    ASSERT_TRUE(core::PlanIo::Save(*prefix_, plan.value()).ok());
+    payload_ = new std::string(ReadPayload(*prefix_ + ".meta"));
+    ASSERT_FALSE(payload_->empty());
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete opts_;
+    delete prefix_;
+    delete payload_;
+    dataset_ = nullptr;
+    opts_ = nullptr;
+    prefix_ = nullptr;
+    payload_ = nullptr;
+  }
+
+  // Loads after replacing the manifest payload; the weight files stay
+  // intact, so any failure comes from the manifest checks.
+  common::Status LoadWith(const std::string& payload) {
+    WriteManifest(*prefix_ + ".meta", payload);
+    return core::PlanIo::Load(*prefix_, video::DatasetFamily::kBdd100kLike,
+                              *opts_)
+        .status();
+  }
+
+  void TearDown() override {
+    // Restore the pristine manifest for the next case.
+    WriteManifest(*prefix_ + ".meta", *payload_);
+  }
+
+  static video::SyntheticDataset* dataset_;
+  static core::QueryPlanner::Options* opts_;
+  static std::string* prefix_;
+  static std::string* payload_;
+};
+
+video::SyntheticDataset* PlanIoManifestTest::dataset_ = nullptr;
+core::QueryPlanner::Options* PlanIoManifestTest::opts_ = nullptr;
+std::string* PlanIoManifestTest::prefix_ = nullptr;
+std::string* PlanIoManifestTest::payload_ = nullptr;
+
+TEST_F(PlanIoManifestTest, PristineManifestLoads) {
+  EXPECT_TRUE(LoadWith(*payload_).ok());
+}
+
+TEST_F(PlanIoManifestTest, TruncatedManifestIsRejected) {
+  // Cut the file mid-way: the crc trailer disappears with the tail.
+  std::ofstream f(*prefix_ + ".meta", std::ios::trunc);
+  f << "zeus-plan\n" << payload_->substr(0, payload_->size() / 2);
+  f.close();
+  auto st = core::PlanIo::Load(*prefix_, video::DatasetFamily::kBdd100kLike,
+                               *opts_)
+                .status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("crc32"), std::string::npos) << st.ToString();
+}
+
+TEST_F(PlanIoManifestTest, BitFlipFailsChecksum) {
+  std::string flipped = *payload_;
+  flipped[flipped.size() / 2] ^= 0x20;
+  WriteManifest(*prefix_ + ".meta", *payload_);
+  // Write the damaged payload under the ORIGINAL trailer.
+  {
+    std::ofstream f(*prefix_ + ".meta", std::ios::trunc);
+    f << "zeus-plan\n" << flipped;
+    f << common::Format("crc32 %08x\n",
+                        common::Crc32(0, payload_->data(), payload_->size()));
+  }
+  auto st = core::PlanIo::Load(*prefix_, video::DatasetFamily::kBdd100kLike,
+                               *opts_)
+                .status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("crc32 mismatch"), std::string::npos);
+}
+
+TEST_F(PlanIoManifestTest, UnparsableConfigRowIsRejected) {
+  // Replace the first config-table row (the line after "configs N") with
+  // junk; the trailer is recomputed, so the parser must catch it.
+  std::istringstream in(*payload_);
+  std::ostringstream out;
+  std::string line;
+  bool corrupt_next = false;
+  while (std::getline(in, line)) {
+    if (corrupt_next) {
+      out << "not a number\n";
+      corrupt_next = false;
+      continue;
+    }
+    if (common::StartsWith(line, "configs ")) corrupt_next = true;
+    out << line << "\n";
+  }
+  auto st = LoadWith(out.str());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("config table row"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PlanIoManifestTest, OutOfRangeRlSpaceIdIsRejected) {
+  std::istringstream in(*payload_);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (common::StartsWith(line, "rl_space")) {
+      out << "rl_space 0 9999\n";
+    } else {
+      out << line << "\n";
+    }
+  }
+  auto st = LoadWith(out.str());
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("rl_space id out of range"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PlanIoManifestTest, MissingFormatVersionIsRejected) {
+  std::istringstream in(*payload_);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!common::StartsWith(line, "format_version")) out << line << "\n";
+  }
+  EXPECT_FALSE(LoadWith(out.str()).ok());
+}
+
+TEST_F(PlanIoManifestTest, WrongFormatVersionIsRejected) {
+  std::string bumped = *payload_;
+  size_t pos = bumped.find("format_version 2");
+  ASSERT_NE(pos, std::string::npos);
+  bumped.replace(pos, 16, "format_version 9");
+  auto st = LoadWith(bumped);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unsupported plan format version"),
+            std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(PlanIoManifestTest, LegacyV1ManifestIsRejected) {
+  {
+    std::ofstream f(*prefix_ + ".meta", std::ios::trunc);
+    f << "zeus-plan-v1\n" << *payload_;
+  }
+  auto st = core::PlanIo::Load(*prefix_, video::DatasetFamily::kBdd100kLike,
+                               *opts_)
+                .status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unsupported plan format v1"),
+            std::string::npos)
+      << st.ToString();
 }
 
 }  // namespace
