@@ -7,9 +7,15 @@
 //   bench_fig8_end_to_end               # classic per-method table
 //   bench_fig8_end_to_end --clients N   # concurrent-clients mode: N copies
 //                                       # of each query submitted to one
-//                                       # QueryEngine at once; reports
+//                                       # serving group at once; reports
 //                                       # planner runs (want: one per
-//                                       # distinct query) and wall time.
+//                                       # distinct query), wall time and
+//                                       # queries/sec.
+// Shared flags:
+//   --shards N    # concurrent mode: shard datasets across N engines
+//                 # (EngineGroup consistent-hash routing; default 1)
+//   --reduced     # CI-sized run: smaller datasets, fewer queries/epochs
+//   --json PATH   # write machine-readable results (docs/CI.md schema)
 
 #include <cstdlib>
 #include <cstring>
@@ -19,7 +25,7 @@
 #include "bench/bench_util.h"
 #include "common/stringutil.h"
 #include "common/timer.h"
-#include "engine/query_engine.h"
+#include "engine/engine_group.h"
 
 namespace {
 
@@ -44,16 +50,55 @@ const QuerySpec kQueries[] = {
      zeus::video::ActionClass::kTennisServe, 0.75},
 };
 
-int RunClassic() {
+struct BenchConfig {
+  int clients = 0;
+  int shards = 1;
+  bool reduced = false;
+  std::string json_path;
+
+  // Reduced mode trims the workload so the CI bench-smoke job finishes in
+  // minutes: 3 queries (one per family), smaller datasets, fewer epochs.
+  size_t num_queries() const { return reduced ? 3 : std::size(kQueries); }
+  const QuerySpec& query(size_t i) const {
+    // In reduced mode take every other query: indices 0, 2, 4 cover the
+    // three dataset families.
+    return kQueries[reduced ? 2 * i : i];
+  }
+
+  zeus::video::DatasetProfile profile(zeus::video::DatasetFamily f) const {
+    auto p = zeus::bench::BenchProfile(f);
+    if (reduced) {
+      p.num_videos = std::max(12, p.num_videos / 2);
+      p.frames_per_video = std::max(250, p.frames_per_video / 2);
+    }
+    return p;
+  }
+
+  zeus::core::QueryPlanner::Options planner() const {
+    auto opts = zeus::bench::BenchPlannerOptions();
+    if (reduced) {
+      opts.apfg.epochs = 6;
+      opts.profile.max_windows_per_config = 100;
+      opts.trainer.episodes = 6;
+    }
+    return opts;
+  }
+};
+
+int RunClassic(const BenchConfig& cfg) {
   using namespace zeus;
-  bench::PrintHeader("Figure 8: end-to-end comparison, 6 queries x 5 methods");
+  bench::PrintHeader(common::Format(
+      "Figure 8: end-to-end comparison, %zu queries x 5 methods%s",
+      cfg.num_queries(), cfg.reduced ? " (reduced)" : ""));
+  bench::BenchJson json("bench_fig8_end_to_end");
+  common::WallTimer total;
 
   double zeus_tput_sum = 0.0, sliding_tput_sum = 0.0;
   int counted = 0;
-  for (const QuerySpec& q : kQueries) {
-    auto ds =
-        video::SyntheticDataset::Generate(bench::BenchProfile(q.family), 17);
-    core::QueryPlanner planner(&ds, bench::BenchPlannerOptions());
+  for (size_t qi = 0; qi < cfg.num_queries(); ++qi) {
+    const QuerySpec& q = cfg.query(qi);
+    auto ds = video::SyntheticDataset::Generate(cfg.profile(q.family), 17);
+    core::QueryPlanner planner(&ds, cfg.planner());
     auto plan = planner.PlanForClasses({q.cls}, q.target);
     if (!plan.ok()) {
       std::fprintf(stderr, "plan failed for %s\n",
@@ -69,6 +114,12 @@ int RunClassic() {
                 video::DatasetFamilyName(q.family), q.target);
     bench::PrintRows(rows);
     for (const auto& r : rows) {
+      const std::string rec =
+          common::Format("%s/%s", video::ActionClassName(q.cls),
+                         r.method.c_str());
+      json.Add(rec, "f1", r.metrics.f1);
+      json.Add(rec, "throughput_fps", r.throughput_fps);
+      json.Add(rec, "wall_seconds", r.wall_seconds);
       if (r.method == "Zeus-RL") zeus_tput_sum += r.throughput_fps;
       if (r.method == "Zeus-Sliding") sliding_tput_sum += r.throughput_fps;
     }
@@ -78,50 +129,59 @@ int RunClassic() {
     std::printf("\nmean Zeus-RL speedup over Zeus-Sliding across %d queries:"
                 " %.1fx (paper: 3.4x average, max 4.7x)\n",
                 counted, zeus_tput_sum / sliding_tput_sum);
+    json.Add("summary", "zeus_over_sliding_speedup",
+             zeus_tput_sum / sliding_tput_sum);
   }
+  json.Add("summary", "total_wall_seconds", total.ElapsedSeconds());
   std::printf("expected shape: Zeus-RL fastest at comparable F1; "
               "Frame-PP and Segment-PP at prohibitively low F1.\n");
-  return 0;
+  return json.WriteTo(cfg.json_path) ? 0 : 1;
 }
 
-int RunConcurrentClients(int clients) {
+int RunConcurrentClients(const BenchConfig& cfg) {
   using namespace zeus;
   bench::PrintHeader(common::Format(
-      "Figure 8 extension: %d concurrent clients per query, one engine",
-      clients));
+      "Figure 8 extension: %d concurrent clients per query, %d shard(s)%s",
+      cfg.clients, cfg.shards, cfg.reduced ? " (reduced)" : ""));
+  bench::BenchJson json("bench_fig8_end_to_end");
 
-  engine::QueryEngine::Options eopts;
-  eopts.num_workers = 4;
-  eopts.max_pending = 6 * clients + 8;
-  eopts.planner = bench::BenchPlannerOptions();
-  engine::QueryEngine engine(eopts);
+  engine::EngineGroup::Options gopts;
+  gopts.num_shards = cfg.shards;
+  gopts.engine.num_workers = cfg.shards > 1 ? 2 : 4;
+  gopts.engine.max_pending =
+      static_cast<int>(cfg.num_queries()) * cfg.clients + 8;
+  gopts.engine.planner = cfg.planner();
+  engine::EngineGroup group(gopts);
   for (auto family : {video::DatasetFamily::kBdd100kLike,
                       video::DatasetFamily::kThumos14Like,
                       video::DatasetFamily::kActivityNetLike}) {
-    auto st = engine.RegisterDataset(
+    auto st = group.RegisterDataset(
         video::DatasetFamilyName(family),
-        video::SyntheticDataset::Generate(bench::BenchProfile(family), 17));
+        video::SyntheticDataset::Generate(cfg.profile(family), 17));
     if (!st.ok()) {
       std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
       return 1;
     }
+    std::printf("dataset %-16s -> shard %d\n", video::DatasetFamilyName(family),
+                group.ShardFor(video::DatasetFamilyName(family)));
   }
 
   // Every client of every query submitted up front: identical-query clients
-  // must coalesce onto one planner run (single flight), distinct queries
-  // plan concurrently on the worker pool.
+  // must coalesce onto one planner run (single flight) on the dataset's
+  // home shard, distinct queries plan concurrently on the shard pools.
   common::WallTimer wall;
   struct Client {
     const QuerySpec* spec;
     engine::QueryTicket ticket;
   };
   std::vector<Client> inflight;
-  for (const QuerySpec& q : kQueries) {
+  for (size_t qi = 0; qi < cfg.num_queries(); ++qi) {
+    const QuerySpec& q = cfg.query(qi);
     core::ActionQuery query;
     query.action_classes = {q.cls};
     query.accuracy_target = q.target;
-    for (int c = 0; c < clients; ++c) {
-      auto t = engine.Submit(video::DatasetFamilyName(q.family), query);
+    for (int c = 0; c < cfg.clients; ++c) {
+      auto t = group.Submit(video::DatasetFamilyName(q.family), query);
       if (!t.ok()) {
         std::fprintf(stderr, "submit failed: %s\n",
                      t.status().ToString().c_str());
@@ -131,7 +191,7 @@ int RunConcurrentClients(int clients) {
     }
   }
   std::printf("submitted %zu tickets (%zu distinct queries)\n",
-              inflight.size(), std::size(kQueries));
+              inflight.size(), cfg.num_queries());
 
   std::printf("%-16s %8s %12s %10s %10s\n", "query", "F1", "tput(fps)",
               "plan(s)", "executor");
@@ -147,18 +207,28 @@ int RunConcurrentClients(int clients) {
     }
     ++done;
     // One row per query (its first client); the other clients only count.
-    if (r.value().plan_seconds > 0.0 || clients == 1) {
+    if (r.value().plan_seconds > 0.0 || cfg.clients == 1) {
       std::printf("%-16s %8.3f %12.0f %10.1f %10s\n",
                   video::ActionClassName(c.spec->cls), r.value().metrics.f1,
                   r.value().throughput_fps, r.value().plan_seconds,
                   r.value().executor.c_str());
     }
   }
+  const double wall_s = wall.ElapsedSeconds();
+  const double qps = wall_s > 0 ? static_cast<double>(done) / wall_s : 0.0;
   std::printf(
-      "\n%zu/%zu clients served in %.1f s wall; planner runs: %ld "
-      "(want %zu: single-flight coalesces identical concurrent queries)\n",
-      done, inflight.size(), wall.ElapsedSeconds(),
-      engine.plan_cache().planner_runs(), std::size(kQueries));
+      "\n%zu/%zu clients served in %.1f s wall (%.2f queries/sec); planner "
+      "runs: %ld (want %zu: single-flight coalesces identical concurrent "
+      "queries)\n",
+      done, inflight.size(), wall_s, qps, group.planner_runs(),
+      cfg.num_queries());
+  const std::string rec = common::Format("concurrent/clients%d/shards%d",
+                                         cfg.clients, cfg.shards);
+  json.Add(rec, "wall_seconds", wall_s);
+  json.Add(rec, "queries_per_sec", qps);
+  json.Add(rec, "planner_runs", static_cast<double>(group.planner_runs()));
+  json.Add(rec, "clients_served", static_cast<double>(done));
+  if (!json.WriteTo(cfg.json_path)) return 1;
   return failed == 0 ? 0 : 1;
 }
 
@@ -166,11 +236,16 @@ int RunConcurrentClients(int clients) {
 
 int main(int argc, char** argv) {
   zeus::common::SetLogLevel(zeus::common::LogLevel::kWarning);
-  int clients = 0;
+  BenchConfig cfg;
+  cfg.reduced = zeus::bench::ReducedFromArgs(argc, argv);
+  cfg.json_path = zeus::bench::JsonPathFromArgs(argc, argv);
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
-      clients = std::atoi(argv[i + 1]);
+      cfg.clients = std::atoi(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      cfg.shards = std::max(1, std::atoi(argv[i + 1]));
     }
   }
-  return clients > 0 ? RunConcurrentClients(clients) : RunClassic();
+  return cfg.clients > 0 ? RunConcurrentClients(cfg) : RunClassic(cfg);
 }

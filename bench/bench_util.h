@@ -6,6 +6,8 @@
 // synthetic substrate (see DESIGN.md for the experiment index).
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +22,92 @@
 #include "video/dataset.h"
 
 namespace zeus::bench {
+
+// ---- Machine-readable output (--json <path>) -------------------------------
+//
+// Every bench binary can emit its results as JSON for the CI bench-smoke job
+// and the BENCH_*.json perf trajectory. Schema (docs/CI.md):
+//
+//   {
+//     "bench": "<binary name>",
+//     "records": [
+//       {"name": "<record name>", "metrics": {"<metric>": <number>, ...}},
+//       ...
+//     ]
+//   }
+//
+// Metric names carry their own direction convention: *_seconds / *_ns are
+// lower-is-better, everything else (fps, gflops, queries_per_sec, f1) is
+// higher-is-better — tools/bench_regress.py applies the gate accordingly.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& record_name, const std::string& metric,
+           double value) {
+    for (auto& r : records_) {
+      if (r.name == record_name) {
+        r.metrics[metric] = value;
+        return;
+      }
+    }
+    records_.push_back({record_name, {{metric, value}}});
+  }
+
+  // Writes the collected records; prints a notice so CI logs show the
+  // artifact location. No-op when `path` is empty.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"metrics\": {",
+                   i == 0 ? "" : ",", r.name.c_str());
+      size_t j = 0;
+      for (const auto& [metric, value] : r.metrics) {
+        std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
+                     metric.c_str(), value);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench json written to %s (%zu records)\n", path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::map<std::string, double> metrics;
+  };
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
+
+// Shared flag parsing: the path following "--json", or "" when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+// Shared flag parsing: true when "--reduced" is present (CI-sized run).
+inline bool ReducedFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reduced") == 0) return true;
+  }
+  return false;
+}
 
 // Bench-scale dataset profiles: trimmed so every bench binary finishes in a
 // couple of minutes on one CPU core while keeping Table 3's density/length

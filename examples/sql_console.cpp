@@ -4,6 +4,9 @@
 //
 //   sql_console                          # runs a scripted demo session
 //   sql_console "EXPLAIN SELECT ..."     # runs the given queries in order
+//   sql_console --shards 4 [...]         # shard the serving layer: datasets
+//                                        # route by consistent hashing to
+//                                        # one of 4 engines (EngineGroup)
 //
 // Queries go through the concurrent engine's Submit()/ticket API: the
 // console polls the ticket's phase (queued / planning / executing) while it
@@ -15,6 +18,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,23 +74,36 @@ int main(int argc, char** argv) {
   using zeus::video::DatasetProfile;
   using zeus::video::SyntheticDataset;
 
+  int shards = 1;
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::max(1, std::atoi(argv[++i]));
+    } else {
+      queries.emplace_back(argv[i]);
+    }
+  }
+
   DatasetProfile profile =
       DatasetProfile::ForFamily(DatasetFamily::kBdd100kLike);
   profile.num_videos = 28;
   profile.frames_per_video = 400;
   profile.action_fraction = 0.12;
-  zeus::core::ZeusDb db;
+  zeus::core::ZeusDb::Options options;
+  options.num_shards = shards;
+  zeus::core::ZeusDb db(options);
   auto st = db.RegisterDataset(
       "bdd", SyntheticDataset::Generate(profile, /*seed=*/17));
   if (!st.ok()) {
     std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
     return 1;
   }
+  if (shards > 1) {
+    std::printf("serving with %d shards; dataset 'bdd' routed to shard %d\n",
+                shards, db.group().ShardFor("bdd"));
+  }
 
-  std::vector<std::string> queries;
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) queries.emplace_back(argv[i]);
-  } else {
+  if (queries.empty()) {
     queries = {
         // Plan inspection first: shows the profiled configuration frontier,
         // the trained agent, and the executor the factory picked — without

@@ -42,12 +42,24 @@ RunResult BatchedExecutor::Localize(
 
   // Round 0: every video's forced initial invocation uses the slowest
   // configuration (§3), so they all batch together.
+  if (cancel_.cancelled()) {
+    result.cancelled = true;
+    result.masks.resize(videos.size());
+    result.wall_seconds = timer.ElapsedSeconds();
+    return result;
+  }
   int slowest = plan_->rl_space.SlowestId();
   for (auto& env : envs) env->ResetSequential();
   charge_group(slowest, static_cast<int>(envs.size()));
 
   // Lockstep rounds over the active environments.
   while (true) {
+    // Cancellation point: a Cancel() lands before the next round starts, so
+    // the abort latency is bounded by one lockstep round.
+    if (cancel_.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     std::map<int, std::vector<rl::VideoEnv*>> groups;
     for (auto& env : envs) {
       if (env->done()) continue;

@@ -1,0 +1,32 @@
+#ifndef ZEUS_CORE_CANCELLATION_H_
+#define ZEUS_CORE_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace zeus::core {
+
+// Cooperative cancellation signal threaded from a QueryTicket down into the
+// executors. Cheap to copy (shared flag); a default-constructed token never
+// fires. Executors poll it at their internal round boundaries — one
+// lockstep round for BatchedExecutor, one agent step for QueryExecutor —
+// so a Cancel() lands within a single round instead of only between
+// queries.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  explicit CancellationToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_CANCELLATION_H_

@@ -15,6 +15,11 @@ RunResult QueryExecutor::Localize(
                    plan_->env_opts);
   env.ResetSequential();
   while (!env.done()) {
+    // Cancellation point: one agent step is the sequential executor's round.
+    if (cancel_.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     int action = plan_->agent->GreedyAction(env.state());
     env.Step(action);
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/cancellation.h"
 #include "core/metrics.h"
 #include "video/video.h"
 
@@ -23,6 +24,10 @@ struct RunResult {
   // (Fig. 12b).
   std::map<int, long> frames_per_config;
 
+  // True when the run was cut short by a CancellationToken: masks and
+  // accounting cover only the work done before the abort.
+  bool cancelled = false;
+
   // Paper-style throughput: video frames per modeled GPU second.
   double ThroughputFps() const {
     return gpu_seconds > 0.0 ? static_cast<double>(total_frames) / gpu_seconds
@@ -40,6 +45,18 @@ class Localizer {
   virtual RunResult Localize(const std::vector<const video::Video*>& videos) = 0;
 
   virtual std::string name() const = 0;
+
+  // Installs a cooperative cancellation signal checked during Localize. The
+  // Zeus-RL executors poll it every lockstep round / agent step and return
+  // early with RunResult::cancelled set; the one-pass baselines ignore it
+  // (the engine still cancels them at phase boundaries). Virtual so
+  // wrapping localizers can forward the token to their inner executor.
+  virtual void SetCancellation(CancellationToken token) {
+    cancel_ = std::move(token);
+  }
+
+ protected:
+  CancellationToken cancel_;
 };
 
 }  // namespace zeus::core

@@ -4,49 +4,58 @@ namespace zeus::core {
 
 namespace {
 
-engine::QueryEngine::Options FromPlannerOptions(
+engine::EngineGroup::Options FromPlannerOptions(
     QueryPlanner::Options planner_options) {
-  engine::QueryEngine::Options opts;
-  opts.planner = std::move(planner_options);
+  engine::EngineGroup::Options opts;
+  opts.engine.planner = std::move(planner_options);
+  return opts;
+}
+
+engine::EngineGroup::Options FromEngineOptions(
+    engine::QueryEngine::Options engine_options) {
+  engine::EngineGroup::Options opts;
+  opts.engine = std::move(engine_options);
   return opts;
 }
 
 }  // namespace
 
 ZeusDb::ZeusDb(QueryPlanner::Options planner_options)
-    : engine_(FromPlannerOptions(std::move(planner_options))) {}
+    : group_(FromPlannerOptions(std::move(planner_options))) {}
 
 ZeusDb::ZeusDb(engine::QueryEngine::Options options)
-    : engine_(std::move(options)) {}
+    : group_(FromEngineOptions(std::move(options))) {}
+
+ZeusDb::ZeusDb(Options options) : group_(std::move(options)) {}
 
 common::Status ZeusDb::RegisterDataset(const std::string& name,
                                        video::SyntheticDataset dataset) {
-  return engine_.RegisterDataset(name, std::move(dataset));
+  return group_.RegisterDataset(name, std::move(dataset));
 }
 
 common::Result<ZeusDb::QueryResult> ZeusDb::Execute(
     const std::string& dataset_name, const std::string& sql) {
-  return engine_.Execute(dataset_name, sql);
+  return group_.Execute(dataset_name, sql);
 }
 
 common::Result<ZeusDb::QueryResult> ZeusDb::Execute(
     const std::string& dataset_name, const ActionQuery& query) {
-  return engine_.Execute(dataset_name, query);
+  return group_.Execute(dataset_name, query);
 }
 
 common::Result<engine::QueryTicket> ZeusDb::Submit(
     const std::string& dataset_name, const std::string& sql) {
-  return engine_.Submit(dataset_name, sql);
+  return group_.Submit(dataset_name, sql);
 }
 
 common::Result<engine::QueryTicket> ZeusDb::Submit(
     const std::string& dataset_name, const ActionQuery& query) {
-  return engine_.Submit(dataset_name, query);
+  return group_.Submit(dataset_name, query);
 }
 
 std::shared_ptr<QueryPlan> ZeusDb::CachedPlan(const std::string& dataset_name,
                                               const ActionQuery& query) const {
-  return engine_.CachedPlan(dataset_name, query);
+  return group_.CachedPlan(dataset_name, query);
 }
 
 std::string ZeusDb::ExplainPlan(const QueryPlan& plan) {

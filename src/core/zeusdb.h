@@ -6,6 +6,7 @@
 
 #include "core/query.h"
 #include "core/query_planner.h"
+#include "engine/engine_group.h"
 #include "engine/query_engine.h"
 #include "video/dataset.h"
 
@@ -20,9 +21,11 @@ namespace zeus::core {
 //       "SELECT segment_ids FROM UDF(video) "
 //       "WHERE action_class = 'cross-right' AND accuracy >= 85%");
 //
-// ZeusDb is a thin shell over engine::QueryEngine: plans are cached in a
-// thread-safe single-flight PlanCache (optionally persisted to disk), the
-// executor is chosen by the ExecutorFactory (inter-video batched by
+// ZeusDb is a thin shell over engine::EngineGroup: datasets are sharded by
+// consistent hashing across `Options::num_shards` QueryEngines (default 1 —
+// exactly the classic single-engine behavior), plans are cached per shard
+// in a thread-safe single-flight PlanCache (optionally persisted to disk),
+// the executor is chosen by the ExecutorFactory (inter-video batched by
 // default for multi-video test splits), and queries can be submitted
 // asynchronously:
 //
@@ -36,21 +39,26 @@ namespace zeus::core {
 class ZeusDb {
  public:
   using QueryResult = engine::QueryResult;
+  // Top-level configuration: Options::num_shards engines behind one facade,
+  // Options::engine for the per-shard knobs.
+  using Options = engine::EngineGroup::Options;
 
   explicit ZeusDb(QueryPlanner::Options planner_options = {});
-  // Full control over the engine (workers, cache bound, persistence dir,
-  // default executor selection).
+  // Full control over one engine shard (workers, cache bound, persistence
+  // dir, default executor selection); num_shards stays 1.
   explicit ZeusDb(engine::QueryEngine::Options options);
+  // Full control including sharding (Options::num_shards engines).
+  explicit ZeusDb(Options options);
 
   // Takes ownership of the dataset under `name`.
   common::Status RegisterDataset(const std::string& name,
                                  video::SyntheticDataset dataset);
 
   bool HasDataset(const std::string& name) const {
-    return engine_.HasDataset(name);
+    return group_.HasDataset(name);
   }
   const video::SyntheticDataset* dataset(const std::string& name) const {
-    return engine_.dataset(name);
+    return group_.dataset(name);
   }
 
   // Parses and runs a query against a registered dataset's test split,
@@ -77,13 +85,21 @@ class ZeusDb {
   // Human-readable description of a plan (the EXPLAIN output body).
   static std::string ExplainPlan(const QueryPlan& plan);
 
-  // The underlying engine, for advanced control (per-query executor
-  // overrides, cache introspection).
-  engine::QueryEngine& engine() { return engine_; }
-  const engine::QueryEngine& engine() const { return engine_; }
+  // The underlying shard group, for advanced control (per-query executor
+  // overrides and priorities, routing introspection, per-shard caches).
+  engine::EngineGroup& group() { return group_; }
+  const engine::EngineGroup& group() const { return group_; }
+
+  // The home-shard engine for a dataset (with the default num_shards == 1
+  // every dataset maps to the one engine behind the facade). Engine-wide
+  // aggregates live on group() — a single shard's counters are not the
+  // whole story when num_shards > 1.
+  engine::QueryEngine& engine(const std::string& dataset_name) {
+    return group_.engine_for(dataset_name);
+  }
 
  private:
-  engine::QueryEngine engine_;
+  engine::EngineGroup group_;
 };
 
 }  // namespace zeus::core

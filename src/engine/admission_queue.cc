@@ -1,0 +1,91 @@
+#include "engine/admission_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace zeus::engine {
+
+void AdmissionQueue::SetWeight(const std::string& tenant, int weight) {
+  Tenant& t = tenants_[tenant];
+  if (std::find(rr_.begin(), rr_.end(), tenant) == rr_.end()) {
+    rr_.push_back(tenant);
+  }
+  t.weight = std::max(1, weight);
+}
+
+void AdmissionQueue::Push(const std::string& tenant, int priority,
+                          Payload payload) {
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) rr_.push_back(tenant);
+  Tenant& t = it->second;
+
+  Item item;
+  item.priority = priority;
+  item.seq = next_seq_++;
+  item.payload = std::move(payload);
+
+  // Insert before the first strictly-lower-priority item, scanning from the
+  // back: a same-priority push (the common case) appends in O(1).
+  auto pos = t.items.end();
+  while (pos != t.items.begin() && std::prev(pos)->priority < priority) {
+    --pos;
+  }
+  t.items.insert(pos, std::move(item));
+  ++size_;
+}
+
+AdmissionQueue::Payload AdmissionQueue::Pop() {
+  if (size_ == 0 || rr_.empty()) return nullptr;
+
+  int max_priority = 0;
+  bool found = false;
+  for (const auto& [name, t] : tenants_) {
+    if (t.items.empty()) continue;
+    if (!found || t.items.front().priority > max_priority) {
+      max_priority = t.items.front().priority;
+      found = true;
+    }
+  }
+  if (!found) return nullptr;
+
+  const size_t n = rr_.size();
+  for (size_t off = 0; off < n; ++off) {
+    const size_t idx = (cursor_ + off) % n;
+    Tenant& t = tenants_[rr_[idx]];
+    if (t.items.empty() || t.items.front().priority != max_priority) continue;
+    if (idx != cursor_) {
+      // The turn moved on: the tenant the cursor left behind starts its
+      // next turn fresh, and so does the one we just reached.
+      tenants_[rr_[cursor_]].served = 0;
+      cursor_ = idx;
+      t.served = 0;
+    }
+    Payload out = std::move(t.items.front().payload);
+    t.items.pop_front();
+    --size_;
+    if (++t.served >= t.weight || t.items.empty()) {
+      t.served = 0;
+      cursor_ = (idx + 1) % n;
+    }
+    return out;
+  }
+  return nullptr;
+}
+
+size_t AdmissionQueue::Purge(const std::function<bool(const Payload&)>& pred) {
+  size_t removed = 0;
+  for (auto& [name, t] : tenants_) {
+    for (auto it = t.items.begin(); it != t.items.end();) {
+      if (pred(it->payload)) {
+        it = t.items.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  size_ -= removed;
+  return removed;
+}
+
+}  // namespace zeus::engine

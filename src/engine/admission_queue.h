@@ -1,0 +1,74 @@
+#ifndef ZEUS_ENGINE_ADMISSION_QUEUE_H_
+#define ZEUS_ENGINE_ADMISSION_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace zeus::engine {
+
+// Priority- and fairness-aware admission queue: the scheduling policy behind
+// QueryEngine::Submit, factored out so the ordering rules are deterministic
+// and unit-testable without threads.
+//
+// Ordering rules, in precedence order:
+//   1. Priority — a higher-priority item always pops before a lower one,
+//      regardless of tenant (within a tenant it also jumps the line).
+//   2. Weighted round-robin across tenants — among tenants whose head item
+//      ties at the top priority, service rotates tenant by tenant, so one
+//      tenant flooding the queue cannot starve the rest. A tenant with
+//      weight w (default 1, see SetWeight) receives up to w consecutive
+//      pops per turn — a deficit-style weighted share.
+//   3. FIFO — within one tenant and one priority, admission order holds.
+//
+// A tenant is a dataset name: per-dataset fairness is the multi-tenant story
+// (each dataset ~ one tenant's traffic). The payload is opaque; QueryEngine
+// stores its ticket state there. NOT thread-safe — the engine guards every
+// call with its queue mutex.
+class AdmissionQueue {
+ public:
+  using Payload = std::shared_ptr<void>;
+
+  // Weight must be >= 1 (clamped). Takes effect on the tenant's next turn.
+  void SetWeight(const std::string& tenant, int weight);
+
+  void Push(const std::string& tenant, int priority, Payload payload);
+
+  // Highest-priority item under the rules above; nullptr when empty.
+  Payload Pop();
+
+  // Removes every item for which `pred` returns true (e.g. cancelled
+  // tickets, which must not pin queue slots). Returns the number removed.
+  size_t Purge(const std::function<bool(const Payload&)>& pred);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Item {
+    int priority = 0;
+    uint64_t seq = 0;
+    Payload payload;
+  };
+  struct Tenant {
+    // Sorted by (priority desc, seq asc); same-priority pushes append, so
+    // the common flood case is O(1).
+    std::deque<Item> items;
+    int weight = 1;
+    int served = 0;  // consecutive pops in the current turn
+  };
+
+  std::map<std::string, Tenant> tenants_;
+  std::vector<std::string> rr_;  // round-robin order: first-seen tenant order
+  size_t cursor_ = 0;            // rr_ index currently being served
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_ADMISSION_QUEUE_H_

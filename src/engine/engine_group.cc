@@ -1,0 +1,93 @@
+#include "engine/engine_group.h"
+
+#include <utility>
+
+namespace zeus::engine {
+
+EngineGroup::EngineGroup() : EngineGroup(Options()) {}
+
+EngineGroup::EngineGroup(Options options)
+    : opts_(std::move(options)),
+      ring_(opts_.num_shards, opts_.vnodes_per_shard) {
+  shards_.reserve(static_cast<size_t>(ring_.num_shards()));
+  for (int i = 0; i < ring_.num_shards(); ++i) {
+    shards_.push_back(std::make_unique<QueryEngine>(opts_.engine));
+  }
+}
+
+common::Status EngineGroup::RegisterDataset(const std::string& name,
+                                            video::SyntheticDataset dataset) {
+  return engine_for(name).RegisterDataset(name, std::move(dataset));
+}
+
+bool EngineGroup::HasDataset(const std::string& name) const {
+  return shard(ring_.ShardFor(name)).HasDataset(name);
+}
+
+const video::SyntheticDataset* EngineGroup::dataset(
+    const std::string& name) const {
+  return shard(ring_.ShardFor(name)).dataset(name);
+}
+
+common::Status EngineGroup::SetDatasetWeight(const std::string& name,
+                                             int weight) {
+  return engine_for(name).SetDatasetWeight(name, weight);
+}
+
+common::Result<QueryTicket> EngineGroup::Submit(const std::string& dataset_name,
+                                                const std::string& sql) {
+  return engine_for(dataset_name).Submit(dataset_name, sql);
+}
+
+common::Result<QueryTicket> EngineGroup::Submit(
+    const std::string& dataset_name, const core::ActionQuery& query) {
+  return engine_for(dataset_name).Submit(dataset_name, query);
+}
+
+common::Result<QueryTicket> EngineGroup::Submit(const std::string& dataset_name,
+                                                const core::ActionQuery& query,
+                                                const QueryOptions& opts) {
+  return engine_for(dataset_name).Submit(dataset_name, query, opts);
+}
+
+common::Result<QueryResult> EngineGroup::Execute(
+    const std::string& dataset_name, const std::string& sql) {
+  return engine_for(dataset_name).Execute(dataset_name, sql);
+}
+
+common::Result<QueryResult> EngineGroup::Execute(
+    const std::string& dataset_name, const core::ActionQuery& query) {
+  return engine_for(dataset_name).Execute(dataset_name, query);
+}
+
+common::Result<QueryResult> EngineGroup::Execute(
+    const std::string& dataset_name, const core::ActionQuery& query,
+    const QueryOptions& opts) {
+  return engine_for(dataset_name).Execute(dataset_name, query, opts);
+}
+
+std::shared_ptr<core::QueryPlan> EngineGroup::CachedPlan(
+    const std::string& dataset_name, const core::ActionQuery& query) const {
+  return shard(ring_.ShardFor(dataset_name))
+      .CachedPlan(dataset_name, query);
+}
+
+long EngineGroup::planner_runs() const {
+  long total = 0;
+  for (const auto& s : shards_) total += s->plan_cache().planner_runs();
+  return total;
+}
+
+long EngineGroup::disk_loads() const {
+  long total = 0;
+  for (const auto& s : shards_) total += s->plan_cache().disk_loads();
+  return total;
+}
+
+size_t EngineGroup::pending() const {
+  size_t total = 0;
+  for (const auto& s : shards_) total += s->pending();
+  return total;
+}
+
+}  // namespace zeus::engine

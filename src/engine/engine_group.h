@@ -1,0 +1,108 @@
+#ifndef ZEUS_ENGINE_ENGINE_GROUP_H_
+#define ZEUS_ENGINE_ENGINE_GROUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "engine/shard_ring.h"
+
+namespace zeus::engine {
+
+// Sharded serving layer: N QueryEngine shards behind one Submit()/Execute()
+// front. Every dataset is routed by consistent hashing on its name — the
+// dataset component of every PlanKey — to exactly one home shard
+// (ShardRing), so all of a dataset's queries hit one plan cache and its
+// plans stay hot there instead of being replanned N times. Each shard keeps
+// its own worker pool, admission queue and PlanCache; shards share nothing
+// but the process-wide compute pool, so the group scales the serving layer
+// without adding cross-shard synchronization.
+//
+// The routing changes which threads run a query, never its answer: results
+// are bit-identical to a single engine executing the same queries (asserted
+// in tests/engine_group_test.cc).
+//
+// num_shards == 1 is exactly the single-engine behavior ZeusDb always had;
+// ZeusDb fronts an EngineGroup and defaults to that.
+class EngineGroup {
+ public:
+  struct Options {
+    // Number of QueryEngine shards (clamped to >= 1).
+    int num_shards = 1;
+    // Virtual nodes per shard on the routing ring; more nodes = smoother
+    // key distribution, slightly larger ring.
+    int vnodes_per_shard = 64;
+    // Per-shard engine configuration (workers, queue bound, cache,
+    // planner, default execution options). A shared cache.persist_dir is
+    // safe: each plan key lives on exactly one shard.
+    QueryEngine::Options engine;
+  };
+
+  EngineGroup();  // default Options (one shard)
+  explicit EngineGroup(Options options);
+
+  EngineGroup(const EngineGroup&) = delete;
+  EngineGroup& operator=(const EngineGroup&) = delete;
+
+  // Registers the dataset on its home shard (only there: the ring keeps
+  // every later query for it on the same shard).
+  common::Status RegisterDataset(const std::string& name,
+                                 video::SyntheticDataset dataset);
+  bool HasDataset(const std::string& name) const;
+  const video::SyntheticDataset* dataset(const std::string& name) const;
+
+  // Fair-share weight of a dataset in its home shard's admission queue.
+  common::Status SetDatasetWeight(const std::string& name, int weight);
+
+  // Submission and execution route to the dataset's home shard; the ticket
+  // API is unchanged from QueryEngine.
+  common::Result<QueryTicket> Submit(const std::string& dataset_name,
+                                     const std::string& sql);
+  common::Result<QueryTicket> Submit(const std::string& dataset_name,
+                                     const core::ActionQuery& query);
+  common::Result<QueryTicket> Submit(const std::string& dataset_name,
+                                     const core::ActionQuery& query,
+                                     const QueryOptions& opts);
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const std::string& sql);
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const core::ActionQuery& query);
+  common::Result<QueryResult> Execute(const std::string& dataset_name,
+                                      const core::ActionQuery& query,
+                                      const QueryOptions& opts);
+
+  std::shared_ptr<core::QueryPlan> CachedPlan(
+      const std::string& dataset_name, const core::ActionQuery& query) const;
+
+  // Routing introspection.
+  int ShardFor(const std::string& dataset_name) const {
+    return ring_.ShardFor(dataset_name);
+  }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  QueryEngine& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  const QueryEngine& shard(int i) const {
+    return *shards_[static_cast<size_t>(i)];
+  }
+  // The home-shard engine for a dataset (advanced control: per-shard plan
+  // cache, engine options).
+  QueryEngine& engine_for(const std::string& dataset_name) {
+    return shard(ShardFor(dataset_name));
+  }
+
+  // Aggregate counters across shards (tests / monitoring).
+  long planner_runs() const;
+  long disk_loads() const;
+  size_t pending() const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  Options opts_;
+  ShardRing ring_;
+  std::vector<std::unique_ptr<QueryEngine>> shards_;
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_ENGINE_GROUP_H_

@@ -27,6 +27,9 @@ class OwningLocalizer : public core::Localizer {
     return inner_->Localize(videos);
   }
   std::string name() const override { return inner_->name(); }
+  void SetCancellation(core::CancellationToken token) override {
+    inner_->SetCancellation(std::move(token));
+  }
 
  private:
   std::unique_ptr<common::Rng> rng_;

@@ -33,9 +33,13 @@ const char* ExecutorKindName(ExecutorKind kind);
 // input with *ok (when given) set to false.
 ExecutorKind ParseExecutorKind(const std::string& name, bool* ok = nullptr);
 
-// Per-query execution knobs, resolved by ExecutorFactory.
+// Per-query execution knobs, resolved by ExecutorFactory. (Submit() also
+// reads the scheduling fields; see engine::QueryOptions.)
 struct ExecutionOptions {
   ExecutorKind executor = ExecutorKind::kAuto;
+  // Admission priority: higher runs earlier. Ties keep FIFO order within a
+  // dataset and round-robin fairness across datasets (see AdmissionQueue).
+  int priority = 0;
   // BatchedExecutor: maximum invocations fused into one modeled launch.
   int max_batch = 16;
   // BatchedExecutor lockstep stepping pool; nullptr falls back to

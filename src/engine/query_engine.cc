@@ -4,6 +4,7 @@
 
 #include "common/stringutil.h"
 #include "common/timer.h"
+#include "core/cancellation.h"
 #include "core/executor.h"
 
 namespace zeus::engine {
@@ -39,7 +40,12 @@ struct QueryTicket::Shared {
   QueryState state = QueryState::kQueued;
   double progress = 0.0;
   std::optional<common::Result<QueryResult>> result;
-  std::atomic<bool> cancel{false};
+  // Shared with the CancellationToken threaded into the executors, so a
+  // Cancel() reaches a localizer already inside its lockstep rounds.
+  std::shared_ptr<std::atomic<bool>> cancel =
+      std::make_shared<std::atomic<bool>>(false);
+
+  bool cancel_requested() const { return cancel->load(); }
 };
 
 QueryState QueryTicket::state() const {
@@ -57,7 +63,7 @@ bool QueryTicket::done() const {
   return shared_->result.has_value();
 }
 
-void QueryTicket::Cancel() { shared_->cancel.store(true); }
+void QueryTicket::Cancel() { shared_->cancel->store(true); }
 
 const common::Result<QueryResult>& QueryTicket::Wait() const {
   std::unique_lock<std::mutex> lock(shared_->mu);
@@ -93,11 +99,11 @@ QueryEngine::~QueryEngine() {
     if (w.joinable()) w.join();
   }
   // Resolve whatever never reached a worker so Wait() cannot hang.
-  for (auto& t : pending_) {
-    Finish(t.get(), QueryState::kCancelled,
+  pending_.Purge([](const AdmissionQueue::Payload& p) {
+    Finish(static_cast<QueryTicket::Shared*>(p.get()), QueryState::kCancelled,
            common::Status::Cancelled("engine shut down"));
-  }
-  pending_.clear();
+    return true;
+  });
 }
 
 common::Status QueryEngine::RegisterDataset(const std::string& name,
@@ -122,6 +128,20 @@ const video::SyntheticDataset* QueryEngine::dataset(
   std::lock_guard<std::mutex> lock(datasets_mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+common::Status QueryEngine::SetDatasetWeight(const std::string& name,
+                                             int weight) {
+  if (!HasDataset(name)) {
+    return common::Status::NotFound("dataset '" + name +
+                                    "' is not registered");
+  }
+  if (weight < 1) {
+    return common::Status::InvalidArgument("weight must be >= 1");
+  }
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  pending_.SetWeight(name, weight);
+  return common::Status::Ok();
 }
 
 std::string QueryEngine::PlanKey(const std::string& dataset_name,
@@ -176,21 +196,19 @@ common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
     if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
       // Cancelled tickets must not pin queue slots: resolve and drop them
       // now instead of waiting for a worker to dequeue each one.
-      for (auto it = pending_.begin(); it != pending_.end();) {
-        if ((*it)->cancel.load()) {
-          Finish(it->get(), QueryState::kCancelled,
-                 common::Status::Cancelled("query cancelled"));
-          it = pending_.erase(it);
-        } else {
-          ++it;
-        }
-      }
+      pending_.Purge([](const AdmissionQueue::Payload& p) {
+        auto* t = static_cast<QueryTicket::Shared*>(p.get());
+        if (!t->cancel_requested()) return false;
+        Finish(t, QueryState::kCancelled,
+               common::Status::Cancelled("query cancelled"));
+        return true;
+      });
     }
     if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
       return common::Status::ResourceExhausted(common::Format(
           "admission queue full (%d pending)", opts_.max_pending));
     }
-    pending_.push_back(shared);
+    pending_.Push(dataset_name, exec.priority, shared);
     EnsureWorkersLocked();
   }
   queue_cv_.notify_one();
@@ -241,10 +259,9 @@ void QueryEngine::WorkerLoop() {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
       if (stopping_) return;
-      t = pending_.front();
-      pending_.pop_front();
+      t = std::static_pointer_cast<QueryTicket::Shared>(pending_.Pop());
     }
-    RunTicket(t);
+    if (t != nullptr) RunTicket(t);
   }
 }
 
@@ -255,7 +272,7 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
     t->progress = progress;
   };
   auto cancelled = [&] {
-    if (!t->cancel.load()) return false;
+    if (!t->cancel_requested()) return false;
     Finish(t.get(), QueryState::kCancelled,
            common::Status::Cancelled("query cancelled"));
     return true;
@@ -306,7 +323,16 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
     return;
   }
   out.executor = localizer.value()->name();
+  // Thread the ticket's cancel flag into the localizer: the executors poll
+  // it every lockstep round, so Cancel() aborts a long localization within
+  // one round instead of waiting for the pass to finish.
+  localizer.value()->SetCancellation(core::CancellationToken(t->cancel));
   core::RunResult run = localizer.value()->Localize(test_videos);
+  if (run.cancelled) {
+    Finish(t.get(), QueryState::kCancelled,
+           common::Status::Cancelled("query cancelled during execution"));
+    return;
+  }
 
   out.metrics = core::EvaluateVideos(test_videos, plan->targets, run.masks,
                                      core::EvalOptions{});

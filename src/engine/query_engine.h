@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -14,11 +13,17 @@
 
 #include "core/metrics.h"
 #include "core/query.h"
+#include "engine/admission_queue.h"
 #include "engine/executor_factory.h"
 #include "engine/plan_cache.h"
 #include "video/dataset.h"
 
 namespace zeus::engine {
+
+// Per-submission options: execution knobs plus the scheduling class the
+// admission queue reads (`priority`, higher = earlier; ties are FIFO within
+// a dataset and weighted round-robin across datasets).
+using QueryOptions = ExecutionOptions;
 
 // Everything one executed query produces. (ZeusDb re-exports this type; it
 // lives here so the engine layer has no dependency on the facade.)
@@ -86,9 +91,10 @@ class QueryTicket {
   bool done() const;
 
   // Requests cooperative cancellation. A queued query is dropped before it
-  // starts; a running query is cut at the next phase boundary (a cancel
-  // mid-execution lets the current localizer pass finish). Cancelled
-  // tickets resolve to StatusCode::kCancelled.
+  // starts; a running query is cut at the next phase boundary, and a query
+  // already inside the localizer aborts at the next lockstep round (the
+  // token is threaded into the executors), so long localizations stop
+  // within one round. Cancelled tickets resolve to StatusCode::kCancelled.
   void Cancel();
 
   // Blocks until the ticket is terminal and returns the outcome. The
@@ -105,8 +111,10 @@ class QueryTicket {
 };
 
 // The concurrent query engine behind ZeusDb: a registry of datasets, a
-// single-flight PlanCache, an ExecutorFactory, and a worker pool with a
-// bounded admission queue.
+// single-flight PlanCache, an ExecutorFactory, and a worker pool draining a
+// bounded, priority- and fairness-aware admission queue (AdmissionQueue:
+// QueryOptions::priority first, weighted round-robin across datasets on
+// ties). Multi-shard serving stacks EngineGroup on top of N of these.
 //
 //   QueryEngine engine(options);
 //   engine.RegisterDataset("bdd", std::move(dataset));
@@ -147,6 +155,11 @@ class QueryEngine {
                                  video::SyntheticDataset dataset);
   bool HasDataset(const std::string& name) const;
   const video::SyntheticDataset* dataset(const std::string& name) const;
+
+  // Fair-share weight of a dataset in the admission queue (default 1): a
+  // dataset with weight w receives up to w consecutive grants per
+  // round-robin turn when priorities tie.
+  common::Status SetDatasetWeight(const std::string& name, int weight);
 
   // Asynchronous submission. Parse and registry errors surface here
   // synchronously; planning/execution errors surface through the ticket.
@@ -208,7 +221,7 @@ class QueryEngine {
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<QueryTicket::Shared>> pending_;
+  AdmissionQueue pending_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

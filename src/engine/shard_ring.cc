@@ -1,0 +1,52 @@
+#include "engine/shard_ring.h"
+
+#include <algorithm>
+
+#include "common/stringutil.h"
+
+namespace zeus::engine {
+
+uint64_t ShardRing::Hash(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // FNV-1a alone leaves similar short keys ("shard-0#1", "shard-0#2")
+  // correlated in the high bits the ring orders by; the splitmix64
+  // finalizer spreads them uniformly.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+ShardRing::ShardRing(int num_shards, int vnodes_per_shard)
+    : num_shards_(std::max(1, num_shards)) {
+  vnodes_per_shard = std::max(1, vnodes_per_shard);
+  ring_.reserve(static_cast<size_t>(num_shards_) * vnodes_per_shard);
+  for (int s = 0; s < num_shards_; ++s) {
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      ring_.emplace_back(Hash(common::Format("shard-%d#%d", s, v)), s);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int ShardRing::ShardFor(const std::string& key) const {
+  if (num_shards_ == 1) return 0;
+  const uint64_t h = Hash(key);
+  // First virtual node at or after h, wrapping past the top of the ring.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(h, 0),
+                             [](const std::pair<uint64_t, int>& a,
+                                const std::pair<uint64_t, int>& b) {
+                               return a.first < b.first;
+                             });
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace zeus::engine

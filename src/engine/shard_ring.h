@@ -1,0 +1,44 @@
+#ifndef ZEUS_ENGINE_SHARD_RING_H_
+#define ZEUS_ENGINE_SHARD_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zeus::engine {
+
+// Consistent-hash ring mapping keys (dataset names / PlanKey prefixes) to
+// shard ids. Each shard contributes `vnodes_per_shard` virtual nodes so the
+// key space splits evenly; a key lands on the first virtual node clockwise
+// from its hash. The properties EngineGroup's routing relies on:
+//
+//   - Stability: the same key maps to the same shard on every call and on
+//     every identically-constructed ring (the hash is deterministic, no
+//     process-local state), so a dataset's plan cache stays hot on exactly
+//     one shard.
+//   - Minimal movement: growing the ring from N to N+1 shards remaps only
+//     ~1/(N+1) of the keys — the fraction the new shard's virtual nodes
+//     capture — instead of reshuffling everything the way `hash % N` does.
+class ShardRing {
+ public:
+  explicit ShardRing(int num_shards, int vnodes_per_shard = 64);
+
+  // Shard owning `key`, in [0, num_shards).
+  int ShardFor(const std::string& key) const;
+
+  int num_shards() const { return num_shards_; }
+
+  // FNV-1a 64-bit: deterministic across processes and platforms (no seed,
+  // no size_t width dependence), well-mixed enough for ring placement.
+  static uint64_t Hash(const std::string& key);
+
+ private:
+  int num_shards_;
+  // (ring point, shard id), sorted by point.
+  std::vector<std::pair<uint64_t, int>> ring_;
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_SHARD_RING_H_

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Merge bench outputs into one BENCH_PR.json and gate regressions.
+
+Used by the CI bench-smoke job (see docs/CI.md for the schema):
+
+  # Combine a zeus bench JSON (bench_util.h BenchJson) with a
+  # google-benchmark JSON (bench_micro_substrate --benchmark_format=json):
+  bench_regress.py merge --zeus fig8.json --gbench micro.json -o BENCH_PR.json
+
+  # Fail (exit 1) when any metric regressed > 25% against the baseline:
+  bench_regress.py check --current BENCH_PR.json \
+      --baseline bench/baseline.json --tolerance 0.25
+
+Metric direction is inferred from the name: metrics ending in _seconds,
+_ns, _ms or named real_time/cpu_time are lower-is-better; everything else
+(fps, gflops, queries_per_sec, f1, items_per_second) is higher-is-better.
+Count-like metrics (planner_runs, clients_served, invocations) are
+informational and never gated. Only standard-library Python.
+"""
+
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_ns", "_ms", "real_time", "cpu_time")
+# Counters are informational, and each measurement is gated ONCE: fig8's
+# queries_per_sec is wall_seconds inverted and gbench's real_time is
+# items_per_second inverted — gating both sides would count one noise
+# spike twice.
+UNGATED = ("planner_runs", "clients_served", "invocations", "iterations",
+           "queries_per_sec", "real_time", "cpu_time")
+
+
+def lower_is_better(metric):
+    return metric.endswith(LOWER_IS_BETTER_SUFFIXES)
+
+
+def gated(metric):
+    return not any(metric.endswith(u) for u in UNGATED)
+
+
+def load_zeus(path):
+    """bench_util.h BenchJson schema -> {record/metric: value}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    bench = doc.get("bench", "bench")
+    for record in doc.get("records", []):
+        for metric, value in record.get("metrics", {}).items():
+            out["%s/%s/%s" % (bench, record["name"], metric)] = value
+    return out
+
+
+def load_gbench(path):
+    """google-benchmark --benchmark_format=json -> {record/metric: value}."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = "bench_micro_substrate/%s" % b["name"]
+        out[name + "/real_time"] = b["real_time"]
+        if "items_per_second" in b:
+            out[name + "/items_per_second"] = b["items_per_second"]
+    return out
+
+
+def cmd_merge(args):
+    metrics = {}
+    for path in args.zeus or []:
+        metrics.update(load_zeus(path))
+    for path in args.gbench or []:
+        metrics.update(load_gbench(path))
+    if not metrics:
+        print("bench_regress: no metrics collected", file=sys.stderr)
+        return 1
+    with open(args.output, "w") as f:
+        json.dump({"metrics": metrics}, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("wrote %s (%d metrics)" % (args.output, len(metrics)))
+    return 0
+
+
+def cmd_check(args):
+    with open(args.current) as f:
+        current = json.load(f)["metrics"]
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+
+    regressions = []
+    print("%-72s %12s %12s %8s" % ("metric", "baseline", "current", "delta"))
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            if gated(name):
+                regressions.append("%s: missing from current run" % name)
+            else:
+                print("%-72s %12.4g %12s     missing (informational)"
+                      % (name, base, "-"))
+            continue
+        if base == 0:
+            delta = 0.0
+        elif lower_is_better(name):
+            delta = (cur - base) / base  # positive = slower = worse
+        else:
+            delta = (base - cur) / base  # positive = less = worse
+        flag = ""
+        if gated(name) and delta > args.tolerance:
+            flag = "  << REGRESSION"
+            regressions.append(
+                "%s: %.4g -> %.4g (%.0f%% worse, tolerance %.0f%%)"
+                % (name, base, cur, 100 * delta, 100 * args.tolerance))
+        elif not gated(name):
+            flag = "  (informational)"
+        print("%-72s %12.4g %12.4g %+7.1f%%%s"
+              % (name, base, cur, 100 * delta, flag))
+    for name in sorted(set(current) - set(baseline)):
+        print("%-72s %12s %12.4g     new" % (name, "-", current[name]))
+
+    if regressions:
+        print("\n%d regression(s) beyond %.0f%% tolerance:"
+              % (len(regressions), 100 * args.tolerance), file=sys.stderr)
+        for r in regressions:
+            print("  " + r, file=sys.stderr)
+        return 1
+    print("\nno regressions beyond %.0f%% tolerance" % (100 * args.tolerance))
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    merge = sub.add_parser("merge", help="combine bench JSONs into one file")
+    merge.add_argument("--zeus", action="append",
+                       help="bench_util.h BenchJson output (repeatable)")
+    merge.add_argument("--gbench", action="append",
+                       help="google-benchmark JSON output (repeatable)")
+    merge.add_argument("-o", "--output", required=True)
+    merge.set_defaults(func=cmd_merge)
+
+    check = sub.add_parser("check", help="gate current metrics vs a baseline")
+    check.add_argument("--current", required=True)
+    check.add_argument("--baseline", required=True)
+    check.add_argument("--tolerance", type=float, default=0.25)
+    check.set_defaults(func=cmd_check)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
