@@ -12,10 +12,17 @@
 //                                       # distinct query), wall time and
 //                                       # queries/sec.
 // Shared flags:
-//   --shards N    # concurrent mode: shard datasets across N engines
-//                 # (EngineGroup consistent-hash routing; default 1)
-//   --reduced     # CI-sized run: smaller datasets, fewer queries/epochs
-//   --json PATH   # write machine-readable results (docs/CI.md schema)
+//   --shards N      # concurrent mode: shard datasets across N engines
+//                   # (EngineGroup consistent-hash routing; default 1).
+//                   # Recorded as `num_shards` in every measurement's JSON
+//                   # context, so regress gating never compares runs taken
+//                   # at different shard counts.
+//   --persist DIR   # concurrent mode: shared plan-persistence dir with
+//                   # warm start — plans trained by one run are served
+//                   # from cache by the next (the nightly CI trains once,
+//                   # then measures serving at --shards 1/2/4)
+//   --reduced       # CI-sized run: smaller datasets, fewer queries/epochs
+//   --json PATH     # write machine-readable results (docs/CI.md schema)
 
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +62,7 @@ struct BenchConfig {
   int shards = 1;
   bool reduced = false;
   std::string json_path;
+  std::string persist_dir;
 
   // Reduced mode trims the workload so the CI bench-smoke job finishes in
   // minutes: 3 queries (one per family), smaller datasets, fewer epochs.
@@ -151,6 +159,11 @@ int RunConcurrentClients(const BenchConfig& cfg) {
   gopts.engine.max_pending =
       static_cast<int>(cfg.num_queries()) * cfg.clients + 8;
   gopts.engine.planner = cfg.planner();
+  // Shared persistence across runs: a prior run's plans load from disk
+  // (warm start), so multi-shard-count sweeps measure serving, not
+  // replanning.
+  gopts.engine.cache.persist_dir = cfg.persist_dir;
+  gopts.engine.cache.warm_start = !cfg.persist_dir.empty();
   engine::EngineGroup group(gopts);
   for (auto family : {video::DatasetFamily::kBdd100kLike,
                       video::DatasetFamily::kThumos14Like,
@@ -218,12 +231,15 @@ int RunConcurrentClients(const BenchConfig& cfg) {
   const double qps = wall_s > 0 ? static_cast<double>(done) / wall_s : 0.0;
   std::printf(
       "\n%zu/%zu clients served in %.1f s wall (%.2f queries/sec); planner "
-      "runs: %ld (want %zu: single-flight coalesces identical concurrent "
-      "queries)\n",
+      "runs: %ld (cold target %zu: single-flight coalesces identical "
+      "concurrent queries; 0 when a --persist dir is warm)\n",
       done, inflight.size(), wall_s, qps, group.planner_runs(),
       cfg.num_queries());
-  const std::string rec = common::Format("concurrent/clients%d/shards%d",
-                                         cfg.clients, cfg.shards);
+  // The shard count is context, not part of the record name: bench_regress
+  // folds it into the metric identity, so a --shards 2 run can never be
+  // gated against a --shards 1 baseline.
+  const std::string rec = common::Format("concurrent/clients%d", cfg.clients);
+  json.AddContext(rec, "num_shards", static_cast<double>(cfg.shards));
   json.Add(rec, "wall_seconds", wall_s);
   json.Add(rec, "queries_per_sec", qps);
   json.Add(rec, "planner_runs", static_cast<double>(group.planner_runs()));
@@ -245,6 +261,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       cfg.shards = std::max(1, std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--persist") == 0 && i + 1 < argc) {
+      cfg.persist_dir = argv[i + 1];
     }
   }
   return cfg.clients > 0 ? RunConcurrentClients(cfg) : RunClassic(cfg);

@@ -31,7 +31,9 @@ namespace zeus::bench {
 //   {
 //     "bench": "<binary name>",
 //     "records": [
-//       {"name": "<record name>", "metrics": {"<metric>": <number>, ...}},
+//       {"name": "<record name>",
+//        "context": {"<dimension>": <number>, ...},   // optional
+//        "metrics": {"<metric>": <number>, ...}},
 //       ...
 //     ]
 //   }
@@ -39,6 +41,13 @@ namespace zeus::bench {
 // Metric names carry their own direction convention: *_seconds / *_ns are
 // lower-is-better, everything else (fps, gflops, queries_per_sec, f1) is
 // higher-is-better — tools/bench_regress.py applies the gate accordingly.
+//
+// `context` records the workload dimensions a measurement was taken under
+// (e.g. num_shards for the sharded serving bench). bench_regress.py folds
+// the context into the metric's identity, so the regression gate can never
+// compare measurements taken under different dimensions — a 4-shard
+// wall-seconds number is a different metric from a 1-shard one, not a
+// regression of it.
 class BenchJson {
  public:
   explicit BenchJson(std::string bench_name)
@@ -46,13 +55,14 @@ class BenchJson {
 
   void Add(const std::string& record_name, const std::string& metric,
            double value) {
-    for (auto& r : records_) {
-      if (r.name == record_name) {
-        r.metrics[metric] = value;
-        return;
-      }
-    }
-    records_.push_back({record_name, {{metric, value}}});
+    Record(record_name).metrics[metric] = value;
+  }
+
+  // Tags one record with a workload dimension (part of the metric identity
+  // downstream, see above).
+  void AddContext(const std::string& record_name, const std::string& key,
+                  double value) {
+    Record(record_name).context[key] = value;
   }
 
   // Writes the collected records; prints a notice so CI logs show the
@@ -67,9 +77,19 @@ class BenchJson {
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [",
                  bench_name_.c_str());
     for (size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
-      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"metrics\": {",
-                   i == 0 ? "" : ",", r.name.c_str());
+      const RecordData& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", ", i == 0 ? "" : ",",
+                   r.name.c_str());
+      if (!r.context.empty()) {
+        std::fprintf(f, "\"context\": {");
+        size_t j = 0;
+        for (const auto& [key, value] : r.context) {
+          std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
+                       key.c_str(), value);
+        }
+        std::fprintf(f, "}, ");
+      }
+      std::fprintf(f, "\"metrics\": {");
       size_t j = 0;
       for (const auto& [metric, value] : r.metrics) {
         std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
@@ -85,12 +105,22 @@ class BenchJson {
   }
 
  private:
-  struct Record {
+  struct RecordData {
     std::string name;
+    std::map<std::string, double> context;
     std::map<std::string, double> metrics;
   };
+
+  RecordData& Record(const std::string& record_name) {
+    for (auto& r : records_) {
+      if (r.name == record_name) return r;
+    }
+    records_.push_back({record_name, {}, {}});
+    return records_.back();
+  }
+
   std::string bench_name_;
-  std::vector<Record> records_;
+  std::vector<RecordData> records_;
 };
 
 // Shared flag parsing: the path following "--json", or "" when absent.

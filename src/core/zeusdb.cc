@@ -33,6 +33,11 @@ common::Status ZeusDb::RegisterDataset(const std::string& name,
   return group_.RegisterDataset(name, std::move(dataset));
 }
 
+common::Result<engine::EngineGroup::ResizeReport> ZeusDb::ResizeShards(
+    int new_num_shards) {
+  return group_.Resize(new_num_shards);
+}
+
 common::Result<ZeusDb::QueryResult> ZeusDb::Execute(
     const std::string& dataset_name, const std::string& sql) {
   return group_.Execute(dataset_name, sql);

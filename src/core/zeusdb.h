@@ -54,6 +54,16 @@ class ZeusDb {
   common::Status RegisterDataset(const std::string& name,
                                  video::SyntheticDataset dataset);
 
+  // Live shard-count change (elastic serving). Only datasets whose
+  // consistent-hash owner changes are drained and re-homed; their trained
+  // plans follow through the shared plan-persistence directory instead of
+  // being replanned. See engine::EngineGroup::Resize for the full
+  // contract. Answers are unaffected — a resized database returns
+  // bit-identical results.
+  common::Result<engine::EngineGroup::ResizeReport> ResizeShards(
+      int new_num_shards);
+  int num_shards() const { return group_.num_shards(); }
+
   bool HasDataset(const std::string& name) const {
     return group_.HasDataset(name);
   }

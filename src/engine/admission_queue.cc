@@ -14,24 +14,41 @@ void AdmissionQueue::SetWeight(const std::string& tenant, int weight) {
 }
 
 void AdmissionQueue::Push(const std::string& tenant, int priority,
-                          Payload payload) {
+                          int aging_threshold, Payload payload) {
   auto [it, inserted] = tenants_.try_emplace(tenant);
   if (inserted) rr_.push_back(tenant);
   Tenant& t = it->second;
 
   Item item;
   item.priority = priority;
+  item.aging_threshold = std::max(0, aging_threshold);
   item.seq = next_seq_++;
+  item.enqueue_tick = tick_;
   item.payload = std::move(payload);
-
-  // Insert before the first strictly-lower-priority item, scanning from the
-  // back: a same-priority push (the common case) appends in O(1).
-  auto pos = t.items.end();
-  while (pos != t.items.begin() && std::prev(pos)->priority < priority) {
-    --pos;
-  }
-  t.items.insert(pos, std::move(item));
+  t.items.push_back(std::move(item));
   ++size_;
+}
+
+int AdmissionQueue::EffectivePriority(const Item& item) const {
+  if (item.aging_threshold <= 0) return item.priority;
+  const uint64_t waited = tick_ - item.enqueue_tick;
+  return item.priority +
+         static_cast<int>(waited / static_cast<uint64_t>(item.aging_threshold));
+}
+
+size_t AdmissionQueue::BestIndex(const Tenant& t) const {
+  size_t best = 0;
+  int best_priority = EffectivePriority(t.items[0]);
+  for (size_t i = 1; i < t.items.size(); ++i) {
+    const int p = EffectivePriority(t.items[i]);
+    // Strictly greater: earlier seq (pushed first, hence scanned first)
+    // wins ties, preserving FIFO within a band.
+    if (p > best_priority) {
+      best = i;
+      best_priority = p;
+    }
+  }
+  return best;
 }
 
 AdmissionQueue::Payload AdmissionQueue::Pop() {
@@ -41,8 +58,9 @@ AdmissionQueue::Payload AdmissionQueue::Pop() {
   bool found = false;
   for (const auto& [name, t] : tenants_) {
     if (t.items.empty()) continue;
-    if (!found || t.items.front().priority > max_priority) {
-      max_priority = t.items.front().priority;
+    const int p = EffectivePriority(t.items[BestIndex(t)]);
+    if (!found || p > max_priority) {
+      max_priority = p;
       found = true;
     }
   }
@@ -52,7 +70,9 @@ AdmissionQueue::Payload AdmissionQueue::Pop() {
   for (size_t off = 0; off < n; ++off) {
     const size_t idx = (cursor_ + off) % n;
     Tenant& t = tenants_[rr_[idx]];
-    if (t.items.empty() || t.items.front().priority != max_priority) continue;
+    if (t.items.empty()) continue;
+    const size_t best = BestIndex(t);
+    if (EffectivePriority(t.items[best]) != max_priority) continue;
     if (idx != cursor_) {
       // The turn moved on: the tenant the cursor left behind starts its
       // next turn fresh, and so does the one we just reached.
@@ -60,9 +80,10 @@ AdmissionQueue::Payload AdmissionQueue::Pop() {
       cursor_ = idx;
       t.served = 0;
     }
-    Payload out = std::move(t.items.front().payload);
-    t.items.pop_front();
+    Payload out = std::move(t.items[best].payload);
+    t.items.erase(t.items.begin() + static_cast<long>(best));
     --size_;
+    ++tick_;
     if (++t.served >= t.weight || t.items.empty()) {
       t.served = 0;
       cursor_ = (idx + 1) % n;
@@ -70,6 +91,11 @@ AdmissionQueue::Payload AdmissionQueue::Pop() {
     return out;
   }
   return nullptr;
+}
+
+size_t AdmissionQueue::PendingFor(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.items.size();
 }
 
 size_t AdmissionQueue::Purge(const std::function<bool(const Payload&)>& pred) {

@@ -16,14 +16,29 @@ namespace zeus::engine {
 // and unit-testable without threads.
 //
 // Ordering rules, in precedence order:
-//   1. Priority — a higher-priority item always pops before a lower one,
-//      regardless of tenant (within a tenant it also jumps the line).
-//   2. Weighted round-robin across tenants — among tenants whose head item
-//      ties at the top priority, service rotates tenant by tenant, so one
-//      tenant flooding the queue cannot starve the rest. A tenant with
-//      weight w (default 1, see SetWeight) receives up to w consecutive
-//      pops per turn — a deficit-style weighted share.
-//   3. FIFO — within one tenant and one priority, admission order holds.
+//   1. Effective priority — a higher-priority item always pops before a
+//      lower one, regardless of tenant (within a tenant it also jumps the
+//      line). The effective priority is the submitted priority plus an
+//      aging boost: an item pushed with aging_threshold T > 0 gains one
+//      priority band for every T pops it has waited through
+//      (QueryOptions::aging_threshold). The boost is monotonic and
+//      unbounded, so a low-priority ticket under a continuous
+//      high-priority flood eventually ties the flood's band — at which
+//      point rule 2 rotates service onto it — and no ticket starves.
+//      T == 0 (the default) disables aging for that item.
+//   2. Weighted round-robin across tenants — among tenants whose best item
+//      ties at the top effective priority, service rotates tenant by
+//      tenant, so one tenant flooding the queue cannot starve the rest. A
+//      tenant with weight w (default 1, see SetWeight) receives up to w
+//      consecutive pops per turn — a deficit-style weighted share.
+//   3. FIFO — within one tenant and one effective priority, admission
+//      order holds.
+//
+// Time is logical: one tick per successful Pop(). That keeps the rules a
+// pure function of the push/pop sequence (no wall clock), which is what
+// makes aging deterministic and unit-testable; on a live engine each pop
+// corresponds to one query dispatch, so "T pops" is "T queries' worth of
+// waiting".
 //
 // A tenant is a dataset name: per-dataset fairness is the multi-tenant story
 // (each dataset ~ one tenant's traffic). The payload is opaque; QueryEngine
@@ -36,9 +51,15 @@ class AdmissionQueue {
   // Weight must be >= 1 (clamped). Takes effect on the tenant's next turn.
   void SetWeight(const std::string& tenant, int weight);
 
-  void Push(const std::string& tenant, int priority, Payload payload);
+  // `aging_threshold` <= 0 disables aging for this item.
+  void Push(const std::string& tenant, int priority, int aging_threshold,
+            Payload payload);
+  void Push(const std::string& tenant, int priority, Payload payload) {
+    Push(tenant, priority, 0, std::move(payload));
+  }
 
-  // Highest-priority item under the rules above; nullptr when empty.
+  // Best item under the rules above; nullptr when empty. Counts one tick
+  // of logical time when an item is returned.
   Payload Pop();
 
   // Removes every item for which `pred` returns true (e.g. cancelled
@@ -47,25 +68,38 @@ class AdmissionQueue {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  // Queued items for one tenant (EngineGroup uses this to drain a moving
+  // dataset during Resize).
+  size_t PendingFor(const std::string& tenant) const;
 
  private:
   struct Item {
     int priority = 0;
+    int aging_threshold = 0;  // pops waited per +1 band; 0 = no aging
     uint64_t seq = 0;
+    uint64_t enqueue_tick = 0;
     Payload payload;
   };
   struct Tenant {
-    // Sorted by (priority desc, seq asc); same-priority pushes append, so
-    // the common flood case is O(1).
+    // Plain FIFO push order. Aging makes the effective priority
+    // time-dependent, so the best item is found by scan — queues are
+    // bounded (QueryEngine::Options::max_pending), so the scan is cheap.
     std::deque<Item> items;
     int weight = 1;
     int served = 0;  // consecutive pops in the current turn
   };
 
+  // priority + aging boost at the current tick.
+  int EffectivePriority(const Item& item) const;
+  // Index of the tenant's best item: max effective priority, seq as the
+  // tie-break (FIFO). Caller guarantees the tenant is non-empty.
+  size_t BestIndex(const Tenant& t) const;
+
   std::map<std::string, Tenant> tenants_;
   std::vector<std::string> rr_;  // round-robin order: first-seen tenant order
   size_t cursor_ = 0;            // rr_ index currently being served
   uint64_t next_seq_ = 0;
+  uint64_t tick_ = 0;  // logical time: number of successful pops so far
   size_t size_ = 0;
 };
 

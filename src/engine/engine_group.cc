@@ -1,6 +1,11 @@
 #include "engine/engine_group.h"
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace zeus::engine {
 
@@ -9,82 +14,276 @@ EngineGroup::EngineGroup() : EngineGroup(Options()) {}
 EngineGroup::EngineGroup(Options options)
     : opts_(std::move(options)),
       ring_(opts_.num_shards, opts_.vnodes_per_shard) {
+  opts_.num_shards = ring_.num_shards();
+  // Shards never self-warm: an unfiltered warm load would pull every
+  // dataset's plans onto every shard. The group warms each shard below
+  // through a ring ownership filter instead.
+  QueryEngine::Options engine_opts = opts_.engine;
+  engine_opts.cache.warm_start = false;
   shards_.reserve(static_cast<size_t>(ring_.num_shards()));
   for (int i = 0; i < ring_.num_shards(); ++i) {
-    shards_.push_back(std::make_unique<QueryEngine>(opts_.engine));
+    shards_.push_back(std::make_shared<QueryEngine>(engine_opts));
   }
+  if (opts_.engine.cache.warm_start) {
+    for (int i = 0; i < ring_.num_shards(); ++i) {
+      shards_[static_cast<size_t>(i)]->plan_cache().WarmUp(
+          [this, i](const std::string& key) {
+            return ring_.ShardFor(QueryEngine::PlanKeyDataset(key)) == i;
+          });
+    }
+  }
+}
+
+std::function<bool(const std::string&)> EngineGroup::KeysOf(
+    const std::string& dataset_name) {
+  return [dataset_name](const std::string& key) {
+    return QueryEngine::PlanKeyDataset(key) == dataset_name;
+  };
+}
+
+std::shared_ptr<QueryEngine> EngineGroup::EngineForShared(
+    const std::string& dataset_name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(dataset_name))];
 }
 
 common::Status EngineGroup::RegisterDataset(const std::string& name,
                                             video::SyntheticDataset dataset) {
-  return engine_for(name).RegisterDataset(name, std::move(dataset));
+  // Serialized with Resize: a dataset registered mid-flip could otherwise
+  // land on a shard the new ring no longer routes it to.
+  std::lock_guard<std::mutex> resize_lock(resize_mu_);
+  return EngineForShared(name)->RegisterDataset(name, std::move(dataset));
 }
 
 bool EngineGroup::HasDataset(const std::string& name) const {
-  return shard(ring_.ShardFor(name)).HasDataset(name);
+  return EngineForShared(name)->HasDataset(name);
 }
 
 const video::SyntheticDataset* EngineGroup::dataset(
     const std::string& name) const {
-  return shard(ring_.ShardFor(name)).dataset(name);
+  return EngineForShared(name)->dataset(name);
 }
 
 common::Status EngineGroup::SetDatasetWeight(const std::string& name,
                                              int weight) {
-  return engine_for(name).SetDatasetWeight(name, weight);
+  return EngineForShared(name)->SetDatasetWeight(name, weight);
 }
 
 common::Result<QueryTicket> EngineGroup::Submit(const std::string& dataset_name,
                                                 const std::string& sql) {
-  return engine_for(dataset_name).Submit(dataset_name, sql);
+  // Route and enqueue under the shared lock: the ticket is either queued
+  // before a concurrent resize flips the ring (so the flip's drain waits
+  // for it) or routed by the new ring — never dropped in between.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(dataset_name))]->Submit(
+      dataset_name, sql);
 }
 
 common::Result<QueryTicket> EngineGroup::Submit(
     const std::string& dataset_name, const core::ActionQuery& query) {
-  return engine_for(dataset_name).Submit(dataset_name, query);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(dataset_name))]->Submit(
+      dataset_name, query);
 }
 
 common::Result<QueryTicket> EngineGroup::Submit(const std::string& dataset_name,
                                                 const core::ActionQuery& query,
                                                 const QueryOptions& opts) {
-  return engine_for(dataset_name).Submit(dataset_name, query, opts);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(dataset_name))]->Submit(
+      dataset_name, query, opts);
 }
 
 common::Result<QueryResult> EngineGroup::Execute(
     const std::string& dataset_name, const std::string& sql) {
-  return engine_for(dataset_name).Execute(dataset_name, sql);
+  auto parsed = core::QueryParser::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(dataset_name, parsed.value());
 }
 
 common::Result<QueryResult> EngineGroup::Execute(
     const std::string& dataset_name, const core::ActionQuery& query) {
-  return engine_for(dataset_name).Execute(dataset_name, query);
+  return Execute(dataset_name, query, opts_.engine.exec);
 }
 
 common::Result<QueryResult> EngineGroup::Execute(
     const std::string& dataset_name, const core::ActionQuery& query,
     const QueryOptions& opts) {
-  return engine_for(dataset_name).Execute(dataset_name, query, opts);
+  // Submit-then-wait rather than an inline run: the enqueue happens under
+  // the shared routing lock (same resize guarantee as Submit) while the
+  // minutes-long planning/execution never holds it. Queue back-pressure
+  // (kResourceExhausted) surfaces to the caller, like Submit.
+  auto ticket = Submit(dataset_name, query, opts);
+  if (!ticket.ok()) return ticket.status();
+  return ticket.value().Wait();
 }
 
 std::shared_ptr<core::QueryPlan> EngineGroup::CachedPlan(
     const std::string& dataset_name, const core::ActionQuery& query) const {
-  return shard(ring_.ShardFor(dataset_name))
-      .CachedPlan(dataset_name, query);
+  return EngineForShared(dataset_name)->CachedPlan(dataset_name, query);
+}
+
+int EngineGroup::ShardFor(const std::string& dataset_name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.ShardFor(dataset_name);
+}
+
+int EngineGroup::num_shards() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int>(shards_.size());
+}
+
+common::Result<EngineGroup::ResizeReport> EngineGroup::Resize(
+    int new_num_shards) {
+  if (new_num_shards < 1) {
+    return common::Status::InvalidArgument("num_shards must be >= 1");
+  }
+  std::lock_guard<std::mutex> resize_lock(resize_mu_);
+  // resize_mu_ is the only writer gate for ring_/shards_, so reading them
+  // here without mu_ is race-free; concurrent readers are unaffected.
+  const int old_n = static_cast<int>(shards_.size());
+
+  ResizeReport report;
+  report.old_num_shards = old_n;
+  report.new_num_shards = new_num_shards;
+  if (new_num_shards == old_n) return report;
+
+  std::vector<std::string> datasets;
+  for (const auto& shard : shards_) {
+    for (std::string& name : shard->dataset_names()) {
+      datasets.push_back(std::move(name));
+    }
+  }
+
+  ShardRing new_ring(new_num_shards, opts_.vnodes_per_shard);
+  // Minimal movement: only the ring owner diff is disturbed. On growth
+  // every move lands on an added shard; on shrink only the removed shards'
+  // datasets move.
+  std::vector<ShardRing::KeyMove> moves = ring_.DiffOwners(new_ring, datasets);
+
+  std::vector<std::shared_ptr<QueryEngine>> added;
+  QueryEngine::Options engine_opts = opts_.engine;
+  engine_opts.cache.warm_start = false;  // handoff below is filtered
+  for (int s = old_n; s < new_num_shards; ++s) {
+    added.push_back(std::make_shared<QueryEngine>(engine_opts));
+  }
+  auto engine_at = [&](int id) -> const std::shared_ptr<QueryEngine>& {
+    return id < old_n ? shards_[static_cast<size_t>(id)]
+                      : added[static_cast<size_t>(id - old_n)];
+  };
+
+  // Phase 1 (pre-flip, no locks): give every moved dataset's new home the
+  // dataset handle and its trained plans, so the instant the ring flips
+  // the new owner can serve from cache. Plans travel through the shared
+  // persist_dir catalog (disk manifests, PlanIo-verified); in-memory
+  // transfer is the fallback without persistence — the planner is never
+  // involved either way.
+  struct PendingMove {
+    ShardRing::KeyMove move;
+    std::shared_ptr<QueryEngine> src;
+  };
+  std::vector<PendingMove> pending;
+  pending.reserve(moves.size());
+  // Datasets arriving on each destination shard, so the catalog is
+  // scanned once per destination instead of once per moved dataset.
+  std::map<int, std::set<std::string>> arrivals;
+  for (ShardRing::KeyMove& m : moves) {
+    std::shared_ptr<QueryEngine> src = engine_at(m.from);
+    const std::shared_ptr<QueryEngine>& dst = engine_at(m.to);
+    std::shared_ptr<video::SyntheticDataset> ds = src->ShareDataset(m.key);
+    if (ds != nullptr) {
+      common::Status st = dst->RegisterDataset(m.key, std::move(ds));
+      if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
+        return st;
+      }
+    }
+    arrivals[m.to].insert(m.key);
+    pending.push_back({std::move(m), std::move(src)});
+  }
+  if (!opts_.engine.cache.persist_dir.empty()) {
+    for (const auto& [dst_id, names] : arrivals) {
+      report.plans_moved += static_cast<long>(
+          engine_at(dst_id)->plan_cache().WarmUp(
+              [&names](const std::string& key) {
+                return names.count(QueryEngine::PlanKeyDataset(key)) > 0;
+              }));
+    }
+  }
+  // Hand over whatever is (still) only in a source's memory — e.g. plans
+  // whose disk checkpoint failed to write, or everything when no
+  // persist_dir is configured. No-op for keys the warm load covered.
+  for (const PendingMove& p : pending) {
+    for (auto& [key, plan] : p.src->plan_cache().Snapshot(KeysOf(p.move.key))) {
+      if (engine_at(p.move.to)->plan_cache().Put(key, std::move(plan))) {
+        ++report.plans_moved;
+      }
+    }
+  }
+
+  // Phase 2: the flip. The only exclusive section — swap the ring and the
+  // shard vector; every submission from here on routes with the new ring.
+  std::vector<std::shared_ptr<QueryEngine>> retired;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ring_ = std::move(new_ring);
+    for (auto& shard : added) shards_.push_back(std::move(shard));
+    for (int s = old_n - 1; s >= new_num_shards; --s) {
+      retired.push_back(std::move(shards_[static_cast<size_t>(s)]));
+      shards_.pop_back();
+    }
+    opts_.num_shards = new_num_shards;
+  }
+
+  // Phase 3 (post-flip, no locks): let each moved dataset's in-flight tail
+  // finish on its old shard, then retire the dataset (and its cached
+  // plans) there. New traffic is already flowing to the new owners.
+  for (PendingMove& p : pending) {
+    p.src->DrainDataset(p.move.key);
+    // The drained tail may have trained plans AFTER the phase-1 handoff
+    // (a cold query that was queued on the old shard when the resize
+    // started). Hand those over too before forgetting them — without
+    // this, the no-persistence path would silently discard a freshly
+    // trained plan and force a replan on the new owner. With a
+    // persist_dir the plan is also on disk, but the direct transfer
+    // keeps the new owner warm either way. Put() is a no-op for keys
+    // already handed over in phase 1. shards_[p.move.to] is valid after
+    // the flip for growth and shrink alike (`to` always indexes the new
+    // layout), and resize_mu_ keeps the read race-free.
+    for (auto& [key, plan] : p.src->plan_cache().Snapshot(KeysOf(p.move.key))) {
+      if (shards_[static_cast<size_t>(p.move.to)]->plan_cache().Put(
+              key, std::move(plan))) {
+        ++report.plans_moved;
+      }
+    }
+    p.src->RemoveDataset(p.move.key);
+    p.src->plan_cache().EraseIf(KeysOf(p.move.key));
+    report.moved.push_back(p.move.key);
+    ZEUS_LOG(Info) << "resize: dataset '" << p.move.key << "' moved shard "
+                   << p.move.from << " -> " << p.move.to;
+  }
+  std::sort(report.moved.begin(), report.moved.end());
+  // Retired shards are fully drained (every dataset they owned was moved
+  // above); destruction joins their worker pools.
+  retired.clear();
+  return report;
 }
 
 long EngineGroup::planner_runs() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   long total = 0;
   for (const auto& s : shards_) total += s->plan_cache().planner_runs();
   return total;
 }
 
 long EngineGroup::disk_loads() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   long total = 0;
   for (const auto& s : shards_) total += s->plan_cache().disk_loads();
   return total;
 }
 
 size_t EngineGroup::pending() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   size_t total = 0;
   for (const auto& s : shards_) total += s->pending();
   return total;

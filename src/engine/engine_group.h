@@ -1,7 +1,10 @@
 #ifndef ZEUS_ENGINE_ENGINE_GROUP_H_
 #define ZEUS_ENGINE_ENGINE_GROUP_H_
 
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +26,22 @@ namespace zeus::engine {
 // are bit-identical to a single engine executing the same queries (asserted
 // in tests/engine_group_test.cc).
 //
+// Elasticity: Resize(new_num_shards) grows or shrinks the group live.
+// Routing state is guarded by a reader/writer lock that submissions take
+// shared — the resize holds it exclusively only for the ring/shard-vector
+// swap, not for drains or plan loads, so the serving path stays
+// lock-minimal. The consistent-hash ring's minimal-movement property keeps
+// the disruption to the few datasets whose owner actually changes; their
+// trained plans travel to the new home through the shared
+// `persist_dir` catalog (PlanIo manifests, see PlanCache::WarmUp) — never
+// through the planner.
+//
+// Warm start: with `engine.cache.persist_dir` set and
+// `engine.cache.warm_start` on, each shard preloads the persisted plans it
+// owns (and only those — the group warms each shard through a ring
+// ownership filter) at construction, so a restarted group serves its first
+// query from cache.
+//
 // num_shards == 1 is exactly the single-engine behavior ZeusDb always had;
 // ZeusDb fronts an EngineGroup and defaults to that.
 class EngineGroup {
@@ -35,8 +54,24 @@ class EngineGroup {
     int vnodes_per_shard = 64;
     // Per-shard engine configuration (workers, queue bound, cache,
     // planner, default execution options). A shared cache.persist_dir is
-    // safe: each plan key lives on exactly one shard.
+    // safe: each plan key lives on exactly one shard. It is also the plan
+    // handoff channel for Resize() and the warm-start source
+    // (cache.warm_start).
     QueryEngine::Options engine;
+  };
+
+  // What one Resize() did: which datasets changed home shard (exactly the
+  // ring owner diff — everything else was untouched) and how many trained
+  // plans were handed to new homes without replanning.
+  struct ResizeReport {
+    int old_num_shards = 0;
+    int new_num_shards = 0;
+    // Datasets whose ring owner changed, drained and re-homed.
+    std::vector<std::string> moved;
+    // Plans delivered to new home shards: persist-dir warm loads plus
+    // direct in-memory transfers (the fallback when no persist_dir is
+    // configured). Never includes a planner run.
+    long plans_moved = 0;
   };
 
   EngineGroup();  // default Options (one shard)
@@ -44,6 +79,20 @@ class EngineGroup {
 
   EngineGroup(const EngineGroup&) = delete;
   EngineGroup& operator=(const EngineGroup&) = delete;
+
+  // Live shard-count change. Growth builds the new shards, hands every
+  // moved dataset (ring owner diff only — the consistent-hash minimal
+  // movement property) and its trained plans to the new home, then flips
+  // the ring under the exclusive lock; shrink additionally drains and
+  // retires the removed shards. In-flight and queued tickets on a moving
+  // dataset finish on the old shard; submissions after the flip route to
+  // the new owner, which already has the dataset and its plans —
+  // `planner_runs` stays flat across a resize. Blocks until the moved
+  // datasets' in-flight tails drain. Per-dataset fairness weights
+  // (SetDatasetWeight) do not migrate; re-apply them after a resize.
+  // Thread-safe against concurrent Submit/Execute; concurrent Resize calls
+  // serialize.
+  common::Result<ResizeReport> Resize(int new_num_shards);
 
   // Registers the dataset on its home shard (only there: the ring keeps
   // every later query for it on the same shard).
@@ -76,16 +125,16 @@ class EngineGroup {
       const std::string& dataset_name, const core::ActionQuery& query) const;
 
   // Routing introspection.
-  int ShardFor(const std::string& dataset_name) const {
-    return ring_.ShardFor(dataset_name);
-  }
-  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int ShardFor(const std::string& dataset_name) const;
+  int num_shards() const;
+  // Direct shard access (tests / advanced control). Not synchronized
+  // against a concurrent Resize — do not mix with one.
   QueryEngine& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
   const QueryEngine& shard(int i) const {
     return *shards_[static_cast<size_t>(i)];
   }
   // The home-shard engine for a dataset (advanced control: per-shard plan
-  // cache, engine options).
+  // cache, engine options). Same caveat as shard().
   QueryEngine& engine_for(const std::string& dataset_name) {
     return shard(ShardFor(dataset_name));
   }
@@ -98,9 +147,27 @@ class EngineGroup {
   const Options& options() const { return opts_; }
 
  private:
+  // True for plan-cache keys owned by `dataset_name`.
+  static std::function<bool(const std::string&)> KeysOf(
+      const std::string& dataset_name);
+  // Shared-lock resolution of a dataset's home engine.
+  std::shared_ptr<QueryEngine> EngineForShared(
+      const std::string& dataset_name) const;
+
   Options opts_;
+
+  // Serializes structural changes (Resize) and dataset registration, so a
+  // dataset registered mid-resize cannot land on a shard the new ring
+  // no longer routes it to.
+  std::mutex resize_mu_;
+
+  // Guards ring_ + shards_. Submissions take it shared for the whole
+  // route-and-enqueue step, so a ticket is always either queued before the
+  // resize flip (and drained by it) or routed by the new ring — never
+  // lost in between.
+  mutable std::shared_mutex mu_;
   ShardRing ring_;
-  std::vector<std::unique_ptr<QueryEngine>> shards_;
+  std::vector<std::shared_ptr<QueryEngine>> shards_;
 };
 
 }  // namespace zeus::engine

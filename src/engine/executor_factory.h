@@ -40,6 +40,12 @@ struct ExecutionOptions {
   // Admission priority: higher runs earlier. Ties keep FIFO order within a
   // dataset and round-robin fairness across datasets (see AdmissionQueue).
   int priority = 0;
+  // Anti-starvation aging: while queued, the query gains one priority band
+  // for every `aging_threshold` dispatches it waits through, so a
+  // low-priority ticket under a continuous high-priority flood still
+  // completes within a bounded number of dispatches. 0 (default) disables
+  // aging for this query. See AdmissionQueue for the exact rules.
+  int aging_threshold = 0;
   // BatchedExecutor: maximum invocations fused into one modeled launch.
   int max_batch = 16;
   // BatchedExecutor lockstep stepping pool; nullptr falls back to

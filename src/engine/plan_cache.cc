@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "common/crc32.h"
 #include "common/logging.h"
@@ -11,6 +13,44 @@
 #include "core/plan_io.h"
 
 namespace zeus::engine {
+
+namespace {
+
+// Catalog sidecar format, one file per checkpoint (<prefix>.key):
+//   zeus-plan-key
+//   <raw plan key, verbatim>
+//   family <int>
+// The sanitized checkpoint filename is lossy, so the raw key — and the
+// dataset family PlanIo::Load needs — must be recorded separately for the
+// warm-start scan to find its way back.
+constexpr char kCatalogMagic[] = "zeus-plan-key";
+
+struct CatalogEntry {
+  std::string key;
+  video::DatasetFamily family = video::DatasetFamily::kBdd100kLike;
+};
+
+bool ReadCatalogEntry(const std::filesystem::path& path, CatalogEntry* out) {
+  std::ifstream in(path);
+  std::string magic;
+  if (!in.is_open() || !std::getline(in, magic) || magic != kCatalogMagic) {
+    return false;
+  }
+  if (!std::getline(in, out->key) || out->key.empty()) return false;
+  std::string family_line;
+  if (!std::getline(in, family_line) ||
+      !common::StartsWith(family_line, "family ")) {
+    return false;
+  }
+  const int family = std::atoi(family_line.c_str() + 7);
+  if (family < 0 || family > static_cast<int>(video::DatasetFamily::kKittiLike)) {
+    return false;
+  }
+  out->family = static_cast<video::DatasetFamily>(family);
+  return true;
+}
+
+}  // namespace
 
 PlanCache::PlanCache(const Options& opts,
                      core::QueryPlanner::Options planner_options)
@@ -127,10 +167,23 @@ common::Result<PlanCache::Lookup> PlanCache::GetOrPlan(
       plan = std::make_shared<core::QueryPlan>(std::move(planned).value());
       plan_seconds = timer.ElapsedSeconds();
       if (!opts_.persist_dir.empty()) {
-        common::Status saved = core::PlanIo::Save(FilePrefix(key), *plan);
+        const std::string prefix = FilePrefix(key);
+        common::Status saved = core::PlanIo::Save(prefix, *plan);
         if (!saved.ok()) {
           ZEUS_LOG(Warning) << "plan persistence failed for '" << key
                             << "': " << saved.ToString();
+        } else {
+          // Catalog entry: lets WarmUp() recover the raw key (and the
+          // family Load needs) from the sanitized checkpoint name.
+          std::ofstream cat(prefix + ".key");
+          cat << kCatalogMagic << "\n"
+              << key << "\n"
+              << "family " << static_cast<int>(dataset->profile().family)
+              << "\n";
+          if (!cat.good()) {
+            ZEUS_LOG(Warning) << "plan catalog write failed for '" << key
+                              << "'";
+          }
         }
       }
     } else {
@@ -156,6 +209,119 @@ common::Result<PlanCache::Lookup> PlanCache::GetOrPlan(
 
   if (plan == nullptr) return error;
   return Lookup{std::move(plan), plan_seconds};
+}
+
+size_t PlanCache::WarmUp(
+    const std::function<bool(const std::string& key)>& filter) {
+  if (opts_.persist_dir.empty()) return 0;
+
+  // Collect catalog entries first; the directory scan needs no lock.
+  // Iterate with explicit error codes throughout — a filesystem failing
+  // mid-scan (concurrent removal, remount, network hiccup) must degrade
+  // to a warning, not throw std::filesystem_error out of an engine
+  // constructor or a live Resize.
+  std::vector<CatalogEntry> candidates;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(opts_.persist_dir, ec);
+  const std::filesystem::directory_iterator end;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::filesystem::path path = it->path();
+    if (path.extension() != ".key") continue;
+    CatalogEntry entry;
+    if (!ReadCatalogEntry(path, &entry)) {
+      ZEUS_LOG(Warning) << "skipping unreadable plan catalog entry "
+                        << path.string();
+      continue;
+    }
+    if (filter && !filter(entry.key)) continue;
+    candidates.push_back(std::move(entry));
+  }
+  if (ec) {
+    ZEUS_LOG(Warning) << "plan warmup cannot scan '" << opts_.persist_dir
+                      << "': " << ec.message();
+    return 0;
+  }
+
+  size_t loaded = 0;
+  for (const CatalogEntry& entry : candidates) {
+    // Reserve the key with an in-flight entry so a concurrent GetOrPlan
+    // joins this load instead of racing it; skip keys already known.
+    std::shared_ptr<Entry> slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (entries_.count(entry.key)) continue;
+      slot = std::make_shared<Entry>();
+      entries_[entry.key] = slot;
+    }
+    auto loaded_plan = core::PlanIo::Load(FilePrefix(entry.key), entry.family,
+                                          planner_options_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (loaded_plan.ok()) {
+        slot->state = EntryState::kReady;
+        slot->plan = std::make_shared<core::QueryPlan>(
+            std::move(loaded_plan).value());
+        disk_loads_.fetch_add(1);
+        TouchLocked(entry.key);
+        ++loaded;
+      } else {
+        slot->state = EntryState::kFailed;
+        slot->status = loaded_plan.status();
+        auto it = entries_.find(entry.key);
+        if (it != entries_.end() && it->second == slot) entries_.erase(it);
+        ZEUS_LOG(Warning) << "plan warmup failed for '" << entry.key
+                          << "': " << loaded_plan.status().ToString();
+      }
+    }
+    cv_.notify_all();
+  }
+  if (loaded > 0) {
+    ZEUS_LOG(Info) << "plan cache warmed with " << loaded << " plan(s) from '"
+                   << opts_.persist_dir << "'";
+  }
+  return loaded;
+}
+
+bool PlanCache::Put(const std::string& key,
+                    std::shared_ptr<core::QueryPlan> plan) {
+  if (plan == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.count(key)) return false;
+  auto entry = std::make_shared<Entry>();
+  entry->state = EntryState::kReady;
+  entry->plan = std::move(plan);
+  entries_[key] = std::move(entry);
+  TouchLocked(key);
+  return true;
+}
+
+std::vector<std::pair<std::string, std::shared_ptr<core::QueryPlan>>>
+PlanCache::Snapshot(
+    const std::function<bool(const std::string& key)>& pred) const {
+  std::vector<std::pair<std::string, std::shared_ptr<core::QueryPlan>>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    if (entry->state != EntryState::kReady) continue;
+    if (pred && !pred(key)) continue;
+    out.emplace_back(key, entry->plan);
+  }
+  return out;
+}
+
+size_t PlanCache::EraseIf(
+    const std::function<bool(const std::string& key)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred && !pred(*it)) {
+      ++it;
+      continue;
+    }
+    entries_.erase(*it);
+    it = lru_.erase(it);
+    ++removed;
+  }
+  return removed;
 }
 
 }  // namespace zeus::engine

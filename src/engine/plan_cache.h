@@ -3,11 +3,13 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/query_planner.h"
@@ -29,11 +31,24 @@ namespace zeus::engine {
 //    before the planner — plans survive process restarts and LRU eviction.
 //    Corrupt checkpoints are detected by PlanIo's integrity checks and fall
 //    through to replanning.
+//  - Catalog + warm start: alongside each checkpoint, a small `.key`
+//    catalog entry records the raw plan key and the dataset family it was
+//    trained for (sanitized filenames are lossy, so the key cannot be
+//    recovered from the checkpoint name alone). WarmUp() scans the catalog
+//    and preloads matching plans, so a restarted engine — or a shard that
+//    just became a dataset's home after an EngineGroup::Resize — serves
+//    its first query from cache instead of paying a lazy disk load (or,
+//    worse, a replan when the checkpoint is missing).
 class PlanCache {
  public:
   struct Options {
     size_t capacity = 8;      // in-memory LRU bound (clamped to >= 1)
     std::string persist_dir;  // "" => memory-only
+    // With persist_dir set: scan the catalog and preload plans at engine
+    // start (QueryEngine honors this in its constructor; EngineGroup warms
+    // each shard with an ownership filter instead so plans only load on
+    // their home shard).
+    bool warm_start = false;
   };
 
   struct Lookup {
@@ -57,6 +72,30 @@ class PlanCache {
   // The pointer stays valid as long as the caller holds it (shared
   // ownership), independent of later evictions.
   std::shared_ptr<core::QueryPlan> Peek(const std::string& key) const;
+
+  // Scans the persist-dir catalog and preloads every plan whose key is
+  // accepted by `filter` (an empty filter accepts everything) and is not
+  // already cached or in flight. Loads count as disk_loads, never as
+  // planner_runs. Returns the number of plans loaded. No-op without a
+  // persist_dir. Thread-safe: loads follow the single-flight protocol, so
+  // a concurrent GetOrPlan on the same key joins the warm load instead of
+  // racing it.
+  size_t WarmUp(const std::function<bool(const std::string& key)>& filter = {});
+
+  // Inserts an already-trained plan as a ready entry (shard handoff during
+  // EngineGroup::Resize when no persist_dir is shared). Returns false —
+  // and leaves the cache untouched — when the key is already present or in
+  // flight.
+  bool Put(const std::string& key, std::shared_ptr<core::QueryPlan> plan);
+
+  // Ready (key, plan) pairs whose key satisfies `pred` — the handoff
+  // manifest a resize copies to a dataset's new home shard.
+  std::vector<std::pair<std::string, std::shared_ptr<core::QueryPlan>>>
+  Snapshot(const std::function<bool(const std::string& key)>& pred) const;
+
+  // Drops every ready plan whose key satisfies `pred` from memory
+  // (persisted checkpoints stay on disk). Returns the number dropped.
+  size_t EraseIf(const std::function<bool(const std::string& key)>& pred);
 
   // Drops every ready plan from memory (persisted checkpoints stay on
   // disk). In-flight runs are unaffected.

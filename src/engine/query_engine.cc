@@ -79,6 +79,11 @@ QueryEngine::QueryEngine(Options options)
     : opts_(std::move(options)), cache_(opts_.cache, opts_.planner) {
   if (opts_.num_workers < 1) opts_.num_workers = 1;
   if (opts_.max_pending < 1) opts_.max_pending = 1;
+  // Warm start: preload every cataloged plan so the first query after a
+  // restart is a memory hit. A standalone engine owns every key; sharded
+  // serving warms with an ownership filter instead (EngineGroup clears the
+  // flag on the per-shard options and calls WarmUp itself).
+  if (opts_.cache.warm_start) cache_.WarmUp();
 }
 
 void QueryEngine::EnsureWorkersLocked() {
@@ -108,13 +113,22 @@ QueryEngine::~QueryEngine() {
 
 common::Status QueryEngine::RegisterDataset(const std::string& name,
                                             video::SyntheticDataset dataset) {
+  return RegisterDataset(
+      name, std::make_shared<video::SyntheticDataset>(std::move(dataset)));
+}
+
+common::Status QueryEngine::RegisterDataset(
+    const std::string& name,
+    std::shared_ptr<video::SyntheticDataset> dataset) {
+  if (dataset == nullptr) {
+    return common::Status::InvalidArgument("dataset is null");
+  }
   std::lock_guard<std::mutex> lock(datasets_mu_);
   if (datasets_.count(name)) {
     return common::Status::AlreadyExists("dataset '" + name +
                                          "' already registered");
   }
-  datasets_[name] =
-      std::make_unique<video::SyntheticDataset>(std::move(dataset));
+  datasets_[name] = std::move(dataset);
   return common::Status::Ok();
 }
 
@@ -128,6 +142,35 @@ const video::SyntheticDataset* QueryEngine::dataset(
   std::lock_guard<std::mutex> lock(datasets_mu_);
   auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<video::SyntheticDataset> QueryEngine::ShareDataset(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+void QueryEngine::RemoveDataset(const std::string& name) {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  datasets_.erase(name);
+}
+
+std::vector<std::string> QueryEngine::dataset_names() const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) names.push_back(name);
+  return names;
+}
+
+void QueryEngine::DrainDataset(const std::string& name) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [&] {
+    if (pending_.PendingFor(name) > 0) return false;
+    auto it = active_by_dataset_.find(name);
+    return it == active_by_dataset_.end() || it->second == 0;
+  });
 }
 
 common::Status QueryEngine::SetDatasetWeight(const std::string& name,
@@ -153,6 +196,10 @@ std::string QueryEngine::PlanKey(const std::string& dataset_name,
   }
   return common::Format("%s|%s|%.3f", dataset_name.c_str(), classes.c_str(),
                         query.accuracy_target);
+}
+
+std::string QueryEngine::PlanKeyDataset(const std::string& key) {
+  return key.substr(0, key.find('|'));
 }
 
 std::shared_ptr<core::QueryPlan> QueryEngine::CachedPlan(
@@ -208,7 +255,7 @@ common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
       return common::Status::ResourceExhausted(common::Format(
           "admission queue full (%d pending)", opts_.max_pending));
     }
-    pending_.Push(dataset_name, exec.priority, shared);
+    pending_.Push(dataset_name, exec.priority, exec.aging_threshold, shared);
     EnsureWorkersLocked();
   }
   queue_cv_.notify_one();
@@ -237,8 +284,28 @@ common::Result<QueryResult> QueryEngine::Execute(const std::string& dataset_name
   shared->dataset_name = dataset_name;
   shared->query = query;
   shared->exec = exec;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    BeginRunLocked(dataset_name);
+  }
   RunTicket(shared);
+  EndRun(dataset_name);
   return *shared->result;
+}
+
+void QueryEngine::BeginRunLocked(const std::string& dataset_name) {
+  ++active_by_dataset_[dataset_name];
+}
+
+void QueryEngine::EndRun(const std::string& dataset_name) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    auto it = active_by_dataset_.find(dataset_name);
+    if (it != active_by_dataset_.end() && --it->second == 0) {
+      active_by_dataset_.erase(it);
+    }
+  }
+  queue_cv_.notify_all();
 }
 
 void QueryEngine::Finish(QueryTicket::Shared* t, QueryState state,
@@ -260,8 +327,15 @@ void QueryEngine::WorkerLoop() {
       queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
       if (stopping_) return;
       t = std::static_pointer_cast<QueryTicket::Shared>(pending_.Pop());
+      // Claim and mark active under one lock: a DrainDataset between the
+      // pop and the run would otherwise see zero queued + zero active and
+      // wrongly conclude the dataset is quiesced.
+      if (t != nullptr) BeginRunLocked(t->dataset_name);
     }
-    if (t != nullptr) RunTicket(t);
+    if (t != nullptr) {
+      RunTicket(t);
+      EndRun(t->dataset_name);
+    }
   }
 }
 
@@ -279,7 +353,10 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   };
 
   if (cancelled()) return;
-  const video::SyntheticDataset* ds = dataset(t->dataset_name);
+  // Shared handle: the dataset stays alive for this whole run even if a
+  // concurrent Resize unregisters it from this shard (the in-flight tail
+  // of a moved dataset finishes on its old home).
+  std::shared_ptr<video::SyntheticDataset> ds = ShareDataset(t->dataset_name);
   if (ds == nullptr) {
     Finish(t.get(), QueryState::kFailed,
            common::Status::NotFound("dataset '" + t->dataset_name +
@@ -290,8 +367,9 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   const size_t num_test = ds->test_indices().size();
 
   set_phase(QueryState::kPlanning, 0.1);
-  auto lookup = cache_.GetOrPlan(PlanKey(t->dataset_name, query), ds,
-                                 query.action_classes, query.accuracy_target);
+  auto lookup =
+      cache_.GetOrPlan(PlanKey(t->dataset_name, query), ds.get(),
+                       query.action_classes, query.accuracy_target);
   if (!lookup.ok()) {
     Finish(t.get(), QueryState::kFailed, lookup.status());
     return;
@@ -317,7 +395,7 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
     test_videos.push_back(&ds->video(static_cast<size_t>(i)));
   }
   auto localizer =
-      ExecutorFactory::Make(t->exec, plan.get(), ds, test_videos.size());
+      ExecutorFactory::Make(t->exec, plan.get(), ds.get(), test_videos.size());
   if (!localizer.ok()) {
     Finish(t.get(), QueryState::kFailed, localizer.status());
     return;

@@ -153,8 +153,30 @@ class QueryEngine {
   // Takes ownership of the dataset under `name`.
   common::Status RegisterDataset(const std::string& name,
                                  video::SyntheticDataset dataset);
+  // Shared-ownership registration: how EngineGroup::Resize moves a dataset
+  // to its new home shard without copying it — the old shard keeps serving
+  // its in-flight tail from the same underlying object.
+  common::Status RegisterDataset(
+      const std::string& name,
+      std::shared_ptr<video::SyntheticDataset> dataset);
   bool HasDataset(const std::string& name) const;
   const video::SyntheticDataset* dataset(const std::string& name) const;
+  // Shared handle to a registered dataset (nullptr when absent).
+  std::shared_ptr<video::SyntheticDataset> ShareDataset(
+      const std::string& name) const;
+  // Unregisters `name`. Queries already holding the shared dataset handle
+  // finish unaffected; new submissions fail with kNotFound. Callers are
+  // expected to drain first (DrainDataset) so no queued ticket is
+  // stranded.
+  void RemoveDataset(const std::string& name);
+  // Names of all registered datasets (Resize enumerates these to diff ring
+  // ownership).
+  std::vector<std::string> dataset_names() const;
+
+  // Blocks until no queued or running query references `name`. New
+  // submissions for `name` are NOT fenced — the caller must stop routing
+  // traffic here first (EngineGroup flips the ring before draining).
+  void DrainDataset(const std::string& name);
 
   // Fair-share weight of a dataset in the admission queue (default 1): a
   // dataset with weight w receives up to w consecutive grants per
@@ -183,6 +205,9 @@ class QueryEngine {
   // Cache key for (dataset, targets, accuracy target).
   static std::string PlanKey(const std::string& dataset_name,
                              const core::ActionQuery& query);
+  // The dataset component of a PlanKey (its leading, '|'-delimited field) —
+  // the key prefix shard routing and resize handoff filter on.
+  static std::string PlanKeyDataset(const std::string& key);
 
   // Ready plan for a query, nullptr when absent. Shared ownership: the plan
   // stays valid even if the cache evicts it later.
@@ -212,16 +237,27 @@ class QueryEngine {
   // (Execute).
   void RunTicket(const std::shared_ptr<QueryTicket::Shared>& t);
 
+  // Bracket one RunTicket in active_by_dataset_ so DrainDataset can wait
+  // out the running tail. BeginRunLocked requires queue_mu_ held — the
+  // worker claims the ticket and marks it active under one lock, so a
+  // drain can never observe the gap between dequeue and run.
+  void BeginRunLocked(const std::string& dataset_name);
+  void EndRun(const std::string& dataset_name);
+
   Options opts_;
 
   mutable std::mutex datasets_mu_;
-  std::map<std::string, std::unique_ptr<video::SyntheticDataset>> datasets_;
+  std::map<std::string, std::shared_ptr<video::SyntheticDataset>> datasets_;
 
   PlanCache cache_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   AdmissionQueue pending_;
+  // Queries currently inside RunTicket, per dataset (workers and blocking
+  // Execute() callers both count). Guarded by queue_mu_; DrainDataset
+  // waits on queue_cv_ for its dataset to hit zero here and in pending_.
+  std::map<std::string, int> active_by_dataset_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -35,6 +35,17 @@ ShardRing::ShardRing(int num_shards, int vnodes_per_shard)
   std::sort(ring_.begin(), ring_.end());
 }
 
+std::vector<ShardRing::KeyMove> ShardRing::DiffOwners(
+    const ShardRing& to, const std::vector<std::string>& keys) const {
+  std::vector<KeyMove> moves;
+  for (const std::string& key : keys) {
+    const int old_shard = ShardFor(key);
+    const int new_shard = to.ShardFor(key);
+    if (old_shard != new_shard) moves.push_back({key, old_shard, new_shard});
+  }
+  return moves;
+}
+
 int ShardRing::ShardFor(const std::string& key) const {
   if (num_shards_ == 1) return 0;
   const uint64_t h = Hash(key);

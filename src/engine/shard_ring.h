@@ -27,6 +27,21 @@ class ShardRing {
   // Shard owning `key`, in [0, num_shards).
   int ShardFor(const std::string& key) const;
 
+  // One key whose owner differs between two rings. The minimal-movement
+  // property bounds how many of these a resize produces: growing N→N+1
+  // yields ~|keys|/(N+1) moves, all with `to` == the added shard.
+  struct KeyMove {
+    std::string key;
+    int from = 0;
+    int to = 0;
+  };
+
+  // Owner diff between this ring and `to` over `keys`: exactly the keys
+  // whose shard changes, with their old and new owners. This is what
+  // EngineGroup::Resize drains and hands off — everything else stays put.
+  std::vector<KeyMove> DiffOwners(const ShardRing& to,
+                                  const std::vector<std::string>& keys) const;
+
   int num_shards() const { return num_shards_; }
 
   // FNV-1a 64-bit: deterministic across processes and platforms (no seed,

@@ -132,6 +132,32 @@ TEST(ShardRingTest, GrowingTheRingMovesOnlyTheNewShardsShare) {
   EXPECT_LT(moved, kKeys * 35 / 100);
 }
 
+TEST(ShardRingTest, DiffOwnersMatchesBruteForceAndMovesOnlyToAddedShard) {
+  engine::ShardRing before(4);
+  engine::ShardRing after(5);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back("ds-" + std::to_string(i));
+
+  auto moves = before.DiffOwners(after, keys);
+  std::set<std::string> moved;
+  for (const auto& m : moves) {
+    EXPECT_EQ(m.from, before.ShardFor(m.key));
+    EXPECT_EQ(m.to, after.ShardFor(m.key));
+    EXPECT_NE(m.from, m.to);
+    // Growing the ring: a moved key always lands on the added shard.
+    EXPECT_EQ(m.to, 4) << m.key;
+    moved.insert(m.key);
+  }
+  // The diff is exhaustive: every key it omits really kept its owner.
+  for (const std::string& key : keys) {
+    if (!moved.count(key)) {
+      EXPECT_EQ(before.ShardFor(key), after.ShardFor(key)) << key;
+    }
+  }
+  EXPECT_GT(moves.size(), 0u);
+  EXPECT_LT(moves.size(), keys.size() * 35 / 100);
+}
+
 // ---- AdmissionQueue (deterministic scheduling rules) -----------------------
 
 int PayloadValue(const engine::AdmissionQueue::Payload& p) {
@@ -179,6 +205,51 @@ TEST(AdmissionQueueTest, WeightsGrantConsecutivePops) {
   while (!q.empty()) order.push_back(PayloadValue(q.Pop()));
   // heavy holds the turn for two pops per rotation.
   EXPECT_EQ(order, (std::vector<int>{0, 1, 100, 2, 3, 101}));
+}
+
+TEST(AdmissionQueueTest, AgingPromotesAtExactlyTheThresholdBoundary) {
+  engine::AdmissionQueue q;
+  // One low-priority item with aging (one band per 2 pops waited), buried
+  // under a deep high-priority backlog.
+  q.Push("low", 0, /*aging_threshold=*/2, MakePayload(999));
+  for (int i = 0; i < 20; ++i) q.Push("hi", 5, MakePayload(i));
+  // The priority gap is 5 and the threshold 2, so the boost reaches the
+  // flood's band after exactly 10 pops; the round-robin rotation then
+  // serves "low" on the very next pop. Fully deterministic: logical time
+  // is the pop count, no threads, no clocks.
+  for (int pop = 0; pop < 10; ++pop) {
+    ASSERT_LT(PayloadValue(q.Pop()), 10) << "low popped early at " << pop;
+  }
+  EXPECT_EQ(PayloadValue(q.Pop()), 999);
+}
+
+TEST(AdmissionQueueTest, AgedTicketCompletesUnderContinuousFlood) {
+  engine::AdmissionQueue q;
+  q.Push("low", 0, /*aging_threshold=*/3, MakePayload(999));
+  // Continuous flood: every pop is immediately backfilled with a fresh
+  // high-priority item, so without aging "low" would starve forever.
+  q.Push("hi", 5, MakePayload(0));
+  int pops = 0;
+  bool popped_low = false;
+  while (!popped_low && pops < 100) {
+    popped_low = PayloadValue(q.Pop()) == 999;
+    ++pops;
+    q.Push("hi", 5, MakePayload(pops));
+  }
+  EXPECT_TRUE(popped_low);
+  // The monotonic boost bounds the wait: gap (5) * threshold (3) pops to
+  // reach the flood's band, plus one rotation to win the tie.
+  EXPECT_LE(pops, 5 * 3 + 2);
+}
+
+TEST(AdmissionQueueTest, ZeroThresholdNeverAges) {
+  engine::AdmissionQueue q;
+  q.Push("low", 0, /*aging_threshold=*/0, MakePayload(999));
+  for (int i = 0; i < 50; ++i) q.Push("hi", 1, MakePayload(i));
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_NE(PayloadValue(q.Pop()), 999) << "unaged item jumped at " << i;
+  }
+  EXPECT_EQ(PayloadValue(q.Pop()), 999);
 }
 
 TEST(AdmissionQueueTest, PurgeRemovesMatchingItems) {
@@ -399,16 +470,19 @@ TEST_F(EngineGroupTest, RoundRobinKeepsQuietTenantAheadOfFlood) {
                     "unobservable on this run";
   }
 
-  // Round-robin interleaves the quiet tenant with the flood, so when the
-  // last quiet ticket resolves most of the flood is still waiting. A FIFO
-  // queue would have drained all six flood tickets first.
-  ASSERT_TRUE(quiet.back().Wait().ok());
-  int flood_done = 0;
-  for (auto& t : flood) {
-    if (t.done()) ++flood_done;
-  }
-  EXPECT_LE(flood_done, 4);
+  // Round-robin interleaves the quiet tenant with the flood: with two
+  // tenants at weight 1, both quiet tickets pop within the first two
+  // rotation turns — before the third flood query. The single worker
+  // completes tickets in pop order, so once flood[2] has resolved, both
+  // quiet tickets must already be resolved (a completion-order fact, safe
+  // to observe after the fact — unlike counting how much of the flood is
+  // done, which races the worker). A FIFO queue would drain all six flood
+  // tickets before the first quiet one.
+  ASSERT_TRUE(flood[2].Wait().ok());
+  EXPECT_TRUE(quiet[0].done());
+  EXPECT_TRUE(quiet[1].done());
   for (auto& t : flood) ASSERT_TRUE(t.Wait().ok());
+  for (auto& t : quiet) ASSERT_TRUE(t.Wait().ok());
   ASSERT_TRUE(blocker.value().Wait().ok());
 }
 
@@ -512,6 +586,248 @@ TEST_F(EngineGroupTest, EngineCancelDuringExecutionResolvesCancelled) {
   } else {
     ExpectSameOutcome(r.value(), *ref_a_);
   }
+}
+
+// ---- Warm start ------------------------------------------------------------
+
+TEST_F(EngineGroupTest, WarmStartServesFirstQueryFromCache) {
+  engine::QueryEngine::Options opts;
+  opts.num_workers = 2;
+  opts.planner = FastPlannerOptions();
+  opts.cache.persist_dir = *persist_dir_;
+  opts.cache.warm_start = true;
+  engine::QueryEngine warm(opts);
+
+  // The catalog scan preloaded the fixture's plans before any dataset was
+  // registered or query submitted: the restart cost is paid up front.
+  EXPECT_EQ(warm.plan_cache().planner_runs(), 0);
+  EXPECT_GE(warm.plan_cache().disk_loads(), 2);
+  EXPECT_NE(warm.CachedPlan("a", CrossRightQuery()), nullptr);
+  EXPECT_NE(warm.CachedPlan("b", CrossRightQuery()), nullptr);
+
+  ASSERT_TRUE(warm.RegisterDataset("a", MakeDatasetA()).ok());
+  auto r = warm.Execute("a", CrossRightQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // First query is a pure memory hit — and warming never trains.
+  EXPECT_EQ(r.value().plan_seconds, 0.0);
+  EXPECT_EQ(warm.plan_cache().planner_runs(), 0);
+  ExpectSameOutcome(r.value(), *ref_a_);
+}
+
+TEST_F(EngineGroupTest, GroupWarmStartLoadsPlansOnlyOnHomeShards) {
+  auto gopts = GroupOptions(4);
+  gopts.engine.cache.warm_start = true;
+  engine::EngineGroup group(gopts);
+
+  // Each shard warmed through the ring ownership filter: a dataset's plans
+  // load on its home shard and nowhere else.
+  EXPECT_EQ(group.planner_runs(), 0);
+  EXPECT_GE(group.disk_loads(), 2);
+  const int home_a = group.ShardFor("a");
+  const int home_b = group.ShardFor("b");
+  for (int s = 0; s < group.num_shards(); ++s) {
+    EXPECT_EQ(group.shard(s).CachedPlan("a", CrossRightQuery()) != nullptr,
+              s == home_a);
+    EXPECT_EQ(group.shard(s).CachedPlan("b", CrossRightQuery()) != nullptr,
+              s == home_b);
+  }
+
+  ASSERT_TRUE(group.RegisterDataset("a", MakeDatasetA()).ok());
+  auto r = group.Execute("a", CrossRightQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().plan_seconds, 0.0);
+  EXPECT_EQ(group.planner_runs(), 0);
+  ExpectSameOutcome(r.value(), *ref_a_);
+}
+
+// ---- Resize ----------------------------------------------------------------
+
+TEST_F(EngineGroupTest, ResizeGrowthMovesOnlyRingDiffWithPlanHandoff) {
+  // Pick the first grown ring that actually re-homes "a" or "b"; the ring
+  // hash is deterministic, so this search is stable across runs and
+  // platforms (currently: "a" moves at 2 -> 3 shards).
+  const int start = 2;
+  engine::ShardRing before(start);
+  int grown = -1;
+  for (int n = start + 1; n <= start + 8; ++n) {
+    engine::ShardRing candidate(n);
+    if (candidate.ShardFor("a") != before.ShardFor("a") ||
+        candidate.ShardFor("b") != before.ShardFor("b")) {
+      grown = n;
+      break;
+    }
+  }
+  ASSERT_NE(grown, -1) << "no ring size in range re-homes a dataset";
+  engine::ShardRing after(grown);
+  std::vector<std::string> expect_moved;
+  for (const std::string d : {"a", "b"}) {
+    if (after.ShardFor(d) != before.ShardFor(d)) expect_moved.push_back(d);
+  }
+
+  engine::EngineGroup group(GroupOptions(start));
+  ASSERT_TRUE(group.RegisterDataset("a", MakeDatasetA()).ok());
+  ASSERT_TRUE(group.RegisterDataset("b", MakeDatasetB()).ok());
+
+  // Prime both home shards from the fixture's persisted plans.
+  auto ra0 = group.Execute("a", CrossRightQuery());
+  auto rb0 = group.Execute("b", CrossRightQuery());
+  ASSERT_TRUE(ra0.ok()) << ra0.status().ToString();
+  ASSERT_TRUE(rb0.ok()) << rb0.status().ToString();
+  ASSERT_EQ(group.planner_runs(), 0);
+  const long disk_before = group.disk_loads();
+
+  // A same-size resize is a no-op.
+  auto noop = group.Resize(start);
+  ASSERT_TRUE(noop.ok());
+  EXPECT_TRUE(noop.value().moved.empty());
+
+  // In-flight tickets submitted before the resize finish on the old home.
+  std::vector<engine::QueryTicket> inflight;
+  for (int i = 0; i < 2; ++i) {
+    auto ta = group.Submit("a", CrossRightQuery());
+    auto tb = group.Submit("b", CrossRightQuery());
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    inflight.push_back(ta.value());
+    inflight.push_back(tb.value());
+  }
+
+  auto resized = group.Resize(grown);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_EQ(resized.value().old_num_shards, start);
+  EXPECT_EQ(resized.value().new_num_shards, grown);
+  // Only the ring owner diff moved — nothing else was disturbed.
+  EXPECT_EQ(resized.value().moved, expect_moved);
+  EXPECT_GE(resized.value().plans_moved,
+            static_cast<long>(expect_moved.size()));
+  EXPECT_EQ(group.num_shards(), grown);
+
+  for (size_t i = 0; i < inflight.size(); ++i) {
+    const auto& r = inflight[i].Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectSameOutcome(r.value(), i % 2 == 0 ? *ref_a_ : *ref_b_);
+  }
+
+  // The tentpole invariant: a resize never replans. Plans reached their
+  // new homes through the shared persist_dir manifests — every plan the
+  // report counts is a disk load, zero are planner runs.
+  EXPECT_EQ(group.planner_runs(), 0);
+  EXPECT_EQ(group.disk_loads(), disk_before + resized.value().plans_moved);
+
+  // Moved datasets: re-homed, plans already warm on the new shard, old
+  // shard fully retired from serving them.
+  for (const std::string& d : expect_moved) {
+    const int home = group.ShardFor(d);
+    EXPECT_EQ(home, after.ShardFor(d));
+    EXPECT_TRUE(group.shard(home).HasDataset(d));
+    EXPECT_NE(group.shard(home).CachedPlan(d, CrossRightQuery()), nullptr);
+    const int old_home = before.ShardFor(d);
+    EXPECT_FALSE(group.shard(old_home).HasDataset(d));
+    EXPECT_EQ(group.shard(old_home).CachedPlan(d, CrossRightQuery()),
+              nullptr);
+  }
+
+  // Results after the resize are bit-identical to the never-resized
+  // single-engine reference, with the plans still served from cache.
+  auto ra1 = group.Execute("a", CrossRightQuery());
+  auto rb1 = group.Execute("b", CrossRightQuery());
+  ASSERT_TRUE(ra1.ok()) << ra1.status().ToString();
+  ASSERT_TRUE(rb1.ok()) << rb1.status().ToString();
+  ExpectSameOutcome(ra1.value(), *ref_a_);
+  ExpectSameOutcome(rb1.value(), *ref_b_);
+  EXPECT_EQ(ra1.value().plan_seconds, 0.0);
+  EXPECT_EQ(rb1.value().plan_seconds, 0.0);
+  EXPECT_EQ(group.planner_runs(), 0);
+}
+
+TEST_F(EngineGroupTest, ResizeShrinkHandsOffInMemoryPlansWithoutPersistence) {
+  // No persist_dir: the trained plan can only reach the surviving shard
+  // through the direct in-memory handoff. Dataset "d" hashes onto shard 1
+  // of a 2-ring (deterministic), i.e. onto the shard being removed.
+  engine::EngineGroup::Options gopts;
+  gopts.num_shards = 2;
+  gopts.engine.num_workers = 2;
+  gopts.engine.planner = FastPlannerOptions();
+  engine::EngineGroup group(gopts);
+  ASSERT_EQ(group.ShardFor("d"), 1) << "ring layout changed; pick a dataset "
+                                       "name that lives on the removed shard";
+  ASSERT_TRUE(group.RegisterDataset("d", MakeDatasetB()).ok());
+
+  auto r0 = group.Execute("d", CrossRightQuery());
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_EQ(group.planner_runs(), 1);  // cold: trained on shard 1
+
+  auto resized = group.Resize(1);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_EQ(resized.value().moved, std::vector<std::string>{"d"});
+  EXPECT_EQ(resized.value().plans_moved, 1);
+  EXPECT_EQ(group.num_shards(), 1);
+  EXPECT_EQ(group.ShardFor("d"), 0);
+  EXPECT_TRUE(group.shard(0).HasDataset("d"));
+  EXPECT_NE(group.shard(0).CachedPlan("d", CrossRightQuery()), nullptr);
+
+  auto r1 = group.Execute("d", CrossRightQuery());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ExpectSameOutcome(r1.value(), r0.value());
+  EXPECT_EQ(r1.value().plan_seconds, 0.0);
+  // The surviving shard never planned and never touched a disk that does
+  // not exist: the plan arrived purely by handoff.
+  EXPECT_EQ(group.planner_runs(), 0);
+  EXPECT_EQ(group.disk_loads(), 0);
+}
+
+TEST_F(EngineGroupTest, ResizeHandsOffPlanTrainedDuringDrain) {
+  // A cold query in flight on a moving dataset trains its plan WHILE the
+  // resize drains the old shard. That plan must still reach the new home
+  // (the post-drain handoff) — with no persist_dir, dropping it would
+  // silently force a replan, breaking the planner_runs-flat contract.
+  engine::EngineGroup::Options gopts;
+  gopts.num_shards = 2;
+  gopts.engine.num_workers = 1;
+  gopts.engine.planner = FastPlannerOptions();
+  engine::EngineGroup group(gopts);
+  ASSERT_EQ(group.ShardFor("d"), 1);
+  ASSERT_TRUE(group.RegisterDataset("d", MakeDatasetB()).ok());
+
+  // Cold submission: queued or already planning on shard 1 when the
+  // resize starts; either way it finishes on the old shard during the
+  // drain.
+  auto t = group.Submit("d", CrossRightQuery());
+  ASSERT_TRUE(t.ok());
+
+  auto resized = group.Resize(1);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_EQ(resized.value().moved, std::vector<std::string>{"d"});
+  EXPECT_EQ(resized.value().plans_moved, 1);
+  const auto& r0 = t.value().Wait();
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+
+  EXPECT_NE(group.shard(0).CachedPlan("d", CrossRightQuery()), nullptr);
+  auto r1 = group.Execute("d", CrossRightQuery());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ExpectSameOutcome(r1.value(), r0.value());
+  EXPECT_EQ(r1.value().plan_seconds, 0.0);
+  // The surviving shard never planned: the drain-trained plan was handed
+  // over, not retrained.
+  EXPECT_EQ(group.planner_runs(), 0);
+}
+
+TEST_F(EngineGroupTest, ZeusDbResizeShardsKeepsAnswersIdentical) {
+  core::ZeusDb db(GroupOptions(2));
+  ASSERT_TRUE(db.RegisterDataset("a", MakeDatasetA()).ok());
+  auto r0 = db.Execute("a", CrossRightQuery());
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  ExpectSameOutcome(r0.value(), *ref_a_);
+
+  auto resized = db.ResizeShards(3);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_EQ(db.num_shards(), 3);
+
+  auto r1 = db.Execute("a", CrossRightQuery());
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ExpectSameOutcome(r1.value(), *ref_a_);
+  EXPECT_EQ(r1.value().plan_seconds, 0.0);
+  EXPECT_EQ(db.group().planner_runs(), 0);
 }
 
 }  // namespace

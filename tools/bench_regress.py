@@ -15,7 +15,14 @@ Metric direction is inferred from the name: metrics ending in _seconds,
 _ns, _ms or named real_time/cpu_time are lower-is-better; everything else
 (fps, gflops, queries_per_sec, f1, items_per_second) is higher-is-better.
 Count-like metrics (planner_runs, clients_served, invocations) are
-informational and never gated. Only standard-library Python.
+informational and never gated.
+
+A record's optional "context" object (workload dimensions, e.g.
+{"num_shards": 2} for the sharded serving bench) is folded into the metric
+name as a sorted "[key=value,...]" qualifier, so measurements taken under
+different dimensions are different metrics — the gate can never compare a
+--shards 2 run against a --shards 1 baseline. Only standard-library
+Python.
 """
 
 import argparse
@@ -39,15 +46,30 @@ def gated(metric):
     return not any(metric.endswith(u) for u in UNGATED)
 
 
+def format_context(context):
+    """{"num_shards": 2.0} -> "[num_shards=2]" (sorted, ints un-floated)."""
+    if not context:
+        return ""
+    parts = []
+    for key in sorted(context):
+        value = context[key]
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        parts.append("%s=%s" % (key, value))
+    return "[%s]" % ",".join(parts)
+
+
 def load_zeus(path):
-    """bench_util.h BenchJson schema -> {record/metric: value}."""
+    """bench_util.h BenchJson schema -> {record[context]/metric: value}."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
     bench = doc.get("bench", "bench")
     for record in doc.get("records", []):
+        qualifier = format_context(record.get("context"))
         for metric, value in record.get("metrics", {}).items():
-            out["%s/%s/%s" % (bench, record["name"], metric)] = value
+            out["%s/%s%s/%s" % (bench, record["name"], qualifier, metric)] = \
+                value
     return out
 
 

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_regress.py (stdlib only, runs in CI).
+
+Covers the gate semantics the bench-smoke and nightly jobs lean on:
+missing-key handling (gated vs informational), new benchmarks, the
+exactly-at-threshold boundary (strictly-greater gate), direction
+inference, and context folding (a --shards 2 measurement can never be
+compared against a --shards 1 baseline).
+
+Run with:  python3 -m unittest discover -s tools -p 'test_*.py'
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_regress  # noqa: E402
+
+
+def write_json(directory, name, doc):
+    path = os.path.join(directory, name)
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return path
+
+
+class CheckTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def run_check(self, baseline, current, tolerance=0.25):
+        args = argparse.Namespace(
+            current=write_json(self.tmp.name, "current.json",
+                               {"metrics": current}),
+            baseline=write_json(self.tmp.name, "baseline.json",
+                                {"metrics": baseline}),
+            tolerance=tolerance)
+        return bench_regress.cmd_check(args)
+
+    def test_identical_metrics_pass(self):
+        metrics = {"fig8/q/wall_seconds": 10.0, "fig8/q/queries_per_sec": 1.2}
+        self.assertEqual(self.run_check(metrics, dict(metrics)), 0)
+
+    def test_missing_gated_key_fails(self):
+        # A gated metric that vanished from the current run is a regression
+        # (a silently-dropped benchmark must not pass the gate).
+        baseline = {"fig8/q/wall_seconds": 10.0}
+        self.assertEqual(self.run_check(baseline, {}), 1)
+
+    def test_missing_informational_key_passes(self):
+        # Ungated (count-like) metrics may come and go without failing.
+        baseline = {"fig8/q/planner_runs": 3.0, "fig8/q/wall_seconds": 10.0}
+        current = {"fig8/q/wall_seconds": 10.0}
+        self.assertEqual(self.run_check(baseline, current), 0)
+
+    def test_new_benchmark_passes(self):
+        # Metrics present only in the current run are reported as new, not
+        # gated — a fresh benchmark must not need a baseline to land.
+        baseline = {"fig8/q/wall_seconds": 10.0}
+        current = {"fig8/q/wall_seconds": 10.0,
+                   "fig8/new_record/wall_seconds": 99.0}
+        self.assertEqual(self.run_check(baseline, current), 0)
+
+    def test_exactly_at_threshold_passes(self):
+        # The gate is strictly-greater: exactly 25% worse is still inside a
+        # 25% tolerance.
+        baseline = {"fig8/q/wall_seconds": 100.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 125.0}), 0)
+
+    def test_just_beyond_threshold_fails(self):
+        baseline = {"fig8/q/wall_seconds": 100.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 125.1}), 1)
+
+    def test_lower_is_better_direction(self):
+        # Getting faster can never trip the wall-seconds gate.
+        baseline = {"fig8/q/wall_seconds": 100.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 1.0}), 0)
+
+    def test_higher_is_better_direction(self):
+        baseline = {"fig8/q/throughput_fps": 100.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/throughput_fps": 70.0}), 1)
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/throughput_fps": 1000.0}), 0)
+
+    def test_zero_baseline_never_divides(self):
+        baseline = {"fig8/q/wall_seconds": 0.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 5.0}), 0)
+
+
+class ContextTest(unittest.TestCase):
+    def test_format_context_sorts_and_unfloats(self):
+        self.assertEqual(
+            bench_regress.format_context({"num_shards": 2.0, "clients": 4.0}),
+            "[clients=4,num_shards=2]")
+        self.assertEqual(bench_regress.format_context({}), "")
+        self.assertEqual(bench_regress.format_context(None), "")
+
+    def test_load_zeus_folds_context_into_name(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_json(tmp, "z.json", {
+                "bench": "bench_fig8_end_to_end",
+                "records": [
+                    {"name": "concurrent/clients4",
+                     "context": {"num_shards": 2},
+                     "metrics": {"wall_seconds": 7.5}},
+                    {"name": "plain", "metrics": {"f1": 0.9}},
+                ]})
+            metrics = bench_regress.load_zeus(path)
+        self.assertEqual(metrics, {
+            "bench_fig8_end_to_end/concurrent/clients4[num_shards=2]"
+            "/wall_seconds": 7.5,
+            "bench_fig8_end_to_end/plain/f1": 0.9,
+        })
+
+    def test_cross_shard_counts_are_never_compared(self):
+        # The same record measured at a different shard count is a DIFFERENT
+        # metric: the 1-shard baseline shows up as missing (gated failure),
+        # not as a bogus 2-shard-vs-1-shard delta.
+        base_doc = {"bench": "b", "records": [
+            {"name": "r", "context": {"num_shards": 1},
+             "metrics": {"wall_seconds": 10.0}}]}
+        cur_doc = {"bench": "b", "records": [
+            {"name": "r", "context": {"num_shards": 2},
+             "metrics": {"wall_seconds": 500.0}}]}
+        with tempfile.TemporaryDirectory() as tmp:
+            base = bench_regress.load_zeus(write_json(tmp, "b.json", base_doc))
+            cur = bench_regress.load_zeus(write_json(tmp, "c.json", cur_doc))
+        self.assertEqual(set(base) & set(cur), set())
+
+
+class MergeTest(unittest.TestCase):
+    def test_merge_combines_zeus_and_gbench(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            zeus = write_json(tmp, "z.json", {
+                "bench": "fig8", "records": [
+                    {"name": "r", "context": {"num_shards": 1},
+                     "metrics": {"wall_seconds": 3.0}}]})
+            gbench = write_json(tmp, "g.json", {"benchmarks": [
+                {"name": "BM_MatMul/256", "run_type": "iteration",
+                 "real_time": 123.0, "items_per_second": 4.5e9},
+                {"name": "BM_MatMul/256_mean", "run_type": "aggregate",
+                 "real_time": 999.0},
+            ]})
+            out = os.path.join(tmp, "merged.json")
+            args = argparse.Namespace(zeus=[zeus], gbench=[gbench],
+                                      output=out)
+            self.assertEqual(bench_regress.cmd_merge(args), 0)
+            with open(out) as f:
+                merged = json.load(f)["metrics"]
+        self.assertEqual(merged, {
+            "fig8/r[num_shards=1]/wall_seconds": 3.0,
+            "bench_micro_substrate/BM_MatMul/256/real_time": 123.0,
+            "bench_micro_substrate/BM_MatMul/256/items_per_second": 4.5e9,
+        })
+
+    def test_merge_with_no_metrics_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = os.path.join(tmp, "merged.json")
+            args = argparse.Namespace(zeus=None, gbench=None, output=out)
+            self.assertEqual(bench_regress.cmd_merge(args), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
