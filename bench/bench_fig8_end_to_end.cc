@@ -21,8 +21,21 @@
 //                   # warm start — plans trained by one run are served
 //                   # from cache by the next (the nightly CI trains once,
 //                   # then measures serving at --shards 1/2/4)
+//   --autoscale     # concurrent mode: enable the queue/latency-driven
+//                   # autoscaler (engine/autoscaler.h) — shards start at
+//                   # --shards (the nightly leg starts at 1) and the
+//                   # policy grows/shrinks the group live. Records the
+//                   # final shard count and resize count (informational
+//                   # metrics, never gated) and tags the record with
+//                   # autoscale=1 context so it is a distinct metric
+//                   # identity from the fixed-shard runs.
 //   --reduced       # CI-sized run: smaller datasets, fewer queries/epochs
 //   --json PATH     # write machine-readable results (docs/CI.md schema)
+//
+// Concurrent-mode records also carry the engine's self-observation
+// snapshot (ZeusDb::Stats()): peak queue depth and p95 queue-wait /
+// execution latency, so the serving benches leave a metrics trail, not
+// just wall time.
 
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +74,7 @@ struct BenchConfig {
   int clients = 0;
   int shards = 1;
   bool reduced = false;
+  bool autoscale = false;
   std::string json_path;
   std::string persist_dir;
 
@@ -164,6 +178,18 @@ int RunConcurrentClients(const BenchConfig& cfg) {
   // replanning.
   gopts.engine.cache.persist_dir = cfg.persist_dir;
   gopts.engine.cache.warm_start = !cfg.persist_dir.empty();
+  if (cfg.autoscale) {
+    // Self-operating leg: the policy thread reads Stats() and resizes the
+    // group from queue depth / p95 queue wait. Thresholds sized so a
+    // multi-client flood on warm plans triggers at least one scale-up.
+    gopts.autoscale.enabled = true;
+    gopts.autoscale.min_shards = 1;
+    gopts.autoscale.max_shards = 4;
+    gopts.autoscale.up_queue_per_shard = 4.0;
+    gopts.autoscale.sustain_samples = 2;
+    gopts.autoscale.cooldown_samples = 4;
+    gopts.autoscale.sample_interval = std::chrono::milliseconds(50);
+  }
   engine::EngineGroup group(gopts);
   for (auto family : {video::DatasetFamily::kBdd100kLike,
                       video::DatasetFamily::kThumos14Like,
@@ -235,15 +261,35 @@ int RunConcurrentClients(const BenchConfig& cfg) {
       "concurrent queries; 0 when a --persist dir is warm)\n",
       done, inflight.size(), wall_s, qps, group.planner_runs(),
       cfg.num_queries());
+  const engine::GroupStats stats = group.Stats();
+  std::printf(
+      "serving stats: peak queue depth %ld, queue wait p50/p95 %.3f/%.3f s, "
+      "exec p95 %.3f s, resizes %ld, final shards %d\n",
+      stats.peak_queue_depth, stats.queue_wait.p50(), stats.queue_wait.p95(),
+      stats.exec.p95(), stats.resizes, stats.num_shards);
   // The shard count is context, not part of the record name: bench_regress
   // folds it into the metric identity, so a --shards 2 run can never be
-  // gated against a --shards 1 baseline.
+  // gated against a --shards 1 baseline. An autoscaled run is its own
+  // identity too (autoscale=1) — its shard count is whatever the policy
+  // chose, so it must never gate against a fixed-shard record.
   const std::string rec = common::Format("concurrent/clients%d", cfg.clients);
   json.AddContext(rec, "num_shards", static_cast<double>(cfg.shards));
+  if (cfg.autoscale) json.AddContext(rec, "autoscale", 1.0);
   json.Add(rec, "wall_seconds", wall_s);
   json.Add(rec, "queries_per_sec", qps);
   json.Add(rec, "planner_runs", static_cast<double>(group.planner_runs()));
   json.Add(rec, "clients_served", static_cast<double>(done));
+  // Snapshot metrics: a perf trail for the serving layer itself. The
+  // depth/percentile/resize numbers are scheduling-noise-sensitive and
+  // run-shape-dependent, so bench_regress treats them as informational
+  // (never gated) — see tools/bench_regress.py UNGATED.
+  json.Add(rec, "peak_queue_depth", static_cast<double>(stats.peak_queue_depth));
+  json.Add(rec, "queue_wait_p95_seconds", stats.queue_wait.p95());
+  json.Add(rec, "exec_p95_seconds", stats.exec.p95());
+  if (cfg.autoscale) {
+    json.Add(rec, "final_shards", static_cast<double>(stats.num_shards));
+    json.Add(rec, "resizes", static_cast<double>(stats.resizes));
+  }
   if (!json.WriteTo(cfg.json_path)) return 1;
   return failed == 0 ? 0 : 1;
 }
@@ -265,6 +311,17 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--persist") == 0 && i + 1 < argc) {
       cfg.persist_dir = argv[i + 1];
     }
+    if (std::strcmp(argv[i], "--autoscale") == 0) {
+      cfg.autoscale = true;
+    }
+  }
+  if (cfg.autoscale && cfg.clients <= 0) {
+    // The classic per-method table never builds a serving group, so the
+    // flag would be silently meaningless there — refuse rather than let
+    // the operator believe they measured an autoscaled run.
+    std::fprintf(stderr,
+                 "--autoscale requires concurrent mode (--clients N)\n");
+    return 1;
   }
   return cfg.clients > 0 ? RunConcurrentClients(cfg) : RunClassic(cfg);
 }

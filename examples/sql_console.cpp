@@ -7,6 +7,11 @@
 //   sql_console --shards 4 [...]         # shard the serving layer: datasets
 //                                        # route by consistent hashing to
 //                                        # one of 4 engines (EngineGroup)
+//   sql_console ".stats"                 # dot-command: print the serving
+//                                        # layer's self-observation snapshot
+//                                        # (ZeusDb::Stats() as JSON — queue
+//                                        # depths, latency percentiles,
+//                                        # cache hits, resize counts)
 //
 // Queries go through the concurrent engine's Submit()/ticket API: the
 // console polls the ticket's phase (queued / planning / executing) while it
@@ -31,6 +36,12 @@ namespace {
 
 void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
   std::printf("\nzeus> %s\n", sql.c_str());
+  // Dot-commands are console-side, not SQL. `.stats` prints the engine's
+  // self-observation snapshot — the same JSON tooling consumes.
+  if (sql == ".stats") {
+    std::printf("%s\n", db.Stats().ToJson().c_str());
+    return;
+  }
   auto ticket = db.Submit("bdd", sql);
   if (!ticket.ok()) {
     std::printf("error: %s\n", ticket.status().ToString().c_str());
@@ -120,6 +131,9 @@ int main(int argc, char** argv) {
         // Multi-class query (§6.5): either crossing direction counts.
         "SELECT segment_ids FROM UDF(video) WHERE action_class IN "
         "('cross-right', 'cross-left') AND accuracy >= 80%",
+        // What the session did to the engine: queue waits, execution
+        // latency percentiles, cache hits — the ops view of the demo.
+        ".stats",
     };
   }
   for (const std::string& sql : queries) RunQuery(db, sql);

@@ -64,6 +64,15 @@ class ZeusDb {
       int new_num_shards);
   int num_shards() const { return group_.num_shards(); }
 
+  // Self-observation snapshot of the serving layer: per-shard and
+  // per-dataset queue depth, queue-wait / execution latency histograms
+  // (p50/p95/p99), outcome counters, plan-cache hits/loads and resize
+  // counts. `Stats().ToJson()` is the machine-readable form (the SQL
+  // console's `.stats` command prints it). With `Options::autoscale`
+  // enabled, this is also the signal the autoscaler drives ResizeShards
+  // from.
+  engine::GroupStats Stats() const { return group_.Stats(); }
+
   bool HasDataset(const std::string& name) const {
     return group_.HasDataset(name);
   }

@@ -98,6 +98,19 @@ size_t AdmissionQueue::PendingFor(const std::string& tenant) const {
   return it == tenants_.end() ? 0 : it->second.items.size();
 }
 
+std::map<std::string, size_t> AdmissionQueue::PendingByTenant() const {
+  std::map<std::string, size_t> out;
+  for (const auto& [name, t] : tenants_) {
+    if (!t.items.empty()) out[name] = t.items.size();
+  }
+  return out;
+}
+
+int AdmissionQueue::WeightOf(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 1 : it->second.weight;
+}
+
 size_t AdmissionQueue::Purge(const std::function<bool(const Payload&)>& pred) {
   size_t removed = 0;
   for (auto& [name, t] : tenants_) {

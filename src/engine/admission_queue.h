@@ -71,6 +71,12 @@ class AdmissionQueue {
   // Queued items for one tenant (EngineGroup uses this to drain a moving
   // dataset during Resize).
   size_t PendingFor(const std::string& tenant) const;
+  // Queued items per tenant with a non-empty queue (the per-dataset
+  // queue-depth gauge in MetricsRegistry snapshots).
+  std::map<std::string, size_t> PendingByTenant() const;
+  // Current fair-share weight of a tenant (1 when never set). Lets the
+  // group verify and re-apply weights across a resize.
+  int WeightOf(const std::string& tenant) const;
 
  private:
   struct Item {

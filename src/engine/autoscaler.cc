@@ -1,0 +1,150 @@
+#include "engine/autoscaler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "engine/engine_group.h"
+
+namespace zeus::engine {
+
+Autoscaler::Signal Autoscaler::SignalFrom(
+    const GroupStats& stats, const HistogramStats* prev_queue_wait) {
+  Signal s;
+  s.num_shards = stats.num_shards;
+  s.queue_depth = stats.queue_depth;
+  s.active = stats.active;
+  s.p95_queue_wait_seconds =
+      prev_queue_wait != nullptr
+          ? stats.queue_wait.Delta(*prev_queue_wait).p95()
+          : stats.queue_wait.p95();
+  return s;
+}
+
+Autoscaler::Decision Autoscaler::Decide(const Signal& signal,
+                                        const Config& config, long now_tick,
+                                        State* state) {
+  const int min_shards = std::max(1, config.min_shards);
+  const int max_shards = std::max(min_shards, config.max_shards);
+  const int n = std::max(1, signal.num_shards);
+  Decision hold{n, "hold"};
+
+  // Out-of-band shard counts (a manual resize beyond the policy's limits)
+  // are respected, not fought: clamping only applies to the policy's own
+  // moves.
+  const bool up_signal =
+      signal.queue_depth > 0 &&
+      (static_cast<double>(signal.queue_depth) >=
+           config.up_queue_per_shard * static_cast<double>(n) ||
+       signal.p95_queue_wait_seconds >= config.up_p95_queue_wait_seconds);
+  const bool down_signal =
+      static_cast<double>(signal.queue_depth) <= config.down_queue_total &&
+      signal.active == 0;
+
+  // The two conditions are separated by a dead band: anything that is
+  // neither backlogged nor near-idle resets both streaks and holds. That
+  // is the hysteresis that prevents flapping around one threshold.
+  if (up_signal) {
+    ++state->up_streak;
+    state->down_streak = 0;
+  } else if (down_signal) {
+    ++state->down_streak;
+    state->up_streak = 0;
+  } else {
+    state->up_streak = 0;
+    state->down_streak = 0;
+  }
+
+  const int sustain = std::max(1, config.sustain_samples);
+  const bool cooling =
+      now_tick - state->last_resize_tick <
+      static_cast<long>(std::max(0, config.cooldown_samples));
+  if (cooling) {
+    // Streaks keep accumulating through the cooldown, so a backlog that
+    // persists acts the instant the cooldown expires.
+    hold.reason = "hold: cooldown";
+    return hold;
+  }
+
+  if (state->up_streak >= sustain && n < max_shards) {
+    state->up_streak = 0;
+    state->down_streak = 0;
+    state->last_resize_tick = now_tick;
+    return Decision{n + 1, "scale-up: sustained backlog"};
+  }
+  if (state->up_streak >= sustain && n >= max_shards) {
+    hold.reason = "hold: at max_shards";
+    return hold;
+  }
+  if (state->down_streak >= sustain && n > min_shards) {
+    state->up_streak = 0;
+    state->down_streak = 0;
+    state->last_resize_tick = now_tick;
+    return Decision{n - 1, "scale-down: near-idle"};
+  }
+  if (state->down_streak >= sustain && n <= min_shards) {
+    hold.reason = "hold: at min_shards";
+    return hold;
+  }
+  return hold;
+}
+
+Autoscaler::Autoscaler(EngineGroup* group, Config config)
+    : group_(group), cfg_(config) {
+  if (cfg_.sample_interval.count() < 1) {
+    cfg_.sample_interval = std::chrono::milliseconds(1);
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Autoscaler::~Autoscaler() { Stop(); }
+
+void Autoscaler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Autoscaler::Loop() {
+  State state;
+  long tick = 0;
+  // Previous sample's cumulative queue-wait histogram: the p95 signal is
+  // computed over the delta between consecutive samples, so it reflects
+  // the current window, not the engine's whole life.
+  HistogramStats prev_queue_wait;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, cfg_.sample_interval, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    // The cheap snapshot: the policy reads only group-level signals, so
+    // the per-dataset rows (string + histogram copies per dataset per
+    // shard) are skipped on this fixed-interval path.
+    const GroupStats stats = group_->Stats(/*include_datasets=*/false);
+    const Signal signal = SignalFrom(stats, &prev_queue_wait);
+    prev_queue_wait = stats.queue_wait;
+    const Decision decision = Decide(signal, cfg_, tick++, &state);
+    if (decision.target_shards == signal.num_shards) continue;
+    ZEUS_LOG(Info) << "autoscaler: " << decision.reason << " ("
+                   << signal.num_shards << " -> " << decision.target_shards
+                   << " shards; queued " << signal.queue_depth << ", active "
+                   << signal.active << ", p95 wait "
+                   << signal.p95_queue_wait_seconds << "s)";
+    decisions_.fetch_add(1, std::memory_order_relaxed);
+    // Resize blocks on the moved datasets' drains — deliberately in THIS
+    // thread, never in a serving path. Concurrent manual resizes
+    // serialize with it; losing that race just means the next sample sees
+    // the new shape.
+    auto resized = group_->Resize(decision.target_shards);
+    if (!resized.ok()) {
+      ZEUS_LOG(Warning) << "autoscaler resize failed: "
+                        << resized.status().ToString();
+    }
+  }
+}
+
+}  // namespace zeus::engine

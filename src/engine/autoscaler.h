@@ -1,0 +1,141 @@
+#ifndef ZEUS_ENGINE_AUTOSCALER_H_
+#define ZEUS_ENGINE_AUTOSCALER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "engine/metrics.h"
+
+namespace zeus::engine {
+
+class EngineGroup;
+
+// Queue/latency-driven shard autoscaler: the policy loop that turns the
+// serving layer from manually operated (`ZeusDb::ResizeShards`) into
+// self-operating. A sampler thread owned by the EngineGroup (opt-in via
+// `EngineGroup::Options::autoscale.enabled`) periodically reads
+// `EngineGroup::Stats()` and calls `Resize()` when the signals cross the
+// configured thresholds.
+//
+// The policy itself — `Decide()` — is a pure function of (signal, config,
+// logical tick, policy state): no clocks, no threads, no engine. That is
+// what makes the scaling rules table-testable (tests/autoscaler_test.cc)
+// the same way the admission queue's ordering rules are.
+//
+// Policy shape:
+//   - Scale UP one shard when either sustained signal crosses its
+//     threshold: queued backlog per shard, or p95 queue wait.
+//   - Scale DOWN one shard only when the group is near-idle (nothing
+//     queued beyond `down_queue_total`, nothing running) — sustained.
+//   - Hysteresis: the up and down conditions deliberately do not meet in
+//     the middle. Any load between "near-idle" and "backlogged" holds the
+//     current size, so the group cannot oscillate when traffic hovers
+//     around a single threshold.
+//   - Sustain: a condition must hold for `sustain_samples` consecutive
+//     samples before acting — one bursty sample never resizes.
+//   - Cooldown: at least `cooldown_samples` samples between resizes, so
+//     the effect of one resize is observed before the next.
+//   - Clamps: the target never leaves [min_shards, max_shards].
+//
+// A resize triggered here has exactly the semantics of a manual
+// `ResizeShards`: ring-diff-only movement, plan handoff without replanning
+// (`planner_runs` flat), answers bit-identical. The autoscaler changes
+// when capacity changes, never what queries return.
+class Autoscaler {
+ public:
+  struct Config {
+    // Master switch, read by EngineGroup's constructor.
+    bool enabled = false;
+    int min_shards = 1;
+    int max_shards = 8;
+    // Scale-up trigger: total queued tickets >= this many per shard...
+    double up_queue_per_shard = 8.0;
+    // ...or p95 queue wait at or above this many seconds.
+    double up_p95_queue_wait_seconds = 30.0;
+    // Scale-down requires total queued <= this AND zero running queries.
+    double down_queue_total = 0.0;
+    // Consecutive samples a condition must hold before acting.
+    int sustain_samples = 3;
+    // Minimum samples between two resizes.
+    int cooldown_samples = 10;
+    // Sampler thread period.
+    std::chrono::milliseconds sample_interval{500};
+  };
+
+  // The signals the policy reads, distilled from one Stats() snapshot.
+  struct Signal {
+    int num_shards = 1;
+    long queue_depth = 0;  // queued, not yet claimed
+    long active = 0;       // currently executing
+    double p95_queue_wait_seconds = 0.0;
+  };
+  // With `prev_queue_wait` set, the p95 is computed over the WINDOW since
+  // that earlier snapshot (bucket-wise delta of the cumulative
+  // histograms) — what the sampler thread uses, so one overload from
+  // hours ago cannot pin the lifetime p95 above the threshold and ratchet
+  // the group to max_shards forever. Without it the lifetime aggregate is
+  // used (tests, one-shot callers).
+  static Signal SignalFrom(const GroupStats& stats,
+                           const HistogramStats* prev_queue_wait = nullptr);
+
+  // Policy memory carried between consecutive Decide() calls.
+  struct State {
+    int up_streak = 0;
+    int down_streak = 0;
+    // Tick of the last resize decision; initialized so the first decision
+    // is never cooldown-blocked.
+    long last_resize_tick = std::numeric_limits<long>::min() / 2;
+  };
+
+  struct Decision {
+    // Desired shard count; == signal.num_shards means hold.
+    int target_shards = 1;
+    // Human-readable policy branch, for logs and tests.
+    const char* reason = "hold";
+  };
+
+  // Pure policy step at logical time `now_tick` (the sample counter).
+  // Updates `state` (streaks, cooldown bookkeeping) and returns the
+  // decision. Deterministic: the same sample sequence always produces the
+  // same resize sequence.
+  static Decision Decide(const Signal& signal, const Config& config,
+                         long now_tick, State* state);
+
+  // Starts the sampler thread immediately. `group` must outlive this
+  // object (EngineGroup owns it and stops it first in its destructor).
+  Autoscaler(EngineGroup* group, Config config);
+  ~Autoscaler();
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  // Stops and joins the sampler thread (idempotent).
+  void Stop();
+
+  // Resizes this autoscaler initiated (== decisions that were not holds).
+  long decisions() const {
+    return decisions_.load(std::memory_order_relaxed);
+  }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  void Loop();
+
+  EngineGroup* group_;
+  Config cfg_;
+  std::atomic<long> decisions_{0};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_AUTOSCALER_H_

@@ -32,6 +32,17 @@ EngineGroup::EngineGroup(Options options)
           });
     }
   }
+  // Last: the policy thread samples Stats() immediately, so every member
+  // above must already be live.
+  if (opts_.autoscale.enabled) {
+    autoscaler_ = std::make_unique<Autoscaler>(this, opts_.autoscale);
+  }
+}
+
+EngineGroup::~EngineGroup() {
+  // Stop the policy thread before members start dying under it (it reads
+  // shards_ through Stats() and can be blocked inside Resize()).
+  if (autoscaler_ != nullptr) autoscaler_->Stop();
 }
 
 std::function<bool(const std::string&)> EngineGroup::KeysOf(
@@ -66,7 +77,22 @@ const video::SyntheticDataset* EngineGroup::dataset(
 
 common::Status EngineGroup::SetDatasetWeight(const std::string& name,
                                              int weight) {
-  return EngineForShared(name)->SetDatasetWeight(name, weight);
+  // Mirror the shard-level validation up front so an invalid call cannot
+  // disturb the durable record below.
+  if (weight < 1) {
+    return common::Status::InvalidArgument("weight must be >= 1");
+  }
+  common::Status st = EngineForShared(name)->SetDatasetWeight(name, weight);
+  if (st.ok()) {
+    // The group-level map is the durable record: Resize() re-applies it
+    // to the new home queue whenever the dataset moves, so the weight is
+    // never silently reset by an elastic event. Only successful updates
+    // are recorded — a failed call can never clobber (or roll back over)
+    // a concurrent successful one.
+    std::lock_guard<std::mutex> lock(weights_mu_);
+    dataset_weights_[name] = weight;
+  }
+  return st;
 }
 
 common::Result<QueryTicket> EngineGroup::Submit(const std::string& dataset_name,
@@ -138,105 +164,165 @@ common::Result<EngineGroup::ResizeReport> EngineGroup::Resize(
   if (new_num_shards < 1) {
     return common::Status::InvalidArgument("num_shards must be >= 1");
   }
-  std::lock_guard<std::mutex> resize_lock(resize_mu_);
-  // resize_mu_ is the only writer gate for ring_/shards_, so reading them
-  // here without mu_ is race-free; concurrent readers are unaffected.
-  const int old_n = static_cast<int>(shards_.size());
-
-  ResizeReport report;
-  report.old_num_shards = old_n;
-  report.new_num_shards = new_num_shards;
-  if (new_num_shards == old_n) return report;
-
-  std::vector<std::string> datasets;
-  for (const auto& shard : shards_) {
-    for (std::string& name : shard->dataset_names()) {
-      datasets.push_back(std::move(name));
+  // Fast no-op: a resize to the current count must not pay for — or wait
+  // behind — an in-progress resize's drains. Racy against a concurrent
+  // resize, so the count is re-checked under the serial lock below; this
+  // check only serves callers asking for the size they can already see.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (static_cast<int>(shards_.size()) == new_num_shards) {
+      ResizeReport report;
+      report.old_num_shards = new_num_shards;
+      report.new_num_shards = new_num_shards;
+      return report;
     }
   }
 
-  ShardRing new_ring(new_num_shards, opts_.vnodes_per_shard);
-  // Minimal movement: only the ring owner diff is disturbed. On growth
-  // every move lands on an added shard; on shrink only the removed shards'
-  // datasets move.
-  std::vector<ShardRing::KeyMove> moves = ring_.DiffOwners(new_ring, datasets);
+  // Whole resizes serialize with each other (drains included) on this
+  // outer lock; registrations only contend on resize_mu_ below, which is
+  // never held across a drain wait.
+  std::lock_guard<std::mutex> serial_lock(resize_serial_mu_);
 
-  std::vector<std::shared_ptr<QueryEngine>> added;
-  QueryEngine::Options engine_opts = opts_.engine;
-  engine_opts.cache.warm_start = false;  // handoff below is filtered
-  for (int s = old_n; s < new_num_shards; ++s) {
-    added.push_back(std::make_shared<QueryEngine>(engine_opts));
-  }
-  auto engine_at = [&](int id) -> const std::shared_ptr<QueryEngine>& {
-    return id < old_n ? shards_[static_cast<size_t>(id)]
-                      : added[static_cast<size_t>(id - old_n)];
-  };
-
-  // Phase 1 (pre-flip, no locks): give every moved dataset's new home the
-  // dataset handle and its trained plans, so the instant the ring flips
-  // the new owner can serve from cache. Plans travel through the shared
-  // persist_dir catalog (disk manifests, PlanIo-verified); in-memory
-  // transfer is the fallback without persistence — the planner is never
-  // involved either way.
   struct PendingMove {
     ShardRing::KeyMove move;
     std::shared_ptr<QueryEngine> src;
   };
   std::vector<PendingMove> pending;
-  pending.reserve(moves.size());
-  // Datasets arriving on each destination shard, so the catalog is
-  // scanned once per destination instead of once per moved dataset.
-  std::map<int, std::set<std::string>> arrivals;
-  for (ShardRing::KeyMove& m : moves) {
-    std::shared_ptr<QueryEngine> src = engine_at(m.from);
-    const std::shared_ptr<QueryEngine>& dst = engine_at(m.to);
-    std::shared_ptr<video::SyntheticDataset> ds = src->ShareDataset(m.key);
-    if (ds != nullptr) {
-      common::Status st = dst->RegisterDataset(m.key, std::move(ds));
-      if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
-        return st;
-      }
-    }
-    arrivals[m.to].insert(m.key);
-    pending.push_back({std::move(m), std::move(src)});
-  }
-  if (!opts_.engine.cache.persist_dir.empty()) {
-    for (const auto& [dst_id, names] : arrivals) {
-      report.plans_moved += static_cast<long>(
-          engine_at(dst_id)->plan_cache().WarmUp(
-              [&names](const std::string& key) {
-                return names.count(QueryEngine::PlanKeyDataset(key)) > 0;
-              }));
-    }
-  }
-  // Hand over whatever is (still) only in a source's memory — e.g. plans
-  // whose disk checkpoint failed to write, or everything when no
-  // persist_dir is configured. No-op for keys the warm load covered.
-  for (const PendingMove& p : pending) {
-    for (auto& [key, plan] : p.src->plan_cache().Snapshot(KeysOf(p.move.key))) {
-      if (engine_at(p.move.to)->plan_cache().Put(key, std::move(plan))) {
-        ++report.plans_moved;
-      }
-    }
-  }
-
-  // Phase 2: the flip. The only exclusive section — swap the ring and the
-  // shard vector; every submission from here on routes with the new ring.
+  ResizeReport report;
+  report.new_num_shards = new_num_shards;
   std::vector<std::shared_ptr<QueryEngine>> retired;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
-    ring_ = std::move(new_ring);
-    for (auto& shard : added) shards_.push_back(std::move(shard));
-    for (int s = old_n - 1; s >= new_num_shards; --s) {
-      retired.push_back(std::move(shards_[static_cast<size_t>(s)]));
-      shards_.pop_back();
-    }
-    opts_.num_shards = new_num_shards;
-  }
+    // Structural phases (move computation .. ring flip): exclusive with
+    // dataset registration, so a dataset registered mid-resize cannot
+    // land on a shard the new ring no longer routes it to.
+    std::lock_guard<std::mutex> resize_lock(resize_mu_);
+    // resize_serial_mu_ + resize_mu_ are the only writer gates for
+    // ring_/shards_, so reading them here without mu_ is race-free;
+    // concurrent readers are unaffected.
+    const int old_n = static_cast<int>(shards_.size());
+    report.old_num_shards = old_n;
+    if (new_num_shards == old_n) return report;
 
-  // Phase 3 (post-flip, no locks): let each moved dataset's in-flight tail
-  // finish on its old shard, then retire the dataset (and its cached
-  // plans) there. New traffic is already flowing to the new owners.
+    std::vector<std::string> datasets;
+    for (const auto& shard : shards_) {
+      for (std::string& name : shard->dataset_names()) {
+        datasets.push_back(std::move(name));
+      }
+    }
+
+    ShardRing new_ring(new_num_shards, opts_.vnodes_per_shard);
+    // Minimal movement: only the ring owner diff is disturbed. On growth
+    // every move lands on an added shard; on shrink only the removed
+    // shards' datasets move.
+    std::vector<ShardRing::KeyMove> moves =
+        ring_.DiffOwners(new_ring, datasets);
+
+    std::vector<std::shared_ptr<QueryEngine>> added;
+    QueryEngine::Options engine_opts = opts_.engine;
+    engine_opts.cache.warm_start = false;  // handoff below is filtered
+    for (int s = old_n; s < new_num_shards; ++s) {
+      added.push_back(std::make_shared<QueryEngine>(engine_opts));
+    }
+    auto engine_at = [&](int id) -> const std::shared_ptr<QueryEngine>& {
+      return id < old_n ? shards_[static_cast<size_t>(id)]
+                        : added[static_cast<size_t>(id - old_n)];
+    };
+
+    // Phase 1 (pre-flip): give every moved dataset's new home the dataset
+    // handle and its trained plans, so the instant the ring flips the new
+    // owner can serve from cache. Plans travel through the shared
+    // persist_dir catalog (disk manifests, PlanIo-verified); in-memory
+    // transfer is the fallback without persistence — the planner is never
+    // involved either way.
+    pending.reserve(moves.size());
+    // Datasets arriving on each destination shard, so the catalog is
+    // scanned once per destination instead of once per moved dataset.
+    std::map<int, std::set<std::string>> arrivals;
+    for (ShardRing::KeyMove& m : moves) {
+      std::shared_ptr<QueryEngine> src = engine_at(m.from);
+      const std::shared_ptr<QueryEngine>& dst = engine_at(m.to);
+      std::shared_ptr<video::SyntheticDataset> ds = src->ShareDataset(m.key);
+      if (ds != nullptr) {
+        common::Status st = dst->RegisterDataset(m.key, std::move(ds));
+        if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
+          return st;
+        }
+      }
+      arrivals[m.to].insert(m.key);
+      pending.push_back({std::move(m), std::move(src)});
+    }
+    if (!opts_.engine.cache.persist_dir.empty()) {
+      for (const auto& [dst_id, names] : arrivals) {
+        report.plans_moved += static_cast<long>(
+            engine_at(dst_id)->plan_cache().WarmUp(
+                [&names](const std::string& key) {
+                  return names.count(QueryEngine::PlanKeyDataset(key)) > 0;
+                }));
+      }
+    }
+    // Hand over whatever is (still) only in a source's memory — e.g.
+    // plans whose disk checkpoint failed to write, or everything when no
+    // persist_dir is configured. No-op for keys the warm load covered.
+    for (const PendingMove& p : pending) {
+      for (auto& [key, plan] :
+           p.src->plan_cache().Snapshot(KeysOf(p.move.key))) {
+        if (engine_at(p.move.to)->plan_cache().Put(key, std::move(plan))) {
+          ++report.plans_moved;
+        }
+      }
+    }
+
+    // Phase 2: the flip. The only mu_-exclusive section — swap the ring
+    // and the shard vector; every submission from here on routes with the
+    // new ring.
+    // carry_mu_ is held ACROSS the flip (lock order: carry_mu_ -> mu_,
+    // same as Stats()), so leaving shards_ and entering retiring_ is one
+    // atomic step to any observer: a concurrent Stats() counts a
+    // shrinking shard exactly once — never zero (blind spot), never twice
+    // (still in shards_ and already retiring).
+    {
+      std::lock_guard<std::mutex> carry_lock(carry_mu_);
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      ring_ = std::move(new_ring);
+      for (auto& shard : added) shards_.push_back(std::move(shard));
+      for (int s = old_n - 1; s >= new_num_shards; --s) {
+        // A shard leaving the ring is still live (its tail drains below)
+        // and its metrics must not disappear from Stats() for the whole
+        // drain window: it stays visible as "retiring" until the final
+        // fold.
+        retiring_.push_back(shards_[static_cast<size_t>(s)]);
+        retired.push_back(std::move(shards_[static_cast<size_t>(s)]));
+        shards_.pop_back();
+      }
+      opts_.num_shards = new_num_shards;
+    }
+
+    // Re-apply group-level fairness weights to every moved dataset's new
+    // home queue, before the first post-flip pop can be scheduled
+    // unweighted. Without this, a SetDatasetWeight was silently dropped
+    // by the next resize (the weight lived only in the old shard's
+    // queue).
+    {
+      std::lock_guard<std::mutex> weights_lock(weights_mu_);
+      for (const PendingMove& p : pending) {
+        auto it = dataset_weights_.find(p.move.key);
+        if (it == dataset_weights_.end()) continue;
+        common::Status st =
+            shards_[static_cast<size_t>(p.move.to)]->SetDatasetWeight(
+                p.move.key, it->second);
+        if (!st.ok()) {
+          ZEUS_LOG(Warning) << "resize: could not re-apply weight for '"
+                            << p.move.key << "': " << st.ToString();
+        }
+      }
+    }
+  }  // resize_mu_ released: registrations proceed during the drains below.
+
+  // Phase 3 (post-flip): let each moved dataset's in-flight tail finish
+  // on its old shard, then retire the dataset (and its cached plans)
+  // there. New traffic is already flowing to the new owners, and new
+  // registrations are admitted concurrently — the drain waits sit only on
+  // this thread, never on the registration path.
   for (PendingMove& p : pending) {
     p.src->DrainDataset(p.move.key);
     // The drained tail may have trained plans AFTER the phase-1 handoff
@@ -248,7 +334,8 @@ common::Result<EngineGroup::ResizeReport> EngineGroup::Resize(
     // keeps the new owner warm either way. Put() is a no-op for keys
     // already handed over in phase 1. shards_[p.move.to] is valid after
     // the flip for growth and shrink alike (`to` always indexes the new
-    // layout), and resize_mu_ keeps the read race-free.
+    // layout), and resize_serial_mu_ keeps the read race-free (only
+    // resizes mutate the vector).
     for (auto& [key, plan] : p.src->plan_cache().Snapshot(KeysOf(p.move.key))) {
       if (shards_[static_cast<size_t>(p.move.to)]->plan_cache().Put(
               key, std::move(plan))) {
@@ -263,9 +350,56 @@ common::Result<EngineGroup::ResizeReport> EngineGroup::Resize(
   }
   std::sort(report.moved.begin(), report.moved.end());
   // Retired shards are fully drained (every dataset they owned was moved
-  // above); destruction joins their worker pools.
+  // above). Fold their final metrics into the carry and drop them from
+  // the retiring list in ONE critical section — a Stats() racing this
+  // sees each shard's history exactly once, live or carried, never
+  // neither — then destruction joins their worker pools.
+  {
+    std::lock_guard<std::mutex> carry_lock(carry_mu_);
+    for (const auto& shard : retired) {
+      retired_carry_.Merge(shard->Stats());
+    }
+    retiring_.erase(
+        std::remove_if(retiring_.begin(), retiring_.end(),
+                       [&](const std::shared_ptr<QueryEngine>& shard) {
+                         for (const auto& r : retired) {
+                           if (r == shard) return true;
+                         }
+                         return false;
+                       }),
+        retiring_.end());
+  }
   retired.clear();
+  resizes_.fetch_add(1, std::memory_order_relaxed);
   return report;
+}
+
+GroupStats EngineGroup::Stats(bool include_datasets) const {
+  GroupStats out;
+  out.resizes = resizes_.load(std::memory_order_relaxed);
+  out.autoscaler_decisions =
+      autoscaler_ != nullptr ? autoscaler_->decisions() : 0;
+  // carry_mu_ spans the shards_ read AND the retiring/carry reads
+  // (lock order carry_mu_ -> mu_, matching the resize flip), so a shard
+  // mid-shrink is observed in exactly one of the three places.
+  std::lock_guard<std::mutex> carry_lock(carry_mu_);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    out.num_shards = static_cast<int>(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      ShardStats shard = shards_[i]->Stats(include_datasets);
+      shard.shard = static_cast<int>(i);
+      out.Absorb(std::move(shard));
+    }
+  }
+  // Retired and still-retiring shards' history enters the aggregates
+  // (not the per-shard rows): totals stay monotonic across scale-downs,
+  // with no blind spot while a retiring shard drains its tail.
+  for (const auto& shard : retiring_) {
+    out.AbsorbTotals(shard->Stats(/*include_datasets=*/false));
+  }
+  out.AbsorbTotals(retired_carry_);
+  return out;
 }
 
 long EngineGroup::planner_runs() const {

@@ -1,13 +1,17 @@
 #ifndef ZEUS_ENGINE_ENGINE_GROUP_H_
 #define ZEUS_ENGINE_ENGINE_GROUP_H_
 
+#include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "engine/autoscaler.h"
+#include "engine/metrics.h"
 #include "engine/query_engine.h"
 #include "engine/shard_ring.h"
 
@@ -42,6 +46,14 @@ namespace zeus::engine {
 // ownership filter) at construction, so a restarted group serves its first
 // query from cache.
 //
+// Self-observation: Stats() aggregates every shard's MetricsRegistry
+// snapshot (queue depth/wait, execution latency percentiles, outcome and
+// plan-cache counters, per-dataset breakdown) exactly — histograms merge
+// bucket-wise. With Options::autoscale.enabled the group also owns an
+// Autoscaler: a policy thread that samples Stats() and drives Resize()
+// from sustained queue depth / p95 queue wait, turning the serving layer
+// self-operating (engine/autoscaler.h).
+//
 // num_shards == 1 is exactly the single-engine behavior ZeusDb always had;
 // ZeusDb fronts an EngineGroup and defaults to that.
 class EngineGroup {
@@ -58,6 +70,12 @@ class EngineGroup {
     // handoff channel for Resize() and the warm-start source
     // (cache.warm_start).
     QueryEngine::Options engine;
+    // Opt-in self-operation: with autoscale.enabled the group owns a
+    // policy thread that samples Stats() and drives Resize() from queue
+    // depth / p95 queue wait (see engine/autoscaler.h for the knobs).
+    // num_shards is the starting size; the policy keeps the live size in
+    // [autoscale.min_shards, autoscale.max_shards].
+    Autoscaler::Config autoscale;
   };
 
   // What one Resize() did: which datasets changed home shard (exactly the
@@ -76,6 +94,8 @@ class EngineGroup {
 
   EngineGroup();  // default Options (one shard)
   explicit EngineGroup(Options options);
+  // Stops the autoscaler (if any) before the shards go down.
+  ~EngineGroup();
 
   EngineGroup(const EngineGroup&) = delete;
   EngineGroup& operator=(const EngineGroup&) = delete;
@@ -87,11 +107,20 @@ class EngineGroup {
   // retires the removed shards. In-flight and queued tickets on a moving
   // dataset finish on the old shard; submissions after the flip route to
   // the new owner, which already has the dataset and its plans —
-  // `planner_runs` stays flat across a resize. Blocks until the moved
-  // datasets' in-flight tails drain. Per-dataset fairness weights
-  // (SetDatasetWeight) do not migrate; re-apply them after a resize.
-  // Thread-safe against concurrent Submit/Execute; concurrent Resize calls
-  // serialize.
+  // `planner_runs` stays flat across a resize. Per-dataset fairness
+  // weights (SetDatasetWeight) migrate with their datasets: the group
+  // keeps the weight map and re-applies it to every moved dataset's new
+  // home queue as part of the resize.
+  //
+  // Blocks until the moved datasets' in-flight tails drain, but the drain
+  // waits happen OFF the registration path: RegisterDataset only
+  // serializes with the ring flip itself, so a registration storm during
+  // a long drain proceeds instead of queueing behind it. Concurrent
+  // Resize calls serialize with each other end to end.
+  //
+  // `new_num_shards < 1` returns kInvalidArgument; a resize to the
+  // current count is a clean no-op (no drains, no exclusive section) and
+  // does not wait behind an in-progress resize.
   common::Result<ResizeReport> Resize(int new_num_shards);
 
   // Registers the dataset on its home shard (only there: the ring keeps
@@ -102,6 +131,8 @@ class EngineGroup {
   const video::SyntheticDataset* dataset(const std::string& name) const;
 
   // Fair-share weight of a dataset in its home shard's admission queue.
+  // Recorded at the group level too, so the weight survives every later
+  // Resize() no matter where the dataset re-homes.
   common::Status SetDatasetWeight(const std::string& name, int weight);
 
   // Submission and execution route to the dataset's home shard; the ticket
@@ -144,6 +175,16 @@ class EngineGroup {
   long disk_loads() const;
   size_t pending() const;
 
+  // Full self-observation snapshot: per-shard MetricsRegistry snapshots
+  // (queue depth/wait, execution latency histograms, outcome counters,
+  // plan-cache hits/loads, per-dataset breakdown) aggregated exactly at
+  // the group level, plus the resize counters. This is what the
+  // autoscaler samples and what `ZeusDb::Stats()` returns;
+  // GroupStats::ToJson() is the tooling form. `include_datasets == false`
+  // skips the per-dataset rows — the cheap form the autoscaler's
+  // fixed-interval sampler uses (aggregates are identical either way).
+  GroupStats Stats(bool include_datasets = true) const;
+
   const Options& options() const { return opts_; }
 
  private:
@@ -156,9 +197,16 @@ class EngineGroup {
 
   Options opts_;
 
-  // Serializes structural changes (Resize) and dataset registration, so a
-  // dataset registered mid-resize cannot land on a shard the new ring
-  // no longer routes it to.
+  // Serializes whole Resize() calls against each other, drains included.
+  // Registrations never touch this one, so they proceed while a resize
+  // waits out a long in-flight tail.
+  std::mutex resize_serial_mu_;
+
+  // Serializes dataset registration with the structural part of a resize
+  // (move computation through ring flip), so a dataset registered
+  // mid-resize cannot land on a shard the new ring no longer routes it
+  // to. Held only for the fast phases — never across drain waits.
+  // Lock order: resize_serial_mu_ -> resize_mu_ -> mu_.
   std::mutex resize_mu_;
 
   // Guards ring_ + shards_. Submissions take it shared for the whole
@@ -168,6 +216,31 @@ class EngineGroup {
   mutable std::shared_mutex mu_;
   ShardRing ring_;
   std::vector<std::shared_ptr<QueryEngine>> shards_;
+
+  // Group-level fairness weights (dataset -> weight), the durable record
+  // behind SetDatasetWeight. Shard queues are re-populated from this map
+  // when a resize re-homes a dataset.
+  mutable std::mutex weights_mu_;
+  std::map<std::string, int> dataset_weights_;
+
+  // Completed Resize() calls that changed the shard count.
+  std::atomic<long> resizes_{0};
+
+  // Scale-down history, in two stages so Stats() never has a blind spot:
+  // shards leaving the ring land in `retiring_` at the flip (still live,
+  // still draining their tails — Stats() samples them there), and their
+  // final snapshot folds into `retired_carry_` in the same carry_mu_
+  // critical section that removes them from `retiring_`. Group totals and
+  // histograms are therefore monotonic across the whole shrink — flip,
+  // drain window and retirement included.
+  mutable std::mutex carry_mu_;
+  std::vector<std::shared_ptr<QueryEngine>> retiring_;
+  ShardStats retired_carry_;
+
+  // Present iff options().autoscale.enabled. Declared last is not enough
+  // for safe teardown (it samples Stats() and calls Resize()), so the
+  // destructor stops it explicitly before anything else.
+  std::unique_ptr<Autoscaler> autoscaler_;
 };
 
 }  // namespace zeus::engine

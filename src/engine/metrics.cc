@@ -1,0 +1,338 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <utility>
+
+#include "common/stringutil.h"
+
+namespace zeus::engine {
+
+// ---- HistogramStats --------------------------------------------------------
+
+double HistogramStats::BucketBound(size_t i) {
+  return 1e-6 * static_cast<double>(1ull << i);
+}
+
+double HistogramStats::Percentile(double p) const {
+  if (count <= 0) return 0.0;
+  long bucket_total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) bucket_total += buckets[i];
+  if (bucket_total <= 0) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  // Rank of the p-th sample, 1-based; p=1 is the last sample. Clamped to
+  // the bucket population: `count` and the buckets come from separate
+  // atomics, so a torn snapshot must degrade to the highest observed
+  // sample, never fall through to the open top bucket's bound.
+  const long rank = std::min(
+      bucket_total,
+      std::max<long>(
+          1, static_cast<long>(std::ceil(p * static_cast<double>(count)))));
+  long seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+void HistogramStats::Merge(const HistogramStats& other) {
+  count += other.count;
+  sum_seconds += other.sum_seconds;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+HistogramStats HistogramStats::Delta(const HistogramStats& earlier) const {
+  HistogramStats out;
+  out.count = std::max(0L, count - earlier.count);
+  out.sum_seconds = std::max(0.0, sum_seconds - earlier.sum_seconds);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.buckets[i] = std::max(0L, buckets[i] - earlier.buckets[i]);
+  }
+  return out;
+}
+
+// ---- ServingCounters / ShardStats ------------------------------------------
+
+void ServingCounters::Fold(const ServingCounters& other) {
+  queue_depth += other.queue_depth;
+  active += other.active;
+  peak_queue_depth = std::max(peak_queue_depth, other.peak_queue_depth);
+  submitted += other.submitted;
+  completed += other.completed;
+  failed += other.failed;
+  cancelled += other.cancelled;
+  rejected += other.rejected;
+  drains += other.drains;
+  planner_runs += other.planner_runs;
+  cache_hits += other.cache_hits;
+  disk_loads += other.disk_loads;
+  queue_wait.Merge(other.queue_wait);
+  exec.Merge(other.exec);
+}
+
+void ShardStats::Merge(const ShardStats& other) {
+  Fold(other);
+  for (const DatasetStats& ds : other.datasets) {
+    DatasetStats* mine = nullptr;
+    for (DatasetStats& candidate : datasets) {
+      if (candidate.dataset == ds.dataset) {
+        mine = &candidate;
+        break;
+      }
+    }
+    if (mine == nullptr) {
+      datasets.push_back(ds);
+      continue;
+    }
+    mine->queue_depth += ds.queue_depth;
+    mine->submitted += ds.submitted;
+    mine->completed += ds.completed;
+    mine->failed += ds.failed;
+    mine->cancelled += ds.cancelled;
+    mine->rejected += ds.rejected;
+    mine->queue_wait.Merge(ds.queue_wait);
+    mine->exec.Merge(ds.exec);
+    // The weight is a live gauge, not history: keep the current row's.
+  }
+}
+
+// ---- GroupStats ------------------------------------------------------------
+
+void GroupStats::Absorb(ShardStats shard) {
+  AbsorbTotals(shard);
+  shards.push_back(std::move(shard));
+}
+
+namespace {
+
+// JSON string escaping for interpolated names (dataset names are
+// caller-chosen, so quotes/backslashes/control bytes must not produce
+// malformed output).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += common::Format("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendHistJson(std::string* out, const char* name,
+                    const HistogramStats& h) {
+  *out += common::Format(
+      "\"%s\": {\"count\": %ld, \"mean_seconds\": %.9g, \"p50\": %.9g, "
+      "\"p95\": %.9g, \"p99\": %.9g}",
+      name, h.count, h.mean_seconds(), h.p50(), h.p95(), h.p99());
+}
+
+void AppendCountersJson(std::string* out, long submitted, long completed,
+                        long failed, long cancelled, long rejected) {
+  *out += common::Format(
+      "\"submitted\": %ld, \"completed\": %ld, \"failed\": %ld, "
+      "\"cancelled\": %ld, \"rejected\": %ld",
+      submitted, completed, failed, cancelled, rejected);
+}
+
+}  // namespace
+
+std::string GroupStats::ToJson() const {
+  std::string out = "{\n";
+  out += common::Format(
+      "  \"num_shards\": %d, \"resizes\": %ld, \"autoscaler_decisions\": "
+      "%ld,\n",
+      num_shards, resizes, autoscaler_decisions);
+  out += common::Format(
+      "  \"queue_depth\": %ld, \"active\": %ld, \"peak_queue_depth\": %ld,\n"
+      "  ",
+      queue_depth, active, peak_queue_depth);
+  AppendCountersJson(&out, submitted, completed, failed, cancelled, rejected);
+  out += common::Format(", \"drains\": %ld,\n", drains);
+  out += common::Format(
+      "  \"planner_runs\": %ld, \"cache_hits\": %ld, \"disk_loads\": %ld,\n"
+      "  ",
+      planner_runs, cache_hits, disk_loads);
+  AppendHistJson(&out, "queue_wait", queue_wait);
+  out += ",\n  ";
+  AppendHistJson(&out, "exec", exec);
+  out += ",\n  \"shards\": [";
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const ShardStats& sh = shards[s];
+    out += s == 0 ? "\n" : ",\n";
+    out += common::Format(
+        "    {\"shard\": %d, \"queue_depth\": %ld, \"active\": %ld, "
+        "\"peak_queue_depth\": %ld, ",
+        sh.shard, sh.queue_depth, sh.active, sh.peak_queue_depth);
+    AppendCountersJson(&out, sh.submitted, sh.completed, sh.failed,
+                       sh.cancelled, sh.rejected);
+    out += common::Format(
+        ", \"drains\": %ld, \"planner_runs\": %ld, \"cache_hits\": %ld, "
+        "\"disk_loads\": %ld, ",
+        sh.drains, sh.planner_runs, sh.cache_hits, sh.disk_loads);
+    AppendHistJson(&out, "queue_wait", sh.queue_wait);
+    out += ", ";
+    AppendHistJson(&out, "exec", sh.exec);
+    out += ", \"datasets\": [";
+    for (size_t d = 0; d < sh.datasets.size(); ++d) {
+      const DatasetStats& ds = sh.datasets[d];
+      out += d == 0 ? "" : ", ";
+      out += "{\"dataset\": ";
+      AppendJsonString(&out, ds.dataset);
+      out += common::Format(", \"queue_depth\": %ld, \"weight\": %d, ",
+                            ds.queue_depth, ds.weight);
+      AppendCountersJson(&out, ds.submitted, ds.completed, ds.failed,
+                         ds.cancelled, ds.rejected);
+      out += ", ";
+      AppendHistJson(&out, "queue_wait", ds.queue_wait);
+      out += ", ";
+      AppendHistJson(&out, "exec", ds.exec);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ]\n}";
+  return out;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+void MetricsRegistry::Hist::Record(double seconds) {
+  if (seconds < 0) seconds = 0;
+  // Index of the first bucket whose upper bound 1µs * 2^i covers the
+  // sample.
+  size_t idx = 0;
+  double bound = 1e-6;
+  while (idx + 1 < HistogramStats::kNumBuckets && seconds > bound) {
+    bound *= 2.0;
+    ++idx;
+  }
+  // Bucket before count, with release/acquire pairing on count: a
+  // snapshot that observes count == N also observes the N bucket
+  // increments, so sum(buckets) >= count always holds for readers (the
+  // invariant Percentile's rank clamp leans on).
+  buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_micros.fetch_add(static_cast<long>(seconds * 1e6),
+                       std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_release);
+}
+
+HistogramStats MetricsRegistry::Hist::Snapshot() const {
+  HistogramStats out;
+  out.count = count.load(std::memory_order_acquire);
+  out.sum_seconds =
+      static_cast<double>(sum_micros.load(std::memory_order_relaxed)) * 1e-6;
+  for (size_t i = 0; i < HistogramStats::kNumBuckets; ++i) {
+    out.buckets[i] = buckets[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+MetricsRegistry::PerDataset* MetricsRegistry::ForDataset(
+    const std::string& dataset) {
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    auto it = per_dataset_.find(dataset);
+    if (it != per_dataset_.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(map_mu_);
+  auto& slot = per_dataset_[dataset];
+  if (slot == nullptr) slot = std::make_unique<PerDataset>();
+  return slot.get();
+}
+
+void MetricsRegistry::RecordSubmitted(const std::string& dataset,
+                                      size_t queue_depth_now) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  ForDataset(dataset)->submitted.fetch_add(1, std::memory_order_relaxed);
+  const long depth = static_cast<long>(queue_depth_now);
+  long peak = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_queue_depth_.compare_exchange_weak(peak, depth,
+                                                  std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::RecordRejected(const std::string& dataset) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  ForDataset(dataset)->rejected.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordCancelledWhileQueued(const std::string& dataset) {
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  ForDataset(dataset)->cancelled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordQueueWait(const std::string& dataset,
+                                      double seconds) {
+  queue_wait_.Record(seconds);
+  ForDataset(dataset)->queue_wait.Record(seconds);
+}
+
+void MetricsRegistry::RecordRun(const std::string& dataset, double seconds,
+                                RunOutcome outcome) {
+  exec_.Record(seconds);
+  PerDataset* d = ForDataset(dataset);
+  d->exec.Record(seconds);
+  switch (outcome) {
+    case RunOutcome::kDone:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      d->completed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RunOutcome::kFailed:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      d->failed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RunOutcome::kCancelled:
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      d->cancelled.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+void MetricsRegistry::RecordDrain() {
+  drains_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ShardStats MetricsRegistry::Snapshot(bool include_datasets) const {
+  ShardStats out;
+  out.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.cancelled = cancelled_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.drains = drains_.load(std::memory_order_relaxed);
+  out.queue_wait = queue_wait_.Snapshot();
+  out.exec = exec_.Snapshot();
+  if (!include_datasets) return out;
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  out.datasets.reserve(per_dataset_.size());
+  for (const auto& [name, d] : per_dataset_) {
+    DatasetStats ds;
+    ds.dataset = name;
+    ds.submitted = d->submitted.load(std::memory_order_relaxed);
+    ds.completed = d->completed.load(std::memory_order_relaxed);
+    ds.failed = d->failed.load(std::memory_order_relaxed);
+    ds.cancelled = d->cancelled.load(std::memory_order_relaxed);
+    ds.rejected = d->rejected.load(std::memory_order_relaxed);
+    ds.queue_wait = d->queue_wait.Snapshot();
+    ds.exec = d->exec.Snapshot();
+    out.datasets.push_back(std::move(ds));
+  }
+  return out;
+}
+
+}  // namespace zeus::engine

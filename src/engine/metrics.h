@@ -1,0 +1,217 @@
+#ifndef ZEUS_ENGINE_METRICS_H_
+#define ZEUS_ENGINE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+namespace zeus::engine {
+
+// Self-observation layer for the serving stack. The engine used to expose
+// its behavior only as bench output; the autoscaler (engine/autoscaler.h)
+// needs queue depth and latency as live, cheap-to-read signals, and
+// operators need them as a snapshot (`ZeusDb::Stats()`). Everything here is
+// designed for the hot path that feeds it: counters are relaxed atomics,
+// histograms are fixed arrays of atomic buckets (no allocation, no lock on
+// record), and the only lock is a shared_mutex around the per-dataset map —
+// taken shared (uncontended) on every record, exclusively only the first
+// time a dataset is seen.
+
+// ---- Snapshot types --------------------------------------------------------
+//
+// A snapshot is a plain-value copy: safe to hold, aggregate and serialize
+// while the engine keeps running. Aggregation across shards is exact —
+// histograms merge bucket-wise (same fixed bounds everywhere), counters add.
+
+// Fixed-bucket latency histogram readout. Bucket i counts samples in
+// (upper_bound(i-1), upper_bound(i)] with upper_bound(i) = 1µs * 2^i; the
+// 40 buckets span 1µs .. ~6 days (2^39µs), the last bucket is open-ended.
+// Percentiles report the upper bound of the bucket holding the p-th sample:
+// deterministic, and an over- (never under-) estimate — the safe direction
+// for scaling decisions.
+struct HistogramStats {
+  static constexpr size_t kNumBuckets = 40;
+
+  long count = 0;
+  double sum_seconds = 0.0;
+  std::array<long, kNumBuckets> buckets{};
+
+  // Upper bound of bucket i, in seconds.
+  static double BucketBound(size_t i);
+  // Value at or below which `p` (in [0,1]) of the samples fall; 0 when
+  // empty.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(0.50); }
+  double p95() const { return Percentile(0.95); }
+  double p99() const { return Percentile(0.99); }
+  double mean_seconds() const {
+    return count > 0 ? sum_seconds / static_cast<double>(count) : 0.0;
+  }
+  void Merge(const HistogramStats& other);
+  // Samples recorded since `earlier` (bucket-wise clamped subtraction):
+  // how the autoscaler turns two cumulative snapshots into a windowed
+  // signal, so an overload from hours ago cannot pin today's p95.
+  HistogramStats Delta(const HistogramStats& earlier) const;
+};
+
+// One dataset's view on one shard.
+struct DatasetStats {
+  std::string dataset;
+  long queue_depth = 0;  // currently queued (gauge, sampled)
+  int weight = 1;        // admission-queue fair-share weight
+  long submitted = 0;
+  long completed = 0;
+  long failed = 0;
+  long cancelled = 0;
+  long rejected = 0;  // kResourceExhausted at admission
+  HistogramStats queue_wait;
+  HistogramStats exec;
+};
+
+// The counters, gauges and histograms shared by every aggregation level
+// (shard and group). One Fold() is the single place the field list is
+// summed, so the per-shard merge and the group aggregate can never drift
+// apart when a field is added.
+struct ServingCounters {
+  long queue_depth = 0;       // currently queued (gauge, sampled)
+  long active = 0;            // currently inside RunTicket (gauge, sampled)
+  long peak_queue_depth = 0;  // high-water mark since construction
+  long submitted = 0;
+  long completed = 0;
+  long failed = 0;
+  long cancelled = 0;
+  long rejected = 0;
+  long drains = 0;  // DrainDataset calls (resize tail waits)
+  // Plan-cache counters (PlanCache's own atomics, read at snapshot time).
+  long planner_runs = 0;
+  long cache_hits = 0;
+  long disk_loads = 0;
+  HistogramStats queue_wait;
+  HistogramStats exec;
+
+  // Counters add, histograms merge bucket-wise, the peak is the max.
+  void Fold(const ServingCounters& other);
+};
+
+// One QueryEngine shard.
+struct ShardStats : ServingCounters {
+  // Folds `other` into this one (ServingCounters::Fold plus per-dataset
+  // rows merged by name). How a scale-down's retired shards keep their
+  // history in the group aggregates instead of taking it to the grave.
+  void Merge(const ShardStats& other);
+
+  int shard = 0;
+  std::vector<DatasetStats> datasets;
+};
+
+// The whole serving group: per-shard detail plus exact aggregates (the
+// inherited ServingCounters fields, summed over every shard that ever
+// served — including ones retired by scale-downs). This is what
+// `EngineGroup::Stats()` / `ZeusDb::Stats()` return and what the
+// autoscaler samples.
+struct GroupStats : ServingCounters {
+  int num_shards = 0;
+  long resizes = 0;            // completed Resize() calls that changed N
+  long autoscaler_decisions = 0;  // resizes initiated by the autoscaler
+  std::vector<ShardStats> shards;
+
+  // Folds one shard into the aggregate fields and appends it to `shards`.
+  void Absorb(ShardStats shard);
+  // Aggregate-only fold (no per-shard row): how retired/retiring shards'
+  // history enters the totals, so counters stay monotonic across a
+  // scale-down.
+  void AbsorbTotals(const ShardStats& shard) { Fold(shard); }
+  // Machine-readable form for tooling (sql_console `.stats`, bench JSON
+  // context, dashboards). Stable schema documented in
+  // docs/ARCHITECTURE.md.
+  std::string ToJson() const;
+};
+
+// ---- Registry --------------------------------------------------------------
+
+// How one run ended, for the outcome counters.
+enum class RunOutcome { kDone, kFailed, kCancelled };
+
+// Lock-cheap metrics sink owned by one QueryEngine (one per shard). The
+// engine and its admission path feed it; `Snapshot()` assembles the
+// plain-value copy above. Gauges (queue depth, active, weights) are NOT
+// stored here — they live in the engine's own structures and are sampled
+// into the snapshot by QueryEngine::Stats(), so the registry never
+// duplicates state that can drift.
+class MetricsRegistry {
+ public:
+  // Admission accepted `dataset`; `queue_depth_now` is the queue size just
+  // after the push (maintains the peak-depth high-water mark). Inline
+  // Execute() runs record with depth 0: they count as submissions (so
+  // submitted >= completed always holds) without touching the peak.
+  void RecordSubmitted(const std::string& dataset, size_t queue_depth_now);
+  // Admission rejected with kResourceExhausted.
+  void RecordRejected(const std::string& dataset);
+  // A queued ticket was dropped by a cancel purge (never ran).
+  void RecordCancelledWhileQueued(const std::string& dataset);
+  // Time between Submit() and a worker claiming the ticket.
+  void RecordQueueWait(const std::string& dataset, double seconds);
+  // One RunTicket finished: execution wall time + outcome.
+  void RecordRun(const std::string& dataset, double seconds,
+                 RunOutcome outcome);
+  // One DrainDataset wait completed.
+  void RecordDrain();
+
+  long peak_queue_depth() const {
+    return peak_queue_depth_.load(std::memory_order_relaxed);
+  }
+
+  // Counters and histograms only; the caller (QueryEngine::Stats) fills
+  // the sampled gauges and plan-cache fields afterwards.
+  // `include_datasets == false` skips the per-dataset rows entirely — the
+  // cheap form the autoscaler's sampler uses.
+  ShardStats Snapshot(bool include_datasets = true) const;
+
+ private:
+  struct Hist {
+    std::array<std::atomic<long>, HistogramStats::kNumBuckets> buckets{};
+    std::atomic<long> count{0};
+    // Seconds in microsecond ticks: std::atomic<double> has no fetch_add
+    // until C++20, and 1µs resolution matches the first bucket bound.
+    std::atomic<long> sum_micros{0};
+
+    void Record(double seconds);
+    HistogramStats Snapshot() const;
+  };
+  struct PerDataset {
+    std::atomic<long> submitted{0};
+    std::atomic<long> completed{0};
+    std::atomic<long> failed{0};
+    std::atomic<long> cancelled{0};
+    std::atomic<long> rejected{0};
+    Hist queue_wait;
+    Hist exec;
+  };
+
+  // Shared-lock lookup, exclusive-lock insert on first sight. The returned
+  // pointer is stable: entries are never removed (a dataset that re-homes
+  // away keeps its history on the old shard until the shard retires).
+  PerDataset* ForDataset(const std::string& dataset);
+
+  std::atomic<long> submitted_{0};
+  std::atomic<long> completed_{0};
+  std::atomic<long> failed_{0};
+  std::atomic<long> cancelled_{0};
+  std::atomic<long> rejected_{0};
+  std::atomic<long> drains_{0};
+  std::atomic<long> peak_queue_depth_{0};
+  Hist queue_wait_;
+  Hist exec_;
+
+  mutable std::shared_mutex map_mu_;
+  std::map<std::string, std::unique_ptr<PerDataset>> per_dataset_;
+};
+
+}  // namespace zeus::engine
+
+#endif  // ZEUS_ENGINE_METRICS_H_

@@ -128,6 +128,7 @@ common::Result<PlanCache::Lookup> PlanCache::GetOrPlan(
         cv_.wait(lock, [&] { return entry->state != EntryState::kPlanning; });
       }
       if (entry->state == EntryState::kReady) {
+        cache_hits_.fetch_add(1);
         TouchLocked(key);
         return Lookup{entry->plan, 0.0};
       }

@@ -101,9 +101,13 @@ class PlanCache {
   // disk). In-flight runs are unaffected.
   void Clear();
 
-  // Counters for tests and EXPLAIN diagnostics.
+  // Counters for tests, EXPLAIN diagnostics and MetricsRegistry snapshots.
   long planner_runs() const { return planner_runs_.load(); }
   long disk_loads() const { return disk_loads_.load(); }
+  // GetOrPlan lookups served without this caller planning or touching
+  // disk: ready-entry memory hits plus successful joins of another
+  // caller's in-flight run.
+  long cache_hits() const { return cache_hits_.load(); }
   size_t size() const;
 
   const core::QueryPlanner::Options& planner_options() const {
@@ -135,6 +139,7 @@ class PlanCache {
   std::list<std::string> lru_;  // most recently used first; ready keys only
   std::atomic<long> planner_runs_{0};
   std::atomic<long> disk_loads_{0};
+  std::atomic<long> cache_hits_{0};
 };
 
 }  // namespace zeus::engine

@@ -1,5 +1,7 @@
 #include "engine/query_engine.h"
 
+#include <chrono>
+#include <set>
 #include <utility>
 
 #include "common/stringutil.h"
@@ -34,6 +36,9 @@ struct QueryTicket::Shared {
   std::string dataset_name;
   core::ActionQuery query;
   ExecutionOptions exec;
+  // When Submit() admitted the ticket; the queue-wait histogram measures
+  // from here to the worker's claim.
+  std::chrono::steady_clock::time_point submit_time;
 
   mutable std::mutex mu;
   mutable std::condition_variable cv;
@@ -165,12 +170,20 @@ std::vector<std::string> QueryEngine::dataset_names() const {
 }
 
 void QueryEngine::DrainDataset(const std::string& name) {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  queue_cv_.wait(lock, [&] {
-    if (pending_.PendingFor(name) > 0) return false;
-    auto it = active_by_dataset_.find(name);
-    return it == active_by_dataset_.end() || it->second == 0;
-  });
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [&] {
+      if (pending_.PendingFor(name) > 0) return false;
+      auto it = active_by_dataset_.find(name);
+      return it == active_by_dataset_.end() || it->second == 0;
+    });
+  }
+  metrics_.RecordDrain();
+}
+
+int QueryEngine::DatasetWeight(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return pending_.WeightOf(name);
 }
 
 common::Status QueryEngine::SetDatasetWeight(const std::string& name,
@@ -212,6 +225,39 @@ size_t QueryEngine::pending() const {
   return pending_.size();
 }
 
+ShardStats QueryEngine::Stats(bool include_datasets) const {
+  ShardStats out = metrics_.Snapshot(include_datasets);
+  if (include_datasets) {
+    // Registered-but-quiet datasets still deserve a row (their weight and
+    // zero depth are part of the picture).
+    std::set<std::string> seen;
+    for (const DatasetStats& ds : out.datasets) seen.insert(ds.dataset);
+    for (const std::string& name : dataset_names()) {
+      if (seen.count(name)) continue;
+      DatasetStats ds;
+      ds.dataset = name;
+      out.datasets.push_back(std::move(ds));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    out.queue_depth = static_cast<long>(pending_.size());
+    for (const auto& [name, running] : active_by_dataset_) {
+      out.active += running;
+    }
+    const auto depths = pending_.PendingByTenant();
+    for (auto& ds : out.datasets) {
+      auto it = depths.find(ds.dataset);
+      ds.queue_depth = it == depths.end() ? 0 : static_cast<long>(it->second);
+      ds.weight = pending_.WeightOf(ds.dataset);
+    }
+  }
+  out.planner_runs = cache_.planner_runs();
+  out.cache_hits = cache_.cache_hits();
+  out.disk_loads = cache_.disk_loads();
+  return out;
+}
+
 common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
                                                 const std::string& sql) {
   auto parsed = core::QueryParser::Parse(sql);
@@ -235,6 +281,7 @@ common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
   shared->dataset_name = dataset_name;
   shared->query = query;
   shared->exec = exec;
+  shared->submit_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stopping_) {
@@ -243,19 +290,22 @@ common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
     if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
       // Cancelled tickets must not pin queue slots: resolve and drop them
       // now instead of waiting for a worker to dequeue each one.
-      pending_.Purge([](const AdmissionQueue::Payload& p) {
+      pending_.Purge([this](const AdmissionQueue::Payload& p) {
         auto* t = static_cast<QueryTicket::Shared*>(p.get());
         if (!t->cancel_requested()) return false;
         Finish(t, QueryState::kCancelled,
                common::Status::Cancelled("query cancelled"));
+        metrics_.RecordCancelledWhileQueued(t->dataset_name);
         return true;
       });
     }
     if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
+      metrics_.RecordRejected(dataset_name);
       return common::Status::ResourceExhausted(common::Format(
           "admission queue full (%d pending)", opts_.max_pending));
     }
     pending_.Push(dataset_name, exec.priority, exec.aging_threshold, shared);
+    metrics_.RecordSubmitted(dataset_name, pending_.size());
     EnsureWorkersLocked();
   }
   queue_cv_.notify_one();
@@ -284,11 +334,21 @@ common::Result<QueryResult> QueryEngine::Execute(const std::string& dataset_name
   shared->dataset_name = dataset_name;
   shared->query = query;
   shared->exec = exec;
+  shared->submit_time = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     BeginRunLocked(dataset_name);
   }
+  // Inline runs are admissions too — without this, completed could
+  // exceed submitted and in-flight arithmetic on the snapshot would go
+  // negative. They never queue, though: no queue-wait sample (a zero
+  // would drag the percentiles the autoscaler reads) and no peak-depth
+  // update (depth 0 never raises the high-water mark).
+  metrics_.RecordSubmitted(dataset_name, 0);
+  common::WallTimer run_timer;
   RunTicket(shared);
+  metrics_.RecordRun(dataset_name, run_timer.ElapsedSeconds(),
+                     OutcomeOf(*shared));
   EndRun(dataset_name);
   return *shared->result;
 }
@@ -306,6 +366,18 @@ void QueryEngine::EndRun(const std::string& dataset_name) {
     }
   }
   queue_cv_.notify_all();
+}
+
+RunOutcome QueryEngine::OutcomeOf(const QueryTicket::Shared& t) {
+  std::lock_guard<std::mutex> lock(t.mu);
+  switch (t.state) {
+    case QueryState::kFailed:
+      return RunOutcome::kFailed;
+    case QueryState::kCancelled:
+      return RunOutcome::kCancelled;
+    default:
+      return RunOutcome::kDone;
+  }
 }
 
 void QueryEngine::Finish(QueryTicket::Shared* t, QueryState state,
@@ -333,7 +405,15 @@ void QueryEngine::WorkerLoop() {
       if (t != nullptr) BeginRunLocked(t->dataset_name);
     }
     if (t != nullptr) {
+      metrics_.RecordQueueWait(
+          t->dataset_name,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t->submit_time)
+              .count());
+      common::WallTimer run_timer;
       RunTicket(t);
+      metrics_.RecordRun(t->dataset_name, run_timer.ElapsedSeconds(),
+                         OutcomeOf(*t));
       EndRun(t->dataset_name);
     }
   }

@@ -15,6 +15,7 @@
 #include "core/query.h"
 #include "engine/admission_queue.h"
 #include "engine/executor_factory.h"
+#include "engine/metrics.h"
 #include "engine/plan_cache.h"
 #include "video/dataset.h"
 
@@ -182,6 +183,10 @@ class QueryEngine {
   // dataset with weight w receives up to w consecutive grants per
   // round-robin turn when priorities tie.
   common::Status SetDatasetWeight(const std::string& name, int weight);
+  // Current fair-share weight (1 when never set). EngineGroup reads this
+  // to verify weights survive a resize; also surfaced per dataset in
+  // Stats().
+  int DatasetWeight(const std::string& name) const;
 
   // Asynchronous submission. Parse and registry errors surface here
   // synchronously; planning/execution errors surface through the ticket.
@@ -224,6 +229,15 @@ class QueryEngine {
   // Tickets admitted but not yet claimed by a worker (tests / monitoring).
   size_t pending() const;
 
+  // Full self-observation snapshot of this engine: the MetricsRegistry's
+  // counters and latency histograms plus the sampled gauges (current and
+  // per-dataset queue depth, running queries, fairness weights) and the
+  // plan-cache counters. `shard` is left 0 — EngineGroup stamps the shard
+  // id when aggregating. `include_datasets == false` skips the
+  // per-dataset rows (string + histogram copies) — the autoscaler's
+  // sampler only reads the shard-level signals.
+  ShardStats Stats(bool include_datasets = true) const;
+
  private:
   void WorkerLoop();
   // Spawns the worker pool on first use (blocking-only callers never pay
@@ -232,6 +246,9 @@ class QueryEngine {
   // Terminal-state publication helper.
   static void Finish(QueryTicket::Shared* t, QueryState state,
                      common::Result<QueryResult> result);
+  // Maps a terminal ticket to its metrics outcome (called after RunTicket,
+  // which always publishes a terminal state).
+  static RunOutcome OutcomeOf(const QueryTicket::Shared& t);
   // The full pipeline for one ticket: plan lookup, executor construction,
   // localization, metrics. Runs on a worker (Submit) or the caller thread
   // (Execute).
@@ -250,6 +267,9 @@ class QueryEngine {
   std::map<std::string, std::shared_ptr<video::SyntheticDataset>> datasets_;
 
   PlanCache cache_;
+  // Lock-cheap counters/histograms fed by the admission and run paths;
+  // Stats() samples the gauges around it.
+  MetricsRegistry metrics_;
 
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;

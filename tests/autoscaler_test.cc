@@ -1,0 +1,422 @@
+// Threadless tests for the self-observation layer and the autoscaling
+// policy: HistogramStats bucket/percentile math, MetricsRegistry counter
+// and snapshot behavior, GroupStats aggregation + JSON shape, and
+// Autoscaler::Decide table tests (scale-up trigger, hysteresis band,
+// cooldown, sustain, min/max clamps). The policy is a pure function of
+// (signal, config, tick, state) — every test here is deterministic with no
+// engine, no clock and no threads. The live autoscaler (policy thread
+// driving a real EngineGroup) is exercised in engine_group_test.cc.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/autoscaler.h"
+#include "engine/metrics.h"
+
+namespace zeus {
+namespace {
+
+using engine::Autoscaler;
+using engine::GroupStats;
+using engine::HistogramStats;
+using engine::MetricsRegistry;
+using engine::RunOutcome;
+using engine::ShardStats;
+
+// ---- HistogramStats --------------------------------------------------------
+
+TEST(HistogramStatsTest, PercentilesReportBucketUpperBounds) {
+  MetricsRegistry reg;
+  // 90 fast samples (~1ms) and 10 slow ones (~1s).
+  for (int i = 0; i < 90; ++i) reg.RecordQueueWait("ds", 0.001);
+  for (int i = 0; i < 10; ++i) reg.RecordQueueWait("ds", 1.0);
+  const HistogramStats h = reg.Snapshot().queue_wait;
+  EXPECT_EQ(h.count, 100);
+  // 1ms falls in the bucket with upper bound 2^10us = 1.024ms; 1s in the
+  // bucket bounded by 2^20us ~ 1.049s. The percentile is the upper bound
+  // of the bucket holding the ranked sample — an over-, never
+  // under-estimate.
+  EXPECT_DOUBLE_EQ(h.p50(), HistogramStats::BucketBound(10));
+  EXPECT_DOUBLE_EQ(h.p95(), HistogramStats::BucketBound(20));
+  EXPECT_DOUBLE_EQ(h.p99(), HistogramStats::BucketBound(20));
+  EXPECT_GE(h.p50(), 0.001);
+  EXPECT_GE(h.p95(), 1.0);
+  EXPECT_NEAR(h.mean_seconds(), (90 * 0.001 + 10 * 1.0) / 100.0, 1e-3);
+}
+
+TEST(HistogramStatsTest, EmptyHistogramReportsZero) {
+  HistogramStats h;
+  EXPECT_EQ(h.count, 0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean_seconds(), 0.0);
+}
+
+TEST(HistogramStatsTest, MergeIsExactBucketwiseAddition) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  for (int i = 0; i < 10; ++i) a.RecordQueueWait("x", 0.001);
+  for (int i = 0; i < 10; ++i) b.RecordQueueWait("x", 4.0);
+  HistogramStats ha = a.Snapshot().queue_wait;
+  const HistogramStats hb = b.Snapshot().queue_wait;
+  ha.Merge(hb);
+  EXPECT_EQ(ha.count, 20);
+  // Exactly half the merged samples are fast, so p50 lands on the fast
+  // bucket and p95 on the slow one — aggregation across shards keeps
+  // percentiles exact, not averaged.
+  EXPECT_DOUBLE_EQ(ha.p50(), HistogramStats::BucketBound(10));
+  EXPECT_GE(ha.p95(), 4.0);
+}
+
+TEST(HistogramStatsTest, DeltaIsolatesTheWindowSinceAnEarlierSnapshot) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 50; ++i) reg.RecordQueueWait("ds", 60.0);  // overload
+  const HistogramStats before = reg.Snapshot().queue_wait;
+  for (int i = 0; i < 5; ++i) reg.RecordQueueWait("ds", 0.001);  // calm now
+  const HistogramStats after = reg.Snapshot().queue_wait;
+
+  // Lifetime p95 is still pinned by the old overload...
+  EXPECT_GE(after.p95(), 60.0);
+  // ...but the window since `before` sees only the calm samples.
+  const HistogramStats window = after.Delta(before);
+  EXPECT_EQ(window.count, 5);
+  EXPECT_LT(window.p95(), 0.01);
+  // An empty window is empty, not negative.
+  EXPECT_EQ(after.Delta(after).count, 0);
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersTrackOutcomesPerDataset) {
+  MetricsRegistry reg;
+  reg.RecordSubmitted("a", 1);
+  reg.RecordSubmitted("a", 2);
+  reg.RecordSubmitted("b", 3);
+  reg.RecordQueueWait("a", 0.01);
+  reg.RecordRun("a", 0.5, RunOutcome::kDone);
+  reg.RecordRun("a", 0.5, RunOutcome::kCancelled);
+  reg.RecordRun("b", 0.1, RunOutcome::kFailed);
+  reg.RecordRejected("b");
+  reg.RecordCancelledWhileQueued("b");
+  reg.RecordDrain();
+
+  const ShardStats s = reg.Snapshot();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.cancelled, 2);  // one mid-run, one purged while queued
+  EXPECT_EQ(s.failed, 1);
+  EXPECT_EQ(s.rejected, 1);
+  EXPECT_EQ(s.drains, 1);
+  EXPECT_EQ(s.peak_queue_depth, 3);
+  EXPECT_EQ(s.exec.count, 3);
+
+  ASSERT_EQ(s.datasets.size(), 2u);
+  const auto& a = s.datasets[0];
+  const auto& b = s.datasets[1];
+  ASSERT_EQ(a.dataset, "a");
+  ASSERT_EQ(b.dataset, "b");
+  EXPECT_EQ(a.submitted, 2);
+  EXPECT_EQ(a.completed, 1);
+  EXPECT_EQ(a.cancelled, 1);
+  EXPECT_EQ(a.queue_wait.count, 1);
+  EXPECT_EQ(b.submitted, 1);
+  EXPECT_EQ(b.failed, 1);
+  EXPECT_EQ(b.rejected, 1);
+  EXPECT_EQ(b.cancelled, 1);
+}
+
+TEST(MetricsRegistryTest, PeakQueueDepthIsAHighWaterMark) {
+  MetricsRegistry reg;
+  reg.RecordSubmitted("a", 5);
+  reg.RecordSubmitted("a", 2);  // depth went down; peak must not
+  EXPECT_EQ(reg.peak_queue_depth(), 5);
+}
+
+// ---- GroupStats ------------------------------------------------------------
+
+TEST(GroupStatsTest, AbsorbAggregatesExactly) {
+  MetricsRegistry r0;
+  MetricsRegistry r1;
+  r0.RecordSubmitted("a", 4);
+  r0.RecordRun("a", 0.001, RunOutcome::kDone);
+  r1.RecordSubmitted("b", 7);
+  r1.RecordRun("b", 2.0, RunOutcome::kDone);
+
+  GroupStats g;
+  g.num_shards = 2;
+  ShardStats s0 = r0.Snapshot();
+  s0.shard = 0;
+  s0.planner_runs = 1;
+  ShardStats s1 = r1.Snapshot();
+  s1.shard = 1;
+  s1.disk_loads = 2;
+  g.Absorb(std::move(s0));
+  g.Absorb(std::move(s1));
+
+  EXPECT_EQ(g.submitted, 2);
+  EXPECT_EQ(g.completed, 2);
+  EXPECT_EQ(g.peak_queue_depth, 7);  // max over shards, not a sum
+  EXPECT_EQ(g.planner_runs, 1);
+  EXPECT_EQ(g.disk_loads, 2);
+  EXPECT_EQ(g.exec.count, 2);
+  ASSERT_EQ(g.shards.size(), 2u);
+  EXPECT_EQ(g.shards[1].shard, 1);
+}
+
+TEST(GroupStatsTest, ToJsonCarriesTheSnapshotSchema) {
+  MetricsRegistry reg;
+  reg.RecordSubmitted("bdd", 1);
+  reg.RecordQueueWait("bdd", 0.002);
+  reg.RecordRun("bdd", 0.125, RunOutcome::kDone);
+  GroupStats g;
+  g.num_shards = 1;
+  g.resizes = 2;
+  g.Absorb(reg.Snapshot());
+
+  const std::string json = g.ToJson();
+  for (const char* key :
+       {"\"num_shards\": 1", "\"resizes\": 2", "\"queue_wait\"", "\"exec\"",
+        "\"p95\"", "\"shards\"", "\"dataset\": \"bdd\"", "\"completed\"",
+        "\"peak_queue_depth\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
+                                                 << " in:\n" << json;
+  }
+}
+
+TEST(GroupStatsTest, ShardMergeFoldsHistoryAndDatasetsByName) {
+  MetricsRegistry live;
+  MetricsRegistry retired;
+  live.RecordRun("a", 0.1, RunOutcome::kDone);
+  retired.RecordRun("a", 0.1, RunOutcome::kDone);
+  retired.RecordRun("b", 0.1, RunOutcome::kFailed);
+  retired.RecordSubmitted("a", 9);
+
+  ShardStats kept = live.Snapshot();
+  kept.Merge(retired.Snapshot());
+  EXPECT_EQ(kept.completed, 2);
+  EXPECT_EQ(kept.failed, 1);
+  EXPECT_EQ(kept.submitted, 1);
+  EXPECT_EQ(kept.peak_queue_depth, 9);
+  EXPECT_EQ(kept.exec.count, 3);
+  ASSERT_EQ(kept.datasets.size(), 2u);  // "a" merged, "b" appended
+  EXPECT_EQ(kept.datasets[0].dataset, "a");
+  EXPECT_EQ(kept.datasets[0].completed, 2);
+}
+
+TEST(GroupStatsTest, ToJsonEscapesDatasetNames) {
+  MetricsRegistry reg;
+  reg.RecordSubmitted("we\"ird\\name", 1);
+  GroupStats g;
+  g.num_shards = 1;
+  g.Absorb(reg.Snapshot());
+  const std::string json = g.ToJson();
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos) << json;
+  EXPECT_EQ(json.find("we\"ird"), std::string::npos) << json;
+}
+
+// ---- Autoscaler::Decide ----------------------------------------------------
+
+Autoscaler::Config TestConfig() {
+  Autoscaler::Config cfg;
+  cfg.enabled = true;
+  cfg.min_shards = 1;
+  cfg.max_shards = 4;
+  cfg.up_queue_per_shard = 4.0;
+  cfg.up_p95_queue_wait_seconds = 10.0;
+  cfg.down_queue_total = 0.0;
+  cfg.sustain_samples = 3;
+  cfg.cooldown_samples = 5;
+  return cfg;
+}
+
+Autoscaler::Signal Busy(int shards, long queued, long active = 1,
+                        double p95 = 0.0) {
+  Autoscaler::Signal s;
+  s.num_shards = shards;
+  s.queue_depth = queued;
+  s.active = active;
+  s.p95_queue_wait_seconds = p95;
+  return s;
+}
+
+Autoscaler::Signal Idle(int shards) { return Busy(shards, 0, 0); }
+
+TEST(AutoscalerDecideTest, SustainedBacklogScalesUpExactlyAtSustain) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 0;
+  // Backlog of 8 on 1 shard (threshold 4/shard): two samples hold, the
+  // third acts.
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    const auto d = Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state);
+    EXPECT_EQ(d.target_shards, 1) << "acted early at sample " << i;
+  }
+  const auto d = Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 2);
+  EXPECT_STREQ(d.reason, "scale-up: sustained backlog");
+}
+
+TEST(AutoscalerDecideTest, P95QueueWaitAloneTriggersScaleUp) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 0;
+  // Queue depth under the threshold, but waits are terrible.
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    Autoscaler::Decide(Busy(2, 1, 1, 60.0), cfg, tick++, &state);
+  }
+  const auto d = Autoscaler::Decide(Busy(2, 1, 1, 60.0), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 3);
+}
+
+TEST(AutoscalerDecideTest, HysteresisBandHoldsForever) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  // Load between near-idle and backlogged (2 queued on 1 shard, threshold
+  // 4): neither streak may ever accumulate.
+  for (long tick = 0; tick < 100; ++tick) {
+    const auto d = Autoscaler::Decide(Busy(1, 2), cfg, tick, &state);
+    ASSERT_EQ(d.target_shards, 1) << "resized inside the band at " << tick;
+    ASSERT_STREQ(d.reason, "hold");
+  }
+  EXPECT_EQ(state.up_streak, 0);
+  EXPECT_EQ(state.down_streak, 0);
+}
+
+TEST(AutoscalerDecideTest, InterruptedBacklogNeverActs) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 0;
+  // sustain_samples is 3; a backlog that clears every 2 samples must
+  // never scale.
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_EQ(Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state).target_shards, 1);
+    EXPECT_EQ(Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state).target_shards, 1);
+    EXPECT_EQ(Autoscaler::Decide(Busy(1, 2), cfg, tick++, &state).target_shards, 1);
+  }
+}
+
+TEST(AutoscalerDecideTest, CooldownBlocksBackToBackResizes) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 0;
+  // Drive to the first scale-up.
+  for (int i = 0; i < cfg.sustain_samples; ++i) {
+    Autoscaler::Decide(Busy(1, 100), cfg, tick++, &state);
+  }
+  // Backlog persists, but every sample inside the cooldown must hold.
+  int held = 0;
+  for (; tick - state.last_resize_tick < cfg.cooldown_samples;) {
+    const auto d = Autoscaler::Decide(Busy(2, 100), cfg, tick++, &state);
+    ASSERT_EQ(d.target_shards, 2);
+    ASSERT_STREQ(d.reason, "hold: cooldown");
+    ++held;
+  }
+  EXPECT_GT(held, 0);
+  // The streak accumulated through the cooldown: the first post-cooldown
+  // sample acts immediately.
+  const auto d = Autoscaler::Decide(Busy(2, 100), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 3);
+}
+
+TEST(AutoscalerDecideTest, MaxShardsClampsScaleUp) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 100;  // far from the initial cooldown sentinel
+  for (int i = 0; i < cfg.sustain_samples; ++i) {
+    Autoscaler::Decide(Busy(cfg.max_shards, 1000), cfg, tick++, &state);
+  }
+  const auto d =
+      Autoscaler::Decide(Busy(cfg.max_shards, 1000), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, cfg.max_shards);
+  EXPECT_STREQ(d.reason, "hold: at max_shards");
+}
+
+TEST(AutoscalerDecideTest, NearIdleShrinksAndMinShardsClampsIt) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 0;
+  // Idle at 3 shards: shrink one step at sustain.
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    EXPECT_EQ(Autoscaler::Decide(Idle(3), cfg, tick++, &state).target_shards,
+              3);
+  }
+  EXPECT_EQ(Autoscaler::Decide(Idle(3), cfg, tick++, &state).target_shards, 2);
+  // Ride out the cooldown, then the next sustained idle shrinks again.
+  while (tick - state.last_resize_tick < cfg.cooldown_samples) {
+    Autoscaler::Decide(Idle(2), cfg, tick++, &state);
+  }
+  for (int i = 0; i < cfg.sustain_samples; ++i) {
+    Autoscaler::Decide(Idle(2), cfg, tick++, &state);
+  }
+  // (The loop above includes the acting sample; we are at 1 shard now.)
+  while (tick - state.last_resize_tick < cfg.cooldown_samples) {
+    Autoscaler::Decide(Idle(1), cfg, tick++, &state);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto d = Autoscaler::Decide(Idle(1), cfg, tick++, &state);
+    ASSERT_EQ(d.target_shards, cfg.min_shards) << "shrank below min";
+  }
+}
+
+TEST(AutoscalerDecideTest, RunningQueriesBlockScaleDown) {
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  // Queue empty but a query is executing: not near-idle, never shrink.
+  for (long tick = 0; tick < 50; ++tick) {
+    const auto d = Autoscaler::Decide(Busy(3, 0, /*active=*/1), cfg, tick,
+                                      &state);
+    ASSERT_EQ(d.target_shards, 3);
+  }
+}
+
+TEST(AutoscalerDecideTest, SignalFromReadsTheAggregateSnapshot) {
+  MetricsRegistry reg;
+  reg.RecordSubmitted("a", 6);
+  reg.RecordQueueWait("a", 8.0);
+  GroupStats g;
+  g.num_shards = 2;
+  ShardStats s = reg.Snapshot();
+  s.queue_depth = 6;
+  s.active = 1;
+  g.Absorb(std::move(s));
+
+  const auto signal = Autoscaler::SignalFrom(g);
+  EXPECT_EQ(signal.num_shards, 2);
+  EXPECT_EQ(signal.queue_depth, 6);
+  EXPECT_EQ(signal.active, 1);
+  EXPECT_GE(signal.p95_queue_wait_seconds, 8.0);
+
+  // The sampler's windowed form: with the previous snapshot equal to the
+  // current one, nothing happened in the window — the old wait samples
+  // cannot keep the p95 signal pinned.
+  const auto windowed = Autoscaler::SignalFrom(g, &g.queue_wait);
+  EXPECT_DOUBLE_EQ(windowed.p95_queue_wait_seconds, 0.0);
+  EXPECT_EQ(windowed.queue_depth, 6);
+}
+
+// The same sample sequence always yields the same resize sequence — the
+// property that makes autoscaling reproducible in CI and in the nightly
+// bench.
+TEST(AutoscalerDecideTest, DeterministicAcrossRuns) {
+  const auto cfg = TestConfig();
+  std::vector<Autoscaler::Signal> trace;
+  for (int i = 0; i < 10; ++i) trace.push_back(Busy(1, 8));
+  for (int i = 0; i < 10; ++i) trace.push_back(Busy(2, 2));
+  for (int i = 0; i < 20; ++i) trace.push_back(Idle(2));
+
+  auto run = [&] {
+    std::vector<int> targets;
+    Autoscaler::State state;
+    long tick = 0;
+    for (const auto& s : trace) {
+      targets.push_back(Autoscaler::Decide(s, cfg, tick++, &state).target_shards);
+    }
+    return targets;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace zeus

@@ -96,6 +96,31 @@ class CheckTest(unittest.TestCase):
         self.assertEqual(
             self.run_check(baseline, {"fig8/q/wall_seconds": 5.0}), 0)
 
+    def test_serving_observability_metrics_are_informational(self):
+        # Queue-depth high-water marks, latency percentiles and the
+        # autoscaler's resize/final-shard counts are a trail, not a gate:
+        # arbitrarily "worse" values must never fail the check.
+        baseline = {
+            "fig8/c[autoscale=1,num_shards=1]/peak_queue_depth": 4.0,
+            "fig8/c[autoscale=1,num_shards=1]/queue_wait_p95_seconds": 0.1,
+            "fig8/c[autoscale=1,num_shards=1]/exec_p95_seconds": 0.2,
+            "fig8/c[autoscale=1,num_shards=1]/resizes": 1.0,
+            "fig8/c[autoscale=1,num_shards=1]/final_shards": 2.0,
+        }
+        current = {
+            "fig8/c[autoscale=1,num_shards=1]/peak_queue_depth": 400.0,
+            "fig8/c[autoscale=1,num_shards=1]/queue_wait_p95_seconds": 90.0,
+            "fig8/c[autoscale=1,num_shards=1]/exec_p95_seconds": 90.0,
+            "fig8/c[autoscale=1,num_shards=1]/resizes": 9.0,
+            "fig8/c[autoscale=1,num_shards=1]/final_shards": 4.0,
+        }
+        self.assertEqual(self.run_check(baseline, current), 0)
+        for name in baseline:
+            self.assertFalse(bench_regress.gated(name), name)
+        # Plain wall-clock stays gated: the new suffixes must not blanket
+        # every *_seconds metric.
+        self.assertTrue(bench_regress.gated("fig8/q/wall_seconds"))
+
 
 class ContextTest(unittest.TestCase):
     def test_format_context_sorts_and_unfloats(self):
