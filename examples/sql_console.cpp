@@ -7,11 +7,17 @@
 //   sql_console --shards 4 [...]         # shard the serving layer: datasets
 //                                        # route by consistent hashing to
 //                                        # one of 4 engines (EngineGroup)
+//   sql_console --router host:port [...] # run the same session against a
+//                                        # zeus_router / shardd cluster over
+//                                        # TCP (start one with
+//                                        # tools/run_cluster.sh)
 //   sql_console ".stats"                 # dot-command: print the serving
 //                                        # layer's self-observation snapshot
 //                                        # (ZeusDb::Stats() as JSON — queue
 //                                        # depths, latency percentiles,
-//                                        # cache hits, resize counts)
+//                                        # cache hits, resize counts; in
+//                                        # --router mode, the cluster-wide
+//                                        # aggregate plus failover counters)
 //
 // Queries go through the concurrent engine's Submit()/ticket API: the
 // console polls the ticket's phase (queued / planning / executing) while it
@@ -29,10 +35,13 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/remote_shard.h"
 #include "core/zeusdb.h"
 #include "video/dataset.h"
 
 namespace {
+
+void PrintResult(const zeus::engine::QueryResult& r);
 
 void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
   std::printf("\nzeus> %s\n", sql.c_str());
@@ -62,7 +71,10 @@ void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  const auto& r = result.value();
+  PrintResult(result.value());
+}
+
+void PrintResult(const zeus::engine::QueryResult& r) {
   if (!r.explanation.empty()) {
     std::printf("%s\n", r.explanation.c_str());
     return;
@@ -78,6 +90,60 @@ void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
   }
 }
 
+// Same session against a cluster: the console becomes a network client and
+// every query crosses the wire to whichever shard is the dataset's home.
+void RunRemoteQuery(zeus::cluster::RemoteShard& client,
+                    const std::string& sql) {
+  std::printf("\nzeus> %s\n", sql.c_str());
+  if (sql == ".stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::printf("error: %s\n", stats.status().ToString().c_str());
+      return;
+    }
+    const auto& s = stats.value();
+    std::printf("cluster: %d shard(s) alive, %lld failover(s), %lld dataset(s)"
+                " re-homed\n",
+                s.num_shards, static_cast<long long>(s.failovers),
+                static_cast<long long>(s.rehomed_datasets));
+    std::printf("queries: completed=%ld failed=%ld cancelled=%ld "
+                "planner_runs=%ld cache_hits=%ld disk_loads=%ld\n",
+                s.stats.completed, s.stats.failed, s.stats.cancelled,
+                s.stats.planner_runs, s.stats.cache_hits, s.stats.disk_loads);
+    return;
+  }
+  zeus::cluster::ExecRequest req;
+  req.dataset = "bdd";
+  req.sql = sql;
+  auto ticket = client.Submit(req);
+  if (!ticket.ok()) {
+    std::printf("error: %s\n", ticket.status().ToString().c_str());
+    return;
+  }
+  // Poll the remote ticket just like the local path polls QueryTicket.
+  zeus::engine::QueryState last = zeus::engine::QueryState::kQueued;
+  for (;;) {
+    auto state = ticket.value().State();
+    if (!state.ok()) break;  // terminal or shard lost; Wait() tells us which
+    if (state.value().state != last) {
+      std::printf("  [%s]\n", zeus::engine::QueryStateName(state.value().state));
+      last = state.value().state;
+    }
+    if (last == zeus::engine::QueryState::kDone ||
+        last == zeus::engine::QueryState::kFailed ||
+        last == zeus::engine::QueryState::kCancelled) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  auto result = ticket.value().Wait();
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  PrintResult(result.value());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,34 +152,17 @@ int main(int argc, char** argv) {
   using zeus::video::SyntheticDataset;
 
   int shards = 1;
+  std::string router;
   std::vector<std::string> queries;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--router") == 0 && i + 1 < argc) {
+      router = argv[++i];
     } else {
       queries.emplace_back(argv[i]);
     }
   }
-
-  DatasetProfile profile =
-      DatasetProfile::ForFamily(DatasetFamily::kBdd100kLike);
-  profile.num_videos = 28;
-  profile.frames_per_video = 400;
-  profile.action_fraction = 0.12;
-  zeus::core::ZeusDb::Options options;
-  options.num_shards = shards;
-  zeus::core::ZeusDb db(options);
-  auto st = db.RegisterDataset(
-      "bdd", SyntheticDataset::Generate(profile, /*seed=*/17));
-  if (!st.ok()) {
-    std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  if (shards > 1) {
-    std::printf("serving with %d shards; dataset 'bdd' routed to shard %d\n",
-                shards, db.group().ShardFor("bdd"));
-  }
-
   if (queries.empty()) {
     queries = {
         // Plan inspection first: shows the profiled configuration frontier,
@@ -136,6 +185,57 @@ int main(int argc, char** argv) {
         ".stats",
     };
   }
+
+  if (!router.empty()) {
+    // Cluster mode: the dataset travels as a recipe (the shards generate it
+    // deterministically from the spec), queries travel as frames.
+    zeus::cluster::RemoteShard::Options copts;
+    const size_t colon = router.rfind(':');
+    if (colon != std::string::npos) {
+      copts.host = router.substr(0, colon);
+      copts.port = std::atoi(router.c_str() + colon + 1);
+    } else {
+      copts.port = std::atoi(router.c_str());
+    }
+    copts.name = "console";
+    zeus::cluster::RemoteShard client(copts);
+    zeus::cluster::DatasetSpec spec;
+    spec.name = "bdd";
+    spec.num_videos = 28;
+    spec.frames_per_video = 400;
+    auto reg = client.RegisterDataset(spec);
+    if (!reg.ok()) {
+      std::fprintf(stderr, "register failed: %s\n",
+                   reg.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("connected to %s; dataset 'bdd' registered (%llu plan(s) "
+                "warmed)\n",
+                router.c_str(),
+                static_cast<unsigned long long>(reg.value()));
+    for (const std::string& sql : queries) RunRemoteQuery(client, sql);
+    return 0;
+  }
+
+  DatasetProfile profile =
+      DatasetProfile::ForFamily(DatasetFamily::kBdd100kLike);
+  profile.num_videos = 28;
+  profile.frames_per_video = 400;
+  profile.action_fraction = 0.12;
+  zeus::core::ZeusDb::Options options;
+  options.num_shards = shards;
+  zeus::core::ZeusDb db(options);
+  auto st = db.RegisterDataset(
+      "bdd", SyntheticDataset::Generate(profile, /*seed=*/17));
+  if (!st.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (shards > 1) {
+    std::printf("serving with %d shards; dataset 'bdd' routed to shard %d\n",
+                shards, db.group().ShardFor("bdd"));
+  }
+
   for (const std::string& sql : queries) RunQuery(db, sql);
   return 0;
 }

@@ -1,0 +1,118 @@
+#include "cluster/metrics_text.h"
+
+#include "common/stringutil.h"
+
+namespace zeus::cluster {
+
+namespace {
+
+void Preamble(std::string* out, const char* name, const char* type,
+              const char* help) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void Counter(std::string* out, const char* name, const char* help,
+             long value) {
+  Preamble(out, name, "counter", help);
+  out->append(common::Format("%s %ld\n", name, value));
+}
+
+void Gauge(std::string* out, const char* name, const char* help, long value) {
+  Preamble(out, name, "gauge", help);
+  out->append(common::Format("%s %ld\n", name, value));
+}
+
+void Histogram(std::string* out, const char* name, const char* help,
+               const engine::HistogramStats& h) {
+  Preamble(out, name, "histogram", help);
+  long cumulative = 0;
+  for (size_t i = 0; i < engine::HistogramStats::kNumBuckets; ++i) {
+    cumulative += h.buckets[i];
+    out->append(common::Format("%s_bucket{le=\"%.9g\"} %ld\n", name,
+                               engine::HistogramStats::BucketBound(i),
+                               cumulative));
+  }
+  out->append(common::Format("%s_bucket{le=\"+Inf\"} %ld\n", name, h.count));
+  out->append(common::Format("%s_sum %.9g\n", name, h.sum_seconds));
+  out->append(common::Format("%s_count %ld\n", name, h.count));
+}
+
+}  // namespace
+
+std::string PrometheusText(const engine::GroupStats& stats,
+                           const ClusterHealth& health) {
+  std::string out;
+  out.reserve(8192);
+
+  // Group-level counters (monotone across failovers: dead shards' history
+  // is folded into the aggregate by the router's carry).
+  Counter(&out, "zeus_queries_submitted_total",
+          "Queries admitted across all shards.", stats.submitted);
+  Counter(&out, "zeus_queries_completed_total",
+          "Queries completed successfully.", stats.completed);
+  Counter(&out, "zeus_queries_failed_total", "Queries that failed.",
+          stats.failed);
+  Counter(&out, "zeus_queries_cancelled_total", "Queries cancelled.",
+          stats.cancelled);
+  Counter(&out, "zeus_queries_rejected_total",
+          "Submissions rejected at admission (queue full).", stats.rejected);
+  Counter(&out, "zeus_planner_runs_total",
+          "Cold plans trained by the query planner.", stats.planner_runs);
+  Counter(&out, "zeus_plan_cache_hits_total",
+          "Plans served from the in-memory plan cache.", stats.cache_hits);
+  Counter(&out, "zeus_plan_disk_loads_total",
+          "Plans loaded from the persisted plan catalog.", stats.disk_loads);
+  Counter(&out, "zeus_drains_total", "Dataset drain waits completed.",
+          stats.drains);
+
+  // Group-level gauges.
+  Gauge(&out, "zeus_queue_depth", "Queries currently queued.",
+        stats.queue_depth);
+  Gauge(&out, "zeus_active_queries", "Queries currently executing.",
+        stats.active);
+  Gauge(&out, "zeus_peak_queue_depth", "High-water mark of the queue depth.",
+        stats.peak_queue_depth);
+  Gauge(&out, "zeus_shards_alive", "Shards currently serving.",
+        static_cast<long>(stats.num_shards));
+
+  // Cluster health (router-maintained).
+  Counter(&out, "zeus_cluster_failovers_total",
+          "Shards declared dead and failed over.", health.failovers);
+  Counter(&out, "zeus_cluster_rehomed_datasets_total",
+          "Datasets re-homed to a ring successor after a failover.",
+          health.rehomed_datasets);
+  Gauge(&out, "zeus_cluster_dead_shards", "Shards currently marked dead.",
+        health.dead_shards);
+
+  // Latency histograms (seconds; bucket bounds are the registry's fixed
+  // 1µs * 2^i grid, so scrapes from different shards always merge).
+  Histogram(&out, "zeus_queue_wait_seconds",
+            "Time from admission to a worker claiming the query.",
+            stats.queue_wait);
+  Histogram(&out, "zeus_exec_seconds", "Query execution wall time.",
+            stats.exec);
+
+  // Per-shard breakdown for the signals that localize a problem.
+  Preamble(&out, "zeus_shard_completed_total", "counter",
+           "Queries completed, by shard.");
+  for (const auto& shard : stats.shards) {
+    out.append(common::Format("zeus_shard_completed_total{shard=\"%d\"} %ld\n",
+                              shard.shard, shard.completed));
+  }
+  Preamble(&out, "zeus_shard_failed_total", "counter",
+           "Queries failed, by shard.");
+  for (const auto& shard : stats.shards) {
+    out.append(common::Format("zeus_shard_failed_total{shard=\"%d\"} %ld\n",
+                              shard.shard, shard.failed));
+  }
+  Preamble(&out, "zeus_shard_queue_depth", "gauge",
+           "Queries currently queued, by shard.");
+  for (const auto& shard : stats.shards) {
+    out.append(common::Format("zeus_shard_queue_depth{shard=\"%d\"} %ld\n",
+                              shard.shard, shard.queue_depth));
+  }
+  return out;
+}
+
+}  // namespace zeus::cluster

@@ -1,0 +1,29 @@
+#ifndef ZEUS_CLUSTER_METRICS_TEXT_H_
+#define ZEUS_CLUSTER_METRICS_TEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/metrics.h"
+
+namespace zeus::cluster {
+
+// Cluster-level health counters the router maintains alongside the
+// engine-level GroupStats it aggregates from its shards.
+struct ClusterHealth {
+  int64_t failovers = 0;
+  int64_t rehomed_datasets = 0;
+  int64_t dead_shards = 0;
+};
+
+// Renders GroupStats (+ cluster health) in the Prometheus text exposition
+// format (version 0.0.4): `# HELP` / `# TYPE` preambles, counters suffixed
+// _total, histograms as cumulative `le` buckets with +Inf, per-shard
+// breakdowns as `shard="<id>"` labels. This is what the router serves on
+// GET /metrics; tests/metrics_text_test.cc pins the format.
+std::string PrometheusText(const engine::GroupStats& stats,
+                           const ClusterHealth& health);
+
+}  // namespace zeus::cluster
+
+#endif  // ZEUS_CLUSTER_METRICS_TEXT_H_

@@ -1,0 +1,300 @@
+#include "cluster/protocol.h"
+
+namespace zeus::cluster {
+
+namespace {
+
+constexpr int kMaxFamily = static_cast<int>(video::DatasetFamily::kKittiLike);
+constexpr int kMaxStatusCode =
+    static_cast<int>(common::StatusCode::kUnavailable);
+constexpr int kMaxQueryState =
+    static_cast<int>(engine::QueryState::kCancelled);
+
+void EncodeHist(net::WireWriter* w, const engine::HistogramStats& h) {
+  w->I64(h.count);
+  w->F64(h.sum_seconds);
+  for (long b : h.buckets) w->I64(b);
+}
+
+bool DecodeHist(net::WireReader* r, engine::HistogramStats* h) {
+  int64_t count = 0;
+  if (!r->I64(&count) || !r->F64(&h->sum_seconds)) return false;
+  h->count = count;
+  for (size_t i = 0; i < engine::HistogramStats::kNumBuckets; ++i) {
+    int64_t b = 0;
+    if (!r->I64(&b)) return false;
+    h->buckets[i] = b;
+  }
+  return true;
+}
+
+void EncodeCounters(net::WireWriter* w, const engine::ServingCounters& c) {
+  w->I64(c.queue_depth);
+  w->I64(c.active);
+  w->I64(c.peak_queue_depth);
+  w->I64(c.submitted);
+  w->I64(c.completed);
+  w->I64(c.failed);
+  w->I64(c.cancelled);
+  w->I64(c.rejected);
+  w->I64(c.drains);
+  w->I64(c.planner_runs);
+  w->I64(c.cache_hits);
+  w->I64(c.disk_loads);
+  EncodeHist(w, c.queue_wait);
+  EncodeHist(w, c.exec);
+}
+
+bool DecodeCounters(net::WireReader* r, engine::ServingCounters* c) {
+  int64_t v[12];
+  for (auto& x : v) {
+    if (!r->I64(&x)) return false;
+  }
+  c->queue_depth = v[0];
+  c->active = v[1];
+  c->peak_queue_depth = v[2];
+  c->submitted = v[3];
+  c->completed = v[4];
+  c->failed = v[5];
+  c->cancelled = v[6];
+  c->rejected = v[7];
+  c->drains = v[8];
+  c->planner_runs = v[9];
+  c->cache_hits = v[10];
+  c->disk_loads = v[11];
+  return DecodeHist(r, &c->queue_wait) && DecodeHist(r, &c->exec);
+}
+
+}  // namespace
+
+video::DatasetProfile ProfileFor(const DatasetSpec& spec) {
+  video::DatasetProfile profile = video::DatasetProfile::ForFamily(spec.family);
+  if (spec.num_videos > 0) {
+    profile.num_videos = static_cast<int>(spec.num_videos);
+  }
+  if (spec.frames_per_video > 0) {
+    profile.frames_per_video = static_cast<int>(spec.frames_per_video);
+  }
+  if (spec.native_resolution > 0) {
+    profile.native_resolution = static_cast<int>(spec.native_resolution);
+  }
+  return profile;
+}
+
+std::string EncodeDatasetSpec(const DatasetSpec& spec) {
+  net::WireWriter w;
+  w.Str(spec.name);
+  w.U8(static_cast<uint8_t>(spec.family));
+  w.U64(spec.seed);
+  w.U32(spec.num_videos);
+  w.U32(spec.frames_per_video);
+  w.U32(spec.native_resolution);
+  w.U8(spec.warm_plans ? 1 : 0);
+  return w.Take();
+}
+
+bool DecodeDatasetSpec(const std::string& payload, DatasetSpec* out) {
+  net::WireReader r(payload);
+  uint8_t family = 0, warm = 0;
+  if (!r.Str(&out->name) || !r.U8(&family) || !r.U64(&out->seed) ||
+      !r.U32(&out->num_videos) || !r.U32(&out->frames_per_video) ||
+      !r.U32(&out->native_resolution) || !r.U8(&warm)) {
+    return false;
+  }
+  if (out->name.empty() || family > kMaxFamily) return false;
+  out->family = static_cast<video::DatasetFamily>(family);
+  out->warm_plans = warm != 0;
+  return r.AtEnd();
+}
+
+std::string EncodeExecRequest(const ExecRequest& req) {
+  net::WireWriter w;
+  w.Str(req.dataset);
+  w.Str(req.sql);
+  w.I32(req.priority);
+  return w.Take();
+}
+
+bool DecodeExecRequest(const std::string& payload, ExecRequest* out) {
+  net::WireReader r(payload);
+  if (!r.Str(&out->dataset) || !r.Str(&out->sql) || !r.I32(&out->priority)) {
+    return false;
+  }
+  return !out->dataset.empty() && r.AtEnd();
+}
+
+std::string EncodeQueryResult(const engine::QueryResult& result) {
+  net::WireWriter w;
+  w.U32(static_cast<uint32_t>(result.segments.size()));
+  for (const auto& seg : result.segments) {
+    w.I32(seg.video_id);
+    w.I32(seg.start);
+    w.I32(seg.end);
+  }
+  w.I64(result.metrics.tp);
+  w.I64(result.metrics.fp);
+  w.I64(result.metrics.fn);
+  w.I64(result.metrics.tn);
+  w.F64(result.metrics.precision);
+  w.F64(result.metrics.recall);
+  w.F64(result.metrics.f1);
+  w.F64(result.throughput_fps);
+  w.F64(result.gpu_seconds);
+  w.F64(result.wall_seconds);
+  w.F64(result.plan_seconds);
+  w.Str(result.executor);
+  w.Str(result.explanation);
+  return w.Take();
+}
+
+bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out) {
+  net::WireReader r(payload);
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  // Segment count is bounded by the remaining bytes (12 per segment) —
+  // reject before allocating on a lying header.
+  if (n > payload.size() / 12) return false;
+  out->segments.resize(n);
+  for (auto& seg : out->segments) {
+    if (!r.I32(&seg.video_id) || !r.I32(&seg.start) || !r.I32(&seg.end)) {
+      return false;
+    }
+  }
+  if (!r.I64(&out->metrics.tp) || !r.I64(&out->metrics.fp) ||
+      !r.I64(&out->metrics.fn) || !r.I64(&out->metrics.tn) ||
+      !r.F64(&out->metrics.precision) || !r.F64(&out->metrics.recall) ||
+      !r.F64(&out->metrics.f1) || !r.F64(&out->throughput_fps) ||
+      !r.F64(&out->gpu_seconds) || !r.F64(&out->wall_seconds) ||
+      !r.F64(&out->plan_seconds) || !r.Str(&out->executor) ||
+      !r.Str(&out->explanation)) {
+    return false;
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeStatsReply(const StatsReply& reply) {
+  net::WireWriter w;
+  w.I32(reply.stats.shard);
+  EncodeCounters(&w, reply.stats);
+  w.U32(static_cast<uint32_t>(reply.stats.datasets.size()));
+  for (const auto& ds : reply.stats.datasets) {
+    w.Str(ds.dataset);
+    w.I64(ds.queue_depth);
+    w.I32(ds.weight);
+    w.I64(ds.submitted);
+    w.I64(ds.completed);
+    w.I64(ds.failed);
+    w.I64(ds.cancelled);
+    w.I64(ds.rejected);
+    EncodeHist(&w, ds.queue_wait);
+    EncodeHist(&w, ds.exec);
+  }
+  w.I32(reply.num_shards);
+  w.I64(reply.failovers);
+  w.I64(reply.rehomed_datasets);
+  w.I64(reply.dead_shards);
+  return w.Take();
+}
+
+bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
+  net::WireReader r(payload);
+  if (!r.I32(&out->stats.shard)) return false;
+  if (!DecodeCounters(&r, &out->stats)) return false;
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  if (n > payload.size() / 8) return false;  // each row is far larger
+  out->stats.datasets.resize(n);
+  for (auto& ds : out->stats.datasets) {
+    int64_t qd = 0, sub = 0, comp = 0, fail = 0, canc = 0, rej = 0;
+    if (!r.Str(&ds.dataset) || !r.I64(&qd) || !r.I32(&ds.weight) ||
+        !r.I64(&sub) || !r.I64(&comp) || !r.I64(&fail) || !r.I64(&canc) ||
+        !r.I64(&rej) || !DecodeHist(&r, &ds.queue_wait) ||
+        !DecodeHist(&r, &ds.exec)) {
+      return false;
+    }
+    ds.queue_depth = qd;
+    ds.submitted = sub;
+    ds.completed = comp;
+    ds.failed = fail;
+    ds.cancelled = canc;
+    ds.rejected = rej;
+  }
+  if (!r.I32(&out->num_shards) || !r.I64(&out->failovers) ||
+      !r.I64(&out->rehomed_datasets) || !r.I64(&out->dead_shards)) {
+    return false;
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeTicketId(uint64_t id) {
+  net::WireWriter w;
+  w.U64(id);
+  return w.Take();
+}
+
+bool DecodeTicketId(const std::string& payload, uint64_t* id) {
+  net::WireReader r(payload);
+  return r.U64(id) && r.AtEnd();
+}
+
+std::string EncodeTicketState(const TicketStateReply& reply) {
+  net::WireWriter w;
+  w.U8(static_cast<uint8_t>(reply.state));
+  w.F64(reply.progress);
+  return w.Take();
+}
+
+bool DecodeTicketState(const std::string& payload, TicketStateReply* out) {
+  net::WireReader r(payload);
+  uint8_t state = 0;
+  if (!r.U8(&state) || !r.F64(&out->progress)) return false;
+  if (state > kMaxQueryState) return false;
+  out->state = static_cast<engine::QueryState>(state);
+  return r.AtEnd();
+}
+
+std::string EncodeRegisterReply(uint64_t plans_warmed) {
+  net::WireWriter w;
+  w.U64(plans_warmed);
+  return w.Take();
+}
+
+bool DecodeRegisterReply(const std::string& payload, uint64_t* plans_warmed) {
+  net::WireReader r(payload);
+  return r.U64(plans_warmed) && r.AtEnd();
+}
+
+std::string EncodeName(const std::string& name) {
+  net::WireWriter w;
+  w.Str(name);
+  return w.Take();
+}
+
+bool DecodeName(const std::string& payload, std::string* name) {
+  net::WireReader r(payload);
+  return r.Str(name) && !name->empty() && r.AtEnd();
+}
+
+net::Frame MakeErrorFrame(uint64_t request_id, const common::Status& status) {
+  net::Frame frame;
+  frame.type = net::FrameType::kError;
+  frame.request_id = request_id;
+  net::WireWriter w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  frame.payload = w.Take();
+  return frame;
+}
+
+common::Status DecodeErrorFrame(const net::Frame& frame) {
+  net::WireReader r(frame.payload);
+  uint8_t code = 0;
+  std::string message;
+  if (!r.U8(&code) || !r.Str(&message) || code > kMaxStatusCode || code == 0) {
+    return common::Status::Unavailable("malformed error frame");
+  }
+  return common::Status(static_cast<common::StatusCode>(code),
+                        std::move(message));
+}
+
+}  // namespace zeus::cluster

@@ -1,0 +1,107 @@
+#ifndef ZEUS_CLUSTER_PROTOCOL_H_
+#define ZEUS_CLUSTER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/metrics.h"
+#include "engine/query_engine.h"
+#include "net/wire.h"
+#include "video/dataset.h"
+
+namespace zeus::cluster {
+
+// Payload formats for every cluster frame (the framing itself — length
+// prefix, version, type, request id, crc trailer — is net/wire.h). Each
+// message has an Encode returning payload bytes and a Decode returning
+// false on any malformed input (Decoders are total: they never crash on
+// garbage, a property tests/net_test.cc fuzzes).
+
+// ---- Dataset registration --------------------------------------------------
+
+// Datasets are synthetic and deterministic given (profile, seed), so the
+// wire carries the recipe, not the frames: a shard regenerates the dataset
+// locally, bit-identical to every other process using the same spec. Zero
+// fields mean "use the family default". `warm_plans` asks the receiving
+// shard to preload the dataset's persisted plans from the shared plan
+// catalog (QueryEngine::WarmUpDataset) — the plan-catalog handoff that
+// makes a post-failover home answer with planner_runs == 0.
+struct DatasetSpec {
+  std::string name;
+  video::DatasetFamily family = video::DatasetFamily::kBdd100kLike;
+  uint64_t seed = 17;
+  uint32_t num_videos = 0;
+  uint32_t frames_per_video = 0;
+  uint32_t native_resolution = 0;
+  bool warm_plans = true;
+};
+
+// The profile a spec resolves to (family defaults + overrides).
+video::DatasetProfile ProfileFor(const DatasetSpec& spec);
+
+std::string EncodeDatasetSpec(const DatasetSpec& spec);
+bool DecodeDatasetSpec(const std::string& payload, DatasetSpec* out);
+
+// ---- Query submission ------------------------------------------------------
+
+struct ExecRequest {
+  std::string dataset;
+  std::string sql;
+  int32_t priority = 0;
+};
+
+std::string EncodeExecRequest(const ExecRequest& req);
+bool DecodeExecRequest(const std::string& payload, ExecRequest* out);
+
+// QueryResult travels whole except the parsed ActionQuery (the client
+// already knows what it asked; re-encoding the parse tree buys nothing).
+// Segments and metric counts are integers, latencies doubles carried
+// bit-exactly — the bit-identity tests compare through this round trip.
+std::string EncodeQueryResult(const engine::QueryResult& result);
+bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out);
+
+// ---- Stats / health --------------------------------------------------------
+
+// A shard's Stats() snapshot plus the cluster-level fields only a router
+// fills (a plain shardd reports num_shards = 1 and zeros). Doubles as the
+// health-check heartbeat: the router pings each shard with kStats and
+// counts misses.
+struct StatsReply {
+  engine::ShardStats stats;
+  int32_t num_shards = 1;
+  int64_t failovers = 0;
+  int64_t rehomed_datasets = 0;
+  int64_t dead_shards = 0;
+};
+
+std::string EncodeStatsReply(const StatsReply& reply);
+bool DecodeStatsReply(const std::string& payload, StatsReply* out);
+
+// ---- Small fixed payloads --------------------------------------------------
+
+std::string EncodeTicketId(uint64_t id);
+bool DecodeTicketId(const std::string& payload, uint64_t* id);
+
+struct TicketStateReply {
+  engine::QueryState state = engine::QueryState::kQueued;
+  double progress = 0.0;
+};
+std::string EncodeTicketState(const TicketStateReply& reply);
+bool DecodeTicketState(const std::string& payload, TicketStateReply* out);
+
+std::string EncodeRegisterReply(uint64_t plans_warmed);
+bool DecodeRegisterReply(const std::string& payload, uint64_t* plans_warmed);
+
+std::string EncodeName(const std::string& name);
+bool DecodeName(const std::string& payload, std::string* name);
+
+// ---- Errors ----------------------------------------------------------------
+
+// kError frames carry (StatusCode, message) so a server-side failure
+// arrives as the same Status the in-process call would have returned.
+net::Frame MakeErrorFrame(uint64_t request_id, const common::Status& status);
+common::Status DecodeErrorFrame(const net::Frame& frame);
+
+}  // namespace zeus::cluster
+
+#endif  // ZEUS_CLUSTER_PROTOCOL_H_

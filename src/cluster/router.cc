@@ -1,0 +1,624 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/stringutil.h"
+
+namespace zeus::cluster {
+
+namespace {
+
+net::Frame Reply(uint64_t request_id, net::FrameType type,
+                 std::string payload) {
+  net::Frame f;
+  f.type = type;
+  f.request_id = request_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+net::Frame BadPayload(const net::Frame& req) {
+  return MakeErrorFrame(
+      req.request_id,
+      common::Status::InvalidArgument(
+          std::string("malformed ") + net::FrameTypeName(req.type) +
+          " payload"));
+}
+
+// Merge per-dataset rows from many shard snapshots by name (counters add,
+// histograms merge, queue depth sums — a dataset only ever lives on one
+// shard at a time, but across a failover its history spans two).
+void MergeDatasetRows(std::vector<engine::DatasetStats>* into,
+                      const std::vector<engine::DatasetStats>& rows) {
+  for (const auto& row : rows) {
+    auto it = std::find_if(
+        into->begin(), into->end(),
+        [&](const engine::DatasetStats& d) { return d.dataset == row.dataset; });
+    if (it == into->end()) {
+      into->push_back(row);
+      continue;
+    }
+    it->queue_depth += row.queue_depth;
+    it->weight = std::max(it->weight, row.weight);
+    it->submitted += row.submitted;
+    it->completed += row.completed;
+    it->failed += row.failed;
+    it->cancelled += row.cancelled;
+    it->rejected += row.rejected;
+    it->queue_wait.Merge(row.queue_wait);
+    it->exec.Merge(row.exec);
+  }
+}
+
+}  // namespace
+
+Router::Router(Options options) : opts_(std::move(options)) {}
+
+Router::~Router() { Stop(); }
+
+common::Status Router::Start() {
+  if (opts_.shards.empty()) {
+    return common::Status::InvalidArgument("router needs at least one shard");
+  }
+  if (running_.load()) return common::Status::FailedPrecondition("running");
+
+  shards_.clear();
+  shards_.reserve(opts_.shards.size());
+  for (size_t i = 0; i < opts_.shards.size(); ++i) {
+    ShardState state;
+    state.endpoint = opts_.shards[i];
+
+    RemoteShard::Options c;
+    c.host = state.endpoint.host;
+    c.port = state.endpoint.port;
+    c.call_deadline_ms = opts_.call_deadline_ms;
+    c.name = opts_.name + "->s" + std::to_string(i);
+    state.client = std::make_unique<RemoteShard>(c);
+
+    // The health probe never retries: a miss must be a miss, not three
+    // stacked attempts that stretch the detection window.
+    RemoteShard::Options p = c;
+    p.max_attempts = 1;
+    p.call_deadline_ms = opts_.health_deadline_ms;
+    p.connect_timeout_ms = opts_.health_deadline_ms;
+    p.name = c.name + ":probe";
+    state.probe = std::make_unique<RemoteShard>(p);
+
+    shards_.push_back(std::move(state));
+  }
+  alive_count_ = static_cast<int>(shards_.size());
+  RebuildRingLocked();  // no threads yet; the "Locked" contract is vacuous
+
+  ZEUS_RETURN_IF_ERROR(listener_.Listen(opts_.host, opts_.port));
+  port_ = listener_.port();
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  if (opts_.health_interval_ms > 0) {
+    health_thread_ = std::thread([this] { HealthLoop(); });
+  }
+  ZEUS_LOG(Info) << opts_.name << " listening on " << opts_.host << ":"
+                 << port_ << " with " << shards_.size() << " shard(s)";
+  return common::Status::Ok();
+}
+
+void Router::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    health_cv_.notify_all();
+  }
+  if (health_thread_.joinable()) health_thread_.join();
+  listener_.Close();
+  CloseAllConns();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// ---- Routing ---------------------------------------------------------------
+
+void Router::RebuildRingLocked() {
+  std::vector<int> alive_ids;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].alive) alive_ids.push_back(static_cast<int>(i));
+  }
+  ring_ = alive_ids.empty()
+              ? nullptr
+              : std::make_unique<engine::ShardRing>(alive_ids);
+}
+
+common::Result<int> Router::RouteLocked(const std::string& dataset) const {
+  if (alive_count_ == 0 || ring_ == nullptr) {
+    return common::Status::Unavailable("no alive shards");
+  }
+  if (moving_.count(dataset) > 0) {
+    return common::Status::Unavailable("dataset '" + dataset +
+                                       "' is re-homing; retry");
+  }
+  return ring_->ShardFor(dataset);
+}
+
+common::Result<int> Router::Route(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return RouteLocked(dataset);
+}
+
+common::Result<uint64_t> Router::RegisterDataset(const DatasetSpec& spec) {
+  auto home = Route(spec.name);
+  if (!home.ok()) return home.status();
+  auto reg = shards_[home.value()].client->RegisterDataset(spec);
+  if (!reg.ok()) return reg.status();
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    datasets_[spec.name] = spec;
+  }
+  return reg;
+}
+
+common::Result<engine::QueryResult> Router::Execute(const std::string& dataset,
+                                                    const std::string& sql,
+                                                    int priority) {
+  auto home = Route(dataset);
+  if (!home.ok()) return home.status();
+  ExecRequest req;
+  req.dataset = dataset;
+  req.sql = sql;
+  req.priority = priority;
+  return shards_[home.value()].client->Execute(req);
+}
+
+common::Status Router::RemoveDataset(const std::string& name) {
+  auto home = Route(name);
+  if (!home.ok()) return home.status();
+  common::Status st = shards_[home.value()].client->RemoveDataset(name);
+  if (st.ok()) {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    datasets_.erase(name);
+  }
+  return st;
+}
+
+// ---- Stats -----------------------------------------------------------------
+
+engine::GroupStats Router::GroupStatsNow() {
+  struct Target {
+    int id;
+    RemoteShard* probe;
+  };
+  std::vector<Target> targets;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].alive) {
+        targets.push_back({static_cast<int>(i), shards_[i].probe.get()});
+      }
+    }
+  }
+
+  // Collect outside the lock (each probe is one bounded attempt; a slow
+  // shard delays the scrape, never routing).
+  std::vector<std::pair<int, StatsReply>> fresh;
+  for (const Target& t : targets) {
+    auto reply = t.probe->Stats();
+    if (reply.ok()) fresh.emplace_back(t.id, std::move(reply).value());
+  }
+
+  engine::GroupStats group;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (auto& [id, reply] : fresh) {
+    shards_[id].last_stats = reply.stats;
+    shards_[id].last_stats.shard = id;
+    shards_[id].have_stats = true;
+  }
+  group.num_shards = alive_count_;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Alive shards contribute their latest snapshot (the just-fetched one
+    // when the probe answered, the previous one when it was slow).
+    if (shards_[i].alive && shards_[i].have_stats) {
+      group.Absorb(shards_[i].last_stats);
+    }
+  }
+  if (have_carry_) group.AbsorbTotals(carry_);
+  return group;
+}
+
+ClusterHealth Router::Health() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ClusterHealth health;
+  health.failovers = failovers_;
+  health.rehomed_datasets = rehomed_;
+  health.dead_shards =
+      static_cast<int64_t>(shards_.size()) - alive_count_;
+  return health;
+}
+
+StatsReply Router::Stats() {
+  engine::GroupStats group = GroupStatsNow();
+  ClusterHealth health = Health();
+  StatsReply reply;
+  // Exact aggregate (alive shards + dead-shard carry), plus the merged
+  // per-dataset rows so `.stats`-style clients keep their breakdown.
+  static_cast<engine::ServingCounters&>(reply.stats) =
+      static_cast<const engine::ServingCounters&>(group);
+  for (const auto& shard : group.shards) {
+    MergeDatasetRows(&reply.stats.datasets, shard.datasets);
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (have_carry_) MergeDatasetRows(&reply.stats.datasets, carry_.datasets);
+  }
+  reply.num_shards = group.num_shards;
+  reply.failovers = health.failovers;
+  reply.rehomed_datasets = health.rehomed_datasets;
+  reply.dead_shards = health.dead_shards;
+  return reply;
+}
+
+// ---- Health checking / failover --------------------------------------------
+
+int Router::CheckNow() {
+  std::lock_guard<std::mutex> pass(check_mu_);
+  struct Target {
+    int id;
+    RemoteShard* probe;
+  };
+  std::vector<Target> targets;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].alive) {
+        targets.push_back({static_cast<int>(i), shards_[i].probe.get()});
+      }
+    }
+  }
+
+  int newly_dead = 0;
+  for (const Target& t : targets) {
+    auto reply = t.probe->Stats();
+    std::unique_lock<std::mutex> lock(state_mu_);
+    ShardState& s = shards_[t.id];
+    if (!s.alive) continue;
+    if (reply.ok()) {
+      s.misses = 0;
+      s.last_stats = reply.value().stats;
+      s.last_stats.shard = t.id;
+      s.have_stats = true;
+    } else {
+      ++s.misses;
+      ZEUS_LOG(Warning) << opts_.name << " shard " << t.id << " missed probe "
+                        << s.misses << "/" << opts_.misses_to_dead << ": "
+                        << reply.status().ToString();
+      if (s.misses >= opts_.misses_to_dead) {
+        FailOverLocked(lock, t.id);
+        ++newly_dead;
+      }
+    }
+  }
+  return newly_dead;
+}
+
+void Router::FailOverLocked(std::unique_lock<std::mutex>& lock, int id) {
+  ShardState& s = shards_[id];
+  if (!s.alive) return;
+
+  // Step 1+2: declare dead. Only this shard's vnodes leave the ring, so
+  // only its datasets change owner.
+  std::vector<DatasetSpec> moved;
+  for (const auto& [name, spec] : datasets_) {
+    if (ring_ != nullptr && ring_->ShardFor(name) == id) {
+      moved.push_back(spec);
+    }
+  }
+  s.alive = false;
+  s.misses = 0;
+  --alive_count_;
+  ++failovers_;
+  if (s.have_stats) {
+    carry_.Merge(s.last_stats);
+    have_carry_ = true;
+  }
+  RebuildRingLocked();
+  for (const DatasetSpec& spec : moved) moving_.insert(spec.name);
+  s.client->CloseConnections();
+  s.probe->CloseConnections();
+  ZEUS_LOG(Warning) << opts_.name << " declared shard " << id << " ("
+                    << s.endpoint.host << ":" << s.endpoint.port
+                    << ") dead; re-homing " << moved.size() << " dataset(s)";
+
+  // Step 3: re-home on the ring successors. The registration RPCs run
+  // without the lock (dataset regeneration + plan warmup take real time);
+  // `moving_` keeps queries for these datasets failing retryably until
+  // their new home is ready.
+  lock.unlock();
+  for (DatasetSpec spec : moved) {
+    RemoteShard* client = nullptr;
+    int home = -1;
+    {
+      std::lock_guard<std::mutex> relock(state_mu_);
+      if (alive_count_ > 0 && ring_ != nullptr) {
+        home = ring_->ShardFor(spec.name);
+        client = shards_[home].client.get();
+      }
+    }
+    common::Status st = common::Status::Unavailable("no alive shards");
+    if (client != nullptr) {
+      spec.warm_plans = true;  // the plan-catalog handoff
+      auto reg = client->RegisterDataset(spec);
+      st = reg.ok() ? common::Status::Ok() : reg.status();
+      if (reg.ok()) {
+        ZEUS_LOG(Info) << opts_.name << " re-homed dataset '" << spec.name
+                       << "' to shard " << home << " (" << reg.value()
+                       << " plan(s) warmed)";
+      }
+    }
+    std::lock_guard<std::mutex> relock(state_mu_);
+    moving_.erase(spec.name);
+    if (st.ok()) {
+      ++rehomed_;
+    } else {
+      // The successor is unreachable too; its own failover will re-run
+      // this re-home (the ring will have moved the dataset again).
+      ZEUS_LOG(Warning) << opts_.name << " re-home of '" << spec.name
+                        << "' failed: " << st.ToString();
+    }
+  }
+  lock.lock();
+}
+
+void Router::HealthLoop() {
+  std::unique_lock<std::mutex> lk(health_mu_);
+  while (!stopping_.load()) {
+    health_cv_.wait_for(lk, std::chrono::milliseconds(opts_.health_interval_ms),
+                        [&] { return stopping_.load(); });
+    if (stopping_.load()) return;
+    lk.unlock();
+    CheckNow();
+    lk.lock();
+  }
+}
+
+bool Router::ShardAlive(int id) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (id < 0 || id >= static_cast<int>(shards_.size())) return false;
+  return shards_[id].alive;
+}
+
+int Router::num_alive() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return alive_count_;
+}
+
+int Router::HomeOf(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (alive_count_ == 0 || ring_ == nullptr) return -1;
+  return ring_->ShardFor(dataset);
+}
+
+// ---- Client-facing server --------------------------------------------------
+
+void Router::CloseAllConns() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& [fd, weak] : conns_) {
+    if (auto conn = weak.lock()) conn->Shutdown();
+  }
+}
+
+void Router::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      ZEUS_LOG(Warning) << opts_.name
+                        << " accept failed: " << accepted.status().ToString();
+      return;
+    }
+    auto conn = std::make_shared<net::FrameConn>(
+        std::move(accepted).value(), "server:" + opts_.name);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) return;
+    conns_[conn->socket().fd()] = conn;
+    conn_threads_.emplace_back([this, conn] { ConnLoop(conn); });
+  }
+}
+
+void Router::ConnLoop(std::shared_ptr<net::FrameConn> conn) {
+  bool first = true;
+  while (!stopping_.load()) {
+    net::Frame req;
+    common::Status st;
+    if (first) {
+      first = false;
+      // Sniff the first 4 bytes: "GET " means the connection speaks HTTP
+      // (a /metrics scrape); anything else is a frame length prefix. No
+      // ambiguity — "GET " read as a little-endian u32 is ~542M, far past
+      // kMaxFrameBytes, so a real frame can never alias it.
+      uint8_t head[4];
+      st = conn->socket().ReadAll(head, 4, /*deadline_ms=*/-1);
+      if (!st.ok()) break;
+      if (std::memcmp(head, "GET ", 4) == 0) {
+        ServeHttp(*conn);
+        break;
+      }
+      uint32_t body_len = 0;
+      for (int i = 0; i < 4; ++i) {
+        body_len |= static_cast<uint32_t>(head[i]) << (8 * i);
+      }
+      st = conn->ReadFrameBody(body_len, &req, opts_.write_deadline_ms);
+    } else {
+      st = conn->ReadFrame(&req, /*deadline_ms=*/-1);
+    }
+    if (!st.ok()) break;
+    net::Frame resp = Dispatch(req);
+    st = conn->WriteFrame(resp, opts_.write_deadline_ms);
+    if (!st.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn->socket().fd());
+}
+
+void Router::ServeHttp(net::FrameConn& conn) {
+  // "GET " is already consumed; read the rest of the request (capped, with
+  // a deadline — scrapers are line-speed, anything else is garbage).
+  std::string request;
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    char c = 0;
+    if (!conn.socket().ReadAll(&c, 1, /*deadline_ms=*/5'000).ok()) break;
+    request.push_back(c);
+  }
+  const std::string path = request.substr(0, request.find(' '));
+
+  std::string status = "404 Not Found";
+  std::string body = "not found\n";
+  if (path == "/metrics") {
+    status = "200 OK";
+    body = PrometheusText(GroupStatsNow(), Health());
+  }
+  const std::string response = common::Format(
+      "HTTP/1.1 %s\r\n"
+      "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      status.c_str(), body.size()) + body;
+  conn.socket().WriteAll(response.data(), response.size(),
+                         opts_.write_deadline_ms);
+  conn.Shutdown();
+  conn.Close();
+}
+
+net::Frame Router::Dispatch(const net::Frame& req) {
+  switch (req.type) {
+    case net::FrameType::kPing:
+      return Reply(req.request_id, net::FrameType::kPong, {});
+    case net::FrameType::kExecute:
+      return HandleExecute(req);
+    case net::FrameType::kSubmit:
+      return HandleSubmit(req);
+    case net::FrameType::kCancel:
+    case net::FrameType::kTicketState:
+    case net::FrameType::kTicketWait:
+      return HandleTicketOp(req);
+    case net::FrameType::kStats:
+      return Reply(req.request_id, net::FrameType::kStatsReply,
+                   EncodeStatsReply(Stats()));
+    case net::FrameType::kRegisterDataset:
+      return HandleRegisterDataset(req);
+    case net::FrameType::kRemoveDataset:
+      return HandleRemoveDataset(req);
+    default:
+      return MakeErrorFrame(
+          req.request_id,
+          common::Status::InvalidArgument(
+              std::string("unexpected frame ") +
+              net::FrameTypeName(req.type)));
+  }
+}
+
+net::Frame Router::HandleExecute(const net::Frame& req) {
+  ExecRequest exec;
+  if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
+  auto home = Route(exec.dataset);
+  if (!home.ok()) return MakeErrorFrame(req.request_id, home.status());
+  auto result = shards_[home.value()].client->Execute(exec);
+  if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+  return Reply(req.request_id, net::FrameType::kResult,
+               EncodeQueryResult(result.value()));
+}
+
+net::Frame Router::HandleSubmit(const net::Frame& req) {
+  ExecRequest exec;
+  if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
+  auto home = Route(exec.dataset);
+  if (!home.ok()) return MakeErrorFrame(req.request_id, home.status());
+  auto ticket = shards_[home.value()].client->Submit(exec);
+  if (!ticket.ok()) return MakeErrorFrame(req.request_id, ticket.status());
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    id = next_ticket_id_++;
+    tickets_[id] = {home.value(), ticket.value().id()};
+  }
+  return Reply(req.request_id, net::FrameType::kSubmitReply,
+               EncodeTicketId(id));
+}
+
+net::Frame Router::HandleTicketOp(const net::Frame& req) {
+  uint64_t id = 0;
+  if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
+  int shard_id = -1;
+  uint64_t remote_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(id);
+    if (it == tickets_.end()) {
+      return MakeErrorFrame(req.request_id,
+                            common::Status::NotFound("unknown ticket"));
+    }
+    shard_id = it->second.first;
+    remote_id = it->second.second;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (!shards_[shard_id].alive) {
+      // The query died with its shard; the submission must be replayed by
+      // the client (the router cannot know how far it got).
+      return MakeErrorFrame(
+          req.request_id,
+          common::Status::Unavailable("home shard failed over; resubmit"));
+    }
+  }
+  RemoteShard* client = shards_[shard_id].client.get();
+  switch (req.type) {
+    case net::FrameType::kCancel: {
+      common::Status st = client->Cancel(remote_id);
+      if (!st.ok()) return MakeErrorFrame(req.request_id, st);
+      return Reply(req.request_id, net::FrameType::kOk, {});
+    }
+    case net::FrameType::kTicketState: {
+      auto state = client->TicketState(remote_id);
+      if (!state.ok()) return MakeErrorFrame(req.request_id, state.status());
+      return Reply(req.request_id, net::FrameType::kTicketStateReply,
+                   EncodeTicketState(state.value()));
+    }
+    default: {  // kTicketWait
+      auto result = client->TicketWait(remote_id);
+      // The shard reaps its ticket once a wait resolves (success or a
+      // terminal query error); only a transport loss leaves it live.
+      if (result.ok() || !common::IsRetryable(result.status().code())) {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        tickets_.erase(id);
+      }
+      if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+      return Reply(req.request_id, net::FrameType::kResult,
+                   EncodeQueryResult(result.value()));
+    }
+  }
+}
+
+net::Frame Router::HandleRegisterDataset(const net::Frame& req) {
+  DatasetSpec spec;
+  if (!DecodeDatasetSpec(req.payload, &spec)) return BadPayload(req);
+  auto reg = RegisterDataset(spec);
+  if (!reg.ok()) return MakeErrorFrame(req.request_id, reg.status());
+  return Reply(req.request_id, net::FrameType::kRegisterReply,
+               EncodeRegisterReply(reg.value()));
+}
+
+net::Frame Router::HandleRemoveDataset(const net::Frame& req) {
+  std::string name;
+  if (!DecodeName(req.payload, &name)) return BadPayload(req);
+  common::Status st = RemoveDataset(name);
+  if (!st.ok()) return MakeErrorFrame(req.request_id, st);
+  return Reply(req.request_id, net::FrameType::kOk, {});
+}
+
+}  // namespace zeus::cluster

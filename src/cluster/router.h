@@ -1,0 +1,186 @@
+#ifndef ZEUS_CLUSTER_ROUTER_H_
+#define ZEUS_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/metrics_text.h"
+#include "cluster/protocol.h"
+#include "cluster/remote_shard.h"
+#include "engine/shard_ring.h"
+#include "net/frame_conn.h"
+#include "net/socket.h"
+
+namespace zeus::cluster {
+
+// The cluster front door (library form of tools/zeus_router.cc): owns a
+// RemoteShard client per shard endpoint, routes datasets over a consistent
+// ShardRing of the ALIVE shards, health-checks every shard, and fails over
+// when one dies — datasets re-home to their ring successor and rewarm
+// their plans from the shared catalog (planner_runs stays flat).
+//
+// Failure model ("certain answers"): a query either completes on the
+// dataset's healthy home — bit-identical to a single-process run, the
+// transport carries results losslessly — or fails with an explicitly
+// retryable status (kUnavailable / kResourceExhausted, see
+// common::IsRetryable). The router never silently degrades a result.
+//
+// Failover walkthrough (shard S dies):
+//   1. the health checker misses `misses_to_dead` consecutive kStats
+//      probes to S;
+//   2. S is marked dead: removed from the ring (only S's vnodes vanish, so
+//      only S's datasets move), its last Stats snapshot folds into the
+//      stats carry (group counters stay monotone), its pooled connections
+//      close;
+//   3. every dataset whose home was S is marked "moving" (queries for it
+//      fail kUnavailable rather than racing the handoff) and re-registered
+//      on its ring successor with warm_plans — the new home regenerates
+//      the dataset from its spec and pulls the persisted plans;
+//   4. moving clears; queries flow to the new home, answering from warmed
+//      plans with zero planner runs.
+class Router {
+ public:
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    int port = 0;
+  };
+
+  struct Options {
+    // Client-facing listen address.
+    std::string host = "127.0.0.1";
+    int port = 0;  // 0 = ephemeral
+    std::vector<Endpoint> shards;
+    // Background health-check cadence; <= 0 disables the thread and tests
+    // drive the checker deterministically via CheckNow().
+    int health_interval_ms = 250;
+    int health_deadline_ms = 1'000;  // per-probe deadline (single attempt)
+    int misses_to_dead = 3;
+    // Deadline for routed query traffic (Execute / ticket waits can
+    // legitimately take minutes on cold plans).
+    int call_deadline_ms = 300'000;
+    int write_deadline_ms = 30'000;  // client-facing response writes
+    std::string name = "router";
+  };
+
+  explicit Router(Options options);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  common::Status Start();
+  void Stop();
+  int port() const { return port_; }
+
+  // ---- ZeusDb-style API (also reachable over the wire) ---------------------
+
+  // Registers `spec` on the dataset's home shard and records it in the
+  // catalog for failover. Returns the number of plans the home warmed.
+  common::Result<uint64_t> RegisterDataset(const DatasetSpec& spec);
+  common::Result<engine::QueryResult> Execute(const std::string& dataset,
+                                              const std::string& sql,
+                                              int priority = 0);
+  common::Status RemoveDataset(const std::string& name);
+
+  // Aggregated stats: every alive shard's snapshot plus the dead-shard
+  // carry, so the totals never move backwards across a failover.
+  StatsReply Stats();
+  engine::GroupStats GroupStatsNow();
+  ClusterHealth Health() const;
+
+  // ---- Failover observability / deterministic test control -----------------
+
+  // Runs one synchronous health pass over all alive shards (exactly what
+  // the background thread does each tick). Returns how many shards were
+  // newly declared dead.
+  int CheckNow();
+  bool ShardAlive(int id) const;
+  int num_alive() const;
+  // Current home shard id of `dataset` (-1 when no shard is alive).
+  int HomeOf(const std::string& dataset) const;
+
+ private:
+  struct ShardState {
+    Endpoint endpoint;
+    std::unique_ptr<RemoteShard> client;  // routed traffic (with retries)
+    std::unique_ptr<RemoteShard> probe;   // health checks (single attempt)
+    bool alive = true;
+    int misses = 0;
+    engine::ShardStats last_stats;  // last good snapshot (failover carry)
+    bool have_stats = false;
+  };
+
+  // Routing decision under the lock; the RemoteShard call happens outside
+  // (clients are thread-safe, and routed queries can run for minutes).
+  common::Result<int> RouteLocked(const std::string& dataset) const;
+  common::Result<int> Route(const std::string& dataset) const;
+
+  void RebuildRingLocked();
+  // Declares shard `id` dead and performs the re-home. Called with
+  // state_mu_ HELD; temporarily releases it for the re-registration RPCs.
+  void FailOverLocked(std::unique_lock<std::mutex>& lock, int id);
+  void HealthLoop();
+
+  // Client-facing frame/HTTP server.
+  void AcceptLoop();
+  void ConnLoop(std::shared_ptr<net::FrameConn> conn);
+  void CloseAllConns();
+  net::Frame Dispatch(const net::Frame& req);
+  net::Frame HandleExecute(const net::Frame& req);
+  net::Frame HandleSubmit(const net::Frame& req);
+  net::Frame HandleTicketOp(const net::Frame& req);
+  net::Frame HandleRegisterDataset(const net::Frame& req);
+  net::Frame HandleRemoveDataset(const net::Frame& req);
+  // GET <path> already sniffed; serves /metrics and closes.
+  void ServeHttp(net::FrameConn& conn);
+
+  Options opts_;
+
+  // Serializes whole health passes (the background thread vs. CheckNow
+  // from tests): one failover runs at a time, start to finish.
+  std::mutex check_mu_;
+
+  mutable std::mutex state_mu_;
+  std::vector<ShardState> shards_;
+  std::unique_ptr<engine::ShardRing> ring_;  // over alive shard ids
+  int alive_count_ = 0;
+  // name -> spec: everything needed to re-create a dataset elsewhere.
+  std::map<std::string, DatasetSpec> datasets_;
+  // Datasets mid-re-home; queries for them fail kUnavailable (retryable)
+  // instead of racing the handoff.
+  std::set<std::string> moving_;
+  // Dead shards' final snapshots, folded (keeps group stats monotone).
+  engine::ShardStats carry_;
+  bool have_carry_ = false;
+  int64_t failovers_ = 0;
+  int64_t rehomed_ = 0;
+
+  // Router-side ticket surface: router ticket id -> (shard id, remote id).
+  std::mutex tickets_mu_;
+  std::map<uint64_t, std::pair<int, uint64_t>> tickets_;
+  uint64_t next_ticket_id_ = 1;
+
+  net::TcpListener listener_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::thread health_thread_;
+  std::mutex health_mu_;
+  std::condition_variable health_cv_;
+
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::map<int, std::weak_ptr<net::FrameConn>> conns_;
+};
+
+}  // namespace zeus::cluster
+
+#endif  // ZEUS_CLUSTER_ROUTER_H_

@@ -1,0 +1,287 @@
+#include "cluster/shard_server.h"
+
+#include <optional>
+
+#include "common/logging.h"
+#include "core/query.h"
+
+namespace zeus::cluster {
+
+namespace {
+
+net::Frame OkFrame(uint64_t request_id) {
+  net::Frame f;
+  f.type = net::FrameType::kOk;
+  f.request_id = request_id;
+  return f;
+}
+
+net::Frame Reply(uint64_t request_id, net::FrameType type,
+                 std::string payload) {
+  net::Frame f;
+  f.type = type;
+  f.request_id = request_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+net::Frame BadPayload(const net::Frame& req) {
+  return MakeErrorFrame(
+      req.request_id,
+      common::Status::InvalidArgument(
+          std::string("malformed ") + net::FrameTypeName(req.type) +
+          " payload"));
+}
+
+}  // namespace
+
+ShardServer::ShardServer(Options options)
+    : opts_(std::move(options)), engine_(opts_.engine) {}
+
+ShardServer::~ShardServer() { Stop(); }
+
+common::Status ShardServer::Start() {
+  if (running_.load()) return common::Status::FailedPrecondition("running");
+  ZEUS_RETURN_IF_ERROR(listener_.Listen(opts_.host, opts_.port));
+  port_ = listener_.port();
+  stopping_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ZEUS_LOG(Info) << opts_.name << " listening on " << opts_.host << ":"
+                 << port_;
+  return common::Status::Ok();
+}
+
+void ShardServer::CloseAllConns() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& [fd, weak] : conns_) {
+    if (auto conn = weak.lock()) conn->Shutdown();
+  }
+}
+
+void ShardServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  listener_.Close();
+  // Drain before kicking connections: requests already inside the engine
+  // finish and their responses still go out. New frames racing in will
+  // fail when their connection is shut below — the cluster contract is
+  // explicit kUnavailable, not silent loss, and the client side maps a
+  // dead connection to exactly that.
+  engine_.DrainAll();
+  CloseAllConns();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void ShardServer::Kill() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  listener_.Close();
+  CloseAllConns();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void ShardServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto accepted = listener_.Accept();
+    if (!accepted.ok()) {
+      if (stopping_.load()) return;
+      ZEUS_LOG(Warning) << opts_.name
+                        << " accept failed: " << accepted.status().ToString();
+      return;
+    }
+    auto conn = std::make_shared<net::FrameConn>(
+        std::move(accepted).value(), "server:" + opts_.name);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (stopping_.load()) return;
+    conns_[conn->socket().fd()] = conn;
+    conn_threads_.emplace_back([this, conn] { ConnLoop(conn); });
+  }
+}
+
+void ShardServer::ConnLoop(std::shared_ptr<net::FrameConn> conn) {
+  while (!stopping_.load()) {
+    net::Frame req;
+    // Block until a frame arrives; Stop()/Kill() shut the socket down,
+    // which surfaces here as an error.
+    common::Status st = conn->ReadFrame(&req, /*deadline_ms=*/-1);
+    if (!st.ok()) break;  // clean close, corrupt frame, or shutdown
+    net::Frame resp = Dispatch(req);
+    st = conn->WriteFrame(resp, opts_.write_deadline_ms);
+    if (!st.ok()) break;
+  }
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn->socket().fd());
+}
+
+net::Frame ShardServer::Dispatch(const net::Frame& req) {
+  switch (req.type) {
+    case net::FrameType::kPing:
+      return Reply(req.request_id, net::FrameType::kPong, {});
+    case net::FrameType::kExecute:
+      return HandleExecute(req);
+    case net::FrameType::kSubmit:
+      return HandleSubmit(req);
+    case net::FrameType::kCancel:
+      return HandleCancel(req);
+    case net::FrameType::kTicketState:
+      return HandleTicketState(req);
+    case net::FrameType::kTicketWait:
+      return HandleTicketWait(req);
+    case net::FrameType::kStats:
+      return HandleStats(req);
+    case net::FrameType::kRegisterDataset:
+      return HandleRegisterDataset(req);
+    case net::FrameType::kRemoveDataset:
+      return HandleRemoveDataset(req);
+    default:
+      return MakeErrorFrame(
+          req.request_id,
+          common::Status::InvalidArgument(
+              std::string("unexpected frame ") +
+              net::FrameTypeName(req.type)));
+  }
+}
+
+net::Frame ShardServer::HandleExecute(const net::Frame& req) {
+  ExecRequest exec;
+  if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
+  auto parsed = core::QueryParser::Parse(exec.sql);
+  if (!parsed.ok()) return MakeErrorFrame(req.request_id, parsed.status());
+  engine::QueryOptions opts = engine_.options().exec;
+  opts.priority = exec.priority;
+  auto result = engine_.Execute(exec.dataset, parsed.value(), opts);
+  if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+  return Reply(req.request_id, net::FrameType::kResult,
+               EncodeQueryResult(result.value()));
+}
+
+net::Frame ShardServer::HandleSubmit(const net::Frame& req) {
+  ExecRequest exec;
+  if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
+  auto parsed = core::QueryParser::Parse(exec.sql);
+  if (!parsed.ok()) return MakeErrorFrame(req.request_id, parsed.status());
+  engine::QueryOptions opts = engine_.options().exec;
+  opts.priority = exec.priority;
+  auto ticket = engine_.Submit(exec.dataset, parsed.value(), opts);
+  if (!ticket.ok()) return MakeErrorFrame(req.request_id, ticket.status());
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    id = next_ticket_id_++;
+    tickets_.emplace(id, std::move(ticket).value());
+  }
+  return Reply(req.request_id, net::FrameType::kSubmitReply,
+               EncodeTicketId(id));
+}
+
+net::Frame ShardServer::HandleCancel(const net::Frame& req) {
+  uint64_t id = 0;
+  if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  auto it = tickets_.find(id);
+  // Cancel of an unknown (already reaped / never existed) ticket is a
+  // no-op, which is what makes kCancel idempotent and retry-safe.
+  if (it != tickets_.end()) it->second.Cancel();
+  return OkFrame(req.request_id);
+}
+
+net::Frame ShardServer::HandleTicketState(const net::Frame& req) {
+  uint64_t id = 0;
+  if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
+  std::lock_guard<std::mutex> lock(tickets_mu_);
+  auto it = tickets_.find(id);
+  if (it == tickets_.end()) {
+    return MakeErrorFrame(req.request_id,
+                          common::Status::NotFound("unknown ticket"));
+  }
+  TicketStateReply reply;
+  reply.state = it->second.state();
+  reply.progress = it->second.progress();
+  return Reply(req.request_id, net::FrameType::kTicketStateReply,
+               EncodeTicketState(reply));
+}
+
+net::Frame ShardServer::HandleTicketWait(const net::Frame& req) {
+  uint64_t id = 0;
+  if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
+  std::optional<engine::QueryTicket> ticket;
+  {
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    auto it = tickets_.find(id);
+    if (it != tickets_.end()) ticket = it->second;  // copy: shared state
+  }
+  if (!ticket.has_value()) {
+    return MakeErrorFrame(req.request_id,
+                          common::Status::NotFound("unknown ticket"));
+  }
+  // Wait outside the lock — other ticket operations proceed meanwhile.
+  const auto& result = ticket->Wait();
+  {
+    // Terminal: the ticket has served its purpose.
+    std::lock_guard<std::mutex> lock(tickets_mu_);
+    tickets_.erase(id);
+  }
+  if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+  return Reply(req.request_id, net::FrameType::kResult,
+               EncodeQueryResult(result.value()));
+}
+
+net::Frame ShardServer::HandleStats(const net::Frame& req) {
+  StatsReply reply;
+  reply.stats = engine_.Stats();
+  reply.num_shards = 1;
+  return Reply(req.request_id, net::FrameType::kStatsReply,
+               EncodeStatsReply(reply));
+}
+
+net::Frame ShardServer::HandleRegisterDataset(const net::Frame& req) {
+  DatasetSpec spec;
+  if (!DecodeDatasetSpec(req.payload, &spec)) return BadPayload(req);
+  if (!engine_.HasDataset(spec.name)) {
+    auto dataset =
+        video::SyntheticDataset::Generate(ProfileFor(spec), spec.seed);
+    common::Status st = engine_.RegisterDataset(spec.name, std::move(dataset));
+    // A racing duplicate registration is fine — the spec is deterministic,
+    // so both writers produced the same dataset.
+    if (!st.ok() && st.code() != common::StatusCode::kAlreadyExists) {
+      return MakeErrorFrame(req.request_id, st);
+    }
+    ZEUS_LOG(Info) << opts_.name << " registered dataset '" << spec.name
+                   << "'";
+  }
+  uint64_t warmed = 0;
+  if (spec.warm_plans) {
+    warmed = engine_.WarmUpDataset(spec.name);
+    if (warmed > 0) {
+      ZEUS_LOG(Info) << opts_.name << " warmed " << warmed << " plan(s) for '"
+                     << spec.name << "'";
+    }
+  }
+  return Reply(req.request_id, net::FrameType::kRegisterReply,
+               EncodeRegisterReply(warmed));
+}
+
+net::Frame ShardServer::HandleRemoveDataset(const net::Frame& req) {
+  std::string name;
+  if (!DecodeName(req.payload, &name)) return BadPayload(req);
+  if (engine_.HasDataset(name)) {
+    engine_.DrainDataset(name);
+    engine_.RemoveDataset(name);
+  }
+  return OkFrame(req.request_id);
+}
+
+}  // namespace zeus::cluster

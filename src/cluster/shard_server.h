@@ -1,0 +1,113 @@
+#ifndef ZEUS_CLUSTER_SHARD_SERVER_H_
+#define ZEUS_CLUSTER_SHARD_SERVER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/protocol.h"
+#include "engine/query_engine.h"
+#include "net/frame_conn.h"
+#include "net/socket.h"
+
+namespace zeus::cluster {
+
+// One shard of the multi-process cluster: a TCP server wrapping exactly one
+// QueryEngine. This is the library form of the `shardd` binary
+// (tools/shardd.cc) — tests run it in-process against RemoteShard clients
+// so every fault-injection scenario is single-process and deterministic.
+//
+// Connection model: one thread per connection, one request in flight per
+// connection (strict request/response — concurrency comes from clients
+// opening more connections, see RemoteShard's pool). A connection thread
+// blocked in a long Execute keeps only its own connection busy.
+//
+// The engine's plan cache should point at the cluster's shared persist
+// dir: RegisterDataset frames with `warm_plans` then pull the dataset's
+// persisted plans via QueryEngine::WarmUpDataset — the plan-catalog
+// handoff that lets a re-homed dataset answer with planner_runs == 0.
+class ShardServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  // 0 = pick an ephemeral port (readable via port())
+    // Response-write deadline; a client that stops reading cannot wedge a
+    // connection thread forever.
+    int write_deadline_ms = 30'000;
+    engine::QueryEngine::Options engine;
+    // Tag baked into the transport's fault-injection matching ("server"
+    // plus this name).
+    std::string name = "shardd";
+  };
+
+  explicit ShardServer(Options options);
+  // Stops (gracefully) if still running.
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  common::Status Start();
+
+  // Graceful stop: close the listener, kick live connections, drain the
+  // engine's queued + running work (QueryEngine::DrainAll), join threads.
+  void Stop();
+
+  // Abrupt stop: everything closes NOW, nothing drains — the in-process
+  // stand-in for kill -9 that the failover tests use. The engine object
+  // survives (it is this object's member) but no response in flight is
+  // completed.
+  void Kill();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+  engine::QueryEngine& engine() { return engine_; }
+
+ private:
+  void AcceptLoop();
+  void ConnLoop(std::shared_ptr<net::FrameConn> conn);
+  // Builds the response for one request frame. Never throws; malformed
+  // payloads come back as kError(kInvalidArgument).
+  net::Frame Dispatch(const net::Frame& req);
+
+  net::Frame HandleExecute(const net::Frame& req);
+  net::Frame HandleSubmit(const net::Frame& req);
+  net::Frame HandleCancel(const net::Frame& req);
+  net::Frame HandleTicketState(const net::Frame& req);
+  net::Frame HandleTicketWait(const net::Frame& req);
+  net::Frame HandleStats(const net::Frame& req);
+  net::Frame HandleRegisterDataset(const net::Frame& req);
+  net::Frame HandleRemoveDataset(const net::Frame& req);
+
+  void CloseAllConns();
+
+  Options opts_;
+  engine::QueryEngine engine_;
+
+  net::TcpListener listener_;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::map<int, std::weak_ptr<net::FrameConn>> conns_;  // keyed by fd
+  int next_conn_id_ = 0;
+
+  // Async surface: tickets live here between kSubmit and the terminal
+  // kTicketWait (which erases them). Tickets a client abandons stay until
+  // the server stops — acceptable for the cluster's internal use where
+  // the router always waits or cancels.
+  std::mutex tickets_mu_;
+  std::map<uint64_t, engine::QueryTicket> tickets_;
+  uint64_t next_ticket_id_ = 1;
+};
+
+}  // namespace zeus::cluster
+
+#endif  // ZEUS_CLUSTER_SHARD_SERVER_H_

@@ -1,0 +1,40 @@
+#include "common/fileutil.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/stringutil.h"
+
+namespace zeus::common {
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp =
+      Format("%s.tmp.%d", path.c_str(), static_cast<int>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot open " + tmp + " for writing");
+    }
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace zeus::common

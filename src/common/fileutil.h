@@ -1,0 +1,26 @@
+#ifndef ZEUS_COMMON_FILEUTIL_H_
+#define ZEUS_COMMON_FILEUTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace zeus::common {
+
+// Crash-atomic whole-file write: the contents land in a same-directory
+// temp file first and are rename(2)-ed over `path` only after a successful
+// write+flush. Readers therefore see either the old file or the complete
+// new one — never a torn prefix. This is what keeps the plan catalog
+// (PlanIo manifests and their `.key` sidecars) safe against a shard
+// process dying mid-checkpoint: a killed writer leaves at most a stray
+// temp file, which scanners ignore, instead of a truncated entry the next
+// warm start would trip on.
+//
+// The temp name embeds the pid so concurrent writers of the same path
+// (two shards racing on one catalog entry) cannot collide on the temp
+// file; last rename wins, atomically.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace zeus::common
+
+#endif  // ZEUS_COMMON_FILEUTIL_H_

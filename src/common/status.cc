@@ -29,6 +29,8 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

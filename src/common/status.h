@@ -20,7 +20,20 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kCancelled,
+  // Transient distributed-systems failure: the callee could not be reached
+  // or the response was lost. Explicitly retryable — the cluster layer's
+  // contract is that a query either succeeds bit-identically or fails with
+  // THIS code, never a silent wrong answer (see docs/ARCHITECTURE.md,
+  // "Cluster").
+  kUnavailable,
 };
+
+// True for codes a caller may safely retry (the operation may not have
+// executed, or executing it again is harmless).
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
 
 // A Status is either OK or carries an error code plus a human-readable
 // message. It is cheap to copy in the OK case.
@@ -57,6 +70,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/crc32.h"
+#include "common/fileutil.h"
 #include "common/stringutil.h"
 #include "rl/env.h"
 
@@ -73,14 +74,14 @@ common::Status PlanIo::Save(const std::string& prefix, const QueryPlan& plan) {
   const uint32_t crc =
       common::Crc32(0, payload.data(), payload.size());
 
-  std::ofstream meta(prefix + ".meta");
-  if (!meta.is_open()) {
-    return common::Status::IoError("cannot open " + prefix + ".meta");
-  }
-  meta << kMetaMagic << "\n" << payload;
-  meta << common::Format("crc32 %08x\n", crc);
-  if (!meta.good()) return common::Status::IoError("meta write failed");
-  return common::Status::Ok();
+  // Atomic manifest commit (temp file + rename): the manifest is written
+  // LAST, after the weight files above, and lands all-or-nothing — so a
+  // shard killed anywhere inside Save leaves either no manifest (entry
+  // invisible, clean replan later) or a complete, crc-valid one. A torn
+  // manifest for the next warm start to trip on is no longer possible.
+  return common::AtomicWriteFile(
+      prefix + ".meta",
+      kMetaMagic + ("\n" + payload) + common::Format("crc32 %08x\n", crc));
 }
 
 common::Result<QueryPlan> PlanIo::Load(

@@ -66,6 +66,17 @@ std::vector<const video::Video*> QueryPlanner::SplitVideos(
   return out;
 }
 
+QueryPlanner::Options QueryPlanner::ReducedOptions() {
+  Options opts;
+  opts.apfg.epochs = 4;
+  opts.profile.max_windows_per_config = 60;
+  opts.trainer.episodes = 3;
+  opts.trainer.min_buffer = 32;
+  opts.trainer.agent.batch_size = 32;
+  opts.max_rl_configs = 4;
+  return opts;
+}
+
 common::Result<QueryPlan> QueryPlanner::Plan(const ActionQuery& query) {
   return PlanForClasses(query.action_classes, query.accuracy_target);
 }

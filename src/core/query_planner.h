@@ -63,6 +63,14 @@ class QueryPlanner {
     std::vector<Configuration> space_override;
   };
 
+  // The canonical reduced training configuration for tests, CI smoke jobs
+  // and `shardd --fast-planner`: plans train in seconds instead of
+  // minutes. Defined once here so a cluster test comparing a shard
+  // process's answers against a local engine can never drift out of sync
+  // with the options the shard process trained with — bit-identity
+  // requires identical planner knobs on both sides.
+  static Options ReducedOptions();
+
   QueryPlanner(const video::SyntheticDataset* dataset, const Options& opts)
       : dataset_(dataset), opts_(opts) {}
 

@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/crc32.h"
+#include "common/fileutil.h"
 #include "common/logging.h"
 #include "common/stringutil.h"
 #include "common/timer.h"
@@ -175,15 +176,19 @@ common::Result<PlanCache::Lookup> PlanCache::GetOrPlan(
                             << "': " << saved.ToString();
         } else {
           // Catalog entry: lets WarmUp() recover the raw key (and the
-          // family Load needs) from the sanitized checkpoint name.
-          std::ofstream cat(prefix + ".key");
-          cat << kCatalogMagic << "\n"
-              << key << "\n"
-              << "family " << static_cast<int>(dataset->profile().family)
-              << "\n";
-          if (!cat.good()) {
+          // family Load needs) from the sanitized checkpoint name. Written
+          // atomically (temp + rename) and only after a successful Save,
+          // so the sidecar's existence implies a complete checkpoint — a
+          // crashed shard can never leave a torn catalog entry.
+          const std::string sidecar =
+              std::string(kCatalogMagic) + "\n" + key + "\n" + "family " +
+              std::to_string(static_cast<int>(dataset->profile().family)) +
+              "\n";
+          common::Status cat =
+              common::AtomicWriteFile(prefix + ".key", sidecar);
+          if (!cat.ok()) {
             ZEUS_LOG(Warning) << "plan catalog write failed for '" << key
-                              << "'";
+                              << "': " << cat.ToString();
           }
         }
       }

@@ -181,6 +181,25 @@ void QueryEngine::DrainDataset(const std::string& name) {
   metrics_.RecordDrain();
 }
 
+void QueryEngine::DrainAll() {
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_cv_.wait(lock, [&] {
+      if (pending_.size() > 0) return false;
+      for (const auto& [name, running] : active_by_dataset_) {
+        if (running > 0) return false;
+      }
+      return true;
+    });
+  }
+  metrics_.RecordDrain();
+}
+
+size_t QueryEngine::WarmUpDataset(const std::string& name) {
+  return cache_.WarmUp(
+      [&name](const std::string& key) { return PlanKeyDataset(key) == name; });
+}
+
 int QueryEngine::DatasetWeight(const std::string& name) const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return pending_.WeightOf(name);

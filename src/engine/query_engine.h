@@ -179,6 +179,19 @@ class QueryEngine {
   // traffic here first (EngineGroup flips the ring before draining).
   void DrainDataset(const std::string& name);
 
+  // Blocks until the queue is empty and nothing is running — the graceful
+  // shutdown hook a shard server calls between "stop accepting work" and
+  // "exit" (cluster/shard_server.h). Like DrainDataset, submissions are
+  // not fenced; the caller stops admitting first.
+  void DrainAll();
+
+  // Preloads this dataset's persisted plans from the plan-cache catalog
+  // (PlanCache::WarmUp with a key filter on the dataset component of every
+  // PlanKey). Returns the number of plans loaded. This is the plan-catalog
+  // handoff a cluster re-home rides: the new home shard warms the moved
+  // dataset's plans from the shared persist dir instead of replanning.
+  size_t WarmUpDataset(const std::string& name);
+
   // Fair-share weight of a dataset in the admission queue (default 1): a
   // dataset with weight w receives up to w consecutive grants per
   // round-robin turn when priorities tie.

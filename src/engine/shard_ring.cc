@@ -35,6 +35,28 @@ ShardRing::ShardRing(int num_shards, int vnodes_per_shard)
   std::sort(ring_.begin(), ring_.end());
 }
 
+ShardRing::ShardRing(const std::vector<int>& shard_ids, int vnodes_per_shard)
+    : num_shards_(std::max<int>(1, static_cast<int>(shard_ids.size()))) {
+  vnodes_per_shard = std::max(1, vnodes_per_shard);
+  if (shard_ids.empty()) {
+    // Degenerate but total: an empty member set routes everything to 0,
+    // matching ShardRing(1). Callers that care check membership first.
+    for (int v = 0; v < vnodes_per_shard; ++v) {
+      ring_.emplace_back(Hash(common::Format("shard-%d#%d", 0, v)), 0);
+    }
+  } else {
+    ring_.reserve(shard_ids.size() * static_cast<size_t>(vnodes_per_shard));
+    for (int id : shard_ids) {
+      // Same label scheme as the count constructor, so ShardRing({0..n-1})
+      // is ring-point-identical to ShardRing(n).
+      for (int v = 0; v < vnodes_per_shard; ++v) {
+        ring_.emplace_back(Hash(common::Format("shard-%d#%d", id, v)), id);
+      }
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
 std::vector<ShardRing::KeyMove> ShardRing::DiffOwners(
     const ShardRing& to, const std::vector<std::string>& keys) const {
   std::vector<KeyMove> moves;
@@ -47,7 +69,9 @@ std::vector<ShardRing::KeyMove> ShardRing::DiffOwners(
 }
 
 int ShardRing::ShardFor(const std::string& key) const {
-  if (num_shards_ == 1) return 0;
+  // With one member every key has the same owner (which need not be 0
+  // under the id-set constructor).
+  if (num_shards_ == 1) return ring_.front().second;
   const uint64_t h = Hash(key);
   // First virtual node at or after h, wrapping past the top of the ring.
   auto it = std::lower_bound(ring_.begin(), ring_.end(),

@@ -24,7 +24,17 @@ class ShardRing {
  public:
   explicit ShardRing(int num_shards, int vnodes_per_shard = 64);
 
-  // Shard owning `key`, in [0, num_shards).
+  // Ring over an explicit shard-id set (ids need not be contiguous). A
+  // shard's virtual nodes are derived from its id, not its position, so
+  // removing one member — how the cluster router drops a dead shard —
+  // leaves every other shard's ring points untouched: only the dead
+  // shard's keys move, each to its ring successor. The int-count
+  // constructor is exactly ShardRing({0, 1, ..., n-1}).
+  explicit ShardRing(const std::vector<int>& shard_ids,
+                     int vnodes_per_shard = 64);
+
+  // Shard owning `key`: an index in [0, num_shards) for the count
+  // constructor, one of the given ids for the id-set constructor.
   int ShardFor(const std::string& key) const;
 
   // One key whose owner differs between two rings. The minimal-movement

@@ -1,0 +1,60 @@
+#include "net/fault.h"
+
+#include <atomic>
+
+namespace zeus::net {
+
+namespace {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace
+
+void FaultInjector::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(std::move(rule));
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  fired_ = 0;
+}
+
+bool FaultInjector::Match(FaultDirection direction, FrameType type,
+                          const std::string& tag, FaultRule* fired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FaultRule& rule : rules_) {
+    if (rule.times == 0) continue;
+    if (rule.direction != FaultDirection::kAny && rule.direction != direction) {
+      continue;
+    }
+    if (rule.match_type && rule.type != type) continue;
+    if (!rule.tag_contains.empty() &&
+        tag.find(rule.tag_contains) == std::string::npos) {
+      continue;
+    }
+    if (rule.skip > 0) {
+      --rule.skip;
+      continue;
+    }
+    if (rule.times > 0) --rule.times;
+    ++fired_;
+    *fired = rule;
+    return true;
+  }
+  return false;
+}
+
+long FaultInjector::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+void SetFaultInjector(FaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FaultInjector* GetFaultInjector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace zeus::net

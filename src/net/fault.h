@@ -1,0 +1,87 @@
+#ifndef ZEUS_NET_FAULT_H_
+#define ZEUS_NET_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace zeus::net {
+
+// Deterministic fault-injection seam for the cluster transport. Robustness
+// claims in this repo are proven by tests, not asserted in comments — and
+// network failures are the hardest to provoke organically, so the transport
+// itself carries the hook: FrameConn consults the process-global injector
+// (when one is installed) on every frame it sends or receives, and an
+// armed rule turns that frame into a drop, a delay, a connection close or
+// a corruption. Rules match deterministically (frame type, direction,
+// connection tag, skip-the-first-k counter) — no randomness, so a failing
+// scenario replays exactly.
+//
+// Cost when unused: one relaxed atomic load per frame (the injector
+// pointer), nothing else. Production builds simply never install one.
+
+enum class FaultDirection : uint8_t {
+  kSend,
+  kRecv,
+  kAny,
+};
+
+enum class FaultAction : uint8_t {
+  kDrop,     // swallow the frame; sender believes it was sent / receiver
+             // keeps waiting for the next one
+  kDelayMs,  // sleep `delay_ms` before the frame proceeds (slow peer)
+  kClose,    // shut the connection down instead of transferring the frame
+  kCorrupt,  // flip bits in the encoded bytes (send) / decoded-from bytes
+             // (recv) so the crc check rejects the frame
+};
+
+struct FaultRule {
+  FaultAction action = FaultAction::kDrop;
+  FaultDirection direction = FaultDirection::kAny;
+  // Match only this frame type; unset (default) matches every type.
+  bool match_type = false;
+  FrameType type = FrameType::kPing;
+  // Match only connections whose tag contains this substring ("" = all).
+  // Servers tag their conns "server", clients "client", the router
+  // "router" — so a test can fault exactly one side of one hop.
+  std::string tag_contains;
+  // Skip the first `skip` matching frames before arming (0 = arm now).
+  int skip = 0;
+  // Fire at most this many times; < 0 = unlimited.
+  int times = 1;
+  int delay_ms = 0;
+};
+
+class FaultInjector {
+ public:
+  void AddRule(FaultRule rule);
+  void Clear();
+
+  // First armed rule matching (direction, type, tag), consuming one firing
+  // of it; kDelayMs sleeping happens in the caller (FrameConn), not here,
+  // so the injector's lock is never held across a sleep. Returns false when
+  // nothing matches.
+  bool Match(FaultDirection direction, FrameType type, const std::string& tag,
+             FaultRule* fired);
+
+  // Total firings since construction / last Clear (test assertions).
+  long fired_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  long fired_ = 0;
+};
+
+// Process-global injector the transport consults. Tests install one around
+// a scenario and MUST uninstall (set nullptr) before tearing the scenario
+// down. Not owned; the caller keeps the injector alive while installed.
+void SetFaultInjector(FaultInjector* injector);
+FaultInjector* GetFaultInjector();
+
+}  // namespace zeus::net
+
+#endif  // ZEUS_NET_FAULT_H_

@@ -1,0 +1,137 @@
+// Pins the Prometheus text exposition of GroupStats (cluster/metrics_text):
+// naming conventions, HELP/TYPE preambles, cumulative histogram buckets,
+// and the per-shard label breakdown. The format is an external contract
+// (scrapers parse it), so these tests are deliberately literal.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/metrics_text.h"
+
+namespace zeus {
+namespace {
+
+engine::GroupStats MakeStats() {
+  engine::GroupStats group;
+  group.num_shards = 2;
+
+  engine::ShardStats s0;
+  s0.shard = 0;
+  s0.submitted = 10;
+  s0.completed = 7;
+  s0.failed = 1;
+  s0.queue_depth = 2;
+  s0.planner_runs = 3;
+  s0.exec.count = 4;
+  s0.exec.sum_seconds = 1.5;
+  s0.exec.buckets[20] = 3;
+  s0.exec.buckets[21] = 1;
+
+  engine::ShardStats s1;
+  s1.shard = 1;
+  s1.submitted = 5;
+  s1.completed = 5;
+  s1.queue_depth = 1;
+
+  group.Absorb(s0);
+  group.Absorb(s1);
+  return group;
+}
+
+cluster::ClusterHealth MakeHealth() {
+  cluster::ClusterHealth health;
+  health.failovers = 1;
+  health.rehomed_datasets = 2;
+  health.dead_shards = 1;
+  return health;
+}
+
+TEST(MetricsTextTest, EmitsAggregateCountersWithPreambles) {
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  EXPECT_NE(text.find("# HELP zeus_queries_submitted_total "),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE zeus_queries_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_queries_submitted_total 15\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_queries_completed_total 12\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_queries_failed_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_planner_runs_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_queue_depth 3\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_shards_alive 2\n"), std::string::npos);
+}
+
+TEST(MetricsTextTest, EmitsClusterHealth) {
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  EXPECT_NE(text.find("zeus_cluster_failovers_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_cluster_rehomed_datasets_total 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_cluster_dead_shards 1\n"), std::string::npos);
+}
+
+TEST(MetricsTextTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  // Bucket 20 holds 3 samples, bucket 21 one more: the le-series must be
+  // cumulative (3 then 4) and +Inf must equal the count.
+  EXPECT_NE(text.find("zeus_exec_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_exec_seconds_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_exec_seconds_sum 1.5\n"), std::string::npos);
+
+  // Extract the cumulative series and verify monotonicity ending at 4.
+  std::istringstream lines(text);
+  std::string line;
+  long previous = 0;
+  int buckets_seen = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("zeus_exec_seconds_bucket{le=", 0) != 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos);
+    const long value = std::stol(line.substr(space + 1));
+    EXPECT_GE(value, previous) << line;
+    previous = value;
+    ++buckets_seen;
+  }
+  EXPECT_EQ(buckets_seen,
+            static_cast<int>(engine::HistogramStats::kNumBuckets) + 1);
+  EXPECT_EQ(previous, 4);
+}
+
+TEST(MetricsTextTest, PerShardBreakdownUsesShardLabels) {
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  EXPECT_NE(text.find("zeus_shard_completed_total{shard=\"0\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_shard_completed_total{shard=\"1\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_shard_queue_depth{shard=\"0\"} 2\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTextTest, EveryLineIsCommentOrSample) {
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // "<name>[{labels}] <value>": exactly one space separating the value.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    const std::string name = line.substr(0, space);
+    EXPECT_EQ(name.rfind("zeus_", 0), 0u) << line;
+    EXPECT_FALSE(line.substr(space + 1).empty()) << line;
+  }
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,0 +1,490 @@
+// Transport-layer tests: wire framing round trips, totality of the
+// decoders on garbage/truncated input (property-style, deterministic), the
+// payload codecs of cluster/protocol.h, real-TCP frame exchange with
+// deadlines, and the fault-injection seam. The framing invariant under
+// test everywhere: a frame either decodes exactly or is rejected whole —
+// no partial effect, no crash, no silent acceptance of corrupt bytes.
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/protocol.h"
+#include "net/fault.h"
+#include "net/frame_conn.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace zeus {
+namespace {
+
+// Deterministic byte generator (no std::random — identical on every
+// platform and run).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint8_t Byte() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint8_t>(state_ >> 33);
+  }
+  std::string Bytes(size_t n) {
+    std::string s(n, '\0');
+    for (char& c : s) c = static_cast<char>(Byte());
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+std::string BodyOf(const net::Frame& frame) {
+  // EncodeFrame emits the 4-byte length prefix + body; DecodeFrameBody
+  // consumes the body.
+  return net::EncodeFrame(frame).substr(4);
+}
+
+// ---- Framing ---------------------------------------------------------------
+
+TEST(WireTest, FrameRoundTripsEveryTypeAndPayloadSize) {
+  Lcg lcg(7);
+  const net::FrameType types[] = {
+      net::FrameType::kPing,      net::FrameType::kExecute,
+      net::FrameType::kSubmit,    net::FrameType::kCancel,
+      net::FrameType::kStats,     net::FrameType::kRegisterDataset,
+      net::FrameType::kTicketState, net::FrameType::kTicketWait,
+      net::FrameType::kRemoveDataset, net::FrameType::kPong,
+      net::FrameType::kOk,        net::FrameType::kError,
+      net::FrameType::kResult,    net::FrameType::kStatsReply,
+      net::FrameType::kSubmitReply, net::FrameType::kTicketStateReply,
+      net::FrameType::kRegisterReply};
+  for (net::FrameType type : types) {
+    for (size_t payload_size : {0u, 1u, 7u, 255u, 4096u}) {
+      net::Frame in;
+      in.type = type;
+      in.request_id = lcg.Byte() * 1000003ull + payload_size;
+      in.payload = lcg.Bytes(payload_size);
+      net::Frame out;
+      ASSERT_TRUE(net::DecodeFrameBody(BodyOf(in), &out).ok())
+          << net::FrameTypeName(type) << " size " << payload_size;
+      EXPECT_EQ(out.type, in.type);
+      EXPECT_EQ(out.request_id, in.request_id);
+      EXPECT_EQ(out.payload, in.payload);
+    }
+  }
+}
+
+TEST(WireTest, EveryTruncationIsRejected) {
+  net::Frame frame;
+  frame.type = net::FrameType::kExecute;
+  frame.request_id = 42;
+  frame.payload = Lcg(11).Bytes(64);
+  const std::string body = BodyOf(frame);
+  for (size_t len = 0; len < body.size(); ++len) {
+    net::Frame out;
+    EXPECT_FALSE(net::DecodeFrameBody(body.substr(0, len), &out).ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(WireTest, EverySingleByteFlipIsRejected) {
+  net::Frame frame;
+  frame.type = net::FrameType::kResult;
+  frame.request_id = 7;
+  frame.payload = Lcg(13).Bytes(48);
+  const std::string body = BodyOf(frame);
+  for (size_t i = 0; i < body.size(); ++i) {
+    for (uint8_t flip : {0x01, 0x80}) {
+      std::string corrupt = body;
+      corrupt[i] = static_cast<char>(corrupt[i] ^ flip);
+      net::Frame out;
+      EXPECT_FALSE(net::DecodeFrameBody(corrupt, &out).ok())
+          << "flip 0x" << std::hex << int(flip) << " at byte " << std::dec
+          << i << " accepted";
+    }
+  }
+}
+
+TEST(WireTest, GarbageNeverCrashesTheDecoder) {
+  Lcg lcg(17);
+  for (int round = 0; round < 500; ++round) {
+    const std::string garbage = lcg.Bytes(round % 97);
+    net::Frame out;
+    net::DecodeFrameBody(garbage, &out);  // must not crash; result unused
+  }
+}
+
+TEST(WireTest, WrongVersionIsRejected) {
+  net::Frame frame;
+  frame.type = net::FrameType::kPing;
+  std::string body = BodyOf(frame);
+  body[0] = static_cast<char>(net::kWireVersion + 1);
+  net::Frame out;
+  EXPECT_FALSE(net::DecodeFrameBody(body, &out).ok());
+}
+
+TEST(WireTest, IdempotencyClassification) {
+  // The retry contract hangs off this classification; pin it.
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kPing));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kCancel));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kStats));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kRegisterDataset));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kTicketState));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kRemoveDataset));
+  EXPECT_FALSE(net::IsIdempotent(net::FrameType::kExecute));
+  EXPECT_FALSE(net::IsIdempotent(net::FrameType::kSubmit));
+  EXPECT_FALSE(net::IsIdempotent(net::FrameType::kTicketWait));
+}
+
+TEST(WireTest, ReaderRejectsLyingStringLength) {
+  net::WireWriter w;
+  w.U32(1u << 30);  // claims a 1GB string in a 4-byte buffer
+  net::WireReader r(w.str());
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, F64RoundTripsExactBits) {
+  const double values[] = {0.0, -0.0, 1.0 / 3.0, 1e-308, 1e308, -123.456};
+  net::WireWriter w;
+  for (double v : values) w.F64(v);
+  net::WireReader r(w.str());
+  for (double v : values) {
+    double out = 0;
+    ASSERT_TRUE(r.F64(&out));
+    uint64_t a, b;
+    std::memcpy(&a, &v, 8);
+    std::memcpy(&b, &out, 8);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// ---- Protocol payload codecs ----------------------------------------------
+
+TEST(ProtocolTest, DatasetSpecRoundTrip) {
+  cluster::DatasetSpec in;
+  in.name = "bdd-sliced";
+  in.family = video::DatasetFamily::kKittiLike;
+  in.seed = 9917;
+  in.num_videos = 28;
+  in.frames_per_video = 400;
+  in.native_resolution = 720;
+  in.warm_plans = false;
+  cluster::DatasetSpec out;
+  ASSERT_TRUE(cluster::DecodeDatasetSpec(cluster::EncodeDatasetSpec(in), &out));
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.family, in.family);
+  EXPECT_EQ(out.seed, in.seed);
+  EXPECT_EQ(out.num_videos, in.num_videos);
+  EXPECT_EQ(out.frames_per_video, in.frames_per_video);
+  EXPECT_EQ(out.native_resolution, in.native_resolution);
+  EXPECT_EQ(out.warm_plans, in.warm_plans);
+}
+
+TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
+  engine::QueryResult in;
+  in.segments = {{0, 10, 25}, {3, 0, 7}, {11, 99, 400}};
+  in.metrics.tp = 120;
+  in.metrics.fp = 4;
+  in.metrics.fn = 9;
+  in.metrics.tn = 10000;
+  in.metrics.precision = 120.0 / 124.0;
+  in.metrics.recall = 120.0 / 129.0;
+  in.metrics.f1 = 0.9487179487179487;
+  in.throughput_fps = 12345.6789;
+  in.gpu_seconds = 1.0 / 3.0;
+  in.wall_seconds = 2.718281828459045;
+  in.plan_seconds = 0.0;
+  in.executor = "Zeus-RL-Batched";
+  in.explanation = "";
+  engine::QueryResult out;
+  ASSERT_TRUE(
+      cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
+  EXPECT_TRUE(engine::SameSegments(in, out));
+  EXPECT_EQ(out.metrics.tp, in.metrics.tp);
+  EXPECT_EQ(out.metrics.tn, in.metrics.tn);
+  // Doubles must survive bit-exactly — the cluster's bit-identity promise
+  // includes the metrics a client sees.
+  EXPECT_EQ(out.metrics.f1, in.metrics.f1);
+  EXPECT_EQ(out.wall_seconds, in.wall_seconds);
+  EXPECT_EQ(out.executor, in.executor);
+}
+
+TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
+  cluster::DatasetSpec spec;
+  spec.name = "d";
+  cluster::ExecRequest exec;
+  exec.dataset = "d";
+  exec.sql = "SELECT 1";
+  engine::QueryResult result;
+  result.segments = {{1, 2, 3}};
+  cluster::StatsReply stats;
+  stats.stats.shard = 2;
+  stats.stats.datasets.resize(2);
+  stats.stats.datasets[0].dataset = "a";
+  stats.stats.datasets[1].dataset = "b";
+
+  const std::string payloads[] = {
+      cluster::EncodeDatasetSpec(spec), cluster::EncodeExecRequest(exec),
+      cluster::EncodeQueryResult(result), cluster::EncodeStatsReply(stats),
+      cluster::EncodeTicketId(77)};
+  for (const std::string& payload : payloads) {
+    for (size_t len = 0; len < payload.size(); ++len) {
+      const std::string prefix = payload.substr(0, len);
+      cluster::DatasetSpec s;
+      cluster::ExecRequest e;
+      engine::QueryResult r;
+      cluster::StatsReply st;
+      uint64_t id = 0;
+      EXPECT_FALSE(cluster::DecodeDatasetSpec(prefix, &s) &&
+                   cluster::DecodeExecRequest(prefix, &e) &&
+                   cluster::DecodeQueryResult(prefix, &r) &&
+                   cluster::DecodeStatsReply(prefix, &st) &&
+                   cluster::DecodeTicketId(prefix, &id));
+    }
+    // Trailing junk is also rejected (AtEnd discipline).
+    cluster::DatasetSpec s;
+    EXPECT_FALSE(cluster::DecodeDatasetSpec(payload + "x", &s));
+  }
+  Lcg lcg(23);
+  for (int round = 0; round < 200; ++round) {
+    const std::string garbage = lcg.Bytes(round % 61);
+    cluster::StatsReply st;
+    cluster::DecodeStatsReply(garbage, &st);  // must not crash
+    engine::QueryResult r;
+    cluster::DecodeQueryResult(garbage, &r);  // must not crash
+  }
+}
+
+TEST(ProtocolTest, ErrorFrameCarriesStatusAcrossTheWire) {
+  const common::Status in = common::Status::NotFound("no such dataset");
+  net::Frame frame = cluster::MakeErrorFrame(9, in);
+  EXPECT_EQ(frame.type, net::FrameType::kError);
+  const common::Status out = cluster::DecodeErrorFrame(frame);
+  EXPECT_EQ(out.code(), in.code());
+  EXPECT_EQ(out.message(), in.message());
+
+  // A malformed error frame degrades to kUnavailable, never to kOk.
+  net::Frame bogus;
+  bogus.type = net::FrameType::kError;
+  bogus.payload = "";
+  EXPECT_EQ(cluster::DecodeErrorFrame(bogus).code(),
+            common::StatusCode::kUnavailable);
+}
+
+// ---- Real TCP exchange -----------------------------------------------------
+
+class EchoServer {
+ public:
+  EchoServer() {
+    EXPECT_TRUE(listener_.Listen("127.0.0.1", 0).ok());
+    thread_ = std::thread([this] {
+      // Serve connections one after another: clients that poison a
+      // connection reconnect, like RemoteShard does.
+      for (;;) {
+        auto accepted = listener_.Accept();
+        if (!accepted.ok()) return;
+        net::FrameConn conn(std::move(accepted).value(), "server:echo");
+        net::Frame frame;
+        while (conn.ReadFrame(&frame, 5'000).ok()) {
+          if (!conn.WriteFrame(frame, 5'000).ok()) break;
+        }
+      }
+    });
+  }
+  ~EchoServer() {
+    listener_.Close();
+    thread_.join();
+  }
+  int port() const { return listener_.port(); }
+
+ private:
+  net::TcpListener listener_;
+  std::thread thread_;
+};
+
+net::FrameConn ConnectTo(int port, const std::string& tag = "client:test") {
+  net::TcpSocket socket;
+  EXPECT_TRUE(socket.Connect("127.0.0.1", port, 2'000).ok());
+  return net::FrameConn(std::move(socket), tag);
+}
+
+TEST(SocketTest, FramesSurviveRealTcp) {
+  EchoServer server;
+  net::FrameConn conn = ConnectTo(server.port());
+  Lcg lcg(31);
+  for (size_t size : {0u, 1u, 1000u, 100000u}) {
+    net::Frame out;
+    out.type = net::FrameType::kExecute;
+    out.request_id = size;
+    out.payload = lcg.Bytes(size);
+    ASSERT_TRUE(conn.WriteFrame(out, 5'000).ok());
+    net::Frame in;
+    ASSERT_TRUE(conn.ReadFrame(&in, 5'000).ok());
+    EXPECT_EQ(in.request_id, out.request_id);
+    EXPECT_EQ(in.payload, out.payload);
+  }
+}
+
+TEST(SocketTest, ReadDeadlineSurfacesUnavailable) {
+  EchoServer server;
+  net::FrameConn conn = ConnectTo(server.port());
+  net::Frame in;
+  common::Status st = conn.ReadFrame(&in, 100);  // nothing is coming
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kUnavailable);
+  EXPECT_TRUE(common::IsRetryable(st.code()));
+}
+
+TEST(SocketTest, CleanPeerCloseBetweenFramesIsNotFound) {
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0).ok());
+  std::thread server([&] {
+    auto accepted = listener.Accept();
+    // Close immediately: a clean FIN before any frame.
+  });
+  net::FrameConn conn = ConnectTo(listener.port());
+  net::Frame in;
+  common::Status st = conn.ReadFrame(&in, 2'000);
+  EXPECT_EQ(st.code(), common::StatusCode::kNotFound);
+  server.join();
+}
+
+TEST(SocketTest, GarbageStreamIsRejectedAsCorrupt) {
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0).ok());
+  std::thread server([&] {
+    auto accepted = listener.Accept();
+    if (!accepted.ok()) return;
+    net::TcpSocket peer = std::move(accepted).value();
+    // A plausible length prefix followed by garbage: the crc must reject it.
+    std::string bytes;
+    const uint32_t len = 64;
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    }
+    bytes += Lcg(37).Bytes(len);
+    peer.WriteAll(bytes.data(), bytes.size(), 2'000);
+  });
+  net::FrameConn conn = ConnectTo(listener.port());
+  net::Frame in;
+  common::Status st = conn.ReadFrame(&in, 2'000);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kUnavailable);
+  server.join();
+}
+
+// ---- Fault injection seam --------------------------------------------------
+
+class FaultGuard {
+ public:
+  explicit FaultGuard(net::FaultInjector* injector) {
+    net::SetFaultInjector(injector);
+  }
+  ~FaultGuard() { net::SetFaultInjector(nullptr); }
+};
+
+TEST(FaultTest, SendDropSwallowsTheFrame) {
+  EchoServer server;
+  net::FrameConn conn = ConnectTo(server.port());
+  net::FaultInjector injector;
+  FaultGuard guard(&injector);
+  net::FaultRule rule;
+  rule.action = net::FaultAction::kDrop;
+  rule.direction = net::FaultDirection::kSend;
+  rule.tag_contains = "client:test";
+  injector.AddRule(rule);
+
+  net::Frame out;
+  out.type = net::FrameType::kPing;
+  out.request_id = 1;
+  EXPECT_TRUE(conn.WriteFrame(out, 2'000).ok());  // sender believes it went
+  net::Frame in;
+  EXPECT_EQ(conn.ReadFrame(&in, 200).code(),
+            common::StatusCode::kUnavailable);  // but no echo ever comes
+  EXPECT_EQ(injector.fired_count(), 1);
+
+  // The timed-out read poisoned the connection (correct: nothing on that
+  // stream can be trusted any more). A fresh connection — what RemoteShard
+  // does on retry — exchanges frames untouched, the rule being consumed.
+  net::FrameConn fresh = ConnectTo(server.port());
+  out.request_id = 2;
+  ASSERT_TRUE(fresh.WriteFrame(out, 2'000).ok());
+  ASSERT_TRUE(fresh.ReadFrame(&in, 2'000).ok());
+  EXPECT_EQ(in.request_id, 2u);
+  EXPECT_EQ(injector.fired_count(), 1);
+}
+
+TEST(FaultTest, SendCorruptIsRejectedByTheReceiver) {
+  net::TcpListener listener;
+  ASSERT_TRUE(listener.Listen("127.0.0.1", 0).ok());
+  common::Status server_read = common::Status::Ok();
+  std::thread server([&] {
+    auto accepted = listener.Accept();
+    if (!accepted.ok()) return;
+    net::FrameConn conn(std::move(accepted).value(), "server:victim");
+    net::Frame frame;
+    server_read = conn.ReadFrame(&frame, 2'000);
+  });
+  net::FrameConn conn = ConnectTo(listener.port());
+  net::FaultInjector injector;
+  FaultGuard guard(&injector);
+  net::FaultRule rule;
+  rule.action = net::FaultAction::kCorrupt;
+  rule.direction = net::FaultDirection::kSend;
+  rule.tag_contains = "client:test";
+  injector.AddRule(rule);
+
+  net::Frame out;
+  out.type = net::FrameType::kExecute;
+  out.payload = "payload";
+  EXPECT_TRUE(conn.WriteFrame(out, 2'000).ok());  // bytes leave, corrupted
+  server.join();
+  EXPECT_FALSE(server_read.ok());
+  EXPECT_EQ(server_read.code(), common::StatusCode::kUnavailable);
+}
+
+TEST(FaultTest, RulesMatchByTypeTagAndSkip) {
+  net::FaultInjector injector;
+  net::FaultRule rule;
+  rule.action = net::FaultAction::kDrop;
+  rule.direction = net::FaultDirection::kSend;
+  rule.match_type = true;
+  rule.type = net::FrameType::kStats;
+  rule.tag_contains = "client:router";
+  rule.skip = 1;
+  rule.times = 2;
+  injector.AddRule(rule);
+
+  net::FaultRule fired;
+  // Wrong type, wrong tag, wrong direction: no match.
+  EXPECT_FALSE(injector.Match(net::FaultDirection::kSend,
+                              net::FrameType::kPing, "client:router", &fired));
+  EXPECT_FALSE(injector.Match(net::FaultDirection::kSend,
+                              net::FrameType::kStats, "server:shardd",
+                              &fired));
+  EXPECT_FALSE(injector.Match(net::FaultDirection::kRecv,
+                              net::FrameType::kStats, "client:router",
+                              &fired));
+  // First match is skipped, then two firings, then exhausted.
+  EXPECT_FALSE(injector.Match(net::FaultDirection::kSend,
+                              net::FrameType::kStats, "client:router",
+                              &fired));
+  EXPECT_TRUE(injector.Match(net::FaultDirection::kSend,
+                             net::FrameType::kStats, "client:router",
+                             &fired));
+  EXPECT_TRUE(injector.Match(net::FaultDirection::kSend,
+                             net::FrameType::kStats, "client:router",
+                             &fired));
+  EXPECT_FALSE(injector.Match(net::FaultDirection::kSend,
+                              net::FrameType::kStats, "client:router",
+                              &fired));
+  EXPECT_EQ(injector.fired_count(), 2);
+}
+
+}  // namespace
+}  // namespace zeus

@@ -1,6 +1,7 @@
 // Tests for plan checkpointing (PlanIo) and the parallel feature
 // pre-extraction path.
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -8,11 +9,13 @@
 
 #include "apfg/feature_cache.h"
 #include "common/crc32.h"
+#include "common/fileutil.h"
 #include "common/stringutil.h"
 #include "common/thread_pool.h"
 #include "core/executor.h"
 #include "core/plan_io.h"
 #include "core/query_planner.h"
+#include "engine/plan_cache.h"
 #include "tensor/tensor_ops.h"
 #include "video/dataset.h"
 
@@ -319,6 +322,97 @@ TEST_F(PlanIoManifestTest, WrongFormatVersionIsRejected) {
   EXPECT_NE(st.message().find("unsupported plan format version"),
             std::string::npos)
       << st.ToString();
+}
+
+// ---- Crash-atomic persistence ----------------------------------------------
+//
+// Checkpoints, manifests and catalog sidecars are written temp-then-rename
+// so a crash (or a SIGKILLed shardd, which the cluster failover drill does
+// on purpose) can never leave a half-written file under its final name.
+// These tests pin both halves of that contract: the writer leaves no
+// droppings behind, and the catalog scanner survives whatever droppings or
+// damage it finds anyway.
+
+TEST(AtomicWriteFileTest, WritesReplacesAndLeavesNoTemp) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      testing::TempDir() + "/zeus_atomic_" + std::to_string(::getpid());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/target.txt";
+
+  ASSERT_TRUE(common::AtomicWriteFile(path, "first").ok());
+  ASSERT_TRUE(common::AtomicWriteFile(path, "second").ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second");
+
+  // The rename consumed the temp file: the final name is the only entry.
+  int entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().filename().string(), "target.txt");
+  }
+  EXPECT_EQ(entries, 1);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicWriteFileTest, FailsCleanlyOnMissingDirectory) {
+  const std::string path = testing::TempDir() + "/zeus_no_such_dir_" +
+                           std::to_string(::getpid()) + "/x/y/target";
+  EXPECT_FALSE(common::AtomicWriteFile(path, "data").ok());
+}
+
+TEST(PlanCacheCatalogTest, WarmUpSurvivesTruncatedAndGarbageSidecars) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      testing::TempDir() + "/zeus_catalog_" + std::to_string(::getpid());
+  fs::remove_all(dir);
+
+  // Train and persist one real plan through the cache.
+  auto ds = video::SyntheticDataset::Generate(SmallProfile(), 76);
+  engine::PlanCache::Options copts;
+  copts.persist_dir = dir;
+  const std::string key = "bdd|cross-right|0.80";
+  {
+    engine::PlanCache writer(copts, FastPlannerOptions());
+    auto r = writer.GetOrPlan(key, &ds, {video::ActionClass::kCrossRight},
+                              0.8);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(writer.planner_runs(), 1);
+  }
+
+  // A normal save leaves no atomic-write droppings behind.
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().string().find(".tmp"), std::string::npos)
+        << "temp file leaked: " << e.path();
+  }
+
+  // Litter the catalog dir with every damage class the scanner must
+  // shrug off: a sidecar truncated mid-write the non-atomic way (magic
+  // line only), pure garbage, an empty file, a well-formed sidecar whose
+  // checkpoint files are missing, and a stray temp file from a crashed
+  // writer (its extension is not `.key`, so the scan skips it outright).
+  { std::ofstream f(dir + "/truncated.key"); f << "zeus-plan-key\n"; }
+  { std::ofstream f(dir + "/garbage.key"); f << "\x7f\x03!!not a catalog"; }
+  { std::ofstream f(dir + "/empty.key"); }
+  {
+    std::ofstream f(dir + "/orphan.key");
+    f << "zeus-plan-key\nsome|other|key\nfamily 0\n";
+  }
+  { std::ofstream f(dir + "/plan.key.tmp.12345"); f << "zeus-plan-key\n"; }
+
+  // A fresh cache over the same dir warms exactly the one real plan —
+  // nothing crashes, nothing half-loads, nothing trains.
+  engine::PlanCache reader(copts, FastPlannerOptions());
+  EXPECT_EQ(reader.WarmUp(), 1u);
+  EXPECT_EQ(reader.disk_loads(), 1);
+  EXPECT_EQ(reader.planner_runs(), 0);
+  EXPECT_NE(reader.Peek(key), nullptr);
+  EXPECT_EQ(reader.Peek("some|other|key"), nullptr);
+
+  fs::remove_all(dir);
 }
 
 TEST_F(PlanIoManifestTest, LegacyV1ManifestIsRejected) {

@@ -1,0 +1,203 @@
+// cluster_drive — load driver for the cluster smoke test. Speaks the
+// binary frame protocol to a zeus_router, registers a small dataset, runs
+// a fixed number of queries, and verifies the cluster's failure contract
+// end to end:
+//
+//   - every query eventually completes (retryable failures are retried by
+//     the driver, exactly as a real client would);
+//   - every completed answer is bit-identical to the first one (failover
+//     must never change results);
+//   - with --expect-failover, the final stats must show >= 1 failover
+//     (CI kills a shard mid-run and asserts the router noticed).
+//
+//   cluster_drive --router host:port [--queries N] [--dataset NAME]
+//                 [--videos N] [--frames N] [--retry-timeout-s S]
+//                 [--expect-failover]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "cluster/remote_shard.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --router host:port [--queries N] [--dataset NAME]\n"
+               "       [--videos N] [--frames N] [--retry-timeout-s S] "
+               "[--expect-failover]\n",
+               argv0);
+  return 2;
+}
+
+constexpr char kSql[] =
+    "SELECT segment_ids FROM UDF(video) "
+    "WHERE action_class = 'cross-right' AND accuracy >= 80%";
+
+bool SameAnswer(const zeus::engine::QueryResult& a,
+                const zeus::engine::QueryResult& b) {
+  return zeus::engine::SameSegments(a, b) && a.metrics.tp == b.metrics.tp &&
+         a.metrics.fp == b.metrics.fp && a.metrics.fn == b.metrics.fn &&
+         a.metrics.tn == b.metrics.tn;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // CI watches this tool's output through a file to time its shard kill:
+  // progress lines must appear as they happen, not in 4K flushes.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::string router;
+  int queries = 12;
+  int retry_timeout_s = 120;
+  bool expect_failover = false;
+  zeus::cluster::DatasetSpec spec;
+  spec.name = "smoke";
+  spec.num_videos = 10;
+  spec.frames_per_video = 160;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--router") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      router = v;
+    } else if (arg == "--queries") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      queries = std::atoi(v);
+    } else if (arg == "--dataset") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      spec.name = v;
+    } else if (arg == "--videos") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      spec.num_videos = std::atoi(v);
+    } else if (arg == "--frames") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      spec.frames_per_video = std::atoi(v);
+    } else if (arg == "--retry-timeout-s") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      retry_timeout_s = std::atoi(v);
+    } else if (arg == "--expect-failover") {
+      expect_failover = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (router.empty()) return Usage(argv[0]);
+
+  // The router speaks the same protocol as a shard, so the shard client
+  // doubles as the cluster client.
+  zeus::cluster::RemoteShard::Options copts;
+  const size_t colon = router.rfind(':');
+  if (colon != std::string::npos) {
+    copts.host = router.substr(0, colon);
+    copts.port = std::atoi(router.c_str() + colon + 1);
+  } else {
+    copts.port = std::atoi(router.c_str());
+  }
+  copts.name = "drive";
+  zeus::cluster::RemoteShard client(copts);
+
+  auto reg = client.RegisterDataset(spec);
+  if (!reg.ok()) {
+    std::fprintf(stderr, "cluster_drive: register failed: %s\n",
+                 reg.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("registered dataset '%s' (%llu plan(s) warmed)\n",
+              spec.name.c_str(),
+              static_cast<unsigned long long>(reg.value()));
+
+  zeus::cluster::ExecRequest req;
+  req.dataset = spec.name;
+  req.sql = kSql;
+
+  zeus::engine::QueryResult reference;
+  bool have_reference = false;
+  int completed = 0;
+  int retries = 0;
+  for (int q = 0; q < queries; ++q) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(retry_timeout_s);
+    for (;;) {
+      auto result = client.Execute(req);
+      if (result.ok()) {
+        if (!have_reference) {
+          reference = result.value();
+          have_reference = true;
+        } else if (!SameAnswer(reference, result.value())) {
+          std::fprintf(stderr,
+                       "cluster_drive: query %d answer diverged "
+                       "(%zu vs %zu segments) — failover changed a result\n",
+                       q, reference.segments.size(),
+                       result.value().segments.size());
+          return 1;
+        }
+        ++completed;
+        std::printf("query %d ok (%zu segments, executor %s)\n", q,
+                    result.value().segments.size(),
+                    result.value().executor.c_str());
+        break;
+      }
+      if (!zeus::common::IsRetryable(result.status().code())) {
+        std::fprintf(stderr, "cluster_drive: query %d failed terminally: %s\n",
+                     q, result.status().ToString().c_str());
+        return 1;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        std::fprintf(stderr, "cluster_drive: query %d still failing at "
+                             "deadline: %s\n",
+                     q, result.status().ToString().c_str());
+        return 1;
+      }
+      ++retries;
+      std::printf("query %d retrying: %s\n", q,
+                  result.status().ToString().c_str());
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+
+  // Failover detection is eventually consistent (the health checker needs
+  // a few missed beats to declare a shard dead), so with --expect-failover
+  // the final stats poll waits for the counter instead of racing it.
+  zeus::cluster::StatsReply s;
+  const auto stats_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    auto stats = client.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "cluster_drive: final stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    s = stats.value();
+    if (!expect_failover || s.failovers >= 1 ||
+        std::chrono::steady_clock::now() >= stats_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  }
+  std::printf(
+      "done: %d/%d queries, %d client retries; cluster: %d shard(s) alive, "
+      "%lld failover(s), %lld dataset(s) re-homed, completed=%ld "
+      "planner_runs=%ld disk_loads=%ld\n",
+      completed, queries, retries, s.num_shards,
+      static_cast<long long>(s.failovers),
+      static_cast<long long>(s.rehomed_datasets), s.stats.completed,
+      s.stats.planner_runs, s.stats.disk_loads);
+
+  if (completed != queries) return 1;
+  if (expect_failover && s.failovers < 1) {
+    std::fprintf(stderr,
+                 "cluster_drive: expected a failover but stats report %lld\n",
+                 static_cast<long long>(s.failovers));
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# run_cluster.sh — launch a local zeus cluster: N shardd processes sharing
+# one plan-catalog directory, fronted by a zeus_router.
+#
+#   tools/run_cluster.sh [N] [--build-dir DIR] [--work-dir DIR]
+#                        [--router-port P] [--foreground]
+#
+#   N              number of shards (default 3)
+#   --build-dir    where shardd/zeus_router live (default: ./build)
+#   --work-dir     scratch dir for port files, logs, and the shared plan
+#                  catalog (default: mktemp -d; printed on start)
+#   --router-port  fixed router port (default 0 = ephemeral; the actual
+#                  port is written to $WORK_DIR/router.port either way)
+#   --foreground   keep running until Ctrl-C (default: print endpoints and
+#                  keep running — this IS the foreground; the flag exists
+#                  for symmetry/explicitness in scripts)
+#
+# On exit (any exit: Ctrl-C, kill, error) every launched process is torn
+# down by the EXIT trap. Logs live in $WORK_DIR/{router,shard<i>}.log; CI
+# uploads them when the smoke test fails.
+#
+# Readiness: each daemon writes its bound port to a --port-file only after
+# its listener is up, so waiting for the port files IS the readiness wait.
+
+set -euo pipefail
+
+NUM_SHARDS=3
+BUILD_DIR="build"
+WORK_DIR=""
+ROUTER_PORT=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --build-dir)   BUILD_DIR="$2"; shift 2 ;;
+    --work-dir)    WORK_DIR="$2"; shift 2 ;;
+    --router-port) ROUTER_PORT="$2"; shift 2 ;;
+    --foreground)  shift ;;
+    -h|--help)     sed -n '2,20p' "$0"; exit 0 ;;
+    -*)            echo "unknown flag: $1" >&2; exit 2 ;;
+    *)             NUM_SHARDS="$1"; shift ;;
+  esac
+done
+
+SHARDD="$BUILD_DIR/shardd"
+ROUTER="$BUILD_DIR/zeus_router"
+for bin in "$SHARDD" "$ROUTER"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "run_cluster.sh: missing binary $bin (build the repo first)" >&2
+    exit 1
+  fi
+done
+
+if [[ -z "$WORK_DIR" ]]; then
+  WORK_DIR="$(mktemp -d /tmp/zeus_cluster.XXXXXX)"
+fi
+mkdir -p "$WORK_DIR/plans"
+
+PIDS=()
+cleanup() {
+  # Kill the router first so nothing routes to dying shards, then the
+  # shards; SIGKILL stragglers. Runs on EVERY exit path.
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  sleep 0.3
+  for pid in "${PIDS[@]:-}"; do
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+wait_for_port_file() {
+  local file="$1" name="$2" deadline=$((SECONDS + 30))
+  while [[ ! -s "$file" ]]; do
+    if (( SECONDS >= deadline )); then
+      echo "run_cluster.sh: $name never became ready (no $file)" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+SHARD_ARGS=()
+for ((i = 0; i < NUM_SHARDS; ++i)); do
+  PORT_FILE="$WORK_DIR/shard$i.port"
+  rm -f "$PORT_FILE"
+  "$SHARDD" --persist-dir "$WORK_DIR/plans" --fast-planner --workers 2 \
+            --port-file "$PORT_FILE" --name "shard$i" \
+            >"$WORK_DIR/shard$i.log" 2>&1 &
+  PIDS+=($!)
+  echo "$!" >"$WORK_DIR/shard$i.pid"
+done
+
+for ((i = 0; i < NUM_SHARDS; ++i)); do
+  wait_for_port_file "$WORK_DIR/shard$i.port" "shard$i"
+  SHARD_ARGS+=(--shard "127.0.0.1:$(cat "$WORK_DIR/shard$i.port")")
+done
+
+ROUTER_PORT_FILE="$WORK_DIR/router.port"
+rm -f "$ROUTER_PORT_FILE"
+"$ROUTER" "${SHARD_ARGS[@]}" --port "$ROUTER_PORT" \
+          --port-file "$ROUTER_PORT_FILE" --name router \
+          >"$WORK_DIR/router.log" 2>&1 &
+PIDS+=($!)
+echo "$!" >"$WORK_DIR/router.pid"
+wait_for_port_file "$ROUTER_PORT_FILE" "router"
+
+echo "cluster up: $NUM_SHARDS shard(s), router on 127.0.0.1:$(cat "$ROUTER_PORT_FILE")"
+echo "work dir:   $WORK_DIR (port files, pid files, logs, shared plan catalog)"
+echo "metrics:    curl -s http://127.0.0.1:$(cat "$ROUTER_PORT_FILE")/metrics"
+echo "stop:       Ctrl-C (the EXIT trap tears everything down)"
+
+# Keep the trap alive until interrupted or every child died.
+wait

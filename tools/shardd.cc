@@ -1,0 +1,104 @@
+// shardd — one shard of the Zeus cluster: a TCP server wrapping one
+// QueryEngine, warm-startable from a shared plan-catalog directory.
+//
+//   shardd [--host H] [--port P] [--persist-dir DIR] [--workers N]
+//          [--fast-planner] [--port-file PATH] [--name NAME]
+//
+// --port 0 (default) picks an ephemeral port; --port-file writes the bound
+// port atomically once the server is listening, so launchers (and the
+// cluster tests) can discover it without racing a partially-written file.
+// --fast-planner selects the reduced planner profile every process in a
+// test cluster must share: bit-identity across shards requires identical
+// planner knobs.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "cluster/shard_server.h"
+#include "common/fileutil.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--persist-dir DIR] "
+               "[--workers N] [--fast-planner] [--port-file PATH] "
+               "[--name NAME]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zeus::cluster::ShardServer::Options opts;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.port = std::atoi(v);
+    } else if (arg == "--persist-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.engine.cache.persist_dir = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.engine.num_workers = std::atoi(v);
+    } else if (arg == "--fast-planner") {
+      opts.engine.planner = zeus::core::QueryPlanner::ReducedOptions();
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--name") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.name = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  zeus::cluster::ShardServer server(std::move(opts));
+  zeus::common::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "shardd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    st = zeus::common::AtomicWriteFile(port_file,
+                                       std::to_string(server.port()) + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "shardd: cannot write port file: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.Stop();
+  return 0;
+}

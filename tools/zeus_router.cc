@@ -1,0 +1,112 @@
+// zeus_router — the cluster front door: routes datasets over a consistent
+// ring of shardd processes, health-checks them, and fails datasets over to
+// ring successors when a shard dies. Also serves Prometheus metrics: a
+// plain `GET /metrics` on the same port returns the aggregated group stats
+// in text exposition format.
+//
+//   zeus_router --shard host:port [--shard host:port ...]
+//               [--host H] [--port P] [--port-file PATH]
+//               [--health-interval-ms N] [--misses-to-dead N] [--name NAME]
+//
+// `--shard P` (no colon) is shorthand for 127.0.0.1:P.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "cluster/router.h"
+#include "common/fileutil.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --shard host:port [--shard host:port ...]\n"
+               "       [--host H] [--port P] [--port-file PATH]\n"
+               "       [--health-interval-ms N] [--misses-to-dead N] "
+               "[--name NAME]\n",
+               argv0);
+  return 2;
+}
+
+zeus::cluster::Router::Endpoint ParseEndpoint(const std::string& arg) {
+  zeus::cluster::Router::Endpoint ep;
+  const size_t colon = arg.rfind(':');
+  if (colon == std::string::npos) {
+    ep.port = std::atoi(arg.c_str());
+  } else {
+    ep.host = arg.substr(0, colon);
+    ep.port = std::atoi(arg.c_str() + colon + 1);
+  }
+  return ep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zeus::cluster::Router::Options opts;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--shard") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.shards.push_back(ParseEndpoint(v));
+    } else if (arg == "--host") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.host = v;
+    } else if (arg == "--port") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.port = std::atoi(v);
+    } else if (arg == "--port-file") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      port_file = v;
+    } else if (arg == "--health-interval-ms") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.health_interval_ms = std::atoi(v);
+    } else if (arg == "--misses-to-dead") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.misses_to_dead = std::atoi(v);
+    } else if (arg == "--name") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.name = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.shards.empty()) return Usage(argv[0]);
+
+  zeus::cluster::Router router(std::move(opts));
+  zeus::common::Status st = router.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "zeus_router: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    st = zeus::common::AtomicWriteFile(port_file,
+                                       std::to_string(router.port()) + "\n");
+    if (!st.ok()) {
+      std::fprintf(stderr, "zeus_router: cannot write port file: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  router.Stop();
+  return 0;
+}
