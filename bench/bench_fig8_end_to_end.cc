@@ -284,8 +284,12 @@ int RunConcurrentClients(const BenchConfig& cfg) {
   // run-shape-dependent, so bench_regress treats them as informational
   // (never gated) — see tools/bench_regress.py UNGATED.
   json.Add(rec, "peak_queue_depth", static_cast<double>(stats.peak_queue_depth));
+  json.Add(rec, "queue_wait_p50_seconds", stats.queue_wait.p50());
   json.Add(rec, "queue_wait_p95_seconds", stats.queue_wait.p95());
+  json.Add(rec, "queue_wait_p99_seconds", stats.queue_wait.p99());
+  json.Add(rec, "exec_p50_seconds", stats.exec.p50());
   json.Add(rec, "exec_p95_seconds", stats.exec.p95());
+  json.Add(rec, "exec_p99_seconds", stats.exec.p99());
   if (cfg.autoscale) {
     json.Add(rec, "final_shards", static_cast<double>(stats.num_shards));
     json.Add(rec, "resizes", static_cast<double>(stats.resizes));

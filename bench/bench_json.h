@@ -1,0 +1,195 @@
+#ifndef ZEUS_BENCH_BENCH_JSON_H_
+#define ZEUS_BENCH_BENCH_JSON_H_
+
+// Machine-readable bench output + tail-latency measurement helpers. Split
+// from bench_util.h so binaries that only need the JSON emitter (e.g.
+// bench_micro_substrate, which is otherwise a pure google-benchmark binary)
+// don't pull in the dataset/planner/baseline headers.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zeus::bench {
+
+// ---- Machine-readable output (--json <path>) -------------------------------
+//
+// Every bench binary can emit its results as JSON for the CI bench-smoke job
+// and the BENCH_*.json perf trajectory. Schema (docs/CI.md):
+//
+//   {
+//     "bench": "<binary name>",
+//     "records": [
+//       {"name": "<record name>",
+//        "context": {"<dimension>": <number>, ...},   // optional
+//        "metrics": {"<metric>": <number>, ...}},
+//       ...
+//     ]
+//   }
+//
+// Metric names carry their own direction convention: *_seconds / *_ns are
+// lower-is-better, everything else (fps, gflops, queries_per_sec, f1) is
+// higher-is-better — tools/bench_regress.py applies the gate accordingly.
+//
+// `context` records the workload dimensions a measurement was taken under
+// (e.g. num_shards for the sharded serving bench, compute_path/batch_size
+// for the substrate tail records). bench_regress.py folds the context into
+// the metric's identity, so the regression gate can never compare
+// measurements taken under different dimensions — a 4-shard wall-seconds
+// number is a different metric from a 1-shard one, not a regression of it.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Add(const std::string& record_name, const std::string& metric,
+           double value) {
+    Record(record_name).metrics[metric] = value;
+  }
+
+  // Tags one record with a workload dimension (part of the metric identity
+  // downstream, see above).
+  void AddContext(const std::string& record_name, const std::string& key,
+                  double value) {
+    Record(record_name).context[key] = value;
+  }
+
+  // Writes the collected records; prints a notice so CI logs show the
+  // artifact location. No-op when `path` is empty.
+  bool WriteTo(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [",
+                 bench_name_.c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const RecordData& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", ", i == 0 ? "" : ",",
+                   r.name.c_str());
+      if (!r.context.empty()) {
+        std::fprintf(f, "\"context\": {");
+        size_t j = 0;
+        for (const auto& [key, value] : r.context) {
+          std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
+                       key.c_str(), value);
+        }
+        std::fprintf(f, "}, ");
+      }
+      std::fprintf(f, "\"metrics\": {");
+      size_t j = 0;
+      for (const auto& [metric, value] : r.metrics) {
+        std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
+                     metric.c_str(), value);
+      }
+      std::fprintf(f, "}}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench json written to %s (%zu records)\n", path.c_str(),
+                records_.size());
+    return true;
+  }
+
+ private:
+  struct RecordData {
+    std::string name;
+    std::map<std::string, double> context;
+    std::map<std::string, double> metrics;
+  };
+
+  RecordData& Record(const std::string& record_name) {
+    for (auto& r : records_) {
+      if (r.name == record_name) return r;
+    }
+    records_.push_back({record_name, {}, {}});
+    return records_.back();
+  }
+
+  std::string bench_name_;
+  std::vector<RecordData> records_;
+};
+
+// Shared flag parsing: the path following "--json", or "" when absent.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  }
+  return "";
+}
+
+// Shared flag parsing: true when "--reduced" is present (CI-sized run).
+inline bool ReducedFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reduced") == 0) return true;
+  }
+  return false;
+}
+
+// ---- Tail latency ----------------------------------------------------------
+//
+// Per-invocation latency percentiles from repeated timed runs. A mean hides
+// exactly the behavior the serving layer cares about (one slow allocation,
+// one scheduler preemption); the substrate benches publish p50/p95/p99 so a
+// change that only fattens the tail still moves a gated metric.
+struct TailStats {
+  double p50_seconds = 0.0;
+  double p95_seconds = 0.0;
+  double p99_seconds = 0.0;
+  int samples = 0;
+};
+
+// Nearest-rank percentile of a sample vector (sorted in place).
+inline double PercentileOf(std::vector<double>* samples, double q) {
+  if (samples->empty()) return 0.0;
+  std::sort(samples->begin(), samples->end());
+  const size_t n = samples->size();
+  size_t rank = static_cast<size_t>(q * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return (*samples)[rank];
+}
+
+// Times `iters` invocations of fn (after `warmup` untimed ones) and reduces
+// them to tail percentiles. One sample per invocation — callers pick an
+// `iters` large enough for the p99 rank to exist (>= 100 for a true p99;
+// below that it degrades to the max).
+template <typename Fn>
+TailStats MeasureTail(int iters, int warmup, Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  TailStats t;
+  t.samples = iters;
+  // p50 first (PercentileOf sorts in place; later calls reuse the order).
+  t.p50_seconds = PercentileOf(&samples, 0.50);
+  t.p95_seconds = PercentileOf(&samples, 0.95);
+  t.p99_seconds = PercentileOf(&samples, 0.99);
+  return t;
+}
+
+// Emits one tail measurement as <prefix>_p{50,95,99}_seconds on `record`.
+// p50 and p99 are informational by default downstream; p95 metrics gate
+// only where bench/gate_overrides.json opts them in (docs/CI.md).
+inline void AddTailMetrics(BenchJson* json, const std::string& record,
+                           const std::string& prefix, const TailStats& t) {
+  json->Add(record, prefix + "_p50_seconds", t.p50_seconds);
+  json->Add(record, prefix + "_p95_seconds", t.p95_seconds);
+  json->Add(record, prefix + "_p99_seconds", t.p99_seconds);
+}
+
+}  // namespace zeus::bench
+
+#endif  // ZEUS_BENCH_BENCH_JSON_H_

@@ -5,16 +5,33 @@
 // The extractor and matmul benches are parameterized by compute path so one
 // run reports naive (the seed's scalar loop nest) vs. GEMM vs. parallel
 // GEMM throughput side by side. Arg convention: the trailing two args are
-// (path, threads) with path 0 = ComputePath::kReference and 1 = kGemm;
-// threads > 1 attaches a ThreadPool to the context.
+// (path, threads); threads > 1 attaches a ThreadPool to the context. Path
+// codes (mirrored as the `compute_path` context field of the tail records):
+//
+//   0 = ComputePath::kReference   (seed's scalar loop nest)
+//   1 = ComputePath::kGemm, auto ISA (best the CPU supports)
+//   2 = ComputePath::kGemm, forced AVX2 tier
+//   3 = ComputePath::kGemm, forced AVX-512 tier
+//   4 = ComputePath::kInt8        (quantized GEMM, inference only)
+//
+// Forced tiers the CPU can't run are clamped by ResolveGemmIsa (with a
+// one-time warning), so the full grid is safe on any machine.
+//
+// Besides the google-benchmark grid, the binary emits tail-latency records
+// (p50/p95/p99 per invocation, bench_json.h schema) when run with
+// --json <path>; these are what the CI bench-smoke gate watches.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "apfg/frame2d.h"
 #include "apfg/lite3d.h"
 #include "apfg/r3d.h"
+#include "bench/bench_json.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "nn/conv3d.h"
@@ -36,16 +53,29 @@ struct BenchCtx {
     if (threads > 1) pool = std::make_unique<common::ThreadPool>(
         static_cast<int>(threads));
     ctx.pool = pool.get();
-    ctx.path = path == 0 ? tensor::ComputePath::kReference
-                         : tensor::ComputePath::kGemm;
+    switch (path) {
+      case 0: ctx.path = tensor::ComputePath::kReference; break;
+      case 2:
+        ctx.path = tensor::ComputePath::kGemm;
+        ctx.isa = tensor::GemmIsa::kAvx2;
+        break;
+      case 3:
+        ctx.path = tensor::ComputePath::kGemm;
+        ctx.isa = tensor::GemmIsa::kAvx512;
+        break;
+      case 4: ctx.path = tensor::ComputePath::kInt8; break;
+      default: ctx.path = tensor::ComputePath::kGemm; break;
+    }
   }
   std::unique_ptr<common::ThreadPool> pool;
   tensor::ComputeContext ctx;
 };
 
-// Appends the naive/GEMM/parallel-GEMM grid to an extractor benchmark.
+// Appends the naive/GEMM/parallel-GEMM/forced-tier/int8 grid to an
+// extractor benchmark.
 void PathArgs(benchmark::internal::Benchmark* b) {
-  b->Args({0, 1})->Args({1, 1})->Args({1, 2})->Args({1, 4});
+  b->Args({0, 1})->Args({1, 1})->Args({1, 2})->Args({1, 4})
+      ->Args({2, 1})->Args({3, 1})->Args({4, 1});
 }
 
 // R3D-shaped forward: the full R3dLite conv trunk + heads on one segment
@@ -81,6 +111,47 @@ void BM_Conv3dForwardR3dStem(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Conv3dForwardR3dStem)->Apply(PathArgs);
+
+// Batched stem conv (N=8): exercises the batch-split policy — with a pool
+// attached, whole images fan out to workers (outer parallelism) instead of
+// splitting each image's GEMM.
+void BM_Conv3dForwardBatched(benchmark::State& state) {
+  common::Rng rng(1);
+  nn::Conv3d::Options opts;
+  opts.stride = {1, 2, 2};
+  nn::Conv3d conv(1, 8, opts, &rng);
+  BenchCtx bc(state.range(0), state.range(1));
+  conv.SetComputeContext(&bc.ctx);
+  tensor::Tensor x({8, 1, 16, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv3dForwardBatched)
+    ->Args({1, 1})->Args({1, 4})->Args({1, 8})->Args({4, 1});
+
+// Control for the batch-split speedup claim: same batched forward with the
+// batch dimension pinned serial (ctx.batch_split = false), so threads only
+// ever split inside each image's GEMM. The {1, 8} delta between this and
+// BM_Conv3dForwardBatched is the outer-parallelism win.
+void BM_Conv3dForwardBatchedInnerOnly(benchmark::State& state) {
+  common::Rng rng(1);
+  nn::Conv3d::Options opts;
+  opts.stride = {1, 2, 2};
+  nn::Conv3d conv(1, 8, opts, &rng);
+  BenchCtx bc(state.range(0), state.range(1));
+  bc.ctx.batch_split = false;
+  conv.SetComputeContext(&bc.ctx);
+  tensor::Tensor x({8, 1, 16, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, false));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_Conv3dForwardBatchedInnerOnly)->Args({1, 4})->Args({1, 8});
 
 // Lite3D-shaped forward: the Segment-PP probabilistic predicate.
 void BM_Lite3dForward(benchmark::State& state) {
@@ -190,6 +261,86 @@ void BM_DqnGreedyAction(benchmark::State& state) {
 }
 BENCHMARK(BM_DqnGreedyAction);
 
+// ---- Tail-latency records (--json) ----------------------------------------
+//
+// Per-invocation p50/p95/p99 for the substrate hot paths the serving layer
+// sits on, across compute paths. Each record carries compute_path /
+// batch_size / threads context so the regression gate never compares
+// measurements across paths or workload shapes (docs/CI.md).
+bool EmitTailRecords(const std::string& json_path) {
+  bench::BenchJson json("bench_micro_substrate");
+  common::Rng rng(1);
+  constexpr int kIters = 120;  // >= 100: the p99 rank exists
+  constexpr int kWarmup = 10;
+  struct PathSpec {
+    const char* name;
+    int64_t path;
+  };
+  const PathSpec kPaths[] = {{"gemm", 1}, {"int8", 4}};
+
+  nn::Conv3d::Options copts;
+  copts.stride = {1, 2, 2};
+  nn::Conv3d conv(1, 8, copts, &rng);
+  tensor::Tensor x({8, 1, 16, 30, 30});
+  tensor::FillGaussian(&x, &rng, 1.0f);
+  std::printf("\ntail latency (%d samples each):\n", kIters);
+  for (const PathSpec& p : kPaths) {
+    BenchCtx bc(p.path, 1);
+    conv.SetComputeContext(&bc.ctx);
+    const bench::TailStats t = bench::MeasureTail(kIters, kWarmup, [&] {
+      benchmark::DoNotOptimize(conv.Forward(x, false));
+    });
+    const std::string rec = std::string("tail/conv3d_stem/") + p.name;
+    json.AddContext(rec, "compute_path", static_cast<double>(p.path));
+    json.AddContext(rec, "batch_size", 8);
+    json.AddContext(rec, "threads", 1);
+    bench::AddTailMetrics(&json, rec, "forward", t);
+    std::printf("  %-24s p50 %8.1fus  p95 %8.1fus  p99 %8.1fus\n",
+                rec.c_str(), t.p50_seconds * 1e6, t.p95_seconds * 1e6,
+                t.p99_seconds * 1e6);
+  }
+
+  apfg::R3dLite model(apfg::R3dLite::Options{}, &rng);
+  tensor::Tensor seg({8, 1, 8, 30, 30});
+  tensor::FillGaussian(&seg, &rng, 1.0f);
+  for (const PathSpec& p : kPaths) {
+    BenchCtx bc(p.path, 1);
+    model.SetComputeContext(&bc.ctx);
+    const bench::TailStats t = bench::MeasureTail(kIters, kWarmup, [&] {
+      benchmark::DoNotOptimize(model.Logits(seg, false));
+    });
+    const std::string rec = std::string("tail/r3d_forward/") + p.name;
+    json.AddContext(rec, "compute_path", static_cast<double>(p.path));
+    json.AddContext(rec, "batch_size", 8);
+    json.AddContext(rec, "threads", 1);
+    bench::AddTailMetrics(&json, rec, "forward", t);
+    std::printf("  %-24s p50 %8.1fus  p95 %8.1fus  p99 %8.1fus\n",
+                rec.c_str(), t.p50_seconds * 1e6, t.p95_seconds * 1e6,
+                t.p99_seconds * 1e6);
+  }
+  return json.WriteTo(json_path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so --json
+// <path> (the bench_json.h convention every other bench binary follows) is
+// stripped from argv before Initialize, and the tail-latency records are
+// emitted after the registered benchmarks run.
+int main(int argc, char** argv) {
+  const std::string json_path = zeus::bench::JsonPathFromArgs(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return EmitTailRecords(json_path) ? 0 : 1;
+}

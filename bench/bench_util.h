@@ -6,13 +6,13 @@
 // synthetic substrate (see DESIGN.md for the experiment index).
 
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "baselines/frame_pp.h"
+#include "bench/bench_json.h"
 #include "baselines/heuristic.h"
 #include "baselines/segment_pp.h"
 #include "baselines/sliding.h"
@@ -23,121 +23,8 @@
 
 namespace zeus::bench {
 
-// ---- Machine-readable output (--json <path>) -------------------------------
-//
-// Every bench binary can emit its results as JSON for the CI bench-smoke job
-// and the BENCH_*.json perf trajectory. Schema (docs/CI.md):
-//
-//   {
-//     "bench": "<binary name>",
-//     "records": [
-//       {"name": "<record name>",
-//        "context": {"<dimension>": <number>, ...},   // optional
-//        "metrics": {"<metric>": <number>, ...}},
-//       ...
-//     ]
-//   }
-//
-// Metric names carry their own direction convention: *_seconds / *_ns are
-// lower-is-better, everything else (fps, gflops, queries_per_sec, f1) is
-// higher-is-better — tools/bench_regress.py applies the gate accordingly.
-//
-// `context` records the workload dimensions a measurement was taken under
-// (e.g. num_shards for the sharded serving bench). bench_regress.py folds
-// the context into the metric's identity, so the regression gate can never
-// compare measurements taken under different dimensions — a 4-shard
-// wall-seconds number is a different metric from a 1-shard one, not a
-// regression of it.
-class BenchJson {
- public:
-  explicit BenchJson(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
-
-  void Add(const std::string& record_name, const std::string& metric,
-           double value) {
-    Record(record_name).metrics[metric] = value;
-  }
-
-  // Tags one record with a workload dimension (part of the metric identity
-  // downstream, see above).
-  void AddContext(const std::string& record_name, const std::string& key,
-                  double value) {
-    Record(record_name).context[key] = value;
-  }
-
-  // Writes the collected records; prints a notice so CI logs show the
-  // artifact location. No-op when `path` is empty.
-  bool WriteTo(const std::string& path) const {
-    if (path.empty()) return true;
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "bench json: cannot open %s\n", path.c_str());
-      return false;
-    }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [",
-                 bench_name_.c_str());
-    for (size_t i = 0; i < records_.size(); ++i) {
-      const RecordData& r = records_[i];
-      std::fprintf(f, "%s\n    {\"name\": \"%s\", ", i == 0 ? "" : ",",
-                   r.name.c_str());
-      if (!r.context.empty()) {
-        std::fprintf(f, "\"context\": {");
-        size_t j = 0;
-        for (const auto& [key, value] : r.context) {
-          std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
-                       key.c_str(), value);
-        }
-        std::fprintf(f, "}, ");
-      }
-      std::fprintf(f, "\"metrics\": {");
-      size_t j = 0;
-      for (const auto& [metric, value] : r.metrics) {
-        std::fprintf(f, "%s\"%s\": %.9g", j++ == 0 ? "" : ", ",
-                     metric.c_str(), value);
-      }
-      std::fprintf(f, "}}");
-    }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
-    std::printf("bench json written to %s (%zu records)\n", path.c_str(),
-                records_.size());
-    return true;
-  }
-
- private:
-  struct RecordData {
-    std::string name;
-    std::map<std::string, double> context;
-    std::map<std::string, double> metrics;
-  };
-
-  RecordData& Record(const std::string& record_name) {
-    for (auto& r : records_) {
-      if (r.name == record_name) return r;
-    }
-    records_.push_back({record_name, {}, {}});
-    return records_.back();
-  }
-
-  std::string bench_name_;
-  std::vector<RecordData> records_;
-};
-
-// Shared flag parsing: the path following "--json", or "" when absent.
-inline std::string JsonPathFromArgs(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
-  }
-  return "";
-}
-
-// Shared flag parsing: true when "--reduced" is present (CI-sized run).
-inline bool ReducedFromArgs(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--reduced") == 0) return true;
-  }
-  return false;
-}
+// The JSON emitter (BenchJson), --json/--reduced flag parsing, and the
+// tail-latency helpers live in bench/bench_json.h.
 
 // Bench-scale dataset profiles: trimmed so every bench binary finishes in a
 // couple of minutes on one CPU core while keeping Table 3's density/length

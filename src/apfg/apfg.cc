@@ -1,6 +1,9 @@
 #include "apfg/apfg.h"
 
 #include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <shared_mutex>
 
 #include "apfg/segment_sampler.h"
 #include "common/logging.h"
@@ -26,9 +29,26 @@ float Apfg::ThresholdFor(const video::DecodeSpec& spec) const {
 }
 
 void Apfg::SetComputeContext(const tensor::ComputeContext* ctx) {
+  std::unique_lock<std::shared_mutex> lock(int8_mu_);
   compute_ctx_ = ctx;
   shared_model_->SetComputeContext(ctx);
   for (auto& [len, model] : per_length_models_) model->SetComputeContext(ctx);
+  // Every model is back on the base context; int8-active ones revalidate on
+  // their next batch.
+  int8_states_.clear();
+}
+
+void Apfg::EnableInt8Inference(bool enable) {
+  std::unique_lock<std::shared_mutex> lock(int8_mu_);
+  if (int8_enabled_ == enable) return;
+  int8_enabled_ = enable;
+  if (!enable) {
+    shared_model_->SetComputeContext(compute_ctx_);
+    for (auto& [len, model] : per_length_models_) {
+      model->SetComputeContext(compute_ctx_);
+    }
+    int8_states_.clear();
+  }
 }
 
 R3dLite* Apfg::ModelFor(const video::DecodeSpec& spec) {
@@ -198,13 +218,11 @@ Apfg::Output Apfg::Process(const video::Video& video, int start_frame,
   return ProcessBatch(batch, spec)[0];
 }
 
-std::vector<Apfg::Output> Apfg::ProcessBatch(const tensor::Tensor& batch,
-                                             const video::DecodeSpec& spec) {
-  R3dLite* model = ModelFor(spec);
-  R3dLite::Output out = model->FeaturesAndLogits(batch);
+std::vector<Apfg::Output> Apfg::OutputsFrom(const R3dLite::Output& out,
+                                            const video::DecodeSpec& spec) const {
   tensor::Tensor probs = tensor::SoftmaxRows(out.logits);
-  const int n = batch.dim(0);
-  const int fd = feature_dim();
+  const int n = out.logits.dim(0);
+  const int fd = opts_.model.feature_dim;
   std::vector<Output> results(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     Output& r = results[static_cast<size_t>(i)];
@@ -216,6 +234,61 @@ std::vector<Apfg::Output> Apfg::ProcessBatch(const tensor::Tensor& batch,
     r.prediction = r.action_prob > ThresholdFor(spec) ? 1 : 0;
   }
   return results;
+}
+
+std::vector<Apfg::Output> Apfg::ValidateInt8AndProcess(
+    R3dLite* model, const tensor::Tensor& batch,
+    const video::DecodeSpec& spec) {
+  std::unique_lock<std::shared_mutex> lock(int8_mu_);
+  if (int8_states_.count(model) != 0 || !int8_enabled_) {
+    // Another thread validated (or the mode flipped) while we waited for
+    // the lock; the model's context is already whatever it should be.
+    return OutputsFrom(model->FeaturesAndLogits(batch), spec);
+  }
+  R3dLite::Output fp32 = model->FeaturesAndLogits(batch);
+  int8_ctx_ = compute_ctx_ != nullptr ? *compute_ctx_
+                                      : tensor::GlobalComputeContext();
+  int8_ctx_.path = tensor::ComputePath::kInt8;
+  model->SetComputeContext(&int8_ctx_);
+  R3dLite::Output int8 = model->FeaturesAndLogits(batch);
+  tensor::Tensor pf = tensor::SoftmaxRows(fp32.logits);
+  tensor::Tensor pq = tensor::SoftmaxRows(int8.logits);
+  float drift = 0.0f;
+  for (int i = 0; i < fp32.logits.dim(0); ++i) {
+    drift = std::max(drift, std::abs(pf[static_cast<size_t>(i) * 2 + 1] -
+                                     pq[static_cast<size_t>(i) * 2 + 1]));
+  }
+  if (drift <= kInt8ScoreTolerance) {
+    int8_states_[model] = Int8State::kActive;
+    ZEUS_LOG(Info) << "APFG int8 inference validated (max action-prob drift "
+                   << drift << " <= " << kInt8ScoreTolerance << ")";
+    return OutputsFrom(int8, spec);
+  }
+  model->SetComputeContext(compute_ctx_);
+  int8_states_[model] = Int8State::kFallback;
+  ZEUS_LOG(Warning) << "APFG int8 validation failed: max action-prob drift "
+                    << drift << " > " << kInt8ScoreTolerance
+                    << "; model stays fp32";
+  return OutputsFrom(fp32, spec);
+}
+
+std::vector<Apfg::Output> Apfg::ProcessBatch(const tensor::Tensor& batch,
+                                             const video::DecodeSpec& spec) {
+  R3dLite* model = ModelFor(spec);
+  if (int8_enabled_) {
+    // Shared lock across the forward pass: a concurrent first-use
+    // validation takes the unique lock to flip a model's compute context,
+    // so it can never do so mid-inference here.
+    std::shared_lock<std::shared_mutex> lock(int8_mu_);
+    if (int8_states_.count(model) == 0) {
+      lock.unlock();
+      return ValidateInt8AndProcess(model, batch, spec);
+    }
+    // kActive models already point at int8_ctx_; kFallback ones stayed on
+    // the base context. Either way the plain forward is correct.
+    return OutputsFrom(model->FeaturesAndLogits(batch), spec);
+  }
+  return OutputsFrom(model->FeaturesAndLogits(batch), spec);
 }
 
 }  // namespace zeus::apfg

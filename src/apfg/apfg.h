@@ -3,11 +3,13 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "apfg/r3d.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "tensor/gemm.h"
 #include "video/dataset.h"
 #include "video/decoder.h"
 
@@ -100,15 +102,46 @@ class Apfg {
 
   // Routes every model (shared + per-length ensemble members) through `ctx`;
   // nullptr follows the process-wide tensor::GlobalComputeContext(). Models
-  // trained after this call inherit the same context.
+  // trained after this call inherit the same context. Resets any int8
+  // validation state (models revalidate against the new base context).
   void SetComputeContext(const tensor::ComputeContext* ctx);
 
+  // Maximum action-probability drift a model may show on its first int8
+  // batch (vs the same batch in fp32) and still be switched to int8
+  // inference. The kernel-level error bound (see tensor_ops.h) keeps
+  // pre-softmax drift well under this for the R3dLite depth; the check
+  // guards against pathological weight/activation ranges per model.
+  static constexpr float kInt8ScoreTolerance = 0.05f;
+
+  // Opts inference into the int8 GEMM path (tensor::ComputePath::kInt8).
+  // Validation is lazy and per model: the first ProcessBatch that reaches a
+  // model runs the batch in both fp32 and int8 and compares action
+  // probabilities; within kInt8ScoreTolerance the model switches to int8
+  // permanently, otherwise it logs a warning and stays fp32. Training is
+  // unaffected either way (layers run train-mode forward/backward in fp32).
+  // Thread-safe against concurrent ProcessBatch calls. Disabling restores
+  // every model to the base compute context.
+  void EnableInt8Inference(bool enable = true);
+  bool int8_inference_enabled() const { return int8_enabled_; }
+
  private:
+  enum class Int8State { kActive, kFallback };
   common::Status TrainOne(R3dLite* model,
                           const std::vector<const video::Video*>& videos,
                           const std::vector<video::ActionClass>& targets,
                           const std::vector<video::DecodeSpec>& specs,
                           ApfgTrainStats* stats);
+
+  // Builds per-row Outputs from a model forward pass.
+  std::vector<Output> OutputsFrom(const R3dLite::Output& out,
+                                  const video::DecodeSpec& spec) const;
+
+  // First int8 use of `model`: validates int8 vs fp32 on `batch` under the
+  // unique lock, switches the model or records the fallback, and returns
+  // the batch's outputs (int8 if validation passed, fp32 otherwise).
+  std::vector<Output> ValidateInt8AndProcess(R3dLite* model,
+                                             const tensor::Tensor& batch,
+                                             const video::DecodeSpec& spec);
 
   static uint32_t SpecKey(const video::DecodeSpec& spec) {
     return (static_cast<uint32_t>(spec.resolution_px) << 16) |
@@ -125,6 +158,15 @@ class Apfg {
   common::Rng rng_;
   std::unique_ptr<R3dLite> shared_model_;
   std::map<int, std::unique_ptr<R3dLite>> per_length_models_;
+
+  // Int8 opt-in state. int8_mu_ is held shared across any inference while
+  // int8 mode is on (so a first-use validation, which flips a model's
+  // compute context under the unique lock, can never race a concurrent
+  // forward pass) and unique during validation / mode changes.
+  bool int8_enabled_ = false;
+  mutable std::shared_mutex int8_mu_;
+  std::map<R3dLite*, Int8State> int8_states_;
+  tensor::ComputeContext int8_ctx_;
 };
 
 }  // namespace zeus::apfg

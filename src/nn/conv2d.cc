@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
+#include "nn/batch_split.h"
 #include "nn/im2col.h"
 #include "tensor/gemm.h"
 #include "tensor/tensor_ops.h"
@@ -57,31 +59,62 @@ tensor::Tensor Conv2d::ForwardGemm(const tensor::Tensor& input, bool train) {
   const size_t y_nstride = static_cast<size_t>(out_channels_) * spatial;
   const size_t col_stride = static_cast<size_t>(kdim) * spatial;
   // Training-mode lowering writes straight into the persistent panel buffer
-  // so Backward can skip the repack; eval uses a per-call scratch panel and
+  // so Backward can skip the repack; eval uses per-task scratch panels and
   // leaves members untouched (eval forwards stay thread-safe).
   const bool keep = train && opts_.cache_lowering;
-  tensor::Tensor scratch;
   if (keep) {
     cached_cols_ = tensor::Tensor({n, kdim, spatial});
-  } else {
-    if (train) cached_cols_ = tensor::Tensor();
-    scratch = tensor::Tensor({kdim, spatial});
+  } else if (train) {
+    cached_cols_ = tensor::Tensor();
+  }
+
+  // Int8 inference only: training forwards stay fp32 so the cached
+  // activations backward differentiates are the ones that produced the loss.
+  const bool use_int8 = !train && ctx.path == tensor::ComputePath::kInt8;
+  tensor::Int8Panels wq;
+  if (use_int8) {
+    tensor::QuantizePackA(weight_.value.data(), kdim, out_channels_, kdim,
+                          &wq, &ctx);
   }
 
   // Per image: Y {Co, ho*wo} = W {Co, Ci*kh*kw} @ col, then add bias.
-  for (int b = 0; b < n; ++b) {
-    float* colp = keep ? cached_cols_.data() + b * col_stride : scratch.data();
-    Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
-           ho, wo, colp);
-    float* y = out.data() + b * y_nstride;
-    tensor::Sgemm(false, false, out_channels_, spatial, kdim, 1.0f,
-                  weight_.value.data(), kdim, colp, spatial, 0.0f, y,
-                  spatial, &ctx);
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      float* row = y + static_cast<size_t>(oc) * spatial;
-      const float bv = bias_.value[oc];
-      for (int s = 0; s < spatial; ++s) row[s] += bv;
+  // Images are independent, so any batch split is bit-exact.
+  auto run_range = [&](int b_lo, int b_hi) {
+    tensor::Tensor scratch;
+    if (!keep) scratch = tensor::Tensor({kdim, spatial});
+    tensor::Int8Panels colq;
+    for (int b = b_lo; b < b_hi; ++b) {
+      float* colp =
+          keep ? cached_cols_.data() + b * col_stride : scratch.data();
+      Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
+             ho, wo, colp);
+      float* y = out.data() + b * y_nstride;
+      if (use_int8) {
+        tensor::QuantizePackB(colp, spatial, false, kdim, spatial, &colq,
+                              &ctx);
+        tensor::QuantizedGemm(out_channels_, spatial, kdim, wq, colq, y,
+                              spatial, &ctx);
+      } else {
+        tensor::Sgemm(false, false, out_channels_, spatial, kdim, 1.0f,
+                      weight_.value.data(), kdim, colp, spatial, 0.0f, y,
+                      spatial, &ctx);
+      }
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        float* row = y + static_cast<size_t>(oc) * spatial;
+        const float bv = bias_.value[oc];
+        for (int s = 0; s < spatial; ++s) row[s] += bv;
+      }
     }
+  };
+  const size_t per_image_macs =
+      static_cast<size_t>(out_channels_) * spatial * kdim;
+  const int tasks = BatchSplitTasks(ctx, n, per_image_macs);
+  if (tasks == 1) {
+    run_range(0, n);
+  } else {
+    common::ParallelFor(ctx.pool, tasks, [&](int t) {
+      run_range(BatchSplitBegin(n, tasks, t), BatchSplitEnd(n, tasks, t));
+    });
   }
   return out;
 }
@@ -108,38 +141,67 @@ tensor::Tensor Conv2d::BackwardGemm(const tensor::Tensor& grad_output) {
                          cached_cols_.dim(1) == kdim &&
                          cached_cols_.dim(2) == spatial;
   tensor::Tensor grad_input(input.shape());
-  tensor::Tensor col;
-  if (!have_cols) col = tensor::Tensor({kdim, spatial});
-  tensor::Tensor dcol({kdim, spatial});
-  float* db = bias_.grad.data();
+  // Weight/bias gradients go through per-image partial buffers reduced in
+  // ascending-b order below — even when the loop runs serially — so the
+  // accumulation structure (and hence the bits) never depends on how the
+  // minibatch is split across workers. grad_input regions are disjoint.
+  const int wsize = static_cast<int>(weight_.grad.size());
+  tensor::Tensor dw_part({n, wsize});
+  tensor::Tensor db_part({n, out_channels_});
 
+  auto run_range = [&](int b_lo, int b_hi) {
+    tensor::Tensor col;
+    if (!have_cols) col = tensor::Tensor({kdim, spatial});
+    tensor::Tensor dcol({kdim, spatial});
+    for (int b = b_lo; b < b_hi; ++b) {
+      const float* dy = grad_output.data() + b * y_nstride;
+      // db_part[b] = row sums of dY.
+      float* db = db_part.data() + static_cast<size_t>(b) * out_channels_;
+      for (int oc = 0; oc < out_channels_; ++oc) {
+        const float* row = dy + static_cast<size_t>(oc) * spatial;
+        float s = 0.0f;
+        for (int i = 0; i < spatial; ++i) s += row[i];
+        db[oc] = s;
+      }
+      // dw_part[b] {Co, K} = dY {Co, S} @ col^T.
+      const float* colp;
+      if (have_cols) {
+        colp = cached_cols_.data() + b * col_stride;
+      } else {
+        Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph,
+               pw, ho, wo, col.data());
+        colp = col.data();
+      }
+      tensor::Sgemm(false, true, out_channels_, kdim, spatial, 1.0f, dy,
+                    spatial, colp, spatial, 0.0f,
+                    dw_part.data() + static_cast<size_t>(b) * wsize, kdim,
+                    &ctx);
+      // dcol {K, S} = W^T @ dY, scattered back to image layout.
+      tensor::Sgemm(true, false, kdim, spatial, out_channels_, 1.0f,
+                    weight_.value.data(), kdim, dy, spatial, 0.0f,
+                    dcol.data(), spatial, &ctx);
+      Col2ImAdd(dcol.data(), ci, hi, wi, kh, kw, sh, sw, ph, pw, ho, wo,
+                grad_input.data() + b * x_nstride);
+    }
+  };
+  const size_t per_image_macs =
+      2 * static_cast<size_t>(out_channels_) * spatial * kdim;
+  const int tasks = BatchSplitTasks(ctx, n, per_image_macs);
+  if (tasks == 1) {
+    run_range(0, n);
+  } else {
+    common::ParallelFor(ctx.pool, tasks, [&](int t) {
+      run_range(BatchSplitBegin(n, tasks, t), BatchSplitEnd(n, tasks, t));
+    });
+  }
+
+  float* dw = weight_.grad.data();
+  float* db = bias_.grad.data();
   for (int b = 0; b < n; ++b) {
-    const float* dy = grad_output.data() + b * y_nstride;
-    // db += row sums of dY.
-    for (int oc = 0; oc < out_channels_; ++oc) {
-      const float* row = dy + static_cast<size_t>(oc) * spatial;
-      float s = 0.0f;
-      for (int i = 0; i < spatial; ++i) s += row[i];
-      db[oc] += s;
-    }
-    // dW {Co, K} += dY {Co, S} @ col^T.
-    const float* colp;
-    if (have_cols) {
-      colp = cached_cols_.data() + b * col_stride;
-    } else {
-      Im2Col(input.data() + b * x_nstride, ci, hi, wi, kh, kw, sh, sw, ph, pw,
-             ho, wo, col.data());
-      colp = col.data();
-    }
-    tensor::Sgemm(false, true, out_channels_, kdim, spatial, 1.0f, dy,
-                  spatial, colp, spatial, 1.0f, weight_.grad.data(),
-                  kdim, &ctx);
-    // dcol {K, S} = W^T @ dY, scattered back to image layout.
-    tensor::Sgemm(true, false, kdim, spatial, out_channels_, 1.0f,
-                  weight_.value.data(), kdim, dy, spatial, 0.0f, dcol.data(),
-                  spatial, &ctx);
-    Col2ImAdd(dcol.data(), ci, hi, wi, kh, kw, sh, sw, ph, pw, ho, wo,
-              grad_input.data() + b * x_nstride);
+    const float* wp = dw_part.data() + static_cast<size_t>(b) * wsize;
+    for (int i = 0; i < wsize; ++i) dw[i] += wp[i];
+    const float* bp = db_part.data() + static_cast<size_t>(b) * out_channels_;
+    for (int oc = 0; oc < out_channels_; ++oc) db[oc] += bp[oc];
   }
   return grad_input;
 }

@@ -20,9 +20,14 @@ Linear::Linear(int in_features, int out_features, common::Rng* rng)
 tensor::Tensor Linear::Forward(const tensor::Tensor& input, bool train) {
   ZEUS_CHECK(input.ndim() == 2 && input.dim(1) == in_features_);
   if (train) cached_input_ = input;
-  // y = x @ W^T + b, on this layer's compute context (GEMM or reference).
-  tensor::Tensor y =
-      tensor::MatMulTransposedB(input, weight_.value, &compute_context());
+  // y = x @ W^T + b, on this layer's compute context. kInt8 is an
+  // inference-only path: training forwards downgrade to fp32 so backward
+  // differentiates the activations that produced the loss.
+  tensor::ComputeContext ctx = compute_context();
+  if (train && ctx.path == tensor::ComputePath::kInt8) {
+    ctx.path = tensor::ComputePath::kGemm;
+  }
+  tensor::Tensor y = tensor::MatMulTransposedB(input, weight_.value, &ctx);
   int n = y.dim(0);
   for (int i = 0; i < n; ++i) {
     float* row = y.data() + static_cast<size_t>(i) * out_features_;
@@ -35,15 +40,20 @@ tensor::Tensor Linear::Backward(const tensor::Tensor& grad_output) {
   ZEUS_CHECK(grad_output.ndim() == 2 && grad_output.dim(1) == out_features_);
   ZEUS_CHECK(!cached_input_.empty());
   // dW += dy^T @ x ; db += sum over rows of dy ; dx = dy @ W
-  tensor::Tensor dw = tensor::MatMulTransposedA(grad_output, cached_input_,
-                                                &compute_context());
+  // Gradients are never quantized: downgrade kInt8 to the fp32 GEMM path.
+  tensor::ComputeContext ctx = compute_context();
+  if (ctx.path == tensor::ComputePath::kInt8) {
+    ctx.path = tensor::ComputePath::kGemm;
+  }
+  tensor::Tensor dw =
+      tensor::MatMulTransposedA(grad_output, cached_input_, &ctx);
   weight_.grad.Add(dw);
   int n = grad_output.dim(0);
   for (int i = 0; i < n; ++i) {
     const float* row = grad_output.data() + static_cast<size_t>(i) * out_features_;
     for (int j = 0; j < out_features_; ++j) bias_.grad[j] += row[j];
   }
-  return tensor::MatMul(grad_output, weight_.value, &compute_context());
+  return tensor::MatMul(grad_output, weight_.value, &ctx);
 }
 
 }  // namespace zeus::nn

@@ -1,217 +1,131 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/gemm_kernels.h"
 
-// The build stays portable (no -march flags), so the hot kernel is
-// multi-versioned: GCC emits baseline and x86-64-v3 (AVX2+FMA) clones of
-// SgemmRange and the dynamic loader picks the best one for the running CPU.
-// Everything the kernel calls is force-inlined below so the clones actually
-// specialize the packing loops and micro-kernel.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
-#define ZEUS_GEMM_CLONES \
-  __attribute__((target_clones("arch=x86-64-v3", "default")))
-#else
-#define ZEUS_GEMM_CLONES
-#endif
-#define ZEUS_ALWAYS_INLINE inline __attribute__((always_inline))
+// This TU is the ISA-independent driver: runtime tier detection, the
+// ZEUS_COMPUTE_PATH override, beta pre-pass, thread partitioning, and the
+// int8 quantize+pack. The micro-kernels live in gemm_kernels_*.cc, one
+// translation unit per tier with per-source -m flags (see gemm_kernels.h);
+// nothing here may depend on how *this* file was compiled.
 
 namespace zeus::tensor {
 namespace {
 
-// Register tile. kMr * kNr accumulators = 8 ymm registers in the AVX2
-// clone (4 rows x 2 vectors), leaving half the register file for the A
-// broadcast and B row; the inner loops below are written so -O3 turns them
-// into broadcast-FMA chains.
-constexpr int kMr = 4;
-constexpr int kNr = 16;
+using internal::GemmKernels;
+using internal::kI8ColTile;
+using internal::kI8RowTile;
+using internal::KernelsFor;
 
 // Below this many multiply-adds the pool dispatch overhead dominates; run
 // serial. Path choice depends only on the problem shape, never on the
 // thread count, so results stay bit-identical across pool sizes.
 constexpr size_t kMinParallelMacs = 1 << 15;
 
-ZEUS_ALWAYS_INLINE float AElem(const float* a, int lda, bool trans, int i,
-                               int p) {
-  return trans ? a[static_cast<size_t>(p) * lda + i]
-               : a[static_cast<size_t>(i) * lda + p];
-}
-
-ZEUS_ALWAYS_INLINE float BElem(const float* b, int ldb, bool trans, int p,
-                               int j) {
-  return trans ? b[static_cast<size_t>(j) * ldb + p]
-               : b[static_cast<size_t>(p) * ldb + j];
-}
-
-// Packs A[i0 : i0+mb, p0 : p0+kb] (logical, transpose absorbed) into
-// kMr-row micro-panels laid out k-major: panel pr holds rows
-// i0 + pr*kMr .., element (p, r) at out[pr*kb*kMr + p*kMr + r]. Rows past
-// the edge are zero-filled so the micro-kernel never branches.
-ZEUS_ALWAYS_INLINE void PackA(const float* a, int lda, bool trans, int i0,
-                              int mb, int p0, int kb, float* out) {
-  const int panels = (mb + kMr - 1) / kMr;
-  for (int pr = 0; pr < panels; ++pr) {
-    const int rbase = i0 + pr * kMr;
-    const int rows = std::min(kMr, i0 + mb - rbase);
-    float* dst = out + static_cast<size_t>(pr) * kb * kMr;
-    for (int p = 0; p < kb; ++p) {
-      for (int r = 0; r < kMr; ++r) {
-        dst[static_cast<size_t>(p) * kMr + r] =
-            r < rows ? AElem(a, lda, trans, rbase + r, p0 + p) : 0.0f;
-      }
-    }
-  }
-}
-
-// Packs B[p0 : p0+kb, j0 : j0+nb] into kNr-column micro-panels laid out
-// k-major: element (p, c) of panel jp at out[jp*kb*kNr + p*kNr + c].
-ZEUS_ALWAYS_INLINE void PackB(const float* b, int ldb, bool trans, int p0,
-                              int kb, int j0, int nb, float* out) {
-  const int panels = (nb + kNr - 1) / kNr;
-  for (int jp = 0; jp < panels; ++jp) {
-    const int cbase = j0 + jp * kNr;
-    const int cols = std::min(kNr, j0 + nb - cbase);
-    float* dst = out + static_cast<size_t>(jp) * kb * kNr;
-    for (int p = 0; p < kb; ++p) {
-      float* row = dst + static_cast<size_t>(p) * kNr;
-      if (!trans) {
-        const float* src = b + static_cast<size_t>(p0 + p) * ldb + cbase;
-        for (int c = 0; c < cols; ++c) row[c] = src[c];
-      } else {
-        for (int c = 0; c < cols; ++c) {
-          row[c] = b[static_cast<size_t>(cbase + c) * ldb + (p0 + p)];
-        }
-      }
-      for (int c = cols; c < kNr; ++c) row[c] = 0.0f;
-    }
-  }
-}
-
-// C[0:rows, 0:cols] += alpha * sum_p ap[p] (outer) bp[p]. Accumulates the
-// whole kb depth into registers, then writes back once.
-// 8-lane float vector, alignment relaxed to allow unaligned loads from the
-// packed panels. Maps to one ymm in the x86-64-v3 clone and a pair of xmm
-// in the baseline clone. -Wpsabi warns that passing V8 by value differs
-// between those ABIs; irrelevant here because every V8 helper is inlined.
-#pragma GCC diagnostic ignored "-Wpsabi"
-typedef float V8 __attribute__((vector_size(32), aligned(4)));
-
-ZEUS_ALWAYS_INLINE V8 LoadV8(const float* p) {
-  return *reinterpret_cast<const V8*>(p);
-}
-
-ZEUS_ALWAYS_INLINE void MicroKernel(int kb, float alpha, const float* ap,
-                                    const float* bp, float* c, int ldc,
-                                    int rows, int cols) {
-  // 4 rows x 2 vectors of named accumulators: a fixed-shape register block
-  // (arrays here spill to the stack; named variables do not).
-  V8 c00 = {}, c01 = {}, c10 = {}, c11 = {};
-  V8 c20 = {}, c21 = {}, c30 = {}, c31 = {};
-  for (int p = 0; p < kb; ++p) {
-    const float* av = ap + static_cast<size_t>(p) * kMr;
-    const float* bv = bp + static_cast<size_t>(p) * kNr;
-    const V8 b0 = LoadV8(bv);
-    const V8 b1 = LoadV8(bv + 8);
-    V8 a = av[0] + (V8){};  // vbroadcastss
-    c00 += a * b0;
-    c01 += a * b1;
-    a = av[1] + (V8){};
-    c10 += a * b0;
-    c11 += a * b1;
-    a = av[2] + (V8){};
-    c20 += a * b0;
-    c21 += a * b1;
-    a = av[3] + (V8){};
-    c30 += a * b0;
-    c31 += a * b1;
-  }
-  const V8 va = alpha + (V8){};
-  if (rows == kMr && cols == kNr) {
-    float* r0 = c;
-    float* r1 = c + ldc;
-    float* r2 = c + 2 * static_cast<size_t>(ldc);
-    float* r3 = c + 3 * static_cast<size_t>(ldc);
-    *reinterpret_cast<V8*>(r0) += va * c00;
-    *reinterpret_cast<V8*>(r0 + 8) += va * c01;
-    *reinterpret_cast<V8*>(r1) += va * c10;
-    *reinterpret_cast<V8*>(r1 + 8) += va * c11;
-    *reinterpret_cast<V8*>(r2) += va * c20;
-    *reinterpret_cast<V8*>(r2 + 8) += va * c21;
-    *reinterpret_cast<V8*>(r3) += va * c30;
-    *reinterpret_cast<V8*>(r3 + 8) += va * c31;
-    return;
-  }
-  // Edge tile: stage through a dense buffer, copy the valid region.
-  float tmp[kMr][kNr];
-  *reinterpret_cast<V8*>(&tmp[0][0]) = c00;
-  *reinterpret_cast<V8*>(&tmp[0][8]) = c01;
-  *reinterpret_cast<V8*>(&tmp[1][0]) = c10;
-  *reinterpret_cast<V8*>(&tmp[1][8]) = c11;
-  *reinterpret_cast<V8*>(&tmp[2][0]) = c20;
-  *reinterpret_cast<V8*>(&tmp[2][8]) = c21;
-  *reinterpret_cast<V8*>(&tmp[3][0]) = c30;
-  *reinterpret_cast<V8*>(&tmp[3][8]) = c31;
-  for (int r = 0; r < rows; ++r) {
-    float* crow = c + static_cast<size_t>(r) * ldc;
-    for (int j = 0; j < cols; ++j) crow[j] += alpha * tmp[r][j];
-  }
-}
-
-// Blocked accumulation C[i_begin:i_end, j_begin:j_end] += alpha*op(A)op(B)
-// (beta already applied by the driver). Per-element k order is fixed — kc
-// panels ascending, then ascending within the micro-kernel — independent of
-// the [i, j) range, which is what makes the parallel partition bit-exact.
-ZEUS_GEMM_CLONES
-void SgemmRange(bool trans_a, bool trans_b, int i_begin, int i_end,
-                int j_begin, int j_end, int k, float alpha, const float* a,
-                int lda, const float* b, int ldb, float* c, int ldc,
-                const GemmBlocking& blk) {
-  const int mc = std::max(blk.mc, kMr);
-  const int kc = std::max(blk.kc, 1);
-  const int nc = std::max(blk.nc, kNr);
-  // Buffers sized to the work actually packed (a small-k conv GEMM needs a
-  // few KB, not the full kc*nc block budget).
-  const int kb_max = std::min(kc, k);
-  const int mb_max = std::min(mc, i_end - i_begin);
-  const int nb_max = std::min(nc, j_end - j_begin);
-  std::vector<float> packa(static_cast<size_t>((mb_max + kMr - 1) / kMr) *
-                           kMr * kb_max);
-  std::vector<float> packb(static_cast<size_t>((nb_max + kNr - 1) / kNr) *
-                           kNr * kb_max);
-  for (int j0 = j_begin; j0 < j_end; j0 += nc) {
-    const int nb = std::min(nc, j_end - j0);
-    for (int p0 = 0; p0 < k; p0 += kc) {
-      const int kb = std::min(kc, k - p0);
-      PackB(b, ldb, trans_b, p0, kb, j0, nb, packb.data());
-      for (int i0 = i_begin; i0 < i_end; i0 += mc) {
-        const int mb = std::min(mc, i_end - i0);
-        PackA(a, lda, trans_a, i0, mb, p0, kb, packa.data());
-        const int rpanels = (mb + kMr - 1) / kMr;
-        const int cpanels = (nb + kNr - 1) / kNr;
-        for (int jp = 0; jp < cpanels; ++jp) {
-          const int cols = std::min(kNr, nb - jp * kNr);
-          const float* bp = packb.data() + static_cast<size_t>(jp) * kb * kNr;
-          for (int pr = 0; pr < rpanels; ++pr) {
-            const int rows = std::min(kMr, mb - pr * kMr);
-            MicroKernel(kb, alpha,
-                        packa.data() + static_cast<size_t>(pr) * kb * kMr, bp,
-                        c + static_cast<size_t>(i0 + pr * kMr) * ldc + j0 +
-                            jp * kNr,
-                        ldc, rows, cols);
-          }
-        }
-      }
-    }
-  }
-}
-
 }  // namespace
+
+namespace internal {
+
+const GemmKernels& KernelsFor(GemmIsa isa) {
+#if defined(__x86_64__)
+  switch (isa) {
+    case GemmIsa::kAvx512:
+      return GemmKernelsAvx512();
+    case GemmIsa::kAvx2:
+      return GemmKernelsAvx2();
+    default:
+      return GemmKernelsScalar();
+  }
+#else
+  (void)isa;
+  return GemmKernelsScalar();
+#endif
+}
+
+}  // namespace internal
+
+GemmIsa DetectGemmIsa() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const GemmIsa detected = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return GemmIsa::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+      return GemmIsa::kAvx2;
+    }
+    return GemmIsa::kScalar;
+  }();
+  return detected;
+#else
+  return GemmIsa::kScalar;
+#endif
+}
+
+GemmIsa ResolveGemmIsa(GemmIsa req) {
+  const GemmIsa best = DetectGemmIsa();
+  if (req == GemmIsa::kAuto || req == best || req == GemmIsa::kScalar) {
+    return req == GemmIsa::kAuto ? best : req;
+  }
+  if (req == GemmIsa::kAvx2 && best == GemmIsa::kAvx512) return req;
+  // Forced tier above what the CPU supports: clamp down, warn once.
+  static const bool warned = [&] {
+    ZEUS_LOG(Warning) << "gemm: requested ISA tier " << GemmIsaName(req)
+                      << " unsupported on this CPU, using "
+                      << GemmIsaName(best);
+    return true;
+  }();
+  (void)warned;
+  return best;
+}
+
+const char* GemmIsaName(GemmIsa isa) {
+  switch (isa) {
+    case GemmIsa::kAuto:
+      return "auto";
+    case GemmIsa::kScalar:
+      return "scalar";
+    case GemmIsa::kAvx2:
+      return "avx2";
+    case GemmIsa::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool ParseComputePath(const char* s, ComputePath* path, GemmIsa* isa) {
+  if (s == nullptr) return false;
+  const std::string v(s);
+  if (v == "reference") {
+    *path = ComputePath::kReference;
+    *isa = GemmIsa::kAuto;
+  } else if (v == "int8") {
+    *path = ComputePath::kInt8;
+    *isa = GemmIsa::kAuto;
+  } else if (v == "scalar") {
+    *path = ComputePath::kGemm;
+    *isa = GemmIsa::kScalar;
+  } else if (v == "avx2") {
+    *path = ComputePath::kGemm;
+    *isa = GemmIsa::kAvx2;
+  } else if (v == "avx512") {
+    *path = ComputePath::kGemm;
+    *isa = GemmIsa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 common::ThreadPool* DefaultComputePool() {
   static common::ThreadPool* pool = []() -> common::ThreadPool* {
@@ -231,6 +145,19 @@ ComputeContext& GlobalComputeContext() {
   static ComputeContext ctx = [] {
     ComputeContext c;
     c.pool = DefaultComputePool();
+    if (const char* env = std::getenv("ZEUS_COMPUTE_PATH")) {
+      if (!ParseComputePath(env, &c.path, &c.isa)) {
+        ZEUS_LOG(Warning) << "ZEUS_COMPUTE_PATH=" << env
+                          << " not understood (want reference|scalar|avx2|"
+                             "avx512|int8), ignoring";
+      } else {
+        ZEUS_LOG(Info) << "compute path forced by ZEUS_COMPUTE_PATH: path="
+                       << (c.path == ComputePath::kReference ? "reference"
+                           : c.path == ComputePath::kInt8    ? "int8"
+                                                             : "gemm")
+                       << " isa=" << GemmIsaName(c.isa);
+      }
+    }
     return c;
   }();
   return ctx;
@@ -263,22 +190,24 @@ void Sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
   ZEUS_CHECK(a != nullptr && b != nullptr);
   ZEUS_CHECK(lda >= (trans_a ? m : k) && ldb >= (trans_b ? k : n));
 
+  const GemmKernels& kern = KernelsFor(ResolveGemmIsa(cc.isa));
   common::ThreadPool* pool = cc.pool;
   const size_t macs = static_cast<size_t>(m) * n * k;
   const int threads = pool != nullptr ? pool->num_threads() : 1;
   if (threads <= 1 || macs < kMinParallelMacs ||
       common::ThreadPool::InWorkerThread()) {
-    SgemmRange(trans_a, trans_b, 0, m, 0, n, k, alpha, a, lda, b, ldb, c, ldc,
-               cc.blocking);
+    kern.sgemm_range(trans_a, trans_b, 0, m, 0, n, k, alpha, a, lda, b, ldb,
+                     c, ldc, cc.blocking);
     return;
   }
 
   // Partition the larger C dimension into one contiguous chunk per thread,
-  // aligned to the register tile. Each chunk owns a disjoint region of C and
-  // runs the identical accumulation order, so the split is bit-exact.
+  // aligned to the tier's register tile. Each chunk owns a disjoint region
+  // of C and runs the identical accumulation order, so the split is
+  // bit-exact.
   const bool split_rows = m >= n;
   const int dim = split_rows ? m : n;
-  const int tile = split_rows ? kMr : kNr;
+  const int tile = split_rows ? kern.mr : kern.nr;
   int chunks = std::min(threads, (dim + tile - 1) / tile);
   const int per = ((dim + chunks - 1) / chunks + tile - 1) / tile * tile;
   chunks = (dim + per - 1) / per;
@@ -286,12 +215,157 @@ void Sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
     const int lo = idx * per;
     const int hi = std::min(dim, lo + per);
     if (split_rows) {
-      SgemmRange(trans_a, trans_b, lo, hi, 0, n, k, alpha, a, lda, b, ldb, c,
-                 ldc, cc.blocking);
+      kern.sgemm_range(trans_a, trans_b, lo, hi, 0, n, k, alpha, a, lda, b,
+                       ldb, c, ldc, cc.blocking);
     } else {
-      SgemmRange(trans_a, trans_b, 0, m, lo, hi, k, alpha, a, lda, b, ldb, c,
-                 ldc, cc.blocking);
+      kern.sgemm_range(trans_a, trans_b, 0, m, lo, hi, k, alpha, a, lda, b,
+                       ldb, c, ldc, cc.blocking);
     }
+  });
+}
+
+// ---- Int8 quantize + pack --------------------------------------------------
+
+// Both packers run in two passes over contiguous runs — a max-abs scan,
+// then round+clamp into a dense int16 row — through the resolved tier's
+// SIMD primitives, with a cheap int16 shuffle into the pair-interleaved
+// panel layout. The quantize step is the dominant cost of the int8 path
+// for thin GEMMs (m of a lowered conv is just the channel count), so it
+// must not run one libm lrintf per element.
+
+void QuantizePackA(const float* a, int lda, int m, int k, Int8Panels* out,
+                   const ComputeContext* ctx) {
+  ZEUS_CHECK(a != nullptr && m >= 0 && k >= 0 && lda >= k);
+  const GemmKernels& kern =
+      KernelsFor(ResolveGemmIsa(EffectiveContext(ctx).isa));
+  float maxabs = 0.0f;
+  for (int r = 0; r < m; ++r) {
+    maxabs = std::max(maxabs,
+                      kern.maxabs(a + static_cast<size_t>(r) * lda, k));
+  }
+  out->scale = maxabs / 127.0f;
+  const float inv = maxabs > 0.0f ? 127.0f / maxabs : 0.0f;
+  out->rows = m;
+  out->cols = k;
+  out->k_pairs = (k + 1) / 2;
+  const int rpanels = (m + kI8RowTile - 1) / kI8RowTile;
+  out->data.assign(static_cast<size_t>(rpanels) * out->k_pairs * kI8RowTile *
+                       2,
+                   0);
+  std::vector<int16_t> qrow(k);
+  int16_t* dst = out->data.data();
+  for (int row = 0; row < m; ++row) {
+    kern.quantize(a + static_cast<size_t>(row) * lda, k, inv, qrow.data());
+    const int pr = row / kI8RowTile;
+    const int r = row % kI8RowTile;
+    int16_t* panel =
+        dst + (static_cast<size_t>(pr) * out->k_pairs * kI8RowTile + r) * 2;
+    for (int p2 = 0; p2 < out->k_pairs; ++p2) {
+      panel[static_cast<size_t>(p2) * kI8RowTile * 2] = qrow[2 * p2];
+      if (2 * p2 + 1 < k) {
+        panel[static_cast<size_t>(p2) * kI8RowTile * 2 + 1] = qrow[2 * p2 + 1];
+      }
+    }
+  }
+}
+
+void QuantizePackB(const float* b, int ldb, bool trans_b, int k, int n,
+                   Int8Panels* out, const ComputeContext* ctx) {
+  ZEUS_CHECK(b != nullptr && k >= 0 && n >= 0);
+  ZEUS_CHECK(ldb >= (trans_b ? k : n));
+  const GemmKernels& kern =
+      KernelsFor(ResolveGemmIsa(EffectiveContext(ctx).isa));
+  // op(B) rows are length-n strided when !trans_b; op(B) columns are
+  // length-k contiguous rows of the stored matrix when trans_b. Either way
+  // the scan and quantize run over contiguous memory.
+  const int nruns = trans_b ? n : k;
+  const int runlen = trans_b ? k : n;
+  float maxabs = 0.0f;
+  for (int r = 0; r < nruns; ++r) {
+    maxabs = std::max(maxabs,
+                      kern.maxabs(b + static_cast<size_t>(r) * ldb, runlen));
+  }
+  out->scale = maxabs / 127.0f;
+  const float inv = maxabs > 0.0f ? 127.0f / maxabs : 0.0f;
+  out->rows = k;
+  out->cols = n;
+  out->k_pairs = (k + 1) / 2;
+  const int jpanels = (n + kI8ColTile - 1) / kI8ColTile;
+  const size_t total =
+      static_cast<size_t>(jpanels) * out->k_pairs * kI8ColTile * 2;
+  if (trans_b) {
+    out->data.assign(total, 0);
+  } else {
+    // The panel packer writes every slot (including padding), so a reused
+    // buffer only needs the right size — skip the O(total) zero fill.
+    out->data.resize(total);
+  }
+  int16_t* dst = out->data.data();
+  if (trans_b) {
+    // One stored row = one op(B) column: quantize it, then spread its
+    // k-pairs down the column's slot in each pair row.
+    std::vector<int16_t> qcol(k);
+    for (int col = 0; col < n; ++col) {
+      kern.quantize(b + static_cast<size_t>(col) * ldb, k, inv, qcol.data());
+      const int jp = col / kI8ColTile;
+      const int c = col % kI8ColTile;
+      int16_t* panel =
+          dst +
+          (static_cast<size_t>(jp) * out->k_pairs * kI8ColTile + c) * 2;
+      for (int p2 = 0; p2 < out->k_pairs; ++p2) {
+        panel[static_cast<size_t>(p2) * kI8ColTile * 2] = qcol[2 * p2];
+        if (2 * p2 + 1 < k) {
+          panel[static_cast<size_t>(p2) * kI8ColTile * 2 + 1] =
+              qcol[2 * p2 + 1];
+        }
+      }
+    }
+  } else {
+    // Fused quantize + pair interleave, one 16-column panel at a time:
+    // writes stream through dst and each source cache line is read exactly
+    // once (a k-pair-outer loop would re-touch the whole panel buffer per
+    // pair and thrash for lowered-conv sizes).
+    for (int jp = 0; jp < jpanels; ++jp) {
+      const int cols = std::min(kI8ColTile, n - jp * kI8ColTile);
+      kern.i8pack_panel(b + static_cast<size_t>(jp) * kI8ColTile, ldb, k, cols,
+                        inv,
+                        dst + static_cast<size_t>(jp) * out->k_pairs *
+                                  kI8ColTile * 2);
+    }
+  }
+}
+
+void QuantizedGemm(int m, int n, int k, const Int8Panels& a,
+                   const Int8Panels& b, float* c, int ldc,
+                   const ComputeContext* ctx) {
+  if (m <= 0 || n <= 0) return;
+  ZEUS_CHECK(c != nullptr && ldc >= n);
+  ZEUS_CHECK(a.rows == m && a.cols == k && b.rows == k && b.cols == n);
+  ZEUS_CHECK(a.k_pairs == b.k_pairs);
+  const ComputeContext& cc = EffectiveContext(ctx);
+  const GemmKernels& kern = KernelsFor(ResolveGemmIsa(cc.isa));
+  const float scale = a.scale * b.scale;
+  const int jpanels = (n + kI8ColTile - 1) / kI8ColTile;
+
+  common::ThreadPool* pool = cc.pool;
+  const size_t macs = static_cast<size_t>(m) * n * k;
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  if (threads <= 1 || macs < kMinParallelMacs ||
+      common::ThreadPool::InWorkerThread()) {
+    kern.i8gemm_range(m, n, a.k_pairs, 0, jpanels, scale, a.data.data(),
+                      b.data.data(), c, ldc);
+    return;
+  }
+  // Contiguous column-panel chunks; integer accumulation is exact, so any
+  // chunking is trivially bit-identical (and identical across tiers).
+  int chunks = std::min(threads, jpanels);
+  const int per = (jpanels + chunks - 1) / chunks;
+  chunks = (jpanels + per - 1) / per;
+  common::ParallelFor(pool, chunks, [&](int idx) {
+    const int lo = idx * per;
+    const int hi = std::min(jpanels, lo + per);
+    kern.i8gemm_range(m, n, a.k_pairs, lo, hi, scale, a.data.data(),
+                      b.data.data(), c, ldc);
   });
 }
 

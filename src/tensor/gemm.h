@@ -8,19 +8,36 @@
 //
 // Design: classic three-level cache blocking (Goto/BLIS style). The k
 // dimension is split into kc-deep panels; within a panel, A is packed into
-// column-major micro-panels of kMr rows and B into row-major micro-panels of
-// kNr columns, and a register-tiled kMr x kNr micro-kernel accumulates into
+// column-major micro-panels of MR rows and B into row-major micro-panels of
+// NR columns, and a register-tiled MR x NR micro-kernel accumulates into
 // local registers before a single write-back per tile. Optional parallelism
 // partitions the *larger* of the two C dimensions into contiguous chunks run
 // on a common::ThreadPool.
 //
-// Determinism: each C element is accumulated in a fixed order — kc-panel by
-// kc-panel, and within a panel in ascending k — that does not depend on the
-// chunking, so results are bit-identical for any thread count (including
-// serial execution). Tests assert this exactly.
+// ISA dispatch: the micro-kernels are compiled three times into separate
+// translation units with per-file -m flags (see gemm_kernels.h) — a
+// baseline x86-64 (SSE2) tier, an AVX2+FMA 4x16 tier, and an AVX-512 6x32
+// tier — and the driver picks the best tier the running CPU supports via
+// CPUID at runtime, independent of how the rest of the tree was compiled
+// (ZEUS_MARCH_NATIVE no longer changes which kernel runs). A concrete tier
+// can be forced per-context (ComputeContext::isa) or process-wide via the
+// ZEUS_COMPUTE_PATH environment variable, for triage and parity testing.
 //
-// Numerics: accumulation is in float (see tensor_ops.h for the documented
-// tolerance vs. the naive reference loops).
+// Determinism: within one ISA tier, each C element is accumulated in a
+// fixed order — kc-panel by kc-panel, and within a panel in ascending k —
+// that does not depend on the chunking, so results are bit-identical for
+// any thread count (including serial execution). Tests assert this exactly.
+// Different tiers round differently (FMA contraction, tile shape), so a
+// reproducible run across machines should pin the tier.
+//
+// Numerics: fp32 accumulation (see tensor_ops.h for the documented
+// tolerance vs. the naive reference loops). The int8 path (QuantizedGemm)
+// is exact integer arithmetic dequantized once at write-back, so it is
+// bit-identical across tiers *and* thread counts; its quantization error
+// bound is documented in tensor_ops.h next to the fp32 tolerance.
+
+#include <cstdint>
+#include <vector>
 
 namespace zeus::common {
 class ThreadPool;
@@ -29,17 +46,44 @@ class ThreadPool;
 namespace zeus::tensor {
 
 // Which implementation the lowered ops use. kReference is the seed's naive
-// scalar loop nest, kept for parity testing; kGemm is the blocked kernel
-// (parallel when the context carries a pool).
+// scalar loop nest, kept for parity testing; kGemm is the blocked fp32
+// kernel (parallel when the context carries a pool); kInt8 is the
+// symmetric-quantized integer kernel — inference only: layers silently run
+// kGemm instead for training forwards and all backwards.
 enum class ComputePath {
   kReference,
   kGemm,
+  kInt8,
 };
+
+// Which fp32 micro-kernel tier Sgemm runs. kAuto resolves to the best tier
+// the CPU supports (CPUID, cached); forcing a tier the CPU lacks clamps
+// down to the best supported one with a one-time warning.
+enum class GemmIsa {
+  kAuto,
+  kScalar,  // baseline x86-64 (SSE2) — the portable fallback tier
+  kAvx2,    // AVX2 + FMA, 4x16 register tile
+  kAvx512,  // AVX-512 F/BW/VL, 6x32 register tile
+};
+
+// Best tier supported by the running CPU (never kAuto).
+GemmIsa DetectGemmIsa();
+
+// req, clamped to the best supported tier (kAuto => DetectGemmIsa()).
+// Logs once when a forced tier is unavailable.
+GemmIsa ResolveGemmIsa(GemmIsa req);
+
+// "scalar" / "avx2" / "avx512" / "auto".
+const char* GemmIsaName(GemmIsa isa);
+
+// Parses a ZEUS_COMPUTE_PATH value: "reference" => kReference;
+// "avx2"/"avx512"/"scalar" => kGemm with the forced tier; "int8" => kInt8
+// (tier stays kAuto). Returns false (outputs untouched) on anything else.
+bool ParseComputePath(const char* s, ComputePath* path, GemmIsa* isa);
 
 // Cache-blocking knobs. Defaults target a ~32KB L1 / ~512KB L2 budget:
 // packed A panel = mc*kc floats (64KB), packed B panel = kc*nc floats
-// (512KB). The register tile is fixed at compile time (kMr x kNr in
-// gemm.cc) — changing it requires recompiling the micro-kernel.
+// (512KB). The register tile is fixed per ISA tier (gemm_kernels.h).
 struct GemmBlocking {
   int mc = 64;
   int kc = 256;
@@ -51,10 +95,17 @@ struct GemmBlocking {
 // instance once (thread count, path) and every model picks it up; individual
 // layers/models can be pointed at a non-global context for A/B testing.
 struct ComputeContext {
-  // Pool used for intra-op (GEMM row/col partition) and inter-op
-  // (BatchedExecutor lockstep stepping) parallelism. nullptr => serial.
+  // Pool used for intra-op (GEMM row/col partition), inter-op
+  // (BatchedExecutor lockstep stepping) and batch-level (Conv2d/Conv3d
+  // minibatch split) parallelism. nullptr => serial.
   common::ThreadPool* pool = nullptr;
   ComputePath path = ComputePath::kGemm;
+  // fp32 micro-kernel tier; kAuto picks the best supported at runtime.
+  GemmIsa isa = GemmIsa::kAuto;
+  // When false, Conv2d/Conv3d never split the minibatch across the pool
+  // (intra-GEMM parallelism only) — benchmarking/debugging knob; results
+  // are bit-identical either way.
+  bool batch_split = true;
   GemmBlocking blocking;
 };
 
@@ -71,8 +122,11 @@ common::ThreadPool* DefaultComputePool();
 // does not override it (benches, trainer hot loops, BatchedExecutor
 // lockstep stepping) is thread-parallel out of the box; set
 // `GlobalComputeContext().pool = nullptr` to force serial execution for
-// parity tests. The GEMM path is bit-identical across thread counts, so
-// flipping the default changes wall time only, never results.
+// parity tests. First access also applies ZEUS_COMPUTE_PATH (see
+// ParseComputePath) so the whole process can be forced onto one
+// path/tier for triage — unparseable values are ignored with a warning.
+// The GEMM path is bit-identical across thread counts, so flipping the
+// default pool changes wall time only, never results.
 ComputeContext& GlobalComputeContext();
 
 // ctx if non-null, else the global context.
@@ -87,6 +141,45 @@ const ComputeContext& EffectiveContext(const ComputeContext* ctx);
 void Sgemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
            const float* a, int lda, const float* b, int ldb, float beta,
            float* c, int ldc, const ComputeContext* ctx = nullptr);
+
+// ---- Int8 quantized GEMM ---------------------------------------------------
+//
+// Per-tensor symmetric quantization: q = round(x * 127 / maxabs(x)), one
+// fp32 scale per operand, no zero point. The packed operands interleave
+// adjacent k-pairs as int16 so the micro-kernel is a single widening
+// multiply-add (pmaddwd) per pair: products and pair-sums fit int32
+// exactly, the k-loop accumulates in int32 (exact up to k <= 2^17 — far
+// above any lowered conv/linear depth here), and the one inexact step is
+// the final c = scale_a * scale_b * acc write-back. Integer accumulation
+// is associative, so results are bit-identical across ISA tiers and
+// thread counts, unlike the fp32 path.
+
+// One quantized + packed GEMM operand, produced by QuantizePack{A,B}.
+struct Int8Panels {
+  std::vector<int16_t> data;  // k-pair-interleaved micro-panels
+  float scale = 0.0f;         // maxabs / 127 (0 for an all-zero tensor)
+  int rows = 0;               // logical op-shape rows (m for A, k for B)
+  int cols = 0;               // logical op-shape cols (k for A, n for B)
+  int k_pairs = 0;            // ceil(k / 2), zero-padded for odd k
+};
+
+// Quantizes and packs A (m x k row-major, lda >= k) into kI8RowTile-row
+// micro-panels for QuantizedGemm. ctx selects the (SIMD) quantize
+// primitives; the packed bytes are identical for every tier.
+void QuantizePackA(const float* a, int lda, int m, int k, Int8Panels* out,
+                   const ComputeContext* ctx = nullptr);
+
+// Quantizes and packs op(B) (k x n; B is k x n when !trans_b, else n x k
+// with ldb its row stride) into kI8ColTile-column micro-panels.
+void QuantizePackB(const float* b, int ldb, bool trans_b, int k, int n,
+                   Int8Panels* out, const ComputeContext* ctx = nullptr);
+
+// C = dequant(packed-A @ packed-B): C is m x n fp32 (ldc >= n),
+// overwritten (beta == 0 semantics). Parallel over column panels on
+// ctx->pool, with the same nested-ParallelFor inline guard as Sgemm.
+void QuantizedGemm(int m, int n, int k, const Int8Panels& a,
+                   const Int8Panels& b, float* c, int ldc,
+                   const ComputeContext* ctx = nullptr);
 
 }  // namespace zeus::tensor
 

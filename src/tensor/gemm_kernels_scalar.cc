@@ -1,0 +1,32 @@
+// Baseline kernel tier. Compiled with plain -march=x86-64 (forced
+// per-source in CMakeLists.txt, even under ZEUS_MARCH_NATIVE), so this TU
+// is the portable fallback every CPU can run: the generic-vector 4x16
+// micro-kernel lowers to paired SSE2 xmm ops and the int8 kernel to the
+// scalar reference loop. On non-x86 hosts this is the only tier.
+
+#include "tensor/gemm_kernels.h"
+#include "tensor/gemm_kernels_common.h"
+
+namespace zeus::tensor::internal {
+namespace {
+
+void SgemmRangeScalar(bool trans_a, bool trans_b, int i_begin, int i_end,
+                      int j_begin, int j_end, int k, float alpha,
+                      const float* a, int lda, const float* b, int ldb,
+                      float* c, int ldc, const GemmBlocking& blk) {
+  SgemmRangeT<4, 16, MicroKernel4x16>(trans_a, trans_b, i_begin, i_end,
+                                      j_begin, j_end, k, alpha, a, lda, b,
+                                      ldb, c, ldc, blk);
+}
+
+}  // namespace
+
+const GemmKernels& GemmKernelsScalar() {
+  static const GemmKernels kKernels = {&SgemmRangeScalar,  &I8GemmRangeScalar,
+                                       &MaxAbsScalar,      &QuantizeScalar,
+                                       &I8PackPanelScalar, 4,
+                                       16,                 "scalar"};
+  return kKernels;
+}
+
+}  // namespace zeus::tensor::internal

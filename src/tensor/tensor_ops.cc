@@ -37,6 +37,14 @@ Tensor MatMulDispatch(bool trans_a, bool trans_b, int m, int n, int k,
   const ComputeContext& cc = EffectiveContext(ctx);
   if (cc.path == ComputePath::kReference) {
     ReferenceGemm(trans_a, trans_b, m, n, k, a.data(), b.data(), out.data());
+  } else if (cc.path == ComputePath::kInt8 && !trans_a) {
+    // Quantize both operands per call (per-tensor symmetric), accumulate in
+    // int32, dequantize at write-back. See the error-bound note in
+    // tensor_ops.h. trans_a (backward-only shape) falls through to fp32.
+    Int8Panels pa, pb;
+    QuantizePackA(a.data(), k, m, k, &pa, &cc);
+    QuantizePackB(b.data(), trans_b ? k : n, trans_b, k, n, &pb, &cc);
+    QuantizedGemm(m, n, k, pa, pb, out.data(), n, &cc);
   } else {
     Sgemm(trans_a, trans_b, m, n, k, 1.0f, a.data(),
           trans_a ? m : k, b.data(), trans_b ? k : n, 0.0f, out.data(), n,
@@ -68,6 +76,24 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b,
   int k = a.dim(0), m = a.dim(1), n = b.dim(1);
   ZEUS_CHECK(b.dim(0) == k);
   return MatMulDispatch(true, false, m, n, k, a, b, ctx);
+}
+
+float QuantScale(const Tensor& t) {
+  float mx = 0.0f;
+  for (size_t i = 0; i < t.size(); ++i) mx = std::max(mx, std::abs(t[i]));
+  return mx / 127.0f;
+}
+
+Tensor QuantizeDequantize(const Tensor& t) {
+  Tensor out = t;
+  const float scale = QuantScale(t);
+  if (scale == 0.0f) return out;
+  const float inv = 1.0f / scale;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const long q = std::lrintf(out[i] * inv);
+    out[i] = scale * static_cast<float>(std::min(127L, std::max(-127L, q)));
+  }
+  return out;
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {

@@ -9,14 +9,28 @@ namespace zeus::tensor {
 
 // Matrix products. All three variants dispatch on the compute context
 // (ctx, or GlobalComputeContext() when null): ComputePath::kGemm runs the
-// blocked parallel kernel in tensor/gemm.h, kReference a naive triple loop.
+// blocked parallel kernel in tensor/gemm.h, kReference a naive triple loop,
+// kInt8 the symmetric per-tensor quantized kernel (below).
 //
 // Accumulation policy (unified across variants and paths): partial sums are
-// kept in float. The two paths sum in different orders (the GEMM path by
+// kept in float. The fp32 paths sum in different orders (the GEMM path by
 // kc-deep panels), so they agree only to rounding: for k <= 512 and
 // unit-scale operands the observed max-abs-diff is < 1e-5; tests budget
 // 1e-4. Each path on its own is deterministic — the GEMM path bit-exactly
 // so across thread counts.
+//
+// kInt8 error bound: each operand is quantized symmetrically per tensor
+// (scale = maxabs / 127, round-to-nearest), so each element carries at most
+// half a quantization step of error. For C = A @ B this bounds each output
+// element by roughly
+//   k * Amax * Bmax * (0.5/127 + 0.5/127 + 0.25/127^2) ~= 0.0079 * k * Amax * Bmax
+// where Amax/Bmax are the per-tensor max-abs values. The int32 accumulation
+// itself is exact (vpmaddwd pair products <= 2*127^2; no overflow up to
+// k ~ 2^17), so the int8 path is bit-identical across ISA tiers AND thread
+// counts — all rounding happens at quantize and the final dequant multiply.
+// kInt8 applies to MatMul and MatMulTransposedB (inference shapes);
+// MatMulTransposedA — only used by backward passes — silently runs the fp32
+// kGemm path so training gradients are never quantized.
 
 // out = a @ b for 2-D tensors {m,k} x {k,n} -> {m,n}.
 Tensor MatMul(const Tensor& a, const Tensor& b,
@@ -30,6 +44,15 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b,
 // out = a^T @ b for 2-D tensors {k,m} x {k,n} -> {m,n}.
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b,
                          const ComputeContext* ctx = nullptr);
+
+// Per-tensor symmetric quantization scale: maxabs / 127 (0 for an all-zero
+// tensor). The same scale rule QuantizePackA/B use internally.
+float QuantScale(const Tensor& t);
+
+// Round-trips t through int8 quantization (quantize with QuantScale, then
+// dequantize). Used by tests and accuracy validation to observe exactly the
+// representation error the kInt8 path introduces per operand.
+Tensor QuantizeDequantize(const Tensor& t);
 
 // Elementwise c = a + b / a - b / a * b (same shapes).
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apfg/apfg.h"
 #include "apfg/feature_cache.h"
 #include "apfg/frame2d.h"
@@ -195,6 +197,65 @@ TEST(FeatureCacheTest, PrecomputePopulatesAlignedStarts) {
   auto v = MakeLabeledVideo(40, 0, 0, video::ActionClass::kNone);
   cache.Precompute(v, video::DecodeSpec{12, 2, 1}, /*alignment=*/10);
   EXPECT_EQ(cache.size(), 4u);  // starts 0, 10, 20, 30
+}
+
+// End-to-end int8 inference: enabling the quantized path must keep action
+// probabilities within the advertised tolerance of fp32, stay deterministic
+// on repeat, and disabling must restore fp32 bit-exactly.
+TEST(ApfgInt8Test, ScoresWithinToleranceOfFp32) {
+  common::Rng rng(16);
+  Apfg apfg(ApfgTrainOptions{}, /*model_reuse=*/true, &rng);
+  auto v = MakeLabeledVideo(60, 10, 30, video::ActionClass::kCrossRight);
+  video::DecodeSpec spec{12, 4, 1};
+
+  EXPECT_FALSE(apfg.int8_inference_enabled());
+  auto fp32_a = apfg.Process(v, 0, spec);
+  auto fp32_b = apfg.Process(v, 8, spec);
+
+  apfg.EnableInt8Inference();
+  EXPECT_TRUE(apfg.int8_inference_enabled());
+  // First call runs the lazy fp32-vs-int8 validation; whichever way it
+  // decides (int8 active or fp32 fallback), scores stay within tolerance.
+  auto int8_a = apfg.Process(v, 0, spec);
+  auto int8_b = apfg.Process(v, 8, spec);
+  EXPECT_LE(std::fabs(int8_a.action_prob - fp32_a.action_prob),
+            Apfg::kInt8ScoreTolerance);
+  EXPECT_LE(std::fabs(int8_b.action_prob - fp32_b.action_prob),
+            Apfg::kInt8ScoreTolerance);
+  EXPECT_EQ(int8_a.feature.shape(), fp32_a.feature.shape());
+
+  // Steady-state int8 inference is deterministic.
+  auto repeat = apfg.Process(v, 0, spec);
+  EXPECT_EQ(tensor::MaxAbsDiff(repeat.feature, int8_a.feature), 0.0f);
+  EXPECT_EQ(repeat.action_prob, int8_a.action_prob);
+
+  // Disabling restores the fp32 path bit-exactly.
+  apfg.EnableInt8Inference(false);
+  EXPECT_FALSE(apfg.int8_inference_enabled());
+  auto back = apfg.Process(v, 0, spec);
+  EXPECT_EQ(tensor::MaxAbsDiff(back.feature, fp32_a.feature), 0.0f);
+  EXPECT_EQ(back.action_prob, fp32_a.action_prob);
+}
+
+// Batched int8 inference agrees with fp32 row-for-row (the per-model
+// validation compares exactly these action probabilities).
+TEST(ApfgInt8Test, BatchScoresTrackFp32RowForRow) {
+  common::Rng rng(17);
+  Apfg apfg(ApfgTrainOptions{}, true, &rng);
+  video::DecodeSpec spec{12, 4, 1};
+  common::Rng data_rng(18);
+  tensor::Tensor batch({4, 1, 4, 12, 12});
+  tensor::FillGaussian(&batch, &data_rng, 1.0f);
+
+  auto fp32 = apfg.ProcessBatch(batch, spec);
+  apfg.EnableInt8Inference();
+  auto int8 = apfg.ProcessBatch(batch, spec);
+  ASSERT_EQ(int8.size(), fp32.size());
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    EXPECT_LE(std::fabs(int8[i].action_prob - fp32[i].action_prob),
+              Apfg::kInt8ScoreTolerance)
+        << "row " << i;
+  }
 }
 
 TEST(ApfgTrainingTest, LearnsSeparableToyTask) {

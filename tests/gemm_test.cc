@@ -7,11 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "nn/batch_split.h"
 #include "nn/conv2d.h"
 #include "nn/conv3d.h"
 #include "nn/linear.h"
@@ -267,6 +271,310 @@ TEST(ConvLoweringCacheTest, Conv3dGradientsBitIdentical) {
   ExpectLoweringCacheBitIdentical<nn::Conv3d>(opts, [](common::Rng* rng) {
     return RandomTensor({2, 3, 6, 12, 10}, rng);
   });
+}
+
+// ---- ISA tier forcing ------------------------------------------------------
+
+std::vector<tensor::GemmIsa> SupportedTiers() {
+  std::vector<tensor::GemmIsa> tiers;
+  for (tensor::GemmIsa t : {tensor::GemmIsa::kScalar, tensor::GemmIsa::kAvx2,
+                            tensor::GemmIsa::kAvx512}) {
+    if (tensor::ResolveGemmIsa(t) == t) tiers.push_back(t);
+  }
+  return tiers;  // kScalar always resolves to itself
+}
+
+// Every tier the CPU supports must agree with the reference loops on shapes
+// that exercise the remainder-tile edges of both register tiles (4x16 and
+// 6x32): m not a multiple of 4/6, n not a multiple of 16/32, tiny k.
+TEST(GemmIsaTest, EveryTierMatchesReferenceOnRemainderShapes) {
+  common::Rng rng(47);
+  const int shapes[][3] = {{1, 1, 1},    {3, 17, 5},  {5, 33, 7},
+                           {6, 32, 64},  {7, 31, 63}, {11, 50, 129},
+                           {13, 95, 33}, {2, 255, 9}, {37, 96, 256}};
+  tensor::ComputeContext ref = ReferenceCtx();
+  for (tensor::GemmIsa tier : SupportedTiers()) {
+    tensor::ComputeContext gemm = GemmCtx();
+    gemm.isa = tier;
+    for (const auto& s : shapes) {
+      const int m = s[0], n = s[1], k = s[2];
+      tensor::Tensor a = RandomTensor({m, k}, &rng);
+      tensor::Tensor b = RandomTensor({k, n}, &rng);
+      EXPECT_LT(tensor::MaxAbsDiff(tensor::MatMul(a, b, &gemm),
+                                   tensor::MatMul(a, b, &ref)),
+                kTol)
+          << tensor::GemmIsaName(tier) << " " << m << "x" << k << "x" << n;
+      tensor::Tensor bt = RandomTensor({n, k}, &rng);
+      EXPECT_LT(tensor::MaxAbsDiff(tensor::MatMulTransposedB(a, bt, &gemm),
+                                   tensor::MatMulTransposedB(a, bt, &ref)),
+                kTol)
+          << tensor::GemmIsaName(tier) << " trans_b " << m << "x" << k << "x"
+          << n;
+    }
+  }
+}
+
+// The thread-count bit-identity contract holds per tier, not just for the
+// auto-resolved one.
+TEST(GemmIsaTest, EachTierBitIdenticalAcrossThreadCounts) {
+  common::Rng rng(53);
+  const int m = 37, n = 203, k = 91;
+  tensor::Tensor a = RandomTensor({m, k}, &rng);
+  tensor::Tensor b = RandomTensor({k, n}, &rng);
+  for (tensor::GemmIsa tier : SupportedTiers()) {
+    tensor::ComputeContext serial = GemmCtx();
+    serial.isa = tier;
+    tensor::Tensor base = tensor::MatMul(a, b, &serial);
+    for (int threads : {2, 4}) {
+      common::ThreadPool pool(threads);
+      tensor::ComputeContext par = GemmCtx(&pool);
+      par.isa = tier;
+      EXPECT_EQ(tensor::MaxAbsDiff(tensor::MatMul(a, b, &par), base), 0.0f)
+          << tensor::GemmIsaName(tier) << " " << threads << " threads";
+    }
+  }
+}
+
+// Forcing a tier the CPU lacks clamps to a supported one instead of crashing.
+TEST(GemmIsaTest, UnsupportedForcedTierStillComputes) {
+  common::Rng rng(59);
+  tensor::Tensor a = RandomTensor({9, 31}, &rng);
+  tensor::Tensor b = RandomTensor({31, 21}, &rng);
+  tensor::ComputeContext ref = ReferenceCtx();
+  tensor::ComputeContext gemm = GemmCtx();
+  gemm.isa = tensor::GemmIsa::kAvx512;  // may or may not be supported here
+  EXPECT_LT(tensor::MaxAbsDiff(tensor::MatMul(a, b, &gemm),
+                               tensor::MatMul(a, b, &ref)),
+            kTol);
+}
+
+TEST(GemmIsaTest, ParseComputePath) {
+  tensor::ComputePath path = tensor::ComputePath::kGemm;
+  tensor::GemmIsa isa = tensor::GemmIsa::kAuto;
+  EXPECT_TRUE(tensor::ParseComputePath("reference", &path, &isa));
+  EXPECT_EQ(path, tensor::ComputePath::kReference);
+  EXPECT_EQ(isa, tensor::GemmIsa::kAuto);
+
+  EXPECT_TRUE(tensor::ParseComputePath("scalar", &path, &isa));
+  EXPECT_EQ(path, tensor::ComputePath::kGemm);
+  EXPECT_EQ(isa, tensor::GemmIsa::kScalar);
+
+  EXPECT_TRUE(tensor::ParseComputePath("avx2", &path, &isa));
+  EXPECT_EQ(path, tensor::ComputePath::kGemm);
+  EXPECT_EQ(isa, tensor::GemmIsa::kAvx2);
+
+  EXPECT_TRUE(tensor::ParseComputePath("avx512", &path, &isa));
+  EXPECT_EQ(path, tensor::ComputePath::kGemm);
+  EXPECT_EQ(isa, tensor::GemmIsa::kAvx512);
+
+  EXPECT_TRUE(tensor::ParseComputePath("int8", &path, &isa));
+  EXPECT_EQ(path, tensor::ComputePath::kInt8);
+  EXPECT_EQ(isa, tensor::GemmIsa::kAuto);
+
+  // Unparseable values return false and leave the outputs untouched.
+  path = tensor::ComputePath::kGemm;
+  isa = tensor::GemmIsa::kAvx2;
+  EXPECT_FALSE(tensor::ParseComputePath("turbo", &path, &isa));
+  EXPECT_FALSE(tensor::ParseComputePath("", &path, &isa));
+  EXPECT_FALSE(tensor::ParseComputePath(nullptr, &path, &isa));
+  EXPECT_EQ(path, tensor::ComputePath::kGemm);
+  EXPECT_EQ(isa, tensor::GemmIsa::kAvx2);
+}
+
+// ---- Int8 quantized path ---------------------------------------------------
+
+float MaxAbs(const tensor::Tensor& t) {
+  float m = 0.0f;
+  for (size_t i = 0; i < t.size(); ++i) m = std::max(m, std::fabs(t[i]));
+  return m;
+}
+
+tensor::ComputeContext Int8Ctx(common::ThreadPool* pool = nullptr) {
+  tensor::ComputeContext ctx;
+  ctx.pool = pool;
+  ctx.path = tensor::ComputePath::kInt8;
+  return ctx;
+}
+
+// Per-operand round-trip error is at most half a quantization step.
+TEST(Int8GemmTest, QuantizeDequantizeWithinHalfStep) {
+  common::Rng rng(61);
+  tensor::Tensor t = RandomTensor({17, 53}, &rng);
+  const float scale = tensor::QuantScale(t);
+  ASSERT_GT(scale, 0.0f);
+  EXPECT_LE(tensor::MaxAbsDiff(tensor::QuantizeDequantize(t), t),
+            0.5f * scale + 1e-7f);
+
+  tensor::Tensor zeros({4, 4});
+  EXPECT_EQ(tensor::QuantScale(zeros), 0.0f);
+  EXPECT_EQ(MaxAbs(tensor::QuantizeDequantize(zeros)), 0.0f);
+}
+
+// Int8 MatMul output stays within the a-priori error bound documented in
+// tensor_ops.h: ~0.0079 * k * Amax * Bmax per element.
+TEST(Int8GemmTest, MatMulWithinDocumentedErrorBound) {
+  common::Rng rng(67);
+  tensor::ComputeContext ref = ReferenceCtx();
+  tensor::ComputeContext int8 = Int8Ctx();
+  const int shapes[][3] = {{1, 1, 1},   {5, 33, 7},   {8, 96, 147},
+                           {17, 50, 64}, {33, 129, 65}, {64, 64, 333}};
+  for (const auto& s : shapes) {
+    const int m = s[0], n = s[1], k = s[2];
+    tensor::Tensor a = RandomTensor({m, k}, &rng);
+    tensor::Tensor b = RandomTensor({k, n}, &rng);
+    const float bound = 0.0079f * k * MaxAbs(a) * MaxAbs(b);
+    EXPECT_LE(tensor::MaxAbsDiff(tensor::MatMul(a, b, &int8),
+                                 tensor::MatMul(a, b, &ref)),
+              bound)
+        << "int8 MatMul " << m << "x" << k << "x" << n;
+    tensor::Tensor bt = RandomTensor({n, k}, &rng);
+    const float bound_t = 0.0079f * k * MaxAbs(a) * MaxAbs(bt);
+    EXPECT_LE(tensor::MaxAbsDiff(tensor::MatMulTransposedB(a, bt, &int8),
+                                 tensor::MatMulTransposedB(a, bt, &ref)),
+              bound_t)
+        << "int8 trans_b " << m << "x" << k << "x" << n;
+  }
+}
+
+// Integer accumulation is associative, so int8 results are bit-identical
+// across ISA tiers AND thread counts — a stronger contract than fp32's
+// (which only promises bit-identity within one tier).
+TEST(Int8GemmTest, BitIdenticalAcrossTiersAndThreadCounts) {
+  common::Rng rng(71);
+  const int m = 23, n = 167, k = 149;
+  tensor::Tensor a = RandomTensor({m, k}, &rng);
+  tensor::Tensor b = RandomTensor({k, n}, &rng);
+  tensor::ComputeContext serial = Int8Ctx();
+  serial.isa = tensor::GemmIsa::kScalar;
+  tensor::Tensor base = tensor::MatMul(a, b, &serial);
+  for (tensor::GemmIsa tier : SupportedTiers()) {
+    for (int threads : {0, 2, 4}) {
+      std::unique_ptr<common::ThreadPool> pool;
+      if (threads > 0) pool = std::make_unique<common::ThreadPool>(threads);
+      tensor::ComputeContext ctx = Int8Ctx(pool.get());
+      ctx.isa = tier;
+      EXPECT_EQ(tensor::MaxAbsDiff(tensor::MatMul(a, b, &ctx), base), 0.0f)
+          << tensor::GemmIsaName(tier) << " " << threads << " threads";
+    }
+  }
+}
+
+// MatMulTransposedA is a backward-pass shape: kInt8 must silently fall back
+// to fp32 there (gradients are never quantized), so it matches kGemm
+// bit-exactly, not merely within the quantization bound.
+TEST(Int8GemmTest, TransposedANeverQuantizes) {
+  common::Rng rng(73);
+  tensor::Tensor at = RandomTensor({37, 19}, &rng);
+  tensor::Tensor b = RandomTensor({37, 41}, &rng);
+  tensor::ComputeContext int8 = Int8Ctx();
+  tensor::ComputeContext gemm = GemmCtx();
+  EXPECT_EQ(tensor::MaxAbsDiff(tensor::MatMulTransposedA(at, b, &int8),
+                               tensor::MatMulTransposedA(at, b, &gemm)),
+            0.0f);
+}
+
+// ---- Batch-level parallelism -----------------------------------------------
+
+// The outer/inner split policy is a pure function of shape and pool size.
+TEST(BatchSplitTest, PolicyGuards) {
+  const size_t big = size_t{1} << 20;   // below the outer-preferred knee
+  const size_t huge = size_t{1} << 25;  // above it: few huge images go inner
+  common::ThreadPool pool(4);
+  tensor::ComputeContext ctx = GemmCtx(&pool);
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 8, big), 4);   // n >= threads: outer
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 2, big), 2);   // small images: outer
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 2, huge), 1);  // few huge images: inner
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 1, big), 1);   // single image
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 8, 16), 1);    // trivial total work
+  ctx.batch_split = false;
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 8, big), 1);   // knob off
+  ctx.batch_split = true;
+  ctx.pool = nullptr;
+  EXPECT_EQ(nn::BatchSplitTasks(ctx, 8, big), 1);   // serial context
+
+  // Range partition covers [0, n) exactly, in order.
+  int covered = 0;
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(nn::BatchSplitBegin(10, 3, t), covered);
+    covered = nn::BatchSplitEnd(10, 3, t);
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+// From inside a pool worker the policy must refuse to split (the nested
+// ParallelFor would run inline and serialize everything anyway).
+TEST(BatchSplitTest, NeverSplitsFromWorkerThread) {
+  common::ThreadPool pool(4);
+  tensor::ComputeContext ctx = GemmCtx(&pool);
+  int tasks_inside = -1;
+  common::ParallelFor(&pool, 1, [&](int) {
+    tasks_inside = nn::BatchSplitTasks(ctx, 8, size_t{1} << 20);
+  });
+  EXPECT_EQ(tasks_inside, 1);
+}
+
+// Nested-ParallelFor regression: a batched conv whose outer split dispatches
+// per-image work onto the pool — where each inner GEMM hits the
+// ParallelFor-inline guard — must produce bit-identical results (forward,
+// input grads, weight/bias grads) to the fully serial run and to the
+// intra-GEMM-only run.
+template <typename Conv>
+void ExpectBatchSplitBitIdentical(typename Conv::Options opts, int ci, int co,
+                                  const tensor::Tensor& x) {
+  common::Rng rng(79);
+  Conv layer(ci, co, opts, &rng);
+
+  tensor::ComputeContext serial = GemmCtx();
+  layer.SetComputeContext(&serial);
+  tensor::Tensor y_base = layer.Forward(x, /*train=*/true);
+  tensor::Tensor ones(y_base.shape(), 1.0f);
+  nn::ZeroGrads(layer.Parameters());
+  tensor::Tensor dx_base = layer.Backward(ones);
+  std::vector<tensor::Tensor> grads_base;
+  for (nn::Parameter* p : layer.Parameters()) grads_base.push_back(p->grad);
+
+  for (bool batch_split : {true, false}) {
+    for (int threads : {2, 4, 8}) {
+      common::ThreadPool pool(threads);
+      tensor::ComputeContext par = GemmCtx(&pool);
+      par.batch_split = batch_split;
+      layer.SetComputeContext(&par);
+      const std::string what = std::string(batch_split ? "outer" : "inner") +
+                               " split, " + std::to_string(threads) +
+                               " threads";
+      EXPECT_EQ(tensor::MaxAbsDiff(layer.Forward(x, /*train=*/true), y_base),
+                0.0f)
+          << what << " forward";
+      nn::ZeroGrads(layer.Parameters());
+      EXPECT_EQ(tensor::MaxAbsDiff(layer.Backward(ones), dx_base), 0.0f)
+          << what << " grad input";
+      auto params = layer.Parameters();
+      for (size_t i = 0; i < params.size(); ++i) {
+        EXPECT_EQ(tensor::MaxAbsDiff(params[i]->grad, grads_base[i]), 0.0f)
+            << what << " param grad " << i;
+      }
+    }
+  }
+}
+
+TEST(BatchSplitTest, Conv2dBatchedBitIdenticalVsSerial) {
+  common::Rng rng(83);
+  nn::Conv2d::Options opts;
+  opts.kernel = {3, 3};
+  opts.stride = {1, 2};
+  opts.padding = {1, 1};
+  ExpectBatchSplitBitIdentical<nn::Conv2d>(opts, 2, 5,
+                                           RandomTensor({6, 2, 11, 13}, &rng));
+}
+
+TEST(BatchSplitTest, Conv3dBatchedBitIdenticalVsSerial) {
+  common::Rng rng(89);
+  nn::Conv3d::Options opts;
+  opts.kernel = {3, 3, 3};
+  opts.stride = {1, 2, 2};
+  opts.padding = {1, 1, 1};
+  ExpectBatchSplitBitIdentical<nn::Conv3d>(
+      opts, 1, 6, RandomTensor({6, 1, 5, 12, 10}, &rng));
 }
 
 // Conv forward through the GEMM path must also be bit-identical across

@@ -11,16 +11,34 @@ Used by the CI bench-smoke job (see docs/CI.md for the schema):
   bench_regress.py check --current BENCH_PR.json \
       --baseline bench/baseline.json --tolerance 0.25
 
+  # Same, with per-metric gate/tolerance overrides (bench/gate_overrides.json):
+  bench_regress.py check --current BENCH_PR.json \
+      --baseline bench/baseline.json --overrides bench/gate_overrides.json
+
 Metric direction is inferred from the name: metrics ending in _seconds,
 _ns, _ms or named real_time/cpu_time are lower-is-better; everything else
 (fps, gflops, queries_per_sec, f1, items_per_second) is higher-is-better.
 Count-like metrics (planner_runs, clients_served, invocations) are
 informational and never gated, and so are the serving layer's
-self-observation metrics (peak_queue_depth, *_p95_seconds percentiles,
-and the autoscaler's resizes / final_shards): queue depth, tail latency
-and resize counts depend on scheduler noise and on what the autoscaling
-policy chose to do, not on code getting slower — they are a trail, not a
-gate.
+self-observation metrics (peak_queue_depth, the *_p50/_p95/_p99_seconds
+percentiles, and the autoscaler's resizes / final_shards): queue depth,
+tail latency and resize counts depend on scheduler noise and on what the
+autoscaling policy chose to do, not on code getting slower — they are a
+trail, not a gate, BY DEFAULT.
+
+The overrides file opts specific metrics back in (or out), with their own
+tolerance — that is how the substrate tail-latency p95 records gate
+strictly while the serving-layer percentiles stay informational. Schema:
+
+  {"overrides": [
+     {"pattern": "<fnmatch over the folded metric name>",
+      "gate": true|false,          # optional: force gated / informational
+      "tolerance": 0.5},           # optional: per-metric tolerance
+     ...]}
+
+Every override whose pattern matches a metric applies in file order, so
+the LAST matching entry wins per field (a broad opt-in can be narrowed by
+a later, more specific opt-out).
 
 A record's optional "context" object (workload dimensions, e.g.
 {"num_shards": 2} for the sharded serving bench) is folded into the metric
@@ -31,6 +49,7 @@ Python.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -41,10 +60,13 @@ LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_ns", "_ms", "real_time", "cpu_time")
 # spike twice. The serving self-observation metrics (queue depth high-water
 # marks, latency percentiles, autoscaler resize counts / final shard
 # counts) are likewise informational: they record what the serving layer
-# observed and decided, not a pass/fail perf property.
+# observed and decided, not a pass/fail perf property. Percentile metrics
+# (_p50/_p95/_p99_seconds) default to informational too; the overrides
+# file opts chosen ones back in with a tolerance sized to their noise.
 UNGATED = ("planner_runs", "clients_served", "invocations", "iterations",
            "queries_per_sec", "real_time", "cpu_time",
-           "peak_queue_depth", "_p95_seconds", "resizes", "final_shards")
+           "peak_queue_depth", "_p50_seconds", "_p95_seconds",
+           "_p99_seconds", "resizes", "final_shards")
 
 
 def lower_is_better(metric):
@@ -53,6 +75,34 @@ def lower_is_better(metric):
 
 def gated(metric):
     return not any(metric.endswith(u) for u in UNGATED)
+
+
+def load_overrides(path):
+    """bench/gate_overrides.json -> list of {pattern, gate?, tolerance?}."""
+    with open(path) as f:
+        doc = json.load(f)
+    overrides = doc.get("overrides", [])
+    for o in overrides:
+        if "pattern" not in o:
+            raise ValueError("override entry missing 'pattern': %r" % (o,))
+    return overrides
+
+
+def effective_policy(name, default_tolerance, overrides):
+    """(gated, tolerance) for one metric after applying overrides.
+
+    Overrides apply in file order, so the last matching entry wins per
+    field; entries that omit a field leave it unchanged.
+    """
+    is_gated = gated(name)
+    tolerance = default_tolerance
+    for o in overrides:
+        if fnmatch.fnmatchcase(name, o["pattern"]):
+            if "gate" in o:
+                is_gated = bool(o["gate"])
+            if "tolerance" in o:
+                tolerance = float(o["tolerance"])
+    return is_gated, tolerance
 
 
 def format_context(context):
@@ -118,14 +168,17 @@ def cmd_check(args):
         current = json.load(f)["metrics"]
     with open(args.baseline) as f:
         baseline = json.load(f)["metrics"]
+    overrides = (load_overrides(args.overrides)
+                 if getattr(args, "overrides", None) else [])
 
     regressions = []
     print("%-72s %12s %12s %8s" % ("metric", "baseline", "current", "delta"))
     for name in sorted(baseline):
         base = baseline[name]
         cur = current.get(name)
+        is_gated, tolerance = effective_policy(name, args.tolerance, overrides)
         if cur is None:
-            if gated(name):
+            if is_gated:
                 regressions.append("%s: missing from current run" % name)
             else:
                 print("%-72s %12.4g %12s     missing (informational)"
@@ -138,12 +191,12 @@ def cmd_check(args):
         else:
             delta = (base - cur) / base  # positive = less = worse
         flag = ""
-        if gated(name) and delta > args.tolerance:
+        if is_gated and delta > tolerance:
             flag = "  << REGRESSION"
             regressions.append(
                 "%s: %.4g -> %.4g (%.0f%% worse, tolerance %.0f%%)"
-                % (name, base, cur, 100 * delta, 100 * args.tolerance))
-        elif not gated(name):
+                % (name, base, cur, 100 * delta, 100 * tolerance))
+        elif not is_gated:
             flag = "  (informational)"
         print("%-72s %12.4g %12.4g %+7.1f%%%s"
               % (name, base, cur, 100 * delta, flag))
@@ -176,6 +229,9 @@ def main():
     check.add_argument("--current", required=True)
     check.add_argument("--baseline", required=True)
     check.add_argument("--tolerance", type=float, default=0.25)
+    check.add_argument("--overrides", default=None,
+                       help="per-metric gate/tolerance overrides JSON "
+                            "(see module docstring)")
     check.set_defaults(func=cmd_check)
 
     args = parser.parse_args()

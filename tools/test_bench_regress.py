@@ -28,20 +28,29 @@ def write_json(directory, name, doc):
     return path
 
 
-class CheckTest(unittest.TestCase):
+class CheckHarness(unittest.TestCase):
+    """Shared tmpdir + cmd_check driver for the gate-behavior tests."""
+
     def setUp(self):
         self.tmp = tempfile.TemporaryDirectory()
         self.addCleanup(self.tmp.cleanup)
 
-    def run_check(self, baseline, current, tolerance=0.25):
+    def run_check(self, baseline, current, tolerance=0.25, overrides=None):
+        overrides_path = None
+        if overrides is not None:
+            overrides_path = write_json(self.tmp.name, "overrides.json",
+                                        {"overrides": overrides})
         args = argparse.Namespace(
             current=write_json(self.tmp.name, "current.json",
                                {"metrics": current}),
             baseline=write_json(self.tmp.name, "baseline.json",
                                 {"metrics": baseline}),
-            tolerance=tolerance)
+            tolerance=tolerance,
+            overrides=overrides_path)
         return bench_regress.cmd_check(args)
 
+
+class CheckTest(CheckHarness):
     def test_identical_metrics_pass(self):
         metrics = {"fig8/q/wall_seconds": 10.0, "fig8/q/queries_per_sec": 1.2}
         self.assertEqual(self.run_check(metrics, dict(metrics)), 0)
@@ -120,6 +129,103 @@ class CheckTest(unittest.TestCase):
         # Plain wall-clock stays gated: the new suffixes must not blanket
         # every *_seconds metric.
         self.assertTrue(bench_regress.gated("fig8/q/wall_seconds"))
+
+
+TAIL = ("bench_micro_substrate/tail/conv3d_stem/gemm"
+        "[batch_size=8,compute_path=1,threads=1]/forward_p95_seconds")
+
+
+class OverridesTest(CheckHarness):
+    """Per-metric gate/tolerance overrides (bench/gate_overrides.json)."""
+
+    def test_percentiles_informational_without_overrides(self):
+        # p50/p95/p99 metrics never gate by default — any drift passes.
+        baseline = {TAIL: 0.001,
+                    TAIL.replace("_p95_", "_p50_"): 0.001,
+                    TAIL.replace("_p95_", "_p99_"): 0.001}
+        current = {k: 100.0 for k in baseline}
+        self.assertEqual(self.run_check(baseline, current), 0)
+        for name in baseline:
+            self.assertFalse(bench_regress.gated(name), name)
+
+    def test_override_gates_p95_strictly(self):
+        # The shipped overrides opt the substrate tail p95 in: past its
+        # tolerance the check fails even though the suffix is UNGATED.
+        overrides = [{"pattern": "*/forward_p95_seconds",
+                      "gate": True, "tolerance": 0.5}]
+        baseline = {TAIL: 0.001}
+        self.assertEqual(
+            self.run_check(baseline, {TAIL: 0.0016}, overrides=overrides), 1)
+        # Within the override's own tolerance it still passes.
+        self.assertEqual(
+            self.run_check(baseline, {TAIL: 0.0014}, overrides=overrides), 0)
+
+    def test_overridden_gated_metric_missing_fails(self):
+        # Once opted in, a vanished measurement is a regression, exactly
+        # like any other gated metric.
+        overrides = [{"pattern": "*/forward_p95_seconds", "gate": True}]
+        self.assertEqual(
+            self.run_check({TAIL: 0.001}, {}, overrides=overrides), 1)
+
+    def test_override_can_relax_gate(self):
+        # gate: false turns a normally-gated metric informational.
+        overrides = [{"pattern": "*/wall_seconds", "gate": False}]
+        baseline = {"fig8/q/wall_seconds": 10.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 500.0},
+                           overrides=overrides), 0)
+
+    def test_override_tolerance_only(self):
+        # An entry with only a tolerance keeps the default gate decision.
+        overrides = [{"pattern": "*/wall_seconds", "tolerance": 2.0}]
+        baseline = {"fig8/q/wall_seconds": 10.0}
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 25.0},
+                           overrides=overrides), 0)
+        self.assertEqual(
+            self.run_check(baseline, {"fig8/q/wall_seconds": 35.0},
+                           overrides=overrides), 1)
+
+    def test_last_matching_override_wins(self):
+        # A broad opt-in narrowed by a later, more specific opt-out.
+        overrides = [
+            {"pattern": "*_p95_seconds", "gate": True, "tolerance": 0.5},
+            {"pattern": "*r3d_forward*", "gate": False},
+        ]
+        r3d = TAIL.replace("conv3d_stem", "r3d_forward")
+        baseline = {TAIL: 0.001, r3d: 0.001}
+        # conv3d stays gated (fails), r3d was opted back out (passes alone).
+        self.assertEqual(
+            self.run_check(baseline, {TAIL: 0.01, r3d: 0.01},
+                           overrides=overrides), 1)
+        self.assertEqual(
+            self.run_check({r3d: 0.001}, {r3d: 0.01}, overrides=overrides), 0)
+
+    def test_effective_policy_fields_compose(self):
+        overrides = [
+            {"pattern": "*_p95_seconds", "gate": True},
+            {"pattern": "*_p95_seconds", "tolerance": 0.75},
+        ]
+        is_gated, tol = bench_regress.effective_policy(TAIL, 0.25, overrides)
+        self.assertTrue(is_gated)
+        self.assertEqual(tol, 0.75)
+
+    def test_missing_pattern_key_rejected(self):
+        path = write_json(self.tmp.name, "bad.json",
+                          {"overrides": [{"gate": True}]})
+        with self.assertRaises(ValueError):
+            bench_regress.load_overrides(path)
+
+    def test_shipped_overrides_file_parses_and_matches(self):
+        # The checked-in bench/gate_overrides.json must parse and actually
+        # opt in the substrate tail p95 records it claims to gate.
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        shipped = os.path.join(repo, "bench", "gate_overrides.json")
+        overrides = bench_regress.load_overrides(shipped)
+        self.assertTrue(overrides)
+        is_gated, tol = bench_regress.effective_policy(TAIL, 0.25, overrides)
+        self.assertTrue(is_gated)
+        self.assertGreater(tol, 0.25)
 
 
 class ContextTest(unittest.TestCase):
