@@ -85,6 +85,12 @@ void PrintResult(const zeus::engine::QueryResult& r) {
   std::printf("%zu segment(s), F1=%.3f, %.0f fps  [executor: %s]\n",
               r.segments.size(), r.metrics.f1, r.throughput_fps,
               r.executor.c_str());
+  // The certain-answer contract: a degraded answer is still correct for
+  // the data the serving replica holds, but the replica group is mid
+  // catch-up — say so instead of silently presenting it as final.
+  if (r.consistency == zeus::engine::Consistency::kDegraded) {
+    std::printf("  [degraded: %s]\n", r.divergence.c_str());
+  }
   for (const auto& seg : r.segments) {
     std::printf("  video %-4d [%5d, %5d)\n", seg.video_id, seg.start, seg.end);
   }
@@ -106,6 +112,14 @@ void RunRemoteQuery(zeus::cluster::RemoteShard& client,
                 " re-homed\n",
                 s.num_shards, static_cast<long long>(s.failovers),
                 static_cast<long long>(s.rehomed_datasets));
+    std::printf("replication: factor %d, %lld replica(s) behind, %lld read "
+                "failover(s), %lld plan resync(s)\n",
+                s.replication, static_cast<long long>(s.replicas_behind),
+                static_cast<long long>(s.read_failovers),
+                static_cast<long long>(s.plan_resyncs));
+    std::printf("answers: %lld certain, %lld degraded\n",
+                static_cast<long long>(s.certain_answers),
+                static_cast<long long>(s.degraded_answers));
     std::printf("queries: completed=%ld failed=%ld cancelled=%ld "
                 "planner_runs=%ld cache_hits=%ld disk_loads=%ld\n",
                 s.stats.completed, s.stats.failed, s.stats.cancelled,

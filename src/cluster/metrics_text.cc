@@ -85,6 +85,44 @@ std::string PrometheusText(const engine::GroupStats& stats,
   Gauge(&out, "zeus_cluster_dead_shards", "Shards currently marked dead.",
         health.dead_shards);
 
+  // Replication / certain-answer contract.
+  Counter(&out, "zeus_certain_answers_total",
+          "Answers served kCertain (replica epoch matched committed).",
+          health.certain_answers);
+  Counter(&out, "zeus_degraded_answers_total",
+          "Answers served kDegraded (inside a divergence window).",
+          health.degraded_answers);
+  Counter(&out, "zeus_cluster_read_failovers_total",
+          "Reads served by a non-primary replica.", health.read_failovers);
+  Counter(&out, "zeus_cluster_plan_resyncs_total",
+          "Plan-catalog syncs (kSyncPlans) applied to replicas.",
+          health.plan_resyncs);
+  Gauge(&out, "zeus_cluster_replication_factor",
+        "Configured replicas per dataset.", health.replication);
+  Gauge(&out, "zeus_cluster_replicas_behind",
+        "Live target replicas below their group's committed epoch.",
+        health.replicas_behind);
+  Preamble(&out, "zeus_dataset_primary_shard", "gauge",
+           "Current primary (ring owner) shard id, by dataset.");
+  for (const auto& p : health.placements) {
+    out.append(common::Format("zeus_dataset_primary_shard{dataset=\"%s\"} %d\n",
+                              p.dataset.c_str(), p.primary));
+  }
+  Preamble(&out, "zeus_dataset_live_replicas", "gauge",
+           "Live replicas currently holding the dataset.");
+  for (const auto& p : health.placements) {
+    out.append(common::Format("zeus_dataset_live_replicas{dataset=\"%s\"} %d\n",
+                              p.dataset.c_str(), p.replicas));
+  }
+  Preamble(&out, "zeus_dataset_committed_epoch", "gauge",
+           "Replica group's committed plan/dataset epoch, by dataset.");
+  for (const auto& p : health.placements) {
+    out.append(common::Format(
+        "zeus_dataset_committed_epoch{dataset=\"%s\"} %llu\n",
+        p.dataset.c_str(),
+        static_cast<unsigned long long>(p.committed_epoch)));
+  }
+
   // Latency histograms (seconds; bucket bounds are the registry's fixed
   // 1µs * 2^i grid, so scrapes from different shards always merge).
   Histogram(&out, "zeus_queue_wait_seconds",

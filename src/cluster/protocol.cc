@@ -9,6 +9,8 @@ constexpr int kMaxStatusCode =
     static_cast<int>(common::StatusCode::kUnavailable);
 constexpr int kMaxQueryState =
     static_cast<int>(engine::QueryState::kCancelled);
+constexpr int kMaxConsistency =
+    static_cast<int>(engine::Consistency::kDegraded);
 
 void EncodeHist(net::WireWriter* w, const engine::HistogramStats& h) {
   w->I64(h.count);
@@ -90,6 +92,7 @@ std::string EncodeDatasetSpec(const DatasetSpec& spec) {
   w.U32(spec.frames_per_video);
   w.U32(spec.native_resolution);
   w.U8(spec.warm_plans ? 1 : 0);
+  w.U64(spec.epoch);
   return w.Take();
 }
 
@@ -98,7 +101,8 @@ bool DecodeDatasetSpec(const std::string& payload, DatasetSpec* out) {
   uint8_t family = 0, warm = 0;
   if (!r.Str(&out->name) || !r.U8(&family) || !r.U64(&out->seed) ||
       !r.U32(&out->num_videos) || !r.U32(&out->frames_per_video) ||
-      !r.U32(&out->native_resolution) || !r.U8(&warm)) {
+      !r.U32(&out->native_resolution) || !r.U8(&warm) ||
+      !r.U64(&out->epoch)) {
     return false;
   }
   if (out->name.empty() || family > kMaxFamily) return false;
@@ -144,6 +148,9 @@ std::string EncodeQueryResult(const engine::QueryResult& result) {
   w.F64(result.plan_seconds);
   w.Str(result.executor);
   w.Str(result.explanation);
+  w.U8(static_cast<uint8_t>(result.consistency));
+  w.Str(result.divergence);
+  w.U64(result.epoch);
   return w.Take();
 }
 
@@ -169,6 +176,58 @@ bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out) {
       !r.Str(&out->explanation)) {
     return false;
   }
+  uint8_t consistency = 0;
+  if (!r.U8(&consistency) || !r.Str(&out->divergence) || !r.U64(&out->epoch)) {
+    return false;
+  }
+  if (consistency > kMaxConsistency) return false;
+  out->consistency = static_cast<engine::Consistency>(consistency);
+  // kCertain carries no divergence reason by contract.
+  if (out->consistency == engine::Consistency::kCertain &&
+      !out->divergence.empty()) {
+    return false;
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeSyncPlans(const SyncPlansRequest& req) {
+  net::WireWriter w;
+  w.Str(req.name);
+  w.U64(req.epoch);
+  return w.Take();
+}
+
+bool DecodeSyncPlans(const std::string& payload, SyncPlansRequest* out) {
+  net::WireReader r(payload);
+  return r.Str(&out->name) && !out->name.empty() && r.U64(&out->epoch) &&
+         r.AtEnd();
+}
+
+std::string EncodeSyncReply(const SyncReply& reply) {
+  net::WireWriter w;
+  w.U64(reply.plans_warmed);
+  w.U64(reply.epoch);
+  return w.Take();
+}
+
+bool DecodeSyncReply(const std::string& payload, SyncReply* out) {
+  net::WireReader r(payload);
+  return r.U64(&out->plans_warmed) && r.U64(&out->epoch) && r.AtEnd();
+}
+
+std::string EncodeEpochReply(const EpochReply& reply) {
+  net::WireWriter w;
+  w.U64(reply.epoch);
+  w.U8(reply.has_dataset ? 1 : 0);
+  return w.Take();
+}
+
+bool DecodeEpochReply(const std::string& payload, EpochReply* out) {
+  net::WireReader r(payload);
+  uint8_t has = 0;
+  if (!r.U64(&out->epoch) || !r.U8(&has)) return false;
+  if (has > 1) return false;
+  out->has_dataset = has != 0;
   return r.AtEnd();
 }
 
@@ -193,6 +252,12 @@ std::string EncodeStatsReply(const StatsReply& reply) {
   w.I64(reply.failovers);
   w.I64(reply.rehomed_datasets);
   w.I64(reply.dead_shards);
+  w.I32(reply.replication);
+  w.I64(reply.replicas_behind);
+  w.I64(reply.read_failovers);
+  w.I64(reply.certain_answers);
+  w.I64(reply.degraded_answers);
+  w.I64(reply.plan_resyncs);
   return w.Take();
 }
 
@@ -221,6 +286,11 @@ bool DecodeStatsReply(const std::string& payload, StatsReply* out) {
   }
   if (!r.I32(&out->num_shards) || !r.I64(&out->failovers) ||
       !r.I64(&out->rehomed_datasets) || !r.I64(&out->dead_shards)) {
+    return false;
+  }
+  if (!r.I32(&out->replication) || !r.I64(&out->replicas_behind) ||
+      !r.I64(&out->read_failovers) || !r.I64(&out->certain_answers) ||
+      !r.I64(&out->degraded_answers) || !r.I64(&out->plan_resyncs)) {
     return false;
   }
   return r.AtEnd();

@@ -34,6 +34,10 @@ struct DatasetSpec {
   uint32_t frames_per_video = 0;
   uint32_t native_resolution = 0;
   bool warm_plans = true;
+  // Replica-group epoch this registration brings the shard up to (the
+  // certain-answer contract below). 0 from clients that don't replicate;
+  // the router stamps the group's epoch when fanning to replicas.
+  uint64_t epoch = 0;
 };
 
 // The profile a spec resolves to (family defaults + overrides).
@@ -57,8 +61,49 @@ bool DecodeExecRequest(const std::string& payload, ExecRequest* out);
 // already knows what it asked; re-encoding the parse tree buys nothing).
 // Segments and metric counts are integers, latencies doubles carried
 // bit-exactly — the bit-identity tests compare through this round trip.
+//
+// The certain-answer contract rides along: every result carries a
+// `consistency` annotation plus the serving shard's applied epoch. The
+// router compares that epoch against the replica group's committed epoch
+// and marks the answer kCertain on match or kDegraded (with `divergence`
+// naming the lagging shard and epochs) while a re-home or replica
+// catch-up is mid-flight. A result is NEVER silently stale: either every
+// live replica would have produced the same bytes (kCertain) or the
+// divergence window is declared on the result itself.
 std::string EncodeQueryResult(const engine::QueryResult& result);
 bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out);
+
+// ---- Replication maintenance ----------------------------------------------
+
+// kSyncPlans: router -> replica after a plan trains anywhere in the group
+// (or when repair finds a replica behind). The shard re-reads the dataset's
+// persisted plans from the shared catalog and advances its applied epoch to
+// max(current, epoch) — idempotent, so it retries safely and converges.
+struct SyncPlansRequest {
+  std::string name;
+  uint64_t epoch = 0;
+};
+std::string EncodeSyncPlans(const SyncPlansRequest& req);
+bool DecodeSyncPlans(const std::string& payload, SyncPlansRequest* out);
+
+// kSyncReply: how many plans the sync warmed and the shard's applied epoch
+// after the bump.
+struct SyncReply {
+  uint64_t plans_warmed = 0;
+  uint64_t epoch = 0;
+};
+std::string EncodeSyncReply(const SyncReply& reply);
+bool DecodeSyncReply(const std::string& payload, SyncReply* out);
+
+// kEpochReply: a shard's applied epoch for one dataset (kEpochQuery carries
+// just the name, via EncodeName). has_dataset false => epoch is 0 and the
+// shard holds no replica — the probe is total, never an error.
+struct EpochReply {
+  uint64_t epoch = 0;
+  bool has_dataset = false;
+};
+std::string EncodeEpochReply(const EpochReply& reply);
+bool DecodeEpochReply(const std::string& payload, EpochReply* out);
 
 // ---- Stats / health --------------------------------------------------------
 
@@ -72,6 +117,14 @@ struct StatsReply {
   int64_t failovers = 0;
   int64_t rehomed_datasets = 0;
   int64_t dead_shards = 0;
+  // Replication / certain-answer fields (router only; shardd leaves the
+  // defaults: replication 1, everything else 0).
+  int32_t replication = 1;
+  int64_t replicas_behind = 0;   // (dataset, shard) pairs below committed
+  int64_t read_failovers = 0;    // reads served by a non-primary replica
+  int64_t certain_answers = 0;
+  int64_t degraded_answers = 0;
+  int64_t plan_resyncs = 0;      // kSyncPlans fan-outs that landed
 };
 
 std::string EncodeStatsReply(const StatsReply& reply);

@@ -244,6 +244,32 @@ common::Result<uint64_t> RemoteShard::RegisterDataset(const DatasetSpec& spec,
   return warmed;
 }
 
+common::Result<SyncReply> RemoteShard::SyncPlans(const std::string& name,
+                                                 uint64_t epoch,
+                                                 int deadline_ms) {
+  SyncPlansRequest req{name, epoch};
+  auto resp = Call(net::FrameType::kSyncPlans, EncodeSyncPlans(req),
+                   net::FrameType::kSyncReply, Deadline(deadline_ms));
+  if (!resp.ok()) return resp.status();
+  SyncReply reply;
+  if (!DecodeSyncReply(resp.value().payload, &reply)) {
+    return common::Status::Unavailable("malformed sync reply");
+  }
+  return reply;
+}
+
+common::Result<EpochReply> RemoteShard::EpochOf(const std::string& name,
+                                                int deadline_ms) {
+  auto resp = Call(net::FrameType::kEpochQuery, EncodeName(name),
+                   net::FrameType::kEpochReply, Deadline(deadline_ms));
+  if (!resp.ok()) return resp.status();
+  EpochReply reply;
+  if (!DecodeEpochReply(resp.value().payload, &reply)) {
+    return common::Status::Unavailable("malformed epoch reply");
+  }
+  return reply;
+}
+
 common::Status RemoteShard::RemoveDataset(const std::string& name,
                                           int deadline_ms) {
   auto resp = Call(net::FrameType::kRemoveDataset, EncodeName(name),

@@ -92,6 +92,16 @@ class RemoteShard {
                                            int deadline_ms = 0);
   common::Status RemoveDataset(const std::string& name, int deadline_ms = 0);
 
+  // Replication maintenance. SyncPlans asks the shard to re-warm `name`'s
+  // plans from the shared catalog and advance its applied epoch to at least
+  // `epoch` (NotFound if the shard holds no replica — the router falls back
+  // to a full RegisterDataset). EpochOf probes the shard's applied epoch.
+  // Both are idempotent on the wire.
+  common::Result<SyncReply> SyncPlans(const std::string& name, uint64_t epoch,
+                                      int deadline_ms = 0);
+  common::Result<EpochReply> EpochOf(const std::string& name,
+                                     int deadline_ms = 0);
+
   // Drops every pooled connection; the next call redials. The router uses
   // this when a shard comes back suspect — stale sockets to a dead peer
   // must not linger under fresh attempts.

@@ -90,6 +90,8 @@ common::Status Router::Start() {
     shards_.push_back(std::move(state));
   }
   alive_count_ = static_cast<int>(shards_.size());
+  opts_.replication = std::max(
+      1, std::min(opts_.replication, static_cast<int>(shards_.size())));
   RebuildRingLocked();  // no threads yet; the "Locked" contract is vacuous
 
   ZEUS_RETURN_IF_ERROR(listener_.Listen(opts_.host, opts_.port));
@@ -136,55 +138,318 @@ void Router::RebuildRingLocked() {
               : std::make_unique<engine::ShardRing>(alive_ids);
 }
 
-common::Result<int> Router::RouteLocked(const std::string& dataset) const {
-  if (alive_count_ == 0 || ring_ == nullptr) {
-    return common::Status::Unavailable("no alive shards");
+std::vector<int> Router::CandidatesLocked(const std::string& dataset) const {
+  std::vector<int> out;
+  if (alive_count_ == 0 || ring_ == nullptr) return out;
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    out.push_back(ring_->ShardFor(dataset));
+    return out;
   }
-  if (moving_.count(dataset) > 0) {
-    return common::Status::Unavailable("dataset '" + dataset +
-                                       "' is re-homing; retry");
+  const auto& holders = it->second.replica_epochs;
+  // Ring order: primary first, then successors — the stable preference
+  // that keeps each dataset's plan cache hot on one shard.
+  for (int id : ring_->ShardsFor(dataset, opts_.replication)) {
+    if (holders.count(id) > 0 && shards_[id].alive) out.push_back(id);
   }
-  return ring_->ShardFor(dataset);
-}
-
-common::Result<int> Router::Route(const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  return RouteLocked(dataset);
+  // Holders outside the current target set (placement drifted after a
+  // membership change, repair not landed yet) still serve correct reads.
+  for (const auto& [id, epoch] : holders) {
+    (void)epoch;
+    if (shards_[id].alive &&
+        std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
 }
 
 common::Result<uint64_t> Router::RegisterDataset(const DatasetSpec& spec) {
-  auto home = Route(spec.name);
-  if (!home.ok()) return home.status();
-  auto reg = shards_[home.value()].client->RegisterDataset(spec);
-  if (!reg.ok()) return reg.status();
+  struct Target {
+    int id;
+    RemoteShard* client;
+  };
+  std::vector<Target> targets;
+  uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
-    datasets_[spec.name] = spec;
+    if (alive_count_ == 0 || ring_ == nullptr) {
+      return common::Status::Unavailable("no alive shards");
+    }
+    auto it = datasets_.find(spec.name);
+    epoch = (it != datasets_.end() ? it->second.committed_epoch : 0) + 1;
+    for (int id : ring_->ShardsFor(spec.name, opts_.replication)) {
+      targets.push_back({id, shards_[id].client.get()});
+    }
   }
-  return reg;
+
+  // Fan the write to the whole replica set, primary first. The primary
+  // must land (otherwise the registration failed); a secondary that
+  // doesn't respond is left behind and the repair pass catches it up.
+  DatasetSpec stamped = spec;
+  stamped.epoch = epoch;
+  uint64_t warmed = 0;
+  std::vector<int> applied;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    auto reg = targets[i].client->RegisterDataset(stamped);
+    if (reg.ok()) {
+      if (i == 0) warmed = reg.value();
+      applied.push_back(targets[i].id);
+    } else if (i == 0) {
+      return reg.status();
+    } else {
+      ZEUS_LOG(Warning) << opts_.name << " replica registration of '"
+                        << spec.name << "' on shard " << targets[i].id
+                        << " failed (repair will retry): "
+                        << reg.status().ToString();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  DatasetState& state = datasets_[spec.name];
+  state.spec = stamped;
+  state.committed_epoch = std::max(state.committed_epoch, epoch);
+  for (int id : applied) {
+    uint64_t& e = state.replica_epochs[id];
+    e = std::max(e, epoch);
+  }
+  return warmed;
 }
 
 common::Result<engine::QueryResult> Router::Execute(const std::string& dataset,
                                                     const std::string& sql,
                                                     int priority) {
-  auto home = Route(dataset);
-  if (!home.ok()) return home.status();
   ExecRequest req;
   req.dataset = dataset;
   req.sql = sql;
   req.priority = priority;
-  return shards_[home.value()].client->Execute(req);
+
+  std::vector<int> candidates;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    candidates = CandidatesLocked(dataset);
+  }
+  if (candidates.empty()) {
+    return common::Status::Unavailable("no live replica of '" + dataset +
+                                       "'; re-homing, retry");
+  }
+
+  // Primary-first with in-call failover: a retryable failure (dead shard,
+  // lost response) moves to the next replica inside this call — no
+  // health-check round-trip, no client-visible error window. Re-running
+  // the query on another replica is safe: datasets are immutable and
+  // deterministic from their spec, so a read is a pure function and
+  // at-least-once execution returns the same bytes.
+  common::Status last = common::Status::Unavailable("no candidate tried");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RemoteShard* client = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (!shards_[candidates[i]].alive) continue;  // died since snapshot
+      client = shards_[candidates[i]].client.get();
+    }
+    auto result = client->Execute(req);
+    if (result.ok()) {
+      if (i > 0) {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        ++read_failovers_;
+      }
+      engine::QueryResult r =
+          AnnotateResult(dataset, candidates[i], std::move(result).value());
+      if (r.plan_seconds > 0) PropagatePlans(dataset);
+      return r;
+    }
+    if (!common::IsRetryable(result.status().code())) return result.status();
+    last = result.status();
+  }
+  return last;
 }
 
 common::Status Router::RemoveDataset(const std::string& name) {
-  auto home = Route(name);
-  if (!home.ok()) return home.status();
-  common::Status st = shards_[home.value()].client->RemoveDataset(name);
-  if (st.ok()) {
+  struct Target {
+    int id;
+    RemoteShard* client;
+  };
+  std::vector<Target> targets;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (alive_count_ == 0 || ring_ == nullptr) {
+      return common::Status::Unavailable("no alive shards");
+    }
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      // Unknown to the catalog: forward to the ring owner, whose remove of
+      // a dataset it never held is a no-op.
+      const int home = ring_->ShardFor(name);
+      targets.push_back({home, shards_[home].client.get()});
+    } else {
+      for (const auto& [id, epoch] : it->second.replica_epochs) {
+        (void)epoch;
+        if (shards_[id].alive) {
+          targets.push_back({id, shards_[id].client.get()});
+        }
+      }
+    }
+  }
+  // Remove from every live replica; kRemoveDataset is idempotent, so a
+  // partial failure is safe to retry wholesale.
+  common::Status result = common::Status::Ok();
+  for (const Target& t : targets) {
+    common::Status st = t.client->RemoveDataset(name);
+    if (!st.ok()) result = st;
+  }
+  if (result.ok()) {
     std::lock_guard<std::mutex> lock(state_mu_);
     datasets_.erase(name);
   }
-  return st;
+  return result;
+}
+
+engine::QueryResult Router::AnnotateResult(const std::string& dataset,
+                                           int served_by,
+                                           engine::QueryResult r) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = datasets_.find(dataset);
+  const uint64_t committed =
+      it != datasets_.end() ? it->second.committed_epoch : 0;
+  if (r.epoch == committed) {
+    r.consistency = engine::Consistency::kCertain;
+    r.divergence.clear();
+    ++certain_answers_;
+  } else {
+    r.consistency = engine::Consistency::kDegraded;
+    r.divergence = common::Format(
+        "shard %d served epoch %llu, committed epoch is %llu "
+        "(replica catch-up in flight)",
+        served_by, static_cast<unsigned long long>(r.epoch),
+        static_cast<unsigned long long>(committed));
+    ++degraded_answers_;
+  }
+  return r;
+}
+
+void Router::PropagatePlans(const std::string& dataset) {
+  struct Target {
+    int id;
+    RemoteShard* client;
+  };
+  std::vector<Target> targets;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = datasets_.find(dataset);
+    if (it == datasets_.end()) return;
+    epoch = it->second.committed_epoch + 1;
+    for (const auto& [id, applied] : it->second.replica_epochs) {
+      (void)applied;
+      if (shards_[id].alive) {
+        targets.push_back({id, shards_[id].client.get()});
+      }
+    }
+  }
+  if (targets.empty()) return;
+
+  std::vector<std::pair<int, uint64_t>> applied;
+  for (const Target& t : targets) {
+    auto sync = t.client->SyncPlans(dataset, epoch);
+    if (sync.ok()) {
+      applied.emplace_back(t.id, sync.value().epoch);
+    } else {
+      ZEUS_LOG(Warning) << opts_.name << " plan sync of '" << dataset
+                        << "' to shard " << t.id
+                        << " failed (repair will retry): "
+                        << sync.status().ToString();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) return;  // removed while we were syncing
+  it->second.committed_epoch = std::max(it->second.committed_epoch, epoch);
+  for (const auto& [id, e] : applied) {
+    uint64_t& cur = it->second.replica_epochs[id];
+    cur = std::max(cur, e);
+    ++resyncs_;
+  }
+}
+
+void Router::RepairReplicas() {
+  struct Fix {
+    std::string name;
+    DatasetSpec spec;
+    uint64_t committed = 0;
+    int id = -1;
+    RemoteShard* client = nullptr;
+    bool full_register = false;  // missing replica vs. lagging epoch
+  };
+  std::vector<Fix> fixes;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (alive_count_ == 0 || ring_ == nullptr) return;
+    for (const auto& [name, state] : datasets_) {
+      for (int id : ring_->ShardsFor(name, opts_.replication)) {
+        if (!shards_[id].alive) continue;
+        auto rit = state.replica_epochs.find(id);
+        if (rit == state.replica_epochs.end()) {
+          fixes.push_back({name, state.spec, state.committed_epoch, id,
+                           shards_[id].client.get(), true});
+        } else if (rit->second < state.committed_epoch) {
+          fixes.push_back({name, state.spec, state.committed_epoch, id,
+                           shards_[id].client.get(), false});
+        }
+      }
+    }
+  }
+
+  for (const Fix& fix : fixes) {
+    if (fix.full_register) {
+      // New replica: full registration with the catalog handoff. Epoch =
+      // committed (it is catching up to existing state, not creating new
+      // state), so its first answer is already kCertain.
+      DatasetSpec spec = fix.spec;
+      spec.warm_plans = true;
+      spec.epoch = fix.committed;
+      auto reg = fix.client->RegisterDataset(spec);
+      if (!reg.ok()) {
+        ZEUS_LOG(Warning) << opts_.name << " repair: registering '"
+                          << fix.name << "' on shard " << fix.id
+                          << " failed: " << reg.status().ToString();
+        continue;
+      }
+      ZEUS_LOG(Info) << opts_.name << " repair: dataset '" << fix.name
+                     << "' replicated to shard " << fix.id << " ("
+                     << reg.value() << " plan(s) warmed)";
+      std::lock_guard<std::mutex> lock(state_mu_);
+      auto it = datasets_.find(fix.name);
+      if (it == datasets_.end()) continue;
+      uint64_t& e = it->second.replica_epochs[fix.id];
+      e = std::max(e, fix.committed);
+      ++rehomed_;
+    } else {
+      auto sync = fix.client->SyncPlans(fix.name, fix.committed);
+      if (!sync.ok() &&
+          sync.status().code() == common::StatusCode::kNotFound) {
+        // The shard lost the dataset (e.g. restarted under the same
+        // endpoint): forget its epoch so the next pass re-registers it.
+        std::lock_guard<std::mutex> lock(state_mu_);
+        auto it = datasets_.find(fix.name);
+        if (it != datasets_.end()) it->second.replica_epochs.erase(fix.id);
+        continue;
+      }
+      if (!sync.ok()) {
+        ZEUS_LOG(Warning) << opts_.name << " repair: plan sync of '"
+                          << fix.name << "' to shard " << fix.id
+                          << " failed: " << sync.status().ToString();
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(state_mu_);
+      auto it = datasets_.find(fix.name);
+      if (it == datasets_.end()) continue;
+      uint64_t& e = it->second.replica_epochs[fix.id];
+      e = std::max(e, sync.value().epoch);
+      ++resyncs_;
+    }
+  }
 }
 
 // ---- Stats -----------------------------------------------------------------
@@ -238,6 +503,33 @@ ClusterHealth Router::Health() const {
   health.rehomed_datasets = rehomed_;
   health.dead_shards =
       static_cast<int64_t>(shards_.size()) - alive_count_;
+  health.replication = opts_.replication;
+  health.read_failovers = read_failovers_;
+  health.certain_answers = certain_answers_;
+  health.degraded_answers = degraded_answers_;
+  health.plan_resyncs = resyncs_;
+  for (const auto& [name, state] : datasets_) {
+    ClusterHealth::DatasetPlacement placement;
+    placement.dataset = name;
+    placement.primary =
+        (alive_count_ > 0 && ring_ != nullptr) ? ring_->ShardFor(name) : -1;
+    placement.committed_epoch = state.committed_epoch;
+    for (const auto& [id, applied] : state.replica_epochs) {
+      (void)applied;
+      if (shards_[id].alive) ++placement.replicas;
+    }
+    if (alive_count_ > 0 && ring_ != nullptr) {
+      for (int id : ring_->ShardsFor(name, opts_.replication)) {
+        if (!shards_[id].alive) continue;
+        auto rit = state.replica_epochs.find(id);
+        if (rit == state.replica_epochs.end() ||
+            rit->second < state.committed_epoch) {
+          ++health.replicas_behind;
+        }
+      }
+    }
+    health.placements.push_back(std::move(placement));
+  }
   return health;
 }
 
@@ -260,6 +552,12 @@ StatsReply Router::Stats() {
   reply.failovers = health.failovers;
   reply.rehomed_datasets = health.rehomed_datasets;
   reply.dead_shards = health.dead_shards;
+  reply.replication = health.replication;
+  reply.replicas_behind = health.replicas_behind;
+  reply.read_failovers = health.read_failovers;
+  reply.certain_answers = health.certain_answers;
+  reply.degraded_answers = health.degraded_answers;
+  reply.plan_resyncs = health.plan_resyncs;
   return reply;
 }
 
@@ -303,6 +601,9 @@ int Router::CheckNow() {
       }
     }
   }
+  // Converge placement every pass: replicas that missed a registration or
+  // plan sync earlier catch up here. No-op when nothing is behind.
+  RepairReplicas();
   return newly_dead;
 }
 
@@ -310,14 +611,11 @@ void Router::FailOverLocked(std::unique_lock<std::mutex>& lock, int id) {
   ShardState& s = shards_[id];
   if (!s.alive) return;
 
-  // Step 1+2: declare dead. Only this shard's vnodes leave the ring, so
-  // only its datasets change owner.
-  std::vector<DatasetSpec> moved;
-  for (const auto& [name, spec] : datasets_) {
-    if (ring_ != nullptr && ring_->ShardFor(name) == id) {
-      moved.push_back(spec);
-    }
-  }
+  // Declare dead. Only this shard's vnodes leave the ring, so only the
+  // datasets it owned change primary — and with replication >= 2 the new
+  // primary is a successor that ALREADY holds a replica, so their queries
+  // never stop flowing. Dropping the dead shard from every replica set is
+  // what makes the repair pass see the deficit.
   s.alive = false;
   s.misses = 0;
   --alive_count_;
@@ -327,50 +625,25 @@ void Router::FailOverLocked(std::unique_lock<std::mutex>& lock, int id) {
     have_carry_ = true;
   }
   RebuildRingLocked();
-  for (const DatasetSpec& spec : moved) moving_.insert(spec.name);
+  int lost = 0;
+  for (auto& [name, state] : datasets_) {
+    (void)name;
+    lost += state.replica_epochs.erase(id) > 0 ? 1 : 0;
+  }
   s.client->CloseConnections();
   s.probe->CloseConnections();
   ZEUS_LOG(Warning) << opts_.name << " declared shard " << id << " ("
                     << s.endpoint.host << ":" << s.endpoint.port
-                    << ") dead; re-homing " << moved.size() << " dataset(s)";
+                    << ") dead; lost " << lost
+                    << " replica(s), repairing placement";
 
-  // Step 3: re-home on the ring successors. The registration RPCs run
-  // without the lock (dataset regeneration + plan warmup take real time);
-  // `moving_` keeps queries for these datasets failing retryably until
-  // their new home is ready.
+  // Restore the replication factor without the lock (dataset regeneration
+  // and plan warm-up take real time). A dataset that kept a live replica
+  // keeps answering during the whole repair; one that lost its only
+  // replica fails retryably (CandidatesLocked returns empty) until its
+  // re-registration lands — exactly the replication-1 window.
   lock.unlock();
-  for (DatasetSpec spec : moved) {
-    RemoteShard* client = nullptr;
-    int home = -1;
-    {
-      std::lock_guard<std::mutex> relock(state_mu_);
-      if (alive_count_ > 0 && ring_ != nullptr) {
-        home = ring_->ShardFor(spec.name);
-        client = shards_[home].client.get();
-      }
-    }
-    common::Status st = common::Status::Unavailable("no alive shards");
-    if (client != nullptr) {
-      spec.warm_plans = true;  // the plan-catalog handoff
-      auto reg = client->RegisterDataset(spec);
-      st = reg.ok() ? common::Status::Ok() : reg.status();
-      if (reg.ok()) {
-        ZEUS_LOG(Info) << opts_.name << " re-homed dataset '" << spec.name
-                       << "' to shard " << home << " (" << reg.value()
-                       << " plan(s) warmed)";
-      }
-    }
-    std::lock_guard<std::mutex> relock(state_mu_);
-    moving_.erase(spec.name);
-    if (st.ok()) {
-      ++rehomed_;
-    } else {
-      // The successor is unreachable too; its own failover will re-run
-      // this re-home (the ring will have moved the dataset again).
-      ZEUS_LOG(Warning) << opts_.name << " re-home of '" << spec.name
-                        << "' failed: " << st.ToString();
-    }
-  }
+  RepairReplicas();
   lock.lock();
 }
 
@@ -401,6 +674,18 @@ int Router::HomeOf(const std::string& dataset) const {
   std::lock_guard<std::mutex> lock(state_mu_);
   if (alive_count_ == 0 || ring_ == nullptr) return -1;
   return ring_->ShardFor(dataset);
+}
+
+std::vector<int> Router::ReplicasOf(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<int> out;
+  auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) return out;
+  for (const auto& [id, epoch] : it->second.replica_epochs) {
+    (void)epoch;
+    if (shards_[id].alive) out.push_back(id);
+  }
+  return out;
 }
 
 // ---- Client-facing server --------------------------------------------------
@@ -526,9 +811,7 @@ net::Frame Router::Dispatch(const net::Frame& req) {
 net::Frame Router::HandleExecute(const net::Frame& req) {
   ExecRequest exec;
   if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
-  auto home = Route(exec.dataset);
-  if (!home.ok()) return MakeErrorFrame(req.request_id, home.status());
-  auto result = shards_[home.value()].client->Execute(exec);
+  auto result = Execute(exec.dataset, exec.sql, exec.priority);
   if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
   return Reply(req.request_id, net::FrameType::kResult,
                EncodeQueryResult(result.value()));
@@ -537,18 +820,49 @@ net::Frame Router::HandleExecute(const net::Frame& req) {
 net::Frame Router::HandleSubmit(const net::Frame& req) {
   ExecRequest exec;
   if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
-  auto home = Route(exec.dataset);
-  if (!home.ok()) return MakeErrorFrame(req.request_id, home.status());
-  auto ticket = shards_[home.value()].client->Submit(exec);
-  if (!ticket.ok()) return MakeErrorFrame(req.request_id, ticket.status());
-  uint64_t id = 0;
+  std::vector<int> candidates;
   {
-    std::lock_guard<std::mutex> lock(tickets_mu_);
-    id = next_ticket_id_++;
-    tickets_[id] = {home.value(), ticket.value().id()};
+    std::lock_guard<std::mutex> lock(state_mu_);
+    candidates = CandidatesLocked(exec.dataset);
   }
-  return Reply(req.request_id, net::FrameType::kSubmitReply,
-               EncodeTicketId(id));
+  if (candidates.empty()) {
+    return MakeErrorFrame(
+        req.request_id,
+        common::Status::Unavailable("no live replica of '" + exec.dataset +
+                                    "'; re-homing, retry"));
+  }
+  // Same replica order as Execute. The ticket pins the shard the query
+  // actually landed on; a submission the primary never saw (retryable
+  // transport failure) moves to the next replica.
+  common::Status last = common::Status::Unavailable("no candidate tried");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RemoteShard* client = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (!shards_[candidates[i]].alive) continue;
+      client = shards_[candidates[i]].client.get();
+    }
+    auto ticket = client->Submit(exec);
+    if (ticket.ok()) {
+      if (i > 0) {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        ++read_failovers_;
+      }
+      uint64_t id = 0;
+      {
+        std::lock_guard<std::mutex> lock(tickets_mu_);
+        id = next_ticket_id_++;
+        tickets_[id] = {candidates[i], ticket.value().id(), exec.dataset};
+      }
+      return Reply(req.request_id, net::FrameType::kSubmitReply,
+                   EncodeTicketId(id));
+    }
+    if (!common::IsRetryable(ticket.status().code())) {
+      return MakeErrorFrame(req.request_id, ticket.status());
+    }
+    last = ticket.status();
+  }
+  return MakeErrorFrame(req.request_id, last);
 }
 
 net::Frame Router::HandleTicketOp(const net::Frame& req) {
@@ -556,6 +870,7 @@ net::Frame Router::HandleTicketOp(const net::Frame& req) {
   if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
   int shard_id = -1;
   uint64_t remote_id = 0;
+  std::string dataset;
   {
     std::lock_guard<std::mutex> lock(tickets_mu_);
     auto it = tickets_.find(id);
@@ -563,8 +878,9 @@ net::Frame Router::HandleTicketOp(const net::Frame& req) {
       return MakeErrorFrame(req.request_id,
                             common::Status::NotFound("unknown ticket"));
     }
-    shard_id = it->second.first;
-    remote_id = it->second.second;
+    shard_id = it->second.shard;
+    remote_id = it->second.remote_id;
+    dataset = it->second.dataset;
   }
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -598,8 +914,11 @@ net::Frame Router::HandleTicketOp(const net::Frame& req) {
         tickets_.erase(id);
       }
       if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+      engine::QueryResult r =
+          AnnotateResult(dataset, shard_id, std::move(result).value());
+      if (r.plan_seconds > 0) PropagatePlans(dataset);
       return Reply(req.request_id, net::FrameType::kResult,
-                   EncodeQueryResult(result.value()));
+                   EncodeQueryResult(r));
     }
   }
 }

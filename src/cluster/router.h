@@ -6,7 +6,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,30 +20,44 @@
 namespace zeus::cluster {
 
 // The cluster front door (library form of tools/zeus_router.cc): owns a
-// RemoteShard client per shard endpoint, routes datasets over a consistent
-// ShardRing of the ALIVE shards, health-checks every shard, and fails over
-// when one dies — datasets re-home to their ring successor and rewarm
-// their plans from the shared catalog (planner_runs stays flat).
+// RemoteShard client per shard endpoint, places each dataset on its ring
+// owner plus replication-1 ring successors over a consistent ShardRing of
+// the ALIVE shards, health-checks every shard, and fails over when one
+// dies. Writes (registration, trained-plan propagation) fan to every
+// replica; reads are served primary-first with in-call failover to the
+// next live replica — no health-check round-trip stands between a dead
+// primary and the answer.
 //
-// Failure model ("certain answers"): a query either completes on the
-// dataset's healthy home — bit-identical to a single-process run, the
-// transport carries results losslessly — or fails with an explicitly
+// Failure model (the certain-answer contract, cluster/protocol.h): a query
+// either completes bit-identically to a single-process run — annotated
+// kCertain when the serving replica's applied epoch matches the group's
+// committed epoch, kDegraded (with the divergence reason) while a re-home
+// or replica catch-up is mid-flight — or fails with an explicitly
 // retryable status (kUnavailable / kResourceExhausted, see
 // common::IsRetryable). The router never silently degrades a result.
+// Failing over a read mid-call is safe because datasets are immutable and
+// deterministic from their spec: re-executing a read on another replica is
+// at-least-once execution of a pure function.
 //
-// Failover walkthrough (shard S dies):
-//   1. the health checker misses `misses_to_dead` consecutive kStats
-//      probes to S;
-//   2. S is marked dead: removed from the ring (only S's vnodes vanish, so
-//      only S's datasets move), its last Stats snapshot folds into the
-//      stats carry (group counters stay monotone), its pooled connections
-//      close;
-//   3. every dataset whose home was S is marked "moving" (queries for it
-//      fail kUnavailable rather than racing the handoff) and re-registered
-//      on its ring successor with warm_plans — the new home regenerates
-//      the dataset from its spec and pulls the persisted plans;
-//   4. moving clears; queries flow to the new home, answering from warmed
-//      plans with zero planner runs.
+// Failover walkthrough (shard S dies, replication >= 2):
+//   1. a query to a dataset whose primary was S fails its connect/write —
+//      the router retries the NEXT live replica inside the same call.
+//      Zero-unavailability: no client-visible error, no planner run (the
+//      replica warmed its plans at registration / last sync);
+//   2. the health checker misses `misses_to_dead` consecutive kStats
+//      probes to S and declares it dead: S leaves the ring (only S's
+//      vnodes vanish), its last Stats snapshot folds into the stats carry
+//      (group counters stay monotone), its pooled connections close, and
+//      its replica bookkeeping is dropped;
+//   3. the repair pass re-registers each affected dataset on enough ring
+//      successors to restore the replication factor (warm_plans pulls the
+//      persisted plans) and kSyncPlans-catches-up any replica whose epoch
+//      lags committed. Queries keep flowing to surviving replicas the
+//      whole time; only a dataset with ZERO live replicas (replication 1,
+//      or total loss) fails retryably until repair lands.
+//
+// With replication 1 this degrades exactly to the PR 6 behavior: a dead
+// shard's datasets are unavailable (retryable) from kill to re-home.
 class Router {
  public:
   struct Endpoint {
@@ -66,6 +79,9 @@ class Router {
     // legitimately take minutes on cold plans).
     int call_deadline_ms = 300'000;
     int write_deadline_ms = 30'000;  // client-facing response writes
+    // Replicas per dataset (ring owner + replication-1 successors),
+    // clamped to the shard count. 1 = no replication (PR 6 behavior).
+    int replication = 1;
     std::string name = "router";
   };
 
@@ -98,13 +114,18 @@ class Router {
   // ---- Failover observability / deterministic test control -----------------
 
   // Runs one synchronous health pass over all alive shards (exactly what
-  // the background thread does each tick). Returns how many shards were
-  // newly declared dead.
+  // the background thread does each tick), then a replica-repair pass
+  // (restore replication factor, catch up lagging epochs). Returns how
+  // many shards were newly declared dead.
   int CheckNow();
   bool ShardAlive(int id) const;
   int num_alive() const;
-  // Current home shard id of `dataset` (-1 when no shard is alive).
+  // Current home (primary) shard id of `dataset` (-1 when no shard is
+  // alive).
   int HomeOf(const std::string& dataset) const;
+  // Shard ids currently holding a replica of `dataset` (dead shards
+  // excluded; empty when unregistered or all replicas are lost).
+  std::vector<int> ReplicasOf(const std::string& dataset) const;
 
  private:
   struct ShardState {
@@ -117,14 +138,36 @@ class Router {
     bool have_stats = false;
   };
 
-  // Routing decision under the lock; the RemoteShard call happens outside
-  // (clients are thread-safe, and routed queries can run for minutes).
-  common::Result<int> RouteLocked(const std::string& dataset) const;
-  common::Result<int> Route(const std::string& dataset) const;
+  // Ordered read candidates for `dataset` under the lock: live replicas in
+  // ring order (primary first), then any other live holder. Empty when the
+  // dataset has no live replica (re-home in flight) or no shard is alive.
+  // For an UNREGISTERED dataset: just the ring owner, so the shard's own
+  // NotFound comes back unchanged (pre-replication behavior).
+  std::vector<int> CandidatesLocked(const std::string& dataset) const;
+
+  // Applies the certain-answer annotation: kCertain iff the serving
+  // shard's applied epoch (stamped into the result) matches the dataset's
+  // committed epoch, kDegraded with the divergence reason otherwise.
+  engine::QueryResult AnnotateResult(const std::string& dataset,
+                                     int served_by, engine::QueryResult r);
+
+  // After a plan trains anywhere in the group (result.plan_seconds > 0):
+  // bump the committed epoch and fan kSyncPlans to every live replica so
+  // they pull the new plan from the shared catalog. Synchronous — by the
+  // time the triggering result returns, replicas are caught up (or counted
+  // behind, for the repair pass).
+  void PropagatePlans(const std::string& dataset);
+
+  // Drives placement to target: registers datasets on ring successors that
+  // should hold a replica but don't (warm_plans — the catalog handoff) and
+  // kSyncPlans-catches-up replicas whose epoch lags committed. No-op when
+  // everything matches; takes and releases state_mu_ itself.
+  void RepairReplicas();
 
   void RebuildRingLocked();
-  // Declares shard `id` dead and performs the re-home. Called with
-  // state_mu_ HELD; temporarily releases it for the re-registration RPCs.
+  // Declares shard `id` dead: drops it from the ring and from every
+  // dataset's replica bookkeeping, then runs RepairReplicas. Called with
+  // state_mu_ HELD; temporarily releases it for the repair RPCs.
   void FailOverLocked(std::unique_lock<std::mutex>& lock, int id);
   void HealthLoop();
 
@@ -147,24 +190,42 @@ class Router {
   // from tests): one failover runs at a time, start to finish.
   std::mutex check_mu_;
 
+  // Everything the router knows about one dataset's replica group: the
+  // spec (to re-create it elsewhere), the committed epoch (advanced by
+  // registration and plan propagation), and each holder's applied epoch.
+  // A query is kCertain iff served at applied == committed; a holder with
+  // applied < committed is "behind" and the repair pass catches it up.
+  struct DatasetState {
+    DatasetSpec spec;
+    uint64_t committed_epoch = 0;
+    std::map<int, uint64_t> replica_epochs;  // shard id -> applied epoch
+  };
+
   mutable std::mutex state_mu_;
   std::vector<ShardState> shards_;
   std::unique_ptr<engine::ShardRing> ring_;  // over alive shard ids
   int alive_count_ = 0;
-  // name -> spec: everything needed to re-create a dataset elsewhere.
-  std::map<std::string, DatasetSpec> datasets_;
-  // Datasets mid-re-home; queries for them fail kUnavailable (retryable)
-  // instead of racing the handoff.
-  std::set<std::string> moving_;
+  std::map<std::string, DatasetState> datasets_;
   // Dead shards' final snapshots, folded (keeps group stats monotone).
   engine::ShardStats carry_;
   bool have_carry_ = false;
   int64_t failovers_ = 0;
   int64_t rehomed_ = 0;
+  int64_t read_failovers_ = 0;
+  int64_t certain_answers_ = 0;
+  int64_t degraded_answers_ = 0;
+  int64_t resyncs_ = 0;
 
-  // Router-side ticket surface: router ticket id -> (shard id, remote id).
+  // Router-side ticket surface: router ticket id -> where the query
+  // actually runs (plus the dataset, for the certain-answer annotation on
+  // the eventual wait).
+  struct RoutedTicket {
+    int shard = -1;
+    uint64_t remote_id = 0;
+    std::string dataset;
+  };
   std::mutex tickets_mu_;
-  std::map<uint64_t, std::pair<int, uint64_t>> tickets_;
+  std::map<uint64_t, RoutedTicket> tickets_;
   uint64_t next_ticket_id_ = 1;
 
   net::TcpListener listener_;

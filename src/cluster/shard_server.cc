@@ -1,5 +1,6 @@
 #include "cluster/shard_server.h"
 
+#include <algorithm>
 #include <optional>
 
 #include "common/logging.h"
@@ -146,6 +147,10 @@ net::Frame ShardServer::Dispatch(const net::Frame& req) {
       return HandleRegisterDataset(req);
     case net::FrameType::kRemoveDataset:
       return HandleRemoveDataset(req);
+    case net::FrameType::kSyncPlans:
+      return HandleSyncPlans(req);
+    case net::FrameType::kEpochQuery:
+      return HandleEpochQuery(req);
     default:
       return MakeErrorFrame(
           req.request_id,
@@ -164,8 +169,10 @@ net::Frame ShardServer::HandleExecute(const net::Frame& req) {
   opts.priority = exec.priority;
   auto result = engine_.Execute(exec.dataset, parsed.value(), opts);
   if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+  engine::QueryResult stamped = std::move(result).value();
+  stamped.epoch = AppliedEpoch(exec.dataset);
   return Reply(req.request_id, net::FrameType::kResult,
-               EncodeQueryResult(result.value()));
+               EncodeQueryResult(stamped));
 }
 
 net::Frame ShardServer::HandleSubmit(const net::Frame& req) {
@@ -181,7 +188,8 @@ net::Frame ShardServer::HandleSubmit(const net::Frame& req) {
   {
     std::lock_guard<std::mutex> lock(tickets_mu_);
     id = next_ticket_id_++;
-    tickets_.emplace(id, std::move(ticket).value());
+    tickets_.emplace(id,
+                     PendingTicket{std::move(ticket).value(), exec.dataset});
   }
   return Reply(req.request_id, net::FrameType::kSubmitReply,
                EncodeTicketId(id));
@@ -194,7 +202,7 @@ net::Frame ShardServer::HandleCancel(const net::Frame& req) {
   auto it = tickets_.find(id);
   // Cancel of an unknown (already reaped / never existed) ticket is a
   // no-op, which is what makes kCancel idempotent and retry-safe.
-  if (it != tickets_.end()) it->second.Cancel();
+  if (it != tickets_.end()) it->second.ticket.Cancel();
   return OkFrame(req.request_id);
 }
 
@@ -208,8 +216,8 @@ net::Frame ShardServer::HandleTicketState(const net::Frame& req) {
                           common::Status::NotFound("unknown ticket"));
   }
   TicketStateReply reply;
-  reply.state = it->second.state();
-  reply.progress = it->second.progress();
+  reply.state = it->second.ticket.state();
+  reply.progress = it->second.ticket.progress();
   return Reply(req.request_id, net::FrameType::kTicketStateReply,
                EncodeTicketState(reply));
 }
@@ -218,10 +226,14 @@ net::Frame ShardServer::HandleTicketWait(const net::Frame& req) {
   uint64_t id = 0;
   if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
   std::optional<engine::QueryTicket> ticket;
+  std::string dataset;
   {
     std::lock_guard<std::mutex> lock(tickets_mu_);
     auto it = tickets_.find(id);
-    if (it != tickets_.end()) ticket = it->second;  // copy: shared state
+    if (it != tickets_.end()) {
+      ticket = it->second.ticket;  // copy: shared state
+      dataset = it->second.dataset;
+    }
   }
   if (!ticket.has_value()) {
     return MakeErrorFrame(req.request_id,
@@ -235,8 +247,10 @@ net::Frame ShardServer::HandleTicketWait(const net::Frame& req) {
     tickets_.erase(id);
   }
   if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
+  engine::QueryResult stamped = result.value();
+  stamped.epoch = AppliedEpoch(dataset);
   return Reply(req.request_id, net::FrameType::kResult,
-               EncodeQueryResult(result.value()));
+               EncodeQueryResult(stamped));
 }
 
 net::Frame ShardServer::HandleStats(const net::Frame& req) {
@@ -270,6 +284,13 @@ net::Frame ShardServer::HandleRegisterDataset(const net::Frame& req) {
                      << spec.name << "'";
     }
   }
+  {
+    // Monotone: a re-delivered (retried or stale) registration can only
+    // hold the epoch, never roll it back.
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    uint64_t& applied = epochs_[spec.name];
+    applied = std::max(applied, spec.epoch);
+  }
   return Reply(req.request_id, net::FrameType::kRegisterReply,
                EncodeRegisterReply(warmed));
 }
@@ -281,7 +302,51 @@ net::Frame ShardServer::HandleRemoveDataset(const net::Frame& req) {
     engine_.DrainDataset(name);
     engine_.RemoveDataset(name);
   }
+  {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    epochs_.erase(name);
+  }
   return OkFrame(req.request_id);
+}
+
+net::Frame ShardServer::HandleSyncPlans(const net::Frame& req) {
+  SyncPlansRequest sync;
+  if (!DecodeSyncPlans(req.payload, &sync)) return BadPayload(req);
+  if (!engine_.HasDataset(sync.name)) {
+    // No replica here — the router falls back to a full RegisterDataset.
+    return MakeErrorFrame(
+        req.request_id,
+        common::Status::NotFound("no replica of '" + sync.name + "'"));
+  }
+  SyncReply reply;
+  // Re-read the dataset's persisted plans from the shared catalog; plans
+  // trained elsewhere since the last sync become memory-resident here, so
+  // a later promotion answers with planner_runs == 0.
+  reply.plans_warmed = engine_.WarmUpDataset(sync.name);
+  {
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    uint64_t& applied = epochs_[sync.name];
+    applied = std::max(applied, sync.epoch);
+    reply.epoch = applied;
+  }
+  return Reply(req.request_id, net::FrameType::kSyncReply,
+               EncodeSyncReply(reply));
+}
+
+net::Frame ShardServer::HandleEpochQuery(const net::Frame& req) {
+  std::string name;
+  if (!DecodeName(req.payload, &name)) return BadPayload(req);
+  EpochReply reply;
+  reply.has_dataset = engine_.HasDataset(name);
+  reply.epoch = AppliedEpoch(name);
+  return Reply(req.request_id, net::FrameType::kEpochReply,
+               EncodeEpochReply(reply));
+}
+
+uint64_t ShardServer::AppliedEpoch(const std::string& name) {
+  std::lock_guard<std::mutex> lock(epochs_mu_);
+  auto it = epochs_.find(name);
+  return it != epochs_.end() ? it->second : 0;
 }
 
 }  // namespace zeus::cluster

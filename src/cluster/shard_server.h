@@ -82,6 +82,11 @@ class ShardServer {
   net::Frame HandleStats(const net::Frame& req);
   net::Frame HandleRegisterDataset(const net::Frame& req);
   net::Frame HandleRemoveDataset(const net::Frame& req);
+  net::Frame HandleSyncPlans(const net::Frame& req);
+  net::Frame HandleEpochQuery(const net::Frame& req);
+
+  // The shard's applied epoch for `name` (0 if never registered).
+  uint64_t AppliedEpoch(const std::string& name);
 
   void CloseAllConns();
 
@@ -102,10 +107,22 @@ class ShardServer {
   // Async surface: tickets live here between kSubmit and the terminal
   // kTicketWait (which erases them). Tickets a client abandons stay until
   // the server stops — acceptable for the cluster's internal use where
-  // the router always waits or cancels.
+  // the router always waits or cancels. The dataset name rides along so
+  // the eventual kResult can be stamped with the replica's applied epoch.
+  struct PendingTicket {
+    engine::QueryTicket ticket;
+    std::string dataset;
+  };
   std::mutex tickets_mu_;
-  std::map<uint64_t, engine::QueryTicket> tickets_;
+  std::map<uint64_t, PendingTicket> tickets_;
   uint64_t next_ticket_id_ = 1;
+
+  // Applied plan/dataset epoch per dataset — the shard's half of the
+  // certain-answer contract. Advanced (monotonically) by kRegisterDataset
+  // and kSyncPlans, stamped into every kResult this shard serves; the
+  // router compares it against the group's committed epoch.
+  std::mutex epochs_mu_;
+  std::map<std::string, uint64_t> epochs_;
 };
 
 }  // namespace zeus::cluster

@@ -11,6 +11,16 @@
 
 namespace zeus::engine {
 
+const char* ConsistencyName(Consistency c) {
+  switch (c) {
+    case Consistency::kCertain:
+      return "certain";
+    case Consistency::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
 const char* QueryStateName(QueryState state) {
   switch (state) {
     case QueryState::kQueued:

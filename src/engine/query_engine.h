@@ -26,6 +26,21 @@ namespace zeus::engine {
 // a dataset and weighted round-robin across datasets).
 using QueryOptions = ExecutionOptions;
 
+// Certain-answer annotation the cluster attaches to every served result.
+// kCertain: the serving replica's plan/dataset epoch matched the replica
+// group's committed epoch at serve time, so every live replica would return
+// this exact answer. kDegraded: a re-home or replica catch-up was mid-flight
+// and the serving replica's epoch diverged — the answer is still computed
+// over the full (immutable, deterministic) dataset, but replicas might
+// disagree until catch-up completes; `QueryResult::divergence` names why.
+// In-process execution (no cluster) always serves kCertain.
+enum class Consistency : uint8_t {
+  kCertain = 0,
+  kDegraded = 1,
+};
+
+const char* ConsistencyName(Consistency c);
+
 // Everything one executed query produces. (ZeusDb re-exports this type; it
 // lives here so the engine layer has no dependency on the facade.)
 struct QueryResult {
@@ -50,6 +65,13 @@ struct QueryResult {
   // For EXPLAIN queries: a human-readable plan description including the
   // executor the factory would choose. Empty for normal execution.
   std::string explanation;
+
+  // Certain-answer annotation (see Consistency above). `epoch` is the
+  // serving shard's applied plan/dataset epoch — 0 when the result was not
+  // served through the cluster. `divergence` is empty iff kCertain.
+  Consistency consistency = Consistency::kCertain;
+  std::string divergence;
+  uint64_t epoch = 0;
 };
 
 inline bool operator==(const QueryResult::Segment& a,

@@ -68,6 +68,36 @@ std::vector<ShardRing::KeyMove> ShardRing::DiffOwners(
   return moves;
 }
 
+std::vector<int> ShardRing::ShardsFor(const std::string& key, int n) const {
+  n = std::max(1, std::min(n, num_shards_));
+  std::vector<int> shards;
+  shards.reserve(static_cast<size_t>(n));
+  if (num_shards_ == 1) {
+    shards.push_back(ring_.front().second);
+    return shards;
+  }
+  const uint64_t h = Hash(key);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(h, 0),
+                             [](const std::pair<uint64_t, int>& a,
+                                const std::pair<uint64_t, int>& b) {
+                               return a.first < b.first;
+                             });
+  if (it == ring_.end()) it = ring_.begin();
+  // Walk clockwise collecting distinct owners; every member appears within
+  // one full lap, so the loop is bounded by ring_.size().
+  for (size_t steps = 0; steps < ring_.size() && static_cast<int>(shards.size()) < n;
+       ++steps) {
+    const int id = it->second;
+    if (std::find(shards.begin(), shards.end(), id) == shards.end()) {
+      shards.push_back(id);
+    }
+    ++it;
+    if (it == ring_.end()) it = ring_.begin();
+  }
+  return shards;
+}
+
 int ShardRing::ShardFor(const std::string& key) const {
   // With one member every key has the same owner (which need not be 0
   // under the id-set constructor).

@@ -37,6 +37,14 @@ class ShardRing {
   // constructor, one of the given ids for the id-set constructor.
   int ShardFor(const std::string& key) const;
 
+  // The first min(n, num_shards) DISTINCT shards clockwise from `key`'s
+  // ring position: element 0 is ShardFor(key) (the owner), the rest are
+  // its ring successors in walk order. This is the cluster's replica
+  // placement: a dataset lives on its owner plus R-1 successors, and when
+  // the owner dies the ring's new owner for the key is exactly the next
+  // surviving successor — i.e. a shard that already holds a replica.
+  std::vector<int> ShardsFor(const std::string& key, int n) const;
+
   // One key whose owner differs between two rings. The minimal-movement
   // property bounds how many of these a resize produces: growing N→N+1
   // yields ~|keys|/(N+1) moves, all with `to` == the added shard.

@@ -18,6 +18,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kTicketState: return "TicketState";
     case FrameType::kTicketWait: return "TicketWait";
     case FrameType::kRemoveDataset: return "RemoveDataset";
+    case FrameType::kSyncPlans: return "SyncPlans";
+    case FrameType::kEpochQuery: return "EpochQuery";
     case FrameType::kPong: return "Pong";
     case FrameType::kOk: return "Ok";
     case FrameType::kError: return "Error";
@@ -26,6 +28,8 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kSubmitReply: return "SubmitReply";
     case FrameType::kTicketStateReply: return "TicketStateReply";
     case FrameType::kRegisterReply: return "RegisterReply";
+    case FrameType::kSyncReply: return "SyncReply";
+    case FrameType::kEpochReply: return "EpochReply";
   }
   return "Unknown";
 }
@@ -38,6 +42,10 @@ bool IsIdempotent(FrameType type) {
     case FrameType::kRegisterDataset:
     case FrameType::kTicketState:
     case FrameType::kRemoveDataset:
+    // Plan-catalog sync converges to the same catalog/epoch no matter how
+    // many times it lands; the epoch probe is a pure read.
+    case FrameType::kSyncPlans:
+    case FrameType::kEpochQuery:
       return true;
     default:
       return false;

@@ -37,7 +37,8 @@ inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
 // Frame types. Requests < 32, responses >= 32. The request set is exactly
 // the cluster surface: query submission/execution/cancellation, health +
 // stats, dataset registration (which doubles as the plan-catalog handoff
-// trigger on re-home), and ticket follow-ups for the async surface.
+// trigger on re-home), ticket follow-ups for the async surface, and the
+// replication maintenance pair (plan-catalog sync + epoch probe).
 enum class FrameType : uint8_t {
   // Requests.
   kPing = 1,
@@ -49,6 +50,8 @@ enum class FrameType : uint8_t {
   kTicketState = 7,      // u64 ticket id -> kTicketStateReply | kError
   kTicketWait = 8,       // u64 ticket id -> kResult | kError
   kRemoveDataset = 9,    // string name -> kOk | kError
+  kSyncPlans = 10,       // SyncPlansRequest -> kSyncReply | kError
+  kEpochQuery = 11,      // string name -> kEpochReply
 
   // Responses.
   kPong = 32,
@@ -59,6 +62,8 @@ enum class FrameType : uint8_t {
   kSubmitReply = 37,
   kTicketStateReply = 38,
   kRegisterReply = 39,
+  kSyncReply = 40,
+  kEpochReply = 41,
 };
 
 const char* FrameTypeName(FrameType type);

@@ -421,6 +421,212 @@ TEST_F(ClusterTest, RouterFailsOverKilledShardWithWarmPlansAndSameAnswers) {
   for (auto& shard : shards) shard->Stop();
 }
 
+// ---- Replicated failover: zero unavailability ------------------------------
+
+// With replication >= 2 a dead primary must be INVISIBLE to clients: the
+// very next Execute — issued before any health pass has noticed the death —
+// fails over to a live replica inside the call and returns the bit-identical
+// answer, kCertain, from a propagated plan. This is the contract the R=1
+// drill above cannot offer (there, the same window is explicitly retryable).
+TEST_F(ClusterTest, ReplicatedPrimaryKillIsZeroUnavailability) {
+  const std::string dir = *persist_root_ + "/repl_drill";
+  fs::create_directories(dir);
+
+  std::vector<std::unique_ptr<cluster::ShardServer>> shards;
+  cluster::Router::Options ropts;
+  for (int i = 0; i < 3; ++i) {
+    cluster::ShardServer::Options sopts;
+    sopts.engine = EngineOptions(dir);
+    sopts.name = "repl" + std::to_string(i);
+    shards.push_back(std::make_unique<cluster::ShardServer>(sopts));
+    ASSERT_TRUE(shards.back()->Start().ok());
+    ropts.shards.push_back({"127.0.0.1", shards.back()->port()});
+  }
+  ropts.health_interval_ms = 0;  // tests drive the checker deterministically
+  ropts.misses_to_dead = 2;
+  ropts.health_deadline_ms = 1'000;
+  ropts.replication = 2;
+  ropts.name = "replrouter";
+  cluster::Router router(std::move(ropts));
+  ASSERT_TRUE(router.Start().ok());
+
+  cluster::DatasetSpec spec = SmokeSpec();
+  spec.name = "repl-d";
+  auto reg = router.RegisterDataset(spec);
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  ASSERT_EQ(router.ReplicasOf(spec.name).size(), 2u);
+
+  // First query trains the plan on the primary; the router propagates it to
+  // the replica group before returning control here. The triggering answer
+  // itself is certain — it matched the committed epoch when it was served.
+  auto r0 = router.Execute(spec.name, kSql);
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_GT(r0.value().plan_seconds, 0.0);
+  EXPECT_EQ(r0.value().consistency, engine::Consistency::kCertain);
+  EXPECT_EQ(router.CheckNow(), 0);
+  EXPECT_EQ(router.Stats().stats.planner_runs, 1);
+  EXPECT_EQ(router.Health().replicas_behind, 0);
+
+  const int home = router.HomeOf(spec.name);
+  ASSERT_GE(home, 0);
+  shards[static_cast<size_t>(home)]->Kill();
+
+  // No health pass has run: the router still believes the primary is alive.
+  // The call itself must ride over the death — THE zero-unavailability
+  // assertion. No retry loop here on purpose.
+  auto r1 = router.Execute(spec.name, kSql);
+  ASSERT_TRUE(r1.ok()) << "client saw the primary die: "
+                       << r1.status().ToString();
+  ExpectSameOutcome(r0.value(), r1.value());
+  EXPECT_EQ(r1.value().plan_seconds, 0.0);
+  EXPECT_EQ(r1.value().consistency, engine::Consistency::kCertain)
+      << r1.value().divergence;
+  EXPECT_GE(router.Health().read_failovers, 1);
+
+  // Now let the checker notice and repair: the dataset gets a replacement
+  // replica so the group is back at full strength.
+  int newly_dead = router.CheckNow();
+  newly_dead += router.CheckNow();
+  EXPECT_EQ(newly_dead, 1);
+  const cluster::ClusterHealth health = router.Health();
+  EXPECT_EQ(health.failovers, 1);
+  EXPECT_EQ(health.rehomed_datasets, 1);
+  EXPECT_EQ(router.ReplicasOf(spec.name).size(), 2u);
+  EXPECT_EQ(router.Health().replicas_behind, 0);
+
+  auto r2 = router.Execute(spec.name, kSql);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ExpectSameOutcome(r0.value(), r2.value());
+  EXPECT_EQ(r2.value().consistency, engine::Consistency::kCertain);
+
+  // The whole drill never trained a second plan and never served degraded.
+  EXPECT_EQ(router.Stats().stats.planner_runs, 1);
+  EXPECT_EQ(router.Health().degraded_answers, 0);
+  EXPECT_GE(router.Health().certain_answers, 3);
+
+  router.Stop();
+  for (auto& shard : shards) shard->Stop();
+}
+
+// A replica that could not apply the latest plan epoch must say so: while
+// it is the only live holder its answers come back kDegraded with a
+// divergence reason — never silently presented as certain — and once the
+// partition heals, repair catches it up and answers are certain again.
+TEST_F(ClusterTest, LaggingReplicaServesDegradedUntilRepaired) {
+  const std::string dir = *persist_root_ + "/lag_drill";
+  fs::create_directories(dir);
+
+  std::vector<std::unique_ptr<cluster::ShardServer>> shards;
+  cluster::Router::Options ropts;
+  for (int i = 0; i < 3; ++i) {
+    cluster::ShardServer::Options sopts;
+    sopts.engine = EngineOptions(dir);
+    sopts.name = "lag" + std::to_string(i);
+    shards.push_back(std::make_unique<cluster::ShardServer>(sopts));
+    ASSERT_TRUE(shards.back()->Start().ok());
+    ropts.shards.push_back({"127.0.0.1", shards.back()->port()});
+  }
+  ropts.health_interval_ms = 0;
+  ropts.misses_to_dead = 2;
+  ropts.health_deadline_ms = 1'000;
+  ropts.replication = 2;
+  ropts.name = "lagrouter";
+  cluster::Router router(std::move(ropts));
+  ASSERT_TRUE(router.Start().ok());
+
+  cluster::DatasetSpec spec = SmokeSpec();
+  spec.name = "lag-d";
+  ASSERT_TRUE(router.RegisterDataset(spec).ok());
+  const int home = router.HomeOf(spec.name);
+  ASSERT_GE(home, 0);
+  const auto replicas = router.ReplicasOf(spec.name);
+  ASSERT_EQ(replicas.size(), 2u);
+  int secondary = -1;
+  for (int id : replicas) {
+    if (id != home) secondary = id;
+  }
+  ASSERT_GE(secondary, 0);
+
+  engine::QueryResult reference;
+  {
+    net::FaultInjector injector;
+    FaultGuard guard(&injector);
+    // The secondary cannot receive plan syncs (its link to the router eats
+    // every kSyncPlans frame)...
+    net::FaultRule sync_rule;
+    sync_rule.action = net::FaultAction::kClose;
+    sync_rule.direction = net::FaultDirection::kSend;
+    sync_rule.match_type = true;
+    sync_rule.type = net::FrameType::kSyncPlans;
+    sync_rule.tag_contains = "lagrouter->s" + std::to_string(secondary);
+    sync_rule.times = -1;
+    injector.AddRule(sync_rule);
+    // ...and repair cannot recruit a replacement replica either, so the
+    // lagging secondary stays the only live holder after the kill.
+    net::FaultRule reg_rule;
+    reg_rule.action = net::FaultAction::kClose;
+    reg_rule.direction = net::FaultDirection::kSend;
+    reg_rule.match_type = true;
+    reg_rule.type = net::FrameType::kRegisterDataset;
+    reg_rule.tag_contains = "lagrouter->";
+    reg_rule.times = -1;
+    injector.AddRule(reg_rule);
+
+    // Training bumps the committed epoch; the propagation to the secondary
+    // fails, leaving it one epoch behind.
+    auto r0 = router.Execute(spec.name, kSql);
+    ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+    EXPECT_GT(r0.value().plan_seconds, 0.0);
+    EXPECT_EQ(r0.value().consistency, engine::Consistency::kCertain);
+    reference = r0.value();
+    EXPECT_GE(router.Health().replicas_behind, 1);
+    // Healthy pass: snapshots every shard's stats so the primary's single
+    // planner run survives its upcoming death in the aggregate.
+    EXPECT_EQ(router.CheckNow(), 0);
+
+    // Ask the secondary itself: it holds the dataset at the stale epoch.
+    cluster::RemoteShard::Options popts;
+    popts.port = shards[static_cast<size_t>(secondary)]->port();
+    popts.name = "epochprobe";
+    cluster::RemoteShard probe(popts);
+    auto ep = probe.EpochOf(spec.name);
+    ASSERT_TRUE(ep.ok()) << ep.status().ToString();
+    EXPECT_TRUE(ep.value().has_dataset);
+    EXPECT_EQ(ep.value().epoch, 1u);
+
+    // Kill the primary; after the health passes the stale secondary is the
+    // only live holder left.
+    shards[static_cast<size_t>(home)]->Kill();
+    router.CheckNow();
+    router.CheckNow();
+    ASSERT_FALSE(router.ShardAlive(home));
+
+    auto r1 = router.Execute(spec.name, kSql);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    // Still the right answer (the plan loads from the shared catalog), but
+    // honestly labelled: degraded, with a reason a human can read.
+    ExpectSameOutcome(reference, r1.value());
+    EXPECT_EQ(r1.value().consistency, engine::Consistency::kDegraded);
+    EXPECT_FALSE(r1.value().divergence.empty());
+    EXPECT_GE(router.Health().degraded_answers, 1);
+    EXPECT_EQ(router.Stats().stats.planner_runs, 1);
+  }  // partition heals: the injector is gone
+
+  // The next maintenance pass syncs the lagging replica (and recruits a
+  // replacement), after which answers are certain again.
+  router.CheckNow();
+  EXPECT_EQ(router.Health().replicas_behind, 0);
+  auto r2 = router.Execute(spec.name, kSql);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  ExpectSameOutcome(reference, r2.value());
+  EXPECT_EQ(r2.value().consistency, engine::Consistency::kCertain)
+      << r2.value().divergence;
+  EXPECT_EQ(router.Stats().stats.planner_runs, 1);
+
+  router.Stop();
+  for (auto& shard : shards) shard->Stop();
+}
+
 // ---- Real-process SIGKILL drill --------------------------------------------
 
 // Spawns real shardd processes, hammers queries through the router, and

@@ -3,6 +3,8 @@
 // and the per-shard label breakdown. The format is an external contract
 // (scrapers parse it), so these tests are deliberately literal.
 
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,6 +48,18 @@ cluster::ClusterHealth MakeHealth() {
   health.failovers = 1;
   health.rehomed_datasets = 2;
   health.dead_shards = 1;
+  health.replication = 2;
+  health.replicas_behind = 1;
+  health.read_failovers = 3;
+  health.certain_answers = 40;
+  health.degraded_answers = 2;
+  health.plan_resyncs = 5;
+  cluster::ClusterHealth::DatasetPlacement placement;
+  placement.dataset = "bdd";
+  placement.primary = 1;
+  placement.replicas = 2;
+  placement.committed_epoch = 7;
+  health.placements.push_back(placement);
   return health;
 }
 
@@ -71,6 +85,27 @@ TEST(MetricsTextTest, EmitsClusterHealth) {
   EXPECT_NE(text.find("zeus_cluster_rehomed_datasets_total 2\n"),
             std::string::npos);
   EXPECT_NE(text.find("zeus_cluster_dead_shards 1\n"), std::string::npos);
+}
+
+TEST(MetricsTextTest, EmitsReplicationAndCertainAnswerContract) {
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  EXPECT_NE(text.find("zeus_certain_answers_total 40\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_degraded_answers_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_cluster_read_failovers_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_cluster_plan_resyncs_total 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_cluster_replication_factor 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_cluster_replicas_behind 1\n"), std::string::npos);
+  // Per-dataset placement gauges carry the dataset label — this is what CI
+  // parses to find the primary worth killing in the failover drill.
+  EXPECT_NE(text.find("zeus_dataset_primary_shard{dataset=\"bdd\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_dataset_live_replicas{dataset=\"bdd\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_dataset_committed_epoch{dataset=\"bdd\"} 7\n"),
+            std::string::npos);
 }
 
 TEST(MetricsTextTest, HistogramBucketsAreCumulativeAndEndAtInf) {
@@ -132,6 +167,65 @@ TEST(MetricsTextTest, EveryLineIsCommentOrSample) {
     EXPECT_FALSE(line.substr(space + 1).empty()) << line;
   }
 }
+
+// docs/METRICS.md documents every family in a table whose rows start with
+// "| `zeus_...` | <type> |". This test holds the doc and the live exposition
+// to each other, both directions, so neither can drift: a metric added to
+// the code without a doc row fails, and a doc row for a removed metric
+// fails. ZEUS_DOCS_DIR is injected by CMake.
+#ifdef ZEUS_DOCS_DIR
+TEST(MetricsTextTest, MetricsDocMatchesLiveExposition) {
+  std::ifstream doc(std::string(ZEUS_DOCS_DIR) + "/METRICS.md");
+  ASSERT_TRUE(doc.good()) << "docs/METRICS.md is missing";
+
+  auto trim = [](std::string s) {
+    const size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) return std::string();
+    return s.substr(b, s.find_last_not_of(" \t") - b + 1);
+  };
+
+  std::map<std::string, std::string> documented;  // family -> type
+  std::string line;
+  while (std::getline(doc, line)) {
+    if (line.rfind("| `zeus_", 0) != 0) continue;
+    const size_t name_start = line.find('`') + 1;
+    const size_t name_end = line.find('`', name_start);
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string name = line.substr(name_start, name_end - name_start);
+    const size_t bar = line.find('|', name_end);
+    ASSERT_NE(bar, std::string::npos) << line;
+    const size_t next = line.find('|', bar + 1);
+    ASSERT_NE(next, std::string::npos) << line;
+    documented[name] = trim(line.substr(bar + 1, next - bar - 1));
+  }
+  ASSERT_FALSE(documented.empty()) << "no metric rows found in METRICS.md";
+
+  std::map<std::string, std::string> live;  // from "# TYPE <name> <type>"
+  std::istringstream text(cluster::PrometheusText(MakeStats(), MakeHealth()));
+  while (std::getline(text, line)) {
+    if (line.rfind("# TYPE ", 0) != 0) continue;
+    std::istringstream fields(line.substr(7));
+    std::string name, type;
+    ASSERT_TRUE(fields >> name >> type) << line;
+    live[name] = type;
+  }
+
+  for (const auto& [name, type] : live) {
+    const auto it = documented.find(name);
+    EXPECT_TRUE(it != documented.end())
+        << "metric " << name << " is emitted but has no row in METRICS.md";
+    if (it != documented.end()) {
+      EXPECT_EQ(it->second, type) << "METRICS.md documents " << name
+                                  << " with the wrong type";
+    }
+  }
+  for (const auto& [name, type] : documented) {
+    EXPECT_EQ(live.count(name), 1u)
+        << "METRICS.md documents " << name << " (" << type
+        << ") but the exposition does not emit it";
+  }
+}
+#endif  // ZEUS_DOCS_DIR
 
 }  // namespace
 }  // namespace zeus

@@ -55,11 +55,13 @@ TEST(WireTest, FrameRoundTripsEveryTypeAndPayloadSize) {
       net::FrameType::kSubmit,    net::FrameType::kCancel,
       net::FrameType::kStats,     net::FrameType::kRegisterDataset,
       net::FrameType::kTicketState, net::FrameType::kTicketWait,
-      net::FrameType::kRemoveDataset, net::FrameType::kPong,
+      net::FrameType::kRemoveDataset, net::FrameType::kSyncPlans,
+      net::FrameType::kEpochQuery, net::FrameType::kPong,
       net::FrameType::kOk,        net::FrameType::kError,
       net::FrameType::kResult,    net::FrameType::kStatsReply,
       net::FrameType::kSubmitReply, net::FrameType::kTicketStateReply,
-      net::FrameType::kRegisterReply};
+      net::FrameType::kRegisterReply, net::FrameType::kSyncReply,
+      net::FrameType::kEpochReply};
   for (net::FrameType type : types) {
     for (size_t payload_size : {0u, 1u, 7u, 255u, 4096u}) {
       net::Frame in;
@@ -133,6 +135,8 @@ TEST(WireTest, IdempotencyClassification) {
   EXPECT_TRUE(net::IsIdempotent(net::FrameType::kRegisterDataset));
   EXPECT_TRUE(net::IsIdempotent(net::FrameType::kTicketState));
   EXPECT_TRUE(net::IsIdempotent(net::FrameType::kRemoveDataset));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kSyncPlans));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kEpochQuery));
   EXPECT_FALSE(net::IsIdempotent(net::FrameType::kExecute));
   EXPECT_FALSE(net::IsIdempotent(net::FrameType::kSubmit));
   EXPECT_FALSE(net::IsIdempotent(net::FrameType::kTicketWait));
@@ -174,6 +178,7 @@ TEST(ProtocolTest, DatasetSpecRoundTrip) {
   in.frames_per_video = 400;
   in.native_resolution = 720;
   in.warm_plans = false;
+  in.epoch = 41;
   cluster::DatasetSpec out;
   ASSERT_TRUE(cluster::DecodeDatasetSpec(cluster::EncodeDatasetSpec(in), &out));
   EXPECT_EQ(out.name, in.name);
@@ -183,6 +188,7 @@ TEST(ProtocolTest, DatasetSpecRoundTrip) {
   EXPECT_EQ(out.frames_per_video, in.frames_per_video);
   EXPECT_EQ(out.native_resolution, in.native_resolution);
   EXPECT_EQ(out.warm_plans, in.warm_plans);
+  EXPECT_EQ(out.epoch, in.epoch);
 }
 
 TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
@@ -201,6 +207,9 @@ TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
   in.plan_seconds = 0.0;
   in.executor = "Zeus-RL-Batched";
   in.explanation = "";
+  in.consistency = engine::Consistency::kDegraded;
+  in.divergence = "shard 2 served epoch 1, committed epoch is 3";
+  in.epoch = 1;
   engine::QueryResult out;
   ASSERT_TRUE(
       cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
@@ -212,6 +221,65 @@ TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
   EXPECT_EQ(out.metrics.f1, in.metrics.f1);
   EXPECT_EQ(out.wall_seconds, in.wall_seconds);
   EXPECT_EQ(out.executor, in.executor);
+  // The consistency annotation is part of the answer, not metadata a relay
+  // may drop: it survives the wire exactly.
+  EXPECT_EQ(out.consistency, in.consistency);
+  EXPECT_EQ(out.divergence, in.divergence);
+  EXPECT_EQ(out.epoch, in.epoch);
+}
+
+TEST(ProtocolTest, QueryResultRejectsContradictoryConsistency) {
+  // kCertain with a divergence reason is a contract violation — the decoder
+  // refuses it rather than letting one end claim certainty and explain
+  // divergence at the same time.
+  engine::QueryResult in;
+  in.segments = {{0, 1, 2}};
+  in.consistency = engine::Consistency::kCertain;
+  in.divergence = "should not be here";
+  engine::QueryResult out;
+  EXPECT_FALSE(
+      cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
+  // An out-of-range consistency byte is rejected whole.
+  in.divergence.clear();
+  std::string payload = cluster::EncodeQueryResult(in);
+  const std::string tail = payload.substr(payload.size() - 13);
+  payload[payload.size() - 13] = 5;  // consistency byte: u8 + str(4) + u64
+  ASSERT_EQ(tail[0], 0);  // we really did point at the consistency byte
+  EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
+}
+
+TEST(ProtocolTest, SyncAndEpochCodecsRoundTrip) {
+  cluster::SyncPlansRequest sync_in;
+  sync_in.name = "bdd";
+  sync_in.epoch = 7;
+  cluster::SyncPlansRequest sync_out;
+  ASSERT_TRUE(
+      cluster::DecodeSyncPlans(cluster::EncodeSyncPlans(sync_in), &sync_out));
+  EXPECT_EQ(sync_out.name, sync_in.name);
+  EXPECT_EQ(sync_out.epoch, sync_in.epoch);
+
+  cluster::SyncReply sr_in;
+  sr_in.plans_warmed = 3;
+  sr_in.epoch = 7;
+  cluster::SyncReply sr_out;
+  ASSERT_TRUE(
+      cluster::DecodeSyncReply(cluster::EncodeSyncReply(sr_in), &sr_out));
+  EXPECT_EQ(sr_out.plans_warmed, sr_in.plans_warmed);
+  EXPECT_EQ(sr_out.epoch, sr_in.epoch);
+
+  cluster::EpochReply ep_in;
+  ep_in.epoch = 12;
+  ep_in.has_dataset = true;
+  cluster::EpochReply ep_out;
+  ASSERT_TRUE(
+      cluster::DecodeEpochReply(cluster::EncodeEpochReply(ep_in), &ep_out));
+  EXPECT_EQ(ep_out.epoch, ep_in.epoch);
+  EXPECT_EQ(ep_out.has_dataset, ep_in.has_dataset);
+
+  // A sync request for the empty dataset name is malformed by definition.
+  cluster::SyncPlansRequest empty;
+  EXPECT_FALSE(
+      cluster::DecodeSyncPlans(cluster::EncodeSyncPlans(empty), &sync_out));
 }
 
 TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
@@ -228,10 +296,22 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
   stats.stats.datasets[0].dataset = "a";
   stats.stats.datasets[1].dataset = "b";
 
+  cluster::SyncPlansRequest sync;
+  sync.name = "d";
+  sync.epoch = 3;
+  cluster::SyncReply sync_reply;
+  sync_reply.plans_warmed = 1;
+  sync_reply.epoch = 3;
+  cluster::EpochReply epoch_reply;
+  epoch_reply.epoch = 3;
+  epoch_reply.has_dataset = true;
+
   const std::string payloads[] = {
       cluster::EncodeDatasetSpec(spec), cluster::EncodeExecRequest(exec),
       cluster::EncodeQueryResult(result), cluster::EncodeStatsReply(stats),
-      cluster::EncodeTicketId(77)};
+      cluster::EncodeTicketId(77), cluster::EncodeSyncPlans(sync),
+      cluster::EncodeSyncReply(sync_reply),
+      cluster::EncodeEpochReply(epoch_reply)};
   for (const std::string& payload : payloads) {
     for (size_t len = 0; len < payload.size(); ++len) {
       const std::string prefix = payload.substr(0, len);
@@ -240,15 +320,55 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
       engine::QueryResult r;
       cluster::StatsReply st;
       uint64_t id = 0;
+      cluster::SyncPlansRequest sp;
+      cluster::SyncReply srp;
+      cluster::EpochReply ep;
       EXPECT_FALSE(cluster::DecodeDatasetSpec(prefix, &s) &&
                    cluster::DecodeExecRequest(prefix, &e) &&
                    cluster::DecodeQueryResult(prefix, &r) &&
                    cluster::DecodeStatsReply(prefix, &st) &&
-                   cluster::DecodeTicketId(prefix, &id));
+                   cluster::DecodeTicketId(prefix, &id) &&
+                   cluster::DecodeSyncPlans(prefix, &sp) &&
+                   cluster::DecodeSyncReply(prefix, &srp) &&
+                   cluster::DecodeEpochReply(prefix, &ep));
     }
     // Trailing junk is also rejected (AtEnd discipline).
     cluster::DatasetSpec s;
     EXPECT_FALSE(cluster::DecodeDatasetSpec(payload + "x", &s));
+    cluster::SyncPlansRequest sp;
+    EXPECT_FALSE(cluster::DecodeSyncPlans(payload + "x", &sp));
+  }
+  // The replication frames are small and fixed-shape: every strict prefix
+  // must be rejected by the frame's OWN decoder, not just the weak
+  // all-decoders conjunction above.
+  {
+    const std::string p = cluster::EncodeSyncPlans(sync);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::SyncPlansRequest sp;
+      EXPECT_FALSE(cluster::DecodeSyncPlans(p.substr(0, len), &sp))
+          << "SyncPlans prefix of length " << len << " decoded";
+    }
+  }
+  {
+    const std::string p = cluster::EncodeSyncReply(sync_reply);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::SyncReply srp;
+      EXPECT_FALSE(cluster::DecodeSyncReply(p.substr(0, len), &srp))
+          << "SyncReply prefix of length " << len << " decoded";
+    }
+  }
+  {
+    const std::string p = cluster::EncodeEpochReply(epoch_reply);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::EpochReply ep;
+      EXPECT_FALSE(cluster::DecodeEpochReply(p.substr(0, len), &ep))
+          << "EpochReply prefix of length " << len << " decoded";
+    }
+    // has_dataset is a strict bool on the wire: 2 is rejected, not coerced.
+    std::string bogus = p;
+    bogus[bogus.size() - 1] = 2;
+    cluster::EpochReply ep;
+    EXPECT_FALSE(cluster::DecodeEpochReply(bogus, &ep));
   }
   Lcg lcg(23);
   for (int round = 0; round < 200; ++round) {
@@ -257,6 +377,10 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
     cluster::DecodeStatsReply(garbage, &st);  // must not crash
     engine::QueryResult r;
     cluster::DecodeQueryResult(garbage, &r);  // must not crash
+    cluster::SyncPlansRequest sp;
+    cluster::DecodeSyncPlans(garbage, &sp);  // must not crash
+    cluster::EpochReply ep;
+    cluster::DecodeEpochReply(garbage, &ep);  // must not crash
   }
 }
 

@@ -8,11 +8,17 @@
 //   - every completed answer is bit-identical to the first one (failover
 //     must never change results);
 //   - with --expect-failover, the final stats must show >= 1 failover
-//     (CI kills a shard mid-run and asserts the router noticed).
+//     (CI kills a shard mid-run and asserts the router noticed);
+//   - with --expect-zero-unavailability (replication >= 2), the drill is
+//     strict: after a warm-up query and a wait for all replicas to catch
+//     up, the measured queries tolerate ZERO errors — not even retryable
+//     ones — every answer must be kCertain and planner_runs must not move.
+//     CI kills the dataset's PRIMARY mid-run; the router's in-call replica
+//     failover has to absorb it invisibly.
 //
 //   cluster_drive --router host:port [--queries N] [--dataset NAME]
 //                 [--videos N] [--frames N] [--retry-timeout-s S]
-//                 [--expect-failover]
+//                 [--expect-failover] [--expect-zero-unavailability]
 
 #include <chrono>
 #include <cstdio>
@@ -27,8 +33,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --router host:port [--queries N] [--dataset NAME]\n"
-               "       [--videos N] [--frames N] [--retry-timeout-s S] "
-               "[--expect-failover]\n",
+               "       [--videos N] [--frames N] [--retry-timeout-s S]\n"
+               "       [--expect-failover] [--expect-zero-unavailability]\n",
                argv0);
   return 2;
 }
@@ -54,6 +60,7 @@ int main(int argc, char** argv) {
   int queries = 12;
   int retry_timeout_s = 120;
   bool expect_failover = false;
+  bool expect_zero_unavailability = false;
   zeus::cluster::DatasetSpec spec;
   spec.name = "smoke";
   spec.num_videos = 10;
@@ -85,6 +92,8 @@ int main(int argc, char** argv) {
       retry_timeout_s = std::atoi(v);
     } else if (arg == "--expect-failover") {
       expect_failover = true;
+    } else if (arg == "--expect-zero-unavailability") {
+      expect_zero_unavailability = true;
     } else {
       return Usage(argv[0]);
     }
@@ -122,6 +131,68 @@ int main(int argc, char** argv) {
   bool have_reference = false;
   int completed = 0;
   int retries = 0;
+  long planner_baseline = -1;
+
+  if (expect_zero_unavailability) {
+    // Warm-up: the first query trains the plan and the router propagates it
+    // to every replica. Retries are allowed here — this is setup, not the
+    // measured window.
+    const auto warm_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::seconds(retry_timeout_s);
+    for (;;) {
+      auto result = client.Execute(req);
+      if (result.ok()) {
+        reference = result.value();
+        have_reference = true;
+        std::printf("warmup ok (%zu segments, executor %s, %s)\n",
+                    reference.segments.size(), reference.executor.c_str(),
+                    zeus::engine::ConsistencyName(reference.consistency));
+        break;
+      }
+      if (!zeus::common::IsRetryable(result.status().code()) ||
+          std::chrono::steady_clock::now() >= warm_deadline) {
+        std::fprintf(stderr, "cluster_drive: warmup query failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    // Wait for every replica to reach the committed epoch so the measured
+    // window starts from a converged group, then freeze the planner_runs
+    // baseline: the strict window must not train a single plan.
+    const auto sync_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "cluster_drive: stats failed during sync: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      if (stats.value().replication < 2) {
+        std::fprintf(stderr,
+                     "cluster_drive: --expect-zero-unavailability needs "
+                     "replication >= 2, router reports %d\n",
+                     stats.value().replication);
+        return 1;
+      }
+      if (stats.value().replicas_behind == 0) {
+        planner_baseline = stats.value().stats.planner_runs;
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= sync_deadline) {
+        std::fprintf(stderr,
+                     "cluster_drive: %lld replica(s) still behind at "
+                     "deadline — plan propagation never converged\n",
+                     static_cast<long long>(stats.value().replicas_behind));
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    std::printf("replicas converged (planner_runs=%ld); strict window open\n",
+                planner_baseline);
+  }
+
   for (int q = 0; q < queries; ++q) {
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::seconds(retry_timeout_s);
@@ -139,11 +210,35 @@ int main(int argc, char** argv) {
                        result.value().segments.size());
           return 1;
         }
+        if (expect_zero_unavailability &&
+            result.value().consistency !=
+                zeus::engine::Consistency::kCertain) {
+          std::fprintf(stderr,
+                       "cluster_drive: query %d answered %s inside the "
+                       "strict window (%s)\n",
+                       q,
+                       zeus::engine::ConsistencyName(
+                           result.value().consistency),
+                       result.value().divergence.c_str());
+          return 1;
+        }
         ++completed;
-        std::printf("query %d ok (%zu segments, executor %s)\n", q,
+        std::printf("query %d ok (%zu segments, executor %s, %s)\n", q,
                     result.value().segments.size(),
-                    result.value().executor.c_str());
+                    result.value().executor.c_str(),
+                    zeus::engine::ConsistencyName(
+                        result.value().consistency));
         break;
+      }
+      if (expect_zero_unavailability) {
+        // Inside the strict window *any* error — retryable included — is a
+        // client-visible unavailability event, which is exactly what the
+        // replicated failover contract forbids.
+        std::fprintf(stderr,
+                     "cluster_drive: query %d failed inside the "
+                     "zero-unavailability window: %s\n",
+                     q, result.status().ToString().c_str());
+        return 1;
       }
       if (!zeus::common::IsRetryable(result.status().code())) {
         std::fprintf(stderr, "cluster_drive: query %d failed terminally: %s\n",
@@ -160,6 +255,11 @@ int main(int argc, char** argv) {
       std::printf("query %d retrying: %s\n", q,
                   result.status().ToString().c_str());
       std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    if (expect_zero_unavailability) {
+      // Pace the strict window so CI's mid-run primary kill lands while
+      // queries are still flowing (the kill is timed off "query 2 ok").
+      std::this_thread::sleep_for(std::chrono::milliseconds(500));
     }
   }
 
@@ -185,11 +285,15 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "done: %d/%d queries, %d client retries; cluster: %d shard(s) alive, "
-      "%lld failover(s), %lld dataset(s) re-homed, completed=%ld "
+      "%lld failover(s), %lld dataset(s) re-homed, %lld read failover(s), "
+      "%lld certain / %lld degraded answer(s), completed=%ld "
       "planner_runs=%ld disk_loads=%ld\n",
       completed, queries, retries, s.num_shards,
       static_cast<long long>(s.failovers),
-      static_cast<long long>(s.rehomed_datasets), s.stats.completed,
+      static_cast<long long>(s.rehomed_datasets),
+      static_cast<long long>(s.read_failovers),
+      static_cast<long long>(s.certain_answers),
+      static_cast<long long>(s.degraded_answers), s.stats.completed,
       s.stats.planner_runs, s.stats.disk_loads);
 
   if (completed != queries) return 1;
@@ -197,6 +301,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "cluster_drive: expected a failover but stats report %lld\n",
                  static_cast<long long>(s.failovers));
+    return 1;
+  }
+  if (expect_zero_unavailability && s.stats.planner_runs != planner_baseline) {
+    std::fprintf(stderr,
+                 "cluster_drive: planner ran during the strict window "
+                 "(%ld vs baseline %ld) — a replica served without a "
+                 "propagated plan\n",
+                 s.stats.planner_runs, planner_baseline);
     return 1;
   }
   return 0;

@@ -3,7 +3,7 @@
 # one plan-catalog directory, fronted by a zeus_router.
 #
 #   tools/run_cluster.sh [N] [--build-dir DIR] [--work-dir DIR]
-#                        [--router-port P] [--foreground]
+#                        [--router-port P] [--replication R] [--foreground]
 #
 #   N              number of shards (default 3)
 #   --build-dir    where shardd/zeus_router live (default: ./build)
@@ -11,6 +11,8 @@
 #                  catalog (default: mktemp -d; printed on start)
 #   --router-port  fixed router port (default 0 = ephemeral; the actual
 #                  port is written to $WORK_DIR/router.port either way)
+#   --replication  replicas per dataset (default 1; use 2+ so a dead
+#                  primary is a zero-unavailability event)
 #   --foreground   keep running until Ctrl-C (default: print endpoints and
 #                  keep running — this IS the foreground; the flag exists
 #                  for symmetry/explicitness in scripts)
@@ -28,14 +30,16 @@ NUM_SHARDS=3
 BUILD_DIR="build"
 WORK_DIR=""
 ROUTER_PORT=0
+REPLICATION=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --build-dir)   BUILD_DIR="$2"; shift 2 ;;
     --work-dir)    WORK_DIR="$2"; shift 2 ;;
     --router-port) ROUTER_PORT="$2"; shift 2 ;;
+    --replication) REPLICATION="$2"; shift 2 ;;
     --foreground)  shift ;;
-    -h|--help)     sed -n '2,20p' "$0"; exit 0 ;;
+    -h|--help)     sed -n '2,22p' "$0"; exit 0 ;;
     -*)            echo "unknown flag: $1" >&2; exit 2 ;;
     *)             NUM_SHARDS="$1"; shift ;;
   esac
@@ -58,12 +62,18 @@ mkdir -p "$WORK_DIR/plans"
 PIDS=()
 cleanup() {
   # Kill the router first so nothing routes to dying shards, then the
-  # shards; SIGKILL stragglers. Runs on EVERY exit path.
-  for pid in "${PIDS[@]:-}"; do
+  # shards; SIGKILL stragglers. Runs on EVERY exit path. Also sweep the
+  # work dir's *.pid files: a failover drill may have spawned replacement
+  # shards AFTER this script recorded $PIDS, and those must not outlive us.
+  local sweep=()
+  for f in "$WORK_DIR"/*.pid; do
+    [[ -s "$f" ]] && sweep+=("$(cat "$f")")
+  done
+  for pid in "${PIDS[@]:-}" "${sweep[@]:-}"; do
     kill "$pid" 2>/dev/null || true
   done
   sleep 0.3
-  for pid in "${PIDS[@]:-}"; do
+  for pid in "${PIDS[@]:-}" "${sweep[@]:-}"; do
     kill -9 "$pid" 2>/dev/null || true
     wait "$pid" 2>/dev/null || true
   done
@@ -100,13 +110,14 @@ done
 ROUTER_PORT_FILE="$WORK_DIR/router.port"
 rm -f "$ROUTER_PORT_FILE"
 "$ROUTER" "${SHARD_ARGS[@]}" --port "$ROUTER_PORT" \
-          --port-file "$ROUTER_PORT_FILE" --name router \
+          --port-file "$ROUTER_PORT_FILE" --replication "$REPLICATION" \
+          --name router \
           >"$WORK_DIR/router.log" 2>&1 &
 PIDS+=($!)
 echo "$!" >"$WORK_DIR/router.pid"
 wait_for_port_file "$ROUTER_PORT_FILE" "router"
 
-echo "cluster up: $NUM_SHARDS shard(s), router on 127.0.0.1:$(cat "$ROUTER_PORT_FILE")"
+echo "cluster up: $NUM_SHARDS shard(s), replication $REPLICATION, router on 127.0.0.1:$(cat "$ROUTER_PORT_FILE")"
 echo "work dir:   $WORK_DIR (port files, pid files, logs, shared plan catalog)"
 echo "metrics:    curl -s http://127.0.0.1:$(cat "$ROUTER_PORT_FILE")/metrics"
 echo "stop:       Ctrl-C (the EXIT trap tears everything down)"

@@ -6,9 +6,13 @@
 //
 //   zeus_router --shard host:port [--shard host:port ...]
 //               [--host H] [--port P] [--port-file PATH]
-//               [--health-interval-ms N] [--misses-to-dead N] [--name NAME]
+//               [--health-interval-ms N] [--misses-to-dead N]
+//               [--replication R] [--name NAME]
 //
-// `--shard P` (no colon) is shorthand for 127.0.0.1:P.
+// `--shard P` (no colon) is shorthand for 127.0.0.1:P. `--replication R`
+// places each dataset on R shards (ring owner + R-1 successors); with
+// R >= 2 a dead primary is a zero-unavailability event — reads fail over
+// to a live replica inside the call.
 
 #include <atomic>
 #include <chrono>
@@ -31,8 +35,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --shard host:port [--shard host:port ...]\n"
                "       [--host H] [--port P] [--port-file PATH]\n"
-               "       [--health-interval-ms N] [--misses-to-dead N] "
-               "[--name NAME]\n",
+               "       [--health-interval-ms N] [--misses-to-dead N]\n"
+               "       [--replication R] [--name NAME]\n",
                argv0);
   return 2;
 }
@@ -78,6 +82,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--misses-to-dead") {
       if ((v = next()) == nullptr) return Usage(argv[0]);
       opts.misses_to_dead = std::atoi(v);
+    } else if (arg == "--replication") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      opts.replication = std::atoi(v);
     } else if (arg == "--name") {
       if ((v = next()) == nullptr) return Usage(argv[0]);
       opts.name = v;
