@@ -1,63 +1,320 @@
-// Figure 9 + Table 5: Zeus-RL vs Zeus-Sliding across accuracy targets
-// {0.75, 0.80, 0.85} on CrossRight and LeftTurn. The APFG and the profiled
-// configuration space are shared across targets (they do not depend on the
-// target); only the accuracy-aware RL training differs (§4.6).
+// Figure 9 + Table 5 through the serving path: accuracy-budgeted serving
+// across targets {0.75, 0.80, 0.85}. Where the original bench drove the
+// planner and executors directly, every measurement here goes through a
+// live EngineGroup — Submit() with per-query budgets (tier, min_accuracy,
+// max_latency_budget), one plan per accuracy band, confidence-annotated
+// answers (docs/ACCURACY.md).
+//
+// Segments:
+//   1. Bands: a strict query per accuracy band; records the measured F1
+//      (`achieved_accuracy`), the cost model's `achieved_confidence`
+//      annotation, and throughput per band.
+//   2. Budget: a best-effort query capped at half the strict run's modeled
+//      GPU seconds; the budget MUST early-exit (the cost model is
+//      deterministic) and report reduced confidence.
+//   3. Flood: best-effort flood on an undersized group that cannot scale —
+//      asserts the degradation ladder end to end: the shed rung fires
+//      before admission rejects anything strict (zero kResourceExhausted
+//      for the strict tenant), shed answers carry confidence >= the band
+//      floor, strict answers stay bit-identical to the unloaded run.
+//      Any violation exits non-zero, so bench-smoke is a live gate on the
+//      accuracy contract, not just a perf trail.
+//
+// Flags:
+//   --reduced       # CI-sized run: one class, smaller dataset, fewer epochs
+//   --json PATH     # machine-readable results (docs/CI.md schema)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "rl/trainer.h"
+#include "common/stringutil.h"
+#include "core/accuracy.h"
+#include "engine/engine_group.h"
 
-int main() {
+namespace {
+
+struct BenchConfig {
+  bool reduced = false;
+  std::string json_path;
+
+  zeus::video::DatasetProfile profile() const {
+    auto p = zeus::bench::BenchProfile(zeus::video::DatasetFamily::kBdd100kLike);
+    if (reduced) {
+      p.num_videos = std::max(12, p.num_videos / 2);
+      p.frames_per_video = std::max(250, p.frames_per_video / 2);
+    }
+    return p;
+  }
+
+  zeus::core::QueryPlanner::Options planner() const {
+    auto opts = zeus::bench::BenchPlannerOptions();
+    if (reduced) {
+      opts.apfg.epochs = 6;
+      opts.profile.max_windows_per_config = 100;
+      opts.trainer.episodes = 6;
+    }
+    return opts;
+  }
+
+  std::vector<zeus::video::ActionClass> classes() const {
+    if (reduced) return {zeus::video::ActionClass::kCrossRight};
+    return {zeus::video::ActionClass::kCrossRight,
+            zeus::video::ActionClass::kLeftTurn};
+  }
+};
+
+constexpr double kTargets[] = {0.75, 0.80, 0.85};
+
+bool SameAnswer(const zeus::engine::QueryResult& a,
+                const zeus::engine::QueryResult& b) {
+  return zeus::engine::SameSegments(a, b) && a.metrics.tp == b.metrics.tp &&
+         a.metrics.fp == b.metrics.fp && a.metrics.fn == b.metrics.fn &&
+         a.metrics.tn == b.metrics.tn;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace zeus;
   common::SetLogLevel(common::LogLevel::kWarning);
-  bench::PrintHeader(
-      "Figure 9 / Table 5: accuracy-aware planning across targets");
+  BenchConfig cfg;
+  cfg.reduced = bench::ReducedFromArgs(argc, argv);
+  cfg.json_path = bench::JsonPathFromArgs(argc, argv);
+  bench::PrintHeader(common::Format(
+      "Figure 9 / Table 5: accuracy-budgeted serving across targets%s",
+      cfg.reduced ? " (reduced)" : ""));
+  bench::BenchJson json("bench_fig9_accuracy_targets");
 
-  for (auto cls :
-       {video::ActionClass::kCrossRight, video::ActionClass::kLeftTurn}) {
-    auto ds = video::SyntheticDataset::Generate(
-        bench::BenchProfile(video::DatasetFamily::kBdd100kLike), 17);
-    auto opts = bench::BenchPlannerOptions();
-    core::QueryPlanner planner(&ds, opts);
-    // Base plan (also trains the 0.75-target agent).
-    auto plan_r = planner.PlanForClasses({cls}, 0.75);
-    if (!plan_r.ok()) continue;
-    core::QueryPlan plan = plan_r.value();
-    auto train = planner.SplitVideos(ds.train_indices());
-    auto test = planner.SplitVideos(ds.test_indices());
-
-    std::printf("\n--- %s ---\n", video::ActionClassName(cls));
-    std::printf("%-8s %-14s %8s %8s %12s %9s\n", "target", "method", "F1",
-                "recall", "tput(fps)", "speedup");
-    for (double target : {0.75, 0.80, 0.85}) {
-      // Retrain only the agent for this target, reusing APFG + features.
-      common::Rng rng(100 + static_cast<uint64_t>(target * 100));
-      rl::VideoEnv env(train, &plan.rl_space, plan.cache.get(), plan.targets,
-                       plan.env_opts);
-      rl::DqnTrainer::Options trainer_opts = opts.trainer;
-      trainer_opts.accuracy_target = target;
-      rl::DqnTrainer trainer(&env, trainer_opts, &rng);
-      trainer.Train();
-      plan.agent = trainer.ReleaseAgent();
-      plan.accuracy_target = target;
-
-      int sliding_id = baselines::PickSlidingConfig(plan.space, target);
-      baselines::ZeusSliding sliding(plan.space.config(sliding_id),
-                                     plan.apfg.get(), plan.cost_model);
-      auto srow = bench::Evaluate(&sliding, test, plan.targets);
-      core::QueryExecutor executor(&plan);
-      auto zrow = bench::Evaluate(&executor, test, plan.targets);
-      double speedup = srow.throughput_fps > 0
-                           ? zrow.throughput_fps / srow.throughput_fps
-                           : 0.0;
-      std::printf("%-8.2f %-14s %8.3f %8.3f %12.0f %9s\n", target,
-                  "Zeus-Sliding", srow.metrics.f1, srow.metrics.recall,
-                  srow.throughput_fps, "-");
-      std::printf("%-8.2f %-14s %8.3f %8.3f %12.0f %8.2fx\n", target,
-                  "Zeus-RL", zrow.metrics.f1, zrow.metrics.recall,
-                  zrow.throughput_fps, speedup);
+  // One shard that cannot grow: the flood segment needs the shed rung to
+  // be the only relief the ladder has. The band/budget segments run their
+  // queries serially, so the queue never builds and the policy never
+  // interferes with them.
+  engine::EngineGroup::Options gopts;
+  gopts.num_shards = 1;
+  gopts.engine.num_workers = 1;
+  gopts.engine.max_pending = 16;
+  gopts.engine.planner = cfg.planner();
+  gopts.autoscale.enabled = true;
+  gopts.autoscale.min_shards = 1;
+  gopts.autoscale.max_shards = 1;
+  gopts.autoscale.max_degrade_level = 1;
+  gopts.autoscale.up_queue_per_shard = 4.0;
+  gopts.autoscale.down_queue_total = 0.0;
+  gopts.autoscale.sustain_samples = 2;
+  gopts.autoscale.cooldown_samples = 4;
+  gopts.autoscale.sample_interval = std::chrono::milliseconds(10);
+  engine::EngineGroup group(gopts);
+  {
+    auto st = group.RegisterDataset(
+        "bdd", video::SyntheticDataset::Generate(cfg.profile(), 17));
+    if (!st.ok()) {
+      std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+      return 1;
     }
   }
-  std::printf("\npaper (Table 5): speedups 1.45-2.97x, decreasing as the "
-              "accuracy target rises.\n");
-  return 0;
+
+  // ---- Segment 1: one strict query per accuracy band ----------------------
+  // Keyed per band in one plan cache side by side; each band's answer is
+  // the reference the budget and flood segments compare against.
+  std::printf("\n%-12s %-8s %8s %12s %12s %10s\n", "class", "target", "F1",
+              "confidence", "tput(fps)", "plan(s)");
+  std::vector<engine::QueryResult> strict_ref;  // indexed [class][band] flat
+  for (auto cls : cfg.classes()) {
+    for (double target : kTargets) {
+      core::ActionQuery q;
+      q.action_classes = {cls};
+      q.accuracy_target = target;
+      auto r = group.Execute("bdd", q);  // defaults: kStrict
+      if (!r.ok()) {
+        std::fprintf(stderr, "band %.2f failed: %s\n", target,
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-12s %-8.2f %8.3f %12.3f %12.0f %10.1f\n",
+                  video::ActionClassName(cls), target, r.value().metrics.f1,
+                  r.value().achieved_confidence, r.value().throughput_fps,
+                  r.value().plan_seconds);
+      const std::string rec = common::Format(
+          "%s/band_%.2f", video::ActionClassName(cls), target);
+      json.Add(rec, "achieved_accuracy", r.value().metrics.f1);
+      json.Add(rec, "achieved_confidence", r.value().achieved_confidence);
+      json.Add(rec, "throughput_fps", r.value().throughput_fps);
+      json.Add(rec, "wall_seconds", r.value().wall_seconds);
+      strict_ref.push_back(r.value());
+    }
+  }
+  const long planner_runs_after_bands = group.planner_runs();
+  std::printf("planner runs: %ld (one per band per class)\n",
+              planner_runs_after_bands);
+
+  // ---- Segment 2: latency-budgeted query ----------------------------------
+  // Half the strict run's modeled GPU seconds: the executor must early-exit
+  // (the cost model is deterministic) and the annotation must own up to it.
+  const engine::QueryResult& full = strict_ref[1];  // first class, band 0.80
+  {
+    core::ActionQuery q;
+    q.action_classes = {cfg.classes().front()};
+    q.accuracy_target = 0.80;
+    engine::QueryOptions budgeted;
+    budgeted.tier = core::QueryTier::kBestEffort;
+    budgeted.max_latency_budget = full.gpu_seconds / 2.0;
+    auto r = group.Execute("bdd", q, budgeted);
+    if (!r.ok()) {
+      std::fprintf(stderr, "budgeted query failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nbudgeted best-effort at band 0.80, %.2f of %.2f gpu-s: "
+        "budget_exhausted=%d confidence %.3f (full run %.3f)\n",
+        budgeted.max_latency_budget, full.gpu_seconds,
+        r.value().budget_exhausted ? 1 : 0, r.value().achieved_confidence,
+        full.achieved_confidence);
+    if (!r.value().budget_exhausted ||
+        r.value().achieved_confidence >= full.achieved_confidence) {
+      std::fprintf(stderr,
+                   "FAIL: half-budget run must early-exit with reduced "
+                   "confidence\n");
+      return 1;
+    }
+    json.Add("budget/half", "achieved_confidence",
+             r.value().achieved_confidence);
+    json.Add("budget/half", "budget_exhausted",
+             r.value().budget_exhausted ? 1.0 : 0.0);
+    json.Add("budget/half", "gpu_seconds", r.value().gpu_seconds);
+  }
+
+  // ---- Segment 3: flood — degradation before rejection ---------------------
+  // Best-effort flood pressurizes the bounded queue while a strict tenant
+  // keeps submitting. The contract under test (docs/ACCURACY.md):
+  // shed fires (the group cannot scale), zero strict rejections, shed
+  // answers annotated >= band floor, strict answers bit-identical.
+  std::printf("\nflood: best-effort at band 0.80 against 1 worker, "
+              "max_degrade_level 1\n");
+  const core::ActionQuery flood_q = [&] {
+    core::ActionQuery q;
+    q.action_classes = {cfg.classes().front()};
+    q.accuracy_target = 0.80;
+    return q;
+  }();
+  std::atomic<bool> stop_flood{false};
+  std::mutex mu;
+  std::vector<engine::QueryTicket> best_effort;
+  std::thread producer([&] {
+    engine::QueryOptions cheap;
+    cheap.tier = core::QueryTier::kBestEffort;
+    while (!stop_flood.load()) {
+      auto t = group.Submit("bdd", flood_q, cheap);
+      if (t.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        best_effort.push_back(t.value());
+      } else {
+        // Back-pressured: the queue is already pinned at max_pending,
+        // which is exactly the sustained backlog the ladder needs to see.
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<engine::QueryTicket> strict;
+  long strict_rejected = 0;
+  int degrade_peak = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (degrade_peak < 1 && std::chrono::steady_clock::now() < deadline) {
+    if (strict.size() < 12) {
+      auto t = group.Submit("bdd", flood_q);  // kStrict default
+      if (t.ok()) {
+        strict.push_back(t.value());
+      } else if (t.status().code() ==
+                 common::StatusCode::kResourceExhausted) {
+        ++strict_rejected;
+      }
+    }
+    degrade_peak = std::max(degrade_peak, group.degrade_level());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop_flood.store(true);
+  producer.join();
+
+  long shed = 0, full_band = 0, displaced = 0;
+  bool confidence_ok = true, strict_identical = true;
+  for (auto& t : best_effort) {
+    const auto& r = t.Wait();
+    if (!r.ok()) {
+      ++displaced;
+      continue;
+    }
+    if (core::SameAccuracyBand(r.value().accuracy_band, 0.75)) {
+      ++shed;
+      if (r.value().achieved_confidence < core::BandFloor(0.75) - 1e-9) {
+        confidence_ok = false;
+      }
+    } else {
+      ++full_band;
+    }
+  }
+  for (auto& t : strict) {
+    const auto& r = t.Wait();
+    if (!r.ok() || !SameAnswer(r.value(), full)) strict_identical = false;
+  }
+  const engine::GroupStats stats = group.Stats();
+  std::printf(
+      "flood result: degrade peak %d, %ld shed / %ld full-band / %ld "
+      "displaced best-effort, %zu strict served, %ld strict rejected, "
+      "planner runs %ld (unchanged: shed reused the warm 0.75 plan)\n",
+      degrade_peak, shed, full_band, displaced, strict.size(),
+      strict_rejected, group.planner_runs());
+
+  json.Add("flood", "degrade_peak", static_cast<double>(degrade_peak));
+  json.Add("flood", "shed_answers", static_cast<double>(shed));
+  json.Add("flood", "displaced_answers", static_cast<double>(displaced));
+  json.Add("flood", "strict_served", static_cast<double>(strict.size()));
+  json.Add("flood", "strict_rejected", static_cast<double>(strict_rejected));
+  json.Add("flood", "band_degraded", static_cast<double>(stats.band_degraded));
+  if (!json.WriteTo(cfg.json_path)) return 1;
+
+  // The accuracy contract is a hard gate, not a trail.
+  bool ok = true;
+  if (degrade_peak < 1) {
+    std::fprintf(stderr, "FAIL: flood never triggered the shed rung\n");
+    ok = false;
+  }
+  if (strict_rejected != 0) {
+    std::fprintf(stderr, "FAIL: %ld strict submissions rejected (must "
+                 "displace best-effort instead)\n", strict_rejected);
+    ok = false;
+  }
+  if (shed < 1) {
+    std::fprintf(stderr, "FAIL: no answer was served at the shed band\n");
+    ok = false;
+  }
+  if (!confidence_ok) {
+    std::fprintf(stderr, "FAIL: a shed answer reported confidence below "
+                 "the band floor\n");
+    ok = false;
+  }
+  if (!strict_identical) {
+    std::fprintf(stderr, "FAIL: a strict answer diverged from the "
+                 "unloaded run under flood\n");
+    ok = false;
+  }
+  if (group.planner_runs() != planner_runs_after_bands) {
+    std::fprintf(stderr, "FAIL: shedding retrained a plan (%ld -> %ld "
+                 "planner runs)\n", planner_runs_after_bands,
+                 group.planner_runs());
+    ok = false;
+  }
+  if (ok) {
+    std::printf("\naccuracy contract held: shed before reject, strict "
+                "unaffected, confidence >= band floor.\npaper (Table 5): "
+                "speedups 1.45-2.97x, decreasing as the target rises.\n");
+  }
+  return ok ? 0 : 1;
 }

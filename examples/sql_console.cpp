@@ -85,6 +85,12 @@ void PrintResult(const zeus::engine::QueryResult& r) {
   std::printf("%zu segment(s), F1=%.3f, %.0f fps  [executor: %s]\n",
               r.segments.size(), r.metrics.f1, r.throughput_fps,
               r.executor.c_str());
+  // Accuracy annotation (docs/ACCURACY.md): which band the answer was
+  // served at under which tier, and the cost model's confidence estimate.
+  std::printf("  [%s tier, band %.2f, confidence %.3f%s]\n",
+              zeus::core::TierName(r.tier), r.accuracy_band,
+              r.achieved_confidence,
+              r.budget_exhausted ? ", budget exhausted" : "");
   // The certain-answer contract: a degraded answer is still correct for
   // the data the serving replica holds, but the replica group is mid
   // catch-up — say so instead of silently presenting it as final.
@@ -120,6 +126,10 @@ void RunRemoteQuery(zeus::cluster::RemoteShard& client,
     std::printf("answers: %lld certain, %lld degraded\n",
                 static_cast<long long>(s.certain_answers),
                 static_cast<long long>(s.degraded_answers));
+    std::printf("accuracy: degrade_level=%d band_degraded=%ld "
+                "mean_confidence=%.3f\n",
+                s.stats.degrade_level, s.stats.band_degraded,
+                s.stats.confidence.mean());
     std::printf("queries: completed=%ld failed=%ld cancelled=%ld "
                 "planner_runs=%ld cache_hits=%ld disk_loads=%ld\n",
                 s.stats.completed, s.stats.failed, s.stats.cancelled,

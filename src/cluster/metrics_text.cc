@@ -123,6 +123,42 @@ std::string PrometheusText(const engine::GroupStats& stats,
         static_cast<unsigned long long>(p.committed_epoch)));
   }
 
+  // Accuracy-budget serving (docs/ACCURACY.md).
+  Counter(&out, "zeus_band_degraded_answers_total",
+          "Answers served below their requested accuracy band.",
+          stats.band_degraded);
+  Preamble(&out, "zeus_degraded_band_seconds_total", "counter",
+           "Execution wall time spent serving degraded-band answers.");
+  out.append(common::Format("zeus_degraded_band_seconds_total %.9g\n",
+                            stats.degraded_band_seconds));
+  Gauge(&out, "zeus_degrade_level",
+        "Current accuracy-shed level (0 = full accuracy).",
+        static_cast<long>(stats.degrade_level));
+  Preamble(&out, "zeus_plan_cache_band_hits_total", "counter",
+           "Plans served from cache (memory or disk), by accuracy band.");
+  for (const auto& [band, hits] : stats.band_plan_hits) {
+    out.append(common::Format(
+        "zeus_plan_cache_band_hits_total{band=\"%.3f\"} %ld\n",
+        static_cast<double>(band) / 1000.0, hits));
+  }
+  Preamble(&out, "zeus_achieved_confidence", "histogram",
+           "Cost-model accuracy estimate annotated on every answer.");
+  {
+    long cumulative = 0;
+    for (size_t i = 0; i < engine::ConfidenceStats::kNumBuckets; ++i) {
+      cumulative += stats.confidence.buckets[i];
+      out.append(common::Format("zeus_achieved_confidence_bucket{le=\"%.9g\"} %ld\n",
+                                engine::ConfidenceStats::BucketBound(i),
+                                cumulative));
+    }
+    out.append(common::Format("zeus_achieved_confidence_bucket{le=\"+Inf\"} %ld\n",
+                              stats.confidence.count));
+    out.append(common::Format("zeus_achieved_confidence_sum %.9g\n",
+                              stats.confidence.sum));
+    out.append(common::Format("zeus_achieved_confidence_count %ld\n",
+                              stats.confidence.count));
+  }
+
   // Latency histograms (seconds; bucket bounds are the registry's fixed
   // 1µs * 2^i grid, so scrapes from different shards always merge).
   Histogram(&out, "zeus_queue_wait_seconds",

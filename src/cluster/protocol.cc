@@ -11,6 +11,7 @@ constexpr int kMaxQueryState =
     static_cast<int>(engine::QueryState::kCancelled);
 constexpr int kMaxConsistency =
     static_cast<int>(engine::Consistency::kDegraded);
+constexpr int kMaxTier = static_cast<int>(core::QueryTier::kBestEffort);
 
 void EncodeHist(net::WireWriter* w, const engine::HistogramStats& h) {
   w->I64(h.count);
@@ -43,12 +44,23 @@ void EncodeCounters(net::WireWriter* w, const engine::ServingCounters& c) {
   w->I64(c.planner_runs);
   w->I64(c.cache_hits);
   w->I64(c.disk_loads);
+  w->I64(c.degrade_level);
+  w->I64(c.band_degraded);
+  w->F64(c.degraded_band_seconds);
+  w->U32(static_cast<uint32_t>(c.band_plan_hits.size()));
+  for (const auto& [band, hits] : c.band_plan_hits) {
+    w->I64(band);
+    w->I64(hits);
+  }
+  w->I64(c.confidence.count);
+  w->F64(c.confidence.sum);
+  for (long b : c.confidence.buckets) w->I64(b);
   EncodeHist(w, c.queue_wait);
   EncodeHist(w, c.exec);
 }
 
 bool DecodeCounters(net::WireReader* r, engine::ServingCounters* c) {
-  int64_t v[12];
+  int64_t v[14];
   for (auto& x : v) {
     if (!r->I64(&x)) return false;
   }
@@ -64,6 +76,27 @@ bool DecodeCounters(net::WireReader* r, engine::ServingCounters* c) {
   c->planner_runs = v[9];
   c->cache_hits = v[10];
   c->disk_loads = v[11];
+  c->degrade_level = static_cast<int>(v[12]);
+  c->band_degraded = v[13];
+  if (!r->F64(&c->degraded_band_seconds)) return false;
+  uint32_t bands = 0;
+  if (!r->U32(&bands)) return false;
+  // Each entry is 16 bytes — reject a lying header before allocating.
+  if (bands > r->remaining() / 16) return false;
+  c->band_plan_hits.clear();
+  for (uint32_t i = 0; i < bands; ++i) {
+    int64_t band = 0, hits = 0;
+    if (!r->I64(&band) || !r->I64(&hits)) return false;
+    c->band_plan_hits[band] = hits;
+  }
+  int64_t conf_count = 0;
+  if (!r->I64(&conf_count) || !r->F64(&c->confidence.sum)) return false;
+  c->confidence.count = conf_count;
+  for (size_t i = 0; i < engine::ConfidenceStats::kNumBuckets; ++i) {
+    int64_t b = 0;
+    if (!r->I64(&b)) return false;
+    c->confidence.buckets[i] = b;
+  }
   return DecodeHist(r, &c->queue_wait) && DecodeHist(r, &c->exec);
 }
 
@@ -116,14 +149,22 @@ std::string EncodeExecRequest(const ExecRequest& req) {
   w.Str(req.dataset);
   w.Str(req.sql);
   w.I32(req.priority);
+  w.U8(static_cast<uint8_t>(req.tier));
+  w.F64(req.min_accuracy);
+  w.F64(req.max_latency_budget);
   return w.Take();
 }
 
 bool DecodeExecRequest(const std::string& payload, ExecRequest* out) {
   net::WireReader r(payload);
-  if (!r.Str(&out->dataset) || !r.Str(&out->sql) || !r.I32(&out->priority)) {
+  uint8_t tier = 0;
+  if (!r.Str(&out->dataset) || !r.Str(&out->sql) || !r.I32(&out->priority) ||
+      !r.U8(&tier) || !r.F64(&out->min_accuracy) ||
+      !r.F64(&out->max_latency_budget)) {
     return false;
   }
+  if (tier > kMaxTier) return false;
+  out->tier = static_cast<core::QueryTier>(tier);
   return !out->dataset.empty() && r.AtEnd();
 }
 
@@ -151,6 +192,10 @@ std::string EncodeQueryResult(const engine::QueryResult& result) {
   w.U8(static_cast<uint8_t>(result.consistency));
   w.Str(result.divergence);
   w.U64(result.epoch);
+  w.F64(result.achieved_confidence);
+  w.F64(result.accuracy_band);
+  w.U8(static_cast<uint8_t>(result.tier));
+  w.U8(result.budget_exhausted ? 1 : 0);
   return w.Take();
 }
 
@@ -187,6 +232,14 @@ bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out) {
       !out->divergence.empty()) {
     return false;
   }
+  uint8_t tier = 0, budget_exhausted = 0;
+  if (!r.F64(&out->achieved_confidence) || !r.F64(&out->accuracy_band) ||
+      !r.U8(&tier) || !r.U8(&budget_exhausted)) {
+    return false;
+  }
+  if (tier > kMaxTier || budget_exhausted > 1) return false;
+  out->tier = static_cast<core::QueryTier>(tier);
+  out->budget_exhausted = budget_exhausted != 0;
   return r.AtEnd();
 }
 

@@ -48,10 +48,18 @@ bool DecodeDatasetSpec(const std::string& payload, DatasetSpec* out);
 
 // ---- Query submission ------------------------------------------------------
 
+// The accuracy/latency budget (docs/ACCURACY.md) travels with the query:
+// tier selects the degradation contract (strict answers never degrade),
+// min_accuracy floors how far best-effort shedding may drop the band, and
+// max_latency_budget (GPU-seconds, 0 = unlimited) lets non-strict queries
+// early-exit localization rounds.
 struct ExecRequest {
   std::string dataset;
   std::string sql;
   int32_t priority = 0;
+  core::QueryTier tier = core::QueryTier::kStrict;
+  double min_accuracy = 0.0;
+  double max_latency_budget = 0.0;
 };
 
 std::string EncodeExecRequest(const ExecRequest& req);
@@ -70,6 +78,10 @@ bool DecodeExecRequest(const std::string& payload, ExecRequest* out);
 // catch-up is mid-flight. A result is NEVER silently stale: either every
 // live replica would have produced the same bytes (kCertain) or the
 // divergence window is declared on the result itself.
+//
+// The accuracy annotation rides along too: tier, effective accuracy band,
+// the cost model's achieved-confidence estimate, and whether a latency
+// budget cut the run short (docs/ACCURACY.md).
 std::string EncodeQueryResult(const engine::QueryResult& result);
 bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out);
 

@@ -223,7 +223,11 @@ common::Result<engine::QueryResult> Router::Execute(const std::string& dataset,
   req.dataset = dataset;
   req.sql = sql;
   req.priority = priority;
+  return Execute(req);
+}
 
+common::Result<engine::QueryResult> Router::Execute(const ExecRequest& req) {
+  const std::string& dataset = req.dataset;
   std::vector<int> candidates;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -811,7 +815,7 @@ net::Frame Router::Dispatch(const net::Frame& req) {
 net::Frame Router::HandleExecute(const net::Frame& req) {
   ExecRequest exec;
   if (!DecodeExecRequest(req.payload, &exec)) return BadPayload(req);
-  auto result = Execute(exec.dataset, exec.sql, exec.priority);
+  auto result = Execute(exec);
   if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
   return Reply(req.request_id, net::FrameType::kResult,
                EncodeQueryResult(result.value()));

@@ -103,6 +103,10 @@ class Router {
   common::Result<engine::QueryResult> Execute(const std::string& dataset,
                                               const std::string& sql,
                                               int priority = 0);
+  // Full form: the request carries the accuracy/latency budget (tier,
+  // min_accuracy, max_latency_budget) alongside priority, so routed
+  // queries keep their budget across failover retries.
+  common::Result<engine::QueryResult> Execute(const ExecRequest& req);
   common::Status RemoveDataset(const std::string& name);
 
   // Aggregated stats: every alive shard's snapshot plus the dead-shard

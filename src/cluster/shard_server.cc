@@ -167,6 +167,9 @@ net::Frame ShardServer::HandleExecute(const net::Frame& req) {
   if (!parsed.ok()) return MakeErrorFrame(req.request_id, parsed.status());
   engine::QueryOptions opts = engine_.options().exec;
   opts.priority = exec.priority;
+  opts.tier = exec.tier;
+  opts.min_accuracy = exec.min_accuracy;
+  opts.max_latency_budget = exec.max_latency_budget;
   auto result = engine_.Execute(exec.dataset, parsed.value(), opts);
   if (!result.ok()) return MakeErrorFrame(req.request_id, result.status());
   engine::QueryResult stamped = std::move(result).value();
@@ -182,6 +185,9 @@ net::Frame ShardServer::HandleSubmit(const net::Frame& req) {
   if (!parsed.ok()) return MakeErrorFrame(req.request_id, parsed.status());
   engine::QueryOptions opts = engine_.options().exec;
   opts.priority = exec.priority;
+  opts.tier = exec.tier;
+  opts.min_accuracy = exec.min_accuracy;
+  opts.max_latency_budget = exec.max_latency_budget;
   auto ticket = engine_.Submit(exec.dataset, parsed.value(), opts);
   if (!ticket.ok()) return MakeErrorFrame(req.request_id, ticket.status());
   uint64_t id = 0;

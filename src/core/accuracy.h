@@ -1,0 +1,104 @@
+#ifndef ZEUS_CORE_ACCURACY_H_
+#define ZEUS_CORE_ACCURACY_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+// Accuracy bands and serving tiers.
+//
+// A plan is trained for one accuracy target; serving quantizes every
+// target onto a milli-accuracy grid so that "the same band" is an exact
+// integer comparison everywhere (plan keys, the on-disk catalog, the
+// plan cache, metrics labels) and can never alias or miss by an ulp.
+// Bands are kBandStep (0.05) wide: degrading a query by one level moves
+// its effective target down one band, which is what the autoscaler's
+// accuracy-shed action and the kBalanced/kBestEffort tiers trade on.
+// The normative reference is docs/ACCURACY.md.
+
+namespace zeus::core {
+
+// Serving tier of a query: how much accuracy the caller allows the
+// engine to trade away under load. Wire-encoded as a u8, so the
+// enumerator values are part of the protocol (docs/PROTOCOL.md).
+enum class QueryTier : int {
+  kStrict = 0,      // never degraded; always the plan-time target
+  kBalanced = 1,    // at most one band below the requested target
+  kBestEffort = 2,  // degrades one band per engine degrade level
+};
+
+inline const char* TierName(QueryTier t) {
+  switch (t) {
+    case QueryTier::kStrict: return "strict";
+    case QueryTier::kBalanced: return "balanced";
+    case QueryTier::kBestEffort: return "best_effort";
+  }
+  return "unknown";
+}
+
+// Band geometry: targets live on a 0.001 grid; bands are 0.05 wide.
+inline constexpr double kBandStep = 0.05;
+// The engine never degrades a query below this target, regardless of
+// tier or degrade level (a floor for "cheap", not a license for "wrong").
+inline constexpr double kMinBandTarget = 0.5;
+
+// The one quantization helper: accuracy → integer milli-units. Every
+// accuracy comparison in the system (catalog match, plan-key format,
+// band equality) goes through this so float noise cannot split a band.
+inline long AccuracyMillis(double accuracy) {
+  return std::lround(accuracy * 1000.0);
+}
+
+// Quantizes an accuracy target onto the milli grid (the value the
+// %.3f plan-key format and the catalog round-trip preserve exactly).
+inline double QuantizeAccuracy(double accuracy) {
+  return static_cast<double>(AccuracyMillis(accuracy)) / 1000.0;
+}
+
+// True when two targets land on the same milli grid point.
+inline bool SameAccuracyBand(double a, double b) {
+  return AccuracyMillis(a) == AccuracyMillis(b);
+}
+
+// Lower boundary of the band a target belongs to: an answer served at
+// effective target t must report achieved confidence >= BandFloor(t).
+inline double BandFloor(double target) {
+  return QuantizeAccuracy(std::max(target - kBandStep, 0.0));
+}
+
+// The accuracy target a query actually plans and executes at.
+//
+//   plan_target    the target parsed from the query (quantized)
+//   tier           the caller's serving tier
+//   degrade_level  the engine's current degrade level (autoscaler-driven;
+//                  0 = no shedding)
+//   min_accuracy   per-query floor from QueryOptions (0 = none)
+//
+// kStrict ignores degradation entirely. kBalanced concedes at most one
+// band; kBestEffort concedes one band per level. The result is clamped
+// to [max(min_accuracy, kMinBandTarget), plan_target] and re-quantized,
+// so the effective target is always a valid band grid point.
+inline double EffectiveTarget(double plan_target, QueryTier tier,
+                              int degrade_level, double min_accuracy) {
+  const double t = QuantizeAccuracy(plan_target);
+  if (tier == QueryTier::kStrict || degrade_level <= 0) return t;
+  const int steps =
+      tier == QueryTier::kBalanced ? std::min(degrade_level, 1) : degrade_level;
+  double eff = t - static_cast<double>(steps) * kBandStep;
+  const double floor = std::max(QuantizeAccuracy(min_accuracy), kMinBandTarget);
+  eff = std::max(eff, std::min(floor, t));
+  return QuantizeAccuracy(eff);
+}
+
+// Canonical band label for metrics ("0.80", "0.75", ...). Fixed two
+// decimals: bands are 0.05 wide so two decimals identify one uniquely.
+inline std::string BandLabel(double target) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.2f", QuantizeAccuracy(target));
+  return std::string(buf);
+}
+
+}  // namespace zeus::core
+
+#endif  // ZEUS_CORE_ACCURACY_H_

@@ -67,6 +67,27 @@ RunResult BatchedExecutor::Localize(
       groups[action].push_back(env.get());
     }
     if (groups.empty()) break;
+    if (gpu_budget_ > 0.0) {
+      // Budget point: the cost model prices the whole upcoming round; if
+      // it cannot fit the remaining budget, stop here — the same round
+      // boundary the cancellation check uses, so strict-tier runs (which
+      // never set a budget) execute an identical schedule.
+      double round_cost = 0.0;
+      for (const auto& [config_id, members] : groups) {
+        const Configuration& c = plan_->rl_space.config(config_id);
+        int remaining = static_cast<int>(members.size());
+        while (remaining > 0) {
+          const int batch = std::min(remaining, opts_.max_batch);
+          round_cost += plan_->cost_model.BatchedSegmentCost(
+              c.nominal_resolution, c.nominal_segment_length, batch);
+          remaining -= batch;
+        }
+      }
+      if (result.gpu_seconds + round_cost > gpu_budget_) {
+        result.budget_exhausted = true;
+        break;
+      }
+    }
     // The environments are independent single-video traversals sharing only
     // the thread-safe feature cache, so the whole round — every (env,
     // config) pair across all groups, not per group, which would serialize

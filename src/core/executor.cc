@@ -14,6 +14,17 @@ RunResult QueryExecutor::Localize(
   rl::VideoEnv env(videos, &plan_->rl_space, plan_->cache.get(), plan_->targets,
                    plan_->env_opts);
   env.ResetSequential();
+  // Modeled cost spent so far, folded incrementally from the invocation
+  // log so forced per-video initial steps are charged too.
+  double spent = 0.0;
+  size_t charged = 0;
+  auto charge_logged = [&] {
+    const auto& log = env.invocation_log();
+    for (; charged < log.size(); ++charged) {
+      spent +=
+          plan_->rl_space.config(log[charged].first).gpu_seconds_per_invocation;
+    }
+  };
   while (!env.done()) {
     // Cancellation point: one agent step is the sequential executor's round.
     if (cancel_.cancelled()) {
@@ -21,6 +32,17 @@ RunResult QueryExecutor::Localize(
       break;
     }
     int action = plan_->agent->GreedyAction(env.state());
+    if (gpu_budget_ > 0.0) {
+      // Budget point: stop before an invocation the cost model says
+      // cannot fit — the remaining budget can't move the answer.
+      charge_logged();
+      const double next =
+          plan_->rl_space.config(action).gpu_seconds_per_invocation;
+      if (spent + next > gpu_budget_) {
+        result.budget_exhausted = true;
+        break;
+      }
+    }
     env.Step(action);
   }
   result.masks = env.masks();
@@ -75,6 +97,32 @@ ConfigHistogram SummarizeConfigUsage(const ConfigurationSpace& space,
     h.high_res_pct = 100.0 * high / total;
   }
   return h;
+}
+
+double EstimateConfidence(const ConfigurationSpace& space,
+                          const RunResult& result,
+                          double fallback_accuracy) {
+  // A configuration whose validation F1 measured exactly zero carries no
+  // usable signal (its validation windows held no measurable positives);
+  // frames it processed weigh the caller's prior instead, so an answer is
+  // never annotated with zero confidence just because the profiling split
+  // could not measure the chosen configuration.
+  double covered = 0.0;
+  double weighted = 0.0;
+  for (const auto& [id, frames] : result.frames_per_config) {
+    const double f1 = space.config(id).validation_f1;
+    covered += static_cast<double>(frames);
+    weighted +=
+        static_cast<double>(frames) * (f1 > 0.0 ? f1 : fallback_accuracy);
+  }
+  if (covered <= 0.0) return 0.0;
+  // Frames the run never localized (budget early exit, cancellation)
+  // contribute zero confidence — the estimate must fall when a budget
+  // cuts the run short, never report full-run confidence for a partial
+  // answer. A complete run covers every frame, so total == covered.
+  const double total =
+      std::max(static_cast<double>(result.total_frames), covered);
+  return weighted / total;
 }
 
 std::vector<std::pair<int, double>> ResolutionUsage(

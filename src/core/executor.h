@@ -40,6 +40,20 @@ struct ConfigHistogram {
 ConfigHistogram SummarizeConfigUsage(const ConfigurationSpace& space,
                                      const RunResult& result);
 
+// Cost-model estimate of a finished run's achieved accuracy: the
+// frames-weighted mean validation F1 of the configurations that
+// processed each frame, with never-localized frames (budget early exit,
+// cancellation) counting zero. A configuration that measured zero F1
+// (no measurable validation windows — tiny or sparse splits) weighs its
+// frames with `fallback_accuracy` (the plan's trained target) as the
+// prior instead, so budget cuts still discount the estimate. This is the
+// `achieved_confidence` every QueryResult is annotated with; fig9's
+// serving-path bench validates it against the measured F1 per accuracy
+// band (docs/ACCURACY.md).
+double EstimateConfidence(const ConfigurationSpace& space,
+                          const RunResult& result,
+                          double fallback_accuracy = 0.0);
+
 // Percentage of frames per nominal resolution value.
 std::vector<std::pair<int, double>> ResolutionUsage(
     const ConfigurationSpace& space, const RunResult& result);

@@ -28,6 +28,12 @@ struct RunResult {
   // accounting cover only the work done before the abort.
   bool cancelled = false;
 
+  // True when a gpu-seconds budget stopped the run before the agent was
+  // done: the cost model said the next round could not fit the budget,
+  // so the answer covers only the frames localized so far. Only the
+  // budget-aware Zeus-RL executors ever set this (see SetGpuBudget).
+  bool budget_exhausted = false;
+
   // Paper-style throughput: video frames per modeled GPU second.
   double ThroughputFps() const {
     return gpu_seconds > 0.0 ? static_cast<double>(total_frames) / gpu_seconds
@@ -55,8 +61,16 @@ class Localizer {
     cancel_ = std::move(token);
   }
 
+  // Installs a modeled gpu-seconds budget (<= 0 disables, the default).
+  // The Zeus-RL executors check it at every round boundary and stop —
+  // setting RunResult::budget_exhausted — before starting a round whose
+  // cost-model estimate would overrun the budget. The one-pass baselines
+  // ignore it. Virtual so wrapping localizers can forward the budget.
+  virtual void SetGpuBudget(double gpu_seconds) { gpu_budget_ = gpu_seconds; }
+
  protected:
   CancellationToken cancel_;
+  double gpu_budget_ = 0.0;
 };
 
 }  // namespace zeus::core

@@ -111,6 +111,29 @@ int AdmissionQueue::WeightOf(const std::string& tenant) const {
   return it == tenants_.end() ? 1 : it->second.weight;
 }
 
+AdmissionQueue::Payload AdmissionQueue::PopNewestIf(
+    const std::function<bool(const Payload&)>& pred) {
+  Tenant* best_tenant = nullptr;
+  size_t best_index = 0;
+  uint64_t best_seq = 0;
+  for (auto& [name, t] : tenants_) {
+    for (size_t i = 0; i < t.items.size(); ++i) {
+      if (!pred(t.items[i].payload)) continue;
+      if (best_tenant == nullptr || t.items[i].seq > best_seq) {
+        best_tenant = &t;
+        best_index = i;
+        best_seq = t.items[i].seq;
+      }
+    }
+  }
+  if (best_tenant == nullptr) return nullptr;
+  Payload out = std::move(best_tenant->items[best_index].payload);
+  best_tenant->items.erase(best_tenant->items.begin() +
+                           static_cast<long>(best_index));
+  --size_;
+  return out;
+}
+
 size_t AdmissionQueue::Purge(const std::function<bool(const Payload&)>& pred) {
   size_t removed = 0;
   for (auto& [name, t] : tenants_) {

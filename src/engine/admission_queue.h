@@ -66,6 +66,15 @@ class AdmissionQueue {
   // tickets, which must not pin queue slots). Returns the number removed.
   size_t Purge(const std::function<bool(const Payload&)>& pred);
 
+  // Removes and returns the NEWEST (highest admission seq) item matching
+  // `pred`, or nullptr when none matches. This is the strict-tier
+  // displacement primitive: when the queue is full and a strict query
+  // arrives, the engine evicts the most recently admitted lower-tier
+  // ticket — the one that has invested the least waiting — to make room,
+  // so strict tenants never see kResourceExhausted while cheaper traffic
+  // occupies slots. Does not advance logical time (nothing was served).
+  Payload PopNewestIf(const std::function<bool(const Payload&)>& pred);
+
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
   // Queued items for one tenant (EngineGroup uses this to drain a moving

@@ -17,6 +17,7 @@ Autoscaler::Signal Autoscaler::SignalFrom(
       prev_queue_wait != nullptr
           ? stats.queue_wait.Delta(*prev_queue_wait).p95()
           : stats.queue_wait.p95();
+  s.degrade_level = stats.degrade_level;
   return s;
 }
 
@@ -26,7 +27,9 @@ Autoscaler::Decision Autoscaler::Decide(const Signal& signal,
   const int min_shards = std::max(1, config.min_shards);
   const int max_shards = std::max(min_shards, config.max_shards);
   const int n = std::max(1, signal.num_shards);
-  Decision hold{n, "hold"};
+  const int max_degrade = std::max(0, config.max_degrade_level);
+  const int degrade = std::max(0, signal.degrade_level);
+  Decision hold{n, "hold", degrade};
 
   // Out-of-band shard counts (a manual resize beyond the policy's limits)
   // are respected, not fought: clamping only applies to the policy's own
@@ -65,21 +68,41 @@ Autoscaler::Decision Autoscaler::Decide(const Signal& signal,
     return hold;
   }
 
+  // Sustained backlog: climb the degradation ladder in order — shed
+  // accuracy first (cheap, instant, strict tiers untouched), add a shard
+  // only once the shed levels are exhausted. Rejection is never a policy
+  // action; it is what admission does on its own when both rungs are
+  // spent.
+  if (state->up_streak >= sustain && degrade < max_degrade) {
+    state->up_streak = 0;
+    state->down_streak = 0;
+    state->last_resize_tick = now_tick;
+    return Decision{n, "degrade: sustained backlog", degrade + 1};
+  }
   if (state->up_streak >= sustain && n < max_shards) {
     state->up_streak = 0;
     state->down_streak = 0;
     state->last_resize_tick = now_tick;
-    return Decision{n + 1, "scale-up: sustained backlog"};
+    return Decision{n + 1, "scale-up: sustained backlog", degrade};
   }
   if (state->up_streak >= sustain && n >= max_shards) {
     hold.reason = "hold: at max_shards";
     return hold;
   }
+  // Recovery mirrors the ladder: restore accuracy level by level before
+  // giving back capacity, so a still-warm group serves full-accuracy
+  // answers again as early as possible.
+  if (state->down_streak >= sustain && degrade > 0) {
+    state->up_streak = 0;
+    state->down_streak = 0;
+    state->last_resize_tick = now_tick;
+    return Decision{n, "restore: near-idle", degrade - 1};
+  }
   if (state->down_streak >= sustain && n > min_shards) {
     state->up_streak = 0;
     state->down_streak = 0;
     state->last_resize_tick = now_tick;
-    return Decision{n - 1, "scale-down: near-idle"};
+    return Decision{n - 1, "scale-down: near-idle", degrade};
   }
   if (state->down_streak >= sustain && n <= min_shards) {
     hold.reason = "hold: at min_shards";
@@ -128,6 +151,19 @@ void Autoscaler::Loop() {
     const Signal signal = SignalFrom(stats, &prev_queue_wait);
     prev_queue_wait = stats.queue_wait;
     const Decision decision = Decide(signal, cfg_, tick++, &state);
+    if (decision.target_degrade != signal.degrade_level) {
+      // The shed/restore rung: no resize, no drains — just the group
+      // atomic and a shard fan-out. Takes effect on the next RunTicket.
+      ZEUS_LOG(Info) << "autoscaler: " << decision.reason
+                     << " (degrade level " << signal.degrade_level << " -> "
+                     << decision.target_degrade << "; queued "
+                     << signal.queue_depth << ", active " << signal.active
+                     << ", p95 wait " << signal.p95_queue_wait_seconds
+                     << "s)";
+      decisions_.fetch_add(1, std::memory_order_relaxed);
+      group_->SetDegradeLevel(decision.target_degrade);
+      continue;
+    }
     if (decision.target_shards == signal.num_shards) continue;
     ZEUS_LOG(Info) << "autoscaler: " << decision.reason << " ("
                    << signal.num_shards << " -> " << decision.target_shards

@@ -40,6 +40,15 @@ class EngineGroup;
 //   - Cooldown: at least `cooldown_samples` samples between resizes, so
 //     the effect of one resize is observed before the next.
 //   - Clamps: the target never leaves [min_shards, max_shards].
+//   - Accuracy shed (opt-in via max_degrade_level > 0, docs/ACCURACY.md):
+//     under sustained overload the policy first raises the group's
+//     degrade level — best-effort queries drop to cheaper accuracy bands
+//     — and only scales shards up once the shed ladder is exhausted.
+//     Recovery mirrors it: a near-idle group restores accuracy level by
+//     level before it gives back a shard. Shedding accuracy is cheaper
+//     and faster-acting than adding capacity, and strict-tier answers are
+//     never touched by it, so the degradation ladder is
+//     shed accuracy -> scale up -> reject admissions.
 //
 // A resize triggered here has exactly the semantics of a manual
 // `ResizeShards`: ring-diff-only movement, plan handoff without replanning
@@ -62,6 +71,11 @@ class Autoscaler {
     int sustain_samples = 3;
     // Minimum samples between two resizes.
     int cooldown_samples = 10;
+    // Highest accuracy-shed level the policy may apply before it scales
+    // shards (EngineGroup::SetDegradeLevel). 0 — the default — disables
+    // accuracy shedding entirely: the policy is then exactly the
+    // scale-only ladder above.
+    int max_degrade_level = 0;
     // Sampler thread period.
     std::chrono::milliseconds sample_interval{500};
   };
@@ -72,6 +86,8 @@ class Autoscaler {
     long queue_depth = 0;  // queued, not yet claimed
     long active = 0;       // currently executing
     double p95_queue_wait_seconds = 0.0;
+    // Current group accuracy-shed level (GroupStats::degrade_level).
+    int degrade_level = 0;
   };
   // With `prev_queue_wait` set, the p95 is computed over the WINDOW since
   // that earlier snapshot (bucket-wise delta of the cumulative
@@ -96,6 +112,10 @@ class Autoscaler {
     int target_shards = 1;
     // Human-readable policy branch, for logs and tests.
     const char* reason = "hold";
+    // Desired accuracy-shed level; == signal.degrade_level means no
+    // change. Only one of the two targets ever differs from its signal in
+    // a single decision — shed/restore and resize are separate rungs.
+    int target_degrade = 0;
   };
 
   // Pure policy step at logical time `now_tick` (the sample counter).

@@ -95,6 +95,16 @@ common::Status EngineGroup::SetDatasetWeight(const std::string& name,
   return st;
 }
 
+void EngineGroup::SetDegradeLevel(int level) {
+  const int clamped = std::max(0, level);
+  // Record first, then fan out: a Resize() racing this call reads the
+  // group atomic when it builds added shards, so a shard constructed
+  // either side of the fan-out still ends at the new level.
+  degrade_level_.store(clamped, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const auto& shard : shards_) shard->SetDegradeLevel(clamped);
+}
+
 common::Result<QueryTicket> EngineGroup::Submit(const std::string& dataset_name,
                                                 const std::string& sql) {
   // Route and enqueue under the shared lock: the ticket is either queued
@@ -222,6 +232,11 @@ common::Result<EngineGroup::ResizeReport> EngineGroup::Resize(
     engine_opts.cache.warm_start = false;  // handoff below is filtered
     for (int s = old_n; s < new_num_shards; ++s) {
       added.push_back(std::make_shared<QueryEngine>(engine_opts));
+      // Added shards inherit the group's accuracy-shed level — like the
+      // fairness weights below, the degrade state must survive elastic
+      // events rather than silently resetting on the new shards.
+      added.back()->SetDegradeLevel(
+          degrade_level_.load(std::memory_order_relaxed));
     }
     auto engine_at = [&](int id) -> const std::shared_ptr<QueryEngine>& {
       return id < old_n ? shards_[static_cast<size_t>(id)]

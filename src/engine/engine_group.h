@@ -135,6 +135,17 @@ class EngineGroup {
   // Resize() no matter where the dataset re-homes.
   common::Status SetDatasetWeight(const std::string& name, int weight);
 
+  // Accuracy-shed level (docs/ACCURACY.md), fanned out to every shard and
+  // recorded at the group level so a Resize() applies it to newly added
+  // shards too. Level 0 (the default) serves every query at its own
+  // target; level L lets best-effort queries degrade up to L bands. The
+  // autoscaler's degrade action drives this; it is also a manual override
+  // for operators.
+  void SetDegradeLevel(int level);
+  int degrade_level() const {
+    return degrade_level_.load(std::memory_order_relaxed);
+  }
+
   // Submission and execution route to the dataset's home shard; the ticket
   // API is unchanged from QueryEngine.
   common::Result<QueryTicket> Submit(const std::string& dataset_name,
@@ -225,6 +236,10 @@ class EngineGroup {
 
   // Completed Resize() calls that changed the shard count.
   std::atomic<long> resizes_{0};
+
+  // Group-level accuracy-shed record (see SetDegradeLevel): shards added
+  // by a resize inherit it before they join the ring.
+  std::atomic<int> degrade_level_{0};
 
   // Scale-down history, in two stages so Stats() never has a blind spot:
   // shards leaving the ring land in `retiring_` at the flip (still live,

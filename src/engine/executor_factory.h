@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "core/accuracy.h"
 #include "core/localizer.h"
 #include "core/query_planner.h"
 #include "video/dataset.h"
@@ -46,6 +47,21 @@ struct ExecutionOptions {
   // completes within a bounded number of dispatches. 0 (default) disables
   // aging for this query. See AdmissionQueue for the exact rules.
   int aging_threshold = 0;
+  // Serving tier: how much accuracy the engine may trade away under load
+  // (docs/ACCURACY.md). kStrict (default) always plans and executes at
+  // the query's own accuracy target; kBalanced concedes at most one
+  // band; kBestEffort concedes one band per engine degrade level.
+  core::QueryTier tier = core::QueryTier::kStrict;
+  // Floor for tier-driven degradation: the effective accuracy target
+  // never drops below this (0 = only the global kMinBandTarget floor).
+  double min_accuracy = 0.0;
+  // Modeled gpu-seconds budget for the localization itself. When > 0 and
+  // the tier is not kStrict, the executors early-exit at the round
+  // boundary where the cost model says the next round cannot fit; the
+  // answer is annotated with its (reduced) achieved confidence. 0 = no
+  // budget. Strict-tier queries ignore it so their answers stay
+  // bit-identical to an unloaded run.
+  double max_latency_budget = 0.0;
   // BatchedExecutor: maximum invocations fused into one modeled launch.
   int max_batch = 16;
   // BatchedExecutor lockstep stepping pool; nullptr falls back to

@@ -53,6 +53,14 @@ HistogramStats HistogramStats::Delta(const HistogramStats& earlier) const {
   return out;
 }
 
+// ---- ConfidenceStats -------------------------------------------------------
+
+void ConfidenceStats::Merge(const ConfidenceStats& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
 // ---- ServingCounters / ShardStats ------------------------------------------
 
 void ServingCounters::Fold(const ServingCounters& other) {
@@ -68,6 +76,13 @@ void ServingCounters::Fold(const ServingCounters& other) {
   planner_runs += other.planner_runs;
   cache_hits += other.cache_hits;
   disk_loads += other.disk_loads;
+  degrade_level = std::max(degrade_level, other.degrade_level);
+  band_degraded += other.band_degraded;
+  degraded_band_seconds += other.degraded_band_seconds;
+  for (const auto& [band, hits] : other.band_plan_hits) {
+    band_plan_hits[band] += hits;
+  }
+  confidence.Merge(other.confidence);
   queue_wait.Merge(other.queue_wait);
   exec.Merge(other.exec);
 }
@@ -162,9 +177,26 @@ std::string GroupStats::ToJson() const {
   AppendCountersJson(&out, submitted, completed, failed, cancelled, rejected);
   out += common::Format(", \"drains\": %ld,\n", drains);
   out += common::Format(
-      "  \"planner_runs\": %ld, \"cache_hits\": %ld, \"disk_loads\": %ld,\n"
-      "  ",
+      "  \"planner_runs\": %ld, \"cache_hits\": %ld, \"disk_loads\": %ld,\n",
       planner_runs, cache_hits, disk_loads);
+  out += common::Format(
+      "  \"degrade_level\": %d, \"band_degraded\": %ld, "
+      "\"degraded_band_seconds\": %.9g,\n",
+      degrade_level, band_degraded, degraded_band_seconds);
+  out += common::Format(
+      "  \"confidence\": {\"count\": %ld, \"mean\": %.9g},\n",
+      confidence.count, confidence.mean());
+  out += "  \"band_plan_hits\": {";
+  {
+    bool first = true;
+    for (const auto& [band, hits] : band_plan_hits) {
+      if (!first) out += ", ";
+      first = false;
+      out += common::Format("\"%.3f\": %ld",
+                            static_cast<double>(band) / 1000.0, hits);
+    }
+  }
+  out += "},\n  ";
   AppendHistJson(&out, "queue_wait", queue_wait);
   out += ",\n  ";
   AppendHistJson(&out, "exec", exec);
@@ -306,6 +338,30 @@ void MetricsRegistry::RecordDrain() {
   drains_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void MetricsRegistry::RecordAnswer(double confidence, long band_millis,
+                                   bool degraded, double exec_seconds,
+                                   bool plan_cached) {
+  confidence = std::min(1.0, std::max(0.0, confidence));
+  size_t idx = 0;
+  while (idx + 1 < ConfidenceStats::kNumBuckets &&
+         confidence > ConfidenceStats::BucketBound(idx)) {
+    ++idx;
+  }
+  confidence_buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  confidence_sum_millis_.fetch_add(static_cast<long>(confidence * 1000.0),
+                                   std::memory_order_relaxed);
+  confidence_count_.fetch_add(1, std::memory_order_release);
+  if (degraded) {
+    band_degraded_.fetch_add(1, std::memory_order_relaxed);
+    degraded_band_micros_.fetch_add(static_cast<long>(exec_seconds * 1e6),
+                                    std::memory_order_relaxed);
+  }
+  if (plan_cached) {
+    std::lock_guard<std::mutex> lock(band_mu_);
+    ++band_plan_hits_[band_millis];
+  }
+}
+
 ShardStats MetricsRegistry::Snapshot(bool include_datasets) const {
   ShardStats out;
   out.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
@@ -315,6 +371,24 @@ ShardStats MetricsRegistry::Snapshot(bool include_datasets) const {
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.drains = drains_.load(std::memory_order_relaxed);
+  out.band_degraded = band_degraded_.load(std::memory_order_relaxed);
+  out.degraded_band_seconds =
+      static_cast<double>(
+          degraded_band_micros_.load(std::memory_order_relaxed)) *
+      1e-6;
+  out.confidence.count = confidence_count_.load(std::memory_order_acquire);
+  out.confidence.sum =
+      static_cast<double>(
+          confidence_sum_millis_.load(std::memory_order_relaxed)) *
+      1e-3;
+  for (size_t i = 0; i < ConfidenceStats::kNumBuckets; ++i) {
+    out.confidence.buckets[i] =
+        confidence_buckets_[i].load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(band_mu_);
+    out.band_plan_hits = band_plan_hits_;
+  }
   out.queue_wait = queue_wait_.Snapshot();
   out.exec = exec_.Snapshot();
   if (!include_datasets) return out;

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -59,6 +60,28 @@ struct HistogramStats {
   HistogramStats Delta(const HistogramStats& earlier) const;
 };
 
+// Fixed-bucket histogram of achieved confidence (the cost-model accuracy
+// estimate every answer is annotated with, docs/ACCURACY.md). Linear
+// buckets of width 0.05 over [0, 1] — confidence is a fraction, so the
+// latency histogram's power-of-two microsecond grid would be
+// meaningless here. Bucket i counts samples in (0.05*i, 0.05*(i+1)].
+struct ConfidenceStats {
+  static constexpr size_t kNumBuckets = 20;
+
+  long count = 0;
+  double sum = 0.0;
+  std::array<long, kNumBuckets> buckets{};
+
+  // Upper bound of bucket i (0.05 .. 1.0).
+  static double BucketBound(size_t i) {
+    return 0.05 * static_cast<double>(i + 1);
+  }
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  void Merge(const ConfidenceStats& other);
+};
+
 // One dataset's view on one shard.
 struct DatasetStats {
   std::string dataset;
@@ -91,10 +114,25 @@ struct ServingCounters {
   long planner_runs = 0;
   long cache_hits = 0;
   long disk_loads = 0;
+  // Accuracy-budget serving (docs/ACCURACY.md). `degrade_level` is the
+  // engine's current accuracy-shed level (gauge, sampled; group level
+  // reports the max across shards). `band_degraded` counts answers
+  // served below their requested band; `degraded_band_seconds` is the
+  // execution wall time those answers spent there.
+  int degrade_level = 0;
+  long band_degraded = 0;
+  double degraded_band_seconds = 0.0;
+  // Plans served from cache (memory or disk — no planner run) per
+  // accuracy band, keyed by the band's milli-accuracy grid point
+  // (core::AccuracyMillis of the effective target).
+  std::map<long, long> band_plan_hits;
+  // Achieved confidence of every completed answer.
+  ConfidenceStats confidence;
   HistogramStats queue_wait;
   HistogramStats exec;
 
-  // Counters add, histograms merge bucket-wise, the peak is the max.
+  // Counters add, histograms merge bucket-wise, the peak and the degrade
+  // level are maxes.
   void Fold(const ServingCounters& other);
 };
 
@@ -161,6 +199,13 @@ class MetricsRegistry {
                  RunOutcome outcome);
   // One DrainDataset wait completed.
   void RecordDrain();
+  // One answer completed with its accuracy annotation: the achieved
+  // confidence estimate, the band (milli-accuracy grid point) it was
+  // served at, whether that band is below the requested one
+  // (`degraded`), the execution seconds it spent there, and whether the
+  // plan came from cache (memory or disk) rather than the planner.
+  void RecordAnswer(double confidence, long band_millis, bool degraded,
+                    double exec_seconds, bool plan_cached);
 
   long peak_queue_depth() const {
     return peak_queue_depth_.load(std::memory_order_relaxed);
@@ -207,6 +252,19 @@ class MetricsRegistry {
   std::atomic<long> peak_queue_depth_{0};
   Hist queue_wait_;
   Hist exec_;
+
+  // Accuracy annotation counters. The confidence histogram mirrors
+  // Hist's atomic-bucket shape on the linear 0.05 grid; the per-band
+  // plan-hit map is mutex-guarded (one lock per completed answer — cold
+  // next to a localization).
+  std::array<std::atomic<long>, ConfidenceStats::kNumBuckets>
+      confidence_buckets_{};
+  std::atomic<long> confidence_count_{0};
+  std::atomic<long> confidence_sum_millis_{0};
+  std::atomic<long> band_degraded_{0};
+  std::atomic<long> degraded_band_micros_{0};
+  mutable std::mutex band_mu_;
+  std::map<long, long> band_plan_hits_;
 
   mutable std::shared_mutex map_mu_;
   std::map<std::string, std::unique_ptr<PerDataset>> per_dataset_;

@@ -6,6 +6,7 @@
 
 #include "common/stringutil.h"
 #include "common/timer.h"
+#include "core/accuracy.h"
 #include "core/cancellation.h"
 #include "core/executor.h"
 
@@ -249,6 +250,10 @@ std::shared_ptr<core::QueryPlan> QueryEngine::CachedPlan(
   return cache_.Peek(PlanKey(dataset_name, query));
 }
 
+void QueryEngine::SetDegradeLevel(int level) {
+  degrade_level_.store(std::max(0, level), std::memory_order_relaxed);
+}
+
 size_t QueryEngine::pending() const {
   std::lock_guard<std::mutex> lock(queue_mu_);
   return pending_.size();
@@ -284,6 +289,7 @@ ShardStats QueryEngine::Stats(bool include_datasets) const {
   out.planner_runs = cache_.planner_runs();
   out.cache_hits = cache_.cache_hits();
   out.disk_loads = cache_.disk_loads();
+  out.degrade_level = degrade_level_.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -327,6 +333,24 @@ common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
         metrics_.RecordCancelledWhileQueued(t->dataset_name);
         return true;
       });
+    }
+    if (static_cast<int>(pending_.size()) >= opts_.max_pending &&
+        exec.tier == core::QueryTier::kStrict) {
+      // Strict-tier displacement (docs/ACCURACY.md degradation ladder):
+      // before a strict query sees kResourceExhausted, evict the newest
+      // lower-tier ticket — strict tenants are rejected only when the
+      // queue is full of other strict work.
+      auto victim = std::static_pointer_cast<QueryTicket::Shared>(
+          pending_.PopNewestIf([](const AdmissionQueue::Payload& p) {
+            return static_cast<QueryTicket::Shared*>(p.get())->exec.tier !=
+                   core::QueryTier::kStrict;
+          }));
+      if (victim != nullptr) {
+        Finish(victim.get(), QueryState::kFailed,
+               common::Status::ResourceExhausted(
+                   "displaced by strict-tier admission"));
+        metrics_.RecordRejected(victim->dataset_name);
+      }
     }
     if (static_cast<int>(pending_.size()) >= opts_.max_pending) {
       metrics_.RecordRejected(dataset_name);
@@ -472,7 +496,18 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
                                     "' is not registered"));
     return;
   }
-  const core::ActionQuery& query = t->query;
+  // Resolve the effective accuracy band (docs/ACCURACY.md): the query's
+  // own target, possibly lowered by the engine's current accuracy-shed
+  // level for non-strict tiers. Everything downstream — the plan-cache
+  // key, the planner, the annotation — runs at the effective band, so one
+  // dataset can hold a cheap plan and a strict plan side by side.
+  core::ActionQuery query = t->query;
+  query.accuracy_target = core::EffectiveTarget(
+      t->query.accuracy_target, t->exec.tier,
+      degrade_level_.load(std::memory_order_relaxed), t->exec.min_accuracy);
+  const long requested_millis =
+      core::AccuracyMillis(core::QuantizeAccuracy(t->query.accuracy_target));
+  const long effective_millis = core::AccuracyMillis(query.accuracy_target);
   const size_t num_test = ds->test_indices().size();
 
   set_phase(QueryState::kPlanning, 0.1);
@@ -486,8 +521,10 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   std::shared_ptr<core::QueryPlan> plan = lookup.value().plan;
 
   QueryResult out;
-  out.query = query;
+  out.query = t->query;  // echo the request, not the effective rewrite
   out.plan_seconds = lookup.value().plan_seconds;
+  out.tier = t->exec.tier;
+  out.accuracy_band = query.accuracy_target;
 
   if (query.explain_only) {
     out.explanation =
@@ -514,6 +551,13 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   // it every lockstep round, so Cancel() aborts a long localization within
   // one round instead of waiting for the pass to finish.
   localizer.value()->SetCancellation(core::CancellationToken(t->cancel));
+  // Latency budget → GPU-seconds budget for the localization rounds.
+  // Strict tiers never get one: their schedule (and therefore their
+  // answer) must be bit-identical to an unbudgeted run.
+  if (t->exec.tier != core::QueryTier::kStrict &&
+      t->exec.max_latency_budget > 0.0) {
+    localizer.value()->SetGpuBudget(t->exec.max_latency_budget);
+  }
   core::RunResult run = localizer.value()->Localize(test_videos);
   if (run.cancelled) {
     Finish(t.get(), QueryState::kCancelled,
@@ -526,6 +570,14 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   out.throughput_fps = run.ThroughputFps();
   out.gpu_seconds = run.gpu_seconds;
   out.wall_seconds = run.wall_seconds;
+  out.budget_exhausted = run.budget_exhausted;
+  out.achieved_confidence =
+      core::EstimateConfidence(plan->rl_space, run, plan->accuracy_target);
+  // Record before segment collection: the limit early-return below is a
+  // second kDone exit and must not skip the accuracy accounting.
+  metrics_.RecordAnswer(out.achieved_confidence, effective_millis,
+                        effective_millis < requested_millis, run.wall_seconds,
+                        lookup.value().plan_seconds == 0.0);
   const int range_end = query.frame_end < 0 ? 1 << 30 : query.frame_end;
   for (size_t vi = 0; vi < test_videos.size(); ++vi) {
     for (const video::ActionInstance& inst :

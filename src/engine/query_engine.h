@@ -72,6 +72,21 @@ struct QueryResult {
   Consistency consistency = Consistency::kCertain;
   std::string divergence;
   uint64_t epoch = 0;
+
+  // Accuracy annotation (docs/ACCURACY.md) — orthogonal to the epoch
+  // contract above: `consistency` says whether replicas would agree on
+  // this answer, these fields say how accurate the answer itself is.
+  // `tier` is the tier the query ran under; `accuracy_band` is the
+  // effective accuracy target it was planned and executed at (== the
+  // query's own target unless tier-driven degradation lowered it);
+  // `achieved_confidence` is the cost model's estimate of the accuracy
+  // actually achieved (core::EstimateConfidence).
+  core::QueryTier tier = core::QueryTier::kStrict;
+  double accuracy_band = 0.0;
+  double achieved_confidence = 0.0;
+  // True when a latency budget early-exited localization rounds; the
+  // confidence annotation reflects the reduced coverage.
+  bool budget_exhausted = false;
 };
 
 inline bool operator==(const QueryResult::Segment& a,
@@ -261,6 +276,16 @@ class QueryEngine {
   PlanCache& plan_cache() { return cache_; }
   const Options& options() const { return opts_; }
 
+  // Accuracy-shed level (docs/ACCURACY.md): 0 = serve every query at its
+  // own target; level L lets kBestEffort queries degrade up to L bands
+  // (kBalanced at most one, kStrict never). Set by the autoscaler's
+  // degrade action through EngineGroup::SetDegradeLevel; takes effect on
+  // the next RunTicket, never on queries already executing.
+  void SetDegradeLevel(int level);
+  int degrade_level() const {
+    return degrade_level_.load(std::memory_order_relaxed);
+  }
+
   // Tickets admitted but not yet claimed by a worker (tests / monitoring).
   size_t pending() const;
 
@@ -315,6 +340,9 @@ class QueryEngine {
   std::map<std::string, int> active_by_dataset_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Current accuracy-shed level (see SetDegradeLevel).
+  std::atomic<int> degrade_level_{0};
 };
 
 }  // namespace zeus::engine

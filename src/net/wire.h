@@ -125,6 +125,9 @@ class WireReader {
   // True when every byte was consumed — decoders use it to reject frames
   // with trailing junk.
   bool AtEnd() const { return ok_ && pos_ == buf_.size(); }
+  // Unconsumed bytes — decoders bound length-prefixed collections with it
+  // before allocating, so a lying count can never drive an allocation.
+  size_t remaining() const { return pos_ < buf_.size() ? buf_.size() - pos_ : 0; }
 
  private:
   bool Need(size_t n);

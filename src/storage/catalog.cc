@@ -1,10 +1,10 @@
 #include "storage/catalog.h"
 
-#include <cmath>
 #include <filesystem>
 #include <fstream>
 
 #include "common/stringutil.h"
+#include "core/accuracy.h"
 
 namespace zeus::storage {
 namespace {
@@ -49,7 +49,9 @@ common::Result<Catalog> Catalog::Open(const std::string& root) {
       entry.dataset = tokens[1];
       entry.classes = tokens[2];
       try {
-        entry.accuracy_target = std::stod(tokens[3]);
+        // Quantize on read: the value round-trips through text, so it
+        // must land back on the same band grid point it was written at.
+        entry.accuracy_target = core::QuantizeAccuracy(std::stod(tokens[3]));
       } catch (...) {
         return common::Status::IoError(
             common::Format("catalog line %d: bad accuracy", lineno));
@@ -75,8 +77,11 @@ common::Status Catalog::Persist() const {
       os << "dataset " << name << ' ' << dir << "\n";
     }
     for (const PlanEntry& p : plans_) {
+      // %.3f matches the milli-unit band grid exactly — the default
+      // ostream precision could alias two nearby targets on re-read.
       os << "plan " << p.dataset << ' ' << p.classes << ' '
-         << p.accuracy_target << ' ' << p.prefix << "\n";
+         << common::Format("%.3f", p.accuracy_target) << ' ' << p.prefix
+         << "\n";
     }
     os.close();
     if (!os.good()) return common::Status::IoError("catalog write failed");
@@ -132,7 +137,8 @@ common::Status Catalog::AddPlan(const PlanEntry& entry) {
   for (PlanEntry& existing : plans_) {
     if (existing.dataset == entry.dataset &&
         existing.classes == entry.classes &&
-        std::abs(existing.accuracy_target - entry.accuracy_target) < 1e-9) {
+        core::SameAccuracyBand(existing.accuracy_target,
+                               entry.accuracy_target)) {
       existing = entry;
       return Persist();
     }
@@ -146,7 +152,7 @@ std::optional<PlanEntry> Catalog::FindPlan(const std::string& dataset,
                                            double accuracy_target) const {
   for (const PlanEntry& p : plans_) {
     if (p.dataset == dataset && p.classes == classes &&
-        std::abs(p.accuracy_target - accuracy_target) < 1e-9) {
+        core::SameAccuracyBand(p.accuracy_target, accuracy_target)) {
       return p;
     }
   }

@@ -43,10 +43,12 @@ class Catalog {
   std::vector<std::string> DatasetNames() const;
 
   // Registers a plan checkpoint. Replaces any previous entry with the same
-  // (dataset, classes, accuracy_target) key.
+  // (dataset, classes, accuracy_target) key. Accuracy targets match by
+  // band grid point (core::AccuracyMillis), never raw float equality.
   common::Status AddPlan(const PlanEntry& entry);
 
-  // Exact-key plan lookup.
+  // Band-quantized plan lookup: targets on the same milli grid point
+  // match even when they differ by an ulp.
   std::optional<PlanEntry> FindPlan(const std::string& dataset,
                                     const std::string& classes,
                                     double accuracy_target) const;

@@ -396,6 +396,115 @@ TEST(AutoscalerDecideTest, SignalFromReadsTheAggregateSnapshot) {
   EXPECT_EQ(windowed.queue_depth, 6);
 }
 
+// ---- The degradation ladder (docs/ACCURACY.md) -----------------------------
+
+Autoscaler::Signal WithDegrade(Autoscaler::Signal s, int level) {
+  s.degrade_level = level;
+  return s;
+}
+
+TEST(AutoscalerDecideTest, AccuracyShedFiresBeforeScaleUp) {
+  auto cfg = TestConfig();
+  cfg.max_degrade_level = 2;
+  Autoscaler::State state;
+  long tick = 0;
+
+  // Sustained backlog on 1 shard: the first action is a shed, not a
+  // resize — the shard count never moves while the ladder has rungs.
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    const auto d = Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state);
+    EXPECT_EQ(d.target_shards, 1);
+    EXPECT_EQ(d.target_degrade, 0) << "shed early at sample " << i;
+  }
+  auto d = Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 1);
+  EXPECT_EQ(d.target_degrade, 1);
+  EXPECT_STREQ(d.reason, "degrade: sustained backlog");
+
+  // Shed actions share the cooldown machinery with resizes.
+  int held = 0;
+  while (tick - state.last_resize_tick < cfg.cooldown_samples) {
+    d = Autoscaler::Decide(WithDegrade(Busy(1, 8), 1), cfg, tick++, &state);
+    ASSERT_STREQ(d.reason, "hold: cooldown");
+    ASSERT_EQ(d.target_degrade, 1);
+    ++held;
+  }
+  EXPECT_GT(held, 0);
+
+  // Backlog persists: the second rung sheds again the instant the
+  // cooldown expires (the streak accumulated through it)...
+  d = Autoscaler::Decide(WithDegrade(Busy(1, 8), 1), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 1);
+  EXPECT_EQ(d.target_degrade, 2);
+  EXPECT_STREQ(d.reason, "degrade: sustained backlog");
+
+  // ...and only with the shed ladder exhausted does the policy add a
+  // shard, carrying the shed level across the resize untouched.
+  while (tick - state.last_resize_tick < cfg.cooldown_samples) {
+    Autoscaler::Decide(WithDegrade(Busy(1, 8), 2), cfg, tick++, &state);
+  }
+  d = Autoscaler::Decide(WithDegrade(Busy(1, 8), 2), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 2);
+  EXPECT_EQ(d.target_degrade, 2);
+  EXPECT_STREQ(d.reason, "scale-up: sustained backlog");
+}
+
+TEST(AutoscalerDecideTest, RestoreFiresBeforeScaleDown) {
+  auto cfg = TestConfig();
+  cfg.max_degrade_level = 2;
+  Autoscaler::State state;
+  long tick = 0;
+
+  // Near-idle at 3 shards with the shed ladder fully engaged: recovery
+  // gives accuracy back level by level before any capacity leaves.
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    EXPECT_EQ(
+        Autoscaler::Decide(WithDegrade(Idle(3), 2), cfg, tick++, &state)
+            .target_degrade,
+        2);
+  }
+  auto d = Autoscaler::Decide(WithDegrade(Idle(3), 2), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 3);
+  EXPECT_EQ(d.target_degrade, 1);
+  EXPECT_STREQ(d.reason, "restore: near-idle");
+
+  while (tick - state.last_resize_tick < cfg.cooldown_samples) {
+    Autoscaler::Decide(WithDegrade(Idle(3), 1), cfg, tick++, &state);
+  }
+  d = Autoscaler::Decide(WithDegrade(Idle(3), 1), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 3);
+  EXPECT_EQ(d.target_degrade, 0);
+  EXPECT_STREQ(d.reason, "restore: near-idle");
+
+  // Accuracy fully restored: now, and only now, the group shrinks.
+  while (tick - state.last_resize_tick < cfg.cooldown_samples) {
+    Autoscaler::Decide(Idle(3), cfg, tick++, &state);
+  }
+  d = Autoscaler::Decide(Idle(3), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 2);
+  EXPECT_EQ(d.target_degrade, 0);
+  EXPECT_STREQ(d.reason, "scale-down: near-idle");
+}
+
+TEST(AutoscalerDecideTest, DefaultDegradeLevelZeroIsTheLegacyScaleOnlyPolicy) {
+  // max_degrade_level defaults to 0: the ladder collapses to the
+  // pre-existing scale-only behavior — same actions, same reasons — and
+  // target_degrade always echoes the signal.
+  const auto cfg = TestConfig();
+  ASSERT_EQ(cfg.max_degrade_level, 0);
+  Autoscaler::State state;
+  long tick = 0;
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    const auto d = Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state);
+    EXPECT_EQ(d.target_shards, 1);
+    EXPECT_EQ(d.target_degrade, 0);
+  }
+  const auto d = Autoscaler::Decide(Busy(1, 8), cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 2);
+  EXPECT_EQ(d.target_degrade, 0);
+  EXPECT_STREQ(d.reason, "scale-up: sustained backlog");
+}
+
 // The same sample sequence always yields the same resize sequence — the
 // property that makes autoscaling reproducible in CI and in the nightly
 // bench.

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/accuracy.h"
 #include "core/batched_executor.h"
 #include "core/cancellation.h"
 #include "core/zeusdb.h"
@@ -649,6 +650,75 @@ TEST_F(EngineGroupTest, GroupWarmStartLoadsPlansOnlyOnHomeShards) {
   ExpectSameOutcome(r.value(), *ref_a_);
 }
 
+TEST_F(EngineGroupTest, BandPlansWarmUpAcrossLiveResize) {
+  // Seed the cheap band: a throwaway engine on the shared catalog trains
+  // (or warm-loads, on reruns) the 0.75-band plan for "a" next to the
+  // fixture's 0.80 strict plan, and its answer is the cheap reference.
+  engine::QueryOptions cheap;
+  cheap.tier = core::QueryTier::kBestEffort;
+  engine::QueryResult cheap_ref;
+  {
+    engine::QueryEngine::Options opts;
+    opts.num_workers = 2;
+    opts.planner = FastPlannerOptions();
+    opts.cache.persist_dir = *persist_dir_;
+    opts.cache.warm_start = true;
+    engine::QueryEngine seed(opts);
+    ASSERT_TRUE(seed.RegisterDataset("a", MakeDatasetA()).ok());
+    seed.SetDegradeLevel(1);
+    auto r = seed.Execute("a", CrossRightQuery(), cheap);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_DOUBLE_EQ(r.value().accuracy_band, 0.75);
+    cheap_ref = r.value();
+  }
+
+  // A warm-started group loads BOTH bands of "a" onto its home shard.
+  auto gopts = GroupOptions(2);
+  gopts.engine.cache.warm_start = true;
+  engine::EngineGroup group(gopts);
+  group.SetDegradeLevel(1);
+  ASSERT_TRUE(group.RegisterDataset("a", MakeDatasetA()).ok());
+  const int home = group.ShardFor("a");
+  EXPECT_NE(group.shard(home).CachedPlan("a", CrossRightQuery(0.80)), nullptr);
+  EXPECT_NE(group.shard(home).CachedPlan("a", CrossRightQuery(0.75)), nullptr);
+  EXPECT_EQ(group.planner_runs(), 0);
+
+  // Grow to the first ring that re-homes "a" (deterministic search, same
+  // idiom as ResizeGrowthMovesOnlyRingDiffWithPlanHandoff).
+  const engine::ShardRing before(2);
+  int grown = -1;
+  for (int n = 3; n <= 10; ++n) {
+    if (engine::ShardRing(n).ShardFor("a") != before.ShardFor("a")) {
+      grown = n;
+      break;
+    }
+  }
+  ASSERT_NE(grown, -1) << "no ring size in range re-homes 'a'";
+  auto resized = group.Resize(grown);
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  const int new_home = group.ShardFor("a");
+  ASSERT_NE(new_home, home);
+
+  // The handoff moved the whole band family, not just the strict plan:
+  // both tiers serve from cache on the new home, nothing retrains, and
+  // each band's answer is bit-identical to its reference.
+  EXPECT_NE(group.shard(new_home).CachedPlan("a", CrossRightQuery(0.80)),
+            nullptr);
+  EXPECT_NE(group.shard(new_home).CachedPlan("a", CrossRightQuery(0.75)),
+            nullptr);
+  auto strict_r = group.Execute("a", CrossRightQuery());
+  auto cheap_r = group.Execute("a", CrossRightQuery(), cheap);
+  ASSERT_TRUE(strict_r.ok()) << strict_r.status().ToString();
+  ASSERT_TRUE(cheap_r.ok()) << cheap_r.status().ToString();
+  EXPECT_EQ(strict_r.value().plan_seconds, 0.0);
+  EXPECT_EQ(cheap_r.value().plan_seconds, 0.0);
+  EXPECT_EQ(group.planner_runs(), 0);
+  EXPECT_DOUBLE_EQ(strict_r.value().accuracy_band, 0.80);
+  EXPECT_DOUBLE_EQ(cheap_r.value().accuracy_band, 0.75);
+  ExpectSameOutcome(strict_r.value(), *ref_a_);
+  ExpectSameOutcome(cheap_r.value(), cheap_ref);
+}
+
 // ---- Resize ----------------------------------------------------------------
 
 TEST_F(EngineGroupTest, ResizeGrowthMovesOnlyRingDiffWithPlanHandoff) {
@@ -1139,6 +1209,135 @@ TEST_F(EngineGroupTest, AutoscalerGrowsUnderFloodAndShrinksWhenIdle) {
   // across a scale-down. (The two queries just above may still be
   // mid-record, so they are not counted on.)
   EXPECT_GE(group.Stats().completed, static_cast<long>(tickets.size()));
+}
+
+TEST_F(EngineGroupTest, FloodShedsAccuracyBeforeRejectingStrictTenants) {
+  // Seed the 0.75-band plan for "b" into the shared catalog so shedding
+  // never trains mid-flood (warm-loads on reruns), and capture the cheap
+  // band's reference answer.
+  engine::QueryOptions cheap;
+  cheap.tier = core::QueryTier::kBestEffort;
+  engine::QueryResult cheap_ref;
+  {
+    engine::QueryEngine::Options opts;
+    opts.num_workers = 2;
+    opts.planner = FastPlannerOptions();
+    opts.cache.persist_dir = *persist_dir_;
+    opts.cache.warm_start = true;
+    engine::QueryEngine seed(opts);
+    ASSERT_TRUE(seed.RegisterDataset("b", MakeDatasetB()).ok());
+    seed.SetDegradeLevel(1);
+    auto r = seed.Execute("b", CrossRightQuery(), cheap);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_DOUBLE_EQ(r.value().accuracy_band, 0.75);
+    cheap_ref = r.value();
+  }
+
+  // Undersized on purpose: one shard that cannot grow, so the shed rung
+  // is the only relief the ladder has before admission back-pressure.
+  auto gopts = GroupOptions(1);
+  gopts.engine.num_workers = 1;
+  gopts.engine.max_pending = 16;
+  gopts.engine.cache.warm_start = true;
+  gopts.autoscale.enabled = true;
+  gopts.autoscale.min_shards = 1;
+  gopts.autoscale.max_shards = 1;
+  gopts.autoscale.max_degrade_level = 1;
+  gopts.autoscale.up_queue_per_shard = 3.0;
+  gopts.autoscale.down_queue_total = 0.0;
+  gopts.autoscale.sustain_samples = 2;
+  gopts.autoscale.cooldown_samples = 3;
+  gopts.autoscale.sample_interval = std::chrono::milliseconds(5);
+  engine::EngineGroup group(gopts);
+  ASSERT_TRUE(group.RegisterDataset("b", MakeDatasetB()).ok());
+
+  // Best-effort flood keeps the bounded queue pinned at max_pending: it
+  // submits flat-out and yields only when back-pressured, so the backlog
+  // signal is present at every autoscaler sample regardless of how fast
+  // the single worker drains tiny-dataset queries. Its own back-pressure
+  // rejections are expected and ignored.
+  std::atomic<bool> stop_flood{false};
+  std::mutex mu;
+  std::vector<engine::QueryTicket> best_effort;
+  std::thread producer([&] {
+    while (!stop_flood.load()) {
+      auto t = group.Submit("b", CrossRightQuery(), cheap);
+      if (t.ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        best_effort.push_back(t.value());
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  // Meanwhile a strict tenant keeps submitting into the same full queue.
+  // Displacement must make every one of these land: zero
+  // kResourceExhausted for the strict tier, whatever the flood does.
+  std::vector<engine::QueryTicket> strict;
+  int strict_rejected = 0;
+  int degrade_observed = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (degrade_observed < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    if (strict.size() < 24) {
+      auto t = group.Submit("b", CrossRightQuery());
+      if (t.ok()) {
+        strict.push_back(t.value());
+      } else if (t.status().code() == common::StatusCode::kResourceExhausted) {
+        ++strict_rejected;
+      }
+    }
+    degrade_observed = std::max(degrade_observed, group.degrade_level());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop_flood.store(true);
+  producer.join();
+
+  // The ladder's first rung fired (shed, not scale — the group cannot
+  // grow) and no strict submission was ever bounced.
+  EXPECT_GE(degrade_observed, 1) << group.Stats().ToJson();
+  EXPECT_EQ(strict_rejected, 0);
+  EXPECT_EQ(group.num_shards(), 1);
+
+  // Strict answers: bit-identical to the unloaded reference, full band,
+  // never marked degraded — load shedding is invisible to this tier.
+  ASSERT_GE(strict.size(), 1u);
+  for (auto& t : strict) {
+    const auto& r = t.Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().tier, core::QueryTier::kStrict);
+    EXPECT_DOUBLE_EQ(r.value().accuracy_band, 0.80);
+    ExpectSameOutcome(r.value(), *ref_b_);
+  }
+
+  // Best-effort answers: some were displaced or served pre-shed at the
+  // full band; every shed answer is annotated with the cheap band and a
+  // confidence at or above the band floor, and matches the cheap-band
+  // reference bit for bit.
+  long shed = 0;
+  for (auto& t : best_effort) {
+    const auto& r = t.Wait();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), common::StatusCode::kResourceExhausted);
+      continue;
+    }
+    EXPECT_EQ(r.value().tier, core::QueryTier::kBestEffort);
+    if (r.value().accuracy_band == 0.75) {
+      ++shed;
+      EXPECT_GE(r.value().achieved_confidence, core::BandFloor(0.75) - 1e-9);
+      ExpectSameOutcome(r.value(), cheap_ref);
+    } else {
+      EXPECT_DOUBLE_EQ(r.value().accuracy_band, 0.80);
+      ExpectSameOutcome(r.value(), *ref_b_);
+    }
+  }
+  EXPECT_GE(shed, 1);
+  // Shedding moved queries onto the warm cheap-band plan — it never
+  // trained anything — and every shed answer was counted as degraded.
+  EXPECT_EQ(group.planner_runs(), 0);
+  EXPECT_EQ(group.Stats().band_degraded, shed);
 }
 
 TEST_F(EngineGroupTest, AutoscalerDisabledChangesNothing) {

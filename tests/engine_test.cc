@@ -155,6 +155,49 @@ TEST_F(QueryEngineTest, SingleFlightPlansExactlyOnce) {
   EXPECT_EQ(trained, 1);
 }
 
+TEST_F(QueryEngineTest, SingleFlightIsPerAccuracyBand) {
+  // Two tiers on one dataset under a non-zero degrade level resolve to two
+  // different accuracy bands (strict stays at 0.80, best-effort sheds one
+  // band to 0.75), so the cache holds a cheap and a strict plan side by
+  // side: exactly two planner runs, however many submissions race in.
+  engine::QueryEngine::Options opts;
+  opts.num_workers = 4;
+  opts.planner = FastPlannerOptions();
+  engine::QueryEngine fresh(opts);
+  ASSERT_TRUE(fresh.RegisterDataset("bdd", MakeDataset()).ok());
+  fresh.SetDegradeLevel(1);
+
+  engine::ExecutionOptions strict;  // defaults: kStrict
+  engine::ExecutionOptions cheap;
+  cheap.tier = core::QueryTier::kBestEffort;
+
+  std::vector<engine::QueryTicket> tickets;
+  for (int i = 0; i < 2; ++i) {
+    auto a = fresh.Submit("bdd", CrossRightQuery(0.8), strict);
+    auto b = fresh.Submit("bdd", CrossRightQuery(0.8), cheap);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    tickets.push_back(a.value());
+    tickets.push_back(b.value());
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const auto& r = tickets[i].Wait();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    const bool is_strict = i % 2 == 0;
+    EXPECT_EQ(r.value().tier, is_strict ? core::QueryTier::kStrict
+                                        : core::QueryTier::kBestEffort);
+    EXPECT_DOUBLE_EQ(r.value().accuracy_band, is_strict ? 0.80 : 0.75);
+  }
+  // One planner run per band; the strict band's plan is the same one the
+  // fixture trained, so the strict answers match the serial baseline.
+  EXPECT_EQ(fresh.plan_cache().planner_runs(), 2);
+  ExpectSameOutcome(tickets[0].Wait().value(), *baseline_seq_);
+  // Both best-effort tickets were served from the one cheap-band plan.
+  ExpectSameOutcome(tickets[1].Wait().value(), tickets[3].Wait().value());
+  // The shed answers are counted and annotated as degraded.
+  EXPECT_EQ(fresh.Stats().band_degraded, 2);
+}
+
 TEST_F(QueryEngineTest, MixedKeyConcurrentSubmitsMatchSerialExecution) {
   // One cached key and one cold key in flight together with repeats.
   const core::ActionQuery warm = CrossRightQuery(0.8);

@@ -210,6 +210,10 @@ TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
   in.consistency = engine::Consistency::kDegraded;
   in.divergence = "shard 2 served epoch 1, committed epoch is 3";
   in.epoch = 1;
+  in.tier = core::QueryTier::kBestEffort;
+  in.accuracy_band = 0.75;
+  in.achieved_confidence = 0.8123456789012345;
+  in.budget_exhausted = true;
   engine::QueryResult out;
   ASSERT_TRUE(
       cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
@@ -226,6 +230,37 @@ TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
   EXPECT_EQ(out.consistency, in.consistency);
   EXPECT_EQ(out.divergence, in.divergence);
   EXPECT_EQ(out.epoch, in.epoch);
+  // The accuracy annotation is part of the answer too: tier, band and the
+  // confidence estimate survive bit-exactly.
+  EXPECT_EQ(out.tier, in.tier);
+  EXPECT_EQ(out.accuracy_band, in.accuracy_band);
+  EXPECT_EQ(out.achieved_confidence, in.achieved_confidence);
+  EXPECT_EQ(out.budget_exhausted, in.budget_exhausted);
+}
+
+TEST(ProtocolTest, ExecRequestCarriesAccuracyBudget) {
+  cluster::ExecRequest in;
+  in.dataset = "bdd";
+  in.sql = "SELECT 1";
+  in.priority = 3;
+  in.tier = core::QueryTier::kBalanced;
+  in.min_accuracy = 0.7;
+  in.max_latency_budget = 12.5;
+  cluster::ExecRequest out;
+  ASSERT_TRUE(
+      cluster::DecodeExecRequest(cluster::EncodeExecRequest(in), &out));
+  EXPECT_EQ(out.dataset, in.dataset);
+  EXPECT_EQ(out.sql, in.sql);
+  EXPECT_EQ(out.priority, in.priority);
+  EXPECT_EQ(out.tier, in.tier);
+  EXPECT_EQ(out.min_accuracy, in.min_accuracy);
+  EXPECT_EQ(out.max_latency_budget, in.max_latency_budget);
+
+  // An out-of-range tier byte is rejected whole. The tier byte sits right
+  // after the i32 priority: str + str + i32 + u8 + f64 + f64.
+  std::string payload = cluster::EncodeExecRequest(in);
+  payload[payload.size() - 17] = 9;
+  EXPECT_FALSE(cluster::DecodeExecRequest(payload, &out));
 }
 
 TEST(ProtocolTest, QueryResultRejectsContradictoryConsistency) {
@@ -239,12 +274,21 @@ TEST(ProtocolTest, QueryResultRejectsContradictoryConsistency) {
   engine::QueryResult out;
   EXPECT_FALSE(
       cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
-  // An out-of-range consistency byte is rejected whole.
+  // An out-of-range consistency byte is rejected whole. The trailer after
+  // the consistency byte is str(4) + u64 epoch + f64 confidence + f64 band
+  // + u8 tier + u8 budget_exhausted = 30 bytes.
   in.divergence.clear();
   std::string payload = cluster::EncodeQueryResult(in);
-  const std::string tail = payload.substr(payload.size() - 13);
-  payload[payload.size() - 13] = 5;  // consistency byte: u8 + str(4) + u64
+  const std::string tail = payload.substr(payload.size() - 31);
+  payload[payload.size() - 31] = 5;  // consistency byte
   ASSERT_EQ(tail[0], 0);  // we really did point at the consistency byte
+  EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
+  // Same for the tier byte (second-to-last) and the budget flag (last).
+  payload = cluster::EncodeQueryResult(in);
+  payload[payload.size() - 2] = 7;
+  EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
+  payload = cluster::EncodeQueryResult(in);
+  payload[payload.size() - 1] = 2;
   EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
 }
 

@@ -364,6 +364,42 @@ TEST(CatalogTest, PersistsPlansAcrossReopen) {
   EXPECT_EQ(found->prefix, "p/multi");
 }
 
+TEST(CatalogTest, PlanMatchingQuantizesToAccuracyBands) {
+  // Regression: plan lookups used raw float equality (abs diff < 1e-9),
+  // which aliased near-boundary targets after a persist/reopen round trip
+  // (the file stores %.3f, so a target carrying float noise no longer
+  // matched its own entry). All matching now goes through the
+  // milli-accuracy band grid (core/accuracy.h).
+  const std::string root = UniqueDir("bands");
+  {
+    auto cat = storage::Catalog::Open(root);
+    ASSERT_TRUE(cat.ok());
+    // A target with sub-band float noise lands on the 0.800 grid point.
+    ASSERT_TRUE(
+        cat.value().AddPlan({"bdd", "CrossRight", 0.8 + 1e-12, "p/a"}).ok());
+    // Near-boundary lookups on the same band match...
+    EXPECT_TRUE(cat.value().FindPlan("bdd", "CrossRight", 0.8).has_value());
+    EXPECT_TRUE(
+        cat.value().FindPlan("bdd", "CrossRight", 0.8 - 1e-12).has_value());
+    // ...and adjacent bands stay distinct, even one grid step away.
+    EXPECT_FALSE(cat.value().FindPlan("bdd", "CrossRight", 0.85).has_value());
+    EXPECT_FALSE(cat.value().FindPlan("bdd", "CrossRight", 0.801).has_value());
+    // Replacement keys on the band too: 0.85 and 0.85+noise are one entry.
+    ASSERT_TRUE(cat.value().AddPlan({"bdd", "LeftTurn", 0.85, "p/b1"}).ok());
+    ASSERT_TRUE(
+        cat.value().AddPlan({"bdd", "LeftTurn", 0.85 + 1e-12, "p/b2"}).ok());
+    ASSERT_EQ(cat.value().plans().size(), 2u);
+    EXPECT_EQ(cat.value().FindPlan("bdd", "LeftTurn", 0.85)->prefix, "p/b2");
+  }
+  // The band survives the %.3f persist/reopen round trip bit-for-bit.
+  auto cat = storage::Catalog::Open(root);
+  ASSERT_TRUE(cat.ok());
+  EXPECT_TRUE(cat.value().FindPlan("bdd", "CrossRight", 0.8).has_value());
+  EXPECT_TRUE(
+      cat.value().FindPlan("bdd", "CrossRight", 0.8 + 1e-12).has_value());
+  EXPECT_FALSE(cat.value().FindPlan("bdd", "CrossRight", 0.805).has_value());
+}
+
 TEST(CatalogTest, RejectsWhitespaceInTokens) {
   auto cat = storage::Catalog::Open(UniqueDir("ws"));
   ASSERT_TRUE(cat.ok());

@@ -18,6 +18,10 @@ Used by the CI bench-smoke job (see docs/CI.md for the schema):
 Metric direction is inferred from the name: metrics ending in _seconds,
 _ns, _ms or named real_time/cpu_time are lower-is-better; everything else
 (fps, gflops, queries_per_sec, f1, items_per_second) is higher-is-better.
+Accuracy-family metrics (achieved_accuracy, achieved_confidence, _f1,
+_precision, _recall) are pinned higher-is-better EXPLICITLY, before the
+time-suffix check, so no future time-like spelling can silently flip the
+direction of an accuracy gate (docs/ACCURACY.md).
 Count-like metrics (planner_runs, clients_served, invocations) are
 informational and never gated, and so are the serving layer's
 self-observation metrics (peak_queue_depth, the *_p50/_p95/_p99_seconds
@@ -54,6 +58,12 @@ import json
 import sys
 
 LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_ns", "_ms", "real_time", "cpu_time")
+# Checked FIRST: a drop in achieved accuracy/confidence is a contract
+# regression, never an improvement, whatever the metric's spelling ends
+# with. The serving path is deterministic per accuracy band (modeled cost,
+# fixed seeds), so these gate tightly (bench/gate_overrides.json).
+HIGHER_IS_BETTER_SUFFIXES = ("achieved_accuracy", "achieved_confidence",
+                             "_f1", "_precision", "_recall")
 # Counters are informational, and each measurement is gated ONCE: fig8's
 # queries_per_sec is wall_seconds inverted and gbench's real_time is
 # items_per_second inverted — gating both sides would count one noise
@@ -70,6 +80,8 @@ UNGATED = ("planner_runs", "clients_served", "invocations", "iterations",
 
 
 def lower_is_better(metric):
+    if metric.endswith(HIGHER_IS_BETTER_SUFFIXES):
+        return False
     return metric.endswith(LOWER_IS_BETTER_SUFFIXES)
 
 

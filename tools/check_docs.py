@@ -26,7 +26,12 @@ REPO = Path(__file__).resolve().parent.parent
 TIER1 = ("cmake -B build -S . && cmake --build build -j && "
          "cd build && ctest --output-on-failure -j")
 
-REQUIRED_FROM_ARCHITECTURE = ["PROTOCOL.md", "OPERATIONS.md", "METRICS.md"]
+REQUIRED_FROM_ARCHITECTURE = [
+    "PROTOCOL.md",
+    "OPERATIONS.md",
+    "METRICS.md",
+    "ACCURACY.md",
+]
 
 # [text](target) and ![alt](target); target may carry an optional title.
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")

@@ -227,6 +227,77 @@ class OverridesTest(CheckHarness):
         self.assertTrue(is_gated)
         self.assertGreater(tol, 0.25)
 
+    def test_shipped_overrides_gate_fig9_accuracy_tightly(self):
+        # The accuracy-budgeted serving bench (docs/ACCURACY.md): achieved
+        # accuracy and confidence gate TIGHTER than the default tolerance,
+        # while its noisy wall clock and the scheduler-dependent flood
+        # counters stay informational.
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        shipped = os.path.join(repo, "bench", "gate_overrides.json")
+        overrides = bench_regress.load_overrides(shipped)
+        for metric in ("achieved_accuracy", "achieved_confidence"):
+            name = ("bench_fig9_accuracy_targets/CrossRight/band_0.80/%s"
+                    % metric)
+            is_gated, tol = bench_regress.effective_policy(
+                name, 0.25, overrides)
+            self.assertTrue(is_gated, name)
+            self.assertLess(tol, 0.25, name)
+        for name in ("bench_fig9_accuracy_targets/CrossRight/band_0.80"
+                     "/wall_seconds",
+                     "bench_fig9_accuracy_targets/flood/shed_answers",
+                     "bench_fig9_accuracy_targets/flood/strict_rejected"):
+            is_gated, _ = bench_regress.effective_policy(
+                name, 0.25, overrides)
+            self.assertFalse(is_gated, name)
+
+
+class DirectionTest(unittest.TestCase):
+    """Name-based direction inference, accuracy pinning included."""
+
+    def test_time_suffixes_are_lower_is_better(self):
+        for name in ("fig8/q/wall_seconds", "m/x/latency_ns", "m/x/step_ms",
+                     "bench_micro_substrate/BM_MatMul/256/real_time"):
+            self.assertTrue(bench_regress.lower_is_better(name), name)
+
+    def test_accuracy_metrics_are_higher_is_better(self):
+        for name in ("bench_fig9_accuracy_targets/CrossRight/band_0.80"
+                     "/achieved_accuracy",
+                     "bench_fig9_accuracy_targets/budget/half"
+                     "/achieved_confidence",
+                     "fig8/q/method_f1", "fig8/q/method_precision",
+                     "fig8/q/method_recall"):
+            self.assertFalse(bench_regress.lower_is_better(name), name)
+
+    def test_accuracy_pinning_precedes_time_suffixes(self):
+        # The accuracy family wins even when a time-like spelling would
+        # otherwise match — the explicit list is checked first, so no
+        # renaming can silently flip an accuracy gate's direction.
+        self.assertFalse(bench_regress.lower_is_better("q/real_time_f1"))
+        self.assertTrue(bench_regress.lower_is_better("q/rt_real_time"))
+
+
+class AccuracyGateTest(CheckHarness):
+    """The fig9 accuracy gate: a drop fails, a gain never does."""
+
+    OVERRIDES = [{"pattern": "*/achieved_accuracy",
+                  "gate": True, "tolerance": 0.1}]
+    NAME = "bench_fig9_accuracy_targets/CrossRight/band_0.80/achieved_accuracy"
+
+    def test_accuracy_drop_beyond_tolerance_fails(self):
+        self.assertEqual(
+            self.run_check({self.NAME: 0.80}, {self.NAME: 0.70},
+                           overrides=self.OVERRIDES), 1)
+
+    def test_accuracy_drop_within_tolerance_passes(self):
+        self.assertEqual(
+            self.run_check({self.NAME: 0.80}, {self.NAME: 0.75},
+                           overrides=self.OVERRIDES), 0)
+
+    def test_accuracy_gain_always_passes(self):
+        self.assertEqual(
+            self.run_check({self.NAME: 0.80}, {self.NAME: 0.95},
+                           overrides=self.OVERRIDES), 0)
+
 
 class ContextTest(unittest.TestCase):
     def test_format_context_sorts_and_unfloats(self):
