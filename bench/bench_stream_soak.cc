@@ -1,0 +1,245 @@
+// Live-stream soak: sustained ingest into a streamable dataset with
+// concurrent SubscribeQuery consumers and the autoscaler on — the serving
+// shape the streaming refactor exists for. One plan is trained up front;
+// every appended block then re-executes that plan over the sliding window,
+// so the whole soak runs with planner_runs pinned at the warm-up count.
+//
+//   bench_stream_soak                    # full-size soak
+//   bench_stream_soak --reduced          # CI-sized (fewer ticks, smaller set)
+//   bench_stream_soak --json PATH        # machine-readable results
+//   bench_stream_soak --subscribers N    # concurrent consumers (default 2)
+//   bench_stream_soak --ticks N          # appended blocks (default 12 / 6)
+//
+// The binary is a functional gate on top of the metric trail it leaves
+// (like bench_fig9): it exits non-zero if the streaming contract breaks
+// live — a subscriber misses an epoch, an incremental answer arrives
+// non-certain, or the planner re-runs mid-soak.
+//
+// Emitted metrics (docs/CI.md schema; identities in bench/baseline.json):
+//   ingest_fps          test-split frames ingested per wall second
+//   update_p95_seconds  append-to-delivered incremental-result latency
+//   feature_hit_ratio   FeatureCache hits / (hits + misses): window reuse
+//   wall_seconds        whole-soak wall clock (informational, see
+//                       bench/gate_overrides.json — timing metrics here are
+//                       scheduler-noise trails; the hit ratio is the gated
+//                       reuse contract)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "bench/bench_util.h"
+#include "common/stringutil.h"
+#include "common/timer.h"
+#include "engine/engine_group.h"
+
+namespace {
+
+constexpr char kSql[] =
+    "SELECT segment_ids FROM UDF(video) "
+    "WHERE action_class = 'cross-right' AND accuracy >= 85%";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace zeus;
+  common::SetLogLevel(common::LogLevel::kWarning);
+
+  const bool reduced = bench::ReducedFromArgs(argc, argv);
+  const std::string json_path = bench::JsonPathFromArgs(argc, argv);
+  int subscribers = 2;
+  int ticks = reduced ? 6 : 12;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--subscribers") == 0) {
+      subscribers = std::max(1, std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--ticks") == 0) {
+      ticks = std::max(1, std::atoi(argv[i + 1]));
+    }
+  }
+
+  bench::PrintHeader(common::Format(
+      "Live-stream soak: %d tick(s) x %d frames, %d subscriber(s)%s", ticks,
+      static_cast<int>(video::SyntheticDataset::kStreamBlockFrames),
+      subscribers, reduced ? " (reduced)" : ""));
+  bench::BenchJson json("bench_stream_soak");
+
+  video::DatasetProfile profile =
+      bench::BenchProfile(video::DatasetFamily::kBdd100kLike);
+  profile.num_videos = reduced ? 10 : 16;
+  profile.frames_per_video = reduced ? 160 : 240;
+
+  engine::EngineGroup::Options gopts;
+  gopts.engine.num_workers = 2;
+  gopts.engine.max_pending = subscribers * (ticks + 2) + 8;
+  gopts.engine.planner = zeus::bench::BenchPlannerOptions();
+  if (reduced) {
+    gopts.engine.planner.apfg.epochs = 6;
+    gopts.engine.planner.profile.max_windows_per_config = 100;
+    gopts.engine.planner.trainer.episodes = 6;
+  }
+  // The self-operating leg: per-dataset signals (one hot stream drowning
+  // its home shard while the group average stays calm) may scale the group
+  // mid-soak. Whatever the policy chooses, answers stay bit-identical —
+  // the final shard count is recorded as an informational trail.
+  gopts.autoscale.enabled = true;
+  gopts.autoscale.min_shards = 1;
+  gopts.autoscale.max_shards = 2;
+  gopts.autoscale.up_dataset_queue_depth = 6.0;
+  gopts.autoscale.sustain_samples = 2;
+  gopts.autoscale.cooldown_samples = 4;
+  gopts.autoscale.sample_interval = std::chrono::milliseconds(50);
+  engine::EngineGroup group(gopts);
+
+  const std::string name = "soak";
+  auto st = group.RegisterDataset(
+      name, video::SyntheticDataset::Generate(profile, /*seed=*/17));
+  if (!st.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  const long test_videos =
+      static_cast<long>(group.dataset(name)->test_indices().size());
+
+  common::WallTimer total;
+
+  // Warm-up: one blocking query trains the plan every window run reuses.
+  auto warm = group.Execute(name, kSql);
+  if (!warm.ok()) {
+    std::fprintf(stderr, "warmup failed: %s\n",
+                 warm.status().ToString().c_str());
+    return 1;
+  }
+  const long planner_baseline = group.planner_runs();
+  std::printf("plan trained in %.1f s (planner_runs=%ld); soak begins\n",
+              warm.value().plan_seconds, planner_baseline);
+
+  // Attach the consumers and drain each one's immediate first window (the
+  // subscription answers once on attach, before any append).
+  struct Consumer {
+    engine::SubscriptionTicket ticket;
+    uint64_t last_seq = 0;
+  };
+  std::vector<Consumer> consumers;
+  engine::SubscribeOptions sopts;
+  sopts.window_frames = 0;  // full prefix: bit-identical to a one-shot
+  for (int s = 0; s < subscribers; ++s) {
+    auto sub = group.Subscribe(name, kSql, sopts);
+    if (!sub.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   sub.status().ToString().c_str());
+      return 1;
+    }
+    auto first = sub.value().Next(0, /*timeout_ms=*/60000);
+    if (!first.ok()) {
+      std::fprintf(stderr, "first window failed: %s\n",
+                   first.status().ToString().c_str());
+      return 1;
+    }
+    consumers.push_back({sub.value(), first.value().seq});
+  }
+
+  // The soak: append one stream block per tick; every consumer must see an
+  // update covering the new epoch. The append-to-delivery latency is the
+  // freshness metric a live dashboard would feel.
+  std::vector<double> update_latency;
+  update_latency.reserve(static_cast<size_t>(ticks * subscribers));
+  common::WallTimer ingest;
+  long frames_ingested = 0;
+  uint64_t last_epoch = 0;
+  for (int tick = 0; tick < ticks; ++tick) {
+    common::WallTimer t0;
+    auto appended =
+        group.AppendFrames(name, video::SyntheticDataset::kStreamBlockFrames);
+    if (!appended.ok()) {
+      std::fprintf(stderr, "append %d failed: %s\n", tick,
+                   appended.status().ToString().c_str());
+      return 1;
+    }
+    frames_ingested += appended.value().appended * test_videos;
+    last_epoch = appended.value().frame_epoch;
+    for (Consumer& c : consumers) {
+      // Drain until this consumer's freshest answer covers the epoch just
+      // committed (a slow consumer may receive a conflated later window —
+      // that still covers the epoch, drops are counted, frames never lost).
+      for (;;) {
+        auto u = c.ticket.Next(c.last_seq, /*timeout_ms=*/60000);
+        if (!u.ok()) {
+          std::fprintf(stderr, "tick %d: subscriber poll failed: %s\n", tick,
+                       u.status().ToString().c_str());
+          return 1;
+        }
+        c.last_seq = u.value().seq;
+        if (u.value().result.consistency != engine::Consistency::kCertain) {
+          std::fprintf(stderr, "tick %d: non-certain incremental answer\n",
+                       tick);
+          return 1;
+        }
+        if (u.value().result.frame_epoch >= appended.value().frame_epoch) {
+          update_latency.push_back(t0.ElapsedSeconds());
+          break;
+        }
+      }
+    }
+  }
+  const double ingest_s = ingest.ElapsedSeconds();
+
+  // The reuse contract, asserted live: the soak must not have trained a
+  // plan, and the FeatureCache must have served every already-seen frame
+  // from cache (misses only past each window's previous high-water mark).
+  if (group.planner_runs() != planner_baseline) {
+    std::fprintf(stderr,
+                 "planner ran mid-soak (%ld vs baseline %ld) — a window "
+                 "re-execution fell off the cached plan\n",
+                 group.planner_runs(), planner_baseline);
+    return 1;
+  }
+  const engine::GroupStats stats = group.Stats();
+  const double feature_total =
+      static_cast<double>(stats.feature_hits + stats.feature_misses);
+  const double hit_ratio =
+      feature_total > 0
+          ? static_cast<double>(stats.feature_hits) / feature_total
+          : 0.0;
+  const double ingest_fps =
+      ingest_s > 0 ? static_cast<double>(frames_ingested) / ingest_s : 0.0;
+
+  long dropped = 0;
+  for (Consumer& c : consumers) {
+    dropped += c.ticket.dropped();
+    c.ticket.Cancel();
+  }
+
+  bench::TailStats tail;
+  tail.samples = static_cast<int>(update_latency.size());
+  tail.p50_seconds = bench::PercentileOf(&update_latency, 0.50);
+  tail.p95_seconds = bench::PercentileOf(&update_latency, 0.95);
+  tail.p99_seconds = bench::PercentileOf(&update_latency, 0.99);
+
+  std::printf(
+      "\nsoak done: %ld frames ingested in %.1f s (%.0f fps), epoch %llu; "
+      "update latency p50/p95 %.3f/%.3f s; feature cache %.1f%% hits "
+      "(%ld/%ld, %ld evictions); %ld update(s) conflated; final shards %d "
+      "(%ld resize(s))\n",
+      frames_ingested, ingest_s, ingest_fps,
+      static_cast<unsigned long long>(last_epoch), tail.p50_seconds,
+      tail.p95_seconds, 100.0 * hit_ratio, stats.feature_hits,
+      stats.feature_hits + stats.feature_misses, stats.feature_evictions,
+      dropped, stats.num_shards, stats.resizes);
+
+  const std::string rec = "soak";
+  json.AddContext(rec, "subscribers", static_cast<double>(subscribers));
+  json.AddContext(rec, "ticks", static_cast<double>(ticks));
+  json.Add(rec, "ingest_fps", ingest_fps);
+  bench::AddTailMetrics(&json, rec, "update", tail);
+  json.Add(rec, "feature_hit_ratio", hit_ratio);
+  json.Add(rec, "stream_results", static_cast<double>(stats.stream_results));
+  json.Add(rec, "stream_dropped", static_cast<double>(dropped));
+  json.Add(rec, "planner_runs", static_cast<double>(group.planner_runs()));
+  json.Add(rec, "final_shards", static_cast<double>(stats.num_shards));
+  json.Add(rec, "resizes", static_cast<double>(stats.resizes));
+  json.Add(rec, "wall_seconds", total.ElapsedSeconds());
+  return json.WriteTo(json_path) ? 0 : 1;
+}

@@ -18,6 +18,16 @@
 //                                        # cache hits, resize counts; in
 //                                        # --router mode, the cluster-wide
 //                                        # aggregate plus failover counters)
+//   sql_console ".append 64"             # dot-command: live-stream ingest —
+//                                        # append N frames per test video to
+//                                        # the (streamable) dataset
+//   sql_console ".subscribe"             # dot-command: attach a standing
+//                                        # SubscribeQuery (first call) or
+//                                        # poll it for the next incremental
+//                                        # answer (later calls) — interleave
+//                                        # with .append to watch the trained
+//                                        # plan re-execute over the growing
+//                                        # stream without replanning
 //
 // Queries go through the concurrent engine's Submit()/ticket API: the
 // console polls the ticket's phase (queued / planning / executing) while it
@@ -31,6 +41,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,14 +52,77 @@
 
 namespace {
 
+// The standing query the `.subscribe` dot-command attaches — the same query
+// the scripted demo session plans, so the subscription reuses its plan.
+constexpr char kSubscribeSql[] =
+    "SELECT segment_ids FROM UDF(video) "
+    "WHERE action_class = 'cross-right' AND accuracy >= 85%";
+
+// Frames appended when `.append` is given without a count: one deterministic
+// stream block.
+constexpr long kDefaultAppend = zeus::video::SyntheticDataset::kStreamBlockFrames;
+
+// `.append [N]` -> N, anything else -> 0 (not an append command).
+long ParseAppend(const std::string& sql) {
+  if (sql.rfind(".append", 0) != 0) return 0;
+  const long n = std::atol(sql.c_str() + 7);
+  return n > 0 ? n : kDefaultAppend;
+}
+
 void PrintResult(const zeus::engine::QueryResult& r);
 
-void RunQuery(zeus::core::ZeusDb& db, const std::string& sql) {
+// Console-side subscription state: `.subscribe` attaches on first use and
+// polls afterwards, so a scripted session can interleave ingest and reads.
+struct ConsoleSub {
+  std::optional<zeus::engine::SubscriptionTicket> ticket;
+  uint64_t last_seq = 0;
+};
+
+void RunQuery(zeus::core::ZeusDb& db, const std::string& sql,
+              ConsoleSub* sub) {
   std::printf("\nzeus> %s\n", sql.c_str());
   // Dot-commands are console-side, not SQL. `.stats` prints the engine's
   // self-observation snapshot — the same JSON tooling consumes.
   if (sql == ".stats") {
     std::printf("%s\n", db.Stats().ToJson().c_str());
+    return;
+  }
+  if (const long frames = ParseAppend(sql); frames > 0) {
+    auto out = db.group().AppendFrames("bdd", frames);
+    if (!out.ok()) {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+      return;
+    }
+    std::printf("appended %ld frame(s)/video: stream length %ld, epoch %llu\n",
+                out.value().appended, out.value().stream_length,
+                static_cast<unsigned long long>(out.value().frame_epoch));
+    return;
+  }
+  if (sql == ".subscribe") {
+    if (!sub->ticket.has_value()) {
+      auto t = db.group().Subscribe("bdd", kSubscribeSql, {});
+      if (!t.ok()) {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+        return;
+      }
+      sub->ticket = t.value();
+      std::printf("subscribed (id %llu); each .append re-executes the cached "
+                  "plan over the new window\n",
+                  static_cast<unsigned long long>(t.value().id()));
+    }
+    auto update = sub->ticket->Next(sub->last_seq, /*timeout_ms=*/120000);
+    if (!update.ok()) {
+      std::printf("error: %s\n", update.status().ToString().c_str());
+      return;
+    }
+    sub->last_seq = update.value().seq;
+    std::printf("update #%llu (window [%lld, %lld), epoch %llu)\n",
+                static_cast<unsigned long long>(update.value().seq),
+                static_cast<long long>(update.value().result.window_begin),
+                static_cast<long long>(update.value().result.window_end),
+                static_cast<unsigned long long>(
+                    update.value().result.frame_epoch));
+    PrintResult(update.value().result);
     return;
   }
   auto ticket = db.Submit("bdd", sql);
@@ -102,11 +176,71 @@ void PrintResult(const zeus::engine::QueryResult& r) {
   }
 }
 
+// Router-side subscription cursor: the router assigns the id (sub_id 0 on
+// the wire) and serves a monotone client-facing seq that survives shard
+// failover — the console only keeps the cursor.
+struct RemoteSub {
+  uint64_t sub_id = 0;
+  uint64_t last_seq = 0;
+};
+
 // Same session against a cluster: the console becomes a network client and
 // every query crosses the wire to whichever shard is the dataset's home.
 void RunRemoteQuery(zeus::cluster::RemoteShard& client,
-                    const std::string& sql) {
+                    const std::string& sql, RemoteSub* sub) {
   std::printf("\nzeus> %s\n", sql.c_str());
+  if (const long frames = ParseAppend(sql); frames > 0) {
+    zeus::cluster::AppendFramesRequest req;
+    req.name = "bdd";
+    req.relative_frames = static_cast<uint64_t>(frames);
+    auto out = client.AppendFrames(req);
+    if (!out.ok()) {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+      return;
+    }
+    std::printf("appended %lld frame(s)/video: stream length %llu, epoch "
+                "%llu (fanned to every replica)\n",
+                static_cast<long long>(out.value().appended),
+                static_cast<unsigned long long>(out.value().stream_length),
+                static_cast<unsigned long long>(out.value().frame_epoch));
+    return;
+  }
+  if (sql == ".subscribe") {
+    if (sub->sub_id == 0) {
+      zeus::cluster::SubscribeRequest req;
+      req.dataset = "bdd";
+      req.sql = kSubscribeSql;
+      req.sub_id = 0;  // router-assigned
+      auto reply = client.Subscribe(req);
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+        return;
+      }
+      sub->sub_id = reply.value().sub_id;
+      std::printf("subscribed (routed id %llu); the router re-attaches this "
+                  "subscription on shard failover\n",
+                  static_cast<unsigned long long>(sub->sub_id));
+    }
+    zeus::cluster::StreamPollRequest req;
+    req.sub_id = sub->sub_id;
+    req.after_seq = sub->last_seq;
+    req.timeout_ms = 120000;
+    auto update = client.StreamPoll(req, /*deadline_ms=*/150000);
+    if (!update.ok()) {
+      std::printf("error: %s\n", update.status().ToString().c_str());
+      return;
+    }
+    sub->last_seq = update.value().seq;
+    std::printf("update #%llu (window [%lld, %lld), epoch %llu%s)\n",
+                static_cast<unsigned long long>(update.value().seq),
+                static_cast<long long>(update.value().result.window_begin),
+                static_cast<long long>(update.value().result.window_end),
+                static_cast<unsigned long long>(
+                    update.value().result.frame_epoch),
+                update.value().dropped > 0 ? ", conflated" : "");
+    PrintResult(update.value().result);
+    return;
+  }
   if (sql == ".stats") {
     auto stats = client.Stats();
     if (!stats.ok()) {
@@ -204,6 +338,12 @@ int main(int argc, char** argv) {
         // Multi-class query (§6.5): either crossing direction counts.
         "SELECT segment_ids FROM UDF(video) WHERE action_class IN "
         "('cross-right', 'cross-left') AND accuracy >= 80%",
+        // Live-stream finale: attach a standing SubscribeQuery (reuses the
+        // plan trained above), ingest one stream block, and read the
+        // incremental answer the append triggered — no replanning.
+        ".subscribe",
+        ".append 64",
+        ".subscribe",
         // What the session did to the engine: queue waits, execution
         // latency percentiles, cache hits — the ops view of the demo.
         ".stats",
@@ -237,7 +377,8 @@ int main(int argc, char** argv) {
                 "warmed)\n",
                 router.c_str(),
                 static_cast<unsigned long long>(reg.value()));
-    for (const std::string& sql : queries) RunRemoteQuery(client, sql);
+    RemoteSub rsub;
+    for (const std::string& sql : queries) RunRemoteQuery(client, sql, &rsub);
     return 0;
   }
 
@@ -260,6 +401,7 @@ int main(int argc, char** argv) {
                 shards, db.group().ShardFor("bdd"));
   }
 
-  for (const std::string& sql : queries) RunQuery(db, sql);
+  ConsoleSub sub;
+  for (const std::string& sql : queries) RunQuery(db, sql, &sub);
   return 0;
 }

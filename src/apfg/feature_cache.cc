@@ -1,49 +1,95 @@
 #include "apfg/feature_cache.h"
 
+#include <algorithm>
+
+#include "video/decoder.h"
+
 namespace zeus::apfg {
 
-uint64_t FeatureCache::Key(const video::Video& video, int start_frame,
-                           const video::DecodeSpec& spec) {
-  // Pack: video id (16b) | start (24b) | res (10b) | len (8b) | rate (6b).
-  uint64_t k = static_cast<uint64_t>(video.id() & 0xffff);
-  k = (k << 24) | static_cast<uint64_t>(start_frame & 0xffffff);
-  k = (k << 10) | static_cast<uint64_t>(spec.resolution_px & 0x3ff);
-  k = (k << 8) | static_cast<uint64_t>(spec.segment_length & 0xff);
-  k = (k << 6) | static_cast<uint64_t>(spec.sampling_rate & 0x3f);
+size_t FeatureCache::KeyHash::operator()(const Key& k) const {
+  // SplitMix64-style mix over the packed fields.
+  uint64_t h = static_cast<uint64_t>(static_cast<uint32_t>(k.video_id));
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(k.start);
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(k.avail);
+  h = h * 0x9E3779B97F4A7C15ull + static_cast<uint32_t>(k.res);
+  h = h * 0x9E3779B97F4A7C15ull +
+      (static_cast<uint64_t>(static_cast<uint32_t>(k.len)) << 8 |
+       static_cast<uint32_t>(k.rate));
+  h ^= h >> 31;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 29;
+  return static_cast<size_t>(h);
+}
+
+FeatureCache::Key FeatureCache::MakeKey(const video::Video& video,
+                                        int start_frame,
+                                        const video::DecodeSpec& spec) {
+  Key k;
+  k.video_id = video.id();
+  k.start = start_frame;
+  // Clamp-awareness: how many real source frames the decode can see. Once
+  // the video has grown past start + covered, this saturates at covered
+  // and the key becomes stable forever.
+  k.avail = std::min(video::SegmentDecoder::CoveredFrames(spec),
+                     video.num_frames() - start_frame);
+  k.res = spec.resolution_px;
+  k.len = spec.segment_length;
+  k.rate = spec.sampling_rate;
   return k;
 }
 
-const Apfg::Output& FeatureCache::Get(const video::Video& video,
-                                      int start_frame,
-                                      const video::DecodeSpec& spec) {
-  uint64_t key = Key(video, start_frame, spec);
+std::shared_ptr<const Apfg::Output> FeatureCache::InsertLocked(
+    const Key& key, std::shared_ptr<const Apfg::Output> out) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.out;  // first insert won a race
+  lru_.push_front(key);
+  cache_.emplace(key, Entry{out, lru_.begin()});
+  EvictOverCapacityLocked();
+  return out;
+}
+
+void FeatureCache::EvictOverCapacityLocked() {
+  if (max_entries_ == 0) return;
+  while (cache_.size() > max_entries_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::shared_ptr<const Apfg::Output> FeatureCache::Get(
+    const video::Video& video, int start_frame,
+    const video::DecodeSpec& spec) {
+  const Key key = MakeKey(video, start_frame, spec);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
-      return it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.pos);  // refresh LRU
+      return it->second.out;
     }
   }
   // Miss: run the (read-only, deterministic) APFG inference outside the
   // lock so concurrent callers don't serialize on each other's compute.
-  Apfg::Output out = apfg_->Process(video, start_frame, spec);
+  auto out =
+      std::make_shared<Apfg::Output>(apfg_->Process(video, start_frame, spec));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;  // lost a concurrent race; the first insert wins
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.out;
   }
   ++misses_;
-  auto [ins, _] = cache_.emplace(key, std::move(out));
-  return ins->second;
+  return InsertLocked(key, std::move(out));
 }
 
 void FeatureCache::Precompute(const video::Video& video,
                               const video::DecodeSpec& spec, int alignment,
                               size_t max_entries) {
   for (int start = 0; start < video.num_frames(); start += alignment) {
-    if (cache_.size() >= max_entries) return;
+    if (size() >= max_entries) return;
     Get(video, start, spec);
   }
 }
@@ -61,25 +107,46 @@ void FeatureCache::PrecomputeParallel(
     std::lock_guard<std::mutex> lock(mu_);
     for (const video::Video* v : videos) {
       for (int start = 0; start < v->num_frames(); start += alignment) {
-        if (cache_.find(Key(*v, start, spec)) == cache_.end()) {
+        if (cache_.find(MakeKey(*v, start, spec)) == cache_.end()) {
           items.push_back({v, start});
         }
       }
     }
   }
-  std::vector<Apfg::Output> outputs(items.size());
-  common::ParallelFor(pool, static_cast<int>(items.size()),
-                      [&](int i) {
-                        const Item& it = items[static_cast<size_t>(i)];
-                        outputs[static_cast<size_t>(i)] =
-                            apfg_->Process(*it.video, it.start, spec);
-                      });
+  std::vector<std::shared_ptr<const Apfg::Output>> outputs(items.size());
+  common::ParallelFor(pool, static_cast<int>(items.size()), [&](int i) {
+    const Item& it = items[static_cast<size_t>(i)];
+    outputs[static_cast<size_t>(i)] = std::make_shared<Apfg::Output>(
+        apfg_->Process(*it.video, it.start, spec));
+  });
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < items.size(); ++i) {
-    cache_.emplace(Key(*items[i].video, items[i].start, spec),
-                   std::move(outputs[i]));
     ++misses_;
+    InsertLocked(MakeKey(*items[i].video, items[i].start, spec),
+                 std::move(outputs[i]));
   }
+}
+
+size_t FeatureCache::InvalidateBefore(int frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->start + it->avail <= frame) {
+      cache_.erase(*it);
+      it = lru_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  evictions_ += dropped;
+  return dropped;
+}
+
+void FeatureCache::set_max_entries(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_entries_ = n;
+  EvictOverCapacityLocked();
 }
 
 }  // namespace zeus::apfg

@@ -35,7 +35,8 @@ core::RunResult ZeusHeuristic::Localize(
     bool first = true;
     while (position < v.num_frames()) {
       const core::Configuration& c = space_->config(current);
-      const apfg::Apfg::Output& out = cache_->Get(v, position, c.spec);
+      const auto out_ptr = cache_->Get(v, position, c.spec);
+      const apfg::Apfg::Output& out = *out_ptr;
       int end = std::min(v.num_frames(), position + c.CoveredFrames());
       result.gpu_seconds += c.gpu_seconds_per_invocation;
       ++result.invocations;

@@ -159,6 +159,32 @@ std::string PrometheusText(const engine::GroupStats& stats,
                               stats.confidence.count));
   }
 
+  // Live streams (docs/ARCHITECTURE.md "Live streams").
+  Counter(&out, "zeus_appends_total",
+          "Dataset append transactions applied (idempotent replays excluded).",
+          stats.appends);
+  Counter(&out, "zeus_appended_frames_total",
+          "Frames appended across all datasets.", stats.appended_frames);
+  Counter(&out, "zeus_subscriptions_total",
+          "Standing queries opened (SubscribeQuery).", stats.subscribes);
+  Counter(&out, "zeus_unsubscribes_total",
+          "Subscriptions closed, cancelled or reaped.", stats.unsubscribes);
+  Counter(&out, "zeus_stream_results_total",
+          "Incremental window results published to subscribers.",
+          stats.stream_results);
+  Counter(&out, "zeus_stream_dropped_total",
+          "Buffered stream results discarded by slow consumers' bounds.",
+          stats.stream_dropped);
+  Counter(&out, "zeus_feature_cache_hits_total",
+          "APFG feature-cache hits sampled around localizations.",
+          stats.feature_hits);
+  Counter(&out, "zeus_feature_cache_misses_total",
+          "APFG feature-cache misses sampled around localizations.",
+          stats.feature_misses);
+  Counter(&out, "zeus_feature_cache_evictions_total",
+          "APFG feature-cache LRU evictions sampled around localizations.",
+          stats.feature_evictions);
+
   // Latency histograms (seconds; bucket bounds are the registry's fixed
   // 1µs * 2^i grid, so scrapes from different shards always merge).
   Histogram(&out, "zeus_queue_wait_seconds",

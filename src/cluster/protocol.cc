@@ -57,6 +57,17 @@ void EncodeCounters(net::WireWriter* w, const engine::ServingCounters& c) {
   for (long b : c.confidence.buckets) w->I64(b);
   EncodeHist(w, c.queue_wait);
   EncodeHist(w, c.exec);
+  // Live-stream counters (appended last; the histograms above anchor the
+  // legacy prefix).
+  w->I64(c.appends);
+  w->I64(c.appended_frames);
+  w->I64(c.subscribes);
+  w->I64(c.unsubscribes);
+  w->I64(c.stream_results);
+  w->I64(c.stream_dropped);
+  w->I64(c.feature_hits);
+  w->I64(c.feature_misses);
+  w->I64(c.feature_evictions);
 }
 
 bool DecodeCounters(net::WireReader* r, engine::ServingCounters* c) {
@@ -97,7 +108,21 @@ bool DecodeCounters(net::WireReader* r, engine::ServingCounters* c) {
     if (!r->I64(&b)) return false;
     c->confidence.buckets[i] = b;
   }
-  return DecodeHist(r, &c->queue_wait) && DecodeHist(r, &c->exec);
+  if (!DecodeHist(r, &c->queue_wait) || !DecodeHist(r, &c->exec)) return false;
+  int64_t s[9];
+  for (auto& x : s) {
+    if (!r->I64(&x)) return false;
+  }
+  c->appends = s[0];
+  c->appended_frames = s[1];
+  c->subscribes = s[2];
+  c->unsubscribes = s[3];
+  c->stream_results = s[4];
+  c->stream_dropped = s[5];
+  c->feature_hits = s[6];
+  c->feature_misses = s[7];
+  c->feature_evictions = s[8];
+  return true;
 }
 
 }  // namespace
@@ -196,6 +221,9 @@ std::string EncodeQueryResult(const engine::QueryResult& result) {
   w.F64(result.accuracy_band);
   w.U8(static_cast<uint8_t>(result.tier));
   w.U8(result.budget_exhausted ? 1 : 0);
+  w.I64(result.window_begin);
+  w.I64(result.window_end);
+  w.U64(result.frame_epoch);
   return w.Take();
 }
 
@@ -240,6 +268,17 @@ bool DecodeQueryResult(const std::string& payload, engine::QueryResult* out) {
   if (tier > kMaxTier || budget_exhausted > 1) return false;
   out->tier = static_cast<core::QueryTier>(tier);
   out->budget_exhausted = budget_exhausted != 0;
+  int64_t window_begin = 0, window_end = 0;
+  if (!r.I64(&window_begin) || !r.I64(&window_end) ||
+      !r.U64(&out->frame_epoch)) {
+    return false;
+  }
+  // The covered range is a well-formed, non-negative interval or absent
+  // (both zero) — a stream consumer dedupes on it, so garbage here is a
+  // reject, not a shrug.
+  if (window_begin < 0 || window_end < window_begin) return false;
+  out->window_begin = window_begin;
+  out->window_end = window_end;
   return r.AtEnd();
 }
 
@@ -272,16 +311,144 @@ std::string EncodeEpochReply(const EpochReply& reply) {
   net::WireWriter w;
   w.U64(reply.epoch);
   w.U8(reply.has_dataset ? 1 : 0);
+  w.U64(reply.stream_length);
   return w.Take();
 }
 
 bool DecodeEpochReply(const std::string& payload, EpochReply* out) {
   net::WireReader r(payload);
   uint8_t has = 0;
-  if (!r.U64(&out->epoch) || !r.U8(&has)) return false;
+  if (!r.U64(&out->epoch) || !r.U8(&has) || !r.U64(&out->stream_length)) {
+    return false;
+  }
   if (has > 1) return false;
   out->has_dataset = has != 0;
   return r.AtEnd();
+}
+
+// ---- Live streams ----------------------------------------------------------
+
+std::string EncodeAppendFrames(const AppendFramesRequest& req) {
+  net::WireWriter w;
+  w.Str(req.name);
+  w.U64(req.target_frames);
+  w.U64(req.relative_frames);
+  w.U64(req.epoch);
+  return w.Take();
+}
+
+bool DecodeAppendFrames(const std::string& payload, AppendFramesRequest* out) {
+  net::WireReader r(payload);
+  if (!r.Str(&out->name) || !r.U64(&out->target_frames) ||
+      !r.U64(&out->relative_frames) || !r.U64(&out->epoch)) {
+    return false;
+  }
+  // Exactly one of the two forms: absolute (target, epoch) or relative.
+  if (out->name.empty()) return false;
+  if (out->target_frames == 0 && out->relative_frames == 0) return false;
+  if (out->target_frames != 0 && out->relative_frames != 0) return false;
+  return r.AtEnd();
+}
+
+std::string EncodeAppendReply(const AppendReply& reply) {
+  net::WireWriter w;
+  w.U64(reply.frame_epoch);
+  w.U64(reply.stream_length);
+  w.U64(reply.appended);
+  return w.Take();
+}
+
+bool DecodeAppendReply(const std::string& payload, AppendReply* out) {
+  net::WireReader r(payload);
+  return r.U64(&out->frame_epoch) && r.U64(&out->stream_length) &&
+         r.U64(&out->appended) && out->appended <= out->stream_length &&
+         r.AtEnd();
+}
+
+std::string EncodeSubscribeRequest(const SubscribeRequest& req) {
+  net::WireWriter w;
+  w.Str(req.dataset);
+  w.Str(req.sql);
+  w.U64(req.sub_id);
+  w.I64(req.window_frames);
+  w.U32(req.max_buffered);
+  w.U8(static_cast<uint8_t>(req.tier));
+  w.F64(req.min_accuracy);
+  w.F64(req.max_latency_budget);
+  return w.Take();
+}
+
+bool DecodeSubscribeRequest(const std::string& payload,
+                            SubscribeRequest* out) {
+  net::WireReader r(payload);
+  uint8_t tier = 0;
+  if (!r.Str(&out->dataset) || !r.Str(&out->sql) || !r.U64(&out->sub_id) ||
+      !r.I64(&out->window_frames) || !r.U32(&out->max_buffered) ||
+      !r.U8(&tier) || !r.F64(&out->min_accuracy) ||
+      !r.F64(&out->max_latency_budget)) {
+    return false;
+  }
+  // sub_id 0 is valid on the wire: a client subscribing THROUGH the router
+  // sends 0 to let the router assign the id. The shard side rejects 0 in
+  // its handler (its ids are always the caller's — that is what makes
+  // re-attach idempotent).
+  if (out->dataset.empty() || out->sql.empty() || out->window_frames < 0 ||
+      tier > kMaxTier) {
+    return false;
+  }
+  out->tier = static_cast<core::QueryTier>(tier);
+  return r.AtEnd();
+}
+
+std::string EncodeSubscribeReply(const SubscribeReply& reply) {
+  net::WireWriter w;
+  w.U64(reply.sub_id);
+  w.U64(reply.frame_epoch);
+  w.U8(reply.attached_existing ? 1 : 0);
+  return w.Take();
+}
+
+bool DecodeSubscribeReply(const std::string& payload, SubscribeReply* out) {
+  net::WireReader r(payload);
+  uint8_t attached = 0;
+  if (!r.U64(&out->sub_id) || !r.U64(&out->frame_epoch) || !r.U8(&attached)) {
+    return false;
+  }
+  if (out->sub_id == 0 || attached > 1) return false;
+  out->attached_existing = attached != 0;
+  return r.AtEnd();
+}
+
+std::string EncodeStreamPoll(const StreamPollRequest& req) {
+  net::WireWriter w;
+  w.U64(req.sub_id);
+  w.U64(req.after_seq);
+  w.U32(req.timeout_ms);
+  return w.Take();
+}
+
+bool DecodeStreamPoll(const std::string& payload, StreamPollRequest* out) {
+  net::WireReader r(payload);
+  return r.U64(&out->sub_id) && out->sub_id != 0 && r.U64(&out->after_seq) &&
+         r.U32(&out->timeout_ms) && r.AtEnd();
+}
+
+std::string EncodeStreamResult(const StreamResultMsg& msg) {
+  net::WireWriter w;
+  w.U64(msg.seq);
+  w.U64(msg.dropped);
+  w.Str(EncodeQueryResult(msg.result));
+  return w.Take();
+}
+
+bool DecodeStreamResult(const std::string& payload, StreamResultMsg* out) {
+  net::WireReader r(payload);
+  std::string result;
+  if (!r.U64(&out->seq) || out->seq == 0 || !r.U64(&out->dropped) ||
+      !r.Str(&result) || !r.AtEnd()) {
+    return false;
+  }
+  return DecodeQueryResult(result, &out->result);
 }
 
 std::string EncodeStatsReply(const StatsReply& reply) {

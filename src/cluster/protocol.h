@@ -110,12 +110,101 @@ bool DecodeSyncReply(const std::string& payload, SyncReply* out);
 // kEpochReply: a shard's applied epoch for one dataset (kEpochQuery carries
 // just the name, via EncodeName). has_dataset false => epoch is 0 and the
 // shard holds no replica — the probe is total, never an error.
+// `stream_length` is the replica's committed stream length — the repair
+// pass compares it against the group's committed frames so a replica that
+// missed an append but caught a later plan sync can never masquerade as
+// current (epoch alone would).
 struct EpochReply {
   uint64_t epoch = 0;
   bool has_dataset = false;
+  uint64_t stream_length = 0;
 };
 std::string EncodeEpochReply(const EpochReply& reply);
 bool DecodeEpochReply(const std::string& payload, EpochReply* out);
+
+// ---- Live streams ----------------------------------------------------------
+
+// kAppendFrames: grow a streamable dataset. The wire form is ABSOLUTE —
+// `target_frames` is the stream length after the append and `epoch` the
+// frame epoch it commits — which is what makes the frame idempotent: a
+// replay (or a fan-out to a replica that already applied it) grows nothing
+// and reports `appended = 0`. `relative_frames` is the client convenience
+// form accepted only by the ROUTER (target_frames == 0): the router
+// resolves it to an absolute (target, epoch) under its dataset lock and
+// fans that to every replica. Shards reject the relative form — by the
+// time a frame reaches a shard it must be replayable.
+struct AppendFramesRequest {
+  std::string name;
+  uint64_t target_frames = 0;  // absolute stream length (0 = relative form)
+  uint64_t relative_frames = 0;  // router-only convenience
+  uint64_t epoch = 0;            // frame epoch this append commits
+};
+std::string EncodeAppendFrames(const AppendFramesRequest& req);
+bool DecodeAppendFrames(const std::string& payload, AppendFramesRequest* out);
+
+// kAppendReply: the dataset's stream state after the (possibly replayed)
+// append — engine::AppendOutcome on the wire.
+struct AppendReply {
+  uint64_t frame_epoch = 0;
+  uint64_t stream_length = 0;
+  uint64_t appended = 0;
+};
+std::string EncodeAppendReply(const AppendReply& reply);
+bool DecodeAppendReply(const std::string& payload, AppendReply* out);
+
+// kSubscribe: open a standing query. `sub_id` is CLIENT-chosen (the router
+// uses its own routed-subscription id), which is what makes the frame
+// idempotent and re-attachable: re-sending the same id to the same or a
+// failed-over shard joins the existing subscription or recreates it
+// deterministically instead of stacking a second one. window_frames == 0
+// = full prefix; the accuracy budget travels like ExecRequest's.
+struct SubscribeRequest {
+  std::string dataset;
+  std::string sql;
+  uint64_t sub_id = 0;
+  int64_t window_frames = 0;
+  uint32_t max_buffered = 16;
+  core::QueryTier tier = core::QueryTier::kStrict;
+  double min_accuracy = 0.0;
+  double max_latency_budget = 0.0;
+};
+std::string EncodeSubscribeRequest(const SubscribeRequest& req);
+bool DecodeSubscribeRequest(const std::string& payload, SubscribeRequest* out);
+
+// kSubscribeReply: echoes the subscription id plus the dataset's frame
+// epoch at attach time (the first incremental result covers the window as
+// of at least this epoch).
+struct SubscribeReply {
+  uint64_t sub_id = 0;
+  uint64_t frame_epoch = 0;
+  bool attached_existing = false;  // replay joined a live subscription
+};
+std::string EncodeSubscribeReply(const SubscribeReply& reply);
+bool DecodeSubscribeReply(const std::string& payload, SubscribeReply* out);
+
+// kStreamPoll: long-poll for the next incremental result with seq >
+// after_seq. The cursor lives with the CLIENT, so a poll is a pure read —
+// a lost response re-reads the same update instead of consuming it.
+// Times out as kError(kUnavailable) with nothing new (retryable by
+// contract); a cancelled subscription answers kError(kCancelled).
+struct StreamPollRequest {
+  uint64_t sub_id = 0;
+  uint64_t after_seq = 0;
+  uint32_t timeout_ms = 0;
+};
+std::string EncodeStreamPoll(const StreamPollRequest& req);
+bool DecodeStreamPoll(const std::string& payload, StreamPollRequest* out);
+
+// kStreamResult: one incremental update — the subscription-side mirror of
+// kResult with the publish sequence number and the consumer-drop counter
+// riding along.
+struct StreamResultMsg {
+  uint64_t seq = 0;
+  uint64_t dropped = 0;  // updates conflated away so far (slow consumer)
+  engine::QueryResult result;
+};
+std::string EncodeStreamResult(const StreamResultMsg& msg);
+bool DecodeStreamResult(const std::string& payload, StreamResultMsg* out);
 
 // ---- Stats / health --------------------------------------------------------
 

@@ -277,4 +277,50 @@ common::Status RemoteShard::RemoveDataset(const std::string& name,
   return resp.ok() ? common::Status::Ok() : resp.status();
 }
 
+common::Result<AppendReply> RemoteShard::AppendFrames(
+    const AppendFramesRequest& req, int deadline_ms) {
+  auto resp = Call(net::FrameType::kAppendFrames, EncodeAppendFrames(req),
+                   net::FrameType::kAppendReply, Deadline(deadline_ms));
+  if (!resp.ok()) return resp.status();
+  AppendReply reply;
+  if (!DecodeAppendReply(resp.value().payload, &reply)) {
+    return common::Status::Unavailable("malformed append reply");
+  }
+  return reply;
+}
+
+common::Result<SubscribeReply> RemoteShard::Subscribe(
+    const SubscribeRequest& req, int deadline_ms) {
+  auto resp = Call(net::FrameType::kSubscribe, EncodeSubscribeRequest(req),
+                   net::FrameType::kSubscribeReply, Deadline(deadline_ms));
+  if (!resp.ok()) return resp.status();
+  SubscribeReply reply;
+  if (!DecodeSubscribeReply(resp.value().payload, &reply)) {
+    return common::Status::Unavailable("malformed subscribe reply");
+  }
+  return reply;
+}
+
+common::Result<StreamResultMsg> RemoteShard::StreamPoll(
+    const StreamPollRequest& req, int deadline_ms) {
+  // The poll's own long-poll window must fit inside the transport
+  // deadline, or a quiet stream would be misread as a dead shard.
+  const int deadline = Deadline(deadline_ms);
+  auto resp = Call(net::FrameType::kStreamPoll, EncodeStreamPoll(req),
+                   net::FrameType::kStreamResult,
+                   std::max(deadline, static_cast<int>(req.timeout_ms) + 2'000));
+  if (!resp.ok()) return resp.status();
+  StreamResultMsg msg;
+  if (!DecodeStreamResult(resp.value().payload, &msg)) {
+    return common::Status::Unavailable("malformed stream result");
+  }
+  return msg;
+}
+
+common::Status RemoteShard::Unsubscribe(uint64_t sub_id, int deadline_ms) {
+  auto resp = Call(net::FrameType::kUnsubscribe, EncodeTicketId(sub_id),
+                   net::FrameType::kOk, Deadline(deadline_ms));
+  return resp.ok() ? common::Status::Ok() : resp.status();
+}
+
 }  // namespace zeus::cluster

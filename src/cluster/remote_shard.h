@@ -102,6 +102,20 @@ class RemoteShard {
   common::Result<EpochReply> EpochOf(const std::string& name,
                                      int deadline_ms = 0);
 
+  // Live streams (all idempotent on the wire — see net/wire.h). The shard
+  // side takes only the absolute append form; Subscribe's sub_id is the
+  // caller's, which is what makes re-attach after failover possible; Poll
+  // long-polls for the next update with seq > after_seq (kUnavailable on
+  // timeout, kNotFound when the shard does not know the subscription —
+  // the re-attach cue).
+  common::Result<AppendReply> AppendFrames(const AppendFramesRequest& req,
+                                           int deadline_ms = 0);
+  common::Result<SubscribeReply> Subscribe(const SubscribeRequest& req,
+                                           int deadline_ms = 0);
+  common::Result<StreamResultMsg> StreamPoll(const StreamPollRequest& req,
+                                             int deadline_ms = 0);
+  common::Status Unsubscribe(uint64_t sub_id, int deadline_ms = 0);
+
   // Drops every pooled connection; the next call redials. The router uses
   // this when a shard comes back suspect — stale sockets to a dead peer
   // must not linger under fresh attempts.

@@ -209,6 +209,11 @@ common::Result<uint64_t> Router::RegisterDataset(const DatasetSpec& spec) {
   DatasetState& state = datasets_[spec.name];
   state.spec = stamped;
   state.committed_epoch = std::max(state.committed_epoch, epoch);
+  if (state.committed_frames == 0) {
+    // Base stream length from the spec's profile; only appends move it.
+    state.committed_frames =
+        static_cast<uint64_t>(ProfileFor(stamped).frames_per_video);
+  }
   for (int id : applied) {
     uint64_t& e = state.replica_epochs[id];
     e = std::max(e, epoch);
@@ -309,6 +314,296 @@ common::Status Router::RemoveDataset(const std::string& name) {
   return result;
 }
 
+// ---- Live streams ----------------------------------------------------------
+
+common::Result<AppendReply> Router::AppendFrames(const std::string& name,
+                                                 uint64_t frames) {
+  if (frames == 0) {
+    return common::Status::InvalidArgument("append needs frames > 0");
+  }
+  // One append fan-out at a time: the (target, epoch) pair must be stamped
+  // against the state the previous append committed.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+
+  struct Target {
+    int id;
+    RemoteShard* client;
+  };
+  std::vector<Target> targets;
+  AppendFramesRequest wire;
+  wire.name = name;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (alive_count_ == 0 || ring_ == nullptr) {
+      return common::Status::Unavailable("no alive shards");
+    }
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return common::Status::NotFound("dataset '" + name +
+                                      "' is not registered with the router");
+    }
+    wire.target_frames = it->second.committed_frames + frames;
+    wire.epoch = it->second.committed_epoch + 1;
+    for (int id : CandidatesLocked(name)) {
+      targets.push_back({id, shards_[id].client.get()});
+    }
+  }
+  if (targets.empty()) {
+    return common::Status::Unavailable("no live replica of '" + name +
+                                       "'; re-homing, retry");
+  }
+
+  // Fan the absolute form to every live replica, primary first. The
+  // primary must land (otherwise the append failed); a secondary that
+  // misses stays at its old length and the repair pass replays the SAME
+  // absolute (target, epoch) — convergent by construction.
+  AppendReply primary;
+  std::vector<int> applied;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    auto reply = targets[i].client->AppendFrames(wire);
+    if (reply.ok()) {
+      if (i == 0) primary = reply.value();
+      applied.push_back(targets[i].id);
+    } else if (i == 0) {
+      return reply.status();
+    } else {
+      ZEUS_LOG(Warning) << opts_.name << " append of '" << name
+                        << "' to replica shard " << targets[i].id
+                        << " failed (repair will replay): "
+                        << reply.status().ToString();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = datasets_.find(name);
+  if (it != datasets_.end()) {
+    DatasetState& state = it->second;
+    state.committed_frames =
+        std::max(state.committed_frames, wire.target_frames);
+    state.committed_epoch = std::max(state.committed_epoch, wire.epoch);
+    for (int id : applied) {
+      uint64_t& e = state.replica_epochs[id];
+      e = std::max(e, wire.epoch);
+    }
+  }
+  return primary;
+}
+
+common::Result<std::pair<int, SubscribeReply>> Router::AttachSubscription(
+    const SubscribeRequest& req) {
+  std::vector<int> candidates;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    candidates = CandidatesLocked(req.dataset);
+  }
+  if (candidates.empty()) {
+    return common::Status::Unavailable("no live replica of '" + req.dataset +
+                                       "'; re-homing, retry");
+  }
+  common::Status last = common::Status::Unavailable("no candidate tried");
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RemoteShard* client = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (!shards_[candidates[i]].alive) continue;
+      client = shards_[candidates[i]].client.get();
+    }
+    auto reply = client->Subscribe(req);
+    if (reply.ok()) {
+      if (i > 0) {
+        std::lock_guard<std::mutex> lock(state_mu_);
+        ++read_failovers_;
+      }
+      return std::make_pair(candidates[i], reply.value());
+    }
+    if (!common::IsRetryable(reply.status().code())) return reply.status();
+    last = reply.status();
+  }
+  return last;
+}
+
+common::Result<SubscribeReply> Router::Subscribe(SubscribeRequest req) {
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    if (req.sub_id == 0) {
+      req.sub_id = next_sub_id_++;
+    } else {
+      next_sub_id_ = std::max(next_sub_id_, req.sub_id + 1);
+      auto it = subs_.find(req.sub_id);
+      if (it != subs_.end()) {
+        // Replay of a subscribe that already landed: the routed
+        // subscription exists; report the attach without touching its
+        // cursor state (the poll path re-attaches the shard side lazily).
+        SubscribeReply reply;
+        reply.sub_id = req.sub_id;
+        reply.attached_existing = true;
+        return reply;
+      }
+    }
+  }
+  auto attach = AttachSubscription(req);
+  if (!attach.ok()) return attach.status();
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  RoutedSub& sub = subs_[req.sub_id];
+  sub.req = req;
+  sub.shard = attach.value().first;
+  SubscribeReply reply = attach.value().second;
+  reply.sub_id = req.sub_id;
+  return reply;
+}
+
+common::Result<StreamResultMsg> Router::StreamPoll(uint64_t sub_id,
+                                                   uint64_t after_seq,
+                                                   uint32_t timeout_ms) {
+  {
+    // Lost-response replay: the client polls with the cursor of the last
+    // update it SAW; if that lags what we already delivered, hand the
+    // stored copy back instead of advancing past it.
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subs_.find(sub_id);
+    if (it == subs_.end()) {
+      return common::Status::NotFound("unknown subscription");
+    }
+    const RoutedSub& sub = it->second;
+    if (sub.delivered_any && after_seq + 1 < sub.next_out_seq) {
+      return sub.last_out;
+    }
+  }
+
+  // Bounded passes: each one either delivers, re-attaches after a failover
+  // (and retries), or swallows a window the consumer already has (and
+  // retries).
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    SubscribeRequest req;
+    int shard = -1;
+    uint64_t remote_after = 0;
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      auto it = subs_.find(sub_id);
+      if (it == subs_.end()) {
+        return common::Status::NotFound("unknown subscription");
+      }
+      req = it->second.req;
+      shard = it->second.shard;
+      remote_after = it->second.remote_last_seq;
+    }
+
+    RemoteShard* client = nullptr;
+    if (shard >= 0) {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (shards_[shard].alive) client = shards_[shard].client.get();
+    }
+    if (client == nullptr) {
+      // Host gone: re-attach to the current primary. Same id = same
+      // kSubscribe frame; the new host replays its current window, which
+      // the epoch dedupe below swallows if it was already delivered.
+      auto attach = AttachSubscription(req);
+      if (!attach.ok()) return attach.status();
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      auto it = subs_.find(sub_id);
+      if (it == subs_.end()) {
+        return common::Status::NotFound("unknown subscription");
+      }
+      it->second.shard = attach.value().first;
+      it->second.remote_last_seq = 0;
+      continue;
+    }
+
+    StreamPollRequest poll;
+    poll.sub_id = sub_id;
+    poll.after_seq = remote_after;
+    poll.timeout_ms = timeout_ms;
+    auto msg = client->StreamPoll(poll);
+    if (!msg.ok()) {
+      const common::StatusCode code = msg.status().code();
+      if (code == common::StatusCode::kNotFound) {
+        // Amnesiac host (restarted under the same endpoint): force a
+        // re-attach on the next pass.
+        std::lock_guard<std::mutex> lock(subs_mu_);
+        auto it = subs_.find(sub_id);
+        if (it != subs_.end()) {
+          it->second.shard = -1;
+          it->second.remote_last_seq = 0;
+        }
+        continue;
+      }
+      if (code == common::StatusCode::kUnavailable) {
+        bool still_alive = false;
+        {
+          std::lock_guard<std::mutex> lock(state_mu_);
+          still_alive = shard >= 0 &&
+                        shard < static_cast<int>(shards_.size()) &&
+                        shards_[shard].alive;
+        }
+        // Still alive = a plain long-poll timeout (nothing new in the
+        // window) — surface it, the client re-polls. Dead = the host
+        // failed mid-poll; the next pass re-attaches.
+        if (still_alive) return msg.status();
+        continue;
+      }
+      return msg.status();
+    }
+
+    StreamResultMsg out = std::move(msg).value();
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      auto it = subs_.find(sub_id);
+      if (it == subs_.end()) {
+        return common::Status::NotFound("unknown subscription");
+      }
+      RoutedSub& sub = it->second;
+      sub.shard = shard;
+      sub.remote_last_seq = std::max(sub.remote_last_seq, out.seq);
+      if (sub.delivered_any &&
+          out.result.frame_epoch <= sub.last_epoch_delivered) {
+        // Replay of a window the consumer already has (the re-attached
+        // host's initial window): swallow it and poll again.
+        duplicate = true;
+      } else {
+        sub.delivered_any = true;
+        sub.last_epoch_delivered = out.result.frame_epoch;
+        sub.dropped += out.dropped;
+        out.dropped = sub.dropped;  // cumulative across failovers
+        out.seq = sub.next_out_seq++;
+      }
+    }
+    if (duplicate) continue;
+    out.result = AnnotateResult(req.dataset, shard, std::move(out.result));
+    {
+      std::lock_guard<std::mutex> lock(subs_mu_);
+      auto it = subs_.find(sub_id);
+      if (it != subs_.end()) it->second.last_out = out;
+    }
+    return out;
+  }
+  return common::Status::Unavailable(
+      "subscription catch-up still converging; retry");
+}
+
+common::Status Router::Unsubscribe(uint64_t sub_id) {
+  int shard = -1;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subs_.find(sub_id);
+    if (it == subs_.end()) return common::Status::Ok();  // idempotent
+    shard = it->second.shard;
+    subs_.erase(it);
+  }
+  RemoteShard* client = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (shard >= 0 && shard < static_cast<int>(shards_.size()) &&
+        shards_[shard].alive) {
+      client = shards_[shard].client.get();
+    }
+  }
+  // Routed state is gone either way; a host we cannot reach reaps the
+  // orphan when it stops (and an unsubscribe replay there is kOk).
+  if (client != nullptr) return client->Unsubscribe(sub_id);
+  return common::Status::Ok();
+}
+
 engine::QueryResult Router::AnnotateResult(const std::string& dataset,
                                            int served_by,
                                            engine::QueryResult r) {
@@ -382,6 +677,7 @@ void Router::RepairReplicas() {
     std::string name;
     DatasetSpec spec;
     uint64_t committed = 0;
+    uint64_t frames = 0;  // committed stream length to replay
     int id = -1;
     RemoteShard* client = nullptr;
     bool full_register = false;  // missing replica vs. lagging epoch
@@ -395,10 +691,12 @@ void Router::RepairReplicas() {
         if (!shards_[id].alive) continue;
         auto rit = state.replica_epochs.find(id);
         if (rit == state.replica_epochs.end()) {
-          fixes.push_back({name, state.spec, state.committed_epoch, id,
+          fixes.push_back({name, state.spec, state.committed_epoch,
+                           state.committed_frames, id,
                            shards_[id].client.get(), true});
         } else if (rit->second < state.committed_epoch) {
-          fixes.push_back({name, state.spec, state.committed_epoch, id,
+          fixes.push_back({name, state.spec, state.committed_epoch,
+                           state.committed_frames, id,
                            shards_[id].client.get(), false});
         }
       }
@@ -406,13 +704,23 @@ void Router::RepairReplicas() {
   }
 
   for (const Fix& fix : fixes) {
+    // Frame catch-up (kAppendFrames, absolute form = idempotent no-op on a
+    // replica that already has them) runs BEFORE the replica may claim the
+    // committed epoch: a plan sync also advances epochs, so an epoch that
+    // runs ahead of the replica's stream length would hide a missed append
+    // forever (the silent-stale hole the certain-answer contract closes).
+    const uint64_t base =
+        static_cast<uint64_t>(ProfileFor(fix.spec).frames_per_video);
+    const bool replay_frames = fix.frames > base;
     if (fix.full_register) {
       // New replica: full registration with the catalog handoff. Epoch =
       // committed (it is catching up to existing state, not creating new
-      // state), so its first answer is already kCertain.
+      // state), so its first answer is already kCertain — unless frames
+      // must be replayed too, in which case the APPEND carries the epoch
+      // and the registration claims none.
       DatasetSpec spec = fix.spec;
       spec.warm_plans = true;
-      spec.epoch = fix.committed;
+      spec.epoch = replay_frames ? 0 : fix.committed;
       auto reg = fix.client->RegisterDataset(spec);
       if (!reg.ok()) {
         ZEUS_LOG(Warning) << opts_.name << " repair: registering '"
@@ -420,9 +728,26 @@ void Router::RepairReplicas() {
                           << " failed: " << reg.status().ToString();
         continue;
       }
+      if (replay_frames) {
+        AppendFramesRequest grow;
+        grow.name = fix.name;
+        grow.target_frames = fix.frames;
+        grow.epoch = fix.committed;
+        auto grown = fix.client->AppendFrames(grow);
+        if (!grown.ok()) {
+          // Registered but behind: no epoch recorded, so the next pass
+          // comes back through this branch and retries the replay.
+          ZEUS_LOG(Warning) << opts_.name << " repair: frame replay of '"
+                            << fix.name << "' (" << fix.frames
+                            << " frames) to shard " << fix.id
+                            << " failed: " << grown.status().ToString();
+          continue;
+        }
+      }
       ZEUS_LOG(Info) << opts_.name << " repair: dataset '" << fix.name
                      << "' replicated to shard " << fix.id << " ("
-                     << reg.value() << " plan(s) warmed)";
+                     << reg.value() << " plan(s) warmed"
+                     << (replay_frames ? ", frames replayed" : "") << ")";
       std::lock_guard<std::mutex> lock(state_mu_);
       auto it = datasets_.find(fix.name);
       if (it == datasets_.end()) continue;
@@ -430,6 +755,31 @@ void Router::RepairReplicas() {
       e = std::max(e, fix.committed);
       ++rehomed_;
     } else {
+      if (replay_frames) {
+        // Epoch 0 on purpose: grow the frames without advancing the
+        // applied epoch — the SyncPlans below advances it only once the
+        // plans are current too.
+        AppendFramesRequest grow;
+        grow.name = fix.name;
+        grow.target_frames = fix.frames;
+        grow.epoch = 0;
+        auto grown = fix.client->AppendFrames(grow);
+        if (!grown.ok() &&
+            grown.status().code() == common::StatusCode::kNotFound) {
+          // The shard lost the dataset (e.g. restarted under the same
+          // endpoint): forget its epoch so the next pass re-registers it.
+          std::lock_guard<std::mutex> lock(state_mu_);
+          auto it = datasets_.find(fix.name);
+          if (it != datasets_.end()) it->second.replica_epochs.erase(fix.id);
+          continue;
+        }
+        if (!grown.ok()) {
+          ZEUS_LOG(Warning) << opts_.name << " repair: frame replay of '"
+                            << fix.name << "' to shard " << fix.id
+                            << " failed: " << grown.status().ToString();
+          continue;  // do NOT sync plans — the epoch would outrun the frames
+        }
+      }
       auto sync = fix.client->SyncPlans(fix.name, fix.committed);
       if (!sync.ok() &&
           sync.status().code() == common::StatusCode::kNotFound) {
@@ -803,6 +1153,14 @@ net::Frame Router::Dispatch(const net::Frame& req) {
       return HandleRegisterDataset(req);
     case net::FrameType::kRemoveDataset:
       return HandleRemoveDataset(req);
+    case net::FrameType::kAppendFrames:
+      return HandleAppendFrames(req);
+    case net::FrameType::kSubscribe:
+      return HandleSubscribe(req);
+    case net::FrameType::kStreamPoll:
+      return HandleStreamPoll(req);
+    case net::FrameType::kUnsubscribe:
+      return HandleUnsubscribe(req);
     default:
       return MakeErrorFrame(
           req.request_id,
@@ -940,6 +1298,48 @@ net::Frame Router::HandleRemoveDataset(const net::Frame& req) {
   std::string name;
   if (!DecodeName(req.payload, &name)) return BadPayload(req);
   common::Status st = RemoveDataset(name);
+  if (!st.ok()) return MakeErrorFrame(req.request_id, st);
+  return Reply(req.request_id, net::FrameType::kOk, {});
+}
+
+net::Frame Router::HandleAppendFrames(const net::Frame& req) {
+  AppendFramesRequest append;
+  if (!DecodeAppendFrames(req.payload, &append)) return BadPayload(req);
+  if (append.relative_frames == 0) {
+    return MakeErrorFrame(
+        req.request_id,
+        common::Status::InvalidArgument(
+            "the router takes the relative append form (relative_frames > 0);"
+            " the absolute form is the router->shard direction"));
+  }
+  auto reply = AppendFrames(append.name, append.relative_frames);
+  if (!reply.ok()) return MakeErrorFrame(req.request_id, reply.status());
+  return Reply(req.request_id, net::FrameType::kAppendReply,
+               EncodeAppendReply(reply.value()));
+}
+
+net::Frame Router::HandleSubscribe(const net::Frame& req) {
+  SubscribeRequest sub;
+  if (!DecodeSubscribeRequest(req.payload, &sub)) return BadPayload(req);
+  auto reply = Subscribe(sub);
+  if (!reply.ok()) return MakeErrorFrame(req.request_id, reply.status());
+  return Reply(req.request_id, net::FrameType::kSubscribeReply,
+               EncodeSubscribeReply(reply.value()));
+}
+
+net::Frame Router::HandleStreamPoll(const net::Frame& req) {
+  StreamPollRequest poll;
+  if (!DecodeStreamPoll(req.payload, &poll)) return BadPayload(req);
+  auto msg = StreamPoll(poll.sub_id, poll.after_seq, poll.timeout_ms);
+  if (!msg.ok()) return MakeErrorFrame(req.request_id, msg.status());
+  return Reply(req.request_id, net::FrameType::kStreamResult,
+               EncodeStreamResult(msg.value()));
+}
+
+net::Frame Router::HandleUnsubscribe(const net::Frame& req) {
+  uint64_t id = 0;
+  if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
+  common::Status st = Unsubscribe(id);
   if (!st.ok()) return MakeErrorFrame(req.request_id, st);
   return Reply(req.request_id, net::FrameType::kOk, {});
 }

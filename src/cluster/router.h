@@ -109,6 +109,30 @@ class Router {
   common::Result<engine::QueryResult> Execute(const ExecRequest& req);
   common::Status RemoveDataset(const std::string& name);
 
+  // ---- Live streams ---------------------------------------------------------
+  //
+  // Appends fan to EVERY live replica with an absolute (target, epoch)
+  // stamped under the dataset lock, so replays and repair retries converge
+  // (protocol.h kAppendFrames). The primary must land; a secondary that
+  // misses the fan-out is left at its old epoch and the repair pass
+  // catches its frames up with the same absolute form. `frames` is the
+  // relative client form (> 0).
+  common::Result<AppendReply> AppendFrames(const std::string& name,
+                                           uint64_t frames);
+  // Opens a standing query on the dataset's primary. `req.sub_id` == 0
+  // lets the router assign the id (returned in the reply); a non-zero id
+  // re-attaches to an existing routed subscription (idempotent retry).
+  common::Result<SubscribeReply> Subscribe(SubscribeRequest req);
+  // Long-polls the next update with ROUTER seq > after_seq. On a dead or
+  // amnesiac primary this re-attaches the subscription to the current
+  // primary (kSubscribe with the same id is idempotent) and dedupes
+  // replayed windows by frame epoch, so a consumer polling with its last
+  // delivered seq sees each epoch's result exactly once across failovers.
+  common::Result<StreamResultMsg> StreamPoll(uint64_t sub_id,
+                                             uint64_t after_seq,
+                                             uint32_t timeout_ms);
+  common::Status Unsubscribe(uint64_t sub_id);
+
   // Aggregated stats: every alive shard's snapshot plus the dead-shard
   // carry, so the totals never move backwards across a failover.
   StatsReply Stats();
@@ -168,6 +192,12 @@ class Router {
   // everything matches; takes and releases state_mu_ itself.
   void RepairReplicas();
 
+  // Attaches (or re-attaches) a routed subscription to the dataset's
+  // first live replica, primary-first. Returns the hosting shard id and
+  // the shard's reply.
+  common::Result<std::pair<int, SubscribeReply>> AttachSubscription(
+      const SubscribeRequest& req);
+
   void RebuildRingLocked();
   // Declares shard `id` dead: drops it from the ring and from every
   // dataset's replica bookkeeping, then runs RepairReplicas. Called with
@@ -185,6 +215,10 @@ class Router {
   net::Frame HandleTicketOp(const net::Frame& req);
   net::Frame HandleRegisterDataset(const net::Frame& req);
   net::Frame HandleRemoveDataset(const net::Frame& req);
+  net::Frame HandleAppendFrames(const net::Frame& req);
+  net::Frame HandleSubscribe(const net::Frame& req);
+  net::Frame HandleStreamPoll(const net::Frame& req);
+  net::Frame HandleUnsubscribe(const net::Frame& req);
   // GET <path> already sniffed; serves /metrics and closes.
   void ServeHttp(net::FrameConn& conn);
 
@@ -193,6 +227,10 @@ class Router {
   // Serializes whole health passes (the background thread vs. CheckNow
   // from tests): one failover runs at a time, start to finish.
   std::mutex check_mu_;
+
+  // Serializes append fan-outs per router: two concurrent appends must not
+  // stamp the same (target, epoch). Taken before state_mu_, never after.
+  std::mutex append_mu_;
 
   // Everything the router knows about one dataset's replica group: the
   // spec (to re-create it elsewhere), the committed epoch (advanced by
@@ -203,6 +241,12 @@ class Router {
     DatasetSpec spec;
     uint64_t committed_epoch = 0;
     std::map<int, uint64_t> replica_epochs;  // shard id -> applied epoch
+    // Committed stream length (test-video frames). Initialized to the
+    // spec's base length at registration; advanced only by appends. The
+    // repair pass replays `GrowTo(committed_frames, committed_epoch)` on
+    // any replica it touches — epoch alone cannot prove frames, because a
+    // plan sync also advances epochs.
+    uint64_t committed_frames = 0;
   };
 
   mutable std::mutex state_mu_;
@@ -231,6 +275,29 @@ class Router {
   std::mutex tickets_mu_;
   std::map<uint64_t, RoutedTicket> tickets_;
   uint64_t next_ticket_id_ = 1;
+
+  // Router-side subscription surface: the routed id doubles as the
+  // client-chosen id on whichever shard currently hosts the subscription,
+  // so a re-attach after failover is the SAME kSubscribe frame aimed at
+  // the new primary. `last_epoch_delivered` is the failover dedupe line:
+  // a re-attached subscription's first window replays the current epoch,
+  // and the poll path skips anything at or below the line.
+  struct RoutedSub {
+    SubscribeRequest req;       // req.sub_id == routed id
+    int shard = -1;             // current host (-1 = needs attach)
+    uint64_t remote_last_seq = 0;
+    uint64_t next_out_seq = 1;  // router-facing seq counter
+    uint64_t last_epoch_delivered = 0;
+    uint64_t dropped = 0;       // host-side conflation, accumulated
+    bool delivered_any = false;
+    // Last update handed to the client, replayed when a poll arrives with
+    // after_seq below it (lost response) — kStreamPoll stays idempotent
+    // end-to-end through the router.
+    StreamResultMsg last_out;
+  };
+  std::mutex subs_mu_;
+  std::map<uint64_t, RoutedSub> subs_;
+  uint64_t next_sub_id_ = 1;
 
   net::TcpListener listener_;
   int port_ = 0;

@@ -64,6 +64,13 @@ void ShardServer::Stop() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
   listener_.Close();
+  // Cancel standing queries first: a connection thread parked in a
+  // long-poll Next() wakes as kCancelled instead of riding out its
+  // timeout against a closing server.
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& [id, sub] : subs_) sub.ticket.Cancel();
+  }
   // Drain before kicking connections: requests already inside the engine
   // finish and their responses still go out. New frames racing in will
   // fail when their connection is shut below — the cluster contract is
@@ -84,6 +91,12 @@ void ShardServer::Kill() {
   if (!running_.exchange(false)) return;
   stopping_.store(true);
   listener_.Close();
+  {
+    // Even the kill -9 stand-in must unpark long-poll threads — they are
+    // this process's threads, not the dead server's.
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& [id, sub] : subs_) sub.ticket.Cancel();
+  }
   CloseAllConns();
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::thread> threads;
@@ -151,6 +164,14 @@ net::Frame ShardServer::Dispatch(const net::Frame& req) {
       return HandleSyncPlans(req);
     case net::FrameType::kEpochQuery:
       return HandleEpochQuery(req);
+    case net::FrameType::kAppendFrames:
+      return HandleAppendFrames(req);
+    case net::FrameType::kSubscribe:
+      return HandleSubscribe(req);
+    case net::FrameType::kStreamPoll:
+      return HandleStreamPoll(req);
+    case net::FrameType::kUnsubscribe:
+      return HandleUnsubscribe(req);
     default:
       return MakeErrorFrame(
           req.request_id,
@@ -345,8 +366,138 @@ net::Frame ShardServer::HandleEpochQuery(const net::Frame& req) {
   EpochReply reply;
   reply.has_dataset = engine_.HasDataset(name);
   reply.epoch = AppliedEpoch(name);
+  if (const video::SyntheticDataset* ds = engine_.dataset(name)) {
+    reply.stream_length = static_cast<uint64_t>(ds->stream_length());
+  }
   return Reply(req.request_id, net::FrameType::kEpochReply,
                EncodeEpochReply(reply));
+}
+
+net::Frame ShardServer::HandleAppendFrames(const net::Frame& req) {
+  AppendFramesRequest append;
+  if (!DecodeAppendFrames(req.payload, &append)) return BadPayload(req);
+  // Shards take only the absolute form: by the time an append reaches a
+  // replica it must be replayable as-is (protocol.h). The relative
+  // convenience form is the router's to resolve.
+  if (append.target_frames == 0) {
+    return MakeErrorFrame(
+        req.request_id,
+        common::Status::InvalidArgument(
+            "shard requires the absolute append form (target_frames > 0)"));
+  }
+  auto outcome = engine_.GrowDataset(
+      append.name, static_cast<long>(append.target_frames), append.epoch);
+  if (!outcome.ok()) return MakeErrorFrame(req.request_id, outcome.status());
+  {
+    // The append commits a group epoch like a registration does: monotone,
+    // so replays and out-of-order deliveries can only hold it.
+    std::lock_guard<std::mutex> lock(epochs_mu_);
+    uint64_t& applied = epochs_[append.name];
+    applied = std::max(applied, append.epoch);
+  }
+  AppendReply reply;
+  reply.frame_epoch = outcome.value().frame_epoch;
+  reply.stream_length = static_cast<uint64_t>(outcome.value().stream_length);
+  reply.appended = static_cast<uint64_t>(outcome.value().appended);
+  return Reply(req.request_id, net::FrameType::kAppendReply,
+               EncodeAppendReply(reply));
+}
+
+net::Frame ShardServer::HandleSubscribe(const net::Frame& req) {
+  SubscribeRequest sub;
+  if (!DecodeSubscribeRequest(req.payload, &sub)) return BadPayload(req);
+  if (sub.sub_id == 0) {
+    // Ids are always the caller's here (the router's routed id, or a direct
+    // client's own): a server-assigned id could not survive a re-attach.
+    return MakeErrorFrame(
+        req.request_id,
+        common::Status::InvalidArgument("shard subscribe needs a caller-"
+                                        "chosen sub_id (> 0)"));
+  }
+  SubscribeReply reply;
+  reply.sub_id = sub.sub_id;
+  {
+    // Replay / failover re-attach: the id already names a live
+    // subscription here — join it instead of stacking a second one.
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subs_.find(sub.sub_id);
+    if (it != subs_.end() && !it->second.ticket.cancelled()) {
+      const video::SyntheticDataset* ds = engine_.dataset(it->second.dataset);
+      reply.frame_epoch = ds != nullptr ? ds->frame_epoch() : 0;
+      reply.attached_existing = true;
+      return Reply(req.request_id, net::FrameType::kSubscribeReply,
+                   EncodeSubscribeReply(reply));
+    }
+  }
+  engine::SubscribeOptions opts;
+  opts.exec = engine_.options().exec;
+  opts.exec.tier = sub.tier;
+  opts.exec.min_accuracy = sub.min_accuracy;
+  opts.exec.max_latency_budget = sub.max_latency_budget;
+  opts.window_frames = sub.window_frames;
+  if (sub.max_buffered > 0) opts.max_buffered = sub.max_buffered;
+  auto ticket = engine_.Subscribe(sub.dataset, sub.sql, opts);
+  if (!ticket.ok()) return MakeErrorFrame(req.request_id, ticket.status());
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    // A cancelled husk under this id (the replay check above skipped it)
+    // is replaced — same id, fresh subscription, deterministic results.
+    subs_.erase(sub.sub_id);
+    subs_.emplace(sub.sub_id,
+                  PendingSub{std::move(ticket).value(), sub.dataset});
+  }
+  const video::SyntheticDataset* ds = engine_.dataset(sub.dataset);
+  reply.frame_epoch = ds != nullptr ? ds->frame_epoch() : 0;
+  return Reply(req.request_id, net::FrameType::kSubscribeReply,
+               EncodeSubscribeReply(reply));
+}
+
+net::Frame ShardServer::HandleStreamPoll(const net::Frame& req) {
+  StreamPollRequest poll;
+  if (!DecodeStreamPoll(req.payload, &poll)) return BadPayload(req);
+  std::optional<engine::SubscriptionTicket> ticket;
+  std::string dataset;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    auto it = subs_.find(poll.sub_id);
+    if (it != subs_.end()) {
+      ticket = it->second.ticket;  // copy: shared state
+      dataset = it->second.dataset;
+    }
+  }
+  if (!ticket.has_value()) {
+    // This shard does not know the subscription — restarted, or never its
+    // home. NotFound is the router's cue to re-attach (re-subscribe) on
+    // the current primary and retry.
+    return MakeErrorFrame(req.request_id,
+                          common::Status::NotFound("unknown subscription"));
+  }
+  // Long-poll outside the lock; timeouts surface as kUnavailable
+  // (retryable, nothing consumed — the cursor is the client's).
+  auto update =
+      ticket->Next(poll.after_seq, static_cast<int>(poll.timeout_ms));
+  if (!update.ok()) return MakeErrorFrame(req.request_id, update.status());
+  StreamResultMsg msg;
+  msg.seq = update.value().seq;
+  msg.dropped = static_cast<uint64_t>(ticket->dropped());
+  msg.result = std::move(update).value().result;
+  msg.result.epoch = AppliedEpoch(dataset);
+  return Reply(req.request_id, net::FrameType::kStreamResult,
+               EncodeStreamResult(msg));
+}
+
+net::Frame ShardServer::HandleUnsubscribe(const net::Frame& req) {
+  uint64_t id = 0;
+  if (!DecodeTicketId(req.payload, &id)) return BadPayload(req);
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  auto it = subs_.find(id);
+  // Unknown id (already unsubscribed, or a shard that restarted) is a
+  // clean no-op — kUnsubscribe is idempotent and retry-safe.
+  if (it != subs_.end()) {
+    it->second.ticket.Cancel();
+    subs_.erase(it);
+  }
+  return OkFrame(req.request_id);
 }
 
 uint64_t ShardServer::AppliedEpoch(const std::string& name) {

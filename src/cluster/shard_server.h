@@ -84,6 +84,10 @@ class ShardServer {
   net::Frame HandleRemoveDataset(const net::Frame& req);
   net::Frame HandleSyncPlans(const net::Frame& req);
   net::Frame HandleEpochQuery(const net::Frame& req);
+  net::Frame HandleAppendFrames(const net::Frame& req);
+  net::Frame HandleSubscribe(const net::Frame& req);
+  net::Frame HandleStreamPoll(const net::Frame& req);
+  net::Frame HandleUnsubscribe(const net::Frame& req);
 
   // The shard's applied epoch for `name` (0 if never registered).
   uint64_t AppliedEpoch(const std::string& name);
@@ -118,11 +122,23 @@ class ShardServer {
   uint64_t next_ticket_id_ = 1;
 
   // Applied plan/dataset epoch per dataset — the shard's half of the
-  // certain-answer contract. Advanced (monotonically) by kRegisterDataset
-  // and kSyncPlans, stamped into every kResult this shard serves; the
-  // router compares it against the group's committed epoch.
+  // certain-answer contract. Advanced (monotonically) by kRegisterDataset,
+  // kSyncPlans and kAppendFrames, stamped into every kResult and
+  // kStreamResult this shard serves; the router compares it against the
+  // group's committed epoch.
   std::mutex epochs_mu_;
   std::map<std::string, uint64_t> epochs_;
+
+  // Standing queries, keyed by the CLIENT-chosen subscription id
+  // (protocol.h kSubscribe): a replayed subscribe re-attaches here instead
+  // of stacking a second subscription, and a poll for an unknown id is
+  // NotFound — the router's re-attach trigger after this shard restarts.
+  struct PendingSub {
+    engine::SubscriptionTicket ticket;
+    std::string dataset;
+  };
+  std::mutex subs_mu_;
+  std::map<uint64_t, PendingSub> subs_;
 };
 
 }  // namespace zeus::cluster

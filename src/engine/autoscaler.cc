@@ -18,6 +18,19 @@ Autoscaler::Signal Autoscaler::SignalFrom(
           ? stats.queue_wait.Delta(*prev_queue_wait).p95()
           : stats.queue_wait.p95();
   s.degrade_level = stats.degrade_level;
+  // Hottest dataset: deepest queue across every shard's per-dataset rows
+  // (each dataset homes on exactly one shard, so no cross-shard merge is
+  // needed). Ties keep the first seen — deterministic given the snapshot.
+  for (const ShardStats& sh : stats.shards) {
+    for (const DatasetStats& ds : sh.datasets) {
+      if (ds.queue_depth > s.max_dataset_queue_depth) {
+        s.max_dataset_queue_depth = ds.queue_depth;
+        s.hottest_dataset = ds.dataset;
+      }
+      s.max_dataset_queue_wait_p95 =
+          std::max(s.max_dataset_queue_wait_p95, ds.queue_wait.p95());
+    }
+  }
   return s;
 }
 
@@ -34,11 +47,21 @@ Autoscaler::Decision Autoscaler::Decide(const Signal& signal,
   // Out-of-band shard counts (a manual resize beyond the policy's limits)
   // are respected, not fought: clamping only applies to the policy's own
   // moves.
-  const bool up_signal =
-      signal.queue_depth > 0 &&
-      (static_cast<double>(signal.queue_depth) >=
-           config.up_queue_per_shard * static_cast<double>(n) ||
-       signal.p95_queue_wait_seconds >= config.up_p95_queue_wait_seconds);
+  const bool group_hot =
+      static_cast<double>(signal.queue_depth) >=
+          config.up_queue_per_shard * static_cast<double>(n) ||
+      signal.p95_queue_wait_seconds >= config.up_p95_queue_wait_seconds;
+  // Per-dataset rung: one hot dataset (a live stream's home) can saturate
+  // its shard while the group-wide average stays under the per-shard
+  // threshold. Disabled thresholds (0) never fire.
+  const bool dataset_hot =
+      (config.up_dataset_queue_depth > 0.0 &&
+       static_cast<double>(signal.max_dataset_queue_depth) >=
+           config.up_dataset_queue_depth) ||
+      (config.up_dataset_queue_wait_p95_seconds > 0.0 &&
+       signal.max_dataset_queue_wait_p95 >=
+           config.up_dataset_queue_wait_p95_seconds);
+  const bool up_signal = signal.queue_depth > 0 && (group_hot || dataset_hot);
   const bool down_signal =
       static_cast<double>(signal.queue_depth) <= config.down_queue_total &&
       signal.active == 0;
@@ -83,7 +106,10 @@ Autoscaler::Decision Autoscaler::Decide(const Signal& signal,
     state->up_streak = 0;
     state->down_streak = 0;
     state->last_resize_tick = now_tick;
-    return Decision{n + 1, "scale-up: sustained backlog", degrade};
+    return Decision{n + 1,
+                    group_hot ? "scale-up: sustained backlog"
+                              : "scale-up: hot dataset",
+                    degrade};
   }
   if (state->up_streak >= sustain && n >= max_shards) {
     hold.reason = "hold: at max_shards";
@@ -146,8 +172,11 @@ void Autoscaler::Loop() {
     }
     // The cheap snapshot: the policy reads only group-level signals, so
     // the per-dataset rows (string + histogram copies per dataset per
-    // shard) are skipped on this fixed-interval path.
-    const GroupStats stats = group_->Stats(/*include_datasets=*/false);
+    // shard) are skipped on this fixed-interval path — unless a
+    // per-dataset trigger is configured, which needs them.
+    const bool per_dataset = cfg_.up_dataset_queue_depth > 0.0 ||
+                             cfg_.up_dataset_queue_wait_p95_seconds > 0.0;
+    const GroupStats stats = group_->Stats(/*include_datasets=*/per_dataset);
     const Signal signal = SignalFrom(stats, &prev_queue_wait);
     prev_queue_wait = stats.queue_wait;
     const Decision decision = Decide(signal, cfg_, tick++, &state);

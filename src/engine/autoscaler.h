@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "engine/metrics.h"
@@ -76,6 +77,14 @@ class Autoscaler {
     // accuracy shedding entirely: the policy is then exactly the
     // scale-only ladder above.
     int max_degrade_level = 0;
+    // Per-dataset scale-up triggers (0 = disabled). One live stream
+    // ingesting into a single dataset overloads its home shard while the
+    // group-wide per-shard average stays calm; these thresholds fire on
+    // the hottest single dataset's queue depth or p95 queue wait instead
+    // of the aggregate. Sampling per-dataset rows costs string/histogram
+    // copies, so the sampler only requests them when one of these is set.
+    double up_dataset_queue_depth = 0.0;
+    double up_dataset_queue_wait_p95_seconds = 0.0;
     // Sampler thread period.
     std::chrono::milliseconds sample_interval{500};
   };
@@ -88,6 +97,16 @@ class Autoscaler {
     double p95_queue_wait_seconds = 0.0;
     // Current group accuracy-shed level (GroupStats::degrade_level).
     int degrade_level = 0;
+    // Hottest-dataset signals, distilled from the per-dataset rows (zero /
+    // empty when the snapshot was taken without them). `hottest_dataset`
+    // names the dataset with the deepest queue — the one a live stream's
+    // appends are piling onto. The per-dataset p95 is a lifetime
+    // aggregate, not a windowed delta (per-dataset windowing would mean
+    // carrying one previous histogram per dataset); the depth signal is
+    // the instantaneous gauge and leads the policy.
+    long max_dataset_queue_depth = 0;
+    double max_dataset_queue_wait_p95 = 0.0;
+    std::string hottest_dataset;
   };
   // With `prev_queue_wait` set, the p95 is computed over the WINDOW since
   // that earlier snapshot (bucket-wise delta of the cumulative

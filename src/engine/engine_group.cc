@@ -159,6 +159,39 @@ std::shared_ptr<core::QueryPlan> EngineGroup::CachedPlan(
   return EngineForShared(dataset_name)->CachedPlan(dataset_name, query);
 }
 
+common::Result<AppendOutcome> EngineGroup::GrowDataset(const std::string& name,
+                                                       long target_frames,
+                                                       uint64_t epoch) {
+  // Same shared-lock discipline as Submit: the growth lands either on the
+  // pre-flip home (whose tail a racing resize drains) or on the new one.
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(name))]->GrowDataset(
+      name, target_frames, epoch);
+}
+
+common::Result<AppendOutcome> EngineGroup::AppendFrames(const std::string& name,
+                                                        long frames) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(name))]->AppendFrames(
+      name, frames);
+}
+
+common::Result<SubscriptionTicket> EngineGroup::Subscribe(
+    const std::string& dataset_name, const std::string& sql,
+    const SubscribeOptions& opts) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(dataset_name))]->Subscribe(
+      dataset_name, sql, opts);
+}
+
+common::Result<SubscriptionTicket> EngineGroup::Subscribe(
+    const std::string& dataset_name, const core::ActionQuery& query,
+    const SubscribeOptions& opts) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return shards_[static_cast<size_t>(ring_.ShardFor(dataset_name))]->Subscribe(
+      dataset_name, query, opts);
+}
+
 int EngineGroup::ShardFor(const std::string& dataset_name) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return ring_.ShardFor(dataset_name);

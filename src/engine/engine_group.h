@@ -166,6 +166,24 @@ class EngineGroup {
   std::shared_ptr<core::QueryPlan> CachedPlan(
       const std::string& dataset_name, const core::ActionQuery& query) const;
 
+  // Live streams: appends and subscriptions route to the dataset's home
+  // shard like submissions do. A subscription stays pinned to the engine
+  // that created it — if a later Resize() re-homes the dataset, appends
+  // land on the new home and the pinned subscription stops seeing epochs;
+  // re-subscribe after a resize (the cluster router does this re-attach
+  // automatically on failover).
+  common::Result<AppendOutcome> GrowDataset(const std::string& name,
+                                            long target_frames,
+                                            uint64_t epoch);
+  common::Result<AppendOutcome> AppendFrames(const std::string& name,
+                                             long frames);
+  common::Result<SubscriptionTicket> Subscribe(const std::string& dataset_name,
+                                               const std::string& sql,
+                                               const SubscribeOptions& opts);
+  common::Result<SubscriptionTicket> Subscribe(const std::string& dataset_name,
+                                               const core::ActionQuery& query,
+                                               const SubscribeOptions& opts);
+
   // Routing introspection.
   int ShardFor(const std::string& dataset_name) const;
   int num_shards() const;

@@ -79,6 +79,15 @@ void ServingCounters::Fold(const ServingCounters& other) {
   degrade_level = std::max(degrade_level, other.degrade_level);
   band_degraded += other.band_degraded;
   degraded_band_seconds += other.degraded_band_seconds;
+  appends += other.appends;
+  appended_frames += other.appended_frames;
+  subscribes += other.subscribes;
+  unsubscribes += other.unsubscribes;
+  stream_results += other.stream_results;
+  stream_dropped += other.stream_dropped;
+  feature_hits += other.feature_hits;
+  feature_misses += other.feature_misses;
+  feature_evictions += other.feature_evictions;
   for (const auto& [band, hits] : other.band_plan_hits) {
     band_plan_hits[band] += hits;
   }
@@ -183,6 +192,16 @@ std::string GroupStats::ToJson() const {
       "  \"degrade_level\": %d, \"band_degraded\": %ld, "
       "\"degraded_band_seconds\": %.9g,\n",
       degrade_level, band_degraded, degraded_band_seconds);
+  out += common::Format(
+      "  \"appends\": %ld, \"appended_frames\": %ld, \"subscribes\": %ld, "
+      "\"unsubscribes\": %ld, \"stream_results\": %ld, \"stream_dropped\": "
+      "%ld,\n",
+      appends, appended_frames, subscribes, unsubscribes, stream_results,
+      stream_dropped);
+  out += common::Format(
+      "  \"feature_hits\": %ld, \"feature_misses\": %ld, "
+      "\"feature_evictions\": %ld,\n",
+      feature_hits, feature_misses, feature_evictions);
   out += common::Format(
       "  \"confidence\": {\"count\": %ld, \"mean\": %.9g},\n",
       confidence.count, confidence.mean());
@@ -362,6 +381,36 @@ void MetricsRegistry::RecordAnswer(double confidence, long band_millis,
   }
 }
 
+void MetricsRegistry::RecordAppend(long frames) {
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  appended_frames_.fetch_add(frames, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordSubscribe() {
+  subscribes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordUnsubscribe() {
+  unsubscribes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordStreamResult() {
+  stream_results_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordStreamDropped() {
+  stream_dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::RecordFeatureCache(long hits, long misses,
+                                         long evictions) {
+  if (hits > 0) feature_hits_.fetch_add(hits, std::memory_order_relaxed);
+  if (misses > 0) feature_misses_.fetch_add(misses, std::memory_order_relaxed);
+  if (evictions > 0) {
+    feature_evictions_.fetch_add(evictions, std::memory_order_relaxed);
+  }
+}
+
 ShardStats MetricsRegistry::Snapshot(bool include_datasets) const {
   ShardStats out;
   out.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
@@ -371,6 +420,15 @@ ShardStats MetricsRegistry::Snapshot(bool include_datasets) const {
   out.cancelled = cancelled_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
   out.drains = drains_.load(std::memory_order_relaxed);
+  out.appends = appends_.load(std::memory_order_relaxed);
+  out.appended_frames = appended_frames_.load(std::memory_order_relaxed);
+  out.subscribes = subscribes_.load(std::memory_order_relaxed);
+  out.unsubscribes = unsubscribes_.load(std::memory_order_relaxed);
+  out.stream_results = stream_results_.load(std::memory_order_relaxed);
+  out.stream_dropped = stream_dropped_.load(std::memory_order_relaxed);
+  out.feature_hits = feature_hits_.load(std::memory_order_relaxed);
+  out.feature_misses = feature_misses_.load(std::memory_order_relaxed);
+  out.feature_evictions = feature_evictions_.load(std::memory_order_relaxed);
   out.band_degraded = band_degraded_.load(std::memory_order_relaxed);
   out.degraded_band_seconds =
       static_cast<double>(

@@ -122,6 +122,24 @@ struct ServingCounters {
   int degrade_level = 0;
   long band_degraded = 0;
   double degraded_band_seconds = 0.0;
+  // Live-stream serving (docs/ARCHITECTURE.md "Live streams"). Appends are
+  // applied dataset growths (idempotent replays that added nothing do not
+  // count); `stream_results` are incremental results published to
+  // subscribers, `stream_dropped` the ones a slow consumer's bounded
+  // buffer discarded.
+  long appends = 0;
+  long appended_frames = 0;
+  long subscribes = 0;
+  long unsubscribes = 0;
+  long stream_results = 0;
+  long stream_dropped = 0;
+  // APFG feature-cache activity (hit/miss/evict deltas sampled around each
+  // localization). Concurrent runs sharing one plan may attribute each
+  // other's traffic, so these can over-count under contention — they never
+  // under-count. Exact per-plan counters live on the FeatureCache itself.
+  long feature_hits = 0;
+  long feature_misses = 0;
+  long feature_evictions = 0;
   // Plans served from cache (memory or disk — no planner run) per
   // accuracy band, keyed by the band's milli-accuracy grid point
   // (core::AccuracyMillis of the effective target).
@@ -206,6 +224,16 @@ class MetricsRegistry {
   // plan came from cache (memory or disk) rather than the planner.
   void RecordAnswer(double confidence, long band_millis, bool degraded,
                     double exec_seconds, bool plan_cached);
+  // One applied append grew a dataset by `frames` (> 0; idempotent no-op
+  // replays are not recorded).
+  void RecordAppend(long frames);
+  // Subscription lifecycle + published incremental results.
+  void RecordSubscribe();
+  void RecordUnsubscribe();
+  void RecordStreamResult();
+  void RecordStreamDropped();
+  // Feature-cache hit/miss/evict deltas observed across one localization.
+  void RecordFeatureCache(long hits, long misses, long evictions);
 
   long peak_queue_depth() const {
     return peak_queue_depth_.load(std::memory_order_relaxed);
@@ -263,6 +291,15 @@ class MetricsRegistry {
   std::atomic<long> confidence_sum_millis_{0};
   std::atomic<long> band_degraded_{0};
   std::atomic<long> degraded_band_micros_{0};
+  std::atomic<long> appends_{0};
+  std::atomic<long> appended_frames_{0};
+  std::atomic<long> subscribes_{0};
+  std::atomic<long> unsubscribes_{0};
+  std::atomic<long> stream_results_{0};
+  std::atomic<long> stream_dropped_{0};
+  std::atomic<long> feature_hits_{0};
+  std::atomic<long> feature_misses_{0};
+  std::atomic<long> feature_evictions_{0};
   mutable std::mutex band_mu_;
   std::map<long, long> band_plan_hits_;
 

@@ -1,8 +1,11 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <chrono>
+#include <deque>
 #include <set>
 #include <utility>
+#include <vector>
 
 #include "common/stringutil.h"
 #include "common/timer.h"
@@ -40,6 +43,90 @@ const char* QueryStateName(QueryState state) {
   return "unknown";
 }
 
+// ---- Subscriptions ---------------------------------------------------------
+
+// Shared state of one live subscription. The SubscriptionTicket, the engine's
+// subs_ map and any in-flight window-run ticket co-own it; everything mutable
+// is guarded by `mu`.
+struct StreamSubState {
+  // Fixed at Subscribe().
+  uint64_t id = 0;
+  std::string dataset_name;
+  core::ActionQuery query;
+  SubscribeOptions opts;
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  std::deque<StreamUpdate> buffer;  // undelivered updates, oldest first
+  uint64_t next_seq = 1;
+  uint64_t last_seq = 0;
+  long dropped = 0;
+  bool cancelled = false;
+  // True while a window re-execution is queued or in flight — at most one
+  // at a time per subscription; appends landing mid-run raise target_epoch
+  // and the completed run re-arms.
+  bool running = false;
+  uint64_t target_epoch = 0;    // highest applied-append epoch seen
+  uint64_t executed_epoch = 0;  // epoch of the last published window
+  bool unsub_recorded = false;  // engine reaped + counted this cancel
+  common::Status error = common::Status::Ok();  // terminal window-run failure
+  // One cancel flag for the subscription's whole lifetime, threaded into
+  // every window run so Cancel() cuts a localization mid-round.
+  std::shared_ptr<std::atomic<bool>> cancel =
+      std::make_shared<std::atomic<bool>>(false);
+};
+
+uint64_t SubscriptionTicket::id() const { return shared_->id; }
+
+common::Result<StreamUpdate> SubscriptionTicket::Next(uint64_t after_seq,
+                                                      int timeout_ms) const {
+  StreamSubState& s = *shared_;
+  std::unique_lock<std::mutex> lock(s.mu);
+  auto has_update = [&] {
+    return !s.buffer.empty() && s.buffer.back().seq > after_seq;
+  };
+  s.cv.wait_for(lock, std::chrono::milliseconds(std::max(0, timeout_ms)),
+                [&] { return s.cancelled || has_update(); });
+  if (has_update()) {
+    for (const StreamUpdate& up : s.buffer) {
+      if (up.seq > after_seq) return up;
+    }
+  }
+  if (s.cancelled) {
+    if (!s.error.ok()) return s.error;
+    return common::Status::Cancelled("subscription cancelled");
+  }
+  return common::Status::Unavailable(
+      common::Format("no update past seq %lld yet",
+                     static_cast<long long>(after_seq)));
+}
+
+void SubscriptionTicket::Cancel() {
+  StreamSubState& s = *shared_;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.cancelled) return;
+    s.cancelled = true;
+  }
+  s.cancel->store(true);
+  s.cv.notify_all();
+}
+
+bool SubscriptionTicket::cancelled() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->cancelled;
+}
+
+uint64_t SubscriptionTicket::last_seq() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->last_seq;
+}
+
+long SubscriptionTicket::dropped() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->dropped;
+}
+
 // ---- QueryTicket -----------------------------------------------------------
 
 struct QueryTicket::Shared {
@@ -60,6 +147,12 @@ struct QueryTicket::Shared {
   // Cancel() reaches a localizer already inside its lockstep rounds.
   std::shared_ptr<std::atomic<bool>> cancel =
       std::make_shared<std::atomic<bool>>(false);
+
+  // Set when this ticket is a subscription's window re-execution: RunTicket
+  // restricts the frame window, and the worker publishes the terminal
+  // result to the subscription (FinishWindowRun) instead of leaving it to
+  // a Wait() caller. `cancel` aliases the subscription's flag.
+  std::shared_ptr<StreamSubState> sub;
 
   bool cancel_requested() const { return cancel->load(); }
 };
@@ -111,6 +204,21 @@ void QueryEngine::EnsureWorkersLocked() {
 }
 
 QueryEngine::~QueryEngine() {
+  // Cancel subscriptions first: their in-flight window runs cut at the
+  // next cancellation point instead of holding up the worker join, and
+  // any Next() waiter wakes with kCancelled.
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto& [id, sub] : subs_) {
+      {
+        std::lock_guard<std::mutex> slock(sub->mu);
+        sub->cancelled = true;
+      }
+      sub->cancel->store(true);
+      sub->cv.notify_all();
+    }
+    subs_.clear();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     stopping_ = true;
@@ -293,6 +401,228 @@ ShardStats QueryEngine::Stats(bool include_datasets) const {
   return out;
 }
 
+// ---- Live streams ----------------------------------------------------------
+
+common::Result<AppendOutcome> QueryEngine::GrowLocked(const std::string& name,
+                                                      long target_frames,
+                                                      uint64_t epoch) {
+  std::shared_ptr<video::SyntheticDataset> old = ShareDataset(name);
+  AppendOutcome out;
+  const long before = old->stream_length();
+  if (target_frames <= before && epoch <= old->frame_epoch()) {
+    // Idempotent replay: this growth (or a later one) already applied.
+    out.frame_epoch = old->frame_epoch();
+    out.stream_length = before;
+    return out;
+  }
+  // Copy-on-write: grow a clone, then swap it in. Queries already running
+  // hold the old snapshot via ShareDataset and never observe a torn
+  // mid-append state; runs claimed after the swap see the grown dataset.
+  auto grown = std::make_shared<video::SyntheticDataset>(*old);
+  common::Status grow = grown->GrowTo(target_frames, epoch);
+  if (!grow.ok()) return grow;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return common::Status::NotFound("dataset '" + name +
+                                      "' was removed during the append");
+    }
+    it->second = grown;
+  }
+  out.frame_epoch = grown->frame_epoch();
+  out.stream_length = grown->stream_length();
+  out.appended = out.stream_length - before;
+  if (out.appended > 0) metrics_.RecordAppend(out.appended);
+  NotifySubscribers(name, out.frame_epoch);
+  return out;
+}
+
+common::Result<AppendOutcome> QueryEngine::GrowDataset(const std::string& name,
+                                                       long target_frames,
+                                                       uint64_t epoch) {
+  // One append at a time: two concurrent clone-and-grows would fork the
+  // stream and one fork's frames would be lost in the swap.
+  std::lock_guard<std::mutex> grow_lock(append_mu_);
+  std::shared_ptr<video::SyntheticDataset> ds = ShareDataset(name);
+  if (ds == nullptr) {
+    return common::Status::NotFound("dataset '" + name +
+                                    "' is not registered");
+  }
+  if (!ds->streamable()) {
+    return common::Status::FailedPrecondition(
+        "dataset '" + name + "' is not streamable (no recorded stream seed)");
+  }
+  return GrowLocked(name, target_frames, epoch);
+}
+
+common::Result<AppendOutcome> QueryEngine::AppendFrames(const std::string& name,
+                                                        long frames) {
+  if (frames <= 0) {
+    return common::Status::InvalidArgument("frames must be > 0");
+  }
+  // Resolve the relative form to an absolute (target, epoch) under the
+  // append lock, so concurrent relative appends stack instead of collapsing
+  // onto the same target.
+  std::lock_guard<std::mutex> grow_lock(append_mu_);
+  std::shared_ptr<video::SyntheticDataset> ds = ShareDataset(name);
+  if (ds == nullptr) {
+    return common::Status::NotFound("dataset '" + name +
+                                    "' is not registered");
+  }
+  if (!ds->streamable()) {
+    return common::Status::FailedPrecondition(
+        "dataset '" + name + "' is not streamable (no recorded stream seed)");
+  }
+  return GrowLocked(name, ds->stream_length() + frames, ds->frame_epoch() + 1);
+}
+
+common::Result<SubscriptionTicket> QueryEngine::Subscribe(
+    const std::string& dataset_name, const std::string& sql,
+    const SubscribeOptions& opts) {
+  auto parsed = core::QueryParser::Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  return Subscribe(dataset_name, parsed.value(), opts);
+}
+
+common::Result<SubscriptionTicket> QueryEngine::Subscribe(
+    const std::string& dataset_name, const core::ActionQuery& query,
+    const SubscribeOptions& opts) {
+  if (query.explain_only) {
+    return common::Status::InvalidArgument(
+        "cannot subscribe to an EXPLAIN query");
+  }
+  std::shared_ptr<video::SyntheticDataset> ds = ShareDataset(dataset_name);
+  if (ds == nullptr) {
+    return common::Status::NotFound("dataset '" + dataset_name +
+                                    "' is not registered");
+  }
+  auto sub = std::make_shared<StreamSubState>();
+  sub->dataset_name = dataset_name;
+  sub->query = query;
+  sub->opts = opts;
+  sub->target_epoch = ds->frame_epoch();
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    sub->id = next_sub_id_++;
+    subs_[sub->id] = sub;
+  }
+  metrics_.RecordSubscribe();
+  // Initial window: publish an answer over the current prefix right away
+  // (this is also where the plan trains — every later window is a cache
+  // hit, keeping planner_runs flat).
+  ArmSubscription(sub);
+  return SubscriptionTicket(sub);
+}
+
+size_t QueryEngine::subscriptions() const {
+  std::lock_guard<std::mutex> lock(subs_mu_);
+  size_t live = 0;
+  for (const auto& [id, sub] : subs_) {
+    std::lock_guard<std::mutex> slock(sub->mu);
+    if (!sub->cancelled) ++live;
+  }
+  return live;
+}
+
+void QueryEngine::NotifySubscribers(const std::string& name, uint64_t epoch) {
+  std::vector<std::shared_ptr<StreamSubState>> arm;
+  {
+    std::lock_guard<std::mutex> lock(subs_mu_);
+    for (auto it = subs_.begin(); it != subs_.end();) {
+      const std::shared_ptr<StreamSubState>& sub = it->second;
+      bool reap = false;
+      {
+        std::lock_guard<std::mutex> slock(sub->mu);
+        if (sub->cancelled) {
+          reap = true;
+          if (!sub->unsub_recorded) {
+            sub->unsub_recorded = true;
+            metrics_.RecordUnsubscribe();
+          }
+        } else if (sub->dataset_name == name) {
+          sub->target_epoch = std::max(sub->target_epoch, epoch);
+          if (!sub->running) arm.push_back(sub);
+        }
+      }
+      it = reap ? subs_.erase(it) : std::next(it);
+    }
+  }
+  for (const auto& sub : arm) ArmSubscription(sub);
+}
+
+void QueryEngine::ArmSubscription(const std::shared_ptr<StreamSubState>& sub) {
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    if (sub->cancelled || sub->running) return;
+    sub->running = true;
+  }
+  auto shared = std::make_shared<QueryTicket::Shared>();
+  shared->dataset_name = sub->dataset_name;
+  shared->query = sub->query;
+  shared->exec = sub->opts.exec;
+  shared->submit_time = std::chrono::steady_clock::now();
+  shared->cancel = sub->cancel;  // one flag for the subscription's lifetime
+  shared->sub = sub;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!stopping_ && static_cast<int>(pending_.size()) < opts_.max_pending) {
+      pending_.Push(shared->dataset_name, shared->exec.priority,
+                    shared->exec.aging_threshold, shared);
+      metrics_.RecordSubmitted(shared->dataset_name, pending_.size());
+      EnsureWorkersLocked();
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    queue_cv_.notify_one();
+    return;
+  }
+  // Full queue (or shutdown): defer instead of failing — window runs never
+  // displace one-shot admissions; the next append or completed window run
+  // retries the arm.
+  std::lock_guard<std::mutex> lock(sub->mu);
+  sub->running = false;
+}
+
+void QueryEngine::FinishWindowRun(
+    const std::shared_ptr<QueryTicket::Shared>& t) {
+  const std::shared_ptr<StreamSubState>& sub = t->sub;
+  const common::Result<QueryResult>& outcome = *t->result;
+  bool rearm = false;
+  {
+    std::lock_guard<std::mutex> lock(sub->mu);
+    sub->running = false;
+    if (outcome.ok()) {
+      const QueryResult& r = outcome.value();
+      sub->executed_epoch = std::max(sub->executed_epoch, r.frame_epoch);
+      StreamUpdate up;
+      up.seq = sub->next_seq++;
+      up.result = r;
+      sub->last_seq = up.seq;
+      sub->buffer.push_back(std::move(up));
+      while (sub->buffer.size() > std::max<size_t>(1, sub->opts.max_buffered)) {
+        sub->buffer.pop_front();
+        ++sub->dropped;
+        metrics_.RecordStreamDropped();
+      }
+      metrics_.RecordStreamResult();
+    } else if (outcome.status().code() != common::StatusCode::kCancelled) {
+      // A window run failed (planner/executor error). Terminal for the
+      // subscription: the same window would fail the same way on replay.
+      sub->error = outcome.status();
+      sub->cancelled = true;
+      sub->cancel->store(true);
+    }
+    rearm = !sub->cancelled && sub->target_epoch > sub->executed_epoch;
+  }
+  sub->cv.notify_all();
+  // The stream advanced while this window was in flight: go again over the
+  // newer prefix (coalesced — one run covers any number of missed appends).
+  if (rearm) ArmSubscription(sub);
+}
+
 common::Result<QueryTicket> QueryEngine::Submit(const std::string& dataset_name,
                                                 const std::string& sql) {
   auto parsed = core::QueryParser::Parse(sql);
@@ -468,6 +798,9 @@ void QueryEngine::WorkerLoop() {
       metrics_.RecordRun(t->dataset_name, run_timer.ElapsedSeconds(),
                          OutcomeOf(*t));
       EndRun(t->dataset_name);
+      // Window re-executions publish to their subscription (and re-arm if
+      // the stream advanced mid-run) after the run slot is released.
+      if (t->sub != nullptr) FinishWindowRun(t);
     }
   }
 }
@@ -502,6 +835,15 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   // key, the planner, the annotation — runs at the effective band, so one
   // dataset can hold a cheap plan and a strict plan side by side.
   core::ActionQuery query = t->query;
+  // Window re-executions slide their frame predicate to the snapshot's
+  // tail: the window is resolved per run, not at Subscribe(), so a run that
+  // coalesced several appends covers all of them.
+  if (t->sub != nullptr && t->sub->opts.window_frames > 0) {
+    const long begin =
+        std::max<long>(0, ds->stream_length() - t->sub->opts.window_frames);
+    query.frame_begin =
+        static_cast<int>(std::max<long>(query.frame_begin, begin));
+  }
   query.accuracy_target = core::EffectiveTarget(
       t->query.accuracy_target, t->exec.tier,
       degrade_level_.load(std::memory_order_relaxed), t->exec.min_accuracy);
@@ -525,6 +867,12 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
   out.plan_seconds = lookup.value().plan_seconds;
   out.tier = t->exec.tier;
   out.accuracy_band = query.accuracy_target;
+  // Live-stream annotation: the window this answer covers and the growth
+  // epoch of the snapshot it was computed over (fixed length / epoch 0 for
+  // frozen datasets).
+  out.window_begin = query.frame_begin;
+  out.window_end = ds->stream_length();
+  out.frame_epoch = ds->frame_epoch();
 
   if (query.explain_only) {
     out.explanation =
@@ -558,7 +906,21 @@ void QueryEngine::RunTicket(const std::shared_ptr<QueryTicket::Shared>& t) {
       t->exec.max_latency_budget > 0.0) {
     localizer.value()->SetGpuBudget(t->exec.max_latency_budget);
   }
+  // Sample the plan's feature-cache counters around the localization and
+  // record the delta: the engine-level hit/miss/evict counters, so /metrics
+  // can show how much of a window was served from features already
+  // extracted below the previous high-water mark.
+  const apfg::FeatureCache* features = plan->cache.get();
+  const uint64_t feat_hits0 = features != nullptr ? features->hits() : 0;
+  const uint64_t feat_misses0 = features != nullptr ? features->misses() : 0;
+  const uint64_t feat_evict0 = features != nullptr ? features->evictions() : 0;
   core::RunResult run = localizer.value()->Localize(test_videos);
+  if (features != nullptr) {
+    metrics_.RecordFeatureCache(
+        static_cast<long>(features->hits() - feat_hits0),
+        static_cast<long>(features->misses() - feat_misses0),
+        static_cast<long>(features->evictions() - feat_evict0));
+  }
   if (run.cancelled) {
     Finish(t.get(), QueryState::kCancelled,
            common::Status::Cancelled("query cancelled during execution"));

@@ -87,6 +87,17 @@ struct QueryResult {
   // True when a latency budget early-exited localization rounds; the
   // confidence annotation reflects the reduced coverage.
   bool budget_exhausted = false;
+
+  // Live-stream annotation (docs/ARCHITECTURE.md "Live streams"): the
+  // covered frame range — segments were filtered to [window_begin,
+  // window_end) intersections — and the dataset growth epoch of the
+  // snapshot this answer was computed over. Frozen datasets report their
+  // fixed length and frame_epoch 0; the fields are filled for every
+  // result, so a one-shot answer and a subscriber's incremental answer
+  // over the same prefix are comparable field for field.
+  long window_begin = 0;
+  long window_end = 0;
+  uint64_t frame_epoch = 0;
 };
 
 inline bool operator==(const QueryResult::Segment& a,
@@ -146,6 +157,76 @@ class QueryTicket {
       : shared_(std::move(shared)) {}
 
   std::shared_ptr<Shared> shared_;
+};
+
+// What one applied append/growth did to a streamable dataset.
+struct AppendOutcome {
+  uint64_t frame_epoch = 0;  // dataset growth epoch after the append
+  long stream_length = 0;    // per-test-video frame count after the append
+  long appended = 0;         // frames actually added (0 = idempotent replay)
+};
+
+// One incremental answer published to a subscription. `seq` is 1-based and
+// strictly increasing per subscription; a gap between consecutively
+// delivered updates means the bounded buffer dropped intermediates for a
+// slow consumer (each update covers its full window, so drops conflate
+// toward the freshest answer — they never lose frames).
+struct StreamUpdate {
+  uint64_t seq = 0;
+  QueryResult result;
+};
+
+// Per-subscription options: how each window re-execution runs, how much of
+// the stream it covers, and how many undelivered updates to hold.
+struct SubscribeOptions {
+  // Execution knobs for every window run — the same admission queue as
+  // one-shot queries reads priority/tier from here, so subscriptions
+  // compete under the normal fairness and displacement rules.
+  ExecutionOptions exec;
+  // Sliding window, in frames: each re-execution keeps segments
+  // intersecting [max(0, stream_length - window_frames), stream_length).
+  // 0 = the full prefix from frame 0 — the mode whose incremental results
+  // are bit-identical to a cold one-shot query over the same prefix.
+  long window_frames = 0;
+  // Bounded undelivered-result buffer; the oldest update is dropped (and
+  // counted) when a consumer falls this far behind.
+  size_t max_buffered = 16;
+};
+
+// Engine-internal shared state of one subscription (definition in
+// query_engine.cc; the ticket and the engine share ownership).
+struct StreamSubState;
+
+// Handle to a live SubscribeQuery: a standing query whose trained plan is
+// re-executed over the current window every time the dataset's frame epoch
+// advances. Cheap to copy (shared state); safe to poll from any thread.
+class SubscriptionTicket {
+ public:
+  uint64_t id() const;
+  // Blocks until an update with seq > after_seq is available and returns
+  // the oldest such update. Passing the last delivered seq makes this an
+  // exactly-once cursor; passing 0 re-reads from the oldest buffered
+  // update (how a re-attached subscriber catches up after failover).
+  // Returns kUnavailable on timeout with the subscription still live,
+  // kCancelled once cancelled and drained, or the terminal error if a
+  // window run failed.
+  common::Result<StreamUpdate> Next(uint64_t after_seq, int timeout_ms) const;
+  // Stops the subscription: cuts any in-flight window run at its next
+  // cancellation point and stops future re-arms. Already-buffered updates
+  // remain readable through Next() until drained.
+  void Cancel();
+  bool cancelled() const;
+  // Highest published seq (0 before the first window completes).
+  uint64_t last_seq() const;
+  // Updates dropped by the bounded buffer (slow consumer).
+  long dropped() const;
+
+ private:
+  friend class QueryEngine;
+  explicit SubscriptionTicket(std::shared_ptr<StreamSubState> shared)
+      : shared_(std::move(shared)) {}
+
+  std::shared_ptr<StreamSubState> shared_;
 };
 
 // The concurrent query engine behind ZeusDb: a registry of datasets, a
@@ -257,6 +338,41 @@ class QueryEngine {
                                       const core::ActionQuery& query,
                                       const ExecutionOptions& exec);
 
+  // ---- Live streams (docs/ARCHITECTURE.md "Live streams") ----------------
+
+  // Grows a streamable dataset so every test video holds exactly
+  // `target_frames` frames, stamping growth epoch `epoch`. Both arguments
+  // are absolute, so a retried or replayed append converges to the same
+  // bytes and the same epoch — the call is idempotent (a replay that adds
+  // nothing reports appended == 0). Copy-on-write: queries already running
+  // keep their pre-append snapshot; runs claimed after the swap see the
+  // grown dataset. Subscriptions on the dataset are re-armed.
+  // kFailedPrecondition when the dataset has no recorded stream seed.
+  common::Result<AppendOutcome> GrowDataset(const std::string& name,
+                                            long target_frames,
+                                            uint64_t epoch);
+  // Convenience: extends the stream by `frames` frames and bumps the epoch
+  // by one (the local-ingest form; the cluster router converts this to the
+  // absolute GrowDataset form before fanning out to replicas).
+  common::Result<AppendOutcome> AppendFrames(const std::string& name,
+                                             long frames);
+
+  // Registers a standing query over `dataset_name`: the engine runs one
+  // window execution immediately and one more after every applied append,
+  // publishing each answer as a StreamUpdate. Window runs are admitted
+  // through the normal admission queue (priority/fairness/displacement
+  // rules apply); the trained plan is reused across windows, so
+  // planner_runs stays flat after the first window. The subscription stays
+  // live until Cancel() or engine shutdown.
+  common::Result<SubscriptionTicket> Subscribe(const std::string& dataset_name,
+                                               const std::string& sql,
+                                               const SubscribeOptions& opts);
+  common::Result<SubscriptionTicket> Subscribe(const std::string& dataset_name,
+                                               const core::ActionQuery& query,
+                                               const SubscribeOptions& opts);
+  // Live (non-cancelled) subscriptions (tests / monitoring).
+  size_t subscriptions() const;
+
   // Cache key for (dataset, targets, accuracy target).
   static std::string PlanKey(const std::string& dataset_name,
                              const core::ActionQuery& query);
@@ -314,6 +430,22 @@ class QueryEngine {
   // (Execute).
   void RunTicket(const std::shared_ptr<QueryTicket::Shared>& t);
 
+  // Growth body shared by GrowDataset/AppendFrames; caller holds
+  // append_mu_ and has verified the dataset exists and is streamable.
+  common::Result<AppendOutcome> GrowLocked(const std::string& name,
+                                           long target_frames, uint64_t epoch);
+  // Submits one window re-execution for `sub` through the admission queue
+  // (no-op if the subscription is cancelled or already has a run queued or
+  // in flight). A full queue defers instead of failing: the next append or
+  // completed window retries.
+  void ArmSubscription(const std::shared_ptr<StreamSubState>& sub);
+  // Publishes a terminal window-run ticket to its subscription and re-arms
+  // if the stream advanced while the run was in flight.
+  void FinishWindowRun(const std::shared_ptr<QueryTicket::Shared>& t);
+  // Raises every subscriber of `name` to at least `epoch` and arms the
+  // idle ones; lazily reaps cancelled subscriptions.
+  void NotifySubscribers(const std::string& name, uint64_t epoch);
+
   // Bracket one RunTicket in active_by_dataset_ so DrainDataset can wait
   // out the running tail. BeginRunLocked requires queue_mu_ held — the
   // worker claims the ticket and marks it active under one lock, so a
@@ -325,6 +457,17 @@ class QueryEngine {
 
   mutable std::mutex datasets_mu_;
   std::map<std::string, std::shared_ptr<video::SyntheticDataset>> datasets_;
+
+  // Serializes appends (the copy-on-write growth is expensive and must not
+  // race itself); never held while queries run. Lock order:
+  // append_mu_ -> datasets_mu_, append_mu_ -> subs_mu_ -> (per-sub mu).
+  std::mutex append_mu_;
+
+  // Live subscriptions by id. Cancelled entries are reaped lazily (on
+  // notify/subscribe) and at shutdown.
+  mutable std::mutex subs_mu_;
+  std::map<uint64_t, std::shared_ptr<StreamSubState>> subs_;
+  uint64_t next_sub_id_ = 1;
 
   PlanCache cache_;
   // Lock-cheap counters/histograms fed by the admission and run paths;

@@ -20,6 +20,10 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kRemoveDataset: return "RemoveDataset";
     case FrameType::kSyncPlans: return "SyncPlans";
     case FrameType::kEpochQuery: return "EpochQuery";
+    case FrameType::kAppendFrames: return "AppendFrames";
+    case FrameType::kSubscribe: return "Subscribe";
+    case FrameType::kStreamPoll: return "StreamPoll";
+    case FrameType::kUnsubscribe: return "Unsubscribe";
     case FrameType::kPong: return "Pong";
     case FrameType::kOk: return "Ok";
     case FrameType::kError: return "Error";
@@ -30,6 +34,9 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kRegisterReply: return "RegisterReply";
     case FrameType::kSyncReply: return "SyncReply";
     case FrameType::kEpochReply: return "EpochReply";
+    case FrameType::kAppendReply: return "AppendReply";
+    case FrameType::kSubscribeReply: return "SubscribeReply";
+    case FrameType::kStreamResult: return "StreamResult";
   }
   return "Unknown";
 }
@@ -46,6 +53,12 @@ bool IsIdempotent(FrameType type) {
     // many times it lands; the epoch probe is a pure read.
     case FrameType::kSyncPlans:
     case FrameType::kEpochQuery:
+    // The stream set (wire.h): absolute-target appends, keyed subscribes,
+    // cursor-addressed polls and unsubscribes all converge on replay.
+    case FrameType::kAppendFrames:
+    case FrameType::kSubscribe:
+    case FrameType::kStreamPoll:
+    case FrameType::kUnsubscribe:
       return true;
     default:
       return false;

@@ -52,6 +52,11 @@ enum class FrameType : uint8_t {
   kRemoveDataset = 9,    // string name -> kOk | kError
   kSyncPlans = 10,       // SyncPlansRequest -> kSyncReply | kError
   kEpochQuery = 11,      // string name -> kEpochReply
+  // Live streams (append-mode ingestion + standing queries).
+  kAppendFrames = 12,    // AppendFramesRequest -> kAppendReply | kError
+  kSubscribe = 13,       // SubscribeRequest -> kSubscribeReply | kError
+  kStreamPoll = 14,      // StreamPollRequest -> kStreamResult | kError
+  kUnsubscribe = 15,     // u64 sub id -> kOk | kError
 
   // Responses.
   kPong = 32,
@@ -64,6 +69,9 @@ enum class FrameType : uint8_t {
   kRegisterReply = 39,
   kSyncReply = 40,
   kEpochReply = 41,
+  kAppendReply = 42,
+  kSubscribeReply = 43,
+  kStreamResult = 44,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -74,6 +82,11 @@ const char* FrameTypeName(FrameType type);
 // kSubmit and kTicketWait are NOT here — once fully written, re-sending
 // could run a query twice (or double-register a wait) — so the client only
 // retries them while it can prove the server never saw a complete frame.
+// The stream set is idempotent by construction: kAppendFrames carries an
+// ABSOLUTE target length + epoch (a replay grows nothing), kSubscribe a
+// client-chosen subscription id (a replay re-attaches to the existing
+// subscription), kStreamPoll an explicit after_seq cursor (a replay
+// re-reads, never consumes), and kUnsubscribe of a gone id is kOk.
 bool IsIdempotent(FrameType type);
 
 struct Frame {

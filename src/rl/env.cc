@@ -60,7 +60,8 @@ std::pair<int, int> VideoEnv::ProcessSegment(int config_id, bool* prediction) {
   const video::Video& v = *videos_[static_cast<size_t>(vi)];
   const core::Configuration& c = space_->config(config_id);
 
-  const apfg::Apfg::Output& out = cache_->Get(v, position_, c.spec);
+  const auto out_ptr = cache_->Get(v, position_, c.spec);
+  const apfg::Apfg::Output& out = *out_ptr;
   const int start = position_;
   const int end = std::min(v.num_frames(), position_ + c.CoveredFrames());
   invocations_.emplace_back(config_id, end - start);

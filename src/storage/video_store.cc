@@ -1,11 +1,14 @@
 #include "storage/video_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "common/crc32.h"
+#include "common/fileutil.h"
 #include "common/stringutil.h"
 
 namespace zeus::storage {
@@ -58,6 +61,79 @@ common::Result<std::vector<int>> ParseInts(
   return out;
 }
 
+// ---- Append side-file helpers ----------------------------------------------
+
+// Tail records are lossless: [i32 label][f32 pixels...] per frame,
+// host-endian like the ZVF1 base file. Float32 (not the quantized uint8
+// encoding) because appended frames must survive replica catch-up
+// bit-identically — quantization parameters would differ per batch.
+size_t TailRecordBytes(int height, int width) {
+  return sizeof(int32_t) +
+         sizeof(float) * static_cast<size_t>(height) * width;
+}
+
+// Contents of the commit sidecar: the only length a reader trusts.
+struct TailCommit {
+  long frames = 0;        // committed TOTAL frames (base + tail)
+  size_t tail_bytes = 0;  // committed prefix of the tail file
+  uint32_t crc = 0;       // crc32 over that prefix
+};
+
+common::Result<TailCommit> ReadCommit(const std::string& path) {
+  auto kv_or = ReadKvFile(path);
+  if (!kv_or.ok()) return kv_or.status();
+  const auto& kv = kv_or.value();
+  TailCommit c;
+  auto scalar = [&kv](const char* key) -> common::Result<long> {
+    auto it = kv.find(key);
+    if (it == kv.end() || it->second.empty()) {
+      return common::Status::IoError(std::string("commit missing key: ") + key);
+    }
+    try {
+      return std::stol(it->second[0]);
+    } catch (...) {
+      return common::Status::IoError(std::string("bad commit value: ") + key);
+    }
+  };
+  auto frames = scalar("frames");
+  if (!frames.ok()) return frames.status();
+  auto bytes = scalar("tail_bytes");
+  if (!bytes.ok()) return bytes.status();
+  auto crc = scalar("crc");
+  if (!crc.ok()) return crc.status();
+  c.frames = frames.value();
+  c.tail_bytes = static_cast<size_t>(bytes.value());
+  c.crc = static_cast<uint32_t>(static_cast<unsigned long>(crc.value()));
+  return c;
+}
+
+common::Status WriteCommit(const std::string& path, const TailCommit& c) {
+  std::ostringstream os;
+  os << "# zeus tail commit\n";
+  os << "frames " << c.frames << "\n";
+  os << "tail_bytes " << c.tail_bytes << "\n";
+  os << "crc " << static_cast<unsigned long>(c.crc) << "\n";
+  return common::AtomicWriteFile(path, os.str());
+}
+
+// Reads the committed prefix of the tail file and validates its checksum.
+// Bytes past `commit.tail_bytes` (a torn append) are ignored by design.
+common::Result<std::string> ReadCommittedTail(const std::string& tail_path,
+                                              const TailCommit& commit) {
+  std::ifstream is(tail_path, std::ios::binary);
+  if (!is) return common::Status::IoError("cannot open tail: " + tail_path);
+  std::string bytes(commit.tail_bytes, '\0');
+  is.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (static_cast<size_t>(is.gcount()) != bytes.size()) {
+    return common::Status::IoError("tail shorter than committed length: " +
+                                   tail_path);
+  }
+  if (common::Crc32(0, bytes.data(), bytes.size()) != commit.crc) {
+    return common::Status::IoError("tail checksum mismatch: " + tail_path);
+  }
+  return bytes;
+}
+
 }  // namespace
 
 common::Result<VideoStore> VideoStore::Open(const std::string& dir) {
@@ -87,19 +163,26 @@ std::string VideoStore::PathFor(int id) const {
   return (fs::path(dir_) / common::Format("v%d.zvf", id)).string();
 }
 
+std::string VideoStore::TailPathFor(int id) const {
+  return (fs::path(dir_) / common::Format("v%d.tail", id)).string();
+}
+
+std::string VideoStore::CommitPathFor(int id) const {
+  return (fs::path(dir_) / common::Format("v%d.commit", id)).string();
+}
+
 bool VideoStore::Contains(int id) const {
   return std::find(ids_.begin(), ids_.end(), id) != ids_.end();
 }
 
 common::Status VideoStore::WriteManifest() const {
-  const fs::path path = fs::path(dir_) / kManifestName;
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) return common::Status::IoError("cannot write manifest");
+  // Atomic so a crash mid-rewrite never loses the id list (an ingesting
+  // store rewrites this on every AppendVideo).
+  std::ostringstream os;
   os << "# zeus video store manifest\n";
   os << "ids " << JoinInts(ids_) << "\n";
-  os.close();
-  if (!os.good()) return common::Status::IoError("manifest write failed");
-  return common::Status::Ok();
+  return common::AtomicWriteFile((fs::path(dir_) / kManifestName).string(),
+                                 os.str());
 }
 
 common::Status VideoStore::Put(const video::Video& video,
@@ -117,7 +200,137 @@ common::Result<video::Video> VideoStore::Get(int id) const {
   if (!Contains(id)) {
     return common::Status::NotFound(common::Format("video id %d", id));
   }
-  return VideoFile::Load(PathFor(id));
+  auto base = VideoFile::Load(PathFor(id));
+  if (!base.ok()) return base.status();
+  video::Video v = std::move(base).value();
+  if (!fs::exists(CommitPathFor(id))) return v;
+
+  auto commit = ReadCommit(CommitPathFor(id));
+  if (!commit.ok()) return commit.status();
+  const long tail_frames = commit.value().frames - v.num_frames();
+  if (tail_frames < 0) {
+    return common::Status::IoError("commit shorter than base video");
+  }
+  if (tail_frames == 0) return v;
+  const size_t rec = TailRecordBytes(v.height(), v.width());
+  if (commit.value().tail_bytes != rec * static_cast<size_t>(tail_frames)) {
+    return common::Status::IoError("commit length does not match record size");
+  }
+  auto bytes = ReadCommittedTail(TailPathFor(id), commit.value());
+  if (!bytes.ok()) return bytes.status();
+
+  video::Video tail(static_cast<int>(tail_frames), v.height(), v.width());
+  const char* p = bytes.value().data();
+  const size_t frame_px = static_cast<size_t>(v.height()) * v.width();
+  for (long f = 0; f < tail_frames; ++f) {
+    int32_t label = 0;
+    std::memcpy(&label, p, sizeof(label));
+    p += sizeof(label);
+    if (label < 0 || label > video::kMaxActionClassId) {
+      return common::Status::IoError("tail label out of range");
+    }
+    tail.SetLabel(static_cast<int>(f),
+                  static_cast<video::ActionClass>(label));
+    std::memcpy(tail.FrameData(static_cast<int>(f)), p,
+                frame_px * sizeof(float));
+    p += frame_px * sizeof(float);
+  }
+  v.Append(tail);
+  return v;
+}
+
+common::Result<long> VideoStore::CommittedFrames(int id) const {
+  if (!Contains(id)) {
+    return common::Status::NotFound(common::Format("video id %d", id));
+  }
+  if (fs::exists(CommitPathFor(id))) {
+    auto commit = ReadCommit(CommitPathFor(id));
+    if (!commit.ok()) return commit.status();
+    return commit.value().frames;
+  }
+  auto base = VideoFile::Load(PathFor(id));
+  if (!base.ok()) return base.status();
+  return static_cast<long>(base.value().num_frames());
+}
+
+common::Status VideoStore::AppendFrames(int id, const video::Video& tail) {
+  if (!Contains(id)) {
+    return common::Status::NotFound(common::Format("video id %d", id));
+  }
+  auto base = VideoFile::Load(PathFor(id));
+  if (!base.ok()) return base.status();
+  const int h = base.value().height();
+  const int w = base.value().width();
+  if (tail.height() != h || tail.width() != w) {
+    return common::Status::InvalidArgument("append shape mismatch");
+  }
+  const size_t rec = TailRecordBytes(h, w);
+
+  // Committed tail so far (absent commit = no appended frames yet).
+  TailCommit commit;
+  commit.frames = base.value().num_frames();
+  if (fs::exists(CommitPathFor(id))) {
+    auto c = ReadCommit(CommitPathFor(id));
+    if (!c.ok()) return c.status();
+    commit = c.value();
+  }
+  const size_t committed_bytes = commit.tail_bytes;
+
+  // Re-read the committed prefix (also validates it) — the new crc covers
+  // the whole tail region and a previous torn append may have left
+  // garbage past the committed length that must be truncated away first.
+  std::string prefix;
+  if (committed_bytes > 0) {
+    auto bytes = ReadCommittedTail(TailPathFor(id), commit);
+    if (!bytes.ok()) return bytes.status();
+    prefix = std::move(bytes).value();
+  }
+
+  // Serialize the new records.
+  std::string appended;
+  appended.reserve(rec * static_cast<size_t>(tail.num_frames()));
+  const size_t frame_px = static_cast<size_t>(h) * w;
+  for (int f = 0; f < tail.num_frames(); ++f) {
+    int32_t label = static_cast<int32_t>(tail.Label(f));
+    appended.append(reinterpret_cast<const char*>(&label), sizeof(label));
+    appended.append(reinterpret_cast<const char*>(tail.FrameData(f)),
+                    frame_px * sizeof(float));
+  }
+
+  // Step 1: land the new bytes at the committed offset. The committed
+  // prefix is never rewritten — a crash anywhere in here leaves the old
+  // commit pointing at intact bytes, so readers still see the prior
+  // snapshot. Garbage past the committed length (this write torn, or a
+  // previous one) is invisible and gets overwritten by the next append.
+  {
+    auto mode = std::ios::binary | std::ios::out;
+    if (committed_bytes == 0) {
+      mode |= std::ios::trunc;  // also creates the file on first append
+    } else {
+      mode |= std::ios::in;  // positioned write, keep existing bytes
+    }
+    std::fstream os(TailPathFor(id), mode);
+    if (!os) return common::Status::IoError("cannot write tail file");
+    os.seekp(static_cast<std::streamoff>(committed_bytes));
+    os.write(appended.data(), static_cast<std::streamsize>(appended.size()));
+    os.flush();
+    os.close();
+    if (!os.good()) return common::Status::IoError("tail write failed");
+  }
+
+  // Step 2: atomically publish the new length.
+  TailCommit next;
+  next.frames = commit.frames + tail.num_frames();
+  next.tail_bytes = committed_bytes + appended.size();
+  uint32_t crc = common::Crc32(0, prefix.data(), prefix.size());
+  crc = common::Crc32(crc, appended.data(), appended.size());
+  next.crc = crc;
+  return WriteCommit(CommitPathFor(id), next);
+}
+
+common::Status VideoStore::AppendVideo(const video::Video& video,
+                                       PixelEncoding encoding) {
+  return Put(video, encoding);
 }
 
 common::Status VideoStore::Remove(int id) {
@@ -128,6 +341,9 @@ common::Status VideoStore::Remove(int id) {
   std::error_code ec;
   fs::remove(PathFor(id), ec);
   if (ec) return common::Status::IoError("remove failed: " + ec.message());
+  // Sidecars are optional; ignore missing.
+  fs::remove(TailPathFor(id), ec);
+  fs::remove(CommitPathFor(id), ec);
   ids_.erase(it);
   return WriteManifest();
 }
@@ -167,6 +383,14 @@ common::Status SaveDataset(const std::string& dir,
      << ' ' << p.style.noise_sigma << ' ' << p.style.drift_speed << ' '
      << p.style.blob_amplitude << ' ' << p.style.blob_sigma << ' '
      << p.style.speed_scale << "\n";
+  // Stream identity (optional keys — absent for FromParts datasets that
+  // never recorded a generation seed): lets a reloaded dataset keep
+  // growing deterministically from where the saved one stopped.
+  if (dataset.base_frames() > 0) {
+    os << "stream_seed " << dataset.stream_seed() << "\n";
+    os << "base_frames " << dataset.base_frames() << "\n";
+    os << "frame_epoch " << dataset.frame_epoch() << "\n";
+  }
   // Splits are stored as positions into the stored id order, which matches
   // dataset.videos() order by construction.
   os << "train " << JoinInts(dataset.train_indices()) << "\n";
@@ -284,9 +508,26 @@ common::Result<video::SyntheticDataset> LoadDataset(const std::string& dir) {
     }
   }
 
-  return video::SyntheticDataset::FromParts(
+  video::SyntheticDataset ds = video::SyntheticDataset::FromParts(
       std::move(p), std::move(videos), std::move(splits[0]),
       std::move(splits[1]), std::move(splits[2]));
+
+  // Restore stream identity when present (older manifests lack it).
+  const auto seed_it = kv.find("stream_seed");
+  const auto base_it = kv.find("base_frames");
+  const auto epoch_it = kv.find("frame_epoch");
+  if (seed_it != kv.end() && base_it != kv.end() && epoch_it != kv.end() &&
+      !seed_it->second.empty() && !base_it->second.empty() &&
+      !epoch_it->second.empty()) {
+    try {
+      ds.RestoreStreamState(std::stoull(seed_it->second[0]),
+                            std::stoi(base_it->second[0]),
+                            std::stoull(epoch_it->second[0]));
+    } catch (...) {
+      return common::Status::IoError("bad stream state in dataset manifest");
+    }
+  }
+  return ds;
 }
 
 }  // namespace zeus::storage

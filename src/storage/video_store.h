@@ -23,6 +23,16 @@ namespace zeus::storage {
 //
 // The store is an on-disk structure, not a cache: Get() always decodes from
 // the file, and Put() is durable once it returns OK.
+//
+// Append mode (live-stream ingest): a stored video can grow without
+// rewriting its base file. AppendFrames() appends raw frame records to a
+// side file (`v<id>.tail`) and then commits the new total length + tail
+// checksum in a commit sidecar (`v<id>.commit`) written with
+// AtomicWriteFile. Readers trust only the commit sidecar: a process
+// killed mid-append leaves either the old commit (new tail bytes past the
+// committed length are invisible — the prior snapshot stays readable,
+// byte-identical) or the new one (every committed byte present and
+// checksummed). There is no state in which Get() observes a torn tail.
 class VideoStore {
  public:
   // Opens (creating if needed) a store rooted at `dir`. Reads the manifest
@@ -34,11 +44,31 @@ class VideoStore {
   common::Status Put(const video::Video& video,
                      PixelEncoding encoding = PixelEncoding::kUint8);
 
-  // Loads the video with `id`, or NotFound.
+  // Loads the video with `id` (base frames plus any committed tail), or
+  // NotFound.
   common::Result<video::Video> Get(int id) const;
 
-  // Removes the video with `id` from the manifest and the filesystem.
+  // Removes the video with `id` (including any tail/commit sidecars) from
+  // the manifest and the filesystem.
   common::Status Remove(int id);
+
+  // ---- Stream append mode -------------------------------------------------
+
+  // Appends `tail`'s frames to stored video `id` with a crash-atomic
+  // length commit (see the class comment). Tail frames are stored as
+  // lossless float32 records so replica catch-up stays bit-identical.
+  // Shapes must match the stored video.
+  common::Status AppendFrames(int id, const video::Video& tail);
+
+  // Registers a brand-new video arriving on a stream. Same durability as
+  // Put (which already commits its manifest atomically); spelled
+  // separately so ingest call sites read as appends, not corpus loads.
+  common::Status AppendVideo(const video::Video& video,
+                             PixelEncoding encoding = PixelEncoding::kUint8);
+
+  // Committed total frame count of video `id` — the length snapshot a
+  // reader may safely decode to.
+  common::Result<long> CommittedFrames(int id) const;
 
   bool Contains(int id) const;
   const std::vector<int>& ids() const { return ids_; }
@@ -47,6 +77,9 @@ class VideoStore {
 
   // Path of the file that stores (or would store) video `id`.
   std::string PathFor(int id) const;
+  // Paths of the append side file and its commit sidecar.
+  std::string TailPathFor(int id) const;
+  std::string CommitPathFor(int id) const;
 
  private:
   VideoStore() = default;

@@ -130,12 +130,14 @@ int SampleActionLength(const DatasetProfile& p, common::Rng* rng) {
   return static_cast<int>(len);
 }
 
-// Builds the event script for one video: action instances are placed
-// left-to-right with exponential gaps tuned to hit the target action
-// fraction; distractors are sprinkled independently.
-std::vector<BlobEvent> ScriptVideo(const DatasetProfile& p, common::Rng* rng) {
+// Builds the event script for `n` frames of one video: action instances
+// are placed left-to-right with exponential gaps tuned to hit the target
+// action fraction; distractors are sprinkled independently. Stream blocks
+// call this with n = kStreamBlockFrames so a growing video keeps the same
+// event statistics as its stored prefix.
+std::vector<BlobEvent> ScriptVideo(const DatasetProfile& p, int n,
+                                   common::Rng* rng) {
   std::vector<BlobEvent> events;
-  const int n = p.frames_per_video;
 
   // Expected gap so that mean_len / (mean_len + gap) == action_fraction.
   const double mean_len = p.mean_action_length * p.style.speed_scale;
@@ -198,6 +200,23 @@ std::vector<BlobEvent> ScriptVideo(const DatasetProfile& p, common::Rng* rng) {
   return events;
 }
 
+// Renders one deterministic stream block: kStreamBlockFrames frames of
+// video `video_index`'s tail, block `block_index` past the generated base.
+// The rng is seeded purely from (stream seed, video index, block index),
+// so re-rendering the same block anywhere — another process, a repaired
+// replica, a retry — produces identical bytes.
+Video RenderStreamBlock(const DatasetProfile& p, uint64_t stream_seed,
+                        int video_index, long block_index) {
+  uint64_t mix = stream_seed;
+  mix ^= 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(video_index) + 1);
+  mix ^= 0xBF58476D1CE4E5B9ull * (static_cast<uint64_t>(block_index) + 1);
+  common::Rng rng(mix);
+  auto events =
+      ScriptVideo(p, SyntheticDataset::kStreamBlockFrames, &rng);
+  SceneRenderer renderer(p.native_resolution, p.native_resolution, p.style);
+  return renderer.Render(SyntheticDataset::kStreamBlockFrames, events, &rng);
+}
+
 }  // namespace
 
 namespace {
@@ -216,7 +235,7 @@ SyntheticDataset SyntheticDataset::Generate(const DatasetProfile& profile,
   ds.videos_.reserve(static_cast<size_t>(profile.num_videos));
   for (int i = 0; i < profile.num_videos; ++i) {
     common::Rng video_rng = rng.Fork();
-    auto events = ScriptVideo(profile, &video_rng);
+    auto events = ScriptVideo(profile, profile.frames_per_video, &video_rng);
     Video v = renderer.Render(profile.frames_per_video, events, &video_rng);
     v.set_id(g_next_video_id++);
     ds.videos_.push_back(std::move(v));
@@ -231,7 +250,47 @@ SyntheticDataset SyntheticDataset::Generate(const DatasetProfile& profile,
   ds.train_.assign(idx.begin(), idx.begin() + n_train);
   ds.val_.assign(idx.begin() + n_train, idx.begin() + n_train + n_val);
   ds.test_.assign(idx.begin() + n_train + n_val, idx.end());
+  // Record the stream identity: growth blocks are seeded from this.
+  ds.has_stream_seed_ = true;
+  ds.stream_seed_ = seed;
+  ds.base_frames_ = profile.frames_per_video;
   return ds;
+}
+
+long SyntheticDataset::stream_length() const {
+  if (test_.empty()) return base_frames_;
+  return videos_[static_cast<size_t>(test_[0])].num_frames();
+}
+
+common::Status SyntheticDataset::GrowTo(long target_frames, uint64_t epoch) {
+  if (!has_stream_seed_) {
+    return common::Status::InvalidArgument(
+        "dataset is not streamable (no recorded generation seed)");
+  }
+  frame_epoch_ = std::max(frame_epoch_, epoch);
+  for (int idx : test_) {
+    Video& v = videos_[static_cast<size_t>(idx)];
+    while (v.num_frames() < target_frames) {
+      const long block =
+          (v.num_frames() - base_frames_) / kStreamBlockFrames;
+      const long block_begin = base_frames_ + block * kStreamBlockFrames;
+      Video rendered = RenderStreamBlock(profile_, stream_seed_, idx, block);
+      const int from = static_cast<int>(v.num_frames() - block_begin);
+      const int want = static_cast<int>(
+          std::min<long>(kStreamBlockFrames - from,
+                         target_frames - v.num_frames()));
+      v.Append(rendered.Slice(from, want));
+    }
+  }
+  return common::Status::Ok();
+}
+
+void SyntheticDataset::RestoreStreamState(uint64_t seed, int base_frames,
+                                          uint64_t epoch) {
+  has_stream_seed_ = true;
+  stream_seed_ = seed;
+  base_frames_ = base_frames;
+  frame_epoch_ = epoch;
 }
 
 SyntheticDataset SyntheticDataset::FromParts(DatasetProfile profile,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "video/renderer.h"
 #include "video/video.h"
 
@@ -93,10 +94,55 @@ class SyntheticDataset {
   SyntheticDataset MergeClasses(const std::vector<ActionClass>& classes,
                                 ActionClass merged) const;
 
+  // ---- Live-stream growth -------------------------------------------------
+  //
+  // A generated dataset can grow: test-split videos gain frames in
+  // deterministic blocks of kStreamBlockFrames, each seeded by
+  // (generation seed, video index, block index). Because a block's bytes
+  // depend only on those three values, any append batching converges to
+  // identical pixels — growing 64 frames once or 8 frames eight times
+  // yields byte-identical videos. That prefix-stability is what makes
+  // replica catch-up, idempotent append retries, and the bit-identical
+  // subscriber contract possible. Train/val videos never grow: the
+  // trained plan's profiling splits stay frozen, so plan reuse across
+  // windows stays valid.
+
+  static constexpr int kStreamBlockFrames = 64;
+
+  // True when this dataset can grow (generated with a recorded seed — or
+  // restored via RestoreStreamState — and has test videos to grow).
+  bool streamable() const { return has_stream_seed_ && !test_.empty(); }
+
+  // Monotone growth epoch, stamped by GrowTo (applied as max). Readers
+  // that snapshot (frame_epoch, stream_length) see a consistent prefix.
+  uint64_t frame_epoch() const { return frame_epoch_; }
+
+  // Frame count the test videos were generated with (growth starts here).
+  int base_frames() const { return base_frames_; }
+  uint64_t stream_seed() const { return stream_seed_; }
+
+  // Current length of the growing (test-split) videos.
+  long stream_length() const;
+
+  // Grows every test-split video to exactly `target_frames` and stamps
+  // `epoch`. Idempotent: a target at/below the current length only bumps
+  // the epoch (monotone max), and re-applying any prefix of appends is a
+  // no-op. Fails with InvalidArgument when the dataset is not streamable.
+  common::Status GrowTo(long target_frames, uint64_t epoch);
+
+  // Restores stream identity after a storage round-trip (LoadDataset) so
+  // a reloaded dataset keeps growing deterministically from where the
+  // saved one stopped.
+  void RestoreStreamState(uint64_t seed, int base_frames, uint64_t epoch);
+
  private:
   DatasetProfile profile_;
   std::vector<Video> videos_;
   std::vector<int> train_, val_, test_;
+  bool has_stream_seed_ = false;
+  uint64_t stream_seed_ = 0;
+  uint64_t frame_epoch_ = 0;
+  int base_frames_ = 0;
 };
 
 }  // namespace zeus::video

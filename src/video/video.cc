@@ -46,6 +46,26 @@ ActionClass ParseActionClass(const std::string& name) {
   return ActionClass::kNone;
 }
 
+void Video::Append(const Video& tail) {
+  ZEUS_CHECK(tail.height_ == height_ && tail.width_ == width_);
+  data_.insert(data_.end(), tail.data_.begin(), tail.data_.end());
+  labels_.insert(labels_.end(), tail.labels_.begin(), tail.labels_.end());
+  num_frames_ += tail.num_frames_;
+}
+
+Video Video::Slice(int start, int count) const {
+  ZEUS_CHECK(start >= 0 && count >= 0 && start + count <= num_frames_);
+  Video out(count, height_, width_);
+  const size_t frame_px = static_cast<size_t>(height_) * width_;
+  std::copy(data_.begin() + static_cast<long>(start) * static_cast<long>(frame_px),
+            data_.begin() +
+                static_cast<long>(start + count) * static_cast<long>(frame_px),
+            out.data_.begin());
+  std::copy(labels_.begin() + start, labels_.begin() + start + count,
+            out.labels_.begin());
+  return out;
+}
+
 bool Video::IsActionAny(int f, const std::vector<ActionClass>& classes) const {
   ActionClass l = Label(f);
   return std::find(classes.begin(), classes.end(), l) != classes.end();

@@ -83,6 +83,18 @@ class Video {
 
   const std::vector<ActionClass>& labels() const { return labels_; }
 
+  // Stream append: extends this video with `tail`'s frames and labels.
+  // Shapes must match. Existing frame bytes are never rewritten (only the
+  // backing vector may reallocate), so a reader that snapshotted an
+  // earlier num_frames() and indexes below it always sees the same
+  // pixels — growth is strictly suffix-only.
+  void Append(const Video& tail);
+
+  // Copy of frames [start, start + count) as a standalone video (stream
+  // blocks are rendered whole and sliced to the appended range). The id
+  // is not copied.
+  Video Slice(int start, int count) const;
+
   // Optional identifier for debugging / cache keys.
   void set_id(int id) { id_ = id; }
   int id() const { return id_; }

@@ -185,9 +185,9 @@ TEST(FeatureCacheTest, CachedOutputIdenticalToDirect) {
   auto v = MakeLabeledVideo(60, 0, 0, video::ActionClass::kNone);
   video::DecodeSpec spec{12, 4, 1};
   auto direct = apfg.Process(v, 8, spec);
-  const auto& cached = cache.Get(v, 8, spec);
-  EXPECT_LT(tensor::MaxAbsDiff(direct.feature, cached.feature), 1e-6f);
-  EXPECT_EQ(direct.prediction, cached.prediction);
+  const auto cached = cache.Get(v, 8, spec);
+  EXPECT_LT(tensor::MaxAbsDiff(direct.feature, cached->feature), 1e-6f);
+  EXPECT_EQ(direct.prediction, cached->prediction);
 }
 
 TEST(FeatureCacheTest, PrecomputePopulatesAlignedStarts) {
@@ -197,6 +197,78 @@ TEST(FeatureCacheTest, PrecomputePopulatesAlignedStarts) {
   auto v = MakeLabeledVideo(40, 0, 0, video::ActionClass::kNone);
   cache.Precompute(v, video::DecodeSpec{12, 2, 1}, /*alignment=*/10);
   EXPECT_EQ(cache.size(), 4u);  // starts 0, 10, 20, 30
+}
+
+TEST(FeatureCacheTest, WindowAwareKeysRecomputeOnlyClampedTail) {
+  // The stream contract: growing a video must invalidate exactly the
+  // segments whose decode was clamped at the old video end — interior
+  // segments reuse their cached features, so an appended window only pays
+  // extraction past the previous high-water mark.
+  common::Rng rng(15);
+  Apfg apfg(ApfgTrainOptions{}, true, &rng);
+  FeatureCache cache(&apfg);
+  video::DecodeSpec spec{12, 4, 2};  // covers 8 source frames
+  auto v = MakeLabeledVideo(40, 0, 0, video::ActionClass::kNone);
+  // Warm starts 0..36 (interior: 0..32; start 36 clamps: only 4 avail).
+  for (int start = 0; start < 40; start += 4) cache.Get(v, start, spec);
+  const auto warm_misses = cache.misses();
+
+  // Grow the video by 16 frames (content of old frames unchanged).
+  video::Video tail(16, 12, 12);
+  v.Append(tail);
+
+  // Interior segments hit; the previously clamped tail (start 36, now 8
+  // avail) and brand-new starts miss.
+  for (int start = 0; start < 56; start += 4) cache.Get(v, start, spec);
+  EXPECT_EQ(cache.hits(), 9u);                    // starts 0..32
+  EXPECT_EQ(cache.misses(), warm_misses + 5u);    // 36 (re-clamped), 40..52
+}
+
+TEST(FeatureCacheTest, LruEvictsAndCounts) {
+  common::Rng rng(17);
+  Apfg apfg(ApfgTrainOptions{}, true, &rng);
+  FeatureCache cache(&apfg, /*max_entries=*/3);
+  auto v = MakeLabeledVideo(80, 0, 0, video::ActionClass::kNone);
+  video::DecodeSpec spec{12, 2, 1};
+  cache.Get(v, 0, spec);
+  cache.Get(v, 10, spec);
+  cache.Get(v, 20, spec);
+  cache.Get(v, 0, spec);  // refresh 0 -> LRU order (0, 20, 10)
+  auto held = cache.Get(v, 10, spec);  // refresh 10 -> (10, 0, 20)
+  cache.Get(v, 30, spec);              // evicts 20
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  const auto misses = cache.misses();
+  cache.Get(v, 0, spec);  // survived
+  cache.Get(v, 10, spec);
+  EXPECT_EQ(cache.misses(), misses);
+  cache.Get(v, 20, spec);  // was evicted: recompute
+  EXPECT_EQ(cache.misses(), misses + 1);
+  // A held value stays valid across evictions (shared ownership).
+  EXPECT_GT(held->feature.size(), 0u);
+
+  // Tightening the bound evicts immediately.
+  cache.set_max_entries(1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FeatureCacheTest, InvalidateBeforeDropsOnlyPassedSegments) {
+  common::Rng rng(18);
+  Apfg apfg(ApfgTrainOptions{}, true, &rng);
+  FeatureCache cache(&apfg);
+  auto v = MakeLabeledVideo(100, 0, 0, video::ActionClass::kNone);
+  video::DecodeSpec spec{12, 4, 1};  // covers 4 source frames
+  for (int start = 0; start < 100; start += 4) cache.Get(v, start, spec);
+  EXPECT_EQ(cache.size(), 25u);
+  // Retention horizon at frame 40: segments [0,4) .. [36,40) go.
+  EXPECT_EQ(cache.InvalidateBefore(40), 10u);
+  EXPECT_EQ(cache.size(), 15u);
+  EXPECT_EQ(cache.evictions(), 10u);
+  const auto misses = cache.misses();
+  cache.Get(v, 40, spec);  // at the horizon: retained
+  EXPECT_EQ(cache.misses(), misses);
+  cache.Get(v, 36, spec);  // behind the horizon: recompute
+  EXPECT_EQ(cache.misses(), misses + 1);
 }
 
 // End-to-end int8 inference: enabling the quantized path must keep action

@@ -396,6 +396,134 @@ TEST(AutoscalerDecideTest, SignalFromReadsTheAggregateSnapshot) {
   EXPECT_EQ(windowed.queue_depth, 6);
 }
 
+// ---- Per-dataset (hot stream) triggers -------------------------------------
+
+// A Busy() signal with the hottest-dataset fields filled in: the shape a
+// live stream produces — one dataset's home-shard queue deep while the
+// group average stays calm.
+Autoscaler::Signal HotDataset(Autoscaler::Signal s, long depth, double p95,
+                              const char* name = "stream") {
+  s.max_dataset_queue_depth = depth;
+  s.max_dataset_queue_wait_p95 = p95;
+  s.hottest_dataset = name;
+  return s;
+}
+
+TEST(AutoscalerDecideTest, HotDatasetScalesUpWhileGroupAverageIsCalm) {
+  auto cfg = TestConfig();
+  cfg.up_dataset_queue_depth = 6.0;
+  Autoscaler::State state;
+  long tick = 0;
+
+  // 7 queued across 2 shards is under the 4/shard group trigger (8), but
+  // all of them pile on one dataset — a live stream saturating its home
+  // shard. The per-dataset rung fires after the usual sustain.
+  const auto s = HotDataset(Busy(2, 7), 7, 0.0);
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    EXPECT_STREQ(Autoscaler::Decide(s, cfg, tick++, &state).reason, "hold");
+  }
+  const auto d = Autoscaler::Decide(s, cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 3);
+  EXPECT_STREQ(d.reason, "scale-up: hot dataset");
+}
+
+TEST(AutoscalerDecideTest, DatasetP95TriggerFiresOnItsOwn) {
+  auto cfg = TestConfig();
+  cfg.up_dataset_queue_wait_p95_seconds = 5.0;
+  Autoscaler::State state;
+  long tick = 0;
+
+  // Depth under both thresholds; only the hot dataset's p95 wait is over.
+  const auto s = HotDataset(Busy(2, 2), 2, 6.0);
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    Autoscaler::Decide(s, cfg, tick++, &state);
+  }
+  const auto d = Autoscaler::Decide(s, cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 3);
+  EXPECT_STREQ(d.reason, "scale-up: hot dataset");
+
+  // An empty group queue gates the rung: per-dataset p95 is a lifetime
+  // aggregate, so with nothing queued anywhere it must never fire.
+  Autoscaler::State fresh;
+  tick = 0;
+  const auto stale = HotDataset(Busy(2, 0, /*active=*/1), 0, 6.0);
+  for (int i = 0; i < cfg.sustain_samples * 2; ++i) {
+    const auto h = Autoscaler::Decide(stale, cfg, tick++, &fresh);
+    EXPECT_EQ(h.target_shards, 2);
+  }
+}
+
+TEST(AutoscalerDecideTest, DisabledDatasetThresholdsNeverFire) {
+  // TestConfig leaves both per-dataset thresholds at 0 (disabled): even an
+  // absurdly hot dataset holds as long as the group-level signals do.
+  const auto cfg = TestConfig();
+  Autoscaler::State state;
+  long tick = 0;
+  const auto s = HotDataset(Busy(4, 8), 1000, 1e6);
+  for (int i = 0; i < cfg.sustain_samples * 2; ++i) {
+    EXPECT_STREQ(Autoscaler::Decide(s, cfg, tick++, &state).reason, "hold");
+  }
+}
+
+TEST(AutoscalerDecideTest, GroupBacklogKeepsItsOwnReasonWhenBothFire) {
+  // When the whole group is backlogged AND one dataset is hot, the group
+  // condition names the decision — "hot dataset" is reserved for the case
+  // only the per-dataset rung explains.
+  auto cfg = TestConfig();
+  cfg.up_dataset_queue_depth = 6.0;
+  Autoscaler::State state;
+  long tick = 0;
+  const auto s = HotDataset(Busy(1, 10), 10, 0.0);
+  for (int i = 0; i < cfg.sustain_samples - 1; ++i) {
+    Autoscaler::Decide(s, cfg, tick++, &state);
+  }
+  const auto d = Autoscaler::Decide(s, cfg, tick++, &state);
+  EXPECT_EQ(d.target_shards, 2);
+  EXPECT_STREQ(d.reason, "scale-up: sustained backlog");
+}
+
+TEST(AutoscalerDecideTest, SignalFromDistillsTheHottestDataset) {
+  // Two shards, three datasets: "b" has the deepest queue, "c" the worst
+  // p95 wait. SignalFrom takes the max of each independently and names
+  // the deepest-queue dataset.
+  MetricsRegistry r1;
+  r1.RecordSubmitted("a", 1);
+  r1.RecordQueueWait("a", 0.5);
+  r1.RecordSubmitted("b", 5);
+  r1.RecordQueueWait("b", 2.0);
+  MetricsRegistry r2;
+  r2.RecordSubmitted("c", 2);
+  r2.RecordQueueWait("c", 32.0);
+
+  GroupStats g;
+  g.num_shards = 2;
+  ShardStats s1 = r1.Snapshot();
+  ASSERT_EQ(s1.datasets.size(), 2u);
+  s1.datasets[0].queue_depth = 1;  // a
+  s1.datasets[1].queue_depth = 5;  // b
+  s1.queue_depth = 6;
+  ShardStats s2 = r2.Snapshot();
+  ASSERT_EQ(s2.datasets.size(), 1u);
+  s2.datasets[0].queue_depth = 2;  // c
+  s2.queue_depth = 2;
+  g.Absorb(std::move(s1));
+  g.Absorb(std::move(s2));
+
+  const auto signal = Autoscaler::SignalFrom(g);
+  EXPECT_EQ(signal.max_dataset_queue_depth, 5);
+  EXPECT_EQ(signal.hottest_dataset, "b");
+  EXPECT_GE(signal.max_dataset_queue_wait_p95, 32.0);
+
+  // The cheap snapshot (no per-dataset rows) leaves the fields zeroed —
+  // exactly why Loop() only requests the rows when a threshold is set.
+  GroupStats bare;
+  bare.num_shards = 2;
+  const auto none = Autoscaler::SignalFrom(bare);
+  EXPECT_EQ(none.max_dataset_queue_depth, 0);
+  EXPECT_TRUE(none.hottest_dataset.empty());
+  EXPECT_DOUBLE_EQ(none.max_dataset_queue_wait_p95, 0.0);
+}
+
 // ---- The degradation ladder (docs/ACCURACY.md) -----------------------------
 
 Autoscaler::Signal WithDegrade(Autoscaler::Signal s, int level) {

@@ -508,6 +508,162 @@ TEST_F(ClusterTest, ReplicatedPrimaryKillIsZeroUnavailability) {
   for (auto& shard : shards) shard->Stop();
 }
 
+// ---- Live streams through the cluster --------------------------------------
+
+// The full streaming contract, end to end over real TCP with a mid-stream
+// primary kill: appends fan to every replica with absolute (target, epoch)
+// targets, a standing query keeps delivering incremental results across
+// the failover (the router re-attaches it to the new primary with the same
+// subscription id and dedupes the replayed window by frame epoch), every
+// delivered result is kCertain, planner_runs stays flat the whole time,
+// and the final incremental answer is bit-identical to a cold one-shot
+// over the same prefix in a single-process engine.
+TEST_F(ClusterTest, StreamSubscriptionSurvivesPrimaryKill) {
+  const std::string dir = *persist_root_ + "/stream_drill";
+  fs::create_directories(dir);
+
+  std::vector<std::unique_ptr<cluster::ShardServer>> shards;
+  cluster::Router::Options ropts;
+  for (int i = 0; i < 3; ++i) {
+    cluster::ShardServer::Options sopts;
+    sopts.engine = EngineOptions(dir);
+    sopts.name = "stream" + std::to_string(i);
+    shards.push_back(std::make_unique<cluster::ShardServer>(sopts));
+    ASSERT_TRUE(shards.back()->Start().ok());
+    ropts.shards.push_back({"127.0.0.1", shards.back()->port()});
+  }
+  ropts.health_interval_ms = 0;  // tests drive the checker deterministically
+  ropts.misses_to_dead = 2;
+  ropts.health_deadline_ms = 1'000;
+  ropts.replication = 2;
+  ropts.name = "streamrouter";
+  cluster::Router router(std::move(ropts));
+  ASSERT_TRUE(router.Start().ok());
+
+  cluster::DatasetSpec spec = SmokeSpec();
+  spec.name = "stream-d";
+  ASSERT_TRUE(router.RegisterDataset(spec).ok());
+  ASSERT_EQ(router.ReplicasOf(spec.name).size(), 2u);
+
+  // Train the plan once (propagated to the replica group before control
+  // returns), then pin the planner-run budget for the whole drill.
+  auto r0 = router.Execute(spec.name, kSql);
+  ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+  EXPECT_GT(r0.value().plan_seconds, 0.0);
+  EXPECT_EQ(router.CheckNow(), 0);
+  const auto planner_runs_before = router.Stats().stats.planner_runs;
+  EXPECT_EQ(planner_runs_before, 1);
+
+  // Subscribe through the router (sub_id 0 = router assigns). The initial
+  // window covers the base prefix — the same prefix the one-shot above
+  // answered — so the first incremental result must match it bit for bit.
+  cluster::SubscribeRequest sub;
+  sub.dataset = spec.name;
+  sub.sql = kSql;
+  auto attach = router.Subscribe(sub);
+  ASSERT_TRUE(attach.ok()) << attach.status().ToString();
+  const uint64_t sub_id = attach.value().sub_id;
+  ASSERT_GT(sub_id, 0u);
+  EXPECT_FALSE(attach.value().attached_existing);
+
+  auto u1 = router.StreamPoll(sub_id, 0, 30'000);
+  ASSERT_TRUE(u1.ok()) << u1.status().ToString();
+  EXPECT_EQ(u1.value().seq, 1u);
+  ExpectSameOutcome(r0.value(), u1.value().result);
+  EXPECT_EQ(u1.value().result.consistency, engine::Consistency::kCertain)
+      << u1.value().result.divergence;
+
+  // Re-sending the same subscribe is an idempotent attach, not a second
+  // subscription.
+  cluster::SubscribeRequest replay = sub;
+  replay.sub_id = sub_id;
+  auto again = router.Subscribe(replay);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again.value().attached_existing);
+
+  // Append through the router: the reply reports the absolute stream state
+  // and the standing query delivers the grown window incrementally.
+  const long base = cluster::ProfileFor(spec).frames_per_video;
+  auto a1 = router.AppendFrames(spec.name, 64);
+  ASSERT_TRUE(a1.ok()) << a1.status().ToString();
+  EXPECT_EQ(a1.value().stream_length, static_cast<uint64_t>(base) + 64);
+  EXPECT_EQ(a1.value().appended, 64u);
+
+  auto u2 = router.StreamPoll(sub_id, u1.value().seq, 30'000);
+  ASSERT_TRUE(u2.ok()) << u2.status().ToString();
+  EXPECT_EQ(u2.value().seq, 2u);
+  EXPECT_EQ(u2.value().result.window_end, base + 64);
+  EXPECT_EQ(u2.value().result.consistency, engine::Consistency::kCertain)
+      << u2.value().result.divergence;
+
+  // A healthy pass refreshes every shard's stats snapshot, so the carry
+  // the failover folds in covers the updates delivered so far.
+  EXPECT_EQ(router.CheckNow(), 0);
+
+  // Kill the primary mid-stream and let the checker notice. The surviving
+  // replica already holds every appended frame (appends fan to the whole
+  // group), so the re-homed dataset needs no frame replay to keep serving.
+  const int home = router.HomeOf(spec.name);
+  ASSERT_GE(home, 0);
+  shards[static_cast<size_t>(home)]->Kill();
+  int newly_dead = router.CheckNow();
+  newly_dead += router.CheckNow();
+  EXPECT_EQ(newly_dead, 1);
+
+  // Ingestion continues against the new primary, and the next poll
+  // re-attaches the subscription there under the SAME id. The re-attached
+  // host replays its current window; the router's frame-epoch dedupe line
+  // guarantees the consumer sees the new epoch exactly once.
+  auto a2 = router.AppendFrames(spec.name, 64);
+  ASSERT_TRUE(a2.ok()) << a2.status().ToString();
+  EXPECT_EQ(a2.value().stream_length, static_cast<uint64_t>(base) + 128);
+
+  auto u3 = router.StreamPoll(sub_id, u2.value().seq, 30'000);
+  ASSERT_TRUE(u3.ok()) << u3.status().ToString();
+  EXPECT_EQ(u3.value().seq, 3u);
+  EXPECT_EQ(u3.value().result.window_end, base + 128);
+  EXPECT_EQ(u3.value().result.consistency, engine::Consistency::kCertain)
+      << u3.value().result.divergence;
+
+  // The whole drill — subscription windows, failover re-attach, appends on
+  // two primaries — never trained a second plan and never served a
+  // non-certain result.
+  EXPECT_EQ(router.Stats().stats.planner_runs, planner_runs_before);
+  EXPECT_EQ(router.Health().degraded_answers, 0);
+
+  // Bit-identity through the cluster: a cold single-process engine grown
+  // to the same prefix answers with the same bytes the subscriber got
+  // incrementally (same shared plan catalog, so no planner run either).
+  engine::QueryEngine local(EngineOptions(dir));
+  ASSERT_TRUE(local
+                  .RegisterDataset(spec.name,
+                                   video::SyntheticDataset::Generate(
+                                       cluster::ProfileFor(spec), spec.seed))
+                  .ok());
+  ASSERT_TRUE(local.GrowDataset(spec.name, base + 128, 1).ok());
+  auto ref = local.Execute(spec.name, kSql);
+  ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+  EXPECT_EQ(ref.value().plan_seconds, 0.0);
+  ExpectSameOutcome(ref.value(), u3.value().result);
+
+  // The stream counters made it into the folded cluster stats (each
+  // replica counts the appends it applied).
+  const auto stats = router.Stats();
+  EXPECT_GE(stats.stats.appends, 2);
+  EXPECT_GE(stats.stats.appended_frames, 128);
+  EXPECT_GE(stats.stats.subscribes, 1);
+  EXPECT_GE(stats.stats.stream_results, 3);
+
+  // Unsubscribe is idempotent, through the router too.
+  EXPECT_TRUE(router.Unsubscribe(sub_id).ok());
+  EXPECT_TRUE(router.Unsubscribe(sub_id).ok());
+  auto gone = router.StreamPoll(sub_id, 0, 1'000);
+  EXPECT_EQ(gone.status().code(), common::StatusCode::kNotFound);
+
+  router.Stop();
+  for (auto& shard : shards) shard->Stop();
+}
+
 // A replica that could not apply the latest plan epoch must say so: while
 // it is the only live holder its answers come back kDegraded with a
 // divergence reason — never silently presented as certain — and once the

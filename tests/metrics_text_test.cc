@@ -32,11 +32,24 @@ engine::GroupStats MakeStats() {
   s0.exec.buckets[20] = 3;
   s0.exec.buckets[21] = 1;
 
+  s0.appends = 4;
+  s0.appended_frames = 256;
+  s0.subscribes = 2;
+  s0.unsubscribes = 1;
+  s0.stream_results = 9;
+  s0.stream_dropped = 1;
+  s0.feature_hits = 30;
+  s0.feature_misses = 6;
+  s0.feature_evictions = 2;
+
   engine::ShardStats s1;
   s1.shard = 1;
   s1.submitted = 5;
   s1.completed = 5;
   s1.queue_depth = 1;
+  s1.appends = 1;
+  s1.appended_frames = 64;
+  s1.stream_results = 3;
 
   group.Absorb(s0);
   group.Absorb(s1);
@@ -105,6 +118,24 @@ TEST(MetricsTextTest, EmitsReplicationAndCertainAnswerContract) {
   EXPECT_NE(text.find("zeus_dataset_live_replicas{dataset=\"bdd\"} 2\n"),
             std::string::npos);
   EXPECT_NE(text.find("zeus_dataset_committed_epoch{dataset=\"bdd\"} 7\n"),
+            std::string::npos);
+}
+
+TEST(MetricsTextTest, EmitsLiveStreamCounters) {
+  // Stream counters fold across shards like everything else: shard 0's
+  // 4 appends / 256 frames plus shard 1's 1 / 64.
+  const std::string text = cluster::PrometheusText(MakeStats(), MakeHealth());
+  EXPECT_NE(text.find("zeus_appends_total 5\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_appended_frames_total 320\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_subscriptions_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_unsubscribes_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_stream_results_total 12\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_stream_dropped_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("zeus_feature_cache_hits_total 30\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_feature_cache_misses_total 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("zeus_feature_cache_evictions_total 2\n"),
             std::string::npos);
 }
 

@@ -61,7 +61,10 @@ TEST(WireTest, FrameRoundTripsEveryTypeAndPayloadSize) {
       net::FrameType::kResult,    net::FrameType::kStatsReply,
       net::FrameType::kSubmitReply, net::FrameType::kTicketStateReply,
       net::FrameType::kRegisterReply, net::FrameType::kSyncReply,
-      net::FrameType::kEpochReply};
+      net::FrameType::kEpochReply, net::FrameType::kAppendFrames,
+      net::FrameType::kSubscribe, net::FrameType::kStreamPoll,
+      net::FrameType::kUnsubscribe, net::FrameType::kAppendReply,
+      net::FrameType::kSubscribeReply, net::FrameType::kStreamResult};
   for (net::FrameType type : types) {
     for (size_t payload_size : {0u, 1u, 7u, 255u, 4096u}) {
       net::Frame in;
@@ -137,6 +140,13 @@ TEST(WireTest, IdempotencyClassification) {
   EXPECT_TRUE(net::IsIdempotent(net::FrameType::kRemoveDataset));
   EXPECT_TRUE(net::IsIdempotent(net::FrameType::kSyncPlans));
   EXPECT_TRUE(net::IsIdempotent(net::FrameType::kEpochQuery));
+  // The stream set is idempotent BY CONSTRUCTION (absolute append targets,
+  // caller-chosen subscription ids, explicit poll cursors) — that is what
+  // lets a lost response retry through a failover.
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kAppendFrames));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kSubscribe));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kStreamPoll));
+  EXPECT_TRUE(net::IsIdempotent(net::FrameType::kUnsubscribe));
   EXPECT_FALSE(net::IsIdempotent(net::FrameType::kExecute));
   EXPECT_FALSE(net::IsIdempotent(net::FrameType::kSubmit));
   EXPECT_FALSE(net::IsIdempotent(net::FrameType::kTicketWait));
@@ -214,6 +224,9 @@ TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
   in.accuracy_band = 0.75;
   in.achieved_confidence = 0.8123456789012345;
   in.budget_exhausted = true;
+  in.window_begin = 120;
+  in.window_end = 520;
+  in.frame_epoch = 6;
   engine::QueryResult out;
   ASSERT_TRUE(
       cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
@@ -236,6 +249,16 @@ TEST(ProtocolTest, QueryResultRoundTripIsBitExact) {
   EXPECT_EQ(out.accuracy_band, in.accuracy_band);
   EXPECT_EQ(out.achieved_confidence, in.achieved_confidence);
   EXPECT_EQ(out.budget_exhausted, in.budget_exhausted);
+  // The streaming window annotation is part of the answer too.
+  EXPECT_EQ(out.window_begin, in.window_begin);
+  EXPECT_EQ(out.window_end, in.window_end);
+  EXPECT_EQ(out.frame_epoch, in.frame_epoch);
+
+  // An inverted window is a contract violation, rejected whole.
+  in.window_begin = 10;
+  in.window_end = 3;
+  EXPECT_FALSE(
+      cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
 }
 
 TEST(ProtocolTest, ExecRequestCarriesAccuracyBudget) {
@@ -276,19 +299,21 @@ TEST(ProtocolTest, QueryResultRejectsContradictoryConsistency) {
       cluster::DecodeQueryResult(cluster::EncodeQueryResult(in), &out));
   // An out-of-range consistency byte is rejected whole. The trailer after
   // the consistency byte is str(4) + u64 epoch + f64 confidence + f64 band
-  // + u8 tier + u8 budget_exhausted = 30 bytes.
+  // + u8 tier + u8 budget_exhausted + i64 window_begin + i64 window_end +
+  // u64 frame_epoch = 54 bytes.
   in.divergence.clear();
   std::string payload = cluster::EncodeQueryResult(in);
-  const std::string tail = payload.substr(payload.size() - 31);
-  payload[payload.size() - 31] = 5;  // consistency byte
+  const std::string tail = payload.substr(payload.size() - 55);
+  payload[payload.size() - 55] = 5;  // consistency byte
   ASSERT_EQ(tail[0], 0);  // we really did point at the consistency byte
   EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
-  // Same for the tier byte (second-to-last) and the budget flag (last).
+  // Same for the tier byte and the budget flag, which sit just ahead of
+  // the 24-byte window trailer.
   payload = cluster::EncodeQueryResult(in);
-  payload[payload.size() - 2] = 7;
+  payload[payload.size() - 26] = 7;
   EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
   payload = cluster::EncodeQueryResult(in);
-  payload[payload.size() - 1] = 2;
+  payload[payload.size() - 25] = 2;
   EXPECT_FALSE(cluster::DecodeQueryResult(payload, &out));
 }
 
@@ -326,6 +351,165 @@ TEST(ProtocolTest, SyncAndEpochCodecsRoundTrip) {
       cluster::DecodeSyncPlans(cluster::EncodeSyncPlans(empty), &sync_out));
 }
 
+TEST(ProtocolTest, StreamCodecsRoundTrip) {
+  // kAppendFrames: the two mutually exclusive forms. Absolute (shard-bound,
+  // replayable) round-trips; so does the router-only relative form; a frame
+  // carrying BOTH or NEITHER is malformed by definition.
+  cluster::AppendFramesRequest ap_in;
+  ap_in.name = "stream";
+  ap_in.target_frames = 1664;
+  ap_in.epoch = 9;
+  cluster::AppendFramesRequest ap_out;
+  ASSERT_TRUE(
+      cluster::DecodeAppendFrames(cluster::EncodeAppendFrames(ap_in), &ap_out));
+  EXPECT_EQ(ap_out.name, ap_in.name);
+  EXPECT_EQ(ap_out.target_frames, ap_in.target_frames);
+  EXPECT_EQ(ap_out.relative_frames, 0u);
+  EXPECT_EQ(ap_out.epoch, ap_in.epoch);
+
+  cluster::AppendFramesRequest rel;
+  rel.name = "stream";
+  rel.relative_frames = 64;
+  ASSERT_TRUE(
+      cluster::DecodeAppendFrames(cluster::EncodeAppendFrames(rel), &ap_out));
+  EXPECT_EQ(ap_out.relative_frames, 64u);
+  EXPECT_EQ(ap_out.target_frames, 0u);
+
+  cluster::AppendFramesRequest both = ap_in;
+  both.relative_frames = 64;
+  EXPECT_FALSE(
+      cluster::DecodeAppendFrames(cluster::EncodeAppendFrames(both), &ap_out));
+  cluster::AppendFramesRequest neither;
+  neither.name = "stream";
+  EXPECT_FALSE(cluster::DecodeAppendFrames(cluster::EncodeAppendFrames(neither),
+                                           &ap_out));
+  cluster::AppendFramesRequest unnamed = ap_in;
+  unnamed.name.clear();
+  EXPECT_FALSE(cluster::DecodeAppendFrames(cluster::EncodeAppendFrames(unnamed),
+                                           &ap_out));
+
+  cluster::AppendReply ar_in;
+  ar_in.frame_epoch = 9;
+  ar_in.stream_length = 1664;
+  ar_in.appended = 64;
+  cluster::AppendReply ar_out;
+  ASSERT_TRUE(
+      cluster::DecodeAppendReply(cluster::EncodeAppendReply(ar_in), &ar_out));
+  EXPECT_EQ(ar_out.frame_epoch, ar_in.frame_epoch);
+  EXPECT_EQ(ar_out.stream_length, ar_in.stream_length);
+  EXPECT_EQ(ar_out.appended, ar_in.appended);
+  // appended > stream_length is arithmetic nonsense, rejected whole.
+  ar_in.appended = 2000;
+  EXPECT_FALSE(
+      cluster::DecodeAppendReply(cluster::EncodeAppendReply(ar_in), &ar_out));
+
+  cluster::SubscribeRequest sub_in;
+  sub_in.dataset = "stream";
+  sub_in.sql = "SELECT frames WHERE class = 'car'";
+  sub_in.sub_id = 41;
+  sub_in.window_frames = 400;
+  sub_in.max_buffered = 8;
+  sub_in.tier = core::QueryTier::kBalanced;
+  sub_in.min_accuracy = 0.8;
+  sub_in.max_latency_budget = 2.5;
+  cluster::SubscribeRequest sub_out;
+  ASSERT_TRUE(cluster::DecodeSubscribeRequest(
+      cluster::EncodeSubscribeRequest(sub_in), &sub_out));
+  EXPECT_EQ(sub_out.dataset, sub_in.dataset);
+  EXPECT_EQ(sub_out.sql, sub_in.sql);
+  EXPECT_EQ(sub_out.sub_id, sub_in.sub_id);
+  EXPECT_EQ(sub_out.window_frames, sub_in.window_frames);
+  EXPECT_EQ(sub_out.max_buffered, sub_in.max_buffered);
+  EXPECT_EQ(sub_out.tier, sub_in.tier);
+  EXPECT_EQ(sub_out.min_accuracy, sub_in.min_accuracy);
+  EXPECT_EQ(sub_out.max_latency_budget, sub_in.max_latency_budget);
+  // sub_id 0 is legal on the wire (router-assigned id); the shard handler
+  // is what rejects it there.
+  sub_in.sub_id = 0;
+  EXPECT_TRUE(cluster::DecodeSubscribeRequest(
+      cluster::EncodeSubscribeRequest(sub_in), &sub_out));
+  sub_in.sub_id = 41;
+  sub_in.sql.clear();
+  EXPECT_FALSE(cluster::DecodeSubscribeRequest(
+      cluster::EncodeSubscribeRequest(sub_in), &sub_out));
+
+  cluster::SubscribeReply sr_in;
+  sr_in.sub_id = 41;
+  sr_in.frame_epoch = 3;
+  sr_in.attached_existing = true;
+  cluster::SubscribeReply sr_out;
+  ASSERT_TRUE(cluster::DecodeSubscribeReply(
+      cluster::EncodeSubscribeReply(sr_in), &sr_out));
+  EXPECT_EQ(sr_out.sub_id, sr_in.sub_id);
+  EXPECT_EQ(sr_out.frame_epoch, sr_in.frame_epoch);
+  EXPECT_EQ(sr_out.attached_existing, sr_in.attached_existing);
+
+  cluster::StreamPollRequest poll_in;
+  poll_in.sub_id = 41;
+  poll_in.after_seq = 6;
+  poll_in.timeout_ms = 750;
+  cluster::StreamPollRequest poll_out;
+  ASSERT_TRUE(
+      cluster::DecodeStreamPoll(cluster::EncodeStreamPoll(poll_in), &poll_out));
+  EXPECT_EQ(poll_out.sub_id, poll_in.sub_id);
+  EXPECT_EQ(poll_out.after_seq, poll_in.after_seq);
+  EXPECT_EQ(poll_out.timeout_ms, poll_in.timeout_ms);
+
+  // kStreamResult nests a full QueryResult — the incremental answer crosses
+  // the wire bit-exactly, window annotation included.
+  cluster::StreamResultMsg msg_in;
+  msg_in.seq = 7;
+  msg_in.dropped = 2;
+  msg_in.result.segments = {{0, 10, 25}, {3, 0, 7}};
+  msg_in.result.metrics.f1 = 0.9487179487179487;
+  msg_in.result.wall_seconds = 2.718281828459045;
+  msg_in.result.epoch = 9;
+  msg_in.result.window_begin = 1264;
+  msg_in.result.window_end = 1664;
+  msg_in.result.frame_epoch = 9;
+  cluster::StreamResultMsg msg_out;
+  ASSERT_TRUE(cluster::DecodeStreamResult(cluster::EncodeStreamResult(msg_in),
+                                          &msg_out));
+  EXPECT_EQ(msg_out.seq, msg_in.seq);
+  EXPECT_EQ(msg_out.dropped, msg_in.dropped);
+  EXPECT_TRUE(engine::SameSegments(msg_in.result, msg_out.result));
+  EXPECT_EQ(msg_out.result.metrics.f1, msg_in.result.metrics.f1);
+  EXPECT_EQ(msg_out.result.wall_seconds, msg_in.result.wall_seconds);
+  EXPECT_EQ(msg_out.result.window_begin, msg_in.result.window_begin);
+  EXPECT_EQ(msg_out.result.window_end, msg_in.result.window_end);
+  EXPECT_EQ(msg_out.result.frame_epoch, msg_in.result.frame_epoch);
+  // seq 0 never names a published update.
+  msg_in.seq = 0;
+  EXPECT_FALSE(cluster::DecodeStreamResult(cluster::EncodeStreamResult(msg_in),
+                                           &msg_out));
+}
+
+TEST(ProtocolTest, StatsReplyCarriesStreamCounters) {
+  // The stream counters are the newest StatsReply fields — a lossy codec
+  // here would zero every cluster /metrics stream family silently.
+  cluster::StatsReply in;
+  in.stats.appends = 5;
+  in.stats.appended_frames = 320;
+  in.stats.subscribes = 2;
+  in.stats.unsubscribes = 1;
+  in.stats.stream_results = 12;
+  in.stats.stream_dropped = 3;
+  in.stats.feature_hits = 30;
+  in.stats.feature_misses = 6;
+  in.stats.feature_evictions = 2;
+  cluster::StatsReply out;
+  ASSERT_TRUE(cluster::DecodeStatsReply(cluster::EncodeStatsReply(in), &out));
+  EXPECT_EQ(out.stats.appends, in.stats.appends);
+  EXPECT_EQ(out.stats.appended_frames, in.stats.appended_frames);
+  EXPECT_EQ(out.stats.subscribes, in.stats.subscribes);
+  EXPECT_EQ(out.stats.unsubscribes, in.stats.unsubscribes);
+  EXPECT_EQ(out.stats.stream_results, in.stats.stream_results);
+  EXPECT_EQ(out.stats.stream_dropped, in.stats.stream_dropped);
+  EXPECT_EQ(out.stats.feature_hits, in.stats.feature_hits);
+  EXPECT_EQ(out.stats.feature_misses, in.stats.feature_misses);
+  EXPECT_EQ(out.stats.feature_evictions, in.stats.feature_evictions);
+}
+
 TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
   cluster::DatasetSpec spec;
   spec.name = "d";
@@ -350,12 +534,40 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
   epoch_reply.epoch = 3;
   epoch_reply.has_dataset = true;
 
+  cluster::AppendFramesRequest append;
+  append.name = "d";
+  append.target_frames = 500;
+  append.epoch = 2;
+  cluster::AppendReply append_reply;
+  append_reply.frame_epoch = 2;
+  append_reply.stream_length = 500;
+  append_reply.appended = 100;
+  cluster::SubscribeRequest subscribe;
+  subscribe.dataset = "d";
+  subscribe.sql = "SELECT 1";
+  subscribe.sub_id = 5;
+  cluster::SubscribeReply subscribe_reply;
+  subscribe_reply.sub_id = 5;
+  subscribe_reply.frame_epoch = 2;
+  cluster::StreamPollRequest stream_poll;
+  stream_poll.sub_id = 5;
+  stream_poll.after_seq = 1;
+  cluster::StreamResultMsg stream_result;
+  stream_result.seq = 2;
+  stream_result.result = result;
+
   const std::string payloads[] = {
       cluster::EncodeDatasetSpec(spec), cluster::EncodeExecRequest(exec),
       cluster::EncodeQueryResult(result), cluster::EncodeStatsReply(stats),
       cluster::EncodeTicketId(77), cluster::EncodeSyncPlans(sync),
       cluster::EncodeSyncReply(sync_reply),
-      cluster::EncodeEpochReply(epoch_reply)};
+      cluster::EncodeEpochReply(epoch_reply),
+      cluster::EncodeAppendFrames(append),
+      cluster::EncodeAppendReply(append_reply),
+      cluster::EncodeSubscribeRequest(subscribe),
+      cluster::EncodeSubscribeReply(subscribe_reply),
+      cluster::EncodeStreamPoll(stream_poll),
+      cluster::EncodeStreamResult(stream_result)};
   for (const std::string& payload : payloads) {
     for (size_t len = 0; len < payload.size(); ++len) {
       const std::string prefix = payload.substr(0, len);
@@ -367,6 +579,12 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
       cluster::SyncPlansRequest sp;
       cluster::SyncReply srp;
       cluster::EpochReply ep;
+      cluster::AppendFramesRequest af;
+      cluster::AppendReply afr;
+      cluster::SubscribeRequest sq;
+      cluster::SubscribeReply sqr;
+      cluster::StreamPollRequest spl;
+      cluster::StreamResultMsg srm;
       EXPECT_FALSE(cluster::DecodeDatasetSpec(prefix, &s) &&
                    cluster::DecodeExecRequest(prefix, &e) &&
                    cluster::DecodeQueryResult(prefix, &r) &&
@@ -374,7 +592,13 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
                    cluster::DecodeTicketId(prefix, &id) &&
                    cluster::DecodeSyncPlans(prefix, &sp) &&
                    cluster::DecodeSyncReply(prefix, &srp) &&
-                   cluster::DecodeEpochReply(prefix, &ep));
+                   cluster::DecodeEpochReply(prefix, &ep) &&
+                   cluster::DecodeAppendFrames(prefix, &af) &&
+                   cluster::DecodeAppendReply(prefix, &afr) &&
+                   cluster::DecodeSubscribeRequest(prefix, &sq) &&
+                   cluster::DecodeSubscribeReply(prefix, &sqr) &&
+                   cluster::DecodeStreamPoll(prefix, &spl) &&
+                   cluster::DecodeStreamResult(prefix, &srm));
     }
     // Trailing junk is also rejected (AtEnd discipline).
     cluster::DatasetSpec s;
@@ -409,10 +633,54 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
           << "EpochReply prefix of length " << len << " decoded";
     }
     // has_dataset is a strict bool on the wire: 2 is rejected, not coerced.
+    // It sits ahead of the trailing u64 stream_length.
     std::string bogus = p;
-    bogus[bogus.size() - 1] = 2;
+    bogus[bogus.size() - 9] = 2;
     cluster::EpochReply ep;
     EXPECT_FALSE(cluster::DecodeEpochReply(bogus, &ep));
+  }
+  // The stream codecs get their own strict-prefix sweep too: every one of
+  // them crosses process boundaries during a failover, where a torn frame
+  // is the NORMAL case, not the exotic one.
+  {
+    const std::string p = cluster::EncodeAppendFrames(append);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::AppendFramesRequest af;
+      EXPECT_FALSE(cluster::DecodeAppendFrames(p.substr(0, len), &af))
+          << "AppendFrames prefix of length " << len << " decoded";
+    }
+  }
+  {
+    const std::string p = cluster::EncodeAppendReply(append_reply);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::AppendReply afr;
+      EXPECT_FALSE(cluster::DecodeAppendReply(p.substr(0, len), &afr))
+          << "AppendReply prefix of length " << len << " decoded";
+    }
+  }
+  {
+    const std::string p = cluster::EncodeSubscribeRequest(subscribe);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::SubscribeRequest sq;
+      EXPECT_FALSE(cluster::DecodeSubscribeRequest(p.substr(0, len), &sq))
+          << "SubscribeRequest prefix of length " << len << " decoded";
+    }
+  }
+  {
+    const std::string p = cluster::EncodeStreamPoll(stream_poll);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::StreamPollRequest spl;
+      EXPECT_FALSE(cluster::DecodeStreamPoll(p.substr(0, len), &spl))
+          << "StreamPoll prefix of length " << len << " decoded";
+    }
+  }
+  {
+    const std::string p = cluster::EncodeStreamResult(stream_result);
+    for (size_t len = 0; len < p.size(); ++len) {
+      cluster::StreamResultMsg srm;
+      EXPECT_FALSE(cluster::DecodeStreamResult(p.substr(0, len), &srm))
+          << "StreamResult prefix of length " << len << " decoded";
+    }
   }
   Lcg lcg(23);
   for (int round = 0; round < 200; ++round) {
@@ -425,6 +693,12 @@ TEST(ProtocolTest, DecodersAreTotalOnTruncationsAndGarbage) {
     cluster::DecodeSyncPlans(garbage, &sp);  // must not crash
     cluster::EpochReply ep;
     cluster::DecodeEpochReply(garbage, &ep);  // must not crash
+    cluster::AppendFramesRequest af;
+    cluster::DecodeAppendFrames(garbage, &af);  // must not crash
+    cluster::SubscribeRequest sq;
+    cluster::DecodeSubscribeRequest(garbage, &sq);  // must not crash
+    cluster::StreamResultMsg srm;
+    cluster::DecodeStreamResult(garbage, &srm);  // must not crash
   }
 }
 

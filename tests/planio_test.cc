@@ -78,9 +78,9 @@ TEST(FeatureCachePrecomputeTest, ParallelMatchesSerial) {
   parallel.PrecomputeParallel(vids, spec, 16, &pool);
   EXPECT_EQ(serial.size(), parallel.size());
   // Spot-check one entry for identical outputs.
-  const auto& a = serial.Get(*vids[0], 16, spec);
-  const auto& b = parallel.Get(*vids[0], 16, spec);
-  EXPECT_LT(tensor::MaxAbsDiff(a.feature, b.feature), 1e-6f);
+  const auto a = serial.Get(*vids[0], 16, spec);
+  const auto b = parallel.Get(*vids[0], 16, spec);
+  EXPECT_LT(tensor::MaxAbsDiff(a->feature, b->feature), 1e-6f);
 }
 
 TEST(PlanIoTest, SaveLoadRoundTripExecutesIdentically) {

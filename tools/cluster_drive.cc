@@ -16,9 +16,21 @@
 //     CI kills the dataset's PRIMARY mid-run; the router's in-call replica
 //     failover has to absorb it invisibly.
 //
+//   - with --stream, the drill is the live-ingest variant: after the same
+//     warm-up and replica-convergence wait, it attaches --subscribers
+//     standing SubscribeQueries through the router, then appends one
+//     stream block per tick while every subscriber polls for the
+//     incremental answer covering the new epoch. CI kills the PRIMARY
+//     mid-ingest; appends may retry (they are idempotent by construction —
+//     absolute targets at the shard boundary), but every delivered update
+//     must be kCertain and planner_runs must not move: the subscribers
+//     re-attach through the router invisibly, with no replanning and no
+//     degraded answers.
+//
 //   cluster_drive --router host:port [--queries N] [--dataset NAME]
 //                 [--videos N] [--frames N] [--retry-timeout-s S]
 //                 [--expect-failover] [--expect-zero-unavailability]
+//                 [--stream] [--ticks N] [--subscribers N]
 
 #include <chrono>
 #include <cstdio>
@@ -34,7 +46,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --router host:port [--queries N] [--dataset NAME]\n"
                "       [--videos N] [--frames N] [--retry-timeout-s S]\n"
-               "       [--expect-failover] [--expect-zero-unavailability]\n",
+               "       [--expect-failover] [--expect-zero-unavailability]\n"
+               "       [--stream] [--ticks N] [--subscribers N]\n",
                argv0);
   return 2;
 }
@@ -61,6 +74,9 @@ int main(int argc, char** argv) {
   int retry_timeout_s = 120;
   bool expect_failover = false;
   bool expect_zero_unavailability = false;
+  bool stream = false;
+  int ticks = 10;
+  int subscribers = 2;
   zeus::cluster::DatasetSpec spec;
   spec.name = "smoke";
   spec.num_videos = 10;
@@ -94,11 +110,23 @@ int main(int argc, char** argv) {
       expect_failover = true;
     } else if (arg == "--expect-zero-unavailability") {
       expect_zero_unavailability = true;
+    } else if (arg == "--stream") {
+      stream = true;
+    } else if (arg == "--ticks") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      ticks = std::atoi(v);
+    } else if (arg == "--subscribers") {
+      if ((v = next()) == nullptr) return Usage(argv[0]);
+      subscribers = std::atoi(v);
     } else {
       return Usage(argv[0]);
     }
   }
   if (router.empty()) return Usage(argv[0]);
+  // The stream drill is always strict: it exists to prove a primary kill is
+  // invisible to attached subscribers, which presumes replication >= 2 and
+  // the same warm-up / replica-convergence preamble.
+  if (stream) expect_zero_unavailability = true;
 
   // The router speaks the same protocol as a shard, so the shard client
   // doubles as the cluster client.
@@ -191,6 +219,204 @@ int main(int argc, char** argv) {
     }
     std::printf("replicas converged (planner_runs=%ld); strict window open\n",
                 planner_baseline);
+  }
+
+  if (stream) {
+    // Live-ingest drill: attach the subscribers, then append one stream
+    // block per tick while every subscriber polls its way to the new
+    // epoch. Appends and polls retry on retryable errors (the append is
+    // idempotent by construction; the poll cursor makes re-reads safe),
+    // but a delivered update that is not kCertain — or any planner
+    // movement — fails the drill immediately.
+    struct Sub {
+      uint64_t id = 0;
+      uint64_t last_seq = 0;
+      uint64_t last_epoch = 0;
+    };
+    std::vector<Sub> subs(static_cast<size_t>(subscribers));
+    for (size_t i = 0; i < subs.size(); ++i) {
+      zeus::cluster::SubscribeRequest sreq;
+      sreq.dataset = spec.name;
+      sreq.sql = kSql;
+      sreq.sub_id = 0;  // router-assigned
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(retry_timeout_s);
+      for (;;) {
+        auto reply = client.Subscribe(sreq);
+        if (reply.ok()) {
+          subs[i].id = reply.value().sub_id;
+          break;
+        }
+        if (!zeus::common::IsRetryable(reply.status().code()) ||
+            std::chrono::steady_clock::now() >= deadline) {
+          std::fprintf(stderr, "cluster_drive: subscribe %zu failed: %s\n", i,
+                       reply.status().ToString().c_str());
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+    }
+    std::printf("%d subscriber(s) attached\n", subscribers);
+
+    // One poll helper: advance `sub` until its freshest delivered update
+    // covers `epoch`. Every update must match the reference answer
+    // (bit-identical across appends is NOT expected — the window grew —
+    // so only consistency and ordering are asserted here) and be certain.
+    auto poll_until = [&](Sub& sub, uint64_t epoch, const char* who) -> bool {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(retry_timeout_s);
+      while (sub.last_epoch < epoch) {
+        zeus::cluster::StreamPollRequest preq;
+        preq.sub_id = sub.id;
+        preq.after_seq = sub.last_seq;
+        preq.timeout_ms = 5000;
+        auto update = client.StreamPoll(preq, /*deadline_ms=*/15000);
+        if (!update.ok()) {
+          if (!zeus::common::IsRetryable(update.status().code())) {
+            std::fprintf(stderr, "cluster_drive: %s poll failed: %s\n", who,
+                         update.status().ToString().c_str());
+            return false;
+          }
+          if (std::chrono::steady_clock::now() >= deadline) {
+            std::fprintf(stderr,
+                         "cluster_drive: %s never reached epoch %llu: %s\n",
+                         who, static_cast<unsigned long long>(epoch),
+                         update.status().ToString().c_str());
+            return false;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(250));
+          continue;
+        }
+        if (update.value().seq <= sub.last_seq) {
+          std::fprintf(stderr,
+                       "cluster_drive: %s seq went backwards (%llu after "
+                       "%llu)\n",
+                       who, static_cast<unsigned long long>(update.value().seq),
+                       static_cast<unsigned long long>(sub.last_seq));
+          return false;
+        }
+        if (update.value().result.consistency !=
+            zeus::engine::Consistency::kCertain) {
+          std::fprintf(stderr,
+                       "cluster_drive: %s received a %s incremental answer "
+                       "(%s)\n",
+                       who,
+                       zeus::engine::ConsistencyName(
+                           update.value().result.consistency),
+                       update.value().result.divergence.c_str());
+          return false;
+        }
+        sub.last_seq = update.value().seq;
+        sub.last_epoch = update.value().result.frame_epoch;
+      }
+      return true;
+    };
+
+    // Drain each subscriber's immediate first window (epoch 0 at attach).
+    for (size_t i = 0; i < subs.size(); ++i) {
+      if (!poll_until(subs[i], 0, "subscriber")) return 1;
+      if (subs[i].last_seq == 0) {
+        // last_epoch starts at 0, so poll at least once explicitly.
+        zeus::cluster::StreamPollRequest preq;
+        preq.sub_id = subs[i].id;
+        preq.after_seq = 0;
+        preq.timeout_ms = 30000;
+        auto update = client.StreamPoll(preq, /*deadline_ms=*/45000);
+        if (!update.ok()) {
+          std::fprintf(stderr, "cluster_drive: first window failed: %s\n",
+                       update.status().ToString().c_str());
+          return 1;
+        }
+        subs[i].last_seq = update.value().seq;
+        subs[i].last_epoch = update.value().result.frame_epoch;
+      }
+    }
+    std::printf("first windows delivered; ingest begins\n");
+
+    for (int tick = 1; tick <= ticks; ++tick) {
+      zeus::cluster::AppendFramesRequest areq;
+      areq.name = spec.name;
+      areq.relative_frames = 64;  // one deterministic stream block
+      uint64_t epoch = 0;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(retry_timeout_s);
+      for (;;) {
+        auto out = client.AppendFrames(areq);
+        if (out.ok()) {
+          epoch = out.value().frame_epoch;
+          break;
+        }
+        if (!zeus::common::IsRetryable(out.status().code()) ||
+            std::chrono::steady_clock::now() >= deadline) {
+          std::fprintf(stderr, "cluster_drive: append %d failed: %s\n", tick,
+                       out.status().ToString().c_str());
+          return 1;
+        }
+        ++retries;
+        std::printf("append %d retrying: %s\n", tick,
+                    out.status().ToString().c_str());
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      }
+      for (size_t i = 0; i < subs.size(); ++i) {
+        if (!poll_until(subs[i], epoch, "subscriber")) return 1;
+      }
+      std::printf("tick %d ok (epoch %llu, all %d subscriber(s) caught up)\n",
+                  tick, static_cast<unsigned long long>(epoch), subscribers);
+      // Pace the ingest so CI's mid-stream primary kill (timed off
+      // "tick 2 ok") lands while appends and polls are still flowing.
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    }
+
+    for (const Sub& sub : subs) {
+      // Best effort: a failed unsubscribe is not a drill failure (the
+      // router treats a gone id as Ok — idempotent).
+      (void)client.Unsubscribe(sub.id);
+    }
+
+    zeus::cluster::StatsReply s;
+    const auto stats_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      auto stats = client.Stats();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "cluster_drive: final stats failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      s = stats.value();
+      if (!expect_failover || s.failovers >= 1 ||
+          std::chrono::steady_clock::now() >= stats_deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    std::printf(
+        "stream done: %d tick(s), %d subscriber(s), %d retries; cluster: "
+        "%d shard(s) alive, %lld failover(s), %lld read failover(s), "
+        "appends=%ld appended_frames=%ld stream_results=%ld dropped=%ld "
+        "%lld certain / %lld degraded answer(s), planner_runs=%ld\n",
+        ticks, subscribers, retries, s.num_shards,
+        static_cast<long long>(s.failovers),
+        static_cast<long long>(s.read_failovers), s.stats.appends,
+        s.stats.appended_frames, s.stats.stream_results,
+        s.stats.stream_dropped, static_cast<long long>(s.certain_answers),
+        static_cast<long long>(s.degraded_answers), s.stats.planner_runs);
+    if (expect_failover && s.failovers < 1) {
+      std::fprintf(stderr,
+                   "cluster_drive: expected a failover but stats report "
+                   "%lld\n",
+                   static_cast<long long>(s.failovers));
+      return 1;
+    }
+    if (s.stats.planner_runs != planner_baseline) {
+      std::fprintf(stderr,
+                   "cluster_drive: planner ran during the stream drill "
+                   "(%ld vs baseline %ld) — a window re-execution or "
+                   "re-attach fell off the cached plan\n",
+                   s.stats.planner_runs, planner_baseline);
+      return 1;
+    }
+    return 0;
   }
 
   for (int q = 0; q < queries; ++q) {

@@ -250,6 +250,28 @@ class OverridesTest(CheckHarness):
                 name, 0.25, overrides)
             self.assertFalse(is_gated, name)
 
+    def test_shipped_overrides_gate_stream_soak_hit_ratio(self):
+        # The live-stream soak (bench_stream_soak): the feature-cache hit
+        # ratio IS the window-reuse contract, so it gates (tighter than
+        # default, higher-is-better); the timing-derived ingest fps /
+        # wall clock are scheduler-noise trails and stay informational,
+        # like the update-latency percentiles (UNGATED suffix).
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        shipped = os.path.join(repo, "bench", "gate_overrides.json")
+        overrides = bench_regress.load_overrides(shipped)
+        rec = "bench_stream_soak/soak[subscribers=2,ticks=6]"
+        is_gated, tol = bench_regress.effective_policy(
+            rec + "/feature_hit_ratio", 0.25, overrides)
+        self.assertTrue(is_gated)
+        self.assertLess(tol, 0.25)
+        self.assertFalse(
+            bench_regress.lower_is_better(rec + "/feature_hit_ratio"))
+        for name in (rec + "/ingest_fps", rec + "/wall_seconds",
+                     rec + "/update_p95_seconds"):
+            is_gated, _ = bench_regress.effective_policy(
+                name, 0.25, overrides)
+            self.assertFalse(is_gated, name)
+
 
 class DirectionTest(unittest.TestCase):
     """Name-based direction inference, accuracy pinning included."""
